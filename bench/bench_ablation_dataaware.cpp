@@ -1,0 +1,97 @@
+// Ablation: data-aware dispatch + executor caching vs next-available
+// (paper section 6 future work, implemented here).
+//
+// Workload: tasks repeatedly read a working set of shared-filesystem
+// objects. With next-available dispatch, an object is re-fetched from GPFS
+// whenever the task lands on an executor that has not seen it. With
+// data-aware dispatch, the dispatcher routes tasks to executors whose local
+// cache already holds the input, so most reads hit local disk.
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/client.h"
+#include "core/service.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+struct Outcome {
+  double makespan_s{0};
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+};
+
+Outcome run(bool data_aware, int executors, int objects, int tasks) {
+  ScaledClock clock(2000.0);
+  core::DispatcherConfig dispatcher_config;
+  std::unique_ptr<core::DispatchPolicy> policy;
+  if (data_aware) policy = std::make_unique<core::DataAwarePolicy>();
+  core::InProcFalkon falkon(clock, dispatcher_config, std::move(policy));
+
+  iomodel::IoModel model;  // paper-calibrated GPFS/local constants
+  std::vector<core::DataStagingEngine*> engines;
+  auto factory = [&](Clock& c) {
+    auto engine = std::make_unique<core::DataStagingEngine>(
+        c, model, /*concurrency=*/executors, /*cache=*/4ULL << 30);
+    engines.push_back(engine.get());
+    return engine;
+  };
+  if (!falkon.add_executors(executors, factory, core::ExecutorOptions{}).ok()) {
+    return {};
+  }
+
+  auto session = core::FalkonSession::open(falkon.client(), ClientId{1});
+  if (!session.ok()) return {};
+
+  // Zipf-ish access over a working set of 100 MB GPFS objects.
+  Rng rng(42);
+  std::vector<TaskSpec> specs;
+  for (int i = 1; i <= tasks; ++i) {
+    const auto object = rng.uniform_int(0, static_cast<std::uint64_t>(objects - 1));
+    TaskSpec task = make_data_task(TaskId{static_cast<std::uint64_t>(i)},
+                                   /*compute_s=*/1.0, DataLocation::kSharedFs,
+                                   IoMode::kRead, 100ULL << 20, 0);
+    task.data_object = "object-" + std::to_string(object);
+    specs.push_back(std::move(task));
+  }
+
+  const double start = clock.now_s();
+  auto results = session.value()->run(std::move(specs), 1e7);
+  Outcome outcome;
+  if (!results.ok()) return outcome;
+  outcome.makespan_s = clock.now_s() - start;
+  for (auto* engine : engines) {
+    outcome.cache_hits += engine->cache_hits();
+    outcome.cache_misses += engine->cache_misses();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("Ablation: data-aware dispatch vs next-available (section 6)");
+  note("workload: 600 tasks reading 100 MB GPFS objects (working set of"
+       " 32 objects), 16 executors with 4 GB local caches");
+
+  Table table({"dispatch policy", "makespan (model s)", "cache hit rate"});
+  const auto baseline = run(false, 16, 32, 600);
+  const auto aware = run(true, 16, 32, 600);
+  auto hit_rate = [](const Outcome& o) {
+    const auto total = o.cache_hits + o.cache_misses;
+    return total ? 100.0 * static_cast<double>(o.cache_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  };
+  table.row({"next-available", strf("%.0f", baseline.makespan_s),
+             strf("%.0f%%", hit_rate(baseline))});
+  table.row({"data-aware", strf("%.0f", aware.makespan_s),
+             strf("%.0f%%", hit_rate(aware))});
+  table.print();
+  note(strf("data-aware speedup: %.2fx (higher locality -> local-disk reads"
+            " instead of contended GPFS)",
+            baseline.makespan_s / std::max(1.0, aware.makespan_s)));
+  return 0;
+}

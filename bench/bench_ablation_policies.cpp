@@ -1,0 +1,161 @@
+// Ablation: the five resource-acquisition policies and the two release
+// policy families (paper section 3.1 describes all; section 4.6 evaluates
+// only all-at-once + distributed release).
+//
+// Runs the real multi-level stack (ScaledClock) on a burst workload and
+// compares allocation counts, time to complete, and resource waste across
+// policies — quantifying the paper's remark that one-at-a-time "would have
+// grown [allocation requests] significantly" against GRAM's ~0.5 req/s.
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/service.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+struct Outcome {
+  bool ok{false};
+  double makespan_s{0};
+  std::uint64_t allocations{0};
+  double utilization{0};
+};
+
+Outcome run_policy(const std::string& acquisition, double idle_timeout_s,
+                   int centralized_threshold) {
+  ScaledClock clock(250.0);
+  core::FalkonClusterConfig config;
+  config.lrm.poll_interval_s = 20.0;
+  config.lrm.submit_overhead_s = 0.5;
+  config.lrm.dispatch_overhead_s = 3.0;
+  config.lrm.cleanup_overhead_s = 2.0;
+  config.lrm_nodes = 16;
+  config.gram.request_overhead_s = 2.0;  // the serial GRAM bottleneck
+  config.provisioner.max_executors = 16;
+  config.provisioner.poll_interval_s = 1.0;
+  config.acquisition_policy = acquisition;
+  config.executor_template.idle_timeout_s = idle_timeout_s;
+  config.centralized_release_threshold = centralized_threshold;
+
+  core::FalkonCluster cluster(clock, config);
+  cluster.start_drivers();
+  auto session = core::FalkonSession::open(cluster.client(), ClientId{1});
+  Outcome outcome;
+  if (!session.ok()) return outcome;
+
+  // Burst workload: 48 x sleep-30 (3 waves worth of work for 16 executors).
+  std::vector<TaskSpec> tasks;
+  for (int i = 1; i <= 48; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{static_cast<std::uint64_t>(i)}, 30.0));
+  }
+  const double start = clock.now_s();
+  if (!session.value()->submit(std::move(tasks)).ok()) return outcome;
+  auto results = session.value()->wait(48, 1e6);
+  const double end = clock.now_s();
+  if (!results.ok()) return outcome;
+
+  outcome.ok = true;
+  outcome.makespan_s = end - start;
+  outcome.allocations = cluster.provisioner().stats().allocations_requested;
+  const auto& registered = cluster.provisioner().registered_series();
+  const auto& active = cluster.provisioner().active_series();
+  const double alive = registered.integrate(start, end) +
+                       active.integrate(start, end);
+  outcome.utilization = alive > 0 ? std::min(1.0, 48 * 30.0 / alive) : 0.0;
+  cluster.stop();
+  return outcome;
+}
+
+/// Two bursts separated by an idle gap: release policies differ in whether
+/// they keep executors through the gap (waste) or release and re-acquire
+/// (latency).
+Outcome run_bursty(double idle_timeout_s, int centralized_threshold) {
+  ScaledClock clock(250.0);
+  core::FalkonClusterConfig config;
+  config.lrm.poll_interval_s = 20.0;
+  config.lrm.submit_overhead_s = 0.5;
+  config.lrm.dispatch_overhead_s = 3.0;
+  config.lrm.cleanup_overhead_s = 2.0;
+  config.lrm_nodes = 16;
+  config.gram.request_overhead_s = 2.0;
+  config.provisioner.max_executors = 16;
+  config.provisioner.poll_interval_s = 1.0;
+  config.executor_template.idle_timeout_s = idle_timeout_s;
+  config.centralized_release_threshold = centralized_threshold;
+
+  core::FalkonCluster cluster(clock, config);
+  cluster.start_drivers();
+  auto session = core::FalkonSession::open(cluster.client(), ClientId{1});
+  Outcome outcome;
+  if (!session.ok()) return outcome;
+
+  auto burst = [&](std::uint64_t first_id) {
+    std::vector<TaskSpec> tasks;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      tasks.push_back(make_sleep_task(TaskId{first_id + i}, 20.0));
+    }
+    return session.value()->submit(std::move(tasks));
+  };
+
+  const double start = clock.now_s();
+  if (!burst(1).ok()) return outcome;
+  if (!session.value()->wait(32, 1e6).ok()) return outcome;
+  clock.sleep_s(90.0);  // idle gap longer than the short timeouts
+  if (!burst(1000).ok()) return outcome;
+  if (!session.value()->wait(32, 1e6).ok()) return outcome;
+  const double end = clock.now_s();
+
+  outcome.ok = true;
+  outcome.makespan_s = end - start;
+  outcome.allocations = cluster.provisioner().stats().allocations_requested;
+  const auto& registered = cluster.provisioner().registered_series();
+  const auto& active = cluster.provisioner().active_series();
+  const double alive =
+      registered.integrate(start, end) + active.integrate(start, end);
+  outcome.utilization =
+      alive > 0 ? std::min(1.0, 64 * 20.0 / alive) : 0.0;
+  cluster.stop();
+  return outcome;
+}
+
+void print_row(Table& table, const std::string& label, const Outcome& o) {
+  if (!o.ok) {
+    table.row({label, "FAILED", "-", "-"});
+    return;
+  }
+  table.row({label, strf("%.0f s", o.makespan_s),
+             strf("%llu", static_cast<unsigned long long>(o.allocations)),
+             strf("%.0f%%", o.utilization * 100.0)});
+}
+
+}  // namespace
+
+int main() {
+  title("Ablation: resource acquisition policies (48 x sleep-30, 16 nodes)");
+  Table table({"acquisition policy", "time to complete", "allocations",
+               "utilization"});
+  for (const char* policy :
+       {"all-at-once", "one-at-a-time", "additive", "exponential",
+        "available"}) {
+    print_row(table, policy, run_policy(policy, 60.0, 0));
+  }
+  table.print();
+  note("paper (section 4.6): all-at-once minimises allocation requests;"
+       " one-at-a-time multiplies them through the ~0.5 req/s GRAM gateway"
+       " and delays executor startup.");
+
+  title("Ablation: release policies (two 32-task bursts, 90 s idle gap)");
+  Table release({"release policy", "time to complete", "allocations",
+                 "utilization"});
+  print_row(release, "distributed, idle 15 s", run_bursty(15.0, 0));
+  print_row(release, "distributed, idle 60 s", run_bursty(60.0, 0));
+  print_row(release, "distributed, never (inf)", run_bursty(0.0, 0));
+  print_row(release, "centralized, queue<4", run_bursty(0.0, 4));
+  release.print();
+  note("short idle timeouts release through the gap (higher utilization,"
+       " extra allocation + re-acquisition latency); infinite retention"
+       " holds idle executors (lower utilization, no re-acquisition) — the"
+       " Table 3/4 trade-off in miniature.");
+  return 0;
+}

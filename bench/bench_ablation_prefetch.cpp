@@ -1,0 +1,88 @@
+// Ablation: executor task pre-fetching (paper section 6 future work,
+// implemented here): "executors can request new tasks before they complete
+// execution of old tasks, thus overlapping communication and execution."
+//
+// Measured over real loopback TCP, where the dispatch round trip is an
+// actual network exchange worth overlapping. We compare tasks/s with and
+// without pre-fetch for short tasks, plus the piggy-backing ablation on
+// the same axis (both attack the same per-task round trip).
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service_tcp.h"
+#include "sim/sim_falkon.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+double run_tcp(bool prefetch, bool piggyback, int executors, int tasks) {
+  RealClock clock;
+  core::DispatcherConfig config;
+  config.piggyback = piggyback;
+  core::Dispatcher dispatcher(clock, config);
+  core::TcpDispatcherServer server(dispatcher);
+  if (!server.start().ok()) return 0.0;
+  std::vector<std::unique_ptr<core::TcpExecutorHarness>> pool;
+  for (int e = 0; e < executors; ++e) {
+    core::ExecutorOptions options;
+    options.prefetch = prefetch;
+    options.piggyback_tasks = piggyback ? 1 : 0;
+    auto harness = std::make_unique<core::TcpExecutorHarness>(
+        clock, "127.0.0.1", server.rpc_port(), server.push_port(),
+        std::make_unique<core::NoopEngine>(), options);
+    if (!harness->start().ok()) return 0.0;
+    pool.push_back(std::move(harness));
+  }
+  auto client = core::TcpDispatcherClient::connect("127.0.0.1", server.rpc_port());
+  if (!client.ok()) return 0.0;
+  auto session = core::FalkonSession::open(*client.value(), ClientId{1});
+  if (!session.ok()) return 0.0;
+
+  std::vector<TaskSpec> specs;
+  for (int i = 1; i <= tasks; ++i) {
+    specs.push_back(make_noop_task(TaskId{static_cast<std::uint64_t>(i)}));
+  }
+  const double start = clock.now_s();
+  auto results = session.value()->run(std::move(specs), 120.0);
+  const double elapsed = clock.now_s() - start;
+  pool.clear();
+  server.stop();
+  if (!results.ok() || elapsed <= 0) return 0.0;
+  return tasks / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  title("Ablation: pre-fetch and piggy-backing over real loopback TCP");
+  note("sleep-0 tasks, 2 executors, 4000 tasks per cell");
+
+  Table table({"piggyback", "prefetch", "tasks/s"});
+  for (bool piggyback : {false, true}) {
+    for (bool prefetch : {false, true}) {
+      table.row({piggyback ? "on" : "off", prefetch ? "on" : "off",
+                 strf("%.0f", run_tcp(prefetch, piggyback, 2, 4000))});
+    }
+  }
+  table.print();
+  note("piggy-backing merges the result/ack/next-task exchanges (2 messages"
+       " per task); pre-fetch overlaps the remaining round trip with"
+       " execution.");
+
+  title("Same ablation in the calibrated 2007-testbed model");
+  Table model({"piggyback", "tasks/s (64 executors)"});
+  for (bool piggyback : {false, true}) {
+    sim::SimFalkonConfig config;
+    config.executors = 64;
+    config.task_count = 20000;
+    config.piggyback = piggyback;
+    model.row({piggyback ? "on" : "off",
+               strf("%.0f", sim::simulate_falkon(config).avg_throughput())});
+  }
+  model.print();
+  note("without piggy-backing every task pays the notify+get-work path:"
+       " the dispatcher saturates ~40% lower.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 4 / section 4.2: throughput as a function of data size on 64
+// nodes (128 executors), for {GPFS, local disk} x {read, read+write}.
+//
+// The per-task staging time comes from the contention-calibrated IoModel;
+// the end-to-end task rate comes from the DES with that staging time as the
+// task length (the dispatch pipeline caps tiny-data throughput at ~487/s,
+// exactly as in the paper).
+//
+// Paper anchors: task throughput within a few percent of 487/s up to 1 MB
+// (GPFS read, LOCAL read/read+write); GPFS read+write capped at ~150/s even
+// for 1-byte tasks; bandwidth plateaus 326 / 3,067 / 32,667 / 52,015 Mb/s;
+// 1 GB rates 0.04 / 0.4 / 4.28 / 6.81 tasks/s.
+#include "bench_util.h"
+#include "iomodel/io_model.h"
+#include "sim/sim_falkon.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+constexpr int kExecutors = 128;
+
+struct Config {
+  const char* name;
+  DataLocation location;
+  IoMode mode;
+  double paper_plateau_mbps;
+  double paper_1gb_tasks_per_s;
+};
+
+double task_rate(const iomodel::IoModel& model, const TaskSpec& task,
+                 std::uint64_t bytes) {
+  sim::SimFalkonConfig sim_config;
+  sim_config.executors = kExecutors;
+  sim_config.task_length_s = model.io_time_s(task, kExecutors);
+  // Size the run so it finishes quickly but reaches steady state.
+  const double expected_rate =
+      std::min(487.0, kExecutors / std::max(1e-9, sim_config.task_length_s));
+  sim_config.task_count = static_cast<std::uint64_t>(
+      std::max(64.0, std::min(20000.0, expected_rate * 30)));
+  (void)bytes;
+  return sim::simulate_falkon(sim_config).avg_throughput();
+}
+
+}  // namespace
+
+int main() {
+  title("Figure 4: throughput vs data size, 128 executors on 64 nodes");
+
+  iomodel::IoModel model;
+  const Config configs[] = {
+      {"GPFS read+write", DataLocation::kSharedFs, IoMode::kReadWrite, 326.0, 0.04},
+      {"GPFS read", DataLocation::kSharedFs, IoMode::kRead, 3067.0, 0.4},
+      {"LOCAL read+write", DataLocation::kLocalDisk, IoMode::kReadWrite, 32667.0, 4.28},
+      {"LOCAL read", DataLocation::kLocalDisk, IoMode::kRead, 52015.0, 6.81},
+  };
+
+  for (const auto& config : configs) {
+    title(config.name);
+    Table table({"data size", "tasks/s", "Mb/s"});
+    double peak_mbps = 0.0;
+    double rate_1gb = 0.0;
+    for (std::uint64_t bytes = 1; bytes <= (1ULL << 30); bytes *= 32) {
+      auto task = make_data_task(TaskId{1}, 0.0, config.location, config.mode,
+                                 bytes, bytes);
+      const double rate = task_rate(model, task, bytes);
+      const double moved = iomodel::bytes_to_megabits(
+          bytes + (config.mode == IoMode::kReadWrite ? bytes : 0));
+      const double mbps = rate * moved;
+      peak_mbps = std::max(peak_mbps, mbps);
+      if (bytes == (1ULL << 30)) rate_1gb = rate;
+      table.row({human_bytes(bytes), strf("%.2f", rate), strf("%.0f", mbps)});
+    }
+    table.print();
+    note(strf("bandwidth plateau: %.0f Mb/s (paper: %.0f Mb/s)", peak_mbps,
+              config.paper_plateau_mbps));
+    note(strf("1 GB task rate: %.2f tasks/s (paper: %.2f)", rate_1gb,
+              config.paper_1gb_tasks_per_s));
+  }
+
+  note("note the GPFS read+write row: write contention through 8 I/O nodes"
+       " caps task rate near 150/s even at 1 byte, as the paper observed.");
+  return 0;
+}

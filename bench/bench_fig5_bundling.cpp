@@ -1,0 +1,85 @@
+// Figure 5 / section 4.3: task-submission throughput and cost per task as
+// a function of bundle size.
+//
+// Paper shape: ~20 tasks/s unbundled, rising to a peak of almost 1,500
+// tasks/s around 300 tasks per bundle, then *declining* — the decline
+// traced to Axis's grow-able array re-allocating and copying while
+// deserialising large bundles (an O(n^2) term our model carries).
+//
+// We print the calibrated model sweep, then measure the same sweep on this
+// C++ implementation's real submission path (binary codec instead of XML):
+// the C++ path has no grow-array pathology, so its curve saturates instead
+// of declining — quantifying what the paper's proposed rewrite buys.
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service.h"
+#include "sim/cost_model.h"
+#include "wire/message.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+/// Real submission path: encode + decode + dispatcher submit of bundles.
+double measure_cpp_submit(int bundle, int total_tasks) {
+  RealClock clock;
+  core::Dispatcher dispatcher(clock, core::DispatcherConfig{});
+  auto instance = dispatcher.create_instance(ClientId{1});
+  if (!instance.ok()) return 0.0;
+
+  std::uint64_t next_id = 1;
+  const double start = clock.now_s();
+  int sent = 0;
+  while (sent < total_tasks) {
+    const int n = std::min(bundle, total_tasks - sent);
+    wire::SubmitRequest request;
+    request.instance_id = instance.value();
+    for (int i = 0; i < n; ++i) {
+      request.tasks.push_back(make_noop_task(TaskId{next_id++}));
+    }
+    // Full wire path: serialise, parse, enqueue — what a TCP client costs
+    // minus the kernel.
+    auto bytes = wire::encode_message(request);
+    auto decoded = wire::decode_message(bytes);
+    if (!decoded.ok()) return 0.0;
+    auto& submit = std::get<wire::SubmitRequest>(decoded.value());
+    if (!dispatcher.submit(submit.instance_id, std::move(submit.tasks)).ok()) {
+      return 0.0;
+    }
+    sent += n;
+  }
+  const double elapsed = clock.now_s() - start;
+  return elapsed > 0 ? total_tasks / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  title("Figure 5: bundling throughput and cost per task");
+
+  sim::BundlingCostModel model;
+  Table table({"bundle size", "model tasks/s", "model ms/task",
+               "C++ path tasks/s"});
+  double best_rate = 0.0;
+  int best_bundle = 0;
+  for (int bundle : {1, 2, 5, 10, 25, 50, 100, 200, 300, 500, 750, 1000, 1500, 2000}) {
+    const double rate = model.throughput(bundle);
+    const double cost_ms = model.bundle_cost_s(bundle) / bundle * 1e3;
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_bundle = bundle;
+    }
+    const double cpp = measure_cpp_submit(bundle, 40000);
+    table.row({strf("%d", bundle), strf("%.0f", rate), strf("%.3f", cost_ms),
+               strf("%.0f", cpp)});
+  }
+  table.print();
+  note(strf("model peak: %.0f tasks/s at %d tasks/bundle"
+            " (paper: ~1500 near 300, ~20 unbundled)",
+            best_rate, best_bundle));
+  note("the C++ binary-codec path keeps rising with bundle size: no Axis"
+       " grow-array collapse.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7 / section 4.4: efficiency for varying task lengths on 64
+// processors — Falkon vs PBS (v2.1.8), Condor (v6.7.2), and the derived
+// Condor (v6.9.3) curve.
+//
+// Paper anchors: Falkon 95% at 1 s and 99% at 8 s tasks; PBS/Condor < 1%
+// at 1 s, needing ~1,200 s for 90%, ~3,600 s for 95% and ~16,000 s for
+// 99%; Condor 6.9.3 (derived from 11 tasks/s) reaches 90/95/99% at
+// 50/100/1,000 s.
+#include "bench_util.h"
+#include "sim/baselines.h"
+#include "sim/sim_falkon.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+constexpr int kProcessors = 64;
+
+double falkon_efficiency(double task_length_s) {
+  sim::SimFalkonConfig config;
+  config.executors = kProcessors;
+  config.task_length_s = task_length_s;
+  config.task_count = kProcessors * 8;
+  const auto result = sim::simulate_falkon(config);
+  const double ideal =
+      static_cast<double>(config.task_count) * task_length_s / kProcessors;
+  return ideal / result.makespan_s;
+}
+
+}  // namespace
+
+int main() {
+  title("Figure 7: efficiency vs task length on 64 processors");
+
+  Table table({"task length", "Falkon", "Condor v6.7.2", "PBS v2.1.8",
+               "Condor v6.9.3 (derived)"});
+  const auto condor672 = sim::baseline_condor_v672();
+  const auto pbs = sim::baseline_pbs_v218();
+  const auto condor693 = sim::baseline_condor_v693();
+  for (double length : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                        512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0}) {
+    table.row({
+        strf("%.0f s", length),
+        strf("%.1f%%", falkon_efficiency(length) * 100.0),
+        strf("%.1f%%",
+             sim::derived_efficiency(condor672, length, kProcessors) * 100.0),
+        strf("%.1f%%",
+             sim::derived_efficiency(pbs, length, kProcessors) * 100.0),
+        strf("%.1f%%",
+             sim::derived_efficiency(condor693, length, kProcessors) * 100.0),
+    });
+  }
+  table.print();
+
+  note("crossover check: the LRMs need task lengths 2-3 orders of magnitude"
+       " longer than Falkon to reach the same efficiency.");
+  note(strf("Falkon at 1 s: %.1f%% (paper: 95%%); at 8 s: %.1f%% (paper: 99%%)",
+            falkon_efficiency(1.0) * 100.0, falkon_efficiency(8.0) * 100.0));
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks for the hot paths of this C++
+// implementation: codec, framing, dispatcher operations, the end-to-end
+// in-process dispatch cycle, and the DES engine.
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "core/client.h"
+#include "core/service.h"
+#include "sim/event_queue.h"
+#include "wire/message.h"
+
+namespace {
+
+using namespace falkon;
+
+TaskSpec sample_task(std::uint64_t id) {
+  TaskSpec spec = make_sleep_task(TaskId{id}, 0.0);
+  spec.working_dir = "/tmp/run";
+  spec.env = {{"PATH", "/usr/bin"}};
+  return spec;
+}
+
+void BM_EncodeSubmitBundle(benchmark::State& state) {
+  wire::SubmitRequest request;
+  request.instance_id = InstanceId{1};
+  for (int i = 0; i < state.range(0); ++i) {
+    request.tasks.push_back(sample_task(static_cast<std::uint64_t>(i) + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_message(request));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeSubmitBundle)->Arg(1)->Arg(100)->Arg(1000);
+
+void BM_DecodeSubmitBundle(benchmark::State& state) {
+  wire::SubmitRequest request;
+  request.instance_id = InstanceId{1};
+  for (int i = 0; i < state.range(0); ++i) {
+    request.tasks.push_back(sample_task(static_cast<std::uint64_t>(i) + 1));
+  }
+  const auto bytes = wire::encode_message(request);
+  for (auto _ : state) {
+    auto decoded = wire::decode_message(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeSubmitBundle)->Arg(1)->Arg(100)->Arg(1000);
+
+void BM_BlockingQueuePushPop(benchmark::State& state) {
+  BlockingQueue<int> queue;
+  for (auto _ : state) {
+    (void)queue.push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockingQueuePushPop);
+
+/// One dispatcher protocol cycle: get_work + deliver_results with
+/// piggy-backing (the 2-messages-per-task steady state of section 3.4).
+void BM_DispatcherCycle(benchmark::State& state) {
+  ManualClock clock;
+  core::Dispatcher dispatcher(clock, core::DispatcherConfig{});
+  auto instance = dispatcher.create_instance(ClientId{1});
+  struct NullSink final : core::ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto executor = dispatcher.register_executor(wire::RegisterRequest{},
+                                               std::make_shared<NullSink>());
+  std::uint64_t next_id = 1;
+  std::vector<TaskSpec> seed;
+  seed.push_back(make_noop_task(TaskId{next_id++}));
+  (void)dispatcher.submit(instance.value(), seed);
+  auto work = dispatcher.get_work(executor.value(), 1);
+  TaskSpec current = work.value()[0];
+
+  for (auto _ : state) {
+    // Keep exactly one task queued so the piggy-back path always hits.
+    std::vector<TaskSpec> refill;
+    refill.push_back(make_noop_task(TaskId{next_id++}));
+    (void)dispatcher.submit(instance.value(), refill);
+    TaskResult result;
+    result.task_id = current.id;
+    auto outcome = dispatcher.deliver_results(executor.value(), {result}, 1);
+    current = outcome.value().piggyback[0];
+    // Drain the client mailbox so it does not grow unboundedly.
+    (void)dispatcher.wait_results(instance.value(), 64, 0.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatcherCycle);
+
+/// Full in-process end-to-end: client -> dispatcher -> executor threads ->
+/// results. Items/sec here is this implementation's "Figure 3" number.
+void BM_EndToEndInProc(benchmark::State& state) {
+  RealClock clock;
+  core::InProcFalkon falkon(clock, core::DispatcherConfig{});
+  (void)falkon.add_executors(
+      static_cast<int>(state.range(0)),
+      [](Clock&) { return std::make_unique<core::NoopEngine>(); },
+      core::ExecutorOptions{});
+  auto session = core::FalkonSession::open(falkon.client(), ClientId{1});
+  std::uint64_t next_id = 1;
+  constexpr int kBatch = 1000;
+  for (auto _ : state) {
+    std::vector<TaskSpec> tasks;
+    tasks.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      tasks.push_back(make_noop_task(TaskId{next_id++}));
+    }
+    auto results = session.value()->run(std::move(tasks), 60.0);
+    if (!results.ok()) state.SkipWithError("run failed");
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EndToEndInProc)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = 100000;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule_in(0.001, chain);
+    };
+    sim.schedule_at(0.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationEventThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

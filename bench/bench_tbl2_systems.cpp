@@ -1,0 +1,68 @@
+// Table 2 / section 4.1: measured and cited throughput for Falkon, Condor
+// and PBS on sleep-0 tasks.
+//
+// The LRM rows are *executed* against our batch-scheduler substrate (100
+// sleep-0 jobs on 64 nodes, exactly the paper's methodology), not copied:
+// the presets encode scheduling-cycle and per-job overheads and the run
+// measures completion time. The cited rows are reference points from the
+// paper's Table 2.
+#include "bench_util.h"
+#include "common/clock.h"
+#include "lrm/batch_scheduler.h"
+#include "sim/baselines.h"
+#include "sim/sim_falkon.h"
+
+namespace {
+
+using namespace falkon;
+using namespace falkon::bench;
+
+double measure_lrm(const lrm::LrmConfig& config, int jobs, int nodes) {
+  ManualClock clock;
+  lrm::BatchScheduler scheduler(clock, config, nodes);
+  int completed = 0;
+  for (int i = 0; i < jobs; ++i) {
+    lrm::JobSpec spec;
+    spec.nodes = 1;
+    spec.run_time_s = 0.0;
+    spec.on_done = [&](JobId, bool) { ++completed; };
+    (void)scheduler.submit(spec);
+  }
+  double elapsed = 0.0;
+  while (completed < jobs && elapsed < 36000.0) {
+    clock.advance(1.0);
+    elapsed += 1.0;
+    scheduler.step();
+  }
+  return completed == jobs ? jobs / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  title("Table 2: measured and cited throughput (tasks/s, sleep-0)");
+
+  Table table({"system", "how", "paper", "ours"});
+  table.row({"Falkon (no security)", "DES, 256 executors", "487",
+             strf("%.0f", sim::falkon_throughput(256, false, 30000))});
+  table.row({"Falkon (GSISecureConversation)", "DES, 256 executors", "204",
+             strf("%.0f", sim::falkon_throughput(256, true, 30000))});
+  table.row({"Condor (v6.7.2)", "LRM substrate, 100 jobs / 64 nodes", "0.49",
+             strf("%.2f", measure_lrm(lrm::condor_v672_profile(), 100, 64))});
+  table.row({"PBS (v2.1.8)", "LRM substrate, 100 jobs / 64 nodes", "0.45",
+             strf("%.2f", measure_lrm(lrm::pbs_v218_profile(), 100, 64))});
+  table.row({"Condor (v6.9.3)", "LRM substrate, 100 jobs / 64 nodes", "11",
+             strf("%.1f", measure_lrm(lrm::condor_v693_profile(), 100, 64))});
+  table.row({"Condor (v6.7.2) [15]", "cited", "2", "-"});
+  table.row({"Condor (v6.8.2) [34]", "cited", "0.42", "-"});
+  table.row({"Condor-J2 [15]", "cited", "22", "-"});
+  table.row({"BOINC [19,20]", "cited", "93", "-"});
+  table.print();
+
+  note("shape check: Falkon beats production LRMs by ~3 orders of magnitude"
+       " on per-task dispatch.");
+  const double falkon = sim::falkon_throughput(256, false, 30000);
+  const double pbs = measure_lrm(lrm::pbs_v218_profile(), 100, 64);
+  note(strf("Falkon/PBS ratio: %.0fx (paper: ~1080x)", falkon / pbs));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared console-table helpers for the reproduction benchmarks. Every
+// bench prints the paper's expected numbers next to ours, so the output is
+// directly comparable with EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace falkon::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("  |");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("  |");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Sparse ASCII sparkline of a series (for figure-shaped outputs).
+inline std::string sparkline(const std::vector<double>& values,
+                             std::size_t width = 60) {
+  static const char* kLevels = " .:-=+*#%@";
+  if (values.empty()) return "";
+  double peak = 0.0;
+  for (double v : values) peak = std::max(peak, v);
+  if (peak <= 0) peak = 1.0;
+  std::string out;
+  const std::size_t stride = std::max<std::size_t>(1, values.size() / width);
+  for (std::size_t i = 0; i < values.size(); i += stride) {
+    double bucket = 0.0;
+    for (std::size_t j = i; j < std::min(values.size(), i + stride); ++j) {
+      bucket = std::max(bucket, values[j]);
+    }
+    const auto level = static_cast<std::size_t>(bucket / peak * 9.0);
+    out.push_back(kLevels[std::min<std::size_t>(level, 9)]);
+  }
+  return out;
+}
+
+}  // namespace falkon::bench

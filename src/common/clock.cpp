@@ -1,0 +1,60 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace falkon {
+namespace {
+
+double steady_now_s() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+RealClock::RealClock() : epoch_(steady_now_s()) {}
+
+double RealClock::now_s() const { return steady_now_s() - epoch_; }
+
+void RealClock::sleep_s(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ScaledClock::ScaledClock(double scale) : scale_(scale > 0 ? scale : 1.0) {}
+
+double ScaledClock::now_s() const { return real_.now_s() * scale_; }
+
+void ScaledClock::sleep_s(double seconds) { real_.sleep_s(seconds / scale_); }
+
+ManualClock::ManualClock(double start_s) : now_(start_s) {}
+
+double ManualClock::now_s() const {
+  std::lock_guard lock(mu_);
+  return now_;
+}
+
+void ManualClock::sleep_s(double seconds) {
+  std::unique_lock lock(mu_);
+  const double deadline = now_ + seconds;
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+void ManualClock::advance(double seconds) {
+  {
+    std::lock_guard lock(mu_);
+    now_ += seconds;
+  }
+  cv_.notify_all();
+}
+
+void ManualClock::set(double now_s) {
+  {
+    std::lock_guard lock(mu_);
+    if (now_s > now_) now_ = now_s;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace falkon

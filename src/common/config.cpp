@@ -1,0 +1,86 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace falkon {
+
+Result<Config> Config::parse(const std::string& text) {
+  Config config;
+  std::size_t line_number = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        strf("config line %zu: missing '=': %s", line_number,
+                             line.c_str()));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        strf("config line %zu: empty key", line_number));
+    }
+    config.set(key, value);
+  }
+  return config;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open config: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace falkon

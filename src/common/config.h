@@ -1,0 +1,38 @@
+// Flat key=value configuration with typed accessors; parsed from strings or
+// files. Used by examples and benchmark binaries to override model
+// parameters without recompiling.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace falkon {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(const std::string& text);
+  static Result<Config> load_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace falkon

@@ -1,0 +1,71 @@
+// Strongly-typed identifiers used across the Falkon framework.
+//
+// Every entity in the system (task, executor, client instance, node, batch
+// job, allocation request) carries its own id type so that ids cannot be
+// accidentally mixed: passing a TaskId where an ExecutorId is expected is a
+// compile error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace falkon {
+
+/// Generic strongly-typed 64-bit identifier. `Tag` is a phantom type.
+template <class Tag>
+struct Id {
+  std::uint64_t value{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+
+  [[nodiscard]] std::string str() const { return std::to_string(value); }
+};
+
+struct TaskTag {};
+struct ExecutorTag {};
+struct ClientTag {};
+struct InstanceTag {};
+struct NodeTag {};
+struct JobTag {};
+struct AllocationTag {};
+struct RequestTag {};
+
+using TaskId = Id<TaskTag>;
+using ExecutorId = Id<ExecutorTag>;
+using ClientId = Id<ClientTag>;
+/// A dispatcher "instance" in the factory/instance pattern (the EPR the
+/// client receives from create-instance, paper section 3.2).
+using InstanceId = Id<InstanceTag>;
+using NodeId = Id<NodeTag>;
+using JobId = Id<JobTag>;
+using AllocationId = Id<AllocationTag>;
+using RequestId = Id<RequestTag>;
+
+/// Monotonic id generator; thread-compatible (callers synchronise).
+template <class IdType>
+class IdGenerator {
+ public:
+  IdType next() { return IdType{++last_}; }
+
+ private:
+  std::uint64_t last_{0};
+};
+
+}  // namespace falkon
+
+namespace std {
+template <class Tag>
+struct hash<falkon::Id<Tag>> {
+  size_t operator()(falkon::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

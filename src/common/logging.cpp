@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace falkon {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex g_log_mutex;
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  using namespace std::chrono;
+  const double t =
+      duration<double>(steady_clock::now().time_since_epoch()).count();
+  std::lock_guard lock(g_log_mutex);
+  std::fprintf(stderr, "[%12.3f] %-5s %-12s %s\n", t, level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace falkon

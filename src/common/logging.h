@@ -1,0 +1,42 @@
+// Leveled logger. Default level is WARN so tests and benchmarks stay quiet;
+// examples raise it to INFO.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/strings.h"
+
+namespace falkon {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  void log(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+};
+
+#define FALKON_LOG(level, component, ...)                                  \
+  do {                                                                     \
+    if (::falkon::Logger::instance().enabled(level)) {                     \
+      ::falkon::Logger::instance().log(level, component,                   \
+                                       ::falkon::strf(__VA_ARGS__));       \
+    }                                                                      \
+  } while (0)
+
+#define LOG_DEBUG(component, ...) FALKON_LOG(::falkon::LogLevel::kDebug, component, __VA_ARGS__)
+#define LOG_INFO(component, ...) FALKON_LOG(::falkon::LogLevel::kInfo, component, __VA_ARGS__)
+#define LOG_WARN(component, ...) FALKON_LOG(::falkon::LogLevel::kWarn, component, __VA_ARGS__)
+#define LOG_ERROR(component, ...) FALKON_LOG(::falkon::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace falkon

@@ -1,0 +1,23 @@
+#include "common/result.h"
+
+namespace falkon {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kClosed: return "CLOSED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kProtocolError: return "PROTOCOL_ERROR";
+    case ErrorCode::kCapacity: return "CAPACITY";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace falkon

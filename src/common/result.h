@@ -1,0 +1,99 @@
+// Minimal expected-like Result type and error taxonomy.
+//
+// The framework reports recoverable failures (network errors, protocol
+// violations, queue shutdown, LRM rejections) through Result<T> rather than
+// exceptions, so that every call site is forced to consider the failure
+// path. Exceptions are reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace falkon {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kClosed,          // queue / connection / service shut down
+  kTimeout,
+  kIoError,         // socket or file failure
+  kProtocolError,   // malformed or unexpected message
+  kCapacity,        // resource limits exceeded
+  kUnavailable,     // transient: retry may succeed
+  kCancelled,
+  kInternal,
+};
+
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code{ErrorCode::kInternal};
+  std::string message;
+
+  [[nodiscard]] std::string str() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+/// Result<T>: either a value or an Error. Result<void> holds only status.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return {}; }
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace falkon

@@ -1,0 +1,55 @@
+// Deterministic random-number utilities.
+//
+// Simulations and workload generators must be reproducible under a seed, so
+// everything takes an explicit Rng rather than using global state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace falkon {
+
+/// SplitMix64: tiny, fast, good-enough statistical quality for workload
+/// generation and jitter models; fully deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  /// Exponential with the given mean (inter-arrival models).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace falkon

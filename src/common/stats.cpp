@@ -1,0 +1,170 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace falkon {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  moments_.add(x);
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / bin_width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const { return counts_[bin]; }
+
+double Histogram::bin_lower(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::quantile(double q) const {
+  const auto total = moments_.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * bin_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "%12.3f | %-*s %zu\n", bin_lower(i),
+                  static_cast<int>(width),
+                  std::string(bar, '#').c_str(), counts_[i]);
+    out += line;
+  }
+  return out;
+}
+
+MovingAverage::MovingAverage(std::size_t window)
+    : window_(window == 0 ? 1 : window, 0.0) {}
+
+void MovingAverage::add(double x) {
+  if (filled_ == window_.size()) {
+    sum_ -= window_[next_];
+  } else {
+    ++filled_;
+  }
+  window_[next_] = x;
+  sum_ += x;
+  next_ = (next_ + 1) % window_.size();
+}
+
+double MovingAverage::value() const {
+  if (filled_ == 0) return 0.0;
+  return sum_ / static_cast<double>(filled_);
+}
+
+void TimeSeries::add(double t, double value) {
+  // Keep the series time-sorted; out-of-order inserts are a logic error in
+  // callers but tolerated by clamping to the series end.
+  if (!points_.empty() && t < points_.back().t) t = points_.back().t;
+  points_.push_back({t, value});
+}
+
+double TimeSeries::last_time() const {
+  return points_.empty() ? 0.0 : points_.back().t;
+}
+
+double TimeSeries::last_value() const {
+  return points_.empty() ? 0.0 : points_.back().v;
+}
+
+double TimeSeries::sample(double t, double fallback) const {
+  if (points_.empty() || t < points_.front().t) return fallback;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double lhs, const Point& p) { return lhs < p.t; });
+  return std::prev(it)->v;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::resample(double t0,
+                                                            double t1,
+                                                            double step) const {
+  std::vector<std::pair<double, double>> grid;
+  if (step <= 0) return grid;
+  for (double t = t0; t <= t1 + step * 0.5; t += step) {
+    grid.emplace_back(t, sample(t));
+  }
+  return grid;
+}
+
+double TimeSeries::integrate(double t0, double t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double total = 0.0;
+  double prev_t = t0;
+  double prev_v = sample(t0);
+  for (const auto& p : points_) {
+    if (p.t <= t0) continue;
+    if (p.t >= t1) break;
+    total += prev_v * (p.t - prev_t);
+    prev_t = p.t;
+    prev_v = p.v;
+  }
+  total += prev_v * (t1 - prev_t);
+  return total;
+}
+
+ThroughputSampler::ThroughputSampler(double interval_s)
+    : interval_s_(interval_s > 0 ? interval_s : 1.0) {}
+
+void ThroughputSampler::record(double t) {
+  if (t < 0) t = 0;
+  const auto slot = static_cast<std::size_t>(t / interval_s_);
+  if (slot >= samples_.size()) samples_.resize(slot + 1, 0);
+  ++samples_[slot];
+}
+
+std::vector<double> ThroughputSampler::moving_average(
+    std::size_t window) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  MovingAverage ma(window);
+  for (auto s : samples_) {
+    ma.add(static_cast<double>(s) / interval_s_);
+    out.push_back(ma.value());
+  }
+  return out;
+}
+
+}  // namespace falkon

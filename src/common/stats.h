@@ -1,0 +1,125 @@
+// Statistics utilities used by the benchmark harnesses and by the
+// dispatcher's self-metrics: streaming accumulators, histograms, windowed
+// moving averages (Figure 8 plots a 60-sample moving average of raw
+// throughput), and time series for the provisioning traces (Figures 12/13).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace falkon {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// clamped edge bins. Also keeps an Accumulator for the moments.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] const Accumulator& moments() const { return moments_; }
+
+  /// Approximate quantile (0..1) by linear interpolation within a bin.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::size_t> counts_;
+  Accumulator moments_;
+};
+
+/// Moving average over a fixed window of samples.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double x);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] bool full() const { return filled_ == window_.size(); }
+
+ private:
+  std::vector<double> window_;
+  std::size_t next_{0};
+  std::size_t filled_{0};
+  double sum_{0.0};
+};
+
+/// (time, value) series with fixed-interval resampling for plots/tables.
+class TimeSeries {
+ public:
+  void add(double t, double value);
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double time_at(std::size_t i) const { return points_[i].t; }
+  [[nodiscard]] double value_at(std::size_t i) const { return points_[i].v; }
+  [[nodiscard]] double last_time() const;
+  [[nodiscard]] double last_value() const;
+
+  /// Step-function value at time t (last point with time <= t), or
+  /// `fallback` before the first point.
+  [[nodiscard]] double sample(double t, double fallback = 0.0) const;
+
+  /// Resample onto a regular grid [t0, t1] with the given step.
+  [[nodiscard]] std::vector<std::pair<double, double>> resample(
+      double t0, double t1, double step) const;
+
+  /// Time integral of the step function between t0 and t1 (used for
+  /// resource-seconds accounting in Table 4).
+  [[nodiscard]] double integrate(double t0, double t1) const;
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+/// Counts completions per fixed interval; yields raw throughput samples and
+/// their moving average, as plotted in Figure 8.
+class ThroughputSampler {
+ public:
+  explicit ThroughputSampler(double interval_s = 1.0);
+
+  void record(double t);  // one completion at time t
+  [[nodiscard]] const std::vector<std::size_t>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] double interval() const { return interval_s_; }
+  [[nodiscard]] std::vector<double> moving_average(std::size_t window) const;
+
+ private:
+  double interval_s_;
+  std::vector<std::size_t> samples_;
+};
+
+}  // namespace falkon

@@ -1,0 +1,66 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace falkon {
+
+std::string strf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  if (bytes >= 1ULL << 30) return strf("%.3g GB", static_cast<double>(bytes) / (1ULL << 30));
+  if (bytes >= 1ULL << 20) return strf("%.3g MB", static_cast<double>(bytes) / (1ULL << 20));
+  if (bytes >= 1ULL << 10) return strf("%.3g KB", static_cast<double>(bytes) / (1ULL << 10));
+  return strf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string human_duration(double seconds) {
+  if (seconds >= 3600.0) return strf("%.2f h", seconds / 3600.0);
+  if (seconds >= 120.0) return strf("%.1f min", seconds / 60.0);
+  return strf("%.2f s", seconds);
+}
+
+}  // namespace falkon

@@ -1,0 +1,27 @@
+// Small string helpers (printf-style formatting, split/trim, byte and
+// duration pretty-printers for benchmark tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace falkon {
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string strf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[nodiscard]] std::vector<std::string> split(const std::string& text,
+                                             char separator);
+[[nodiscard]] std::string trim(const std::string& text);
+[[nodiscard]] bool starts_with(const std::string& text,
+                               const std::string& prefix);
+
+/// "1 B", "10 KB", "1 MB", "1 GB" — used for Figure 4 axis labels.
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// "62.0 s", "3.2 min", "1.9 h".
+[[nodiscard]] std::string human_duration(double seconds);
+
+}  // namespace falkon

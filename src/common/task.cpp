@@ -1,0 +1,45 @@
+#include "common/task.h"
+
+namespace falkon {
+
+const char* task_state_name(TaskState state) {
+  switch (state) {
+    case TaskState::kPending: return "PENDING";
+    case TaskState::kQueued: return "QUEUED";
+    case TaskState::kDispatched: return "DISPATCHED";
+    case TaskState::kRunning: return "RUNNING";
+    case TaskState::kCompleted: return "COMPLETED";
+    case TaskState::kFailed: return "FAILED";
+    case TaskState::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+TaskSpec make_sleep_task(TaskId id, double seconds) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.executable = "sleep";
+  spec.args = {std::to_string(seconds)};
+  spec.estimated_runtime_s = seconds;
+  spec.capture_output = false;
+  return spec;
+}
+
+TaskSpec make_noop_task(TaskId id) { return make_sleep_task(id, 0.0); }
+
+TaskSpec make_data_task(TaskId id, double compute_s, DataLocation location,
+                        IoMode mode, std::uint64_t input_bytes,
+                        std::uint64_t output_bytes) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.executable = "data-task";
+  spec.estimated_runtime_s = compute_s;
+  spec.data_location = location;
+  spec.io_mode = mode;
+  spec.input_bytes = input_bytes;
+  spec.output_bytes = output_bytes;
+  spec.capture_output = false;
+  return spec;
+}
+
+}  // namespace falkon

@@ -1,0 +1,95 @@
+// Task model: specification, status, and result.
+//
+// Mirrors the Falkon client "submit" payload (paper section 3.2): each task
+// carries a working directory, command, arguments and environment, and the
+// result carries the exit code plus optional STDOUT/STDERR contents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace falkon {
+
+/// Where a task's data lives; consumed by the I/O model and the data-aware
+/// dispatch policy (paper sections 4.2 and 6).
+enum class DataLocation : std::uint8_t {
+  kNone = 0,    // task touches no data
+  kSharedFs,    // GPFS-like shared file system
+  kLocalDisk,   // local disk of the compute node
+};
+
+enum class IoMode : std::uint8_t {
+  kNone = 0,
+  kRead,       // task reads `input_bytes`
+  kReadWrite,  // task reads `input_bytes` and writes `output_bytes`
+};
+
+struct TaskSpec {
+  TaskId id;
+  std::string executable;              // command to execute
+  std::vector<std::string> args;       // command arguments
+  std::string working_dir;
+  std::map<std::string, std::string> env;
+
+  /// Estimated runtime in seconds; used by dispatcher-executor bundling
+  /// balancing and by the simulation substrates. Zero means unknown.
+  double estimated_runtime_s{0.0};
+
+  // Data staging description (section 4.2 experiments).
+  DataLocation data_location{DataLocation::kNone};
+  IoMode io_mode{IoMode::kNone};
+  std::uint64_t input_bytes{0};
+  std::uint64_t output_bytes{0};
+
+  /// Logical name of the primary input object, for data-aware scheduling
+  /// and executor-side caching (section 6 future work).
+  std::string data_object;
+
+  /// Whether the client wants STDOUT/STDERR contents returned.
+  bool capture_output{true};
+};
+
+enum class TaskState : std::uint8_t {
+  kPending = 0,   // known to client, not yet submitted
+  kQueued,        // in the dispatcher wait queue
+  kDispatched,    // sent to an executor, not yet started
+  kRunning,       // executing on an executor
+  kCompleted,     // finished with exit code 0
+  kFailed,        // finished with non-zero exit code or engine failure
+  kCancelled,
+};
+
+[[nodiscard]] const char* task_state_name(TaskState state);
+
+struct TaskResult {
+  TaskId task_id;
+  ExecutorId executor_id;
+  int exit_code{0};
+  TaskState state{TaskState::kCompleted};
+  std::string stdout_data;
+  std::string stderr_data;
+
+  // Timing breakdown, seconds on the executing side's clock.
+  double queue_time_s{0.0};    // submit -> dispatch
+  double exec_time_s{0.0};     // start -> finish on executor
+  double overhead_s{0.0};      // total round-trip minus exec time
+
+  [[nodiscard]] bool success() const {
+    return state == TaskState::kCompleted && exit_code == 0;
+  }
+};
+
+/// Convenience builders for the synthetic workloads used throughout the
+/// evaluation.
+[[nodiscard]] TaskSpec make_sleep_task(TaskId id, double seconds);
+[[nodiscard]] TaskSpec make_noop_task(TaskId id);
+[[nodiscard]] TaskSpec make_data_task(TaskId id, double compute_s,
+                                      DataLocation location, IoMode mode,
+                                      std::uint64_t input_bytes,
+                                      std::uint64_t output_bytes);
+
+}  // namespace falkon

@@ -1,0 +1,74 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+namespace falkon::core {
+
+Result<std::unique_ptr<FalkonSession>> FalkonSession::open(
+    DispatcherClient& client, ClientId client_id, SessionOptions options) {
+  auto instance = client.create_instance(client_id);
+  if (!instance.ok()) return instance.error();
+  if (options.bundle_size == 0) options.bundle_size = 1;
+  return std::unique_ptr<FalkonSession>(
+      new FalkonSession(client, instance.value(), options));
+}
+
+FalkonSession::~FalkonSession() { (void)client_.destroy_instance(instance_); }
+
+Status FalkonSession::submit(std::vector<TaskSpec> tasks) {
+  std::size_t at = 0;
+  while (at < tasks.size()) {
+    const std::size_t n = std::min(options_.bundle_size, tasks.size() - at);
+    std::vector<TaskSpec> bundle(
+        std::make_move_iterator(tasks.begin() + static_cast<std::ptrdiff_t>(at)),
+        std::make_move_iterator(tasks.begin() +
+                                static_cast<std::ptrdiff_t>(at + n)));
+    auto accepted = client_.submit(instance_, std::move(bundle));
+    if (!accepted.ok()) return accepted.error();
+    submitted_ += accepted.value();
+    at += n;
+  }
+  return ok_status();
+}
+
+Result<std::vector<TaskResult>> FalkonSession::wait(std::size_t count,
+                                                    double deadline_s) {
+  std::vector<TaskResult> collected;
+  // deadline_s bounds *idle* waiting: the budget resets whenever results
+  // arrive, so a long healthy run is never cut off mid-stream.
+  double idle_waited = 0.0;
+  while (collected.size() < count) {
+    const double slice =
+        std::min(options_.poll_timeout_s, deadline_s - idle_waited);
+    if (slice <= 0) {
+      return make_error(
+          ErrorCode::kTimeout,
+          "timed out with " + std::to_string(collected.size()) + "/" +
+              std::to_string(count) + " results");
+    }
+    auto batch = client_.wait_results(
+        instance_, static_cast<std::uint32_t>(count - collected.size()), slice);
+    if (!batch.ok()) return batch.error();
+    if (batch.value().empty()) {
+      idle_waited += slice;
+    } else {
+      idle_waited = 0.0;
+    }
+    for (auto& result : batch.value()) {
+      collected.push_back(std::move(result));
+    }
+  }
+  received_ += collected.size();
+  return collected;
+}
+
+Result<std::vector<TaskResult>> FalkonSession::run(std::vector<TaskSpec> tasks,
+                                                   double deadline_s) {
+  const std::size_t count = tasks.size();
+  if (auto status = submit(std::move(tasks)); !status.ok()) {
+    return status.error();
+  }
+  return wait(count, deadline_s);
+}
+
+}  // namespace falkon::core

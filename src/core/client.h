@@ -1,0 +1,107 @@
+// Client-side API.
+//
+// DispatcherClient is the transport-neutral client view of the dispatcher
+// (in-process direct calls or TCP RPC). FalkonSession is the user-facing
+// convenience: it owns one dispatcher instance (the "EPR" from the factory
+// pattern), splits submissions into bundles (client-dispatcher bundling,
+// section 3.4), and accumulates results.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/task.h"
+#include "core/dispatcher.h"
+
+namespace falkon::core {
+
+class DispatcherClient {
+ public:
+  virtual ~DispatcherClient() = default;
+
+  virtual Result<InstanceId> create_instance(ClientId client) = 0;
+  virtual Result<std::uint64_t> submit(InstanceId instance,
+                                       std::vector<TaskSpec> tasks) = 0;
+  virtual Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                                       std::uint32_t max_results,
+                                                       double timeout_s) = 0;
+  virtual Status destroy_instance(InstanceId instance) = 0;
+  virtual Result<DispatcherStatus> status() = 0;
+};
+
+/// Direct in-process client.
+class LocalDispatcherClient final : public DispatcherClient {
+ public:
+  explicit LocalDispatcherClient(Dispatcher& dispatcher)
+      : dispatcher_(dispatcher) {}
+
+  Result<InstanceId> create_instance(ClientId client) override {
+    return dispatcher_.create_instance(client);
+  }
+  Result<std::uint64_t> submit(InstanceId instance,
+                               std::vector<TaskSpec> tasks) override {
+    return dispatcher_.submit(instance, std::move(tasks));
+  }
+  Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                               std::uint32_t max_results,
+                                               double timeout_s) override {
+    return dispatcher_.wait_results(instance, max_results, timeout_s);
+  }
+  Status destroy_instance(InstanceId instance) override {
+    return dispatcher_.destroy_instance(instance);
+  }
+  Result<DispatcherStatus> status() override { return dispatcher_.status(); }
+
+ private:
+  Dispatcher& dispatcher_;
+};
+
+struct SessionOptions {
+  /// Tasks per submit message (client-dispatcher bundling). The paper finds
+  /// a sweet spot below ~300 tasks per bundle.
+  std::size_t bundle_size{100};
+  /// Default wait_results timeout slice.
+  double poll_timeout_s{1.0};
+};
+
+class FalkonSession {
+ public:
+  /// Create an instance on the dispatcher; destroyed with the session.
+  static Result<std::unique_ptr<FalkonSession>> open(DispatcherClient& client,
+                                                     ClientId client_id,
+                                                     SessionOptions options = {});
+  ~FalkonSession();
+
+  FalkonSession(const FalkonSession&) = delete;
+  FalkonSession& operator=(const FalkonSession&) = delete;
+
+  /// Submit tasks, bundling them per SessionOptions.
+  Status submit(std::vector<TaskSpec> tasks);
+
+  /// Wait until `count` results arrived (across calls) or `deadline_s`
+  /// model-seconds elapsed; returns the newly collected results.
+  Result<std::vector<TaskResult>> wait(std::size_t count, double deadline_s);
+
+  /// submit + wait for exactly tasks.size() results.
+  Result<std::vector<TaskResult>> run(std::vector<TaskSpec> tasks,
+                                      double deadline_s);
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  FalkonSession(DispatcherClient& client, InstanceId instance,
+                SessionOptions options)
+      : client_(client), instance_(instance), options_(options) {}
+
+  DispatcherClient& client_;
+  InstanceId instance_;
+  SessionOptions options_;
+  std::uint64_t submitted_{0};
+  std::uint64_t received_{0};
+};
+
+}  // namespace falkon::core

@@ -1,0 +1,501 @@
+#include "core/dispatcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace falkon::core {
+
+wire::StatusReply DispatcherStatus::to_wire() const {
+  wire::StatusReply reply;
+  reply.queued_tasks = queued;
+  reply.dispatched_tasks = dispatched;
+  reply.completed_tasks = completed;
+  reply.failed_tasks = failed;
+  reply.registered_executors = registered_executors;
+  reply.busy_executors = busy_executors;
+  return reply;
+}
+
+Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
+                       std::unique_ptr<DispatchPolicy> policy)
+    : clock_(clock),
+      config_(config),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<NextAvailablePolicy>()),
+      notify_pool_(static_cast<std::size_t>(std::max(1, config.notify_threads)),
+                   "notify") {}
+
+Dispatcher::~Dispatcher() { shutdown(); }
+
+void Dispatcher::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [id, instance] : instances_) {
+      std::lock_guard ilock(instance->mu);
+      instance->open = false;
+      instance->cv.notify_all();
+    }
+  }
+  notify_pool_.shutdown();
+}
+
+Result<InstanceId> Dispatcher::create_instance(ClientId client) {
+  std::lock_guard lock(mu_);
+  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  const InstanceId id = instance_ids_.next();
+  auto instance = std::make_shared<Instance>();
+  instance->client = client;
+  instances_[id.value] = std::move(instance);
+  return id;
+}
+
+Status Dispatcher::destroy_instance(InstanceId instance_id) {
+  std::shared_ptr<Instance> instance;
+  {
+    std::lock_guard lock(mu_);
+    auto it = instances_.find(instance_id.value);
+    if (it == instances_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such instance");
+    }
+    instance = it->second;
+    instances_.erase(it);
+    // Drop this instance's queued tasks; in-flight ones will be discarded
+    // at delivery time because the instance is gone.
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [&](const QueuedTask& task) {
+                                  return task.instance == instance_id;
+                                }),
+                 queue_.end());
+    counters_.queued = queue_.size();
+  }
+  {
+    std::lock_guard ilock(instance->mu);
+    instance->open = false;
+  }
+  instance->cv.notify_all();
+  return ok_status();
+}
+
+Result<std::uint64_t> Dispatcher::submit(InstanceId instance_id,
+                                         std::vector<TaskSpec> tasks) {
+  std::lock_guard lock(mu_);
+  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  if (instances_.find(instance_id.value) == instances_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such instance");
+  }
+  const double now = clock_.now_s();
+  for (auto& spec : tasks) {
+    if (!spec.id.valid()) {
+      return make_error(ErrorCode::kInvalidArgument, "task without id");
+    }
+    QueuedTask task;
+    task.instance = instance_id;
+    task.spec = std::move(spec);
+    task.enqueue_s = now;
+    queue_.push_back(std::move(task));
+  }
+  const auto accepted = static_cast<std::uint64_t>(tasks.size());
+  counters_.submitted += accepted;
+  counters_.queued = queue_.size();
+  pump_notifications_locked();
+  return accepted;
+}
+
+Result<std::vector<TaskResult>> Dispatcher::wait_results(
+    InstanceId instance_id, std::uint32_t max_results, double timeout_s) {
+  std::shared_ptr<Instance> instance;
+  {
+    std::lock_guard lock(mu_);
+    auto it = instances_.find(instance_id.value);
+    if (it == instances_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such instance");
+    }
+    instance = it->second;
+  }
+  if (max_results == 0) max_results = 1;
+  // Model-time timeout -> real wait for scaled clocks.
+  const double real_timeout = timeout_s / clock_.rate();
+  std::unique_lock ilock(instance->mu);
+  instance->cv.wait_for(
+      ilock, std::chrono::duration<double>(real_timeout),
+      [&] { return !instance->results.empty() || !instance->open; });
+  std::vector<TaskResult> out;
+  while (!instance->results.empty() && out.size() < max_results) {
+    out.push_back(std::move(instance->results.front()));
+    instance->results.pop_front();
+  }
+  if (out.empty() && !instance->open) {
+    return make_error(ErrorCode::kClosed, "instance destroyed");
+  }
+  return out;
+}
+
+Result<ExecutorId> Dispatcher::register_executor(
+    const wire::RegisterRequest& request, std::shared_ptr<ExecutorSink> sink) {
+  std::lock_guard lock(mu_);
+  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  const ExecutorId id = executor_ids_.next();
+  ExecutorEntry entry;
+  entry.id = id;
+  entry.info = request;
+  entry.sink = std::move(sink);
+  entry.registered_s = clock_.now_s();
+  executors_[id.value] = std::move(entry);
+  counters_.registered_executors =
+      static_cast<std::uint32_t>(executors_.size());
+  pump_notifications_locked();
+  return id;
+}
+
+Status Dispatcher::deregister_executor(ExecutorId executor_id,
+                                       const std::string& reason) {
+  std::lock_guard lock(mu_);
+  auto it = executors_.find(executor_id.value);
+  if (it == executors_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such executor");
+  }
+  // Requeue anything in flight on this executor.
+  std::vector<std::uint64_t> orphaned;
+  for (const auto& [task_id, dispatched] : dispatched_) {
+    if (dispatched.executor == executor_id) orphaned.push_back(task_id);
+  }
+  for (auto task_id : orphaned) {
+    auto node = dispatched_.extract(task_id);
+    requeue_locked(std::move(node.mapped()), /*front=*/true);
+  }
+  executors_.erase(it);
+  counters_.registered_executors =
+      static_cast<std::uint32_t>(executors_.size());
+  LOG_DEBUG("dispatcher", "executor %llu deregistered (%s), %zu tasks requeued",
+            static_cast<unsigned long long>(executor_id.value), reason.c_str(),
+            orphaned.size());
+  pump_notifications_locked();
+  return ok_status();
+}
+
+ExecutorCandidate Dispatcher::candidate_locked(const ExecutorEntry& entry) {
+  ExecutorCandidate candidate;
+  candidate.id = entry.id;
+  const auto* objects = &entry.cached_objects;
+  candidate.has_cached = [objects](const std::string& object) {
+    return objects->count(object) > 0;
+  };
+  return candidate;
+}
+
+void Dispatcher::pump_notifications_locked() {
+  if (shutdown_) return;
+  // Offer the queue head to idle executors, chosen by the dispatch policy,
+  // until we run out of either queued tasks or idle executors.
+  std::size_t queued = queue_.size();
+  while (queued > 0) {
+    std::vector<ExecutorCandidate> idle;
+    std::vector<ExecutorEntry*> idle_entries;
+    for (auto& [id, entry] : executors_) {
+      if (entry.state == ExecState::kIdle && !entry.release_requested) {
+        idle.push_back(candidate_locked(entry));
+        idle_entries.push_back(&entry);
+      }
+    }
+    if (idle.empty()) return;
+    const std::size_t pick = std::min(
+        policy_->select(queue_.front().spec, idle), idle.size() - 1);
+    ExecutorEntry& chosen = *idle_entries[pick];
+    chosen.state = ExecState::kNotified;
+    auto sink = chosen.sink;
+    const ExecutorId id = chosen.id;
+    // The notification itself happens on the engine's thread pool {3}.
+    (void)notify_pool_.submit([sink, id] {
+      if (sink) sink->notify(id, id.value);
+    });
+    --queued;
+  }
+}
+
+std::vector<TaskSpec> Dispatcher::take_work_locked(ExecutorEntry& entry,
+                                                   std::uint32_t max_tasks) {
+  max_tasks = std::min(max_tasks, config_.max_tasks_per_dispatch);
+  if (max_tasks == 0) max_tasks = 1;
+  std::vector<TaskSpec> out;
+  double bundle_runtime = 0.0;
+  const double now = clock_.now_s();
+  while (out.size() < max_tasks && !queue_.empty()) {
+    // Let the policy pick a task from a lookahead window (data-aware
+    // scheduling); next-available always takes the head.
+    std::vector<const TaskSpec*> window;
+    const std::size_t window_size = std::min<std::size_t>(queue_.size(), 64);
+    window.reserve(window_size);
+    for (std::size_t i = 0; i < window_size; ++i) {
+      window.push_back(&queue_[i].spec);
+    }
+    const std::size_t pick =
+        std::min(policy_->select_task(candidate_locked(entry), window),
+                 window_size - 1);
+    // Estimate-balanced bundling: never grow a non-empty bundle past the
+    // runtime budget (section 3.4's runtime-estimate fix for imbalance).
+    if (config_.max_bundle_runtime_s > 0 && !out.empty() &&
+        bundle_runtime + queue_[pick].spec.estimated_runtime_s >
+            config_.max_bundle_runtime_s) {
+      break;
+    }
+    QueuedTask task = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    DispatchedTask dispatched;
+    dispatched.instance = task.instance;
+    dispatched.executor = entry.id;
+    dispatched.enqueue_s = task.enqueue_s;
+    dispatched.dispatch_s = now;
+    dispatched.attempts = task.attempts;
+    dispatched.spec = task.spec;
+    const std::uint64_t task_id = task.spec.id.value;
+    bundle_runtime += task.spec.estimated_runtime_s;
+    out.push_back(std::move(task.spec));
+    dispatched_[task_id] = std::move(dispatched);
+  }
+  if (!out.empty()) {
+    entry.state = ExecState::kBusy;
+    entry.inflight += static_cast<std::uint32_t>(out.size());
+  } else if (entry.inflight == 0) {
+    entry.state = ExecState::kIdle;
+  }
+  counters_.queued = queue_.size();
+  counters_.dispatched = dispatched_.size();
+  std::uint32_t busy = 0;
+  for (const auto& [id, e] : executors_) {
+    if (e.state == ExecState::kBusy) ++busy;
+  }
+  counters_.busy_executors = busy;
+  counters_.idle_executors =
+      static_cast<std::uint32_t>(executors_.size()) - busy;
+  return out;
+}
+
+Result<std::vector<TaskSpec>> Dispatcher::get_work(ExecutorId executor_id,
+                                                   std::uint32_t max_tasks) {
+  std::lock_guard lock(mu_);
+  auto it = executors_.find(executor_id.value);
+  if (it == executors_.end()) {
+    return make_error(ErrorCode::kNotFound, "executor not registered");
+  }
+  return take_work_locked(it->second, max_tasks);
+}
+
+void Dispatcher::route_result(InstanceId instance_id,
+                              const std::shared_ptr<Instance>& instance,
+                              TaskResult result) {
+  std::size_t ready;
+  {
+    std::lock_guard ilock(instance->mu);
+    if (!instance->open) return;
+    instance->results.push_back(std::move(result));
+    ready = instance->results.size();
+  }
+  instance->cv.notify_all();
+  // Client notification {8}, sent off the delivery path.
+  std::shared_ptr<ClientSink> sink;
+  {
+    std::lock_guard lock(mu_);
+    sink = client_sink_;
+  }
+  if (sink) {
+    (void)notify_pool_.submit([sink, instance_id, ready] {
+      sink->notify(instance_id, ready);
+    });
+  }
+}
+
+Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
+    ExecutorId executor_id, std::vector<TaskResult> results,
+    std::uint32_t want_tasks) {
+  std::vector<std::pair<InstanceId,
+                        std::pair<std::shared_ptr<Instance>, TaskResult>>>
+      to_route;
+  DeliverOutcome outcome;
+  {
+    std::lock_guard lock(mu_);
+    auto it = executors_.find(executor_id.value);
+    if (it == executors_.end()) {
+      return make_error(ErrorCode::kNotFound, "executor not registered");
+    }
+    ExecutorEntry& entry = it->second;
+    const double now = clock_.now_s();
+
+    for (auto& result : results) {
+      auto dit = dispatched_.find(result.task_id.value);
+      if (dit == dispatched_.end()) {
+        // Late duplicate of a task already replayed elsewhere: drop it so
+        // the client sees exactly one result per task.
+        continue;
+      }
+      DispatchedTask dispatched = std::move(dit->second);
+      dispatched_.erase(dit);
+      if (entry.inflight > 0) --entry.inflight;
+      ++outcome.acknowledged;
+
+      result.queue_time_s = dispatched.dispatch_s - dispatched.enqueue_s;
+      result.overhead_s = (now - dispatched.dispatch_s) - result.exec_time_s;
+      result.executor_id = executor_id;
+      overhead_stats_.add(result.overhead_s);
+      if (completion_listener_) completion_listener_(result, now);
+
+      // Mirror the executor's data cache for data-aware dispatch.
+      if (!dispatched.spec.data_object.empty()) {
+        entry.cached_objects.insert(dispatched.spec.data_object);
+      }
+
+      const bool failed = !result.success();
+      if (failed && config_.replay.retry_on_failure &&
+          dispatched.attempts < config_.replay.max_retries) {
+        ++dispatched.attempts;
+        ++counters_.retried;
+        requeue_locked(std::move(dispatched), /*front=*/false);
+        continue;
+      }
+
+      if (failed) {
+        ++counters_.failed;
+      } else {
+        ++counters_.completed;
+      }
+      auto iit = instances_.find(dispatched.instance.value);
+      if (iit != instances_.end()) {
+        to_route.emplace_back(dispatched.instance,
+                              std::make_pair(iit->second, std::move(result)));
+      }
+    }
+
+    // Piggy-back new work on the acknowledgement {7} (section 3.4).
+    if (want_tasks > 0 && config_.piggyback && !entry.release_requested) {
+      outcome.piggyback = take_work_locked(entry, want_tasks);
+    }
+    if (outcome.piggyback.empty()) {
+      if (entry.inflight == 0) {
+        entry.state = ExecState::kIdle;
+      }
+      pump_notifications_locked();
+    }
+    counters_.queued = queue_.size();
+    counters_.dispatched = dispatched_.size();
+    std::uint32_t busy = 0;
+    for (const auto& [id, e] : executors_) {
+      if (e.state == ExecState::kBusy) ++busy;
+    }
+    counters_.busy_executors = busy;
+    counters_.idle_executors =
+        static_cast<std::uint32_t>(executors_.size()) - busy;
+  }
+  for (auto& [instance_id, payload] : to_route) {
+    route_result(instance_id, payload.first, std::move(payload.second));
+  }
+  return outcome;
+}
+
+void Dispatcher::note_cached_object(ExecutorId executor_id,
+                                    const std::string& object) {
+  if (object.empty()) return;
+  std::lock_guard lock(mu_);
+  auto it = executors_.find(executor_id.value);
+  if (it != executors_.end()) it->second.cached_objects.insert(object);
+}
+
+void Dispatcher::requeue_locked(DispatchedTask task, bool front) {
+  QueuedTask queued;
+  queued.instance = task.instance;
+  queued.spec = std::move(task.spec);
+  queued.enqueue_s = task.enqueue_s;
+  queued.attempts = task.attempts;
+  if (front) {
+    queue_.push_front(std::move(queued));
+  } else {
+    queue_.push_back(std::move(queued));
+  }
+  counters_.queued = queue_.size();
+}
+
+DispatcherStatus Dispatcher::status() const {
+  std::lock_guard lock(mu_);
+  DispatcherStatus snapshot = counters_;
+  snapshot.queued = queue_.size();
+  snapshot.dispatched = dispatched_.size();
+  snapshot.registered_executors =
+      static_cast<std::uint32_t>(executors_.size());
+  std::uint32_t busy = 0;
+  for (const auto& [id, entry] : executors_) {
+    if (entry.state == ExecState::kBusy) ++busy;
+  }
+  snapshot.busy_executors = busy;
+  snapshot.idle_executors = snapshot.registered_executors - busy;
+  return snapshot;
+}
+
+int Dispatcher::check_replays() {
+  if (config_.replay.response_timeout_s <= 0) return 0;
+  std::lock_guard lock(mu_);
+  const double now = clock_.now_s();
+  std::vector<std::uint64_t> overdue;
+  for (const auto& [task_id, task] : dispatched_) {
+    const double deadline = task.dispatch_s + config_.replay.response_timeout_s +
+                            task.spec.estimated_runtime_s;
+    if (now >= deadline && task.attempts < config_.replay.max_retries) {
+      overdue.push_back(task_id);
+    }
+  }
+  for (auto task_id : overdue) {
+    auto node = dispatched_.extract(task_id);
+    DispatchedTask task = std::move(node.mapped());
+    auto eit = executors_.find(task.executor.value);
+    if (eit != executors_.end() && eit->second.inflight > 0) {
+      --eit->second.inflight;
+      if (eit->second.inflight == 0) eit->second.state = ExecState::kIdle;
+    }
+    ++task.attempts;
+    ++counters_.retried;
+    requeue_locked(std::move(task), /*front=*/true);
+  }
+  if (!overdue.empty()) pump_notifications_locked();
+  return static_cast<int>(overdue.size());
+}
+
+std::vector<ExecutorId> Dispatcher::request_release(int count) {
+  std::vector<ExecutorId> released;
+  std::vector<std::pair<std::shared_ptr<ExecutorSink>, ExecutorId>> to_notify;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, entry] : executors_) {
+      if (static_cast<int>(released.size()) >= count) break;
+      if (entry.state == ExecState::kIdle && !entry.release_requested) {
+        entry.release_requested = true;
+        released.push_back(entry.id);
+        to_notify.emplace_back(entry.sink, entry.id);
+      }
+    }
+  }
+  for (auto& [sink, id] : to_notify) {
+    if (sink) sink->notify(id, kReleaseResourceKey);
+  }
+  return released;
+}
+
+void Dispatcher::set_completion_listener(
+    std::function<void(const TaskResult&, double)> listener) {
+  std::lock_guard lock(mu_);
+  completion_listener_ = std::move(listener);
+}
+
+void Dispatcher::set_client_sink(std::shared_ptr<ClientSink> sink) {
+  std::lock_guard lock(mu_);
+  client_sink_ = std::move(sink);
+}
+
+Accumulator Dispatcher::overhead_stats() const {
+  std::lock_guard lock(mu_);
+  return overhead_stats_;
+}
+
+}  // namespace falkon::core

@@ -1,0 +1,244 @@
+// The Falkon dispatcher (paper sections 3.2-3.4).
+//
+// "The dispatcher accepts tasks from clients and implements the dispatch
+// policy." It is deliberately *streamlined*: no multiple queues, no
+// priorities, no accounting — a single FIFO wait queue per service, an
+// executor registry, and a notification engine. That narrowness is the
+// paper's core claim: it buys 2-3 orders of magnitude in dispatch
+// throughput over full-featured LRMs.
+//
+// Client side (factory/instance pattern): create_instance() returns an
+// InstanceId (the "EPR"); submit/wait_results/destroy operate on it.
+// Executor side (hybrid push/pull, section 3.3): the dispatcher pushes a
+// notification through an ExecutorSink {3}; the executor pulls work with
+// get_work {4,5}, executes, and delivers results {6}; the acknowledgement
+// {7} optionally piggy-backs the next task(s) (section 3.4).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/task.h"
+#include "common/thread_pool.h"
+#include "core/policies.h"
+#include "wire/message.h"
+
+namespace falkon::core {
+
+/// Release sentinel (see wire/message.h), re-exported for core users.
+using wire::kReleaseResourceKey;
+
+struct DispatcherConfig {
+  /// Threads in the notification engine (paper: "a pool of threads operate
+  /// to send out notifications").
+  int notify_threads{4};
+  ReplayPolicy replay;
+  /// Piggy-back new tasks on result acknowledgements (section 3.4).
+  bool piggyback{true};
+  /// Dispatcher->executor bundling cap per exchange. The paper keeps this
+  /// at 1 ("every task is transmitted individually from dispatcher to an
+  /// executor") because it lacks runtime estimates; larger values enable
+  /// the ablation.
+  std::uint32_t max_tasks_per_dispatch{1};
+
+  /// Estimate-balanced bundling (section 3.4: load imbalance from
+  /// dispatcher-executor bundling "can be addressed by having clients
+  /// assign each task an estimated runtime"): a bundle stops growing once
+  /// its summed estimated runtime reaches this budget, so one executor is
+  /// never handed many long tasks. 0 disables the budget (count-only cap).
+  double max_bundle_runtime_s{0.0};
+};
+
+struct DispatcherStatus {
+  std::uint64_t submitted{0};
+  std::uint64_t queued{0};
+  std::uint64_t dispatched{0};  // currently on executors
+  std::uint64_t completed{0};
+  std::uint64_t failed{0};
+  std::uint64_t retried{0};
+  std::uint32_t registered_executors{0};
+  std::uint32_t busy_executors{0};
+  std::uint32_t idle_executors{0};
+
+  [[nodiscard]] wire::StatusReply to_wire() const;
+};
+
+/// How the dispatcher pushes notifications to one executor. In-process
+/// deployments wake the executor runtime directly; the TCP deployment
+/// writes a frame on the notification channel.
+class ExecutorSink {
+ public:
+  virtual ~ExecutorSink() = default;
+  virtual void notify(ExecutorId id, std::uint64_t resource_key) = 0;
+};
+
+/// How the dispatcher notifies clients that results are ready for pick-up
+/// (message {8} of paper Figure 2). Optional: clients may instead poll
+/// wait_results (the paper's firewall-bypass mode).
+class ClientSink {
+ public:
+  virtual ~ClientSink() = default;
+  virtual void notify(InstanceId instance, std::uint64_t results_ready) = 0;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(Clock& clock, DispatcherConfig config,
+             std::unique_ptr<DispatchPolicy> policy = nullptr);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // ---- client operations (factory/instance pattern) ----
+  Result<InstanceId> create_instance(ClientId client);
+  Status destroy_instance(InstanceId instance);
+
+  /// Bundled submit {1,2}; returns the number of tasks accepted.
+  Result<std::uint64_t> submit(InstanceId instance, std::vector<TaskSpec> tasks);
+
+  /// Blocking result pick-up {9,10}: waits until at least one result is
+  /// available (or timeout), returns up to `max_results`.
+  Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                               std::uint32_t max_results,
+                                               double timeout_s);
+
+  // ---- executor operations ----
+  Result<ExecutorId> register_executor(const wire::RegisterRequest& request,
+                                       std::shared_ptr<ExecutorSink> sink);
+  Status deregister_executor(ExecutorId executor, const std::string& reason);
+
+  /// Pull work {4,5}: up to `max_tasks` tasks for this executor (respecting
+  /// the dispatch policy's task selection, e.g. data-aware).
+  Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
+                                         std::uint32_t max_tasks);
+
+  struct DeliverOutcome {
+    std::uint64_t acknowledged{0};
+    std::vector<TaskSpec> piggyback;
+  };
+
+  /// Deliver results {6} and acknowledge {7}, optionally piggy-backing up
+  /// to `want_tasks` new tasks in the acknowledgement.
+  Result<DeliverOutcome> deliver_results(ExecutorId executor,
+                                         std::vector<TaskResult> results,
+                                         std::uint32_t want_tasks);
+
+  /// Record that `executor` now holds `object` in its local cache (mirror
+  /// consulted by the data-aware policy).
+  void note_cached_object(ExecutorId executor, const std::string& object);
+
+  // ---- provisioner operations ----
+  [[nodiscard]] DispatcherStatus status() const;
+
+  /// Replay policy enforcement: requeue dispatched tasks whose response
+  /// timeout elapsed. Returns the number of tasks requeued. Call
+  /// periodically (the provisioner's poll loop does).
+  int check_replays();
+
+  /// Centralized release: push a release request to `count` idle executors;
+  /// returns ids actually asked.
+  std::vector<ExecutorId> request_release(int count);
+
+  /// Invoked for every task result accepted (before retry filtering), with
+  /// the dispatcher clock's timestamp; benches use it for throughput
+  /// sampling. Must be set before executors start. Called without locks.
+  void set_completion_listener(
+      std::function<void(const TaskResult&, double now_s)> listener);
+
+  /// Install the client-notification channel {8}; notifications are sent
+  /// from the notification engine's thread pool whenever results land in
+  /// an instance's mailbox.
+  void set_client_sink(std::shared_ptr<ClientSink> sink);
+
+  /// Per-task overhead statistics (round-trip minus execution time).
+  [[nodiscard]] Accumulator overhead_stats() const;
+
+  void shutdown();
+
+ private:
+  struct QueuedTask {
+    InstanceId instance;
+    TaskSpec spec;
+    double enqueue_s{0.0};
+    int attempts{0};
+  };
+
+  struct DispatchedTask {
+    InstanceId instance;
+    TaskSpec spec;
+    ExecutorId executor;
+    double enqueue_s{0.0};
+    double dispatch_s{0.0};
+    int attempts{0};
+  };
+
+  enum class ExecState : std::uint8_t { kIdle, kNotified, kBusy };
+
+  struct ExecutorEntry {
+    ExecutorId id;
+    wire::RegisterRequest info;
+    std::shared_ptr<ExecutorSink> sink;
+    ExecState state{ExecState::kIdle};
+    std::uint32_t inflight{0};
+    double registered_s{0.0};
+    std::unordered_set<std::string> cached_objects;
+    bool release_requested{false};
+  };
+
+  /// Per-instance result mailbox; shared_ptr so waiters survive destroy.
+  struct Instance {
+    ClientId client;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<TaskResult> results;
+    bool open{true};
+  };
+
+  // Requires mu_ held. Schedules notifications for idle executors while
+  // there is queued work.
+  void pump_notifications_locked();
+
+  // Requires mu_ held. Pops up to max_tasks for `entry` honouring the
+  // dispatch policy; updates entry state and the dispatched map.
+  std::vector<TaskSpec> take_work_locked(ExecutorEntry& entry,
+                                         std::uint32_t max_tasks);
+
+  // Requires mu_ held.
+  void requeue_locked(DispatchedTask task, bool front);
+
+  ExecutorCandidate candidate_locked(const ExecutorEntry& entry);
+
+  void route_result(InstanceId instance_id,
+                    const std::shared_ptr<Instance>& instance,
+                    TaskResult result);
+
+  Clock& clock_;
+  DispatcherConfig config_;
+  std::unique_ptr<DispatchPolicy> policy_;
+  ThreadPool notify_pool_;
+
+  mutable std::mutex mu_;
+  std::deque<QueuedTask> queue_;
+  std::unordered_map<std::uint64_t, DispatchedTask> dispatched_;  // by TaskId
+  std::unordered_map<std::uint64_t, ExecutorEntry> executors_;    // by ExecutorId
+  std::unordered_map<std::uint64_t, std::shared_ptr<Instance>> instances_;
+  IdGenerator<InstanceId> instance_ids_;
+  IdGenerator<ExecutorId> executor_ids_;
+  DispatcherStatus counters_;
+  Accumulator overhead_stats_;
+  std::function<void(const TaskResult&, double)> completion_listener_;
+  std::shared_ptr<ClientSink> client_sink_;
+  bool shutdown_{false};
+};
+
+}  // namespace falkon::core

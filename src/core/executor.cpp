@@ -1,0 +1,196 @@
+#include "core/executor.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace falkon::core {
+
+ExecutorRuntime::ExecutorRuntime(Clock& clock, DispatcherLink& link,
+                                 TaskEngine& engine, ExecutorOptions options)
+    : clock_(clock), link_(link), engine_(engine), options_(options) {}
+
+ExecutorRuntime::~ExecutorRuntime() { stop(); }
+
+Status ExecutorRuntime::start() {
+  wire::RegisterRequest request;
+  request.node_id = options_.node_id;
+  request.host = options_.host;
+  request.slots = 1;
+  request.allocation_id = options_.allocation_id;
+  auto registered = link_.register_executor(request);
+  if (!registered.ok()) return registered.error();
+  id_ = registered.value();
+  running_.store(true);
+  thread_ = std::thread([this] { work_loop(); });
+  return ok_status();
+}
+
+void ExecutorRuntime::notify(std::uint64_t resource_key) {
+  {
+    std::lock_guard lock(mu_);
+    if (resource_key == kReleaseResourceKey) {
+      stop_requested_.store(true);
+    } else {
+      notified_ = true;
+    }
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.notifications;
+  }
+}
+
+void ExecutorRuntime::request_stop() {
+  stop_requested_.store(true);
+  cv_.notify_all();
+}
+
+void ExecutorRuntime::stop() {
+  request_stop();
+  join();
+}
+
+void ExecutorRuntime::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+ExecutorStats ExecutorRuntime::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void ExecutorRuntime::set_exit_listener(
+    std::function<void(ExecutorId)> listener) {
+  std::lock_guard lock(stats_mu_);
+  exit_listener_ = std::move(listener);
+}
+
+bool ExecutorRuntime::wait_for_wakeup() {
+  std::unique_lock lock(mu_);
+  const auto ready = [&] { return notified_ || stop_requested_.load(); };
+  if (options_.poll_interval_s > 0) {
+    // Polling mode: wake up after the poll interval regardless of
+    // notifications (a notification still short-circuits the wait). The
+    // idle timeout is enforced by the caller across poll rounds.
+    const double real_interval = options_.poll_interval_s / clock_.rate();
+    (void)cv_.wait_for(lock, std::chrono::duration<double>(real_interval),
+                       ready);
+  } else if (options_.idle_timeout_s > 0) {
+    // idle_timeout_s is model time; convert to a real wait.
+    const double real_timeout = options_.idle_timeout_s / clock_.rate();
+    if (!cv_.wait_for(lock, std::chrono::duration<double>(real_timeout),
+                      ready)) {
+      return false;  // idle timeout elapsed: distributed release
+    }
+  } else {
+    cv_.wait(lock, ready);
+  }
+  notified_ = false;
+  return !stop_requested_.load();
+}
+
+void ExecutorRuntime::work_loop() {
+  std::string exit_reason = "stopped";
+  std::vector<TaskSpec> pending;  // pre-fetched bundle
+  double idle_since = clock_.now_s();  // for poll-mode idle accounting
+
+  for (;;) {
+    bool dispatcher_gone = false;
+    bool executed_any = false;
+    // Drain available work.
+    for (;;) {
+      if (stop_requested_.load()) break;
+      std::vector<TaskSpec> tasks;
+      if (!pending.empty()) {
+        tasks = std::move(pending);
+        pending.clear();
+      } else {
+        auto work = link_.get_work(id_, options_.max_bundle);
+        if (!work.ok()) {
+          dispatcher_gone = true;
+          exit_reason = "dispatcher unreachable";
+          break;
+        }
+        tasks = work.take();
+      }
+      if (tasks.empty()) {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.empty_polls;
+        break;
+      }
+
+      // Pre-fetch (section 6): grab the next bundle before executing, so
+      // dispatch latency overlaps with execution.
+      if (options_.prefetch) {
+        auto next = link_.get_work(id_, options_.max_bundle);
+        if (next.ok()) pending = next.take();
+      }
+
+      std::vector<TaskResult> results;
+      results.reserve(tasks.size());
+      for (const auto& task : tasks) {
+        const double start = clock_.now_s();
+        TaskResult result = engine_.run(task);
+        result.task_id = task.id;
+        result.executor_id = id_;
+        const double elapsed = clock_.now_s() - start;
+        {
+          std::lock_guard lock(stats_mu_);
+          ++stats_.tasks_executed;
+          stats_.busy_time_s += elapsed;
+        }
+        executed_any = true;
+        results.push_back(std::move(result));
+      }
+
+      const std::uint32_t want =
+          stop_requested_.load() ? 0 : options_.piggyback_tasks;
+      auto ack = link_.deliver_results(id_, std::move(results), want);
+      if (!ack.ok()) {
+        dispatcher_gone = true;
+        exit_reason = "result delivery failed";
+        break;
+      }
+      // Piggy-backed tasks ({7}) short-circuit the notify/get-work round
+      // trip: execute them immediately next iteration.
+      if (!ack.value().empty()) {
+        if (pending.empty()) {
+          pending = ack.take();
+        } else {
+          for (auto& t : ack.value()) pending.push_back(std::move(t));
+        }
+      }
+    }
+
+    if (dispatcher_gone || stop_requested_.load()) break;
+    if (executed_any) idle_since = clock_.now_s();
+    // Poll mode enforces the idle timeout across poll rounds.
+    if (options_.poll_interval_s > 0 && options_.idle_timeout_s > 0 &&
+        clock_.now_s() - idle_since >= options_.idle_timeout_s) {
+      exit_reason = "idle timeout";
+      break;
+    }
+    if (!wait_for_wakeup()) {
+      if (stop_requested_.load()) break;
+      exit_reason = "idle timeout";
+      break;  // distributed release policy fired
+    }
+  }
+
+  if (exit_reason != "dispatcher unreachable") {
+    (void)link_.deregister(id_, exit_reason);
+  }
+  running_.store(false);
+  std::function<void(ExecutorId)> listener;
+  {
+    std::lock_guard lock(stats_mu_);
+    listener = exit_listener_;
+  }
+  if (listener) listener(id_);
+  LOG_DEBUG("executor", "executor %llu exited: %s",
+            static_cast<unsigned long long>(id_.value), exit_reason.c_str());
+}
+
+}  // namespace falkon::core

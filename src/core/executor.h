@@ -1,0 +1,137 @@
+// The Falkon executor runtime (paper sections 3.2-3.3).
+//
+// Lifecycle: register with the dispatcher; wait for a notification {3};
+// pull work {4,5}; execute; deliver results {6}; receive the ack with
+// optionally piggy-backed next tasks {7}; repeat. Under the distributed
+// resource-release policy the executor deregisters itself after a
+// configured idle time.
+//
+// The runtime talks to the dispatcher through a DispatcherLink so the same
+// loop runs in-process (direct calls) and across TCP (RPC + notification
+// channel).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/task.h"
+#include "core/task_engine.h"
+#include "wire/message.h"
+
+namespace falkon::core {
+
+using wire::kReleaseResourceKey;
+
+/// Executor's view of the dispatcher.
+class DispatcherLink {
+ public:
+  virtual ~DispatcherLink() = default;
+
+  virtual Result<ExecutorId> register_executor(
+      const wire::RegisterRequest& request) = 0;
+  virtual Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
+                                                 std::uint32_t max_tasks) = 0;
+  /// Deliver results; returns piggy-backed next tasks (may be empty).
+  virtual Result<std::vector<TaskSpec>> deliver_results(
+      ExecutorId executor, std::vector<TaskResult> results,
+      std::uint32_t want_tasks) = 0;
+  virtual Status deregister(ExecutorId executor, const std::string& reason) = 0;
+};
+
+struct ExecutorOptions {
+  NodeId node_id;
+  std::string host{"localhost"};
+  AllocationId allocation_id;
+  /// Tasks pulled per exchange (dispatcher-executor bundling; paper uses 1).
+  std::uint32_t max_bundle{1};
+  /// Piggy-back request size on result delivery (0 disables; paper enables).
+  std::uint32_t piggyback_tasks{1};
+  /// Distributed release policy: deregister after this much idle model time
+  /// (<= 0: never release — Falkon-inf).
+  double idle_timeout_s{0.0};
+  /// Pre-fetching (paper section 6 future work): request the next task
+  /// while the current one still runs, overlapping dispatch latency with
+  /// execution.
+  bool prefetch{false};
+  /// Firewall-bypass polling mode (paper section 6: "We have implemented a
+  /// polling mechanism to bypass any firewall issues on executors"): when
+  /// > 0 the executor never waits for push notifications — it polls
+  /// get_work every poll_interval_s of model time instead, trading
+  /// responsiveness and dispatcher load for needing only outbound
+  /// connections. 0 = hybrid push/pull (the paper's preferred model).
+  double poll_interval_s{0.0};
+};
+
+struct ExecutorStats {
+  std::uint64_t tasks_executed{0};
+  std::uint64_t notifications{0};
+  std::uint64_t empty_polls{0};
+  double busy_time_s{0.0};
+};
+
+class ExecutorRuntime {
+ public:
+  ExecutorRuntime(Clock& clock, DispatcherLink& link, TaskEngine& engine,
+                  ExecutorOptions options);
+  ~ExecutorRuntime();
+
+  ExecutorRuntime(const ExecutorRuntime&) = delete;
+  ExecutorRuntime& operator=(const ExecutorRuntime&) = delete;
+
+  /// Register and start the work loop on a background thread.
+  Status start();
+
+  /// Notification entry point {3}: wakes the work loop. A
+  /// kReleaseResourceKey asks the executor to shut down (centralized
+  /// release policy).
+  void notify(std::uint64_t resource_key);
+
+  /// Ask the loop to finish the current task and stop (does not join).
+  void request_stop();
+
+  /// Stop and join.
+  void stop();
+
+  /// Blocks until the loop exited (self-release or stop). Returns reason.
+  void join();
+
+  [[nodiscard]] ExecutorId id() const { return id_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] ExecutorStats stats() const;
+
+  /// Invoked (from the runtime's thread) right after the loop exits;
+  /// used by the provisioner to track self-released executors.
+  void set_exit_listener(std::function<void(ExecutorId)> listener);
+
+ private:
+  void work_loop();
+  /// Wait for a notification or idle timeout; true = work may be available,
+  /// false = stop (released or shutting down).
+  bool wait_for_wakeup();
+
+  Clock& clock_;
+  DispatcherLink& link_;
+  TaskEngine& engine_;
+  ExecutorOptions options_;
+
+  ExecutorId id_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool notified_{false};
+
+  mutable std::mutex stats_mu_;
+  ExecutorStats stats_;
+  std::function<void(ExecutorId)> exit_listener_;
+};
+
+}  // namespace falkon::core

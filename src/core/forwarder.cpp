@@ -1,0 +1,190 @@
+#include "core/forwarder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace falkon::core {
+
+Forwarder::Forwarder(std::vector<DispatcherClient*> backends,
+                     RoutingPolicy routing)
+    : backends_(std::move(backends)),
+      routing_(routing),
+      routed_(backends_.size(), 0) {}
+
+Result<InstanceId> Forwarder::create_instance(ClientId client) {
+  if (backends_.empty()) {
+    return make_error(ErrorCode::kUnavailable, "forwarder has no backends");
+  }
+  Route route;
+  route.per_backend.reserve(backends_.size());
+  for (auto* backend : backends_) {
+    auto instance = backend->create_instance(client);
+    if (!instance.ok()) {
+      // Roll back the instances already created.
+      for (std::size_t i = 0; i < route.per_backend.size(); ++i) {
+        (void)backends_[i]->destroy_instance(route.per_backend[i]);
+      }
+      return instance.error();
+    }
+    route.per_backend.push_back(instance.value());
+  }
+  std::lock_guard lock(mu_);
+  route.composite = composite_ids_.next();
+  const InstanceId id = route.composite;
+  routes_.push_back(std::move(route));
+  return id;
+}
+
+std::size_t Forwarder::pick_backend_locked() {
+  if (routing_ == RoutingPolicy::kRoundRobin) {
+    const std::size_t pick = next_backend_;
+    next_backend_ = (next_backend_ + 1) % backends_.size();
+    return pick;
+  }
+  // Least-loaded: smallest backlog per registered executor. Executor-less
+  // backends rank last but stay eligible (their provisioner may be about
+  // to deliver capacity).
+  std::size_t best = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    auto status = backends_[i]->status();
+    if (!status.ok()) continue;
+    const double capacity =
+        std::max<std::uint32_t>(1, status.value().registered_executors);
+    const double backlog = static_cast<double>(status.value().queued +
+                                               status.value().dispatched);
+    const double load = backlog / capacity +
+                        (status.value().registered_executors == 0 ? 1e6 : 0);
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<std::uint64_t> Forwarder::submit(InstanceId instance,
+                                        std::vector<TaskSpec> tasks) {
+  std::vector<InstanceId> per_backend;
+  std::size_t first_choice;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(routes_.begin(), routes_.end(),
+                           [&](const Route& r) { return r.composite == instance; });
+    if (it == routes_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such forwarder instance");
+    }
+    per_backend = it->per_backend;
+    first_choice = pick_backend_locked();
+  }
+
+  // Try the chosen backend, then fall over to the others.
+  for (std::size_t attempt = 0; attempt < backends_.size(); ++attempt) {
+    const std::size_t b = (first_choice + attempt) % backends_.size();
+    auto accepted = backends_[b]->submit(per_backend[b], tasks);
+    if (accepted.ok()) {
+      std::lock_guard lock(mu_);
+      routed_[b] += accepted.value();
+      return accepted;
+    }
+    LOG_WARN("forwarder", "backend %zu rejected submit: %s", b,
+             accepted.error().str().c_str());
+  }
+  return make_error(ErrorCode::kUnavailable, "all backends rejected submit");
+}
+
+Result<std::vector<TaskResult>> Forwarder::wait_results(
+    InstanceId instance, std::uint32_t max_results, double timeout_s) {
+  std::vector<InstanceId> per_backend;
+  std::size_t rotor;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(routes_.begin(), routes_.end(),
+                           [&](const Route& r) { return r.composite == instance; });
+    if (it == routes_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such forwarder instance");
+    }
+    per_backend = it->per_backend;
+    rotor = wait_rotor_;
+    wait_rotor_ = (wait_rotor_ + 1) % backends_.size();
+  }
+
+  std::vector<TaskResult> collected;
+  // Non-blocking sweep over every backend first.
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (collected.size() >= max_results) break;
+    auto batch = backends_[b]->wait_results(
+        per_backend[b],
+        static_cast<std::uint32_t>(max_results - collected.size()), 0.0);
+    if (!batch.ok()) continue;
+    for (auto& result : batch.value()) collected.push_back(std::move(result));
+  }
+  if (!collected.empty()) return collected;
+
+  // Nothing ready: spend the timeout blocked on one backend (rotating
+  // across calls), then sweep once more.
+  auto blocking = backends_[rotor]->wait_results(per_backend[rotor],
+                                                 max_results, timeout_s);
+  if (blocking.ok()) {
+    for (auto& result : blocking.value()) collected.push_back(std::move(result));
+  }
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (collected.size() >= max_results) break;
+    if (b == rotor) continue;
+    auto batch = backends_[b]->wait_results(
+        per_backend[b],
+        static_cast<std::uint32_t>(max_results - collected.size()), 0.0);
+    if (!batch.ok()) continue;
+    for (auto& result : batch.value()) collected.push_back(std::move(result));
+  }
+  return collected;
+}
+
+Status Forwarder::destroy_instance(InstanceId instance) {
+  std::vector<InstanceId> per_backend;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(routes_.begin(), routes_.end(),
+                           [&](const Route& r) { return r.composite == instance; });
+    if (it == routes_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such forwarder instance");
+    }
+    per_backend = it->per_backend;
+    routes_.erase(it);
+  }
+  Status last = ok_status();
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (auto status = backends_[b]->destroy_instance(per_backend[b]);
+        !status.ok()) {
+      last = status;
+    }
+  }
+  return last;
+}
+
+Result<DispatcherStatus> Forwarder::status() {
+  DispatcherStatus total;
+  for (auto* backend : backends_) {
+    auto status = backend->status();
+    if (!status.ok()) continue;
+    total.submitted += status.value().submitted;
+    total.queued += status.value().queued;
+    total.dispatched += status.value().dispatched;
+    total.completed += status.value().completed;
+    total.failed += status.value().failed;
+    total.retried += status.value().retried;
+    total.registered_executors += status.value().registered_executors;
+    total.busy_executors += status.value().busy_executors;
+    total.idle_executors += status.value().idle_executors;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Forwarder::routed_counts() const {
+  std::lock_guard lock(mu_);
+  return routed_;
+}
+
+}  // namespace falkon::core

@@ -1,0 +1,82 @@
+// Three-tier architecture (paper section 6, Figure 16).
+//
+// "One or more forwarders receive tasks from a client. ... dispatchers are
+// deployed on cluster manager nodes ... each dispatcher manages a disjoint
+// set of executors." The goal is scaling Falkon beyond one dispatcher and
+// reaching executors in private IP spaces: the client talks only to the
+// forwarder; the forwarder talks to per-cluster dispatchers.
+//
+// Forwarder implements DispatcherClient, so clients, FalkonSession and the
+// workflow engine work against it unchanged — and because its backends are
+// also DispatcherClients, forwarders compose hierarchically (a forwarder
+// of forwarders), the "strong resemblance to a hierarchical structure" the
+// paper notes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/client.h"
+
+namespace falkon::core {
+
+enum class RoutingPolicy {
+  kRoundRobin,   // spread bundles evenly
+  kLeastLoaded,  // weight by backlog per registered executor (status poll)
+};
+
+class Forwarder final : public DispatcherClient {
+ public:
+  /// Backends are borrowed; they must outlive the forwarder.
+  explicit Forwarder(std::vector<DispatcherClient*> backends,
+                     RoutingPolicy routing = RoutingPolicy::kRoundRobin);
+
+  // DispatcherClient interface -------------------------------------------
+  /// Creates one instance on every backend; returns a composite handle.
+  Result<InstanceId> create_instance(ClientId client) override;
+
+  /// Routes the bundle to backends according to the routing policy. A
+  /// backend failure falls over to the next backend; kUnavailable only if
+  /// every backend refuses.
+  Result<std::uint64_t> submit(InstanceId instance,
+                               std::vector<TaskSpec> tasks) override;
+
+  /// Collects results from all backends (non-blocking sweeps + a blocking
+  /// slice on one backend, rotating, so a quiet backend cannot starve a
+  /// busy one).
+  Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                               std::uint32_t max_results,
+                                               double timeout_s) override;
+
+  Status destroy_instance(InstanceId instance) override;
+
+  /// Aggregated across backends.
+  Result<DispatcherStatus> status() override;
+
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+
+  /// Tasks routed to each backend so far (for balance inspection).
+  [[nodiscard]] std::vector<std::uint64_t> routed_counts() const;
+
+ private:
+  struct Route {
+    InstanceId composite;
+    std::vector<InstanceId> per_backend;  // parallel to backends_
+  };
+
+  /// Pick the backend for the next bundle. Requires mu_ held.
+  std::size_t pick_backend_locked();
+
+  std::vector<DispatcherClient*> backends_;
+  RoutingPolicy routing_;
+
+  mutable std::mutex mu_;
+  std::vector<Route> routes_;
+  IdGenerator<InstanceId> composite_ids_;
+  std::vector<std::uint64_t> routed_;
+  std::size_t next_backend_{0};
+  std::size_t wait_rotor_{0};
+};
+
+}  // namespace falkon::core

@@ -1,0 +1,110 @@
+#include "core/policies.h"
+
+#include <algorithm>
+
+namespace falkon::core {
+
+std::size_t DispatchPolicy::select_task(
+    const ExecutorCandidate&, const std::vector<const TaskSpec*>&) {
+  return 0;
+}
+
+std::size_t DataAwarePolicy::select(
+    const TaskSpec& task, const std::vector<ExecutorCandidate>& idle) {
+  if (!task.data_object.empty()) {
+    const std::size_t limit = std::min(idle.size(), lookahead_);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (idle[i].has_cached && idle[i].has_cached(task.data_object)) return i;
+    }
+  }
+  return 0;
+}
+
+std::size_t DataAwarePolicy::select_task(
+    const ExecutorCandidate& self, const std::vector<const TaskSpec*>& queue) {
+  if (self.has_cached) {
+    const std::size_t limit = std::min(queue.size(), lookahead_);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (!queue[i]->data_object.empty() &&
+          self.has_cached(queue[i]->data_object)) {
+        return i;
+      }
+    }
+  }
+  return 0;
+}
+
+int AcquisitionPolicy::deficit(const AcquisitionContext& ctx) {
+  const int supply = ctx.busy_executors + ctx.idle_executors +
+                     ctx.pending_executors;
+  int demand = ctx.queued_tasks + ctx.busy_executors;
+  if (ctx.max_executors > 0) demand = std::min(demand, ctx.max_executors);
+  return std::max(0, demand - supply);
+}
+
+std::vector<int> AllAtOncePolicy::plan(const AcquisitionContext& ctx) {
+  const int need = deficit(ctx);
+  if (need <= 0) return {};
+  return {need};
+}
+
+std::vector<int> OneAtATimePolicy::plan(const AcquisitionContext& ctx) {
+  const int need = deficit(ctx);
+  return std::vector<int>(static_cast<std::size_t>(std::max(0, need)), 1);
+}
+
+std::vector<int> AdditivePolicy::plan(const AcquisitionContext& ctx) {
+  int need = deficit(ctx);
+  std::vector<int> requests;
+  int size = 1;
+  while (need > 0) {
+    const int request = std::min(size, need);
+    requests.push_back(request);
+    need -= request;
+    size += increment_;
+  }
+  return requests;
+}
+
+std::vector<int> ExponentialPolicy::plan(const AcquisitionContext& ctx) {
+  int need = deficit(ctx);
+  std::vector<int> requests;
+  int size = 1;
+  while (need > 0) {
+    const int request = std::min(size, need);
+    requests.push_back(request);
+    need -= request;
+    size *= 2;
+  }
+  return requests;
+}
+
+std::vector<int> SystemAvailablePolicy::plan(const AcquisitionContext& ctx) {
+  int need = deficit(ctx);
+  const int available = ctx.lrm_free_nodes * std::max(1, ctx.executors_per_node);
+  need = std::min(need, available);
+  if (need <= 0) return {};
+  return {need};
+}
+
+std::unique_ptr<AcquisitionPolicy> make_acquisition_policy(
+    const std::string& name) {
+  if (name == "all-at-once") return std::make_unique<AllAtOncePolicy>();
+  if (name == "one-at-a-time") return std::make_unique<OneAtATimePolicy>();
+  if (name == "additive") return std::make_unique<AdditivePolicy>();
+  if (name == "exponential") return std::make_unique<ExponentialPolicy>();
+  if (name == "available") return std::make_unique<SystemAvailablePolicy>();
+  return nullptr;
+}
+
+int QueueThresholdReleasePolicy::executors_to_release(const ReleaseContext& ctx) {
+  const int releasable =
+      std::max(0, std::min(ctx.idle_executors,
+                           ctx.registered_executors - ctx.min_executors));
+  if (releasable == 0) return 0;
+  if (ctx.queued_tasks == 0) return releasable;
+  if (ctx.queued_tasks < threshold_) return 1;
+  return 0;
+}
+
+}  // namespace falkon::core

@@ -1,0 +1,205 @@
+// Falkon scheduling policies (paper section 3.1).
+//
+// Four policy families govern the execution model:
+//   * dispatch policy         — which executor gets the next task;
+//   * replay policy           — when to re-dispatch (timeout / failure);
+//   * resource acquisition    — when/how many resources to request from the
+//                               LRM (five strategies, paper evaluates
+//                               "all-at-once");
+//   * resource release        — when to give resources back (distributed
+//                               idle-timeout, evaluated; centralized
+//                               threshold, described).
+//
+// These objects are shared verbatim between the real threaded stack
+// (core::Dispatcher / core::Provisioner) and the discrete-event simulation,
+// so the policy logic evaluated at paper scale is the same code that runs
+// in the real system.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/task.h"
+
+namespace falkon::core {
+
+// ---------------------------------------------------------------- dispatch
+
+/// Candidate executor offered to the dispatch policy.
+struct ExecutorCandidate {
+  ExecutorId id;
+  /// Probe for the executor's local data cache (may be empty).
+  std::function<bool(const std::string& object)> has_cached;
+};
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Choose one of `idle` for `task`; returns an index into `idle`.
+  /// `idle` is never empty.
+  [[nodiscard]] virtual std::size_t select(
+      const TaskSpec& task, const std::vector<ExecutorCandidate>& idle) = 0;
+
+  /// Executor-initiated variant: when executor `self` asks for work, return
+  /// the index (into `queue`, a bounded lookahead window of queued tasks) of
+  /// the task it should receive. Default: head of queue.
+  [[nodiscard]] virtual std::size_t select_task(
+      const ExecutorCandidate& self, const std::vector<const TaskSpec*>& queue);
+};
+
+/// Paper's evaluated policy: "dispatches each task to the next available
+/// resource".
+class NextAvailablePolicy final : public DispatchPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "next-available"; }
+  [[nodiscard]] std::size_t select(
+      const TaskSpec&, const std::vector<ExecutorCandidate>&) override {
+    return 0;
+  }
+};
+
+/// Paper section 6 (future work, implemented here): prefer executors whose
+/// local cache already holds the task's input object; fall back to
+/// next-available.
+class DataAwarePolicy final : public DispatchPolicy {
+ public:
+  explicit DataAwarePolicy(std::size_t lookahead = 32) : lookahead_(lookahead) {}
+  [[nodiscard]] const char* name() const override { return "data-aware"; }
+  [[nodiscard]] std::size_t select(
+      const TaskSpec& task, const std::vector<ExecutorCandidate>& idle) override;
+  [[nodiscard]] std::size_t select_task(
+      const ExecutorCandidate& self,
+      const std::vector<const TaskSpec*>& queue) override;
+
+ private:
+  std::size_t lookahead_;
+};
+
+// ------------------------------------------------------------------ replay
+
+struct ReplayPolicy {
+  /// Re-dispatch a task if no response after this long (0 disables).
+  double response_timeout_s{0.0};
+  /// Maximum re-dispatch attempts after the first (paper: "up to some
+  /// specified number of retries").
+  int max_retries{3};
+  /// Whether a failed (non-zero exit) response is replayed too.
+  bool retry_on_failure{true};
+};
+
+// ------------------------------------------------------------- acquisition
+
+struct AcquisitionContext {
+  int queued_tasks{0};
+  int busy_executors{0};
+  int idle_executors{0};
+  /// Executors requested from the LRM but not yet registered.
+  int pending_executors{0};
+  int max_executors{0};
+  /// Free nodes the LRM reports (for the system-functions strategy).
+  int lrm_free_nodes{0};
+  int executors_per_node{1};
+};
+
+/// Returns the sizes (in executors) of the allocation requests to issue
+/// now; empty means "do nothing this round".
+class AcquisitionPolicy {
+ public:
+  virtual ~AcquisitionPolicy() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual std::vector<int> plan(const AcquisitionContext& ctx) = 0;
+
+ protected:
+  /// Executors still needed: demand (queued, capped by max) minus supply
+  /// (registered + pending).
+  [[nodiscard]] static int deficit(const AcquisitionContext& ctx);
+};
+
+/// "all-at-once": one request for everything needed (paper's evaluated
+/// strategy).
+class AllAtOncePolicy final : public AcquisitionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "all-at-once"; }
+  [[nodiscard]] std::vector<int> plan(const AcquisitionContext& ctx) override;
+};
+
+/// "one-at-a-time": n requests for a single resource each.
+class OneAtATimePolicy final : public AcquisitionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "one-at-a-time"; }
+  [[nodiscard]] std::vector<int> plan(const AcquisitionContext& ctx) override;
+};
+
+/// Arithmetically growing requests: 1, 1+k, 1+2k, ... until covered.
+class AdditivePolicy final : public AcquisitionPolicy {
+ public:
+  explicit AdditivePolicy(int increment = 1) : increment_(increment) {}
+  [[nodiscard]] const char* name() const override { return "additive"; }
+  [[nodiscard]] std::vector<int> plan(const AcquisitionContext& ctx) override;
+
+ private:
+  int increment_;
+};
+
+/// Exponentially growing requests: 1, 2, 4, 8, ... until covered.
+class ExponentialPolicy final : public AcquisitionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "exponential"; }
+  [[nodiscard]] std::vector<int> plan(const AcquisitionContext& ctx) override;
+};
+
+/// Uses system functions (LRM free-node count) to bound the request.
+class SystemAvailablePolicy final : public AcquisitionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "available"; }
+  [[nodiscard]] std::vector<int> plan(const AcquisitionContext& ctx) override;
+};
+
+[[nodiscard]] std::unique_ptr<AcquisitionPolicy> make_acquisition_policy(
+    const std::string& name);
+
+// ----------------------------------------------------------------- release
+
+/// Distributed release (paper's evaluated policy) is enforced executor-side
+/// via ExecutorConfig::idle_timeout_s; this struct names the setting so
+/// benchmark sweeps (Falkon-15/60/120/180/inf) are self-describing.
+struct DistributedReleasePolicy {
+  /// Executor releases itself after this much idle time; <= 0 means never
+  /// (Falkon-inf).
+  double idle_timeout_s{60.0};
+};
+
+struct ReleaseContext {
+  int queued_tasks{0};
+  int idle_executors{0};
+  int registered_executors{0};
+  int min_executors{0};
+};
+
+/// Centralized release: decisions from dispatcher-visible state.
+class CentralizedReleasePolicy {
+ public:
+  virtual ~CentralizedReleasePolicy() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// How many idle executors to release now.
+  [[nodiscard]] virtual int executors_to_release(const ReleaseContext& ctx) = 0;
+};
+
+/// "if there are no queued tasks, release all [idle] resources; if the
+/// number of queued tasks is less than q, release a resource."
+class QueueThresholdReleasePolicy final : public CentralizedReleasePolicy {
+ public:
+  explicit QueueThresholdReleasePolicy(int threshold) : threshold_(threshold) {}
+  [[nodiscard]] const char* name() const override { return "queue-threshold"; }
+  [[nodiscard]] int executors_to_release(const ReleaseContext& ctx) override;
+
+ private:
+  int threshold_;
+};
+
+}  // namespace falkon::core

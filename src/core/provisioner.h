@@ -1,0 +1,141 @@
+// The Falkon provisioner (paper sections 3.1-3.2, evaluated in 4.6).
+//
+// "The provisioner periodically monitors dispatcher state {POLL} and, based
+// on policy, determines whether to create additional executors, and if so,
+// how many, and for how long. Creation requests are issued via GRAM4 to
+// abstract LRM details."
+//
+// The provisioner polls the dispatcher's status, runs the resource
+// acquisition policy, submits allocation jobs through the GRAM gateway, and
+// tracks the allocation lifecycle. Executor release happens either
+// distributed (executors self-terminate on idle timeout; the provisioner
+// completes the backing LRM job when an allocation's last executor exits)
+// or centralized (a CentralizedReleasePolicy asks the dispatcher to push
+// release requests to idle executors).
+//
+// For Figures 12/13 the provisioner records time series of allocated
+// (requested, not yet registered), registered-idle, and active executors.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "core/dispatcher.h"
+#include "core/policies.h"
+#include "lrm/gram.h"
+
+namespace falkon::core {
+
+struct ProvisionerConfig {
+  int min_executors{0};
+  int max_executors{32};
+  /// Executors started per allocated node (paper: 2, one per CPU).
+  int executors_per_node{1};
+  /// Dispatcher poll period {POLL}.
+  double poll_interval_s{1.0};
+  /// Walltime requested for allocations (0 = none).
+  double allocation_walltime_s{0.0};
+};
+
+struct ProvisionerStats {
+  std::uint64_t allocations_requested{0};
+  std::uint64_t executors_launched{0};
+  std::uint64_t executors_exited{0};
+  std::uint64_t allocations_completed{0};
+};
+
+/// Starts executors for a granted allocation; returns how many were
+/// launched. The glue layer (FalkonCluster or a custom deployment) wires
+/// each launched executor's exit back to executor_exited(allocation).
+using ExecutorLauncher =
+    std::function<int(const lrm::JobContext& context, AllocationId allocation)>;
+
+class Provisioner {
+ public:
+  Provisioner(Clock& clock, Dispatcher& dispatcher, lrm::Gram4Gateway& gram,
+              lrm::BatchScheduler& scheduler, ProvisionerConfig config,
+              std::unique_ptr<AcquisitionPolicy> acquisition,
+              ExecutorLauncher launcher,
+              std::unique_ptr<CentralizedReleasePolicy> central_release = nullptr);
+  ~Provisioner();
+
+  Provisioner(const Provisioner&) = delete;
+  Provisioner& operator=(const Provisioner&) = delete;
+
+  /// One poll cycle: drive the GRAM gateway and LRM, enforce the replay
+  /// policy, run the acquisition (and optional centralized release) policy,
+  /// and record the provisioning time series.
+  void step();
+
+  /// Drive step() every poll_interval_s on a background thread.
+  void start_driver();
+  void stop_driver();
+
+  /// Called when an executor belonging to `allocation` on `node`
+  /// terminates (idle timeout or stop). When the node's last executor
+  /// exits, that node's backing LRM job is completed so the node frees up
+  /// — nodes of one allocation release independently, which is what makes
+  /// the distributed release policy effective (section 3.1).
+  void executor_exited(AllocationId allocation, NodeId node);
+
+  [[nodiscard]] ProvisionerStats stats() const;
+  [[nodiscard]] int pending_executors() const;
+
+  /// Provisioning traces (model time): allocated = requested but not yet
+  /// registered; registered = registered with the dispatcher but idle;
+  /// active = busy executing tasks. Not thread-safe against a running
+  /// driver; read after stopping or between manual step() calls.
+  [[nodiscard]] const TimeSeries& allocated_series() const { return allocated_series_; }
+  [[nodiscard]] const TimeSeries& registered_series() const { return registered_series_; }
+  [[nodiscard]] const TimeSeries& active_series() const { return active_series_; }
+  [[nodiscard]] const TimeSeries& queued_series() const { return queued_series_; }
+
+ private:
+  struct NodeLease {
+    JobId lrm_job;
+    int executors_live{0};
+    bool started{false};
+    bool finished{false};
+  };
+
+  /// One acquisition request: a single GRAM request backing `nodes` many
+  /// single-node LRM jobs, each released when its executors exit.
+  struct Allocation {
+    AllocationId id;
+    int executors_requested{0};
+    int jobs_pending_start{0};
+    std::map<std::uint64_t, NodeLease> leases;  // by NodeId
+  };
+
+  void request_allocation_locked(int executors);
+
+  Clock& clock_;
+  Dispatcher& dispatcher_;
+  lrm::Gram4Gateway& gram_;
+  lrm::BatchScheduler& scheduler_;
+  ProvisionerConfig config_;
+  std::unique_ptr<AcquisitionPolicy> acquisition_;
+  ExecutorLauncher launcher_;
+  std::unique_ptr<CentralizedReleasePolicy> central_release_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Allocation> allocations_;  // by AllocationId
+  IdGenerator<AllocationId> allocation_ids_;
+  int pending_executors_{0};
+  ProvisionerStats stats_;
+
+  TimeSeries allocated_series_;
+  TimeSeries registered_series_;
+  TimeSeries active_series_;
+  TimeSeries queued_series_;
+
+  std::thread driver_;
+  std::atomic<bool> driver_stop_{false};
+};
+
+}  // namespace falkon::core

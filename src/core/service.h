@@ -1,0 +1,179 @@
+// In-process deployment glue.
+//
+// LocalExecutorHarness wires one ExecutorRuntime to a Dispatcher in the
+// same process (direct calls, no serialisation). InProcFalkon bundles a
+// dispatcher plus N executors — the configuration used for dispatch-rate
+// microbenchmarks. FalkonCluster is the full multi-level scheduling stack
+// of the paper: dispatcher + provisioner + GRAM gateway + batch-scheduler
+// substrate, with executors launched dynamically on allocated "nodes"
+// (threads), used for the section 4.6 provisioning experiments.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/client.h"
+#include "core/dispatcher.h"
+#include "core/executor.h"
+#include "core/provisioner.h"
+#include "core/task_engine.h"
+#include "lrm/gram.h"
+
+namespace falkon::core {
+
+/// One executor attached in-process to a dispatcher.
+class LocalExecutorHarness {
+ public:
+  LocalExecutorHarness(Clock& clock, Dispatcher& dispatcher,
+                       std::unique_ptr<TaskEngine> engine,
+                       ExecutorOptions options);
+  ~LocalExecutorHarness();
+
+  LocalExecutorHarness(const LocalExecutorHarness&) = delete;
+  LocalExecutorHarness& operator=(const LocalExecutorHarness&) = delete;
+
+  Status start();
+  [[nodiscard]] ExecutorRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] const ExecutorRuntime& runtime() const { return *runtime_; }
+
+ private:
+  /// Sink registered with the dispatcher; forwards notifications to the
+  /// runtime. Outlives the harness via shared_ptr, so a notification in
+  /// flight during teardown hits a nulled pointer instead of freed memory.
+  struct NotifyTarget final : ExecutorSink {
+    std::mutex mu;
+    ExecutorRuntime* runtime{nullptr};
+    void notify(ExecutorId, std::uint64_t resource_key) override {
+      std::lock_guard lock(mu);
+      if (runtime != nullptr) runtime->notify(resource_key);
+    }
+  };
+
+  class Link final : public DispatcherLink {
+   public:
+    Link(Dispatcher& dispatcher, std::shared_ptr<NotifyTarget> sink)
+        : dispatcher_(dispatcher), sink_(std::move(sink)) {}
+
+    Result<ExecutorId> register_executor(
+        const wire::RegisterRequest& request) override {
+      return dispatcher_.register_executor(request, sink_);
+    }
+    Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
+                                           std::uint32_t max_tasks) override {
+      return dispatcher_.get_work(executor, max_tasks);
+    }
+    Result<std::vector<TaskSpec>> deliver_results(
+        ExecutorId executor, std::vector<TaskResult> results,
+        std::uint32_t want_tasks) override {
+      auto outcome =
+          dispatcher_.deliver_results(executor, std::move(results), want_tasks);
+      if (!outcome.ok()) return outcome.error();
+      return std::move(outcome.value().piggyback);
+    }
+    Status deregister(ExecutorId executor, const std::string& reason) override {
+      return dispatcher_.deregister_executor(executor, reason);
+    }
+
+   private:
+    Dispatcher& dispatcher_;
+    std::shared_ptr<NotifyTarget> sink_;
+  };
+
+  std::shared_ptr<NotifyTarget> target_;
+  Link link_;
+  std::unique_ptr<TaskEngine> engine_;
+  std::unique_ptr<ExecutorRuntime> runtime_;
+};
+
+/// Dispatcher + N in-process executors (microbenchmark configuration).
+class InProcFalkon {
+ public:
+  using EngineFactory = std::function<std::unique_ptr<TaskEngine>(Clock&)>;
+
+  InProcFalkon(Clock& clock, DispatcherConfig config,
+               std::unique_ptr<DispatchPolicy> policy = nullptr);
+  ~InProcFalkon();
+
+  Status add_executors(int count, const EngineFactory& factory,
+                       ExecutorOptions options);
+
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+  [[nodiscard]] DispatcherClient& client() { return client_; }
+  [[nodiscard]] Clock& clock() { return clock_; }
+  [[nodiscard]] std::size_t executor_count() const;
+  [[nodiscard]] std::vector<ExecutorStats> executor_stats() const;
+
+  void stop_executors();
+
+ private:
+  Clock& clock_;
+  Dispatcher dispatcher_;
+  LocalDispatcherClient client_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LocalExecutorHarness>> executors_;
+};
+
+/// Full multi-level scheduling stack (paper Figure 1): client -> dispatcher
+/// <- executors on nodes allocated by the provisioner via GRAM4 -> LRM.
+struct FalkonClusterConfig {
+  DispatcherConfig dispatcher;
+  lrm::LrmConfig lrm;
+  lrm::GramConfig gram;
+  ProvisionerConfig provisioner;
+  std::string acquisition_policy{"all-at-once"};
+  /// Template applied to every launched executor; idle_timeout_s implements
+  /// the distributed release policy (Falkon-15/60/120/180/inf sweeps).
+  ExecutorOptions executor_template;
+  int lrm_nodes{32};
+  /// Engine for launched executors; defaults to SleepEngine on the cluster
+  /// clock.
+  InProcFalkon::EngineFactory engine_factory;
+  /// Optional centralized release policy (replaces executor idle timeout).
+  int centralized_release_threshold{0};  // 0 = use distributed policy
+};
+
+class FalkonCluster {
+ public:
+  FalkonCluster(Clock& clock, FalkonClusterConfig config);
+  ~FalkonCluster();
+
+  FalkonCluster(const FalkonCluster&) = delete;
+  FalkonCluster& operator=(const FalkonCluster&) = delete;
+
+  /// Advance one provisioner poll cycle and reap exited executors.
+  void step();
+
+  /// Background drivers (provisioner poll loop); call stop() to end.
+  void start_drivers();
+  void stop();
+
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+  [[nodiscard]] Provisioner& provisioner() { return *provisioner_; }
+  [[nodiscard]] lrm::BatchScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] lrm::Gram4Gateway& gram() { return gram_; }
+  [[nodiscard]] DispatcherClient& client() { return client_; }
+  [[nodiscard]] Clock& clock() { return clock_; }
+
+  [[nodiscard]] std::size_t live_executors() const;
+
+ private:
+  int launch_allocation(const lrm::JobContext& context, AllocationId allocation);
+  void reap_exited_locked();
+
+  Clock& clock_;
+  FalkonClusterConfig config_;
+  Dispatcher dispatcher_;
+  LocalDispatcherClient client_;
+  lrm::BatchScheduler scheduler_;
+  lrm::Gram4Gateway gram_;
+  std::unique_ptr<Provisioner> provisioner_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LocalExecutorHarness>> executors_;
+  bool stopping_{false};
+};
+
+}  // namespace falkon::core

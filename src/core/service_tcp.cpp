@@ -1,0 +1,266 @@
+#include "core/service_tcp.h"
+
+#include "common/logging.h"
+
+namespace falkon::core {
+namespace {
+
+template <class Expected>
+Result<Expected> expect(Result<wire::Message> reply) {
+  if (!reply.ok()) return reply.error();
+  auto* payload = std::get_if<Expected>(&reply.value());
+  if (payload == nullptr) {
+    return make_error(ErrorCode::kProtocolError,
+                      std::string("unexpected reply type: ") +
+                          wire::msg_type_name(message_type(reply.value())));
+  }
+  return std::move(*payload);
+}
+
+}  // namespace
+
+TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher)
+    : dispatcher_(dispatcher) {}
+
+TcpDispatcherServer::~TcpDispatcherServer() { stop(); }
+
+Status TcpDispatcherServer::start(std::uint16_t rpc_port,
+                                  std::uint16_t push_port) {
+  if (auto status = push_.start(push_port); !status.ok()) return status;
+  sink_ = std::make_shared<PushSink>(push_);
+  client_sink_ = std::make_shared<ClientPushSink>(push_);
+  dispatcher_.set_client_sink(client_sink_);
+  return rpc_.start([this](const wire::Message& m) { return handle(m); },
+                    rpc_port);
+}
+
+void TcpDispatcherServer::stop() {
+  dispatcher_.set_client_sink(nullptr);
+  rpc_.stop();
+  push_.stop();
+}
+
+Status TcpResultListener::start(const std::string& host,
+                                std::uint16_t push_port, InstanceId instance,
+                                Callback callback) {
+  return receiver_.start(
+      host, push_port, kClientKeyBase + instance.value,
+      [callback = std::move(callback)](const wire::Message& message) {
+        if (const auto* notify = std::get_if<wire::ClientNotify>(&message)) {
+          callback(notify->instance_id, notify->completed);
+        }
+      });
+}
+
+void TcpResultListener::stop() { receiver_.stop(); }
+
+wire::Message TcpDispatcherServer::handle(const wire::Message& request) {
+  using namespace wire;
+  if (const auto* m = std::get_if<CreateInstanceRequest>(&request)) {
+    auto result = dispatcher_.create_instance(m->client_id);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return CreateInstanceReply{result.value()};
+  }
+  if (const auto* m = std::get_if<DestroyInstanceRequest>(&request)) {
+    auto result = dispatcher_.destroy_instance(m->instance_id);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return DestroyInstanceReply{};
+  }
+  if (const auto* m = std::get_if<SubmitRequest>(&request)) {
+    auto result = dispatcher_.submit(m->instance_id, m->tasks);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return SubmitReply{result.value()};
+  }
+  if (const auto* m = std::get_if<WaitResultsRequest>(&request)) {
+    auto result =
+        dispatcher_.wait_results(m->instance_id, m->max_results, m->timeout_s);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    WaitResultsReply reply;
+    reply.results = result.take();
+    return reply;
+  }
+  if (const auto* m = std::get_if<RegisterRequest>(&request)) {
+    auto result = dispatcher_.register_executor(*m, sink_);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return RegisterReply{result.value()};
+  }
+  if (const auto* m = std::get_if<GetWorkRequest>(&request)) {
+    auto result = dispatcher_.get_work(m->executor_id, m->max_tasks);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    GetWorkReply reply;
+    reply.tasks = result.take();
+    return reply;
+  }
+  if (const auto* m = std::get_if<ResultRequest>(&request)) {
+    auto result = dispatcher_.deliver_results(m->executor_id, m->results,
+                                              m->want_tasks);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    ResultReply reply;
+    reply.acknowledged = result.value().acknowledged;
+    reply.piggyback_tasks = std::move(result.value().piggyback);
+    return reply;
+  }
+  if (const auto* m = std::get_if<DeregisterRequest>(&request)) {
+    push_.drop_subscriber(m->executor_id.value);
+    auto result = dispatcher_.deregister_executor(m->executor_id, m->reason);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return DeregisterReply{};
+  }
+  if (std::get_if<StatusRequest>(&request) != nullptr) {
+    return dispatcher_.status().to_wire();
+  }
+  return ErrorReply{ErrorCode::kProtocolError,
+                    std::string("unhandled request: ") +
+                        wire::msg_type_name(message_type(request))};
+}
+
+Status TcpExecutorHarness::Link::connect(const std::string& host,
+                                         std::uint16_t rpc_port) {
+  auto client = net::RpcClient::connect(host, rpc_port);
+  if (!client.ok()) return client.error();
+  rpc_ = std::make_unique<net::RpcClient>(client.take());
+  return ok_status();
+}
+
+Result<ExecutorId> TcpExecutorHarness::Link::register_executor(
+    const wire::RegisterRequest& request) {
+  auto reply = expect<wire::RegisterReply>(rpc_->call(request));
+  if (!reply.ok()) return reply.error();
+  return reply.value().executor_id;
+}
+
+Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::get_work(
+    ExecutorId executor, std::uint32_t max_tasks) {
+  wire::GetWorkRequest request;
+  request.executor_id = executor;
+  request.max_tasks = max_tasks;
+  auto reply = expect<wire::GetWorkReply>(rpc_->call(request));
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().tasks);
+}
+
+Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::deliver_results(
+    ExecutorId executor, std::vector<TaskResult> results,
+    std::uint32_t want_tasks) {
+  wire::ResultRequest request;
+  request.executor_id = executor;
+  request.results = std::move(results);
+  request.want_tasks = want_tasks;
+  auto reply = expect<wire::ResultReply>(rpc_->call(request));
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().piggyback_tasks);
+}
+
+Status TcpExecutorHarness::Link::deregister(ExecutorId executor,
+                                            const std::string& reason) {
+  wire::DeregisterRequest request;
+  request.executor_id = executor;
+  request.reason = reason;
+  auto reply = expect<wire::DeregisterReply>(rpc_->call(request));
+  if (!reply.ok()) return reply.error();
+  return ok_status();
+}
+
+TcpExecutorHarness::TcpExecutorHarness(Clock& clock, std::string host,
+                                       std::uint16_t rpc_port,
+                                       std::uint16_t push_port,
+                                       std::unique_ptr<TaskEngine> engine,
+                                       ExecutorOptions options)
+    : clock_(clock),
+      host_(std::move(host)),
+      rpc_port_(rpc_port),
+      push_port_(push_port),
+      options_(options),
+      engine_(std::move(engine)) {
+  runtime_ = std::make_unique<ExecutorRuntime>(clock_, link_, *engine_,
+                                               options_);
+}
+
+TcpExecutorHarness::~TcpExecutorHarness() { stop(); }
+
+Status TcpExecutorHarness::start() {
+  if (auto status = link_.connect(host_, rpc_port_); !status.ok()) {
+    return status;
+  }
+  if (auto status = runtime_->start(); !status.ok()) return status;
+  if (options_.poll_interval_s > 0) {
+    // Polling (firewall-bypass) mode: no notification channel at all —
+    // only outbound RPC connections leave this host.
+    return ok_status();
+  }
+  // Subscribe for notifications with the id the dispatcher assigned.
+  return receiver_.start(host_, push_port_, runtime_->id().value,
+                         [this](const wire::Message& message) {
+                           if (const auto* notify =
+                                   std::get_if<wire::Notify>(&message)) {
+                             runtime_->notify(notify->resource_key);
+                           }
+                         });
+}
+
+void TcpExecutorHarness::stop() {
+  if (runtime_) runtime_->stop();
+  receiver_.stop();
+}
+
+Result<std::unique_ptr<TcpDispatcherClient>> TcpDispatcherClient::connect(
+    const std::string& host, std::uint16_t rpc_port) {
+  auto rpc = net::RpcClient::connect(host, rpc_port);
+  if (!rpc.ok()) return rpc.error();
+  return std::unique_ptr<TcpDispatcherClient>(
+      new TcpDispatcherClient(rpc.take()));
+}
+
+Result<InstanceId> TcpDispatcherClient::create_instance(ClientId client) {
+  wire::CreateInstanceRequest request;
+  request.client_id = client;
+  auto reply = expect<wire::CreateInstanceReply>(rpc_.call(request));
+  if (!reply.ok()) return reply.error();
+  return reply.value().instance_id;
+}
+
+Result<std::uint64_t> TcpDispatcherClient::submit(InstanceId instance,
+                                                  std::vector<TaskSpec> tasks) {
+  wire::SubmitRequest request;
+  request.instance_id = instance;
+  request.tasks = std::move(tasks);
+  auto reply = expect<wire::SubmitReply>(rpc_.call(request));
+  if (!reply.ok()) return reply.error();
+  return reply.value().accepted;
+}
+
+Result<std::vector<TaskResult>> TcpDispatcherClient::wait_results(
+    InstanceId instance, std::uint32_t max_results, double timeout_s) {
+  wire::WaitResultsRequest request;
+  request.instance_id = instance;
+  request.max_results = max_results;
+  request.timeout_s = timeout_s;
+  auto reply = expect<wire::WaitResultsReply>(rpc_.call(request));
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().results);
+}
+
+Status TcpDispatcherClient::destroy_instance(InstanceId instance) {
+  wire::DestroyInstanceRequest request;
+  request.instance_id = instance;
+  auto reply = expect<wire::DestroyInstanceReply>(rpc_.call(request));
+  if (!reply.ok()) return reply.error();
+  return ok_status();
+}
+
+Result<DispatcherStatus> TcpDispatcherClient::status() {
+  auto reply = expect<wire::StatusReply>(rpc_.call(wire::StatusRequest{}));
+  if (!reply.ok()) return reply.error();
+  DispatcherStatus status;
+  status.queued = reply.value().queued_tasks;
+  status.dispatched = reply.value().dispatched_tasks;
+  status.completed = reply.value().completed_tasks;
+  status.failed = reply.value().failed_tasks;
+  status.registered_executors = reply.value().registered_executors;
+  status.busy_executors = reply.value().busy_executors;
+  status.idle_executors =
+      reply.value().registered_executors - reply.value().busy_executors;
+  return status;
+}
+
+}  // namespace falkon::core

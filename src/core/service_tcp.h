@@ -1,0 +1,157 @@
+// TCP deployment glue.
+//
+// TcpDispatcherServer exposes a Dispatcher over two ports, mirroring the
+// original Falkon's GT4-WS-container-plus-TCP-notification split (section
+// 3.3): an RPC port for the WS-style operations (submit, get-work, deliver,
+// status, ...) and a push port for the custom notification protocol.
+// TcpExecutorHarness runs an executor against a remote dispatcher, and
+// TcpDispatcherClient is the client-side stub.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/client.h"
+#include "core/dispatcher.h"
+#include "core/executor.h"
+#include "core/task_engine.h"
+#include "net/rpc.h"
+
+namespace falkon::core {
+
+/// Key namespace for client subscriptions on the shared notification
+/// channel (executors subscribe with their ExecutorId; clients with
+/// kClientKeyBase + InstanceId).
+inline constexpr std::uint64_t kClientKeyBase = 1ULL << 62;
+
+class TcpDispatcherServer {
+ public:
+  explicit TcpDispatcherServer(Dispatcher& dispatcher);
+  ~TcpDispatcherServer();
+
+  TcpDispatcherServer(const TcpDispatcherServer&) = delete;
+  TcpDispatcherServer& operator=(const TcpDispatcherServer&) = delete;
+
+  Status start(std::uint16_t rpc_port = 0, std::uint16_t push_port = 0);
+  void stop();
+
+  [[nodiscard]] std::uint16_t rpc_port() const { return rpc_.port(); }
+  [[nodiscard]] std::uint16_t push_port() const { return push_.port(); }
+
+ private:
+  /// ExecutorSink that writes Notify frames on the notification channel.
+  struct PushSink final : ExecutorSink {
+    explicit PushSink(net::PushServer& push) : push(push) {}
+    void notify(ExecutorId id, std::uint64_t resource_key) override {
+      wire::Notify message;
+      message.executor_id = id;
+      message.resource_key = resource_key;
+      (void)push.push(id.value, message);
+    }
+    net::PushServer& push;
+  };
+
+  /// ClientSink that writes ClientNotify frames {8} on the notification
+  /// channel for subscribed clients (unsubscribed clients just poll).
+  struct ClientPushSink final : ClientSink {
+    explicit ClientPushSink(net::PushServer& push) : push(push) {}
+    void notify(InstanceId instance, std::uint64_t results_ready) override {
+      wire::ClientNotify message;
+      message.instance_id = instance;
+      message.completed = results_ready;
+      (void)push.push(kClientKeyBase + instance.value, message);
+    }
+    net::PushServer& push;
+  };
+
+  [[nodiscard]] wire::Message handle(const wire::Message& request);
+
+  Dispatcher& dispatcher_;
+  net::RpcServer rpc_;
+  net::PushServer push_;
+  std::shared_ptr<PushSink> sink_;
+  std::shared_ptr<ClientPushSink> client_sink_;
+};
+
+/// Client-side subscription to result notifications {8}: connects to the
+/// dispatcher's notification port and invokes the callback whenever new
+/// results are ready for the instance — so clients need not poll tightly.
+class TcpResultListener {
+ public:
+  using Callback = std::function<void(InstanceId, std::uint64_t results_ready)>;
+
+  Status start(const std::string& host, std::uint16_t push_port,
+               InstanceId instance, Callback callback);
+  void stop();
+
+ private:
+  net::PushReceiver receiver_;
+};
+
+/// One executor connected to a remote dispatcher over TCP.
+class TcpExecutorHarness {
+ public:
+  TcpExecutorHarness(Clock& clock, std::string host, std::uint16_t rpc_port,
+                     std::uint16_t push_port, std::unique_ptr<TaskEngine> engine,
+                     ExecutorOptions options);
+  ~TcpExecutorHarness();
+
+  TcpExecutorHarness(const TcpExecutorHarness&) = delete;
+  TcpExecutorHarness& operator=(const TcpExecutorHarness&) = delete;
+
+  /// Connects, registers (over RPC) and subscribes for notifications.
+  Status start();
+  void stop();
+
+  [[nodiscard]] ExecutorRuntime& runtime() { return *runtime_; }
+
+ private:
+  class Link final : public DispatcherLink {
+   public:
+    Status connect(const std::string& host, std::uint16_t rpc_port);
+
+    Result<ExecutorId> register_executor(
+        const wire::RegisterRequest& request) override;
+    Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
+                                           std::uint32_t max_tasks) override;
+    Result<std::vector<TaskSpec>> deliver_results(
+        ExecutorId executor, std::vector<TaskResult> results,
+        std::uint32_t want_tasks) override;
+    Status deregister(ExecutorId executor, const std::string& reason) override;
+
+   private:
+    std::unique_ptr<net::RpcClient> rpc_;
+  };
+
+  Clock& clock_;
+  std::string host_;
+  std::uint16_t rpc_port_;
+  std::uint16_t push_port_;
+  ExecutorOptions options_;
+  Link link_;
+  std::unique_ptr<TaskEngine> engine_;
+  std::unique_ptr<ExecutorRuntime> runtime_;
+  net::PushReceiver receiver_;
+};
+
+/// Client-side dispatcher stub over TCP.
+class TcpDispatcherClient final : public DispatcherClient {
+ public:
+  static Result<std::unique_ptr<TcpDispatcherClient>> connect(
+      const std::string& host, std::uint16_t rpc_port);
+
+  Result<InstanceId> create_instance(ClientId client) override;
+  Result<std::uint64_t> submit(InstanceId instance,
+                               std::vector<TaskSpec> tasks) override;
+  Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                               std::uint32_t max_results,
+                                               double timeout_s) override;
+  Status destroy_instance(InstanceId instance) override;
+  Result<DispatcherStatus> status() override;
+
+ private:
+  explicit TcpDispatcherClient(net::RpcClient rpc) : rpc_(std::move(rpc)) {}
+  net::RpcClient rpc_;
+};
+
+}  // namespace falkon::core

@@ -1,0 +1,214 @@
+#include "core/task_engine.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace falkon::core {
+
+TaskResult NoopEngine::run(const TaskSpec& task) {
+  TaskResult result;
+  result.task_id = task.id;
+  result.exit_code = 0;
+  result.state = TaskState::kCompleted;
+  result.exec_time_s = 0.0;
+  return result;
+}
+
+double SleepEngine::sleep_duration_s(const TaskSpec& task) {
+  if (task.executable == "sleep" && !task.args.empty()) {
+    char* end = nullptr;
+    const double parsed = std::strtod(task.args.front().c_str(), &end);
+    if (end && *end == '\0' && parsed >= 0) return parsed;
+  }
+  return task.estimated_runtime_s > 0 ? task.estimated_runtime_s : 0.0;
+}
+
+TaskResult SleepEngine::run(const TaskSpec& task) {
+  const double start = clock_.now_s();
+  const double duration = sleep_duration_s(task);
+  if (duration > 0) clock_.sleep_s(duration);
+  TaskResult result;
+  result.task_id = task.id;
+  result.exit_code = 0;
+  result.state = TaskState::kCompleted;
+  result.exec_time_s = clock_.now_s() - start;
+  return result;
+}
+
+namespace {
+
+/// Drain both pipes until EOF without deadlocking on full pipe buffers.
+void drain_pipes(int out_fd, int err_fd, std::string& out, std::string& err,
+                 bool capture) {
+  char buffer[4096];
+  bool out_open = true;
+  bool err_open = true;
+  while (out_open || err_open) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    int out_index = -1;
+    int err_index = -1;
+    if (out_open) {
+      out_index = static_cast<int>(nfds);
+      fds[nfds++] = {out_fd, POLLIN, 0};
+    }
+    if (err_open) {
+      err_index = static_cast<int>(nfds);
+      fds[nfds++] = {err_fd, POLLIN, 0};
+    }
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    auto drain_one = [&](int index, int fd, std::string& sink, bool& open) {
+      if (index < 0) return;
+      if ((fds[index].revents & (POLLIN | POLLHUP)) == 0) return;
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n <= 0) {
+        open = false;
+        return;
+      }
+      if (capture) sink.append(buffer, static_cast<std::size_t>(n));
+    };
+    drain_one(out_index, out_fd, out, out_open);
+    drain_one(err_index, err_fd, err, err_open);
+  }
+}
+
+}  // namespace
+
+TaskResult ShellEngine::run(const TaskSpec& task) {
+  TaskResult result;
+  result.task_id = task.id;
+
+  int out_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (::pipe(out_pipe) != 0 || ::pipe(err_pipe) != 0) {
+    result.state = TaskState::kFailed;
+    result.exit_code = 127;
+    result.stderr_data = strf("pipe: %s", std::strerror(errno));
+    return result;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.state = TaskState::kFailed;
+    result.exit_code = 127;
+    result.stderr_data = strf("fork: %s", std::strerror(errno));
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child: wire pipes, environment, working dir, exec.
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    if (!task.working_dir.empty()) {
+      if (::chdir(task.working_dir.c_str()) != 0) _exit(126);
+    }
+    for (const auto& [key, value] : task.env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(task.executable.c_str()));
+    for (const auto& arg : task.args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(task.executable.c_str(), argv.data());
+    _exit(127);
+  }
+
+  // Parent.
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  drain_pipes(out_pipe[0], err_pipe[0], result.stdout_data, result.stderr_data,
+              task.capture_output);
+  ::close(out_pipe[0]);
+  ::close(err_pipe[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  } else {
+    result.exit_code = 125;
+  }
+  result.state =
+      result.exit_code == 0 ? TaskState::kCompleted : TaskState::kFailed;
+  return result;
+}
+
+DataStagingEngine::DataStagingEngine(Clock& clock,
+                                     const iomodel::IoModel& model,
+                                     int concurrency,
+                                     std::uint64_t cache_capacity_bytes)
+    : clock_(clock), model_(model), concurrency_(concurrency) {
+  if (cache_capacity_bytes > 0) {
+    cache_ = std::make_unique<iomodel::DataCache>(cache_capacity_bytes);
+  }
+}
+
+TaskResult DataStagingEngine::run(const TaskSpec& task) {
+  const double start = clock_.now_s();
+  double io_time = 0.0;
+  bool cached = false;
+  if (cache_ && !task.data_object.empty() &&
+      (task.io_mode == IoMode::kRead || task.io_mode == IoMode::kReadWrite)) {
+    std::lock_guard lock(cache_mu_);
+    cached = cache_->access(task.data_object);
+  }
+  if (cached) {
+    // Input already on local disk: only the (cheap) local read remains,
+    // plus any write the task performs.
+    TaskSpec local = task;
+    local.data_location = DataLocation::kLocalDisk;
+    io_time = model_.io_time_s(local, concurrency_.load());
+  } else {
+    io_time = model_.io_time_s(task, concurrency_.load());
+    if (cache_ && !task.data_object.empty()) {
+      std::lock_guard lock(cache_mu_);
+      cache_->insert(task.data_object, task.input_bytes);
+    }
+  }
+  const double compute = task.estimated_runtime_s;
+  const double total = io_time + compute;
+  if (total > 0) clock_.sleep_s(total);
+
+  TaskResult result;
+  result.task_id = task.id;
+  result.exit_code = 0;
+  result.state = TaskState::kCompleted;
+  result.exec_time_s = clock_.now_s() - start;
+  return result;
+}
+
+std::uint64_t DataStagingEngine::cache_hits() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_ ? cache_->hits() : 0;
+}
+
+std::uint64_t DataStagingEngine::cache_misses() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_ ? cache_->misses() : 0;
+}
+
+}  // namespace falkon::core

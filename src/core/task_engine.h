@@ -1,0 +1,83 @@
+// Task execution engines.
+//
+// The executor hands each received TaskSpec to a TaskEngine. Engines:
+//   * NoopEngine        — returns immediately ("sleep 0" microbenchmarks);
+//   * SleepEngine       — honours sleep durations on the executor's clock
+//                         (so a ScaledClock compresses the paper's
+//                         480-second tasks into milliseconds);
+//   * ShellEngine       — real fork/exec of the command with STDOUT/STDERR
+//                         capture, the production engine (the Java original
+//                         did a Java exec);
+//   * DataStagingEngine — charges I/O time from the IoModel (and optionally
+//                         a local cache) before the compute time, for the
+//                         section 4.2 experiments.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/task.h"
+#include "iomodel/data_cache.h"
+#include "iomodel/io_model.h"
+
+namespace falkon::core {
+
+class TaskEngine {
+ public:
+  virtual ~TaskEngine() = default;
+
+  /// Execute the task; fills exit_code/state/outputs and exec_time_s.
+  /// Must be thread-safe: multiple executor slots may call concurrently.
+  [[nodiscard]] virtual TaskResult run(const TaskSpec& task) = 0;
+};
+
+class NoopEngine final : public TaskEngine {
+ public:
+  [[nodiscard]] TaskResult run(const TaskSpec& task) override;
+};
+
+/// Interprets "sleep N" commands (and any task with estimated_runtime_s)
+/// by sleeping on the provided clock.
+class SleepEngine final : public TaskEngine {
+ public:
+  explicit SleepEngine(Clock& clock) : clock_(clock) {}
+  [[nodiscard]] TaskResult run(const TaskSpec& task) override;
+
+  /// Duration a sleep task requests, parsed from args or the estimate.
+  [[nodiscard]] static double sleep_duration_s(const TaskSpec& task);
+
+ private:
+  Clock& clock_;
+};
+
+/// Real process execution: fork/exec with pipe-captured output.
+class ShellEngine final : public TaskEngine {
+ public:
+  [[nodiscard]] TaskResult run(const TaskSpec& task) override;
+};
+
+/// Models data staging per the IoModel; the executor-local DataCache
+/// short-circuits reads of objects staged by earlier tasks (paper section 6
+/// data-diffusion precursor). `concurrency` approximates how many peers
+/// contend for the same storage and is set by the deployment.
+class DataStagingEngine final : public TaskEngine {
+ public:
+  DataStagingEngine(Clock& clock, const iomodel::IoModel& model,
+                    int concurrency, std::uint64_t cache_capacity_bytes = 0);
+  [[nodiscard]] TaskResult run(const TaskSpec& task) override;
+
+  void set_concurrency(int concurrency) { concurrency_.store(concurrency); }
+  [[nodiscard]] std::uint64_t cache_hits() const;
+  [[nodiscard]] std::uint64_t cache_misses() const;
+
+ private:
+  Clock& clock_;
+  const iomodel::IoModel& model_;
+  std::atomic<int> concurrency_;
+  mutable std::mutex cache_mu_;
+  std::unique_ptr<iomodel::DataCache> cache_;
+};
+
+}  // namespace falkon::core

@@ -1,0 +1,60 @@
+#include "iomodel/data_cache.h"
+
+namespace falkon::iomodel {
+
+bool DataCache::access(const std::string& object) {
+  auto it = map_.find(object);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void DataCache::insert(const std::string& object, std::uint64_t bytes) {
+  if (bytes > capacity_) return;
+  auto it = map_.find(object);
+  if (it != map_.end()) {
+    used_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    used_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_fit(0);
+    return;
+  }
+  evict_to_fit(bytes);
+  lru_.push_front(Entry{object, bytes});
+  map_[object] = lru_.begin();
+  used_ += bytes;
+}
+
+bool DataCache::contains(const std::string& object) const {
+  return map_.count(object) > 0;
+}
+
+void DataCache::erase(const std::string& object) {
+  auto it = map_.find(object);
+  if (it == map_.end()) return;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void DataCache::clear() {
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+}
+
+void DataCache::evict_to_fit(std::uint64_t incoming_bytes) {
+  while (!lru_.empty() && used_ + incoming_bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    map_.erase(victim.object);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace falkon::iomodel

@@ -1,0 +1,64 @@
+// Per-executor local data cache.
+//
+// Paper section 6 (future work): "We plan to implement data caching
+// mechanisms in Falkon executors, so that executors can populate local
+// caches with data that tasks require", feeding a data-aware dispatcher.
+// We implement it: an LRU cache of named data objects with byte-capacity
+// eviction. The data-aware dispatch policy asks the dispatcher-side mirror
+// of each executor's cache which executor already holds a task's input.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace falkon::iomodel {
+
+class DataCache {
+ public:
+  explicit DataCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// True if the object is cached; refreshes LRU position and counts a hit
+  /// or miss.
+  bool access(const std::string& object);
+
+  /// Insert (or refresh) an object; evicts LRU entries to fit. Objects
+  /// larger than the capacity are not cached.
+  void insert(const std::string& object, std::uint64_t bytes);
+
+  /// Non-mutating lookup (no LRU refresh, no stats) — used by the
+  /// dispatcher's data-aware policy to probe remote cache contents.
+  [[nodiscard]] bool contains(const std::string& object) const;
+
+  void erase(const std::string& object);
+  void clear();
+
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t entries() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    std::string object;
+    std::uint64_t bytes;
+  };
+
+  void evict_to_fit(std::uint64_t incoming_bytes);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_{0};
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace falkon::iomodel

@@ -1,0 +1,75 @@
+#include "iomodel/io_model.h"
+
+#include <algorithm>
+
+namespace falkon::iomodel {
+
+double IoModel::shared_read_time(std::uint64_t bytes, int conc) const {
+  conc = std::max(conc, 1);
+  // Operation setup serialises through the I/O nodes...
+  const double op_time = static_cast<double>(conc) / shared_.read_ops_per_s;
+  // ...then the transfer shares aggregate bandwidth.
+  const double transfer =
+      bytes_to_megabits(bytes) /
+      (shared_.aggregate_read_mbps / static_cast<double>(conc));
+  return op_time + transfer;
+}
+
+double IoModel::shared_write_time(std::uint64_t bytes, int conc) const {
+  conc = std::max(conc, 1);
+  const double op_time = static_cast<double>(conc) / shared_.write_ops_per_s;
+  const double transfer =
+      bytes_to_megabits(bytes) /
+      (shared_.aggregate_write_mbps / static_cast<double>(conc));
+  return op_time + transfer;
+}
+
+double IoModel::local_read_time(std::uint64_t bytes, int conc) const {
+  // Concurrency on local disk is per node, not global.
+  const int node_conc = std::clamp(std::min(conc, executors_per_node_), 1,
+                                   executors_per_node_);
+  const double op_time = static_cast<double>(node_conc) / local_.node_ops_per_s;
+  const double transfer =
+      bytes_to_megabits(bytes) /
+      (local_.node_read_mbps / static_cast<double>(node_conc));
+  return op_time + transfer;
+}
+
+double IoModel::local_write_time(std::uint64_t bytes, int conc) const {
+  const int node_conc = std::clamp(std::min(conc, executors_per_node_), 1,
+                                   executors_per_node_);
+  const double op_time = static_cast<double>(node_conc) / local_.node_ops_per_s;
+  const double transfer =
+      bytes_to_megabits(bytes) /
+      (local_.node_write_mbps / static_cast<double>(node_conc));
+  return op_time + transfer;
+}
+
+double IoModel::io_time_s(const TaskSpec& task, int concurrency) const {
+  if (task.data_location == DataLocation::kNone ||
+      task.io_mode == IoMode::kNone) {
+    return 0.0;
+  }
+  double total = 0.0;
+  const bool shared = task.data_location == DataLocation::kSharedFs;
+  if (task.io_mode == IoMode::kRead || task.io_mode == IoMode::kReadWrite) {
+    total += shared ? shared_read_time(task.input_bytes, concurrency)
+                    : local_read_time(task.input_bytes, concurrency);
+  }
+  if (task.io_mode == IoMode::kReadWrite) {
+    total += shared ? shared_write_time(task.output_bytes, concurrency)
+                    : local_write_time(task.output_bytes, concurrency);
+  }
+  return total;
+}
+
+double IoModel::aggregate_mbps(const TaskSpec& task, int concurrency) const {
+  const double t = io_time_s(task, concurrency) + task.estimated_runtime_s;
+  if (t <= 0) return 0.0;
+  const double bits_per_task = bytes_to_megabits(
+      task.input_bytes +
+      (task.io_mode == IoMode::kReadWrite ? task.output_bytes : 0));
+  return bits_per_task / t * static_cast<double>(std::max(concurrency, 1));
+}
+
+}  // namespace falkon::iomodel

@@ -1,0 +1,78 @@
+// Storage substrate models.
+//
+// Section 4.2 of the paper measures Falkon task throughput when tasks stage
+// data from either the GPFS shared file system (8 I/O nodes in the paper's
+// testbed) or the compute node's local disk, reading or reading+writing
+// between 1 B and 1 GB per task. We model the two mechanisms that determine
+// those curves:
+//   * aggregate bandwidth saturation — concurrent accessors share the file
+//     system's aggregate bandwidth;
+//   * operation-rate limits — GPFS serialises concurrent writes through its
+//     I/O nodes, capping aggregate write *operations* per second regardless
+//     of data size (the paper observed 150 tasks/s for 1-byte read+write).
+//
+// Units follow the paper: bandwidths in megabits/s ("Mb/s" in Figure 4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/task.h"
+
+namespace falkon::iomodel {
+
+struct SharedFsConfig {
+  int io_servers{8};
+  /// Aggregate read bandwidth (paper plateau: 3,067 Mb/s).
+  double aggregate_read_mbps{3067.0};
+  /// Aggregate bandwidth for read+write workloads (paper plateau: 326 Mb/s;
+  /// GPFS write traffic is drastically slower under concurrency).
+  double aggregate_write_mbps{326.0};
+  /// Aggregate metadata/lock-limited operation rates.
+  double read_ops_per_s{20000.0};
+  double write_ops_per_s{150.0};
+};
+
+struct LocalDiskConfig {
+  /// Per-node bandwidths (paper plateaus over 64 nodes: read 52,015 Mb/s
+  /// => ~813 Mb/s per node; read+write 32,667 Mb/s => ~510 Mb/s per node).
+  double node_read_mbps{813.0};
+  double node_write_mbps{510.0};
+  double node_ops_per_s{5000.0};
+};
+
+/// Computes per-task I/O time under a given concurrency level. Stateless;
+/// both the simulation and the real DataStagingEngine consult it.
+class IoModel {
+ public:
+  IoModel() = default;
+  IoModel(SharedFsConfig shared, LocalDiskConfig local,
+          int executors_per_node = 2)
+      : shared_(shared), local_(local), executors_per_node_(executors_per_node) {}
+
+  /// Time one task spends on I/O when `concurrency` tasks of the same shape
+  /// access storage simultaneously (e.g. 128 executors all reading GPFS).
+  [[nodiscard]] double io_time_s(const TaskSpec& task, int concurrency) const;
+
+  /// Aggregate data throughput in Mb/s for a homogeneous workload: bits
+  /// moved per task / per-task time * concurrency.
+  [[nodiscard]] double aggregate_mbps(const TaskSpec& task, int concurrency) const;
+
+  [[nodiscard]] const SharedFsConfig& shared_config() const { return shared_; }
+  [[nodiscard]] const LocalDiskConfig& local_config() const { return local_; }
+
+ private:
+  [[nodiscard]] double shared_read_time(std::uint64_t bytes, int conc) const;
+  [[nodiscard]] double shared_write_time(std::uint64_t bytes, int conc) const;
+  [[nodiscard]] double local_read_time(std::uint64_t bytes, int conc) const;
+  [[nodiscard]] double local_write_time(std::uint64_t bytes, int conc) const;
+
+  SharedFsConfig shared_{};
+  LocalDiskConfig local_{};
+  int executors_per_node_{2};
+};
+
+[[nodiscard]] inline double bytes_to_megabits(std::uint64_t bytes) {
+  return static_cast<double>(bytes) * 8.0 / 1e6;
+}
+
+}  // namespace falkon::iomodel

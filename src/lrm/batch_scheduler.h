@@ -1,0 +1,192 @@
+// Batch-scheduler (LRM) substrate.
+//
+// Models the heavyweight local resource managers the paper compares against
+// and provisions through (PBS v2.1.8, Condor v6.7.2/v6.9.3): a FIFO job
+// queue served by a periodic scheduling cycle (the paper observed a ~60 s
+// PBS polling loop), per-job dispatch and cleanup overheads, walltime
+// enforcement, and node accounting. The overheads are the whole point: they
+// are what makes per-task LRM submission slow (0.45-0.49 tasks/sec) and what
+// Falkon's multi-level scheduling amortises away.
+//
+// The scheduler is clock-driven: all state transitions happen in step(),
+// which processes everything due at clock.now_s(). Tests drive it with a
+// ManualClock; the real deployment drives it with a background thread.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace falkon::lrm {
+
+struct LrmConfig {
+  std::string name{"pbs"};
+
+  /// Scheduling-cycle period: queued jobs are only examined on cycle
+  /// boundaries, quantising start times (paper section 4.6 attributes
+  /// 5-65 s allocation latency to the PBS polling loop).
+  double poll_interval_s{60.0};
+
+  /// Delay between submit() and the job being visible to the scheduler
+  /// (queue ingestion, validation, accounting).
+  double submit_overhead_s{1.0};
+
+  /// Per-job prolog on the allocated nodes (stage-in, start daemons).
+  double dispatch_overhead_s{1.0};
+
+  /// Per-job epilog before nodes become free for the next job.
+  double cleanup_overhead_s{1.0};
+
+  /// Uniform jitter added to dispatch overhead, modelling daemon wakeup
+  /// skew across nodes.
+  double start_jitter_s{0.0};
+
+  /// Cap on jobs one scheduling cycle may start (many LRMs throttle
+  /// concurrent submissions per user; 0 = unlimited).
+  int max_starts_per_cycle{0};
+};
+
+/// Paper-calibrated presets. Throughputs: PBS 0.45 tasks/s, Condor v6.7.2
+/// 0.49 tasks/s (measured, Table 2), Condor v6.9.3 11 tasks/s (derived,
+/// 0.0909 s/task). For the two production systems the measured 100-task
+/// batches took 224 s / 203 s on 64 nodes, i.e. the bottleneck was the
+/// serial per-job overhead stream, which the presets encode.
+[[nodiscard]] LrmConfig pbs_v218_profile();
+[[nodiscard]] LrmConfig condor_v672_profile();
+[[nodiscard]] LrmConfig condor_v693_profile();
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kStarting,    // nodes assigned, prolog running
+  kRunning,     // user payload active
+  kCompleting,  // epilog running, nodes still held
+  kDone,
+  kCancelled,
+};
+
+[[nodiscard]] const char* job_state_name(JobState state);
+
+struct JobContext {
+  JobId job_id;
+  std::vector<NodeId> nodes;
+  double start_time_s{0.0};
+};
+
+struct JobSpec {
+  int nodes{1};
+  /// Maximum runtime; job is killed at start+walltime if still running.
+  /// <= 0 disables enforcement.
+  double walltime_s{0.0};
+  /// If >= 0 the job self-completes after this long (modeled payload).
+  /// If < 0 the job runs until complete(job_id) is called (payload is
+  /// external, e.g. Falkon executors that release themselves).
+  double run_time_s{-1.0};
+  /// Invoked (without the scheduler lock) when the job enters kRunning.
+  std::function<void(const JobContext&)> on_start;
+  /// Invoked (without the scheduler lock) when the job reaches kDone or
+  /// kCancelled; `killed` is true for walltime kills and cancels.
+  std::function<void(JobId, bool killed)> on_done;
+};
+
+struct JobTimes {
+  double submit_s{0.0};
+  double eligible_s{0.0};  // after submit overhead
+  double start_s{-1.0};    // entered kStarting (nodes assigned)
+  double active_s{-1.0};   // entered kRunning (payload started)
+  double end_s{-1.0};      // payload finished / killed
+  double done_s{-1.0};     // nodes released
+};
+
+struct LrmStats {
+  std::uint64_t submitted{0};
+  std::uint64_t started{0};
+  std::uint64_t completed{0};
+  std::uint64_t killed{0};
+  std::uint64_t cancelled{0};
+  double node_seconds_allocated{0.0};  // start_s .. done_s, per node
+  double node_seconds_payload{0.0};    // active_s .. end_s, per node
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(Clock& clock, LrmConfig config, int total_nodes,
+                 std::uint64_t seed = 1);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  Result<JobId> submit(JobSpec spec);
+  Status cancel(JobId job_id);
+
+  /// External payload completion (for run_time_s < 0 jobs).
+  Status complete(JobId job_id);
+
+  /// Process every transition due at the current clock time. Thread-safe.
+  void step();
+
+  /// Earliest future time at which step() has work to do, or nullopt.
+  [[nodiscard]] std::optional<double> next_event_time() const;
+
+  /// Drive step() from a background thread every tick (real/scaled clock).
+  void start_driver(double tick_s);
+  void stop_driver();
+
+  [[nodiscard]] int total_nodes() const { return total_nodes_; }
+  [[nodiscard]] int free_nodes() const;
+  [[nodiscard]] int queued_jobs() const;
+  [[nodiscard]] int active_jobs() const;  // starting+running+completing
+  [[nodiscard]] JobState state(JobId job_id) const;
+  [[nodiscard]] std::optional<JobTimes> times(JobId job_id) const;
+  [[nodiscard]] LrmStats stats() const;
+  [[nodiscard]] const LrmConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    JobId id;
+    JobSpec spec;
+    JobState state{JobState::kQueued};
+    JobTimes times;
+    std::vector<NodeId> nodes;
+    double next_transition_s{-1.0};  // due time for the pending transition
+  };
+
+  // All *_locked helpers require mu_ held.
+  void run_cycle_locked(double cycle_time,
+                        std::vector<std::function<void()>>& callbacks);
+  void process_transitions_locked(double now,
+                                  std::vector<std::function<void()>>& callbacks);
+  void finish_job_locked(Job& job, double now, bool killed,
+                         std::vector<std::function<void()>>& callbacks);
+  [[nodiscard]] std::vector<NodeId> take_nodes_locked(int count);
+  void return_nodes_locked(const std::vector<NodeId>& nodes);
+
+  Clock& clock_;
+  LrmConfig config_;
+  int total_nodes_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  std::deque<NodeId> free_nodes_;
+  std::deque<JobId> queue_;  // FIFO of queued job ids
+  std::map<JobId, Job> jobs_;
+  IdGenerator<JobId> job_ids_;
+  double next_cycle_s_;
+  LrmStats stats_;
+
+  std::thread driver_;
+  std::atomic<bool> driver_stop_{false};
+};
+
+}  // namespace falkon::lrm

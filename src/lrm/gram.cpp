@@ -1,0 +1,115 @@
+#include "lrm/gram.h"
+
+#include <algorithm>
+
+namespace falkon::lrm {
+
+const char* gram_job_state_name(GramJobState state) {
+  switch (state) {
+    case GramJobState::kPending: return "PENDING";
+    case GramJobState::kActive: return "ACTIVE";
+    case GramJobState::kDone: return "DONE";
+    case GramJobState::kFailed: return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+Gram4Gateway::Gram4Gateway(Clock& clock, BatchScheduler& scheduler,
+                           GramConfig config)
+    : clock_(clock), scheduler_(scheduler), config_(config) {}
+
+Result<JobId> Gram4Gateway::submit(JobSpec spec, GramStateCallback on_state) {
+  std::vector<JobSpec> specs;
+  specs.push_back(std::move(spec));
+  auto ids = submit_batch(std::move(specs), std::move(on_state));
+  if (!ids.ok()) return ids.error();
+  return ids.value().front();
+}
+
+Result<std::vector<JobId>> Gram4Gateway::submit_batch(
+    std::vector<JobSpec> specs, GramStateCallback on_state) {
+  if (specs.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty GRAM batch");
+  }
+  std::lock_guard lock(mu_);
+  const double now = clock_.now_s();
+  // Requests serialise on the gateway: each takes request_overhead_s of
+  // gateway time, starting when the previous request finished. A batch is
+  // one request.
+  gateway_free_s_ = std::max(gateway_free_s_, now) + config_.request_overhead_s;
+
+  std::vector<JobId> ids;
+  ids.reserve(specs.size());
+  for (auto& spec : specs) {
+    PendingRequest request;
+    request.gram_id = gram_ids_.next();
+    request.spec = std::move(spec);
+    request.on_state = on_state;
+    request.ready_s = gateway_free_s_;
+    ids.push_back(request.gram_id);
+    if (request.on_state) {
+      request.on_state(request.gram_id, GramJobState::kPending);
+    }
+    pending_.push_back(std::move(request));
+  }
+  return ids;
+}
+
+void Gram4Gateway::step() {
+  std::vector<PendingRequest> due;
+  {
+    std::lock_guard lock(mu_);
+    const double now = clock_.now_s();
+    while (!pending_.empty() && pending_.front().ready_s <= now) {
+      due.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  for (auto& request : due) {
+    JobSpec spec = std::move(request.spec);
+    const JobId gram_id = request.gram_id;
+    GramStateCallback on_state = std::move(request.on_state);
+    const double delay = config_.notification_delay_s;
+    (void)delay;  // notifications are delivered by the LRM callbacks below
+
+    if (on_state) {
+      auto user_on_start = spec.on_start;
+      spec.on_start = [on_state, gram_id, user_on_start](const JobContext& ctx) {
+        on_state(gram_id, GramJobState::kActive);
+        if (user_on_start) user_on_start(ctx);
+      };
+      auto user_on_done = spec.on_done;
+      spec.on_done = [on_state, gram_id, user_on_done](JobId lrm_id, bool killed) {
+        on_state(gram_id, killed ? GramJobState::kFailed : GramJobState::kDone);
+        if (user_on_done) user_on_done(lrm_id, killed);
+      };
+    }
+
+    auto submitted = scheduler_.submit(std::move(spec));
+    std::lock_guard lock(mu_);
+    ++requests_issued_;
+    if (submitted.ok()) {
+      lrm_job_of_[gram_id] = submitted.value();
+    } else if (on_state) {
+      on_state(gram_id, GramJobState::kFailed);
+    }
+  }
+}
+
+std::optional<double> Gram4Gateway::next_event_time() const {
+  std::lock_guard lock(mu_);
+  if (pending_.empty()) return std::nullopt;
+  return pending_.front().ready_s;
+}
+
+int Gram4Gateway::pending_requests() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(pending_.size());
+}
+
+std::uint64_t Gram4Gateway::requests_issued() const {
+  std::lock_guard lock(mu_);
+  return requests_issued_;
+}
+
+}  // namespace falkon::lrm

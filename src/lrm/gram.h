@@ -1,0 +1,79 @@
+// GRAM4 gateway model.
+//
+// The paper's provisioner issues resource requests "via GRAM4 to abstract
+// LRM details" (section 3.2), and the GRAM4+PBS baseline submits every task
+// as a separate GRAM4 job (section 4.6). GRAM adds its own per-request
+// processing cost on top of the LRM (the paper measured ~0.5 requests/sec
+// handled on TG_ANL), plus job state notifications (Pending -> Active ->
+// Done) that clients observe with some delay.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "lrm/batch_scheduler.h"
+
+namespace falkon::lrm {
+
+enum class GramJobState : std::uint8_t { kPending = 0, kActive, kDone, kFailed };
+
+[[nodiscard]] const char* gram_job_state_name(GramJobState state);
+
+struct GramConfig {
+  /// Serial request-processing cost (authentication, job-description
+  /// parsing, LRM handoff). ~0.5 req/s measured on TG_ANL => ~2 s each.
+  double request_overhead_s{2.0};
+  /// Delay before a state-change notification reaches the subscriber.
+  double notification_delay_s{0.2};
+};
+
+/// Callback invoked on GRAM state changes (after notification delay).
+using GramStateCallback = std::function<void(JobId, GramJobState)>;
+
+class Gram4Gateway {
+ public:
+  Gram4Gateway(Clock& clock, BatchScheduler& scheduler, GramConfig config);
+
+  /// Submit a job through GRAM. The job reaches the LRM queue only after
+  /// the gateway's serialised request-processing time has elapsed; requests
+  /// queue behind each other on the gateway, as on a real GRAM head node.
+  Result<JobId> submit(JobSpec spec, GramStateCallback on_state = nullptr);
+
+  /// Submit several LRM jobs as ONE GRAM request (the "all-at-once"
+  /// acquisition strategy: a single request for n resources). The batch
+  /// pays the request-processing overhead once; its jobs release their
+  /// nodes independently.
+  Result<std::vector<JobId>> submit_batch(std::vector<JobSpec> specs,
+                                          GramStateCallback on_state = nullptr);
+
+  /// Process due gateway work (hand pending requests to the LRM). The
+  /// underlying scheduler must be stepped separately.
+  void step();
+
+  [[nodiscard]] std::optional<double> next_event_time() const;
+  [[nodiscard]] int pending_requests() const;
+  [[nodiscard]] std::uint64_t requests_issued() const;
+
+ private:
+  struct PendingRequest {
+    JobId gram_id;
+    JobSpec spec;
+    GramStateCallback on_state;
+    double ready_s;  // when the gateway finishes processing this request
+  };
+
+  Clock& clock_;
+  BatchScheduler& scheduler_;
+  GramConfig config_;
+
+  mutable std::mutex mu_;
+  std::deque<PendingRequest> pending_;
+  IdGenerator<JobId> gram_ids_;
+  /// Maps gateway-issued ids to LRM job ids once forwarded.
+  std::map<JobId, JobId> lrm_job_of_;
+  double gateway_free_s_{0.0};  // time the gateway finishes current work
+  std::uint64_t requests_issued_{0};
+};
+
+}  // namespace falkon::lrm

@@ -1,0 +1,236 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+
+namespace falkon::net {
+
+RpcServer::~RpcServer() { stop(); }
+
+Status RpcServer::start(RpcHandler handler, std::uint16_t port) {
+  auto listener = TcpListener::bind(port);
+  if (!listener.ok()) return listener.error();
+  listener_ = listener.take();
+  handler_ = std::move(handler);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return ok_status();
+}
+
+void RpcServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  listener_.close();
+  {
+    std::lock_guard lock(mu_);
+    for (auto& weak : connections_) {
+      if (auto stream = weak.lock()) stream->shutdown();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+std::size_t RpcServer::active_connections() const {
+  std::lock_guard lock(mu_);
+  std::size_t alive = 0;
+  for (const auto& weak : connections_) {
+    if (!weak.expired()) ++alive;
+  }
+  return alive;
+}
+
+void RpcServer::accept_loop() {
+  for (;;) {
+    auto accepted = listener_.accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      LOG_WARN("rpc", "accept failed: %s", accepted.error().str().c_str());
+      return;
+    }
+    auto stream = std::make_shared<TcpStream>(accepted.take());
+    std::lock_guard lock(mu_);
+    if (stopping_.load()) {
+      stream->shutdown();
+      return;
+    }
+    connections_.push_back(stream);
+    connection_threads_.emplace_back(
+        [this, stream] { serve_connection(stream); });
+  }
+}
+
+void RpcServer::serve_connection(std::shared_ptr<TcpStream> stream) {
+  for (;;) {
+    auto frame = wire::read_frame(*stream);
+    if (!frame.ok()) return;  // peer closed or connection severed
+
+    auto request = wire::decode_message(frame.value());
+    wire::Message reply;
+    if (!request.ok()) {
+      reply = wire::ErrorReply{ErrorCode::kProtocolError,
+                               request.error().message};
+    } else {
+      reply = handler_(request.value());
+    }
+    if (auto status = wire::write_frame(*stream, wire::encode_message(reply));
+        !status.ok()) {
+      return;
+    }
+  }
+}
+
+Result<RpcClient> RpcClient::connect(const std::string& host,
+                                     std::uint16_t port) {
+  auto stream = TcpStream::connect(host, port);
+  if (!stream.ok()) return stream.error();
+  return RpcClient(stream.take());
+}
+
+Result<wire::Message> RpcClient::call(const wire::Message& request) {
+  std::lock_guard lock(mu_);
+  if (auto status = wire::write_frame(stream_, wire::encode_message(request));
+      !status.ok()) {
+    return status.error();
+  }
+  auto frame = wire::read_frame(stream_);
+  if (!frame.ok()) return frame.error();
+  auto reply = wire::decode_message(frame.value());
+  if (!reply.ok()) return reply.error();
+  if (const auto* error = std::get_if<wire::ErrorReply>(&reply.value())) {
+    return make_error(error->code, error->message);
+  }
+  return reply;
+}
+
+void RpcClient::close() { stream_.shutdown(); }
+
+PushServer::~PushServer() { stop(); }
+
+Status PushServer::start(std::uint16_t port) {
+  auto listener = TcpListener::bind(port);
+  if (!listener.ok()) return listener.error();
+  listener_ = listener.take();
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return ok_status();
+}
+
+void PushServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [key, stream] : subscribers_) stream->shutdown();
+    subscribers_.clear();
+    threads.swap(handshake_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+void PushServer::accept_loop() {
+  for (;;) {
+    auto accepted = listener_.accept();
+    if (!accepted.ok()) return;
+    auto stream = std::make_shared<TcpStream>(accepted.take());
+    std::lock_guard lock(mu_);
+    if (stopping_.load()) {
+      stream->shutdown();
+      return;
+    }
+    // The subscription frame is read on its own thread so a slow or broken
+    // client cannot stall the accept loop.
+    handshake_threads_.emplace_back([this, stream] {
+      auto frame = wire::read_frame(*stream);
+      if (!frame.ok()) return;
+      auto message = wire::decode_message(frame.value());
+      if (!message.ok()) return;
+      const auto* notify = std::get_if<wire::Notify>(&message.value());
+      if (notify == nullptr) return;
+      std::lock_guard inner(mu_);
+      if (stopping_.load()) return;
+      subscribers_[notify->executor_id.value] = stream;
+    });
+  }
+}
+
+Status PushServer::push(std::uint64_t key, const wire::Message& message) {
+  std::shared_ptr<TcpStream> stream;
+  {
+    std::lock_guard lock(mu_);
+    auto it = subscribers_.find(key);
+    if (it == subscribers_.end()) {
+      return make_error(ErrorCode::kNotFound,
+                        "no subscriber with key " + std::to_string(key));
+    }
+    stream = it->second;
+  }
+  return wire::write_frame(*stream, wire::encode_message(message));
+}
+
+void PushServer::drop_subscriber(std::uint64_t key) {
+  std::lock_guard lock(mu_);
+  auto it = subscribers_.find(key);
+  if (it != subscribers_.end()) {
+    it->second->shutdown();
+    subscribers_.erase(it);
+  }
+}
+
+std::size_t PushServer::subscriber_count() const {
+  std::lock_guard lock(mu_);
+  return subscribers_.size();
+}
+
+PushReceiver::~PushReceiver() { stop(); }
+
+Status PushReceiver::start(const std::string& host, std::uint16_t port,
+                           std::uint64_t key, Callback callback) {
+  auto stream = TcpStream::connect(host, port);
+  if (!stream.ok()) return stream.error();
+  stream_ = std::make_shared<TcpStream>(stream.take());
+  callback_ = std::move(callback);
+
+  // Subscribe: a Notify frame carrying our key, flowing executor->dispatcher.
+  wire::Notify subscribe;
+  subscribe.executor_id = ExecutorId{key};
+  if (auto status =
+          wire::write_frame(*stream_, wire::encode_message(subscribe));
+      !status.ok()) {
+    return status;
+  }
+  read_thread_ = std::thread([this] { read_loop(); });
+  return ok_status();
+}
+
+void PushReceiver::stop() {
+  stopping_.store(true);
+  if (stream_) stream_->shutdown();
+  if (read_thread_.joinable()) read_thread_.join();
+}
+
+void PushReceiver::read_loop() {
+  for (;;) {
+    auto frame = wire::read_frame(*stream_);
+    if (!frame.ok()) return;
+    auto message = wire::decode_message(frame.value());
+    if (!message.ok()) continue;
+    if (stopping_.load()) return;
+    callback_(message.value());
+  }
+}
+
+}  // namespace falkon::net

@@ -1,0 +1,140 @@
+// Request/response RPC and push-notification channels over TCP.
+//
+// This is the C++ stand-in for the GT4 WS container of the original Falkon:
+//   * RpcServer/RpcClient carry the WS-style request/response operations
+//     (submit, get-work, deliver-result, status, ...);
+//   * PushServer/PushReceiver carry the custom TCP notification protocol of
+//     paper section 3.3 (implementation alternative 2: the executor is a
+//     plain client that subscribes for notifications).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "wire/message.h"
+
+namespace falkon::net {
+
+/// Server-side request handler: one message in, one message out.
+using RpcHandler = std::function<wire::Message(const wire::Message&)>;
+
+/// Accepts connections and serves framed request/response exchanges, one
+/// thread per connection (adequate for hundreds of executors on loopback;
+/// the paper's GT4 container was likewise thread-pool based).
+class RpcServer {
+ public:
+  RpcServer() = default;
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Bind (port 0 = ephemeral) and start the accept loop.
+  Status start(RpcHandler handler, std::uint16_t port = 0);
+
+  /// Stop accepting, sever all connections, join all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::size_t active_connections() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(std::shared_ptr<TcpStream> stream);
+
+  TcpListener listener_;
+  RpcHandler handler_;
+  std::thread accept_thread_;
+  mutable std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::weak_ptr<TcpStream>> connections_;
+  std::atomic<bool> stopping_{false};
+  bool started_{false};
+};
+
+/// Blocking RPC client; one outstanding call at a time per connection.
+class RpcClient {
+ public:
+  static Result<RpcClient> connect(const std::string& host, std::uint16_t port);
+
+  /// Send a request, wait for the reply. An ErrorReply from the server is
+  /// surfaced as a failed Status with the carried code.
+  Result<wire::Message> call(const wire::Message& request);
+
+  void close();
+
+ private:
+  explicit RpcClient(TcpStream stream) : stream_(std::move(stream)) {}
+
+  std::mutex mu_;
+  TcpStream stream_;
+
+ public:
+  RpcClient(RpcClient&& other) noexcept : stream_(std::move(other.stream_)) {}
+};
+
+/// Dispatcher-side notification fan-out. Executors connect and send one
+/// subscription frame (a Notify carrying their executor id); afterwards the
+/// dispatcher pushes frames to them by key.
+class PushServer {
+ public:
+  PushServer() = default;
+  ~PushServer();
+
+  PushServer(const PushServer&) = delete;
+  PushServer& operator=(const PushServer&) = delete;
+
+  Status start(std::uint16_t port = 0);
+  void stop();
+
+  /// Push a message to subscriber `key`; kNotFound if no such subscriber.
+  Status push(std::uint64_t key, const wire::Message& message);
+
+  void drop_subscriber(std::uint64_t key);
+  [[nodiscard]] std::size_t subscriber_count() const;
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void accept_loop();
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> subscribers_;
+  std::vector<std::thread> handshake_threads_;
+  std::atomic<bool> stopping_{false};
+  bool started_{false};
+};
+
+/// Executor-side notification listener: connects, subscribes, then invokes
+/// a callback for every pushed message on a background thread.
+class PushReceiver {
+ public:
+  using Callback = std::function<void(const wire::Message&)>;
+
+  PushReceiver() = default;
+  ~PushReceiver();
+
+  PushReceiver(const PushReceiver&) = delete;
+  PushReceiver& operator=(const PushReceiver&) = delete;
+
+  Status start(const std::string& host, std::uint16_t port, std::uint64_t key,
+               Callback callback);
+  void stop();
+
+ private:
+  void read_loop();
+
+  std::shared_ptr<TcpStream> stream_;
+  Callback callback_;
+  std::thread read_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace falkon::net

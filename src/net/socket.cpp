@@ -1,0 +1,134 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace falkon::net {
+namespace {
+
+Error errno_error(const char* operation) {
+  return make_error(ErrorCode::kIoError,
+                    strf("%s: %s", operation, std::strerror(errno)));
+}
+
+}  // namespace
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host,
+                                     std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return make_error(ErrorCode::kInvalidArgument, "bad address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return errno_error("connect");
+  }
+  // Dispatch messages are small and latency-sensitive: disable Nagle.
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+Status TcpStream::write_all(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_.get(), p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return ok_status();
+}
+
+Status TcpStream::read_exact(void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_.get(), p + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    if (n == 0) {
+      return make_error(ErrorCode::kClosed, "peer closed connection");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return ok_status();
+}
+
+void TcpStream::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_error("bind");
+  }
+  if (::listen(fd.get(), 1024) != 0) return errno_error("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_error("getsockname");
+  }
+
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpStream> TcpListener::accept() {
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EBADF || errno == EINVAL) {
+      return make_error(ErrorCode::kClosed, "listener closed");
+    }
+    return errno_error("accept");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(FdHandle(fd));
+}
+
+void TcpListener::close() {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.reset();
+  }
+}
+
+}  // namespace falkon::net

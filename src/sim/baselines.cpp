@@ -1,0 +1,42 @@
+#include "sim/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace falkon::sim {
+
+double derived_efficiency(const BaselineSystem& system, double task_length_s,
+                          int concurrent_tasks) {
+  if (task_length_s <= 0) return 0.0;
+  return task_length_s /
+         (task_length_s +
+          system.per_task_overhead_s * std::max(1, concurrent_tasks));
+}
+
+double baseline_makespan(const BaselineSystem& system, std::uint64_t tasks,
+                         double task_length_s, int nodes) {
+  if (tasks == 0) return 0.0;
+  nodes = std::max(nodes, 1);
+  const double overhead = system.per_task_overhead_s;
+  // Tasks clear the serial dispatch stage at times overhead, 2*overhead, ...
+  // and then run task_length on a node. If nodes outnumber in-flight tasks
+  // the makespan is dispatch-bound; otherwise node contention adds waves.
+  const double dispatch_bound =
+      static_cast<double>(tasks) * overhead + task_length_s;
+  const double node_bound =
+      std::ceil(static_cast<double>(tasks) / nodes) * task_length_s +
+      overhead * std::min<double>(static_cast<double>(tasks),
+                                  static_cast<double>(nodes));
+  return std::max(dispatch_bound, node_bound);
+}
+
+double baseline_efficiency(const BaselineSystem& system, std::uint64_t tasks,
+                           double task_length_s, int nodes) {
+  if (tasks == 0 || task_length_s <= 0) return 0.0;
+  const double ideal =
+      std::ceil(static_cast<double>(tasks) / std::max(nodes, 1)) *
+      task_length_s;
+  return ideal / baseline_makespan(system, tasks, task_length_s, nodes);
+}
+
+}  // namespace falkon::sim

@@ -1,0 +1,65 @@
+// Baseline models: direct per-task submission to heavyweight LRMs
+// (GRAM4+PBS, Condor), as the paper's comparison points in Table 2 and
+// Figures 7/14/15.
+//
+// The paper derives Condor v6.9.3's efficiency curve analytically from its
+// cited 11 tasks/s: "we computed the per task overhead of 0.0909 seconds,
+// which we could then add to the ideal time of each respective task length
+// to get an estimated task execution time. With this execution time, we
+// could compute speedup, which we then used to compute efficiency." We
+// implement exactly that derivation, plus a makespan model that accounts
+// for the serial dispatch bottleneck when many short tasks flood the LRM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace falkon::sim {
+
+struct BaselineSystem {
+  std::string name;
+  /// Serial per-task dispatch overhead (1/throughput on sleep-0 tasks).
+  double per_task_overhead_s;
+};
+
+[[nodiscard]] inline BaselineSystem baseline_pbs_v218() {
+  return {"PBS (v2.1.8)", 1.0 / 0.45};
+}
+[[nodiscard]] inline BaselineSystem baseline_condor_v672() {
+  return {"Condor (v6.7.2)", 1.0 / 0.49};
+}
+[[nodiscard]] inline BaselineSystem baseline_condor_v693() {
+  return {"Condor (v6.9.3)", 0.0909};
+}
+[[nodiscard]] inline BaselineSystem baseline_condor_j2() {
+  return {"Condor-J2", 1.0 / 22.0};
+}
+[[nodiscard]] inline BaselineSystem baseline_boinc() {
+  return {"BOINC", 1.0 / 93.0};
+}
+
+/// Paper-style derived efficiency (section 4.4, Figure 7 setup: 64 tasks
+/// on 64 processors): tasks clear the serial dispatch stage one per
+/// `per_task_overhead`, so the batch finishes at tasks*overhead +
+/// task_length and efficiency = L / (L + tasks*overhead). This reproduces
+/// the paper's anchors: Condor v6.9.3 hits 90/95/99% at 50/100/1000 s, the
+/// production PBS/Condor need ~1200 s for 90% and are <1% at 1 s.
+[[nodiscard]] double derived_efficiency(const BaselineSystem& system,
+                                        double task_length_s,
+                                        int concurrent_tasks = 64);
+
+/// Makespan for `tasks` tasks of length `task_length_s` on `nodes` nodes
+/// when every task is submitted as a separate LRM job: tasks leave the
+/// dispatch bottleneck every overhead seconds and then occupy a node for
+/// task_length. Two regimes: dispatch-bound and node-bound.
+[[nodiscard]] double baseline_makespan(const BaselineSystem& system,
+                                       std::uint64_t tasks,
+                                       double task_length_s, int nodes);
+
+/// Measured-style efficiency on a fixed pool: ideal_time / makespan, with
+/// ideal = ceil(tasks/nodes) * task_length.
+[[nodiscard]] double baseline_efficiency(const BaselineSystem& system,
+                                         std::uint64_t tasks,
+                                         double task_length_s, int nodes);
+
+}  // namespace falkon::sim

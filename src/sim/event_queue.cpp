@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+namespace falkon::sim {
+
+void Simulation::schedule_at(double t, Event event) {
+  if (t < now_) t = now_;
+  queue_.push(Entry{t, next_seq_++, std::move(event)});
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  while (!queue_.empty() && executed_ < max_events) {
+    // std::priority_queue::top() is const; move via const_cast is safe here
+    // because we pop immediately after.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.t;
+    ++executed_;
+    entry.event();
+  }
+}
+
+void Simulation::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.t;
+    ++executed_;
+    entry.event();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace falkon::sim

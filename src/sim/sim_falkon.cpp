@@ -1,0 +1,190 @@
+#include "sim/sim_falkon.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace falkon::sim {
+namespace {
+
+/// Whole-run simulation state; the event closures capture a pointer to it.
+class FalkonSim {
+ public:
+  explicit FalkonSim(const SimFalkonConfig& config)
+      : config_(config), rng_(config.seed) {
+    idle_.reserve(static_cast<std::size_t>(config.executors));
+    for (int e = config.executors - 1; e >= 0; --e) idle_.push_back(e);
+    busy_count_ = 0;
+  }
+
+  SimFalkonResult run() {
+    schedule_next_bundle(0.0);
+    schedule_sampler();
+    sim_.run();
+    result_.makespan_s = finish_time_;
+    result_.completed = completed_;
+    return std::move(result_);
+  }
+
+ private:
+  // ---- dispatcher host CPU (a serial resource with GC stalls) ----
+  double dispatcher_op(double arrival, double cpu_cost) {
+    double start = std::max(cpu_free_, arrival);
+    if (config_.gc.enabled && gc_busy_accum_ >= config_.gc.period_busy_s) {
+      start += config_.gc.pause_s;  // stop-the-world collection
+      gc_busy_accum_ = 0.0;
+    }
+    cpu_free_ = start + cpu_cost;
+    gc_busy_accum_ += cpu_cost;
+    return cpu_free_;
+  }
+
+  // ---- client submission {1,2} ----
+  void schedule_next_bundle(double not_before) {
+    if (submitted_ >= config_.task_count) return;
+    const int bundle = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::max(1, config_.client_bundle)),
+        config_.task_count - submitted_));
+    submitted_ += static_cast<std::uint64_t>(bundle);
+
+    // The submission pipeline (client-side serialisation + WS transfer +
+    // ingest) is its own serial resource, separate from the dispatch CPU:
+    // bundles leave it every bundle_cost_s(n) (this is exactly the Figure 5
+    // submission-throughput curve, grow-array term included).
+    double arrival = std::max(not_before, sim_.now()) +
+                     config_.bundling.bundle_cost_s(bundle);
+    if (config_.client_submit_rate_per_s > 0) {
+      // Additionally rate-limited client: bundles arrive on a cadence.
+      arrival = std::max(arrival, next_rate_slot_);
+      next_rate_slot_ = arrival + bundle / config_.client_submit_rate_per_s;
+    }
+    sim_.schedule_at(arrival, [this, bundle] {
+      pending_ += static_cast<std::uint64_t>(bundle);
+      pump_assignments();
+      schedule_next_bundle(sim_.now());
+    });
+  }
+
+  // ---- dispatch {3,4,5}: notify + get-work for idle executors ----
+  void pump_assignments() {
+    while (pending_ > 0 && !idle_.empty()) {
+      const int executor = idle_.back();
+      idle_.pop_back();
+      --pending_;
+      ++busy_count_;
+      if (busy_count_ == config_.executors && result_.full_busy_at_s < 0) {
+        result_.full_busy_at_s = sim_.now();
+      }
+      const double ready = dispatcher_op(sim_.now(), config_.ws.notify_getwork_cost());
+      const double task_at_executor = ready + config_.ws.latency_s;
+      // Overhead accounting starts when the executor receives the task,
+      // matching the paper's executor-side measurement (Figure 10).
+      sim_.schedule_at(task_at_executor, [this, executor] {
+        execute_task(executor, sim_.now());
+      });
+    }
+  }
+
+  // ---- execution on the executor ----
+  void execute_task(int executor, double picked_up) {
+    double crowd = config_.executor_crowding *
+                   rng_.uniform(0.85, 1.25);  // CPU-share jitter
+    if (config_.straggler_probability > 0 &&
+        rng_.bernoulli(config_.straggler_probability)) {
+      crowd *= rng_.uniform(2.0, config_.straggler_factor);
+    }
+    const double overhead = config_.ws.executor_cost() * std::max(1.0, crowd);
+    const double done = sim_.now() + config_.task_length_s + overhead;
+    sim_.schedule_at(done, [this, executor, picked_up] {
+      deliver_result(executor, picked_up);
+    });
+  }
+
+  // ---- result delivery + piggy-backed next task {6,7} ----
+  void deliver_result(int executor, double picked_up) {
+    const double arrival = sim_.now() + config_.ws.latency_s;
+    sim_.schedule_at(arrival, [this, executor, picked_up, arrival] {
+      const double acked = dispatcher_op(arrival, config_.ws.dispatch_cost());
+      sim_.schedule_at(acked, [this, executor, picked_up] {
+        on_task_complete(picked_up);
+        if (config_.piggyback && pending_ > 0) {
+          --pending_;
+          const double next_at = sim_.now() + config_.ws.latency_s;
+          sim_.schedule_at(next_at, [this, executor] {
+            execute_task(executor, sim_.now());
+          });
+        } else {
+          --busy_count_;
+          idle_.push_back(executor);
+          pump_assignments();
+        }
+      });
+    });
+  }
+
+  void on_task_complete(double picked_up) {
+    ++completed_;
+    finish_time_ = sim_.now();
+    throughput_.record(sim_.now());
+    const double overhead = (sim_.now() - picked_up) - config_.task_length_s;
+    result_.overhead_stats.add(overhead);
+    if (config_.record_per_task_overhead) {
+      result_.per_task_overhead_s.push_back(static_cast<float>(overhead));
+    }
+  }
+
+  // ---- periodic series sampler ----
+  void schedule_sampler() {
+    sim_.schedule_in(config_.sample_interval_s, [this] {
+      result_.queue_series.push_back(static_cast<double>(pending_));
+      result_.busy_series.push_back(static_cast<double>(busy_count_));
+      if (completed_ < config_.task_count) schedule_sampler();
+    });
+  }
+
+  SimFalkonConfig config_;
+  Rng rng_;
+  Simulation sim_;
+
+  double cpu_free_{0.0};
+  double gc_busy_accum_{0.0};
+  std::uint64_t submitted_{0};
+  std::uint64_t pending_{0};
+  std::uint64_t completed_{0};
+  double next_rate_slot_{0.0};
+  double finish_time_{0.0};
+  std::vector<int> idle_;
+  int busy_count_{0};
+
+  ThroughputSampler throughput_{1.0};
+  SimFalkonResult result_;
+
+ public:
+  ThroughputSampler& throughput() { return throughput_; }
+
+  SimFalkonResult run_and_collect() {
+    auto result = run();
+    result.throughput_samples = throughput_.samples();
+    return result;
+  }
+};
+
+}  // namespace
+
+SimFalkonResult simulate_falkon(const SimFalkonConfig& config) {
+  FalkonSim sim(config);
+  return sim.run_and_collect();
+}
+
+double falkon_throughput(int executors, bool security, std::uint64_t tasks) {
+  SimFalkonConfig config;
+  config.executors = executors;
+  config.task_count = tasks;
+  config.task_length_s = 0.0;
+  config.ws.security = security;
+  config.client_bundle = 100;
+  return simulate_falkon(config).avg_throughput();
+}
+
+}  // namespace falkon::sim

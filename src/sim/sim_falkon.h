@@ -1,0 +1,86 @@
+// Discrete-event model of a Falkon deployment.
+//
+// Mirrors the real core::Dispatcher/ExecutorRuntime protocol — submit
+// bundles, notify/get-work dispatch, result delivery with piggy-backed next
+// tasks — but charges calibrated CPU/latency costs (cost_model.h) instead
+// of running threads, so it scales to the paper's 54,000 executors and
+// 2,000,000 tasks on one machine. The policy semantics (piggy-backing,
+// bundling, FIFO queue) are the same as the real stack; tests cross-check
+// the two at small scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+
+namespace falkon::sim {
+
+struct SimFalkonConfig {
+  int executors{64};
+  std::uint64_t task_count{1000};
+  /// Homogeneous task runtime ("sleep N"); I/O-bound workloads fold their
+  /// modelled staging time into this value.
+  double task_length_s{0.0};
+
+  WsCostModel ws;
+  GcModel gc;
+  BundlingCostModel bundling;
+
+  /// Client-dispatcher bundle size {1,2}.
+  int client_bundle{100};
+  /// Bundle arrival rate limit in tasks/s (0 = submit as fast as the
+  /// bundling cost allows).
+  double client_submit_rate_per_s{0.0};
+  /// Piggy-back next task on result acks {6,7}.
+  bool piggyback{true};
+
+  /// Executors per physical machine divided by CPUs (Figure 9/10 runs 900
+  /// executors per machine: each gets a fraction of the CPU, multiplying
+  /// the executor-side overhead). 1.0 = dedicated CPU per executor.
+  double executor_crowding{1.0};
+  /// Rare stragglers: with this probability a task's handling overhead is
+  /// further multiplied by straggler_factor (scheduling unluckiness on a
+  /// 900-way-shared machine; paper Figure 10 max was 1.3 s against a
+  /// <200 ms bulk).
+  double straggler_probability{0.0};
+  double straggler_factor{8.0};
+
+  std::uint64_t seed{1};
+  double sample_interval_s{1.0};
+  /// Keep per-task overhead samples (Figure 10); costs 4 bytes/task.
+  bool record_per_task_overhead{false};
+};
+
+struct SimFalkonResult {
+  double makespan_s{0.0};
+  std::uint64_t completed{0};
+
+  /// Raw completions per sample interval (Figure 8 light dots).
+  std::vector<std::size_t> throughput_samples;
+  /// Dispatcher wait-queue length per sample interval (Figure 8 black line).
+  std::vector<double> queue_series;
+  /// Busy executors per sample interval (Figure 9 black line).
+  std::vector<double> busy_series;
+
+  Accumulator overhead_stats;
+  std::vector<float> per_task_overhead_s;  // ordered by completion
+
+  /// First time every executor was simultaneously busy (<0: never).
+  double full_busy_at_s{-1.0};
+
+  [[nodiscard]] double avg_throughput() const {
+    return makespan_s > 0 ? static_cast<double>(completed) / makespan_s : 0.0;
+  }
+};
+
+[[nodiscard]] SimFalkonResult simulate_falkon(const SimFalkonConfig& config);
+
+/// Convenience: steady-state dispatch throughput for "sleep 0" tasks with
+/// the given executor count and security setting (Figure 3 points).
+[[nodiscard]] double falkon_throughput(int executors, bool security,
+                                       std::uint64_t tasks = 20000);
+
+}  // namespace falkon::sim

@@ -1,0 +1,148 @@
+// Binary codec: bounds-checked little-endian writer/reader with varint
+// support. This replaces the SOAP/Axis XML serialisation of the original
+// Java Falkon; the paper (section 4.3) traces a throughput collapse to
+// Axis's grow-able array copying, which our benchmark layer models
+// explicitly on top of this codec.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace falkon::wire {
+
+/// Thrown on malformed input (truncated buffer, oversized string, bad tag).
+/// Decoding failures are programming-or-network errors at the protocol
+/// boundary; the net layer converts them into Status values.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    const std::size_t at = buffer_.size();
+    buffer_.resize(at + 4);
+    std::memcpy(buffer_.data() + at, &v, 4);
+  }
+
+  void put_u64(std::uint64_t v) {
+    const std::size_t at = buffer_.size();
+    buffer_.resize(at + 8);
+    std::memcpy(buffer_.data() + at, &v, 8);
+  }
+
+  void put_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_u64(bits);
+  }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// LEB128-style varint: compact for the small counts that dominate the
+  /// protocol (bundle sizes, arg counts).
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      put_u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    put_u8(static_cast<std::uint8_t>(v));
+  }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buffer)
+      : Reader(buffer.data(), buffer.size()) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  double get_double() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  bool get_bool() { return get_u8() != 0; }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t byte = get_u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) throw CodecError("varint too long");
+    }
+    return v;
+  }
+
+  std::string get_string() {
+    const std::uint64_t len = get_varint();
+    if (len > remaining()) throw CodecError("string length exceeds buffer");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw CodecError("buffer underrun");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace falkon::wire

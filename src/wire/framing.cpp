@@ -1,0 +1,43 @@
+#include "wire/framing.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace falkon::wire {
+
+Status write_frame(ByteStream& stream,
+                   const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      strf("frame too large: %zu bytes", payload.size()));
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[4];
+  std::memcpy(header, &length, 4);
+  if (auto status = stream.write_all(header, 4); !status.ok()) return status;
+  if (payload.empty()) return ok_status();
+  return stream.write_all(payload.data(), payload.size());
+}
+
+Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream) {
+  std::uint8_t header[4];
+  if (auto status = stream.read_exact(header, 4); !status.ok()) {
+    return status.error();
+  }
+  std::uint32_t length;
+  std::memcpy(&length, header, 4);
+  if (length > kMaxFrameBytes) {
+    return make_error(ErrorCode::kProtocolError,
+                      strf("frame length %u exceeds limit", length));
+  }
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0) {
+    if (auto status = stream.read_exact(payload.data(), length); !status.ok()) {
+      return status.error();
+    }
+  }
+  return payload;
+}
+
+}  // namespace falkon::wire

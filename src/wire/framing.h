@@ -1,0 +1,37 @@
+// Length-prefixed frames over a byte stream.
+//
+// Frame layout: u32 little-endian payload length, then payload bytes. A
+// maximum frame size guards against corrupted lengths taking down the
+// dispatcher with a giant allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace falkon::wire {
+
+/// Abstract byte stream; implemented by net::TcpStream and by the in-memory
+/// pipe used in tests.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Write exactly `size` bytes or fail.
+  virtual Status write_all(const void* data, std::size_t size) = 0;
+
+  /// Read exactly `size` bytes or fail (kClosed on clean EOF at a frame
+  /// boundary is reported by the framing layer, not here).
+  virtual Status read_exact(void* data, std::size_t size) = 0;
+};
+
+inline constexpr std::size_t kMaxFrameBytes = 256 * 1024 * 1024;
+
+/// Write one frame.
+Status write_frame(ByteStream& stream, const std::vector<std::uint8_t>& payload);
+
+/// Read one frame; kProtocolError on oversized length.
+Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream);
+
+}  // namespace falkon::wire

@@ -1,0 +1,367 @@
+#include "wire/message.h"
+
+namespace falkon::wire {
+namespace {
+
+void encode_string_vector(Writer& w, const std::vector<std::string>& v) {
+  w.put_varint(v.size());
+  for (const auto& s : v) w.put_string(s);
+}
+
+std::vector<std::string> decode_string_vector(Reader& r) {
+  const auto n = r.get_varint();
+  if (n > r.remaining()) throw CodecError("vector length exceeds buffer");
+  std::vector<std::string> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.get_string());
+  return v;
+}
+
+void encode_env(Writer& w, const std::map<std::string, std::string>& env) {
+  w.put_varint(env.size());
+  for (const auto& [key, value] : env) {
+    w.put_string(key);
+    w.put_string(value);
+  }
+}
+
+std::map<std::string, std::string> decode_env(Reader& r) {
+  const auto n = r.get_varint();
+  if (n > r.remaining()) throw CodecError("map length exceeds buffer");
+  std::map<std::string, std::string> env;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.get_string();
+    env[std::move(key)] = r.get_string();
+  }
+  return env;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kError: return "Error";
+    case MsgType::kCreateInstanceRequest: return "CreateInstanceRequest";
+    case MsgType::kCreateInstanceReply: return "CreateInstanceReply";
+    case MsgType::kDestroyInstanceRequest: return "DestroyInstanceRequest";
+    case MsgType::kDestroyInstanceReply: return "DestroyInstanceReply";
+    case MsgType::kSubmitRequest: return "SubmitRequest";
+    case MsgType::kSubmitReply: return "SubmitReply";
+    case MsgType::kRegisterRequest: return "RegisterRequest";
+    case MsgType::kRegisterReply: return "RegisterReply";
+    case MsgType::kNotify: return "Notify";
+    case MsgType::kGetWorkRequest: return "GetWorkRequest";
+    case MsgType::kGetWorkReply: return "GetWorkReply";
+    case MsgType::kResultRequest: return "ResultRequest";
+    case MsgType::kResultReply: return "ResultReply";
+    case MsgType::kStatusRequest: return "StatusRequest";
+    case MsgType::kStatusReply: return "StatusReply";
+    case MsgType::kDeregisterRequest: return "DeregisterRequest";
+    case MsgType::kDeregisterReply: return "DeregisterReply";
+    case MsgType::kWaitResultsRequest: return "WaitResultsRequest";
+    case MsgType::kWaitResultsReply: return "WaitResultsReply";
+    case MsgType::kClientNotify: return "ClientNotify";
+  }
+  return "Unknown";
+}
+
+void encode_task_spec(Writer& w, const TaskSpec& spec) {
+  w.put_u64(spec.id.value);
+  w.put_string(spec.executable);
+  encode_string_vector(w, spec.args);
+  w.put_string(spec.working_dir);
+  encode_env(w, spec.env);
+  w.put_double(spec.estimated_runtime_s);
+  w.put_u8(static_cast<std::uint8_t>(spec.data_location));
+  w.put_u8(static_cast<std::uint8_t>(spec.io_mode));
+  w.put_u64(spec.input_bytes);
+  w.put_u64(spec.output_bytes);
+  w.put_string(spec.data_object);
+  w.put_bool(spec.capture_output);
+}
+
+TaskSpec decode_task_spec(Reader& r) {
+  TaskSpec spec;
+  spec.id = TaskId{r.get_u64()};
+  spec.executable = r.get_string();
+  spec.args = decode_string_vector(r);
+  spec.working_dir = r.get_string();
+  spec.env = decode_env(r);
+  spec.estimated_runtime_s = r.get_double();
+  spec.data_location = static_cast<DataLocation>(r.get_u8());
+  spec.io_mode = static_cast<IoMode>(r.get_u8());
+  spec.input_bytes = r.get_u64();
+  spec.output_bytes = r.get_u64();
+  spec.data_object = r.get_string();
+  spec.capture_output = r.get_bool();
+  return spec;
+}
+
+void encode_task_result(Writer& w, const TaskResult& result) {
+  w.put_u64(result.task_id.value);
+  w.put_u64(result.executor_id.value);
+  w.put_u32(static_cast<std::uint32_t>(result.exit_code));
+  w.put_u8(static_cast<std::uint8_t>(result.state));
+  w.put_string(result.stdout_data);
+  w.put_string(result.stderr_data);
+  w.put_double(result.queue_time_s);
+  w.put_double(result.exec_time_s);
+  w.put_double(result.overhead_s);
+}
+
+TaskResult decode_task_result(Reader& r) {
+  TaskResult result;
+  result.task_id = TaskId{r.get_u64()};
+  result.executor_id = ExecutorId{r.get_u64()};
+  result.exit_code = static_cast<int>(r.get_u32());
+  result.state = static_cast<TaskState>(r.get_u8());
+  result.stdout_data = r.get_string();
+  result.stderr_data = r.get_string();
+  result.queue_time_s = r.get_double();
+  result.exec_time_s = r.get_double();
+  result.overhead_s = r.get_double();
+  return result;
+}
+
+namespace {
+
+void encode_task_specs(Writer& w, const std::vector<TaskSpec>& specs) {
+  w.put_varint(specs.size());
+  for (const auto& spec : specs) encode_task_spec(w, spec);
+}
+
+std::vector<TaskSpec> decode_task_specs(Reader& r) {
+  const auto n = r.get_varint();
+  if (n > r.remaining()) throw CodecError("spec vector exceeds buffer");
+  std::vector<TaskSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) specs.push_back(decode_task_spec(r));
+  return specs;
+}
+
+void encode_task_results(Writer& w, const std::vector<TaskResult>& results) {
+  w.put_varint(results.size());
+  for (const auto& result : results) encode_task_result(w, result);
+}
+
+std::vector<TaskResult> decode_task_results(Reader& r) {
+  const auto n = r.get_varint();
+  if (n > r.remaining()) throw CodecError("result vector exceeds buffer");
+  std::vector<TaskResult> results;
+  results.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) results.push_back(decode_task_result(r));
+  return results;
+}
+
+struct EncodeVisitor {
+  Writer& w;
+
+  void operator()(const ErrorReply& m) const {
+    w.put_u8(static_cast<std::uint8_t>(m.code));
+    w.put_string(m.message);
+  }
+  void operator()(const CreateInstanceRequest& m) const {
+    w.put_u64(m.client_id.value);
+  }
+  void operator()(const CreateInstanceReply& m) const {
+    w.put_u64(m.instance_id.value);
+  }
+  void operator()(const DestroyInstanceRequest& m) const {
+    w.put_u64(m.instance_id.value);
+  }
+  void operator()(const DestroyInstanceReply&) const {}
+  void operator()(const SubmitRequest& m) const {
+    w.put_u64(m.instance_id.value);
+    encode_task_specs(w, m.tasks);
+  }
+  void operator()(const SubmitReply& m) const { w.put_u64(m.accepted); }
+  void operator()(const RegisterRequest& m) const {
+    w.put_u64(m.node_id.value);
+    w.put_string(m.host);
+    w.put_u32(m.slots);
+    w.put_u64(m.allocation_id.value);
+  }
+  void operator()(const RegisterReply& m) const {
+    w.put_u64(m.executor_id.value);
+  }
+  void operator()(const Notify& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_u64(m.resource_key);
+  }
+  void operator()(const GetWorkRequest& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_u32(m.max_tasks);
+  }
+  void operator()(const GetWorkReply& m) const { encode_task_specs(w, m.tasks); }
+  void operator()(const ResultRequest& m) const {
+    w.put_u64(m.executor_id.value);
+    encode_task_results(w, m.results);
+    w.put_u32(m.want_tasks);
+  }
+  void operator()(const ResultReply& m) const {
+    w.put_u64(m.acknowledged);
+    encode_task_specs(w, m.piggyback_tasks);
+  }
+  void operator()(const StatusRequest&) const {}
+  void operator()(const StatusReply& m) const {
+    w.put_u64(m.queued_tasks);
+    w.put_u64(m.dispatched_tasks);
+    w.put_u64(m.completed_tasks);
+    w.put_u64(m.failed_tasks);
+    w.put_u32(m.registered_executors);
+    w.put_u32(m.busy_executors);
+  }
+  void operator()(const DeregisterRequest& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_string(m.reason);
+  }
+  void operator()(const DeregisterReply&) const {}
+  void operator()(const WaitResultsRequest& m) const {
+    w.put_u64(m.instance_id.value);
+    w.put_u32(m.max_results);
+    w.put_double(m.timeout_s);
+  }
+  void operator()(const WaitResultsReply& m) const {
+    encode_task_results(w, m.results);
+  }
+  void operator()(const ClientNotify& m) const {
+    w.put_u64(m.instance_id.value);
+    w.put_u64(m.completed);
+  }
+};
+
+Message decode_payload(MsgType type, Reader& r) {
+  switch (type) {
+    case MsgType::kError: {
+      ErrorReply m;
+      m.code = static_cast<ErrorCode>(r.get_u8());
+      m.message = r.get_string();
+      return m;
+    }
+    case MsgType::kCreateInstanceRequest:
+      return CreateInstanceRequest{ClientId{r.get_u64()}};
+    case MsgType::kCreateInstanceReply:
+      return CreateInstanceReply{InstanceId{r.get_u64()}};
+    case MsgType::kDestroyInstanceRequest:
+      return DestroyInstanceRequest{InstanceId{r.get_u64()}};
+    case MsgType::kDestroyInstanceReply:
+      return DestroyInstanceReply{};
+    case MsgType::kSubmitRequest: {
+      SubmitRequest m;
+      m.instance_id = InstanceId{r.get_u64()};
+      m.tasks = decode_task_specs(r);
+      return m;
+    }
+    case MsgType::kSubmitReply:
+      return SubmitReply{r.get_u64()};
+    case MsgType::kRegisterRequest: {
+      RegisterRequest m;
+      m.node_id = NodeId{r.get_u64()};
+      m.host = r.get_string();
+      m.slots = r.get_u32();
+      m.allocation_id = AllocationId{r.get_u64()};
+      return m;
+    }
+    case MsgType::kRegisterReply:
+      return RegisterReply{ExecutorId{r.get_u64()}};
+    case MsgType::kNotify: {
+      Notify m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.resource_key = r.get_u64();
+      return m;
+    }
+    case MsgType::kGetWorkRequest: {
+      GetWorkRequest m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.max_tasks = r.get_u32();
+      return m;
+    }
+    case MsgType::kGetWorkReply: {
+      GetWorkReply m;
+      m.tasks = decode_task_specs(r);
+      return m;
+    }
+    case MsgType::kResultRequest: {
+      ResultRequest m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.results = decode_task_results(r);
+      m.want_tasks = r.get_u32();
+      return m;
+    }
+    case MsgType::kResultReply: {
+      ResultReply m;
+      m.acknowledged = r.get_u64();
+      m.piggyback_tasks = decode_task_specs(r);
+      return m;
+    }
+    case MsgType::kStatusRequest:
+      return StatusRequest{};
+    case MsgType::kStatusReply: {
+      StatusReply m;
+      m.queued_tasks = r.get_u64();
+      m.dispatched_tasks = r.get_u64();
+      m.completed_tasks = r.get_u64();
+      m.failed_tasks = r.get_u64();
+      m.registered_executors = r.get_u32();
+      m.busy_executors = r.get_u32();
+      return m;
+    }
+    case MsgType::kDeregisterRequest: {
+      DeregisterRequest m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.reason = r.get_string();
+      return m;
+    }
+    case MsgType::kDeregisterReply:
+      return DeregisterReply{};
+    case MsgType::kWaitResultsRequest: {
+      WaitResultsRequest m;
+      m.instance_id = InstanceId{r.get_u64()};
+      m.max_results = r.get_u32();
+      m.timeout_s = r.get_double();
+      return m;
+    }
+    case MsgType::kWaitResultsReply: {
+      WaitResultsReply m;
+      m.results = decode_task_results(r);
+      return m;
+    }
+    case MsgType::kClientNotify: {
+      ClientNotify m;
+      m.instance_id = InstanceId{r.get_u64()};
+      m.completed = r.get_u64();
+      return m;
+    }
+  }
+  throw CodecError("unknown message type");
+}
+
+}  // namespace
+
+MsgType message_type(const Message& message) {
+  return static_cast<MsgType>(message.index());
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(message_type(message)));
+  std::visit(EncodeVisitor{w}, message);
+  return w.take();
+}
+
+Result<Message> decode_message(const std::uint8_t* data, std::size_t size) {
+  try {
+    Reader r(data, size);
+    const auto type = static_cast<MsgType>(r.get_u8());
+    Message m = decode_payload(type, r);
+    return m;
+  } catch (const CodecError& e) {
+    return make_error(ErrorCode::kProtocolError, e.what());
+  }
+}
+
+Result<Message> decode_message(const std::vector<std::uint8_t>& buffer) {
+  return decode_message(buffer.data(), buffer.size());
+}
+
+}  // namespace falkon::wire

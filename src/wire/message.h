@@ -1,0 +1,189 @@
+// Falkon protocol messages.
+//
+// One message type per arrow in paper Figure 2:
+//   client <-> dispatcher : create/destroy instance, submit {1,2},
+//                           wait-results {9,10}, client notification {8}
+//   dispatcher -> executor: notify {3} (push channel)
+//   executor <-> dispatcher: register, get-work {4,5}, deliver-result {6},
+//                           ack + piggy-backed next tasks {7}
+//   provisioner <-> dispatcher: status poll {POLL}
+//
+// Bundling (section 3.4) is structural: SubmitRequest, GetWorkReply,
+// ResultRequest and ResultReply all carry arrays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/task.h"
+#include "wire/codec.h"
+
+namespace falkon::wire {
+
+enum class MsgType : std::uint8_t {
+  kError = 0,
+  kCreateInstanceRequest = 1,
+  kCreateInstanceReply = 2,
+  kDestroyInstanceRequest = 3,
+  kDestroyInstanceReply = 4,
+  kSubmitRequest = 5,
+  kSubmitReply = 6,
+  kRegisterRequest = 7,
+  kRegisterReply = 8,
+  kNotify = 9,
+  kGetWorkRequest = 10,
+  kGetWorkReply = 11,
+  kResultRequest = 12,
+  kResultReply = 13,
+  kStatusRequest = 14,
+  kStatusReply = 15,
+  kDeregisterRequest = 16,
+  kDeregisterReply = 17,
+  kWaitResultsRequest = 18,
+  kWaitResultsReply = 19,
+  kClientNotify = 20,
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType type);
+
+// ---- message structs -------------------------------------------------
+
+struct ErrorReply {
+  ErrorCode code{ErrorCode::kInternal};
+  std::string message;
+};
+
+struct CreateInstanceRequest {
+  ClientId client_id;
+};
+
+/// The "EPR" returned by the dispatcher factory (section 3.2).
+struct CreateInstanceReply {
+  InstanceId instance_id;
+};
+
+struct DestroyInstanceRequest {
+  InstanceId instance_id;
+};
+
+struct DestroyInstanceReply {};
+
+struct SubmitRequest {
+  InstanceId instance_id;
+  std::vector<TaskSpec> tasks;  // client-dispatcher bundling
+};
+
+struct SubmitReply {
+  std::uint64_t accepted{0};
+};
+
+struct RegisterRequest {
+  NodeId node_id;
+  std::string host;           // where the executor runs
+  std::uint32_t slots{1};     // concurrent tasks the executor can run
+  AllocationId allocation_id; // LRM allocation that created this executor
+};
+
+struct RegisterReply {
+  ExecutorId executor_id;
+};
+
+/// Sentinel resource key in a Notify that asks the executor to release
+/// itself (centralized resource-release policy) instead of fetching work.
+inline constexpr std::uint64_t kReleaseResourceKey = ~0ULL;
+
+/// Push notification ({3}): "work is available under this resource key".
+struct Notify {
+  ExecutorId executor_id;
+  std::uint64_t resource_key{0};
+};
+
+struct GetWorkRequest {
+  ExecutorId executor_id;
+  std::uint32_t max_tasks{1};
+};
+
+struct GetWorkReply {
+  std::vector<TaskSpec> tasks;
+};
+
+struct ResultRequest {
+  ExecutorId executor_id;
+  std::vector<TaskResult> results;
+  /// Pre-fetch hint: executor wants this many new tasks piggy-backed on
+  /// the acknowledgement (0 disables piggy-backing).
+  std::uint32_t want_tasks{0};
+};
+
+struct ResultReply {
+  std::uint64_t acknowledged{0};
+  std::vector<TaskSpec> piggyback_tasks;  // section 3.4 optimisation
+};
+
+struct StatusRequest {};
+
+/// Dispatcher state snapshot consumed by the provisioner {POLL}.
+struct StatusReply {
+  std::uint64_t queued_tasks{0};
+  std::uint64_t dispatched_tasks{0};
+  std::uint64_t completed_tasks{0};
+  std::uint64_t failed_tasks{0};
+  std::uint32_t registered_executors{0};
+  std::uint32_t busy_executors{0};
+};
+
+struct DeregisterRequest {
+  ExecutorId executor_id;
+  std::string reason;
+};
+
+struct DeregisterReply {};
+
+struct WaitResultsRequest {
+  InstanceId instance_id;
+  std::uint32_t max_results{64};
+  double timeout_s{1.0};
+};
+
+struct WaitResultsReply {
+  std::vector<TaskResult> results;
+};
+
+/// Dispatcher -> client notification {8}: results are ready for pick-up.
+struct ClientNotify {
+  InstanceId instance_id;
+  std::uint64_t completed{0};
+};
+
+using Message =
+    std::variant<ErrorReply, CreateInstanceRequest, CreateInstanceReply,
+                 DestroyInstanceRequest, DestroyInstanceReply, SubmitRequest,
+                 SubmitReply, RegisterRequest, RegisterReply, Notify,
+                 GetWorkRequest, GetWorkReply, ResultRequest, ResultReply,
+                 StatusRequest, StatusReply, DeregisterRequest,
+                 DeregisterReply, WaitResultsRequest, WaitResultsReply,
+                 ClientNotify>;
+
+[[nodiscard]] MsgType message_type(const Message& message);
+
+/// Serialise a message (type byte + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Decode; kProtocolError on malformed input.
+[[nodiscard]] Result<Message> decode_message(const std::uint8_t* data,
+                                             std::size_t size);
+[[nodiscard]] Result<Message> decode_message(
+    const std::vector<std::uint8_t>& buffer);
+
+// TaskSpec/TaskResult encoders are exposed for tests and for the sim's
+// message-size accounting.
+void encode_task_spec(Writer& writer, const TaskSpec& spec);
+[[nodiscard]] TaskSpec decode_task_spec(Reader& reader);
+void encode_task_result(Writer& writer, const TaskResult& result);
+[[nodiscard]] TaskResult decode_task_result(Reader& reader);
+
+}  // namespace falkon::wire

@@ -1,0 +1,86 @@
+#include "workflow/dag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace falkon::workflow {
+
+std::size_t WorkflowGraph::add_task(TaskSpec task, std::string stage,
+                                    std::vector<std::size_t> deps) {
+  const std::size_t index = nodes_.size();
+  task.id = TaskId{index + 1};
+  WorkflowNode node;
+  node.task = std::move(task);
+  node.stage = std::move(stage);
+  node.deps = std::move(deps);
+  nodes_.push_back(std::move(node));
+  return index;
+}
+
+std::vector<std::string> WorkflowGraph::stages() const {
+  std::vector<std::string> out;
+  for (const auto& node : nodes_) {
+    if (std::find(out.begin(), out.end(), node.stage) == out.end()) {
+      out.push_back(node.stage);
+    }
+  }
+  return out;
+}
+
+Status WorkflowGraph::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t dep : nodes_[i].deps) {
+      if (dep >= i) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "node " + std::to_string(i) +
+                              " depends on non-earlier node " +
+                              std::to_string(dep));
+      }
+    }
+  }
+  return ok_status();
+}
+
+double WorkflowGraph::total_cpu_s() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node.task.estimated_runtime_s;
+  return total;
+}
+
+double WorkflowGraph::critical_path_s() const {
+  std::vector<double> finish(nodes_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    double start = 0.0;
+    for (std::size_t dep : nodes_[i].deps) start = std::max(start, finish[dep]);
+    finish[i] = start + nodes_[i].task.estimated_runtime_s;
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+double WorkflowGraph::ideal_makespan_s(int processors) const {
+  processors = std::max(processors, 1);
+  return std::max(critical_path_s(), total_cpu_s() / processors);
+}
+
+double WorkflowGraph::staged_ideal_makespan_s(int processors) const {
+  processors = std::max(processors, 1);
+  // stage label -> (count, max duration)
+  std::map<std::string, std::pair<std::size_t, double>> per_stage;
+  std::vector<std::string> order = stages();
+  for (const auto& node : nodes_) {
+    auto& [count, duration] = per_stage[node.stage];
+    ++count;
+    duration = std::max(duration, node.task.estimated_runtime_s);
+  }
+  double total = 0.0;
+  for (const auto& stage : order) {
+    const auto& [count, duration] = per_stage[stage];
+    total += std::ceil(static_cast<double>(count) / processors) * duration;
+  }
+  return total;
+}
+
+}  // namespace falkon::workflow

@@ -1,0 +1,67 @@
+// Task-graph model ("Swift-lite").
+//
+// The paper's applications reach Falkon through the Swift parallel
+// programming system and the Karajan workflow engine: data-driven task
+// graphs whose ready tasks are dispatched as their inputs become available
+// (section 1). This module provides the graph; engine.h executes it
+// through a pluggable provider (Falkon, GRAM4+PBS, clustered GRAM4+PBS),
+// mirroring Swift's provider abstraction (section 3.5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/task.h"
+
+namespace falkon::workflow {
+
+struct WorkflowNode {
+  TaskSpec task;
+  std::string stage;               // e.g. "mProject", "stage-9"
+  std::vector<std::size_t> deps;   // indices of prerequisite nodes
+};
+
+class WorkflowGraph {
+ public:
+  /// Add a task whose prerequisites must already be in the graph (this
+  /// ordering restriction makes cycles unrepresentable). Task ids are
+  /// assigned by the graph (index + 1). Returns the node index.
+  std::size_t add_task(TaskSpec task, std::string stage,
+                       std::vector<std::size_t> deps = {});
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const WorkflowNode& node(std::size_t index) const {
+    return nodes_[index];
+  }
+  [[nodiscard]] const std::vector<WorkflowNode>& nodes() const { return nodes_; }
+
+  /// Distinct stage labels in first-appearance order.
+  [[nodiscard]] std::vector<std::string> stages() const;
+
+  /// Structural checks: dependency indices in range and strictly smaller
+  /// than the dependent node's index.
+  [[nodiscard]] Status validate() const;
+
+  /// Sum of estimated runtimes (the workload's CPU-seconds).
+  [[nodiscard]] double total_cpu_s() const;
+
+  /// Length of the longest dependency chain, weighted by runtime: no
+  /// schedule on any number of processors can beat this.
+  [[nodiscard]] double critical_path_s() const;
+
+  /// Lower bound on makespan with `processors`: max(critical path,
+  /// total work / processors).
+  [[nodiscard]] double ideal_makespan_s(int processors) const;
+
+  /// Per-stage ideal: sum over stages of ceil(count/processors)*duration,
+  /// assuming stages are executed as barriers (how the paper computes the
+  /// 1,260 s ideal for the 18-stage workload on 32 machines).
+  [[nodiscard]] double staged_ideal_makespan_s(int processors) const;
+
+ private:
+  std::vector<WorkflowNode> nodes_;
+};
+
+}  // namespace falkon::workflow

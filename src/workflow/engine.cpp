@@ -1,0 +1,79 @@
+#include "workflow/engine.h"
+
+#include <vector>
+
+namespace falkon::workflow {
+
+Result<WorkflowRunStats> WorkflowEngine::run(const WorkflowGraph& graph,
+                                             EngineOptions options) {
+  if (auto status = graph.validate(); !status.ok()) return status.error();
+
+  const std::size_t n = graph.size();
+  std::vector<int> missing_deps(n, 0);
+  std::vector<std::vector<std::size_t>> children(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    missing_deps[i] = static_cast<int>(graph.node(i).deps.size());
+    for (std::size_t dep : graph.node(i).deps) children[dep].push_back(i);
+  }
+
+  WorkflowRunStats stats;
+  stats.tasks = n;
+  const double start = clock_.now_s();
+
+  auto release = [&](const std::vector<std::size_t>& indices) -> Status {
+    if (indices.empty()) return ok_status();
+    std::vector<TaskSpec> batch;
+    batch.reserve(indices.size());
+    const double now = clock_.now_s();
+    for (std::size_t index : indices) {
+      const auto& node = graph.node(index);
+      auto& stage = stats.stages[node.stage];
+      ++stage.tasks;
+      if (stage.first_ready_s < 0) stage.first_ready_s = now - start;
+      batch.push_back(node.task);
+    }
+    return provider_.submit(std::move(batch));
+  };
+
+  // Seed with the initially ready tasks.
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (missing_deps[i] == 0) ready.push_back(i);
+  }
+  if (auto status = release(ready); !status.ok()) return status.error();
+
+  std::size_t done = 0;
+  while (done < n) {
+    if (clock_.now_s() - start > options.deadline_s) {
+      return make_error(ErrorCode::kTimeout,
+                        "workflow deadline exceeded with " +
+                            std::to_string(done) + "/" + std::to_string(n) +
+                            " tasks done");
+    }
+    if (options.on_tick) options.on_tick();
+    auto results = provider_.poll(options.poll_slice_s);
+    std::vector<std::size_t> newly_ready;
+    for (const auto& result : results) {
+      if (!result.task_id.valid() || result.task_id.value > n) continue;
+      const std::size_t index = result.task_id.value - 1;
+      ++done;
+      stats.queue_time.add(result.queue_time_s);
+      stats.exec_time.add(result.exec_time_s);
+      auto& stage = stats.stages[graph.node(index).stage];
+      stage.exec_time.add(result.exec_time_s);
+      stage.queue_time.add(result.queue_time_s);
+      stage.last_done_s = clock_.now_s() - start;
+      if (!result.success()) ++stats.failed;
+      for (std::size_t child : children[index]) {
+        if (--missing_deps[child] == 0) newly_ready.push_back(child);
+      }
+    }
+    if (auto status = release(newly_ready); !status.ok()) {
+      return status.error();
+    }
+  }
+  stats.makespan_s = clock_.now_s() - start;
+  return stats;
+}
+
+}  // namespace falkon::workflow

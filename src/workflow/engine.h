@@ -1,0 +1,63 @@
+// Workflow engine: releases ready tasks to a Provider as their
+// dependencies complete (the Karajan/Swift execution loop of section 5).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "workflow/dag.h"
+#include "workflow/provider.h"
+
+namespace falkon::workflow {
+
+struct StageStats {
+  std::size_t tasks{0};
+  double first_ready_s{-1.0};
+  double last_done_s{-1.0};
+  Accumulator exec_time;
+  Accumulator queue_time;
+};
+
+struct WorkflowRunStats {
+  double makespan_s{0.0};
+  std::size_t tasks{0};
+  std::size_t failed{0};
+  Accumulator queue_time;   // per-task, as reported by the provider
+  Accumulator exec_time;    // per-task, as reported by the provider
+  std::map<std::string, StageStats> stages;
+
+  /// Table 3 metric: exec_time / (exec_time + queue_time), on means.
+  [[nodiscard]] double execution_time_fraction() const {
+    const double denominator = exec_time.mean() + queue_time.mean();
+    return denominator > 0 ? exec_time.mean() / denominator : 0.0;
+  }
+};
+
+struct EngineOptions {
+  /// Provider poll slice per loop (model seconds).
+  double poll_slice_s{1.0};
+  /// Abort if the workflow has not finished after this much model time.
+  double deadline_s{1e9};
+  /// Invoked once per engine loop, for driving co-located components (e.g.
+  /// FalkonCluster::step when not using background drivers).
+  std::function<void()> on_tick;
+};
+
+class WorkflowEngine {
+ public:
+  WorkflowEngine(Clock& clock, Provider& provider)
+      : clock_(clock), provider_(provider) {}
+
+  /// Execute the graph to completion; per-task timings come from the
+  /// provider's TaskResults.
+  Result<WorkflowRunStats> run(const WorkflowGraph& graph,
+                               EngineOptions options = {});
+
+ private:
+  Clock& clock_;
+  Provider& provider_;
+};
+
+}  // namespace falkon::workflow

@@ -1,0 +1,276 @@
+#include "workflow/workloads.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace falkon::workflow {
+
+WorkflowGraph make_sleep_workload(std::size_t count, double task_length_s) {
+  WorkflowGraph graph;
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskSpec task;
+    task.executable = "sleep";
+    task.args = {std::to_string(task_length_s)};
+    task.estimated_runtime_s = task_length_s;
+    task.capture_output = false;
+    graph.add_task(std::move(task), "sleep");
+  }
+  return graph;
+}
+
+std::vector<SyntheticStage> synthetic_18stage_shape() {
+  return {
+      {1, 60.0},    // 1: exponential ramp ...
+      {2, 60.0},    // 2
+      {4, 60.0},    // 3
+      {8, 60.0},    // 4
+      {16, 60.0},   // 5
+      {32, 60.0},   // 6
+      {64, 60.0},   // 7
+      {1, 120.0},   // 8: sudden drop, one long task
+      {500, 6.0},   // 9: surge of many short tasks
+      {284, 12.0},  // 10: second surge
+      {1, 60.0},    // 11: drop
+      {32, 60.0},   // 12: modest increase
+      {24, 60.0},   // 13: linear decrease ...
+      {16, 60.0},   // 14
+      {8, 60.0},    // 15: exponential decrease ...
+      {4, 60.0},    // 16
+      {2, 60.0},    // 17
+      {1, 60.0},    // 18
+  };
+}
+
+WorkflowGraph make_synthetic_18stage() {
+  WorkflowGraph graph;
+  const auto shape = synthetic_18stage_shape();
+  std::vector<std::size_t> previous_stage;
+  for (std::size_t s = 0; s < shape.size(); ++s) {
+    std::vector<std::size_t> this_stage;
+    for (int t = 0; t < shape[s].tasks; ++t) {
+      TaskSpec task;
+      task.executable = "sleep";
+      task.args = {std::to_string(shape[s].task_length_s)};
+      task.estimated_runtime_s = shape[s].task_length_s;
+      task.capture_output = false;
+      // Stage barrier: every task depends on the whole previous stage.
+      this_stage.push_back(graph.add_task(
+          std::move(task), strf("stage-%02zu", s + 1), previous_stage));
+    }
+    previous_stage = std::move(this_stage);
+  }
+  return graph;
+}
+
+WorkflowGraph make_fmri_workflow(int volumes, double task_length_s) {
+  WorkflowGraph graph;
+  const char* stages[4] = {"reorient", "realign", "reslice", "smooth"};
+  std::vector<std::size_t> previous(static_cast<std::size_t>(volumes));
+  for (int step = 0; step < 4; ++step) {
+    for (int v = 0; v < volumes; ++v) {
+      TaskSpec task;
+      task.executable = stages[step];
+      task.args = {strf("volume-%04d", v)};
+      task.estimated_runtime_s = task_length_s;
+      task.data_object = strf("vol-%04d-step%d", v, step);
+      task.capture_output = false;
+      std::vector<std::size_t> deps;
+      if (step > 0) deps.push_back(previous[static_cast<std::size_t>(v)]);
+      previous[static_cast<std::size_t>(v)] =
+          graph.add_task(std::move(task), stages[step], std::move(deps));
+    }
+  }
+  // Per-run average step for the larger problem sizes (keeps task counts in
+  // line with the paper's 480 volumes -> 1960 tasks: 4*480 + 480/12).
+  if (volumes >= 240) {
+    for (int group = 0; group < volumes / 12; ++group) {
+      TaskSpec task;
+      task.executable = "average";
+      task.estimated_runtime_s = task_length_s;
+      task.capture_output = false;
+      std::vector<std::size_t> deps;
+      for (int k = 0; k < 12; ++k) {
+        deps.push_back(previous[static_cast<std::size_t>(group * 12 + k)]);
+      }
+      graph.add_task(std::move(task), "average", std::move(deps));
+    }
+  }
+  return graph;
+}
+
+WorkflowGraph make_montage_workflow(int input_images, int overlaps,
+                                    int coadd_tiles, std::uint64_t seed) {
+  WorkflowGraph graph;
+  Rng rng(seed);
+
+  // Stage 1: mProject — reproject every input image (the expensive step).
+  std::vector<std::size_t> project(static_cast<std::size_t>(input_images));
+  for (int i = 0; i < input_images; ++i) {
+    TaskSpec task;
+    task.executable = "mProject";
+    task.args = {strf("raw-%04d.fits", i)};
+    task.estimated_runtime_s = rng.uniform(60.0, 100.0);
+    task.data_object = strf("proj-%04d.fits", i);
+    task.capture_output = false;
+    project[static_cast<std::size_t>(i)] =
+        graph.add_task(std::move(task), "mProject");
+  }
+
+  // Stage 2+3: mDiff / mFit over overlapping pairs — many tiny tasks.
+  std::vector<std::size_t> fits;
+  fits.reserve(static_cast<std::size_t>(overlaps));
+  for (int j = 0; j < overlaps; ++j) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(input_images - 1)));
+    auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(input_images - 1)));
+    if (b == a) b = (b + 1) % static_cast<std::size_t>(input_images);
+    TaskSpec diff;
+    diff.executable = "mDiff";
+    diff.estimated_runtime_s = rng.uniform(3.0, 8.0);
+    diff.capture_output = false;
+    const std::size_t diff_index = graph.add_task(
+        std::move(diff), "mDiff",
+        {project[std::min(a, b)], project[std::max(a, b)]});
+
+    TaskSpec fit;
+    fit.executable = "mFitplane";
+    fit.estimated_runtime_s = rng.uniform(2.0, 5.0);
+    fit.capture_output = false;
+    fits.push_back(graph.add_task(std::move(fit), "mFit", {diff_index}));
+  }
+
+  // Stage 4: mBgModel — single global background solve over all fits.
+  TaskSpec bg_model;
+  bg_model.executable = "mBgModel";
+  bg_model.estimated_runtime_s = 60.0;
+  bg_model.capture_output = false;
+  const std::size_t bg_index =
+      graph.add_task(std::move(bg_model), "mBgModel", fits);
+
+  // Stage 5: mBackground — correct every projected image.
+  std::vector<std::size_t> corrected(static_cast<std::size_t>(input_images));
+  for (int i = 0; i < input_images; ++i) {
+    TaskSpec task;
+    task.executable = "mBackground";
+    task.estimated_runtime_s = rng.uniform(10.0, 20.0);
+    task.capture_output = false;
+    corrected[static_cast<std::size_t>(i)] = graph.add_task(
+        std::move(task), "mBackground",
+        {project[static_cast<std::size_t>(i)], bg_index});
+  }
+
+  // Stage 6: the co-add, decomposed into parallel tiles ("to enhance
+  // concurrency, we decompose the co-add into two steps").
+  std::vector<std::size_t> tiles;
+  coadd_tiles = std::max(1, coadd_tiles);
+  for (int t = 0; t < coadd_tiles; ++t) {
+    std::vector<std::size_t> deps;
+    for (int i = t; i < input_images; i += coadd_tiles) {
+      deps.push_back(corrected[static_cast<std::size_t>(i)]);
+    }
+    TaskSpec task;
+    task.executable = "mAddSub";
+    task.estimated_runtime_s = rng.uniform(40.0, 80.0);
+    task.capture_output = false;
+    tiles.push_back(graph.add_task(std::move(task), "mAddSub", std::move(deps)));
+  }
+
+  // Stage 7: final mAdd — sequential in the Swift version (the paper notes
+  // only the MPI version parallelised the second co-add step).
+  TaskSpec add;
+  add.executable = "mAdd";
+  add.estimated_runtime_s = 180.0;
+  add.capture_output = false;
+  graph.add_task(std::move(add), "mAdd", tiles);
+
+  return graph;
+}
+
+WorkflowGraph make_stacking_workload(int stacks, int images_per_stack,
+                                     int catalog_images, std::uint64_t seed) {
+  WorkflowGraph graph;
+  Rng rng(seed);
+  for (int s = 0; s < stacks; ++s) {
+    std::vector<std::size_t> cutouts;
+    cutouts.reserve(static_cast<std::size_t>(images_per_stack));
+    for (int i = 0; i < images_per_stack; ++i) {
+      // Popular-object skew: half the accesses hit a small hot subset of
+      // the image catalog, giving caches something to win on.
+      const auto image =
+          rng.bernoulli(0.5)
+              ? rng.uniform_int(0, static_cast<std::uint64_t>(
+                                       std::max(1, catalog_images / 10) - 1))
+              : rng.uniform_int(0, static_cast<std::uint64_t>(catalog_images - 1));
+      TaskSpec cutout = make_data_task(
+          TaskId{}, /*compute_s=*/0.3, DataLocation::kSharedFs, IoMode::kRead,
+          /*input=*/8ULL << 20, /*output=*/0);
+      cutout.executable = "getCutout";
+      cutout.data_object = strf("sdss-image-%04llu",
+                                static_cast<unsigned long long>(image));
+      cutouts.push_back(graph.add_task(std::move(cutout), "cutout"));
+    }
+    TaskSpec coadd;
+    coadd.executable = "doStacking";
+    coadd.estimated_runtime_s = 1.0;
+    coadd.capture_output = false;
+    graph.add_task(std::move(coadd), "stack", std::move(cutouts));
+  }
+  return graph;
+}
+
+WorkflowGraph make_moldyn_workflow(int molecules) {
+  WorkflowGraph graph;
+  // Eight stages per molecule, alternating cheap setup and long dynamics
+  // steps, plus a final whole-set analysis task.
+  struct Step {
+    const char* name;
+    double runtime_s;
+  };
+  const Step steps[8] = {
+      {"antechamber", 5.0}, {"parmchk", 2.0},   {"tleap", 3.0},
+      {"minimize", 60.0},   {"heat", 120.0},    {"equilibrate", 240.0},
+      {"production", 600.0}, {"analysis", 30.0},
+  };
+  std::vector<std::size_t> last(static_cast<std::size_t>(molecules));
+  for (int step = 0; step < 8; ++step) {
+    for (int m = 0; m < molecules; ++m) {
+      TaskSpec task;
+      task.executable = steps[step].name;
+      task.args = {strf("mol-%05d", m)};
+      task.estimated_runtime_s = steps[step].runtime_s;
+      task.capture_output = false;
+      std::vector<std::size_t> deps;
+      if (step > 0) deps.push_back(last[static_cast<std::size_t>(m)]);
+      last[static_cast<std::size_t>(m)] = graph.add_task(
+          std::move(task), steps[step].name, std::move(deps));
+    }
+  }
+  TaskSpec summary;
+  summary.executable = "free-energy-summary";
+  summary.estimated_runtime_s = 20.0;
+  summary.capture_output = false;
+  graph.add_task(std::move(summary), "summary",
+                 std::vector<std::size_t>(last.begin(), last.end()));
+  return graph;
+}
+
+std::vector<SwiftApplication> swift_application_catalog() {
+  return {
+      {"ATLAS: High Energy Physics Event Simulation", "500K", "1"},
+      {"fMRI DBIC: AIRSN Image Processing", "100s", "12"},
+      {"FOAM: Ocean/Atmosphere Model", "2000", "3"},
+      {"GADU: Genomics", "40K", "4"},
+      {"HNL: fMRI Aphasia Study", "500", "4"},
+      {"NVO/NASA: Photorealistic Montage/Morphology", "1000s", "16"},
+      {"QuarkNet/I2U2: Physics Science Education", "10s", "3~6"},
+      {"RadCAD: Radiology Classifier Training", "1000s", "5"},
+      {"SIDGrid: EEG Wavelet Processing, Gaze Analysis", "100s", "20"},
+      {"SDSS: Coadd, Cluster Search", "40K, 500K", "2, 8"},
+      {"SDSS: Stacking, AstroPortal", "10Ks ~ 100Ks", "2 ~ 4"},
+      {"MolDyn: Molecular Dynamics", "1Ks ~ 20Ks", "8"},
+  };
+}
+
+}  // namespace falkon::workflow

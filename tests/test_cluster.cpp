@@ -1,0 +1,160 @@
+// Integration tests for the full multi-level scheduling stack: dispatcher +
+// provisioner + GRAM gateway + batch scheduler + dynamically launched
+// executors, on a scaled clock (1 model minute ~ a few real milliseconds).
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service.h"
+
+namespace falkon::core {
+namespace {
+
+FalkonClusterConfig base_config() {
+  FalkonClusterConfig config;
+  config.lrm.poll_interval_s = 10.0;
+  config.lrm.submit_overhead_s = 0.5;
+  config.lrm.dispatch_overhead_s = 1.0;
+  config.lrm.cleanup_overhead_s = 1.0;
+  config.lrm.start_jitter_s = 0.0;
+  config.gram.request_overhead_s = 1.0;
+  config.provisioner.min_executors = 0;
+  config.provisioner.max_executors = 8;
+  config.provisioner.executors_per_node = 1;
+  config.provisioner.poll_interval_s = 1.0;
+  config.executor_template.idle_timeout_s = 30.0;
+  config.lrm_nodes = 8;
+  return config;
+}
+
+std::vector<TaskSpec> sleep_tasks(int count, double duration) {
+  std::vector<TaskSpec> tasks;
+  for (int i = 1; i <= count; ++i) {
+    tasks.push_back(
+        make_sleep_task(TaskId{static_cast<std::uint64_t>(i)}, duration));
+  }
+  return tasks;
+}
+
+TEST(FalkonCluster, ProvisionsExecutorsOnDemandAndRunsTasks) {
+  ScaledClock clock(200.0);  // 1 model second = 5 ms real
+  FalkonCluster cluster(clock, base_config());
+
+  auto session = FalkonSession::open(cluster.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->submit(sleep_tasks(16, 5.0)).ok());
+
+  cluster.start_drivers();
+  auto results = session.value()->wait(16, /*deadline_s=*/100000.0);
+  cluster.stop();
+
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  EXPECT_EQ(results.value().size(), 16u);
+  for (const auto& result : results.value()) EXPECT_TRUE(result.success());
+
+  // The provisioner must have requested at least one allocation, and the
+  // all-at-once policy keeps the request count small.
+  const auto stats = cluster.provisioner().stats();
+  EXPECT_GE(stats.allocations_requested, 1u);
+  EXPECT_LE(stats.allocations_requested, 8u);
+  EXPECT_GE(stats.executors_launched, 1u);
+}
+
+TEST(FalkonCluster, IdleExecutorsReleaseAndNodesReturn) {
+  ScaledClock clock(200.0);
+  auto config = base_config();
+  config.executor_template.idle_timeout_s = 5.0;  // aggressive release
+  FalkonCluster cluster(clock, config);
+
+  auto session = FalkonSession::open(cluster.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->submit(sleep_tasks(4, 2.0)).ok());
+
+  cluster.start_drivers();
+  auto results = session.value()->wait(4, 100000.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+
+  // After the work drains and the idle timeout passes, executors release
+  // themselves and the LRM should get all its nodes back.
+  RealClock wall;
+  const double wall_start = wall.now_s();
+  while (wall.now_s() - wall_start < 20.0) {
+    if (cluster.dispatcher().status().registered_executors == 0 &&
+        cluster.scheduler().free_nodes() == 8) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  cluster.stop();
+  EXPECT_EQ(cluster.dispatcher().status().registered_executors, 0u);
+  EXPECT_EQ(cluster.scheduler().free_nodes(), 8);
+  EXPECT_GE(cluster.provisioner().stats().executors_exited, 1u);
+}
+
+TEST(FalkonCluster, MaxExecutorsCapIsRespected) {
+  ScaledClock clock(200.0);
+  auto config = base_config();
+  config.provisioner.max_executors = 3;
+  FalkonCluster cluster(clock, config);
+
+  auto session = FalkonSession::open(cluster.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->submit(sleep_tasks(30, 1.0)).ok());
+
+  cluster.start_drivers();
+  auto results = session.value()->wait(30, 100000.0);
+  cluster.stop();
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  EXPECT_LE(cluster.provisioner().stats().executors_launched, 3u);
+}
+
+TEST(FalkonCluster, ExecutorsPerNodeMultiplier) {
+  ScaledClock clock(200.0);
+  auto config = base_config();
+  config.provisioner.executors_per_node = 2;  // paper: dual-CPU nodes
+  config.provisioner.max_executors = 8;
+  FalkonCluster cluster(clock, config);
+
+  auto session = FalkonSession::open(cluster.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->submit(sleep_tasks(8, 3.0)).ok());
+  cluster.start_drivers();
+  auto results = session.value()->wait(8, 100000.0);
+  cluster.stop();
+  ASSERT_TRUE(results.ok()) << results.error().str();
+
+  // 8 executors needed -> only 4 nodes consumed.
+  const auto lrm_stats = cluster.scheduler().stats();
+  EXPECT_GE(cluster.provisioner().stats().executors_launched, 2u);
+  EXPECT_LE(lrm_stats.submitted, 4u);
+}
+
+TEST(FalkonCluster, ManualSteppingWithManualClock) {
+  // Fully deterministic: drive the provisioner poll loop by hand.
+  ManualClock clock;
+  auto config = base_config();
+  config.engine_factory = [](Clock&) { return std::make_unique<NoopEngine>(); };
+  FalkonCluster cluster(clock, config);
+
+  auto session = FalkonSession::open(cluster.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->submit(sleep_tasks(4, 0.0)).ok());
+
+  // Advance model time until the allocation starts executors: GRAM (1 s) +
+  // LRM eligibility (0.5 s) + poll cycle boundary (10 s) + prolog (1 s).
+  std::size_t received = 0;
+  for (int tick = 0; tick < 40 && received < 4; ++tick) {
+    cluster.step();
+    clock.advance(1.0);
+    auto batch = session.value()->wait(1, 0.0);
+    if (batch.ok()) received += batch.value().size();
+  }
+  // Give in-flight executor threads a moment to drain (they run free).
+  auto rest = session.value()->wait(4 - received, 5.0);
+  if (rest.ok()) received += rest.value().size();
+  cluster.stop();
+  EXPECT_EQ(received, 4u);
+}
+
+}  // namespace
+}  // namespace falkon::core

@@ -1,0 +1,225 @@
+// Failure-injection tests: flaky tasks, executors dying mid-run, lost
+// responses, dispatcher shutdown under load — the replay policy (paper
+// section 3.1) end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service.h"
+
+namespace falkon::core {
+namespace {
+
+std::vector<TaskSpec> sleep_tasks(int count, std::uint64_t first_id = 1) {
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < count; ++i) {
+    tasks.push_back(
+        make_sleep_task(TaskId{first_id + static_cast<std::uint64_t>(i)}, 0.0));
+  }
+  return tasks;
+}
+
+/// Fails each task's first `failures_per_task` attempts, then succeeds.
+class FlakyEngine final : public TaskEngine {
+ public:
+  explicit FlakyEngine(int failures_per_task)
+      : failures_per_task_(failures_per_task) {}
+
+  TaskResult run(const TaskSpec& task) override {
+    int seen;
+    {
+      std::lock_guard lock(mu_);
+      seen = attempts_[task.id.value]++;
+    }
+    TaskResult result;
+    result.task_id = task.id;
+    if (seen < failures_per_task_) {
+      result.exit_code = 1;
+      result.state = TaskState::kFailed;
+    } else {
+      result.exit_code = 0;
+      result.state = TaskState::kCompleted;
+    }
+    return result;
+  }
+
+ private:
+  int failures_per_task_;
+  std::mutex mu_;
+  std::map<std::uint64_t, int> attempts_;
+};
+
+TEST(Failures, FlakyTasksSucceedThroughRetries) {
+  RealClock clock;
+  DispatcherConfig config;
+  config.replay.max_retries = 3;
+  InProcFalkon falkon(clock, config);
+  // Shared flaky engine so attempt counts survive executor hops.
+  auto engine = std::make_shared<FlakyEngine>(2);
+  ASSERT_TRUE(falkon
+                  .add_executors(3,
+                                 [engine](Clock&) {
+                                   // Thin forwarding wrapper: each executor
+                                   // shares the counting engine.
+                                   class Wrap final : public TaskEngine {
+                                    public:
+                                     explicit Wrap(std::shared_ptr<FlakyEngine> e)
+                                         : e_(std::move(e)) {}
+                                     TaskResult run(const TaskSpec& t) override {
+                                       return e_->run(t);
+                                     }
+
+                                    private:
+                                     std::shared_ptr<FlakyEngine> e_;
+                                   };
+                                   return std::make_unique<Wrap>(engine);
+                                 },
+                                 ExecutorOptions{})
+                  .ok());
+
+  auto session = FalkonSession::open(falkon.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  auto results = session.value()->run(sleep_tasks(40), 30.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  ASSERT_EQ(results.value().size(), 40u);
+  for (const auto& result : results.value()) {
+    EXPECT_TRUE(result.success());  // every task eventually succeeded
+  }
+  const auto status = falkon.dispatcher().status();
+  EXPECT_EQ(status.completed, 40u);
+  EXPECT_EQ(status.failed, 0u);
+  EXPECT_EQ(status.retried, 80u);  // 2 failures per task
+}
+
+TEST(Failures, TasksBeyondRetryBudgetAreReportedFailed) {
+  RealClock clock;
+  DispatcherConfig config;
+  config.replay.max_retries = 1;
+  InProcFalkon falkon(clock, config);
+  auto engine_factory = [](Clock&) {
+    return std::make_unique<FlakyEngine>(1000);  // never succeeds
+  };
+  ASSERT_TRUE(falkon.add_executors(2, engine_factory, ExecutorOptions{}).ok());
+
+  auto session = FalkonSession::open(falkon.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  auto results = session.value()->run(sleep_tasks(10), 30.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  ASSERT_EQ(results.value().size(), 10u);  // failures are still delivered
+  for (const auto& result : results.value()) {
+    EXPECT_EQ(result.state, TaskState::kFailed);
+  }
+  EXPECT_EQ(falkon.dispatcher().status().failed, 10u);
+}
+
+TEST(Failures, ExecutorDeathMidRunRequeuesItsWork) {
+  RealClock clock;
+  InProcFalkon falkon(clock, DispatcherConfig{});
+  auto slow_factory = [](Clock& c) { return std::make_unique<SleepEngine>(c); };
+  // One slow executor takes tasks; killing it must requeue in-flight work
+  // to the survivor.
+  ASSERT_TRUE(falkon.add_executors(2, slow_factory, ExecutorOptions{}).ok());
+
+  auto session = FalkonSession::open(falkon.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  std::vector<TaskSpec> tasks;
+  for (int i = 1; i <= 30; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{static_cast<std::uint64_t>(i)},
+                                    0.01));
+  }
+  ASSERT_TRUE(session.value()->submit(std::move(tasks)).ok());
+  // Let execution begin, then stop the whole pool's first executor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  falkon.dispatcher().request_release(1);  // centrally release one executor
+
+  auto results = session.value()->wait(30, 30.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  std::set<std::uint64_t> ids;
+  for (const auto& result : results.value()) ids.insert(result.task_id.value);
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+TEST(Failures, LostResponseRecoversViaReplayTimeout) {
+  // A "black hole" executor accepts work and never responds; the replay
+  // policy re-dispatches to a healthy executor after the timeout.
+  ManualClock clock;
+  DispatcherConfig config;
+  config.replay.response_timeout_s = 5.0;
+  config.replay.max_retries = 2;
+  Dispatcher dispatcher(clock, config);
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto instance = dispatcher.create_instance(ClientId{1});
+  auto blackhole =
+      dispatcher.register_executor(wire::RegisterRequest{},
+                                   std::make_shared<NullSink>());
+  auto healthy = dispatcher.register_executor(wire::RegisterRequest{},
+                                              std::make_shared<NullSink>());
+  ASSERT_TRUE(instance.ok() && blackhole.ok() && healthy.ok());
+
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(5)).ok());
+  // Black hole grabs everything...
+  for (int i = 0; i < 5; ++i) {
+    auto work = dispatcher.get_work(blackhole.value(), 1);
+    ASSERT_TRUE(work.ok());
+    ASSERT_EQ(work.value().size(), 1u);
+  }
+  EXPECT_EQ(dispatcher.status().dispatched, 5u);
+  // ...and never answers. After the timeout all 5 are requeued.
+  clock.advance(6.0);
+  EXPECT_EQ(dispatcher.check_replays(), 5);
+
+  // Healthy executor completes them.
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto work = dispatcher.get_work(healthy.value(), 1);
+    ASSERT_TRUE(work.ok());
+    ASSERT_EQ(work.value().size(), 1u);
+    TaskResult result;
+    result.task_id = work.value()[0].id;
+    auto ack = dispatcher.deliver_results(healthy.value(), {result}, 0);
+    ASSERT_TRUE(ack.ok());
+    completed += static_cast<int>(ack.value().acknowledged);
+  }
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(dispatcher.status().completed, 5u);
+}
+
+TEST(Failures, ShutdownUnblocksWaitingClients) {
+  RealClock clock;
+  auto dispatcher = std::make_unique<Dispatcher>(clock, DispatcherConfig{});
+  auto instance = dispatcher->create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+
+  std::atomic<bool> returned{false};
+  std::thread waiter([&] {
+    auto results = dispatcher->wait_results(instance.value(), 1, 10.0);
+    // Either an error (closed) or empty results; it must not hang.
+    (void)results;
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load());
+  dispatcher->shutdown();
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(Failures, SubmitAfterShutdownFailsCleanly) {
+  RealClock clock;
+  Dispatcher dispatcher(clock, DispatcherConfig{});
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  dispatcher.shutdown();
+  auto submit = dispatcher.submit(instance.value(), sleep_tasks(1));
+  ASSERT_FALSE(submit.ok());
+  EXPECT_EQ(submit.error().code, ErrorCode::kClosed);
+}
+
+}  // namespace
+}  // namespace falkon::core

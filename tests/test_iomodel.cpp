@@ -1,0 +1,151 @@
+// I/O model calibration tests (paper Figure 4 shapes) and data-cache tests.
+#include <gtest/gtest.h>
+
+#include "iomodel/data_cache.h"
+#include "iomodel/io_model.h"
+
+namespace falkon::iomodel {
+namespace {
+
+constexpr int kExecutors = 128;  // paper: 128 executors on 64 nodes
+
+TaskSpec data_task(DataLocation location, IoMode mode, std::uint64_t bytes) {
+  return falkon::make_data_task(TaskId{1}, 0.0, location, mode, bytes, bytes);
+}
+
+TEST(IoModel, TinyGpfsReadsAreFast) {
+  IoModel model;
+  const auto task = data_task(DataLocation::kSharedFs, IoMode::kRead, 1);
+  // 1-byte GPFS reads must not throttle task throughput below the paper's
+  // dispatch-limited ~487 tasks/s: per-task I/O time well under 1/487 * 128.
+  EXPECT_LT(model.io_time_s(task, kExecutors), kExecutors / 487.0);
+}
+
+TEST(IoModel, GpfsWriteContentionCapsTaskRate) {
+  IoModel model;
+  const auto task = data_task(DataLocation::kSharedFs, IoMode::kReadWrite, 1);
+  const double per_task = model.io_time_s(task, kExecutors);
+  const double aggregate_rate = kExecutors / per_task;
+  // Paper: ~150 tasks/s ceiling for GPFS read+write even at 1 byte.
+  EXPECT_GT(aggregate_rate, 75.0);
+  EXPECT_LT(aggregate_rate, 300.0);
+}
+
+TEST(IoModel, LargeTransferPlateausMatchPaper) {
+  IoModel model;
+  const std::uint64_t gig = 1ULL << 30;
+
+  struct Case {
+    DataLocation location;
+    IoMode mode;
+    double paper_mbps;
+  };
+  const Case cases[] = {
+      {DataLocation::kSharedFs, IoMode::kReadWrite, 326.0},
+      {DataLocation::kSharedFs, IoMode::kRead, 3067.0},
+      {DataLocation::kLocalDisk, IoMode::kReadWrite, 32667.0},
+      {DataLocation::kLocalDisk, IoMode::kRead, 52015.0},
+  };
+  for (const auto& c : cases) {
+    const auto task = data_task(c.location, c.mode, gig);
+    const double mbps = model.aggregate_mbps(task, kExecutors);
+    EXPECT_GT(mbps, c.paper_mbps * 0.5)
+        << "loc=" << static_cast<int>(c.location)
+        << " mode=" << static_cast<int>(c.mode);
+    EXPECT_LT(mbps, c.paper_mbps * 2.0)
+        << "loc=" << static_cast<int>(c.location)
+        << " mode=" << static_cast<int>(c.mode);
+  }
+}
+
+/// Property: I/O time is monotonically non-decreasing in both data size and
+/// concurrency, for every location/mode combination.
+class IoMonotonicity
+    : public ::testing::TestWithParam<std::tuple<DataLocation, IoMode>> {};
+
+TEST_P(IoMonotonicity, TimeGrowsWithSizeAndConcurrency) {
+  const auto [location, mode] = GetParam();
+  IoModel model;
+  double previous = 0.0;
+  for (std::uint64_t bytes = 1; bytes <= (1ULL << 30); bytes *= 32) {
+    const double t = model.io_time_s(data_task(location, mode, bytes), 64);
+    EXPECT_GE(t, previous) << "bytes=" << bytes;
+    previous = t;
+  }
+  for (int concurrency : {1, 2, 8, 32, 128}) {
+    const double t1 = model.io_time_s(
+        data_task(location, mode, 1 << 20), concurrency);
+    const double t2 = model.io_time_s(
+        data_task(location, mode, 1 << 20), concurrency * 2);
+    EXPECT_LE(t1, t2 + 1e-12) << "concurrency=" << concurrency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, IoMonotonicity,
+    ::testing::Combine(::testing::Values(DataLocation::kSharedFs,
+                                         DataLocation::kLocalDisk),
+                       ::testing::Values(IoMode::kRead, IoMode::kReadWrite)));
+
+TEST(IoModel, NoDataMeansNoIoTime) {
+  IoModel model;
+  TaskSpec task = falkon::make_sleep_task(TaskId{1}, 5.0);
+  EXPECT_DOUBLE_EQ(model.io_time_s(task, 128), 0.0);
+}
+
+TEST(DataCache, HitMissAndLruEviction) {
+  DataCache cache(100);
+  cache.insert("a", 40);
+  cache.insert("b", 40);
+  EXPECT_TRUE(cache.access("a"));   // a is now MRU
+  EXPECT_FALSE(cache.access("z"));  // miss
+  cache.insert("c", 40);            // evicts b (LRU)
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.used_bytes(), 80u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DataCache, OversizedObjectNotCached) {
+  DataCache cache(10);
+  cache.insert("huge", 11);
+  EXPECT_FALSE(cache.contains("huge"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(DataCache, ReinsertUpdatesSize) {
+  DataCache cache(100);
+  cache.insert("a", 10);
+  cache.insert("a", 60);
+  EXPECT_EQ(cache.used_bytes(), 60u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(DataCache, EraseAndClear) {
+  DataCache cache(100);
+  cache.insert("a", 10);
+  cache.insert("b", 20);
+  cache.erase("a");
+  EXPECT_EQ(cache.used_bytes(), 20u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+/// Property: used_bytes never exceeds capacity, whatever the insert stream.
+TEST(DataCache, CapacityInvariantUnderRandomWorkload) {
+  DataCache cache(1000);
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto object = "obj-" + std::to_string(state % 64);
+    const auto size = (state >> 32) % 300;
+    cache.insert(object, size);
+    ASSERT_LE(cache.used_bytes(), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace falkon::iomodel

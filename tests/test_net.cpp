@@ -1,0 +1,178 @@
+// TCP substrate tests: sockets, RPC request/response, push notifications.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "net/rpc.h"
+#include "net/socket.h"
+
+namespace falkon::net {
+namespace {
+
+TEST(Socket, ListenerPicksEphemeralPort) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_GT(listener.value().port(), 0);
+}
+
+TEST(Socket, ConnectRefusedOnClosedPort) {
+  // Bind then immediately close to learn a (probably) dead port.
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value().port();
+  listener.value().close();
+  auto stream = TcpStream::connect("127.0.0.1", port);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(Rpc, EchoCallRoundtrip) {
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start([](const wire::Message& request) -> wire::Message {
+                    if (const auto* notify = std::get_if<wire::Notify>(&request)) {
+                      return wire::Notify{notify->executor_id,
+                                          notify->resource_key + 1};
+                    }
+                    return wire::ErrorReply{ErrorCode::kProtocolError, "?"};
+                  })
+                  .ok());
+
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto reply = client.value().call(wire::Notify{ExecutorId{5}, 41});
+  ASSERT_TRUE(reply.ok());
+  const auto* notify = std::get_if<wire::Notify>(&reply.value());
+  ASSERT_NE(notify, nullptr);
+  EXPECT_EQ(notify->resource_key, 42u);
+  server.stop();
+}
+
+TEST(Rpc, ServerErrorReplySurfacesAsStatus) {
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start([](const wire::Message&) -> wire::Message {
+                    return wire::ErrorReply{ErrorCode::kNotFound, "nope"};
+                  })
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto reply = client.value().call(wire::StatusRequest{});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ErrorCode::kNotFound);
+  server.stop();
+}
+
+TEST(Rpc, ManySequentialCallsOnOneConnection) {
+  std::atomic<int> handled{0};
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start([&](const wire::Message&) -> wire::Message {
+                    handled.fetch_add(1);
+                    return wire::StatusReply{};
+                  })
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client.value().call(wire::StatusRequest{}).ok());
+  }
+  EXPECT_EQ(handled.load(), 200);
+  server.stop();
+}
+
+TEST(Rpc, MultipleConcurrentClients) {
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start([](const wire::Message&) -> wire::Message {
+                    return wire::StatusReply{};
+                  })
+                  .ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto client = RpcClient::connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      for (int i = 0; i < 50; ++i) {
+        if (client.value().call(wire::StatusRequest{}).ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(successes.load(), 8 * 50);
+  server.stop();
+}
+
+TEST(Push, SubscribeAndReceiveNotifications) {
+  PushServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::uint64_t> received;
+
+  PushReceiver receiver;
+  ASSERT_TRUE(receiver
+                  .start("127.0.0.1", server.port(), /*key=*/77,
+                         [&](const wire::Message& message) {
+                           if (const auto* notify =
+                                   std::get_if<wire::Notify>(&message)) {
+                             std::lock_guard lock(mu);
+                             received.push_back(notify->resource_key);
+                             cv.notify_all();
+                           }
+                         })
+                  .ok());
+
+  // Subscription is asynchronous; wait for it to land.
+  for (int i = 0; i < 100 && server.subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.subscriber_count(), 1u);
+
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(server.push(77, wire::Notify{ExecutorId{77}, k}).ok());
+  }
+  {
+    std::unique_lock lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(5),
+                [&] { return received.size() == 5; });
+    ASSERT_EQ(received.size(), 5u);
+    EXPECT_EQ(received.back(), 5u);
+  }
+  receiver.stop();
+  server.stop();
+}
+
+TEST(Push, PushToUnknownKeyFails) {
+  PushServer server;
+  ASSERT_TRUE(server.start().ok());
+  auto status = server.push(12345, wire::Notify{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kNotFound);
+  server.stop();
+}
+
+TEST(Push, DropSubscriberSeversChannel) {
+  PushServer server;
+  ASSERT_TRUE(server.start().ok());
+  PushReceiver receiver;
+  ASSERT_TRUE(receiver.start("127.0.0.1", server.port(), 9,
+                             [](const wire::Message&) {}).ok());
+  for (int i = 0; i < 100 && server.subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.subscriber_count(), 1u);
+  server.drop_subscriber(9);
+  EXPECT_EQ(server.subscriber_count(), 0u);
+  EXPECT_FALSE(server.push(9, wire::Notify{}).ok());
+  receiver.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace falkon::net

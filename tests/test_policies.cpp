@@ -1,0 +1,185 @@
+// Policy tests: the five resource-acquisition strategies, release policies,
+// and dispatch policies (paper section 3.1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/policies.h"
+
+namespace falkon::core {
+namespace {
+
+AcquisitionContext ctx(int queued, int busy, int idle, int pending, int max,
+                       int lrm_free = 1000) {
+  AcquisitionContext c;
+  c.queued_tasks = queued;
+  c.busy_executors = busy;
+  c.idle_executors = idle;
+  c.pending_executors = pending;
+  c.max_executors = max;
+  c.lrm_free_nodes = lrm_free;
+  c.executors_per_node = 1;
+  return c;
+}
+
+int total(const std::vector<int>& requests) {
+  return std::accumulate(requests.begin(), requests.end(), 0);
+}
+
+TEST(Acquisition, AllAtOnceRequestsExactDeficit) {
+  AllAtOncePolicy policy;
+  auto plan = policy.plan(ctx(/*queued=*/10, /*busy=*/0, /*idle=*/0,
+                              /*pending=*/0, /*max=*/32));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], 10);
+}
+
+TEST(Acquisition, AllAtOnceRespectsMaxAndSupply) {
+  AllAtOncePolicy policy;
+  // 100 queued, but cap is 32 and 20 executors already exist/are pending.
+  auto plan = policy.plan(ctx(100, 4, 8, 8, 32));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], 12);  // 32 - (4+8+8)
+}
+
+TEST(Acquisition, NoDeficitMeansNoRequests) {
+  AllAtOncePolicy policy;
+  EXPECT_TRUE(policy.plan(ctx(0, 0, 4, 0, 32)).empty());
+  EXPECT_TRUE(policy.plan(ctx(5, 0, 5, 0, 32)).empty());
+  EXPECT_TRUE(policy.plan(ctx(5, 0, 0, 5, 32)).empty());
+}
+
+TEST(Acquisition, OneAtATimeIssuesUnitRequests) {
+  OneAtATimePolicy policy;
+  auto plan = policy.plan(ctx(5, 0, 0, 0, 32));
+  EXPECT_EQ(plan.size(), 5u);
+  for (int r : plan) EXPECT_EQ(r, 1);
+}
+
+TEST(Acquisition, AdditiveGrowsArithmetically) {
+  AdditivePolicy policy(/*increment=*/1);
+  auto plan = policy.plan(ctx(10, 0, 0, 0, 32));
+  // 1+2+3+4 = 10
+  EXPECT_EQ(plan, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(total(plan), 10);
+}
+
+TEST(Acquisition, ExponentialGrowsGeometrically) {
+  ExponentialPolicy policy;
+  auto plan = policy.plan(ctx(10, 0, 0, 0, 32));
+  // 1+2+4+3 = 10 (last request clamped to the remaining deficit)
+  EXPECT_EQ(plan, (std::vector<int>{1, 2, 4, 3}));
+}
+
+TEST(Acquisition, SystemAvailableBoundsByFreeNodes) {
+  SystemAvailablePolicy policy;
+  auto plan = policy.plan(ctx(50, 0, 0, 0, 64, /*lrm_free=*/7));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], 7);
+}
+
+/// Property: every strategy covers the deficit exactly when unconstrained,
+/// and never over-requests.
+class AcquisitionCoverage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AcquisitionCoverage, PlansSumToDeficit) {
+  auto policy = make_acquisition_policy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  for (int queued : {0, 1, 3, 17, 100, 1000}) {
+    for (int supply : {0, 5, 50}) {
+      auto c = ctx(queued, 0, supply, 0, 10000);
+      const int expected = std::max(0, queued - supply);
+      EXPECT_EQ(total(policy->plan(c)), expected)
+          << GetParam() << " queued=" << queued << " supply=" << supply;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, AcquisitionCoverage,
+                         ::testing::Values("all-at-once", "one-at-a-time",
+                                           "additive", "exponential",
+                                           "available"));
+
+TEST(Acquisition, FactoryRejectsUnknownName) {
+  EXPECT_EQ(make_acquisition_policy("bogus"), nullptr);
+}
+
+TEST(Release, QueueThresholdReleasesAllWhenEmpty) {
+  QueueThresholdReleasePolicy policy(/*threshold=*/5);
+  ReleaseContext c;
+  c.queued_tasks = 0;
+  c.idle_executors = 8;
+  c.registered_executors = 10;
+  c.min_executors = 0;
+  EXPECT_EQ(policy.executors_to_release(c), 8);
+}
+
+TEST(Release, QueueThresholdReleasesOneBelowThreshold) {
+  QueueThresholdReleasePolicy policy(5);
+  ReleaseContext c;
+  c.queued_tasks = 3;
+  c.idle_executors = 8;
+  c.registered_executors = 10;
+  EXPECT_EQ(policy.executors_to_release(c), 1);
+  c.queued_tasks = 5;
+  EXPECT_EQ(policy.executors_to_release(c), 0);
+}
+
+TEST(Release, RespectsMinimumExecutors) {
+  QueueThresholdReleasePolicy policy(5);
+  ReleaseContext c;
+  c.queued_tasks = 0;
+  c.idle_executors = 10;
+  c.registered_executors = 10;
+  c.min_executors = 8;
+  EXPECT_EQ(policy.executors_to_release(c), 2);
+}
+
+TEST(Dispatch, NextAvailablePicksFirst) {
+  NextAvailablePolicy policy;
+  std::vector<ExecutorCandidate> idle(3);
+  idle[0].id = ExecutorId{10};
+  idle[1].id = ExecutorId{11};
+  idle[2].id = ExecutorId{12};
+  TaskSpec task;
+  EXPECT_EQ(policy.select(task, idle), 0u);
+}
+
+TEST(Dispatch, DataAwarePrefersCacheHolder) {
+  DataAwarePolicy policy;
+  std::vector<ExecutorCandidate> idle(3);
+  for (std::size_t i = 0; i < idle.size(); ++i) {
+    idle[i].id = ExecutorId{i + 1};
+    idle[i].has_cached = [](const std::string&) { return false; };
+  }
+  idle[2].has_cached = [](const std::string& object) {
+    return object == "hot-object";
+  };
+  TaskSpec task;
+  task.data_object = "hot-object";
+  EXPECT_EQ(policy.select(task, idle), 2u);
+  task.data_object = "cold-object";
+  EXPECT_EQ(policy.select(task, idle), 0u);  // falls back to next-available
+}
+
+TEST(Dispatch, DataAwareTaskSelectionScansWindow) {
+  DataAwarePolicy policy;
+  ExecutorCandidate self;
+  self.id = ExecutorId{1};
+  self.has_cached = [](const std::string& object) { return object == "mine"; };
+
+  TaskSpec t0;
+  t0.data_object = "other";
+  TaskSpec t1;
+  t1.data_object = "mine";
+  TaskSpec t2;
+  std::vector<const TaskSpec*> window{&t0, &t1, &t2};
+  EXPECT_EQ(policy.select_task(self, window), 1u);
+
+  // Without a cached match, take the queue head (FIFO preserved).
+  self.has_cached = [](const std::string&) { return false; };
+  EXPECT_EQ(policy.select_task(self, window), 0u);
+}
+
+}  // namespace
+}  // namespace falkon::core

@@ -1,0 +1,212 @@
+// Provisioner unit tests with a ManualClock: allocation lifecycle through
+// GRAM + the LRM, pending-executor accounting, per-node lease release, the
+// min-executor floor, and the provisioning time series.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/clock.h"
+#include "core/provisioner.h"
+
+namespace falkon::core {
+namespace {
+
+struct NullSink final : ExecutorSink {
+  void notify(ExecutorId, std::uint64_t) override {}
+};
+
+lrm::LrmConfig fast_lrm() {
+  lrm::LrmConfig config;
+  config.poll_interval_s = 10.0;
+  config.submit_overhead_s = 0.5;
+  config.dispatch_overhead_s = 1.0;
+  config.cleanup_overhead_s = 1.0;
+  config.start_jitter_s = 0.0;
+  return config;
+}
+
+class ProvisionerTest : public ::testing::Test {
+ protected:
+  ProvisionerTest()
+      : dispatcher_(clock_, DispatcherConfig{}),
+        scheduler_(clock_, fast_lrm(), /*nodes=*/8),
+        gram_(clock_, scheduler_, lrm::GramConfig{/*request_overhead_s=*/1.0,
+                                                  /*notification_delay_s=*/0.0}) {}
+
+  void make_provisioner(ProvisionerConfig config,
+                        const std::string& policy = "all-at-once") {
+    launch_per_node_ = std::max(1, config.executors_per_node);
+    provisioner_ = std::make_unique<Provisioner>(
+        clock_, dispatcher_, gram_, scheduler_, config,
+        make_acquisition_policy(policy),
+        [this](const lrm::JobContext& context, AllocationId allocation) {
+          // Fake launcher: register one executor per node with the real
+          // dispatcher and remember its lease for later exit simulation.
+          int launched = 0;
+          for (NodeId node : context.nodes) {
+            for (int slot = 0; slot < launch_per_node_; ++slot) {
+              wire::RegisterRequest request;
+              request.node_id = node;
+              request.allocation_id = allocation;
+              auto id = dispatcher_.register_executor(
+                  request, std::make_shared<NullSink>());
+              if (id.ok()) {
+                leases_.emplace_back(allocation, node);
+                ids_.push_back(id.value());
+                ++launched;
+              }
+            }
+          }
+          return launched;
+        });
+  }
+
+  void queue_tasks(int count) {
+    auto instance = dispatcher_.create_instance(ClientId{1});
+    ASSERT_TRUE(instance.ok());
+    std::vector<TaskSpec> tasks;
+    for (int i = 0; i < count; ++i) {
+      tasks.push_back(make_sleep_task(TaskId{next_task_id_++}, 0.0));
+    }
+    ASSERT_TRUE(dispatcher_.submit(instance.value(), std::move(tasks)).ok());
+    instance_ = instance.value();
+  }
+
+  /// Advance model time, stepping the provisioner each second.
+  void advance(double seconds) {
+    for (double t = 0; t < seconds; t += 1.0) {
+      clock_.advance(1.0);
+      provisioner_->step();
+    }
+  }
+
+  ManualClock clock_;
+  Dispatcher dispatcher_;
+  lrm::BatchScheduler scheduler_;
+  lrm::Gram4Gateway gram_;
+  std::unique_ptr<Provisioner> provisioner_;
+  std::vector<std::pair<AllocationId, NodeId>> leases_;
+  std::vector<ExecutorId> ids_;
+  InstanceId instance_;
+  std::uint64_t next_task_id_{1};
+  int launch_per_node_{1};
+};
+
+TEST_F(ProvisionerTest, AllAtOnceRequestsOnceAndLaunches) {
+  ProvisionerConfig config;
+  config.max_executors = 8;
+  config.poll_interval_s = 1.0;
+  make_provisioner(config);
+
+  queue_tasks(4);
+  provisioner_->step();
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 1u);
+  EXPECT_EQ(provisioner_->pending_executors(), 4);
+
+  // GRAM (1 s) + eligibility (0.5 s) + LRM cycle (t=10) + prolog (1 s).
+  advance(13.0);
+  EXPECT_EQ(provisioner_->stats().executors_launched, 4u);
+  EXPECT_EQ(provisioner_->pending_executors(), 0);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 4u);
+  EXPECT_EQ(scheduler_.free_nodes(), 4);
+
+  // Demand satisfied: no further allocations.
+  advance(20.0);
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 1u);
+}
+
+TEST_F(ProvisionerTest, MaxExecutorsCapsAllocation) {
+  ProvisionerConfig config;
+  config.max_executors = 3;
+  make_provisioner(config);
+  queue_tasks(100);
+  advance(15.0);
+  EXPECT_EQ(provisioner_->stats().executors_launched, 3u);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 3u);
+}
+
+TEST_F(ProvisionerTest, MinExecutorFloorHeldWithoutDemand) {
+  ProvisionerConfig config;
+  config.min_executors = 3;
+  config.max_executors = 8;
+  make_provisioner(config);
+  // No tasks at all.
+  advance(15.0);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 3u);
+}
+
+TEST_F(ProvisionerTest, PerNodeLeaseReleasesNodeWhenExecutorExits) {
+  ProvisionerConfig config;
+  config.max_executors = 4;
+  make_provisioner(config);
+  queue_tasks(4);
+  advance(13.0);
+  ASSERT_EQ(leases_.size(), 4u);
+  ASSERT_EQ(scheduler_.free_nodes(), 4);
+
+  // Drain the queue so the provisioner does not re-acquire.
+  for (auto id : ids_) {
+    auto work = dispatcher_.get_work(id, 1);
+    ASSERT_TRUE(work.ok());
+    if (work.value().empty()) continue;
+    TaskResult result;
+    result.task_id = work.value()[0].id;
+    ASSERT_TRUE(dispatcher_.deliver_results(id, {result}, 0).ok());
+  }
+
+  // Two executors exit: exactly their two nodes come back (after cleanup).
+  (void)dispatcher_.deregister_executor(ids_[0], "idle");
+  (void)dispatcher_.deregister_executor(ids_[1], "idle");
+  provisioner_->executor_exited(leases_[0].first, leases_[0].second);
+  provisioner_->executor_exited(leases_[1].first, leases_[1].second);
+  advance(3.0);
+  EXPECT_EQ(scheduler_.free_nodes(), 6);
+
+  provisioner_->executor_exited(leases_[2].first, leases_[2].second);
+  provisioner_->executor_exited(leases_[3].first, leases_[3].second);
+  advance(3.0);
+  EXPECT_EQ(scheduler_.free_nodes(), 8);
+}
+
+TEST_F(ProvisionerTest, OneAtATimeIssuesManyAllocations) {
+  ProvisionerConfig config;
+  config.max_executors = 8;
+  make_provisioner(config, "one-at-a-time");
+  queue_tasks(5);
+  provisioner_->step();
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 5u);
+  EXPECT_EQ(provisioner_->pending_executors(), 5);
+}
+
+TEST_F(ProvisionerTest, ExecutorsPerNodeRoundsUpNodes) {
+  ProvisionerConfig config;
+  config.max_executors = 8;
+  config.executors_per_node = 2;
+  make_provisioner(config);
+  queue_tasks(5);  // needs ceil(5/2) = 3 nodes = 6 executors
+  advance(13.0);
+  EXPECT_EQ(provisioner_->stats().executors_launched, 6u);
+  EXPECT_EQ(scheduler_.free_nodes(), 5);
+}
+
+TEST_F(ProvisionerTest, SeriesRecordProvisioningShape) {
+  ProvisionerConfig config;
+  config.max_executors = 4;
+  make_provisioner(config);
+  queue_tasks(4);
+  advance(13.0);
+  const auto& allocated = provisioner_->allocated_series();
+  const auto& registered = provisioner_->registered_series();
+  ASSERT_FALSE(allocated.empty());
+  // Allocated (pending) peaked at 4 while the LRM worked, then fell to 0.
+  double peak = 0;
+  for (std::size_t i = 0; i < allocated.size(); ++i) {
+    peak = std::max(peak, allocated.value_at(i));
+  }
+  EXPECT_EQ(peak, 4.0);
+  EXPECT_EQ(allocated.last_value(), 0.0);
+  EXPECT_EQ(registered.last_value(), 4.0);
+}
+
+}  // namespace
+}  // namespace falkon::core

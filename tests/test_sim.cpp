@@ -1,0 +1,212 @@
+// Discrete-event simulation tests: DES core determinism and the
+// calibration of the Falkon model against the paper's headline numbers.
+#include <gtest/gtest.h>
+
+#include "sim/baselines.h"
+#include "sim/event_queue.h"
+#include "sim/sim_falkon.h"
+
+namespace falkon::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrderWithFifoTies) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(4); });  // tie: after first 5.0
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  for (int t = 1; t <= 10; ++t) {
+    sim.schedule_at(t, [&] { ++fired; });
+  }
+  sim.run_until(5.5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  double when = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { when = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(SimFalkon, DeterministicUnderSeed) {
+  SimFalkonConfig config;
+  config.executors = 16;
+  config.task_count = 2000;
+  config.seed = 99;
+  const auto a = simulate_falkon(config);
+  const auto b = simulate_falkon(config);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.throughput_samples, b.throughput_samples);
+}
+
+// --- Figure 3 calibration -------------------------------------------------
+
+TEST(SimFalkon, PeakThroughputNearPaper487) {
+  const double rate = falkon_throughput(/*executors=*/256, /*security=*/false);
+  EXPECT_GT(rate, 487.0 * 0.8) << rate;
+  EXPECT_LT(rate, 487.0 * 1.2) << rate;
+}
+
+TEST(SimFalkon, SecureThroughputNearPaper204) {
+  const double rate = falkon_throughput(256, /*security=*/true);
+  EXPECT_GT(rate, 204.0 * 0.8) << rate;
+  EXPECT_LT(rate, 204.0 * 1.2) << rate;
+}
+
+TEST(SimFalkon, SingleExecutorNearPaper28And12) {
+  const double insecure = falkon_throughput(1, false, 3000);
+  const double secure = falkon_throughput(1, true, 1500);
+  EXPECT_GT(insecure, 28.0 * 0.7) << insecure;
+  EXPECT_LT(insecure, 28.0 * 1.3) << insecure;
+  EXPECT_GT(secure, 12.0 * 0.7) << secure;
+  EXPECT_LT(secure, 12.0 * 1.3) << secure;
+}
+
+TEST(SimFalkon, ThroughputMonotonicInExecutorsUntilSaturation) {
+  double previous = 0.0;
+  for (int executors : {1, 2, 4, 8, 16, 32, 64}) {
+    const double rate = falkon_throughput(executors, false, 10000);
+    EXPECT_GT(rate, previous * 0.98) << "executors=" << executors;
+    previous = rate;
+  }
+}
+
+// --- Figure 5 calibration: bundling ---------------------------------------
+
+TEST(Bundling, UnbundledAndPeakMatchPaperShape) {
+  BundlingCostModel model;
+  const double unbundled = model.throughput(1);
+  EXPECT_GT(unbundled, 10.0);
+  EXPECT_LT(unbundled, 40.0);  // paper: ~20 tasks/s
+
+  double best_rate = 0.0;
+  int best_bundle = 0;
+  for (int bundle = 1; bundle <= 2000; bundle += 1) {
+    const double rate = model.throughput(bundle);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_bundle = bundle;
+    }
+  }
+  // Paper: peak near 1500 tasks/s around 300 tasks/bundle, declining after.
+  EXPECT_GT(best_rate, 1000.0);
+  EXPECT_LT(best_rate, 2200.0);
+  EXPECT_GT(best_bundle, 150);
+  EXPECT_LT(best_bundle, 500);
+  EXPECT_LT(model.throughput(1000), best_rate);
+}
+
+// --- Figure 6 shape: efficiency -------------------------------------------
+
+double sim_efficiency(int executors, double task_length_s) {
+  SimFalkonConfig config;
+  config.executors = executors;
+  config.task_count = static_cast<std::uint64_t>(executors) * 20;
+  config.task_length_s = task_length_s;
+  const auto result = simulate_falkon(config);
+  const double ideal =
+      static_cast<double>(config.task_count) * task_length_s / executors;
+  return ideal / result.makespan_s;
+}
+
+TEST(SimFalkon, EfficiencyHighForOneSecondTasks) {
+  // Paper: >= 95% efficiency with 1 s tasks even at 256 executors.
+  EXPECT_GT(sim_efficiency(64, 1.0), 0.90);
+  EXPECT_GT(sim_efficiency(256, 1.0), 0.85);
+}
+
+TEST(SimFalkon, EfficiencyImprovesWithTaskLength) {
+  const double e1 = sim_efficiency(64, 1.0);
+  const double e8 = sim_efficiency(64, 8.0);
+  EXPECT_GT(e8, e1 - 1e-9);
+  EXPECT_GT(e8, 0.97);
+}
+
+// --- GC model (Figure 8) ---------------------------------------------------
+
+TEST(SimFalkon, GcPausesProduceZeroThroughputSamples) {
+  SimFalkonConfig config;
+  config.executors = 64;
+  config.task_count = 60000;
+  config.gc.enabled = true;
+  const auto result = simulate_falkon(config);
+  int zeros = 0;
+  for (std::size_t i = 1; i + 1 < result.throughput_samples.size(); ++i) {
+    if (result.throughput_samples[i] == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 0) << "expected stop-the-world stalls in raw samples";
+  // And the average sits well below the burst rate, as in Figure 8.
+  const double avg = result.avg_throughput();
+  const double no_gc_avg = [&] {
+    SimFalkonConfig c = config;
+    c.gc.enabled = false;
+    return simulate_falkon(c).avg_throughput();
+  }();
+  EXPECT_LT(avg, no_gc_avg * 0.85);
+}
+
+// --- baselines -------------------------------------------------------------
+
+TEST(Baselines, DerivedEfficiencyMatchesPaperAnchors) {
+  // Paper: Condor v6.9.3 reaches 90/95/99% at 1/2/10 of: 50, 100, 1000 s.
+  const auto condor = baseline_condor_v693();
+  EXPECT_NEAR(derived_efficiency(condor, 50.0), 0.90, 0.08);
+  EXPECT_NEAR(derived_efficiency(condor, 100.0), 0.95, 0.05);
+  EXPECT_GT(derived_efficiency(condor, 1000.0), 0.99);
+  // PBS/Condor production: <1% at 1 s tasks, ~90% at 1200 s.
+  EXPECT_LT(derived_efficiency(baseline_pbs_v218(), 1.0), 0.01 + 5e-3);
+  EXPECT_NEAR(derived_efficiency(baseline_pbs_v218(), 1200.0), 0.90, 0.1);
+}
+
+TEST(Baselines, MakespanRegimes) {
+  const auto pbs = baseline_pbs_v218();
+  // Dispatch-bound: 100 sleep-0 tasks take ~100/0.45 s regardless of nodes.
+  EXPECT_NEAR(baseline_makespan(pbs, 100, 0.0, 64), 100.0 / 0.45, 30.0);
+  // Node-bound: long tasks on few nodes approach waves * task_length.
+  const double makespan = baseline_makespan(pbs, 64, 10000.0, 32);
+  EXPECT_GT(makespan, 2 * 10000.0);
+  EXPECT_LT(makespan, 2 * 10000.0 + 1000.0);
+}
+
+TEST(Baselines, EfficiencyMonotoneInTaskLength) {
+  const auto condor = baseline_condor_v672();
+  double previous = 0.0;
+  for (double length : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    const double efficiency = baseline_efficiency(condor, 64, length, 32);
+    EXPECT_GE(efficiency, previous);
+    EXPECT_LE(efficiency, 1.0 + 1e-9);
+    previous = efficiency;
+  }
+}
+
+}  // namespace
+}  // namespace falkon::sim

@@ -1,0 +1,207 @@
+// Stress and chaos tests: many executors joining and leaving while flaky
+// tasks flow, verifying the system-wide exactly-once-result invariant; and
+// property sweeps over the simulator checking conservation laws.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/client.h"
+#include "core/service.h"
+#include "sim/sim_falkon.h"
+
+namespace falkon {
+namespace {
+
+/// Randomly failing engine (p = failure probability per attempt).
+class ChaosEngine final : public core::TaskEngine {
+ public:
+  ChaosEngine(std::uint64_t seed, double failure_probability)
+      : rng_(seed), failure_probability_(failure_probability) {}
+
+  TaskResult run(const TaskSpec& task) override {
+    TaskResult result;
+    result.task_id = task.id;
+    bool fail;
+    {
+      std::lock_guard lock(mu_);
+      fail = rng_.bernoulli(failure_probability_);
+    }
+    if (fail) {
+      result.exit_code = 1;
+      result.state = TaskState::kFailed;
+    } else {
+      result.exit_code = 0;
+      result.state = TaskState::kCompleted;
+    }
+    return result;
+  }
+
+ private:
+  std::mutex mu_;
+  Rng rng_;
+  double failure_probability_;
+};
+
+TEST(Stress, ChurningExecutorsAndFlakyTasksStayExactlyOnce) {
+  RealClock clock;
+  core::DispatcherConfig config;
+  config.replay.max_retries = 25;  // flaky, not broken: retries always win
+  core::InProcFalkon falkon(clock, config);
+
+  std::atomic<std::uint64_t> seed{1};
+  auto factory = [&](Clock&) {
+    return std::make_unique<ChaosEngine>(seed.fetch_add(1), 0.2);
+  };
+  ASSERT_TRUE(falkon.add_executors(4, factory, core::ExecutorOptions{}).ok());
+
+  auto session = core::FalkonSession::open(falkon.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+
+  constexpr int kTasks = 2000;
+  std::vector<TaskSpec> tasks;
+  for (int i = 1; i <= kTasks; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{static_cast<std::uint64_t>(i)}, 0.0));
+  }
+  ASSERT_TRUE(session.value()->submit(std::move(tasks)).ok());
+
+  // Churn: repeatedly release an executor and add a fresh one while the
+  // workload drains.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    Rng rng(99);
+    while (!stop.load()) {
+      (void)falkon.dispatcher().request_release(1);
+      (void)falkon.add_executors(1, factory, core::ExecutorOptions{});
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  auto results = session.value()->wait(kTasks, 60.0);
+  stop.store(true);
+  churner.join();
+
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  std::map<std::uint64_t, int> counts;
+  for (const auto& result : results.value()) {
+    ++counts[result.task_id.value];
+    EXPECT_TRUE(result.success());
+  }
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(kTasks));
+  for (const auto& [id, n] : counts) {
+    EXPECT_EQ(n, 1) << "task " << id << " delivered " << n << " times";
+  }
+}
+
+TEST(Stress, ManyExecutorsManyTasksInProc) {
+  RealClock clock;
+  core::InProcFalkon falkon(clock, core::DispatcherConfig{});
+  ASSERT_TRUE(falkon
+                  .add_executors(32,
+                                 [](Clock&) {
+                                   return std::make_unique<core::NoopEngine>();
+                                 },
+                                 core::ExecutorOptions{})
+                  .ok());
+  auto session = core::FalkonSession::open(falkon.client(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  std::vector<TaskSpec> tasks;
+  for (int i = 1; i <= 20000; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{static_cast<std::uint64_t>(i)}, 0.0));
+  }
+  auto results = session.value()->run(std::move(tasks), 60.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  EXPECT_EQ(results.value().size(), 20000u);
+  EXPECT_EQ(falkon.dispatcher().status().completed, 20000u);
+  EXPECT_EQ(falkon.dispatcher().status().queued, 0u);
+  EXPECT_EQ(falkon.dispatcher().status().dispatched, 0u);
+}
+
+TEST(Stress, ManyConcurrentInstances) {
+  RealClock clock;
+  core::InProcFalkon falkon(clock, core::DispatcherConfig{});
+  ASSERT_TRUE(falkon
+                  .add_executors(4,
+                                 [](Clock&) {
+                                   return std::make_unique<core::NoopEngine>();
+                                 },
+                                 core::ExecutorOptions{})
+                  .ok());
+  // 8 client threads, each with its own instance, interleaved.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      auto session = core::FalkonSession::open(
+          falkon.client(), ClientId{static_cast<std::uint64_t>(c + 1)});
+      if (!session.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<TaskSpec> tasks;
+      for (int i = 1; i <= 200; ++i) {
+        // Distinct id spaces per client.
+        tasks.push_back(make_sleep_task(
+            TaskId{static_cast<std::uint64_t>(c * 1000000 + i)}, 0.0));
+      }
+      auto results = session.value()->run(std::move(tasks), 60.0);
+      if (!results.ok() || results.value().size() != 200) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Results must belong to this client's id space only.
+      for (const auto& result : results.value()) {
+        if (result.task_id.value / 1000000 != static_cast<std::uint64_t>(c)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Simulator conservation properties across a configuration sweep.
+class SimConservation
+    : public ::testing::TestWithParam<std::tuple<int, double, bool>> {};
+
+TEST_P(SimConservation, CompletesEverythingAndRespectsBounds) {
+  const auto [executors, task_length, piggyback] = GetParam();
+  sim::SimFalkonConfig config;
+  config.executors = executors;
+  config.task_length_s = task_length;
+  config.piggyback = piggyback;
+  config.task_count = static_cast<std::uint64_t>(executors) * 50;
+  const auto result = sim::simulate_falkon(config);
+
+  // Conservation: every submitted task completes exactly once.
+  EXPECT_EQ(result.completed, config.task_count);
+  std::uint64_t sampled = 0;
+  for (auto s : result.throughput_samples) sampled += s;
+  EXPECT_EQ(sampled, config.task_count);
+
+  // Busy executors never exceed the pool.
+  for (double busy : result.busy_series) {
+    EXPECT_LE(busy, static_cast<double>(executors));
+    EXPECT_GE(busy, 0.0);
+  }
+
+  // Makespan at least the obvious lower bounds.
+  const double work_bound = static_cast<double>(config.task_count) *
+                            task_length / executors;
+  EXPECT_GE(result.makespan_s, work_bound - 1e-9);
+  EXPECT_GE(result.overhead_stats.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimConservation,
+    ::testing::Combine(::testing::Values(1, 16, 256),
+                       ::testing::Values(0.0, 1.0, 30.0),
+                       ::testing::Values(false, true)));
+
+}  // namespace
+}  // namespace falkon

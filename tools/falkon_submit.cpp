@@ -1,0 +1,127 @@
+// falkon-submit: command-line client.
+//
+//   $ falkon-submit --host H --rpc-port N [--bundle K] [--timeout S]
+//                   [--quiet] CMD [ARGS...]          # one task
+//   $ falkon-submit --host H --rpc-port N --file tasks.txt
+//                   # one task per line, run through /bin/sh -c
+//
+// Submits tasks to a running falkon-dispatcher, waits for the results, and
+// prints exit codes and captured output.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service_tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace falkon;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t rpc_port = 0;
+  std::size_t bundle = 100;
+  double timeout_s = 3600.0;
+  bool quiet = false;
+  std::string file;
+  std::vector<std::string> command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--rpc-port") {
+      rpc_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--bundle") {
+      bundle = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--timeout") {
+      timeout_s = std::atof(next());
+    } else if (arg == "--file") {
+      file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      for (int j = i; j < argc; ++j) command.emplace_back(argv[j]);
+      break;
+    }
+  }
+  if (rpc_port == 0 || (file.empty() && command.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s --host H --rpc-port N [--bundle K] [--timeout S]"
+                 " [--quiet] (CMD [ARGS...] | --file tasks.txt)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<TaskSpec> tasks;
+  std::uint64_t next_id = 1;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      TaskSpec task;
+      task.id = TaskId{next_id++};
+      task.executable = "/bin/sh";
+      task.args = {"-c", line};
+      task.capture_output = true;
+      tasks.push_back(std::move(task));
+    }
+  } else {
+    TaskSpec task;
+    task.id = TaskId{next_id++};
+    task.executable = command.front();
+    task.args.assign(command.begin() + 1, command.end());
+    task.capture_output = true;
+    tasks.push_back(std::move(task));
+  }
+  if (tasks.empty()) {
+    std::fprintf(stderr, "no tasks to submit\n");
+    return 1;
+  }
+
+  auto client = core::TcpDispatcherClient::connect(host, rpc_port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.error().str().c_str());
+    return 1;
+  }
+  core::SessionOptions options;
+  options.bundle_size = bundle;
+  auto session =
+      core::FalkonSession::open(*client.value(), ClientId{1}, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.error().str().c_str());
+    return 1;
+  }
+
+  RealClock clock;
+  const double start = clock.now_s();
+  const std::size_t count = tasks.size();
+  auto results = session.value()->run(std::move(tasks), timeout_s);
+  if (!results.ok()) {
+    std::fprintf(stderr, "run: %s\n", results.error().str().c_str());
+    return 1;
+  }
+  int worst_exit = 0;
+  for (const auto& result : results.value()) {
+    worst_exit = std::max(worst_exit, result.exit_code);
+    if (quiet) continue;
+    std::printf("--- task %llu: exit=%d exec=%.3fs queue=%.3fs\n",
+                static_cast<unsigned long long>(result.task_id.value),
+                result.exit_code, result.exec_time_s, result.queue_time_s);
+    if (!result.stdout_data.empty()) {
+      std::fwrite(result.stdout_data.data(), 1, result.stdout_data.size(),
+                  stdout);
+    }
+    if (!result.stderr_data.empty()) {
+      std::fwrite(result.stderr_data.data(), 1, result.stderr_data.size(),
+                  stderr);
+    }
+  }
+  std::printf("%zu task(s) in %.3f s\n", count, clock.now_s() - start);
+  return worst_exit == 0 ? 0 : 1;
+}
