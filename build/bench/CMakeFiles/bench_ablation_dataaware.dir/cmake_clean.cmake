@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dataaware.dir/bench_ablation_dataaware.cpp.o"
+  "CMakeFiles/bench_ablation_dataaware.dir/bench_ablation_dataaware.cpp.o.d"
+  "bench_ablation_dataaware"
+  "bench_ablation_dataaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dataaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

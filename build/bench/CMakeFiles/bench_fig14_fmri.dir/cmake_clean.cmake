@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fmri.dir/bench_fig14_fmri.cpp.o"
+  "CMakeFiles/bench_fig14_fmri.dir/bench_fig14_fmri.cpp.o.d"
+  "bench_fig14_fmri"
+  "bench_fig14_fmri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fmri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

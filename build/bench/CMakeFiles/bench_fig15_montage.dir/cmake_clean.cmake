@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_montage.dir/bench_fig15_montage.cpp.o"
+  "CMakeFiles/bench_fig15_montage.dir/bench_fig15_montage.cpp.o.d"
+  "bench_fig15_montage"
+  "bench_fig15_montage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_montage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_3tier.dir/bench_fig16_3tier.cpp.o"
+  "CMakeFiles/bench_fig16_3tier.dir/bench_fig16_3tier.cpp.o.d"
+  "bench_fig16_3tier"
+  "bench_fig16_3tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_3tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

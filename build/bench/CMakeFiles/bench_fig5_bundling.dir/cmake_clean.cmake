@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bundling.dir/bench_fig5_bundling.cpp.o"
+  "CMakeFiles/bench_fig5_bundling.dir/bench_fig5_bundling.cpp.o.d"
+  "bench_fig5_bundling"
+  "bench_fig5_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_54k_executors.dir/bench_fig9_54k_executors.cpp.o"
+  "CMakeFiles/bench_fig9_54k_executors.dir/bench_fig9_54k_executors.cpp.o.d"
+  "bench_fig9_54k_executors"
+  "bench_fig9_54k_executors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_54k_executors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

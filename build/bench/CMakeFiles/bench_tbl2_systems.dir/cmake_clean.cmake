@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl2_systems.dir/bench_tbl2_systems.cpp.o"
+  "CMakeFiles/bench_tbl2_systems.dir/bench_tbl2_systems.cpp.o.d"
+  "bench_tbl2_systems"
+  "bench_tbl2_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl2_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

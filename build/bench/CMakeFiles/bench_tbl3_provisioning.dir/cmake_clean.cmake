@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl3_provisioning.dir/bench_tbl3_provisioning.cpp.o"
+  "CMakeFiles/bench_tbl3_provisioning.dir/bench_tbl3_provisioning.cpp.o.d"
+  "bench_tbl3_provisioning"
+  "bench_tbl3_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl3_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

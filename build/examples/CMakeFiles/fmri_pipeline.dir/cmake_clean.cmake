@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmri_pipeline.dir/fmri_pipeline.cpp.o"
+  "CMakeFiles/fmri_pipeline.dir/fmri_pipeline.cpp.o.d"
+  "fmri_pipeline"
+  "fmri_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmri_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_common.dir/clock.cpp.o"
+  "CMakeFiles/falkon_common.dir/clock.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/config.cpp.o"
+  "CMakeFiles/falkon_common.dir/config.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/logging.cpp.o"
+  "CMakeFiles/falkon_common.dir/logging.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/result.cpp.o"
+  "CMakeFiles/falkon_common.dir/result.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/stats.cpp.o"
+  "CMakeFiles/falkon_common.dir/stats.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/strings.cpp.o"
+  "CMakeFiles/falkon_common.dir/strings.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/task.cpp.o"
+  "CMakeFiles/falkon_common.dir/task.cpp.o.d"
+  "CMakeFiles/falkon_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/falkon_common.dir/thread_pool.cpp.o.d"
+  "libfalkon_common.a"
+  "libfalkon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

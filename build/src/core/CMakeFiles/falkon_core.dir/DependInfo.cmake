@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/falkon_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/core/CMakeFiles/falkon_core.dir/dispatcher.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/falkon_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/forwarder.cpp" "src/core/CMakeFiles/falkon_core.dir/forwarder.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/forwarder.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/falkon_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/core/CMakeFiles/falkon_core.dir/provisioner.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/provisioner.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/falkon_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/service.cpp.o.d"
+  "/root/repo/src/core/service_tcp.cpp" "src/core/CMakeFiles/falkon_core.dir/service_tcp.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/service_tcp.cpp.o.d"
+  "/root/repo/src/core/task_engine.cpp" "src/core/CMakeFiles/falkon_core.dir/task_engine.cpp.o" "gcc" "src/core/CMakeFiles/falkon_core.dir/task_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/falkon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/falkon_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/falkon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrm/CMakeFiles/falkon_lrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/falkon_iomodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_core.dir/client.cpp.o"
+  "CMakeFiles/falkon_core.dir/client.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/dispatcher.cpp.o"
+  "CMakeFiles/falkon_core.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/executor.cpp.o"
+  "CMakeFiles/falkon_core.dir/executor.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/forwarder.cpp.o"
+  "CMakeFiles/falkon_core.dir/forwarder.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/policies.cpp.o"
+  "CMakeFiles/falkon_core.dir/policies.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/provisioner.cpp.o"
+  "CMakeFiles/falkon_core.dir/provisioner.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/service.cpp.o"
+  "CMakeFiles/falkon_core.dir/service.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/service_tcp.cpp.o"
+  "CMakeFiles/falkon_core.dir/service_tcp.cpp.o.d"
+  "CMakeFiles/falkon_core.dir/task_engine.cpp.o"
+  "CMakeFiles/falkon_core.dir/task_engine.cpp.o.d"
+  "libfalkon_core.a"
+  "libfalkon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

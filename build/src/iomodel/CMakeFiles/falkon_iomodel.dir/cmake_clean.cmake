@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_iomodel.dir/data_cache.cpp.o"
+  "CMakeFiles/falkon_iomodel.dir/data_cache.cpp.o.d"
+  "CMakeFiles/falkon_iomodel.dir/io_model.cpp.o"
+  "CMakeFiles/falkon_iomodel.dir/io_model.cpp.o.d"
+  "libfalkon_iomodel.a"
+  "libfalkon_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_lrm.dir/batch_scheduler.cpp.o"
+  "CMakeFiles/falkon_lrm.dir/batch_scheduler.cpp.o.d"
+  "CMakeFiles/falkon_lrm.dir/gram.cpp.o"
+  "CMakeFiles/falkon_lrm.dir/gram.cpp.o.d"
+  "libfalkon_lrm.a"
+  "libfalkon_lrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_lrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

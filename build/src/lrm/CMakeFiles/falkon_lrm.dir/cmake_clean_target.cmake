@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfalkon_lrm.a"
+)

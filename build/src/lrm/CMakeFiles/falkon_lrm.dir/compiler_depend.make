@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for falkon_lrm.
+# This may be replaced when dependencies are built.

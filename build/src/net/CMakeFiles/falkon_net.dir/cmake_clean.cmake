@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_net.dir/rpc.cpp.o"
+  "CMakeFiles/falkon_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/falkon_net.dir/socket.cpp.o"
+  "CMakeFiles/falkon_net.dir/socket.cpp.o.d"
+  "libfalkon_net.a"
+  "libfalkon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

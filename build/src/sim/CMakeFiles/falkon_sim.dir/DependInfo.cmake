@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cpp" "src/sim/CMakeFiles/falkon_sim.dir/baselines.cpp.o" "gcc" "src/sim/CMakeFiles/falkon_sim.dir/baselines.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/falkon_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/falkon_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/sim_falkon.cpp" "src/sim/CMakeFiles/falkon_sim.dir/sim_falkon.cpp.o" "gcc" "src/sim/CMakeFiles/falkon_sim.dir/sim_falkon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/falkon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/falkon_iomodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_sim.dir/baselines.cpp.o"
+  "CMakeFiles/falkon_sim.dir/baselines.cpp.o.d"
+  "CMakeFiles/falkon_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/falkon_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/falkon_sim.dir/sim_falkon.cpp.o"
+  "CMakeFiles/falkon_sim.dir/sim_falkon.cpp.o.d"
+  "libfalkon_sim.a"
+  "libfalkon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_wire.dir/framing.cpp.o"
+  "CMakeFiles/falkon_wire.dir/framing.cpp.o.d"
+  "CMakeFiles/falkon_wire.dir/message.cpp.o"
+  "CMakeFiles/falkon_wire.dir/message.cpp.o.d"
+  "libfalkon_wire.a"
+  "libfalkon_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/dag.cpp" "src/workflow/CMakeFiles/falkon_workflow.dir/dag.cpp.o" "gcc" "src/workflow/CMakeFiles/falkon_workflow.dir/dag.cpp.o.d"
+  "/root/repo/src/workflow/engine.cpp" "src/workflow/CMakeFiles/falkon_workflow.dir/engine.cpp.o" "gcc" "src/workflow/CMakeFiles/falkon_workflow.dir/engine.cpp.o.d"
+  "/root/repo/src/workflow/provider.cpp" "src/workflow/CMakeFiles/falkon_workflow.dir/provider.cpp.o" "gcc" "src/workflow/CMakeFiles/falkon_workflow.dir/provider.cpp.o.d"
+  "/root/repo/src/workflow/workloads.cpp" "src/workflow/CMakeFiles/falkon_workflow.dir/workloads.cpp.o" "gcc" "src/workflow/CMakeFiles/falkon_workflow.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/falkon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrm/CMakeFiles/falkon_lrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falkon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/falkon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/falkon_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/falkon_iomodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon_workflow.dir/dag.cpp.o"
+  "CMakeFiles/falkon_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/falkon_workflow.dir/engine.cpp.o"
+  "CMakeFiles/falkon_workflow.dir/engine.cpp.o.d"
+  "CMakeFiles/falkon_workflow.dir/provider.cpp.o"
+  "CMakeFiles/falkon_workflow.dir/provider.cpp.o.d"
+  "CMakeFiles/falkon_workflow.dir/workloads.cpp.o"
+  "CMakeFiles/falkon_workflow.dir/workloads.cpp.o.d"
+  "libfalkon_workflow.a"
+  "libfalkon_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

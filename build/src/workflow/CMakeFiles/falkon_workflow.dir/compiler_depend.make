@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for falkon_workflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iomodel.dir/test_iomodel.cpp.o"
+  "CMakeFiles/test_iomodel.dir/test_iomodel.cpp.o.d"
+  "test_iomodel"
+  "test_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrm.dir/test_lrm.cpp.o"
+  "CMakeFiles/test_lrm.dir/test_lrm.cpp.o.d"
+  "test_lrm"
+  "test_lrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lrm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workflow.cpp" "tests/CMakeFiles/test_workflow.dir/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/test_workflow.dir/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/falkon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/falkon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/falkon_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/falkon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/falkon_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/falkon_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrm/CMakeFiles/falkon_lrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falkon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

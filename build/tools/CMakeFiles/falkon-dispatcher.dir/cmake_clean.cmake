@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon-dispatcher.dir/falkon_dispatcher.cpp.o"
+  "CMakeFiles/falkon-dispatcher.dir/falkon_dispatcher.cpp.o.d"
+  "falkon-dispatcher"
+  "falkon-dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon-dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon-executor.dir/falkon_executor.cpp.o"
+  "CMakeFiles/falkon-executor.dir/falkon_executor.cpp.o.d"
+  "falkon-executor"
+  "falkon-executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon-executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

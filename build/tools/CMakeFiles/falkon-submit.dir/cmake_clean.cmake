@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falkon-submit.dir/falkon_submit.cpp.o"
+  "CMakeFiles/falkon-submit.dir/falkon_submit.cpp.o.d"
+  "falkon-submit"
+  "falkon-submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falkon-submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
