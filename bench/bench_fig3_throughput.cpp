@@ -15,6 +15,8 @@
 #include "core/client.h"
 #include "core/service.h"
 #include "core/service_tcp.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "sim/sim_falkon.h"
 
 namespace {
@@ -22,13 +24,17 @@ namespace {
 using namespace falkon;
 using namespace falkon::bench;
 
-double measure_inproc_cpp(int executors, std::uint64_t tasks) {
+double measure_inproc_cpp(int executors, std::uint64_t tasks,
+                          obs::Obs* obs = nullptr) {
   RealClock clock;
   core::DispatcherConfig config;
   config.notify_threads = 2;
+  config.obs = obs;
   core::InProcFalkon falkon(clock, config);
   auto factory = [](Clock&) { return std::make_unique<core::NoopEngine>(); };
-  if (!falkon.add_executors(executors, factory, core::ExecutorOptions{}).ok()) {
+  core::ExecutorOptions options;
+  options.obs = obs;
+  if (!falkon.add_executors(executors, factory, options).ok()) {
     return 0.0;
   }
   auto session = core::FalkonSession::open(falkon.client(), ClientId{1});
@@ -96,17 +102,32 @@ int main() {
        " one executor");
 
   title("This C++ implementation on this host (not the paper's testbed)");
+  // Metrics-on run: the registry counters ride along with the measurement
+  // and land in BENCH_fig3_throughput.json (the snapshot proves the
+  // metrics hot path is cheap enough to leave on).
+  obs::Obs obs;
   Table cpp({"configuration", "executors", "tasks/s"});
   for (int executors : {1, 4}) {
-    cpp.row({"in-process", strf("%d", executors),
-             strf("%.0f", measure_inproc_cpp(executors, 20000))});
+    const double rate = measure_inproc_cpp(executors, 20000, &obs);
+    obs.registry()
+        .gauge("bench.fig3.inproc_tasks_per_s",
+               {{"executors", strf("%d", executors)}})
+        .set(rate);
+    cpp.row({"in-process", strf("%d", executors), strf("%.0f", rate)});
   }
   for (int executors : {1, 4}) {
-    cpp.row({"loopback TCP", strf("%d", executors),
-             strf("%.0f", measure_tcp_cpp(executors, 5000))});
+    const double rate = measure_tcp_cpp(executors, 5000);
+    obs.registry()
+        .gauge("bench.fig3.tcp_tasks_per_s",
+               {{"executors", strf("%d", executors)}})
+        .set(rate);
+    cpp.row({"loopback TCP", strf("%d", executors), strf("%.0f", rate)});
   }
   cpp.print();
   note("the C/C++ rewrite the paper's section 6 anticipates removes the"
        " GT4/XML per-call cost entirely.");
+  if (obs::save_metrics_json(obs.registry(), "BENCH_fig3_throughput.json").ok()) {
+    note("metrics snapshot: BENCH_fig3_throughput.json");
+  }
   return 0;
 }

@@ -7,12 +7,21 @@
 #include "common/queue.h"
 #include "core/client.h"
 #include "core/service.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "wire/message.h"
 
 namespace {
 
 using namespace falkon;
+
+/// Shared observability context: instrumented benchmark variants record
+/// into it, and main() writes the accumulated registry to BENCH_micro.json.
+obs::Obs& bench_obs() {
+  static obs::Obs obs;
+  return obs;
+}
 
 TaskSpec sample_task(std::uint64_t id) {
   TaskSpec spec = make_sleep_task(TaskId{id}, 0.0);
@@ -59,11 +68,47 @@ void BM_BlockingQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockingQueuePushPop);
 
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter& counter = bench_obs().registry().counter("bench.micro.counter");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc)->ThreadRange(1, 8);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& hist =
+      bench_obs().registry().histogram("bench.micro.histogram", 1e-6, 1e2);
+  double v = 1e-5;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v < 1.0 ? v * 1.001 : 1e-5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord)->ThreadRange(1, 8);
+
+void BM_ObsTracerRecord(benchmark::State& state) {
+  static obs::Tracer tracer(1 << 16);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    tracer.record(TaskId{++id}, obs::Stage::kExec, 0.0, 1.0, 7);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTracerRecord)->ThreadRange(1, 8);
+
 /// One dispatcher protocol cycle: get_work + deliver_results with
 /// piggy-backing (the 2-messages-per-task steady state of section 3.4).
+/// The /obs variant runs the same cycle with the metrics registry attached
+/// — the delta is the total instrumentation cost per task.
+template <bool kWithObs>
 void BM_DispatcherCycle(benchmark::State& state) {
   ManualClock clock;
-  core::Dispatcher dispatcher(clock, core::DispatcherConfig{});
+  core::DispatcherConfig config;
+  if (kWithObs) config.obs = &bench_obs();
+  core::Dispatcher dispatcher(clock, config);
   auto instance = dispatcher.create_instance(ClientId{1});
   struct NullSink final : core::ExecutorSink {
     void notify(ExecutorId, std::uint64_t) override {}
@@ -91,7 +136,8 @@ void BM_DispatcherCycle(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DispatcherCycle);
+BENCHMARK(BM_DispatcherCycle<false>)->Name("BM_DispatcherCycle");
+BENCHMARK(BM_DispatcherCycle<true>)->Name("BM_DispatcherCycle/obs");
 
 /// Full in-process end-to-end: client -> dispatcher -> executor threads ->
 /// results. Items/sec here is this implementation's "Figure 3" number.
@@ -135,4 +181,14 @@ BENCHMARK(BM_SimulationEventThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Registry snapshot of the instrumented runs, BENCH_*.json style.
+  if (obs::save_metrics_json(bench_obs().registry(), "BENCH_micro.json").ok()) {
+    std::printf("metrics snapshot: BENCH_micro.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI entry point: build and test the two configurations that gate a change.
+#
+#   1. Release         — the configuration the benchmarks run in;
+#   2. ASan + UBSan    — memory errors and UB across the whole test suite.
+#
+# An optional third pass (`scripts/ci.sh tsan`) builds with ThreadSanitizer
+# and runs the concurrency-heavy suites (obs registry/tracer, dispatcher,
+# executor, stress) — slower, so it is opt-in.
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== Release build + ctest =="
+cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-release -j "$JOBS"
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "== ASan+UBSan build + ctest =="
+cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFALKON_ASAN=ON >/dev/null
+cmake --build build-ci-asan -j "$JOBS"
+ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+if [ "${1:-}" = "tsan" ]; then
+  echo "== TSan build + concurrency suites =="
+  cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFALKON_TSAN=ON >/dev/null
+  cmake --build build-ci-tsan -j "$JOBS"
+  ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+        -R 'test_obs|test_dispatcher|test_executor|test_stress'
+fi
+
+echo "CI OK"

@@ -29,6 +29,14 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) {
   moments_.add(x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
   auto bin = static_cast<std::ptrdiff_t>((x - lo_) / bin_width_);
   bin = std::clamp<std::ptrdiff_t>(bin, 0,
                                    static_cast<std::ptrdiff_t>(counts_.size()) - 1);
@@ -46,7 +54,8 @@ double Histogram::quantile(double q) const {
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
-  double cumulative = 0.0;
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative && underflow_ > 0) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
@@ -61,9 +70,24 @@ double Histogram::quantile(double q) const {
 std::string Histogram::ascii(std::size_t width) const {
   std::size_t peak = 0;
   for (auto c : counts_) peak = std::max(peak, c);
-  if (peak == 0) return "(empty histogram)\n";
+  if (peak == 0 && underflow_ == 0 && overflow_ == 0) {
+    return "(empty histogram)\n";
+  }
   std::string out;
   char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "%12s | %-*s %zu\n", "(underflow)",
+                  static_cast<int>(width), "", underflow_);
+    out += line;
+  }
+  if (peak == 0) {
+    if (overflow_ > 0) {
+      std::snprintf(line, sizeof(line), "%12s | %-*s %zu\n", "(overflow)",
+                    static_cast<int>(width), "", overflow_);
+      out += line;
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto bar = static_cast<std::size_t>(
         static_cast<double>(counts_[i]) / static_cast<double>(peak) *
@@ -71,6 +95,11 @@ std::string Histogram::ascii(std::size_t width) const {
     std::snprintf(line, sizeof(line), "%12.3f | %-*s %zu\n", bin_lower(i),
                   static_cast<int>(width),
                   std::string(bar, '#').c_str(), counts_[i]);
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "%12s | %-*s %zu\n", "(overflow)",
+                  static_cast<int>(width), "", overflow_);
     out += line;
   }
   return out;

@@ -34,8 +34,10 @@ class Accumulator {
   double max_{-std::numeric_limits<double>::infinity()};
 };
 
-/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
-/// clamped edge bins. Also keeps an Accumulator for the moments.
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples are
+/// counted in explicit underflow (x < lo) / overflow (x >= hi) bins rather
+/// than silently distorting the edge buckets; they still contribute to the
+/// moments() Accumulator and to quantile mass.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -44,9 +46,13 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
   [[nodiscard]] double bin_lower(std::size_t bin) const;
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
   [[nodiscard]] const Accumulator& moments() const { return moments_; }
 
   /// Approximate quantile (0..1) by linear interpolation within a bin.
+  /// Quantiles that fall into the underflow (overflow) mass resolve to the
+  /// lo (hi) range bound.
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] std::string ascii(std::size_t width = 50) const;
@@ -54,6 +60,8 @@ class Histogram {
  private:
   double lo_, hi_, bin_width_;
   std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
   Accumulator moments_;
 };
 

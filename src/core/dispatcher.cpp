@@ -26,7 +26,21 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
       policy_(policy ? std::move(policy)
                      : std::make_unique<NextAvailablePolicy>()),
       notify_pool_(static_cast<std::size_t>(std::max(1, config.notify_threads)),
-                   "notify") {}
+                   "notify") {
+  if (config_.obs != nullptr) {
+    obs::Registry& reg = config_.obs->registry();
+    tracer_ = &config_.obs->tracer();
+    m_submitted_ = &reg.counter("falkon.dispatcher.tasks_submitted");
+    m_dispatched_ = &reg.counter("falkon.dispatcher.tasks_dispatched");
+    m_completed_ = &reg.counter("falkon.dispatcher.tasks_completed");
+    m_failed_ = &reg.counter("falkon.dispatcher.tasks_failed");
+    m_retried_ = &reg.counter("falkon.dispatcher.tasks_retried");
+    m_notifications_ = &reg.counter("falkon.dispatcher.notifications");
+    m_queue_depth_ = &reg.gauge("falkon.dispatcher.queue_depth");
+    m_queue_time_ = &reg.histogram("falkon.task.queue_time_s", 1e-6, 1e4);
+    m_overhead_ = &reg.histogram("falkon.task.overhead_s", 1e-6, 1e4);
+  }
+}
 
 Dispatcher::~Dispatcher() { shutdown(); }
 
@@ -97,11 +111,16 @@ Result<std::uint64_t> Dispatcher::submit(InstanceId instance_id,
     task.instance = instance_id;
     task.spec = std::move(spec);
     task.enqueue_s = now;
+    if (tracer_) tracer_->instant(task.spec.id, obs::Stage::kSubmit, now);
     queue_.push_back(std::move(task));
   }
   const auto accepted = static_cast<std::uint64_t>(tasks.size());
   counters_.submitted += accepted;
   counters_.queued = queue_.size();
+  if (m_submitted_) {
+    m_submitted_->inc(accepted);
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
   pump_notifications_locked();
   return accepted;
 }
@@ -209,6 +228,13 @@ void Dispatcher::pump_notifications_locked() {
     chosen.state = ExecState::kNotified;
     auto sink = chosen.sink;
     const ExecutorId id = chosen.id;
+    if (m_notifications_) m_notifications_->inc();
+    if (tracer_) {
+      // Attribute the notification to the queue head — the task that made
+      // the dispatcher wake this executor (it may end up pulling others).
+      tracer_->instant(queue_.front().spec.id, obs::Stage::kNotify,
+                       clock_.now_s(), id.value);
+    }
     // The notification itself happens on the engine's thread pool {3}.
     (void)notify_pool_.submit([sink, id] {
       if (sink) sink->notify(id, id.value);
@@ -255,8 +281,17 @@ std::vector<TaskSpec> Dispatcher::take_work_locked(ExecutorEntry& entry,
     dispatched.spec = task.spec;
     const std::uint64_t task_id = task.spec.id.value;
     bundle_runtime += task.spec.estimated_runtime_s;
+    if (tracer_) {
+      tracer_->record(task.spec.id, obs::Stage::kQueued, task.enqueue_s, now);
+      tracer_->instant(task.spec.id, obs::Stage::kGetWork, now, entry.id.value);
+    }
+    if (m_queue_time_) m_queue_time_->record(now - task.enqueue_s);
     out.push_back(std::move(task.spec));
     dispatched_[task_id] = std::move(dispatched);
+  }
+  if (m_dispatched_) {
+    m_dispatched_->inc(out.size());
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
   }
   if (!out.empty()) {
     entry.state = ExecState::kBusy;
@@ -342,6 +377,15 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
       result.overhead_s = (now - dispatched.dispatch_s) - result.exec_time_s;
       result.executor_id = executor_id;
       overhead_stats_.add(result.overhead_s);
+      if (tracer_) {
+        // Result delivery {6}: from when execution finished (dispatch time
+        // plus exec time, i.e. `now` minus the measured overhead) until the
+        // dispatcher ingested the result.
+        tracer_->record(result.task_id, obs::Stage::kDeliverResult,
+                        now - std::max(0.0, result.overhead_s), now,
+                        executor_id.value);
+      }
+      if (m_overhead_) m_overhead_->record(result.overhead_s);
       if (completion_listener_) completion_listener_(result, now);
 
       // Mirror the executor's data cache for data-aware dispatch.
@@ -354,14 +398,21 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
           dispatched.attempts < config_.replay.max_retries) {
         ++dispatched.attempts;
         ++counters_.retried;
+        if (m_retried_) m_retried_->inc();
         requeue_locked(std::move(dispatched), /*front=*/false);
         continue;
       }
 
       if (failed) {
         ++counters_.failed;
+        if (m_failed_) m_failed_->inc();
       } else {
         ++counters_.completed;
+        if (m_completed_) m_completed_->inc();
+      }
+      if (tracer_) {
+        tracer_->instant(result.task_id, obs::Stage::kAck, now,
+                         executor_id.value);
       }
       auto iit = instances_.find(dispatched.instance.value);
       if (iit != instances_.end()) {
@@ -456,6 +507,7 @@ int Dispatcher::check_replays() {
     }
     ++task.attempts;
     ++counters_.retried;
+    if (m_retried_) m_retried_->inc();
     requeue_locked(std::move(task), /*front=*/true);
   }
   if (!overdue.empty()) pump_notifications_locked();

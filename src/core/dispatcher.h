@@ -30,6 +30,7 @@
 #include "common/task.h"
 #include "common/thread_pool.h"
 #include "core/policies.h"
+#include "obs/obs.h"
 #include "wire/message.h"
 
 namespace falkon::core {
@@ -56,6 +57,10 @@ struct DispatcherConfig {
   /// its summed estimated runtime reaches this budget, so one executor is
   /// never handed many long tasks. 0 disables the budget (count-only cap).
   double max_bundle_runtime_s{0.0};
+
+  /// Observability context (metrics + lifecycle tracing); nullptr disables
+  /// all instrumentation at zero cost. See docs/OBSERVABILITY.md.
+  obs::Obs* obs{nullptr};
 };
 
 struct DispatcherStatus {
@@ -226,6 +231,19 @@ class Dispatcher {
   DispatcherConfig config_;
   std::unique_ptr<DispatchPolicy> policy_;
   ThreadPool notify_pool_;
+
+  // Observability handles, resolved once at construction; all null when
+  // config_.obs is null, so the hot paths pay one predicted branch each.
+  obs::Tracer* tracer_{nullptr};
+  obs::Counter* m_submitted_{nullptr};
+  obs::Counter* m_dispatched_{nullptr};
+  obs::Counter* m_completed_{nullptr};
+  obs::Counter* m_failed_{nullptr};
+  obs::Counter* m_retried_{nullptr};
+  obs::Counter* m_notifications_{nullptr};
+  obs::Gauge* m_queue_depth_{nullptr};
+  obs::Histogram* m_queue_time_{nullptr};
+  obs::Histogram* m_overhead_{nullptr};
 
   mutable std::mutex mu_;
   std::deque<QueuedTask> queue_;

@@ -8,7 +8,16 @@ namespace falkon::core {
 
 ExecutorRuntime::ExecutorRuntime(Clock& clock, DispatcherLink& link,
                                  TaskEngine& engine, ExecutorOptions options)
-    : clock_(clock), link_(link), engine_(engine), options_(options) {}
+    : clock_(clock), link_(link), engine_(engine), options_(options) {
+  if (options_.obs != nullptr) {
+    obs::Registry& reg = options_.obs->registry();
+    tracer_ = &options_.obs->tracer();
+    m_tasks_ = &reg.counter("falkon.executor.tasks_executed");
+    m_notifications_ = &reg.counter("falkon.executor.notifications");
+    m_empty_polls_ = &reg.counter("falkon.executor.empty_polls");
+    m_exec_time_ = &reg.histogram("falkon.executor.exec_time_s", 1e-6, 1e4);
+  }
+}
 
 ExecutorRuntime::~ExecutorRuntime() { stop(); }
 
@@ -40,6 +49,7 @@ void ExecutorRuntime::notify(std::uint64_t resource_key) {
     std::lock_guard lock(stats_mu_);
     ++stats_.notifications;
   }
+  if (m_notifications_) m_notifications_->inc();
 }
 
 void ExecutorRuntime::request_stop() {
@@ -116,8 +126,11 @@ void ExecutorRuntime::work_loop() {
         tasks = work.take();
       }
       if (tasks.empty()) {
-        std::lock_guard lock(stats_mu_);
-        ++stats_.empty_polls;
+        {
+          std::lock_guard lock(stats_mu_);
+          ++stats_.empty_polls;
+        }
+        if (m_empty_polls_) m_empty_polls_->inc();
         break;
       }
 
@@ -140,6 +153,14 @@ void ExecutorRuntime::work_loop() {
           std::lock_guard lock(stats_mu_);
           ++stats_.tasks_executed;
           stats_.busy_time_s += elapsed;
+        }
+        if (tracer_) {
+          tracer_->record(task.id, obs::Stage::kExec, start, start + elapsed,
+                          id_.value);
+        }
+        if (m_tasks_) {
+          m_tasks_->inc();
+          m_exec_time_->record(elapsed);
         }
         executed_any = true;
         results.push_back(std::move(result));

@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "common/task.h"
 #include "core/task_engine.h"
+#include "obs/obs.h"
 #include "wire/message.h"
 
 namespace falkon::core {
@@ -66,6 +67,9 @@ struct ExecutorOptions {
   /// responsiveness and dispatcher load for needing only outbound
   /// connections. 0 = hybrid push/pull (the paper's preferred model).
   double poll_interval_s{0.0};
+
+  /// Observability context; nullptr disables instrumentation at zero cost.
+  obs::Obs* obs{nullptr};
 };
 
 struct ExecutorStats {
@@ -132,6 +136,13 @@ class ExecutorRuntime {
   mutable std::mutex stats_mu_;
   ExecutorStats stats_;
   std::function<void(ExecutorId)> exit_listener_;
+
+  // Observability handles (null when options_.obs is null).
+  obs::Tracer* tracer_{nullptr};
+  obs::Counter* m_tasks_{nullptr};
+  obs::Counter* m_notifications_{nullptr};
+  obs::Counter* m_empty_polls_{nullptr};
+  obs::Histogram* m_exec_time_{nullptr};
 };
 
 }  // namespace falkon::core

@@ -22,7 +22,16 @@ Provisioner::Provisioner(Clock& clock, Dispatcher& dispatcher,
       acquisition_(acquisition ? std::move(acquisition)
                                : std::make_unique<AllAtOncePolicy>()),
       launcher_(std::move(launcher)),
-      central_release_(std::move(central)) {}
+      central_release_(std::move(central)) {
+  if (config_.obs != nullptr) {
+    obs::Registry& reg = config_.obs->registry();
+    m_allocations_ = &reg.counter("falkon.provisioner.allocations_requested");
+    m_allocated_ = &reg.gauge("falkon.provisioner.pending_executors");
+    m_registered_idle_ = &reg.gauge("falkon.provisioner.idle_executors");
+    m_active_ = &reg.gauge("falkon.provisioner.active_executors");
+    m_queued_ = &reg.gauge("falkon.provisioner.queued_tasks");
+  }
+}
 
 Provisioner::~Provisioner() { stop_driver(); }
 
@@ -61,6 +70,12 @@ void Provisioner::step() {
     registered_series_.add(now, status.idle_executors);
     active_series_.add(now, status.busy_executors);
     queued_series_.add(now, static_cast<double>(status.queued));
+    if (m_allocated_) {
+      m_allocated_->set(pending_executors_);
+      m_registered_idle_->set(status.idle_executors);
+      m_active_->set(status.busy_executors);
+      m_queued_->set(static_cast<double>(status.queued));
+    }
   }
 
   if (central_release_) {
@@ -76,6 +91,7 @@ void Provisioner::step() {
 
 void Provisioner::request_allocation_locked(int executors) {
   if (executors <= 0) return;
+  if (m_allocations_) m_allocations_->inc();
   const int per_node = std::max(1, config_.executors_per_node);
   const int nodes =
       static_cast<int>(std::ceil(static_cast<double>(executors) /

@@ -40,6 +40,9 @@ struct ProvisionerConfig {
   double poll_interval_s{1.0};
   /// Walltime requested for allocations (0 = none).
   double allocation_walltime_s{0.0};
+
+  /// Observability context; nullptr disables instrumentation at zero cost.
+  obs::Obs* obs{nullptr};
 };
 
 struct ProvisionerStats {
@@ -133,6 +136,13 @@ class Provisioner {
   TimeSeries registered_series_;
   TimeSeries active_series_;
   TimeSeries queued_series_;
+
+  // Observability handles (null when config_.obs is null).
+  obs::Counter* m_allocations_{nullptr};
+  obs::Gauge* m_allocated_{nullptr};
+  obs::Gauge* m_registered_idle_{nullptr};
+  obs::Gauge* m_active_{nullptr};
+  obs::Gauge* m_queued_{nullptr};
 
   std::thread driver_;
   std::atomic<bool> driver_stop_{false};

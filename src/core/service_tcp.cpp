@@ -19,15 +19,22 @@ Result<Expected> expect(Result<wire::Message> reply) {
 
 }  // namespace
 
-TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher)
-    : dispatcher_(dispatcher) {}
+TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
+    : dispatcher_(dispatcher) {
+  if (obs != nullptr) {
+    obs::Registry& reg = obs->registry();
+    m_requests_ = &reg.counter("falkon.net.rpc.requests");
+    m_errors_ = &reg.counter("falkon.net.rpc.errors");
+    m_pushes_ = &reg.counter("falkon.net.push.notifications");
+  }
+}
 
 TcpDispatcherServer::~TcpDispatcherServer() { stop(); }
 
 Status TcpDispatcherServer::start(std::uint16_t rpc_port,
                                   std::uint16_t push_port) {
   if (auto status = push_.start(push_port); !status.ok()) return status;
-  sink_ = std::make_shared<PushSink>(push_);
+  sink_ = std::make_shared<PushSink>(push_, m_pushes_);
   client_sink_ = std::make_shared<ClientPushSink>(push_);
   dispatcher_.set_client_sink(client_sink_);
   return rpc_.start([this](const wire::Message& m) { return handle(m); },
@@ -55,6 +62,15 @@ Status TcpResultListener::start(const std::string& host,
 void TcpResultListener::stop() { receiver_.stop(); }
 
 wire::Message TcpDispatcherServer::handle(const wire::Message& request) {
+  if (m_requests_) m_requests_->inc();
+  wire::Message reply = dispatch(request);
+  if (m_errors_ && std::get_if<wire::ErrorReply>(&reply) != nullptr) {
+    m_errors_->inc();
+  }
+  return reply;
+}
+
+wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
   using namespace wire;
   if (const auto* m = std::get_if<CreateInstanceRequest>(&request)) {
     auto result = dispatcher_.create_instance(m->client_id);

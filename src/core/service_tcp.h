@@ -26,7 +26,10 @@ inline constexpr std::uint64_t kClientKeyBase = 1ULL << 62;
 
 class TcpDispatcherServer {
  public:
-  explicit TcpDispatcherServer(Dispatcher& dispatcher);
+  /// `obs` (optional) receives RPC/push counters: falkon.net.rpc.requests,
+  /// falkon.net.rpc.errors, falkon.net.push.notifications.
+  explicit TcpDispatcherServer(Dispatcher& dispatcher,
+                               obs::Obs* obs = nullptr);
   ~TcpDispatcherServer();
 
   TcpDispatcherServer(const TcpDispatcherServer&) = delete;
@@ -41,14 +44,17 @@ class TcpDispatcherServer {
  private:
   /// ExecutorSink that writes Notify frames on the notification channel.
   struct PushSink final : ExecutorSink {
-    explicit PushSink(net::PushServer& push) : push(push) {}
+    PushSink(net::PushServer& push, obs::Counter* pushes)
+        : push(push), pushes(pushes) {}
     void notify(ExecutorId id, std::uint64_t resource_key) override {
       wire::Notify message;
       message.executor_id = id;
       message.resource_key = resource_key;
+      if (pushes) pushes->inc();
       (void)push.push(id.value, message);
     }
     net::PushServer& push;
+    obs::Counter* pushes;
   };
 
   /// ClientSink that writes ClientNotify frames {8} on the notification
@@ -65,12 +71,16 @@ class TcpDispatcherServer {
   };
 
   [[nodiscard]] wire::Message handle(const wire::Message& request);
+  [[nodiscard]] wire::Message dispatch(const wire::Message& request);
 
   Dispatcher& dispatcher_;
   net::RpcServer rpc_;
   net::PushServer push_;
   std::shared_ptr<PushSink> sink_;
   std::shared_ptr<ClientPushSink> client_sink_;
+  obs::Counter* m_requests_{nullptr};
+  obs::Counter* m_errors_{nullptr};
+  obs::Counter* m_pushes_{nullptr};
 };
 
 /// Client-side subscription to result notifications {8}: connects to the

@@ -1,0 +1,188 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/strings.h"
+
+namespace falkon::obs {
+namespace {
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number formatting: finite, no trailing noise. NaN/inf (possible in
+/// torn snapshots) degrade to 0 so the output stays parseable.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  return strf("%.9g", v);
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<SpanEvent>& events,
+                        std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::set<std::uint64_t> actors;
+  for (const SpanEvent& event : events) {
+    actors.insert(event.actor);
+    const double ts_us = event.begin_s * 1e6;
+    const double dur_us = std::max(0.0, event.end_s - event.begin_s) * 1e6;
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << stage_name(event.stage)
+        << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << json_number(ts_us)
+        << ",\"dur\":" << json_number(dur_us)
+        << ",\"pid\":1,\"tid\":" << event.actor << ",\"args\":{\"task\":"
+        << event.task << "}}";
+  }
+  // Metadata: name the process and each actor track.
+  if (!first) out << ",";
+  out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"falkon\"}}";
+  for (std::uint64_t actor : actors) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << actor << ",\"args\":{\"name\":\""
+        << (actor == 0 ? std::string("dispatcher")
+                       : strf("executor %" PRIu64, actor))
+        << "\"}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Status save_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  write_chrome_trace(tracer.snapshot(), out);
+  out.flush();
+  if (!out) return make_error(ErrorCode::kIoError, "write failed: " + path);
+  return ok_status();
+}
+
+void write_metrics_json(const Snapshot& snapshot, std::ostream& out) {
+  out << "{\n  \"schema\": \"falkon.metrics.v1\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i ? "," : "") << "\n    \""
+        << escape_json(snapshot.counters[i].first)
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << escape_json(snapshot.gauges[i].first)
+        << "\": " << json_number(snapshot.gauges[i].second);
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out << (i ? "," : "") << "\n    \"" << escape_json(h.name) << "\": {"
+        << "\"count\": " << h.count << ", \"underflow\": " << h.underflow
+        << ", \"overflow\": " << h.overflow
+        << ", \"sum\": " << json_number(h.sum)
+        << ", \"mean\": " << json_number(h.mean)
+        << ", \"min\": " << json_number(h.min)
+        << ", \"max\": " << json_number(h.max)
+        << ", \"p50\": " << json_number(h.p50)
+        << ", \"p90\": " << json_number(h.p90)
+        << ", \"p99\": " << json_number(h.p99) << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+Status save_metrics_json(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  write_metrics_json(registry.snapshot(), out);
+  out.flush();
+  if (!out) return make_error(ErrorCode::kIoError, "write failed: " + path);
+  return ok_status();
+}
+
+std::string human_dump(const Snapshot& snapshot) {
+  std::string out;
+  std::size_t width = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& h : snapshot.histograms) width = std::max(width, h.name.size());
+  const int w = static_cast<int>(width);
+  for (const auto& [name, value] : snapshot.counters) {
+    out += strf("%-*s %20" PRIu64 "\n", w, name.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += strf("%-*s %20.6g\n", w, name.c_str(), value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += strf("%-*s count=%" PRIu64 " mean=%.6g p50=%.6g p90=%.6g"
+                " p99=%.6g max=%.6g under=%" PRIu64 " over=%" PRIu64 "\n",
+                w, h.name.c_str(), h.count, h.mean, h.p50, h.p90, h.p99,
+                h.max, h.underflow, h.overflow);
+  }
+  return out;
+}
+
+PeriodicDumper::PeriodicDumper(const Registry& registry, double interval_s,
+                               std::function<void(const std::string&)> emit)
+    : registry_(registry),
+      interval_s_(interval_s > 0 ? interval_s : 1.0),
+      emit_(emit ? std::move(emit) : [](const std::string& text) {
+        std::fputs(text.c_str(), stderr);
+      }) {
+  thread_ = std::thread([this] {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      emit_(human_dump(registry_.snapshot()));
+      lock.lock();
+    }
+  });
+}
+
+PeriodicDumper::~PeriodicDumper() { stop(); }
+
+void PeriodicDumper::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      if (!thread_.joinable()) return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace falkon::obs

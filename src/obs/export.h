@@ -1,0 +1,69 @@
+// Exporters for falkon::obs.
+//
+//   * Chrome trace_event JSON: load the file in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing. Each lifecycle span
+//     becomes a complete ("ph":"X") event on the track of the actor that
+//     performed it (tid 0 = dispatcher, tid N = executor N).
+//   * Metrics snapshot JSON: one flat object per metric kind, the format
+//     the BENCH_*.json artifacts use.
+//   * Human-readable dump: aligned text for consoles/logs, optionally
+//     emitted periodically by a background PeriodicDumper thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace falkon::obs {
+
+/// Write events as Chrome trace_event JSON ("JSON Object Format" with a
+/// traceEvents array plus process/thread-name metadata).
+void write_chrome_trace(const std::vector<SpanEvent>& events,
+                        std::ostream& out);
+
+/// Snapshot `tracer` and write its events to `path`.
+[[nodiscard]] Status save_chrome_trace(const Tracer& tracer,
+                                       const std::string& path);
+
+/// Write a Registry snapshot as JSON (schema "falkon.metrics.v1").
+void write_metrics_json(const Snapshot& snapshot, std::ostream& out);
+
+[[nodiscard]] Status save_metrics_json(const Registry& registry,
+                                       const std::string& path);
+
+/// Aligned text rendering of a snapshot, one metric per line.
+[[nodiscard]] std::string human_dump(const Snapshot& snapshot);
+
+/// Background thread that renders human_dump(registry.snapshot()) every
+/// `interval_s` real seconds and hands it to `emit` (default: stderr).
+class PeriodicDumper {
+ public:
+  PeriodicDumper(const Registry& registry, double interval_s,
+                 std::function<void(const std::string&)> emit = {});
+  ~PeriodicDumper();
+
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  void stop();
+
+ private:
+  const Registry& registry_;
+  double interval_s_;
+  std::function<void(const std::string&)> emit_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace falkon::obs

@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace falkon::obs {
+
+std::string series_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out.push_back('{');
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += sorted[i].first;
+    out.push_back('=');
+    out += sorted[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::size_t Counter::shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(double min_value, double max_value)
+    : min_value_(min_value > 0 ? min_value : 1e-9),
+      max_value_(std::max(max_value, min_value_ * 2)),
+      min_exp_(std::ilogb(min_value_)),
+      counts_(static_cast<std::size_t>(
+                  std::ilogb(max_value_ / min_value_) + 1) *
+              kSubBuckets),
+      min_seen_(std::numeric_limits<double>::infinity()),
+      max_seen_(-std::numeric_limits<double>::infinity()) {}
+
+std::size_t Histogram::bucket_index(double v) const {
+  // v lies in decade k when v in [min * 2^k, min * 2^(k+1)); the decade is
+  // split linearly into kSubBuckets. ilogb differences only approximate k
+  // when min_value is not a power of two, so correct by one step if needed.
+  int k = std::max(0, std::ilogb(v) - min_exp_);
+  double decade_lo = std::ldexp(min_value_, k);
+  if (v < decade_lo && k > 0) {
+    --k;
+    decade_lo = std::ldexp(min_value_, k);
+  }
+  const double rel = std::max(0.0, (v - decade_lo) / decade_lo);
+  auto sub = static_cast<std::size_t>(rel * static_cast<double>(kSubBuckets));
+  sub = std::min(sub, kSubBuckets - 1);
+  return static_cast<std::size_t>(k) * kSubBuckets + sub;
+}
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_seen_, v);
+  atomic_max_double(max_seen_, v);
+  if (!(v >= min_value_)) {  // catches negatives and NaN too
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (v >= max_value_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t index = std::min(bucket_index(v), counts_.size() - 1);
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const {
+  return count() ? min_seen_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? max_seen_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  const std::size_t k = i / kSubBuckets;
+  const std::size_t sub = i % kSubBuckets;
+  const double decade_lo = std::ldexp(min_value_, static_cast<int>(k));
+  return decade_lo +
+         decade_lo * static_cast<double>(sub) / static_cast<double>(kSubBuckets);
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  return i + 1 < counts_.size() ? bucket_lower(i + 1) : max_value_;
+}
+
+double Histogram::quantile(double q) const {
+  const auto total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = static_cast<double>(underflow());
+  if (target <= cumulative) return min_value_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const double next = cumulative + static_cast<double>(c);
+    if (next >= target) {
+      const double frac = (target - cumulative) / static_cast<double>(c);
+      return bucket_lower(i) + frac * (bucket_upper(i) - bucket_lower(i));
+    }
+    cumulative = next;
+  }
+  return max_value_;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const std::string key = series_name(name, labels);
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = series_name(name, labels);
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double min_value,
+                               double max_value, const Labels& labels) {
+  const std::string key = series_name(name, labels);
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(min_value, max_value);
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramView view;
+    view.name = name;
+    view.count = hist->count();
+    view.underflow = hist->underflow();
+    view.overflow = hist->overflow();
+    view.sum = hist->sum();
+    view.mean = hist->mean();
+    view.min = hist->min();
+    view.max = hist->max();
+    view.p50 = hist->quantile(0.50);
+    view.p90 = hist->quantile(0.90);
+    view.p99 = hist->quantile(0.99);
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+}  // namespace falkon::obs

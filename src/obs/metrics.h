@@ -1,0 +1,185 @@
+// falkon::obs metrics registry.
+//
+// A process-wide (or per-deployment) registry of named counters, gauges and
+// log-linear histograms, designed so the *hot path* — incrementing a counter
+// on every dispatched task — costs a handful of nanoseconds and never takes
+// a lock:
+//
+//   * registration (name -> handle lookup) is mutex-guarded and meant to be
+//     done once, at component construction; handles are stable for the
+//     registry's lifetime;
+//   * Counter spreads increments over cache-line-padded shards indexed by a
+//     per-thread slot, so concurrent writers do not bounce one cache line
+//     (the dispatch-throughput benches run with tracing off but metrics on);
+//   * Gauge and Histogram use relaxed atomics throughout.
+//
+// Label support folds sorted `key=value` pairs into the registered name
+// (`falkon.tasks{stage=exec}`), Prometheus-style; two metrics with the same
+// name but different labels are distinct series.
+//
+// Readers (exporters, tests) see values that are individually atomic but
+// not mutually consistent — good enough for monitoring, documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace falkon::obs {
+
+/// `{{"stage","exec"},{"sec","on"}}` — folded into the metric name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series name: `name` or `name{k1=v1,k2=v2}` (labels sorted).
+[[nodiscard]] std::string series_name(const std::string& name,
+                                      const Labels& labels);
+
+/// Monotonic counter, sharded to keep concurrent increments cheap.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void inc(std::uint64_t n = 1) {
+    cells_[shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Per-thread shard index; assigned round-robin on first use per thread.
+  static std::size_t shard();
+
+  Cell cells_[kShards];
+};
+
+/// Last-write-wins instantaneous value (queue depth, busy executors, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-linear histogram over (0, +inf) with explicit underflow/overflow
+/// bins: each power-of-two "decade" of [min_value, max_value) is divided
+/// into `kSubBuckets` linear sub-buckets (HdrHistogram-style), giving a
+/// bounded relative error of ~1/kSubBuckets across many orders of
+/// magnitude — the right shape for latencies spanning 1 us .. 100 s.
+/// record() is wait-free (relaxed atomics only).
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 16;
+
+  Histogram(double min_value, double max_value);
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] std::uint64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  /// Approximate quantile by linear interpolation within a bucket.
+  /// Underflow samples resolve to min_value, overflow to max_value.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double range_min() const { return min_value_; }
+  [[nodiscard]] double range_max() const { return max_value_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+
+  double min_value_;
+  double max_value_;
+  int min_exp_;  // exponent of the first decade (v ~ min_value * 2^k)
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_seen_{0.0};  // valid iff count_ > 0
+  std::atomic<double> max_seen_{0.0};
+};
+
+/// Point-in-time copy of every series, for exporters and tests.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct HistogramView {
+    std::string name;
+    std::uint64_t count{0};
+    std::uint64_t underflow{0};
+    std::uint64_t overflow{0};
+    double sum{0}, mean{0}, min{0}, max{0};
+    double p50{0}, p90{0}, p99{0};
+  };
+  std::vector<HistogramView> histograms;
+};
+
+/// Thread-safe name -> metric registry. Handles returned by counter() /
+/// gauge() / histogram() stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Re-registration with the same series name returns the existing
+  /// histogram (the original's range wins).
+  Histogram& histogram(const std::string& name, double min_value,
+                       double max_value, const Labels& labels = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace falkon::obs

@@ -1,0 +1,53 @@
+// falkon::obs — the observability context.
+//
+// One Obs object per deployment bundles the metrics Registry and the
+// task-lifecycle Tracer. Components (Dispatcher, ExecutorRuntime,
+// Provisioner, TcpDispatcherServer, the DES) take a nullable `obs::Obs*`
+// in their config; nullptr (the default) means *no* observability — the
+// instrumentation collapses to one predictable null-pointer branch per
+// site and no atomic traffic, which is what keeps dispatch throughput
+// unchanged when observability is off.
+//
+// See docs/OBSERVABILITY.md for the metric-name and span-schema catalogue.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace falkon::obs {
+
+struct ObsConfig {
+  /// Record lifecycle spans. Off by default: tracing costs one ring-buffer
+  /// write per stage per task; metrics alone are cheaper.
+  bool tracing{false};
+  /// Span ring capacity (rounded up to a power of two). Seven stages per
+  /// task: size for ~tasks * 7 to keep a whole run.
+  std::size_t trace_capacity{1 << 20};
+};
+
+class Obs {
+ public:
+  explicit Obs(ObsConfig config = {})
+      : tracer_(config.trace_capacity, config.tracing) {}
+
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Tracer handle for hot paths: non-null iff tracing is on right now.
+  [[nodiscard]] Tracer* tracer_if_enabled() {
+    return tracer_.enabled() ? &tracer_ : nullptr;
+  }
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+};
+
+}  // namespace falkon::obs

@@ -1,0 +1,50 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace falkon::obs {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kSubmit: return "submit";
+    case Stage::kQueued: return "queued";
+    case Stage::kNotify: return "notify";
+    case Stage::kGetWork: return "get_work";
+    case Stage::kExec: return "exec";
+    case Stage::kDeliverResult: return "deliver_result";
+    case Stage::kAck: return "ack";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity, bool enabled)
+    : ring_(round_up_pow2(capacity)),
+      mask_(ring_.size() - 1),
+      enabled_(enabled) {}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(head, ring_.size());
+  std::vector<SpanEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    out.push_back(ring_[i & mask_]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  head_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace falkon::obs

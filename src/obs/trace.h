@@ -1,0 +1,108 @@
+// Task-lifecycle tracer.
+//
+// Records one span per (task, stage) for the paper's protocol stages —
+// the arrows of Figure 2, see docs/PROTOCOL.md:
+//
+//   submit {1,2} -> queued -> notify {3} -> get_work {4,5} -> exec
+//          -> deliver_result {6} -> ack {7}
+//
+// Spans land in a bounded power-of-two ring buffer: a writer claims a slot
+// with one relaxed fetch_add and writes the event in place, so recording
+// never blocks and never allocates. When the ring wraps, the oldest events
+// are overwritten and counted as dropped. snapshot() is meant for quiesced
+// readers (end of a run, after joining executors); a snapshot taken while
+// writers are active may contain a torn event at the wrap frontier — fine
+// for monitoring, not for accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace falkon::obs {
+
+/// Protocol stage of a span. Order matches the task lifecycle.
+enum class Stage : std::uint8_t {
+  kSubmit = 0,     // client submit accepted by the dispatcher {1,2}
+  kQueued,         // waiting in the dispatcher FIFO
+  kNotify,         // dispatcher -> executor work notification {3}
+  kGetWork,        // executor pull / task transfer {4,5}
+  kExec,           // task running on the executor
+  kDeliverResult,  // result travelling back / ingested {6}
+  kAck,            // dispatcher acknowledgement (+ piggyback) {7}
+};
+
+inline constexpr std::size_t kStageCount = 7;
+
+[[nodiscard]] const char* stage_name(Stage stage);
+
+/// One recorded span. Instant events have begin_s == end_s. `actor` is the
+/// ExecutorId involved, or 0 for the dispatcher/client side.
+struct SpanEvent {
+  std::uint64_t task{0};
+  std::uint64_t actor{0};
+  double begin_s{0.0};
+  double end_s{0.0};
+  Stage stage{Stage::kSubmit};
+};
+
+class Tracer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit Tracer(std::size_t capacity, bool enabled = true);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void record(TaskId task, Stage stage, double begin_s, double end_s,
+              std::uint64_t actor = 0) {
+    if (!enabled()) return;
+    const std::uint64_t index = head_.fetch_add(1, std::memory_order_relaxed);
+    SpanEvent& slot = ring_[index & mask_];
+    slot.task = task.value;
+    slot.actor = actor;
+    slot.begin_s = begin_s;
+    slot.end_s = end_s;
+    slot.stage = stage;
+  }
+
+  void instant(TaskId task, Stage stage, double t_s, std::uint64_t actor = 0) {
+    record(task, stage, t_s, t_s, actor);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Total events accepted (recorded while enabled), including dropped.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t head = recorded();
+    return head > ring_.size() ? head - ring_.size() : 0;
+  }
+
+  /// The retained events, oldest first. Quiesce writers before calling if
+  /// an exact snapshot matters.
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+
+  /// Forget all events (drop count included). Not safe against concurrent
+  /// writers.
+  void clear();
+
+ private:
+  std::vector<SpanEvent> ring_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace falkon::obs

@@ -16,6 +16,13 @@ class FalkonSim {
     idle_.reserve(static_cast<std::size_t>(config.executors));
     for (int e = config.executors - 1; e >= 0; --e) idle_.push_back(e);
     busy_count_ = 0;
+    if (config_.obs != nullptr) {
+      tracer_ = config_.obs->tracer_if_enabled();
+      obs::Registry& reg = config_.obs->registry();
+      m_submitted_ = &reg.counter("falkon.sim.tasks_submitted");
+      m_completed_ = &reg.counter("falkon.sim.tasks_completed");
+      m_overhead_ = &reg.histogram("falkon.sim.overhead_s", 1e-6, 1e3);
+    }
   }
 
   SimFalkonResult run() {
@@ -61,9 +68,38 @@ class FalkonSim {
     }
     sim_.schedule_at(arrival, [this, bundle] {
       pending_ += static_cast<std::uint64_t>(bundle);
+      if (m_submitted_) m_submitted_->inc(static_cast<std::uint64_t>(bundle));
+      if (tracer_) {
+        const double now = sim_.now();
+        for (int i = 0; i < bundle; ++i) {
+          const std::uint64_t id = ++last_task_id_;
+          tracer_->instant(TaskId{id}, obs::Stage::kSubmit, now);
+          pending_tasks_.push_back({id, now});
+        }
+      }
       pump_assignments();
       schedule_next_bundle(sim_.now());
     });
+  }
+
+  /// Tracing bookkeeping for one dispatch: pops the queue-head task,
+  /// records queued/notify/get_work spans, and returns the TaskId (0 when
+  /// tracing is off). `notify_begin -> ready` is the dispatcher CPU window,
+  /// `ready -> handoff` the transfer to the executor; a piggy-backed
+  /// dispatch passes notify_begin == ready (the ack carried the task).
+  std::uint64_t trace_dispatch(double notify_begin, double ready,
+                               double handoff, int executor) {
+    if (!tracer_ || pending_tasks_.empty()) return 0;
+    const PendingTask task = pending_tasks_.front();
+    pending_tasks_.pop_front();
+    const std::uint64_t actor = static_cast<std::uint64_t>(executor) + 1;
+    tracer_->record(TaskId{task.id}, obs::Stage::kQueued, task.submit_s,
+                    notify_begin);
+    tracer_->record(TaskId{task.id}, obs::Stage::kNotify, notify_begin, ready,
+                    actor);
+    tracer_->record(TaskId{task.id}, obs::Stage::kGetWork, ready, handoff,
+                    actor);
+    return task.id;
   }
 
   // ---- dispatch {3,4,5}: notify + get-work for idle executors ----
@@ -76,18 +112,21 @@ class FalkonSim {
       if (busy_count_ == config_.executors && result_.full_busy_at_s < 0) {
         result_.full_busy_at_s = sim_.now();
       }
-      const double ready = dispatcher_op(sim_.now(), config_.ws.notify_getwork_cost());
+      const double notify_begin = sim_.now();
+      const double ready = dispatcher_op(notify_begin, config_.ws.notify_getwork_cost());
       const double task_at_executor = ready + config_.ws.latency_s;
+      const std::uint64_t task =
+          trace_dispatch(notify_begin, ready, task_at_executor, executor);
       // Overhead accounting starts when the executor receives the task,
       // matching the paper's executor-side measurement (Figure 10).
-      sim_.schedule_at(task_at_executor, [this, executor] {
-        execute_task(executor, sim_.now());
+      sim_.schedule_at(task_at_executor, [this, executor, task] {
+        execute_task(executor, task, sim_.now());
       });
     }
   }
 
   // ---- execution on the executor ----
-  void execute_task(int executor, double picked_up) {
+  void execute_task(int executor, std::uint64_t task, double picked_up) {
     double crowd = config_.executor_crowding *
                    rng_.uniform(0.85, 1.25);  // CPU-share jitter
     if (config_.straggler_probability > 0 &&
@@ -96,23 +135,40 @@ class FalkonSim {
     }
     const double overhead = config_.ws.executor_cost() * std::max(1.0, crowd);
     const double done = sim_.now() + config_.task_length_s + overhead;
-    sim_.schedule_at(done, [this, executor, picked_up] {
-      deliver_result(executor, picked_up);
+    if (tracer_ && task != 0) {
+      tracer_->record(TaskId{task}, obs::Stage::kExec, sim_.now(), done,
+                      static_cast<std::uint64_t>(executor) + 1);
+    }
+    sim_.schedule_at(done, [this, executor, task, picked_up] {
+      deliver_result(executor, task, picked_up);
     });
   }
 
   // ---- result delivery + piggy-backed next task {6,7} ----
-  void deliver_result(int executor, double picked_up) {
-    const double arrival = sim_.now() + config_.ws.latency_s;
-    sim_.schedule_at(arrival, [this, executor, picked_up, arrival] {
+  void deliver_result(int executor, std::uint64_t task, double picked_up) {
+    const double done = sim_.now();
+    const double arrival = done + config_.ws.latency_s;
+    sim_.schedule_at(arrival, [this, executor, task, picked_up, done,
+                               arrival] {
       const double acked = dispatcher_op(arrival, config_.ws.dispatch_cost());
+      if (tracer_ && task != 0) {
+        const std::uint64_t actor = static_cast<std::uint64_t>(executor) + 1;
+        tracer_->record(TaskId{task}, obs::Stage::kDeliverResult, done,
+                        arrival, actor);
+        tracer_->record(TaskId{task}, obs::Stage::kAck, arrival, acked, actor);
+      }
       sim_.schedule_at(acked, [this, executor, picked_up] {
         on_task_complete(picked_up);
         if (config_.piggyback && pending_ > 0) {
           --pending_;
-          const double next_at = sim_.now() + config_.ws.latency_s;
-          sim_.schedule_at(next_at, [this, executor] {
-            execute_task(executor, sim_.now());
+          const double acked_at = sim_.now();
+          const double next_at = acked_at + config_.ws.latency_s;
+          // Piggy-backed hand-off: the ack {7} carries the next task, so
+          // its notify window is empty and get_work is just the transfer.
+          const std::uint64_t next =
+              trace_dispatch(acked_at, acked_at, next_at, executor);
+          sim_.schedule_at(next_at, [this, executor, next] {
+            execute_task(executor, next, sim_.now());
           });
         } else {
           --busy_count_;
@@ -129,6 +185,10 @@ class FalkonSim {
     throughput_.record(sim_.now());
     const double overhead = (sim_.now() - picked_up) - config_.task_length_s;
     result_.overhead_stats.add(overhead);
+    if (m_completed_) {
+      m_completed_->inc();
+      m_overhead_->record(overhead);
+    }
     if (config_.record_per_task_overhead) {
       result_.per_task_overhead_s.push_back(static_cast<float>(overhead));
     }
@@ -156,6 +216,20 @@ class FalkonSim {
   double finish_time_{0.0};
   std::vector<int> idle_;
   int busy_count_{0};
+
+  // Observability (null when config_.obs is null / tracing off). The FIFO
+  // of traced task ids shadows `pending_` so the spans carry real TaskIds
+  // without slowing the counter-only fast path.
+  struct PendingTask {
+    std::uint64_t id;
+    double submit_s;
+  };
+  obs::Tracer* tracer_{nullptr};
+  obs::Counter* m_submitted_{nullptr};
+  obs::Counter* m_completed_{nullptr};
+  obs::Histogram* m_overhead_{nullptr};
+  std::deque<PendingTask> pending_tasks_;
+  std::uint64_t last_task_id_{0};
 
   ThroughputSampler throughput_{1.0};
   SimFalkonResult result_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/obs.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 
@@ -52,6 +53,13 @@ struct SimFalkonConfig {
   double sample_interval_s{1.0};
   /// Keep per-task overhead samples (Figure 10); costs 4 bytes/task.
   bool record_per_task_overhead{false};
+
+  /// Observability context. With tracing enabled the simulation assigns
+  /// TaskIds 1..task_count and records all seven lifecycle spans per task
+  /// (under piggy-backing, notify/get_work collapse to zero-length markers
+  /// at the ack that carried the task — see docs/OBSERVABILITY.md).
+  /// nullptr (default) keeps the counter-only fast path.
+  obs::Obs* obs{nullptr};
 };
 
 struct SimFalkonResult {

@@ -141,6 +141,49 @@ TEST(Stats, HistogramQuantiles) {
   EXPECT_EQ(hist.moments().count(), 1000u);
 }
 
+TEST(Stats, HistogramUnderflowOverflowBins) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(-5.0);   // below lo -> underflow, not bin 0
+  hist.add(-0.01);  // just below lo
+  hist.add(0.0);    // lo is inclusive
+  hist.add(9.99);   // just below hi
+  hist.add(10.0);   // hi is exclusive -> overflow
+  hist.add(42.0);   // far above hi
+
+  EXPECT_EQ(hist.underflow(), 2u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.bin_count(0), 1u);
+  EXPECT_EQ(hist.bin_count(9), 1u);
+  // Edge bins must not absorb out-of-range mass.
+  std::size_t in_range = 0;
+  for (std::size_t i = 0; i < hist.bins(); ++i) in_range += hist.bin_count(i);
+  EXPECT_EQ(in_range, 2u);
+  // Moments still see every sample.
+  EXPECT_EQ(hist.moments().count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.moments().min(), -5.0);
+  EXPECT_DOUBLE_EQ(hist.moments().max(), 42.0);
+  // Quantiles resolve out-of-range mass to the range bounds.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 10.0);
+  // The ascii rendering surfaces the out-of-range mass.
+  const std::string art = hist.ascii();
+  EXPECT_NE(art.find("(underflow)"), std::string::npos);
+  EXPECT_NE(art.find("(overflow)"), std::string::npos);
+}
+
+TEST(Stats, HistogramAllSamplesOutOfRange) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.add(-1.0);
+  hist.add(2.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  for (std::size_t i = 0; i < hist.bins(); ++i) EXPECT_EQ(hist.bin_count(i), 0u);
+  EXPECT_EQ(hist.moments().count(), 2u);
+  const std::string art = hist.ascii();
+  EXPECT_NE(art.find("(underflow)"), std::string::npos);
+  EXPECT_NE(art.find("(overflow)"), std::string::npos);
+}
+
 TEST(Stats, MovingAverageWindow) {
   MovingAverage ma(3);
   ma.add(3.0);

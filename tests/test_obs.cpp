@@ -1,0 +1,585 @@
+// Tests for falkon::obs: metrics registry under concurrency, tracer ring
+// semantics, and the exporters — including a golden-style check that a
+// traced simulation run produces well-formed Chrome trace JSON covering
+// all seven lifecycle stages for every task.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sim/sim_falkon.h"
+
+namespace falkon {
+namespace {
+
+using obs::Stage;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — enough to validate exporter output without pulling a
+// dependency. Parses into a tagged tree; throws std::runtime_error on any
+// syntax error, which the tests surface as a failure.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                  // kArray
+  std::map<std::string, JsonValue> fields;       // kObject
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields.count(key) != 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing junk");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.text = string();
+        return v;
+      }
+      case 't': literal("true"); return make_bool(true);
+      case 'f': literal("false"); return make_bool(false);
+      case 'n': literal("null"); return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p) expect(*p);
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.fields[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            out += '?';  // tests never inspect non-ASCII content
+            pos_ += 4;
+            break;
+          }
+          default: throw std::runtime_error("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(ObsMetrics, SeriesNameFoldsSortedLabels) {
+  EXPECT_EQ(obs::series_name("falkon.tasks", {}), "falkon.tasks");
+  EXPECT_EQ(obs::series_name("falkon.tasks", {{"stage", "exec"}}),
+            "falkon.tasks{stage=exec}");
+  // Labels are sorted, so registration order does not split a series.
+  EXPECT_EQ(obs::series_name("m", {{"b", "2"}, {"a", "1"}}),
+            obs::series_name("m", {{"a", "1"}, {"b", "2"}}));
+}
+
+TEST(ObsMetrics, RegistryReturnsStableHandles) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("falkon.test.c");
+  obs::Counter& b = registry.counter("falkon.test.c");
+  EXPECT_EQ(&a, &b);
+  obs::Counter& labeled = registry.counter("falkon.test.c", {{"k", "v"}});
+  EXPECT_NE(&a, &labeled);
+  obs::Histogram& h1 = registry.histogram("falkon.test.h", 1e-6, 1e3);
+  obs::Histogram& h2 = registry.histogram("falkon.test.h", 1e-3, 1e2);
+  EXPECT_EQ(&h1, &h2);  // first registration's range wins
+  EXPECT_DOUBLE_EQ(h2.range_min(), 1e-6);
+}
+
+TEST(ObsMetrics, ConcurrentCounterIncrementsAreExact) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("falkon.test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, ConcurrentGaugeAddIsExact) {
+  obs::Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramRecordsKeepExactCount) {
+  obs::Histogram hist(1e-6, 1e3);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(1e-4 * static_cast<double>(1 + ((t + i) % 100)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < hist.buckets(); ++i) {
+    bucket_total += hist.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+  EXPECT_GE(hist.min(), 1e-4);
+  EXPECT_LE(hist.max(), 1e-2 + 1e-9);
+}
+
+TEST(ObsMetrics, HistogramUnderflowOverflowAndQuantiles) {
+  obs::Histogram hist(1e-3, 1e1);
+  hist.record(1e-6);  // underflow
+  hist.record(-1.0);  // negative -> underflow
+  hist.record(1e2);   // overflow
+  for (int i = 0; i < 100; ++i) hist.record(0.5);
+  EXPECT_EQ(hist.underflow(), 2u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.count(), 103u);
+  // The bulk sits at 0.5; p50 must land in its bucket.
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GT(p50, 0.3);
+  EXPECT_LT(p50, 0.7);
+  // Quantiles inside the underflow/overflow mass pin to the range bounds.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1e1);
+}
+
+TEST(ObsMetrics, HistogramBucketsBracketRecordedValues) {
+  obs::Histogram hist(1e-6, 1e4);
+  for (double v : {1e-6, 3e-6, 1e-3, 0.5, 1.0, 42.0, 9999.0}) {
+    hist.record(v);
+    // Find the bucket the value landed in and check it brackets v.
+    bool found = false;
+    for (std::size_t i = 0; i < hist.buckets(); ++i) {
+      if (hist.bucket_count(i) > 0 && hist.bucket_lower(i) <= v &&
+          v < hist.bucket_upper(i)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no bucket brackets " << v;
+  }
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+}
+
+TEST(ObsMetrics, SnapshotContainsEverySeries) {
+  obs::Registry registry;
+  registry.counter("c.one").inc(3);
+  registry.counter("c.two", {{"k", "v"}}).inc(7);
+  registry.gauge("g.depth").set(42.0);
+  registry.histogram("h.lat", 1e-6, 1e2).record(0.5);
+  obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  std::map<std::string, std::uint64_t> counters(snap.counters.begin(),
+                                                snap.counters.end());
+  EXPECT_EQ(counters.at("c.one"), 3u);
+  EXPECT_EQ(counters.at("c.two{k=v}"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 42.0);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(ObsTrace, StageNamesCoverAllStages) {
+  const std::set<std::string> names = {
+      obs::stage_name(Stage::kSubmit),      obs::stage_name(Stage::kQueued),
+      obs::stage_name(Stage::kNotify),      obs::stage_name(Stage::kGetWork),
+      obs::stage_name(Stage::kExec),        obs::stage_name(Stage::kDeliverResult),
+      obs::stage_name(Stage::kAck)};
+  EXPECT_EQ(names.size(), obs::kStageCount);
+}
+
+TEST(ObsTrace, SpansKeepBeginEndOrdering) {
+  obs::Tracer tracer(64);
+  tracer.record(TaskId{1}, Stage::kQueued, 1.0, 2.5);
+  tracer.record(TaskId{1}, Stage::kExec, 2.5, 4.0, /*actor=*/3);
+  tracer.instant(TaskId{1}, Stage::kAck, 4.5);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].stage, Stage::kQueued);
+  EXPECT_EQ(events[1].stage, Stage::kExec);
+  EXPECT_EQ(events[1].actor, 3u);
+  EXPECT_EQ(events[2].stage, Stage::kAck);
+  for (const auto& event : events) {
+    EXPECT_LE(event.begin_s, event.end_s);
+  }
+  // Instant events are zero-length.
+  EXPECT_DOUBLE_EQ(events[2].begin_s, events[2].end_s);
+}
+
+TEST(ObsTrace, RingOverflowCountsDropsAndKeepsNewest) {
+  obs::Tracer tracer(8);
+  ASSERT_EQ(tracer.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    tracer.instant(TaskId{static_cast<std::uint64_t>(i + 1)}, Stage::kSubmit,
+                   static_cast<double>(i));
+  }
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first snapshot of the newest 8 events: tasks 13..20.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].task, 13 + i);
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer(64, /*enabled=*/false);
+  tracer.record(TaskId{1}, Stage::kExec, 0.0, 1.0);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  tracer.set_enabled(true);
+  tracer.record(TaskId{1}, Stage::kExec, 0.0, 1.0);
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(ObsTrace, ObsConfigControlsTracerHandle) {
+  obs::Obs off;  // default: tracing off
+  EXPECT_EQ(off.tracer_if_enabled(), nullptr);
+  obs::ObsConfig config;
+  config.tracing = true;
+  config.trace_capacity = 128;
+  obs::Obs on(config);
+  ASSERT_NE(on.tracer_if_enabled(), nullptr);
+  EXPECT_EQ(on.tracer().capacity(), 128u);
+}
+
+TEST(ObsTrace, ConcurrentRecordsAllLand) {
+  obs::Tracer tracer(1 << 14);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.instant(TaskId{static_cast<std::uint64_t>(t * kPerThread + i)},
+                       Stage::kExec, 0.0, static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.recorded(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.snapshot().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(ObsExport, MetricsJsonIsWellFormed) {
+  obs::Registry registry;
+  registry.counter("falkon.dispatcher.tasks_submitted").inc(10);
+  registry.gauge("falkon.dispatcher.queue_depth").set(3.0);
+  auto& hist = registry.histogram("falkon.task.queue_time_s", 1e-6, 1e4);
+  hist.record(0.25);
+  hist.record(0.5);
+  std::ostringstream out;
+  obs::write_metrics_json(registry.snapshot(), out);
+  const JsonValue root = JsonParser(out.str()).parse();
+  EXPECT_EQ(root.at("schema").text, "falkon.metrics.v1");
+  EXPECT_DOUBLE_EQ(
+      root.at("counters").at("falkon.dispatcher.tasks_submitted").number, 10.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("falkon.dispatcher.queue_depth").number,
+                   3.0);
+  const JsonValue& h = root.at("histograms").at("falkon.task.queue_time_s");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 2.0);
+  EXPECT_NEAR(h.at("mean").number, 0.375, 1e-9);
+  EXPECT_TRUE(h.has("p99"));
+}
+
+TEST(ObsExport, HumanDumpListsEverySeries) {
+  obs::Registry registry;
+  registry.counter("falkon.a").inc(1);
+  registry.gauge("falkon.b").set(2.0);
+  registry.histogram("falkon.c", 1e-6, 1e2).record(0.5);
+  const std::string dump = obs::human_dump(registry.snapshot());
+  EXPECT_NE(dump.find("falkon.a"), std::string::npos);
+  EXPECT_NE(dump.find("falkon.b"), std::string::npos);
+  EXPECT_NE(dump.find("falkon.c"), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceIsWellFormedJson) {
+  obs::Tracer tracer(64);
+  tracer.record(TaskId{1}, Stage::kQueued, 0.0, 0.5);
+  tracer.record(TaskId{1}, Stage::kExec, 0.5, 1.0, /*actor=*/2);
+  std::ostringstream out;
+  obs::write_chrome_trace(tracer.snapshot(), out);
+  const JsonValue root = JsonParser(out.str()).parse();
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  // 2 span events + process_name + 2 thread_name metadata entries.
+  EXPECT_EQ(events.items.size(), 5u);
+  const JsonValue& exec = events.items[1];
+  EXPECT_EQ(exec.at("name").text, "exec");
+  EXPECT_EQ(exec.at("ph").text, "X");
+  EXPECT_DOUBLE_EQ(exec.at("ts").number, 0.5e6);   // us
+  EXPECT_DOUBLE_EQ(exec.at("dur").number, 0.5e6);  // us
+  EXPECT_DOUBLE_EQ(exec.at("tid").number, 2.0);
+  EXPECT_DOUBLE_EQ(exec.at("args").at("task").number, 1.0);
+}
+
+/// Golden test: a small traced simulation emits a Chrome trace that parses
+/// and contains all seven lifecycle stages for every task.
+TEST(ObsExport, SimulatedRunTraceIsStageComplete) {
+  obs::ObsConfig obs_config;
+  obs_config.tracing = true;
+  obs_config.trace_capacity = 64 * 8;
+  obs::Obs observer(obs_config);
+
+  sim::SimFalkonConfig config;
+  config.executors = 4;
+  config.task_count = 50;
+  config.client_bundle = 10;
+  config.obs = &observer;
+  const sim::SimFalkonResult result = sim::simulate_falkon(config);
+  ASSERT_EQ(result.completed, config.task_count);
+  EXPECT_EQ(observer.tracer().dropped(), 0u);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(observer.tracer().snapshot(), out);
+  const JsonValue root = JsonParser(out.str()).parse();
+
+  // Collect, per task, the set of stage names seen.
+  std::map<std::uint64_t, std::set<std::string>> stages_by_task;
+  for (const JsonValue& event : root.at("traceEvents").items) {
+    if (event.at("ph").text != "X") continue;
+    const auto task =
+        static_cast<std::uint64_t>(event.at("args").at("task").number);
+    stages_by_task[task].insert(event.at("name").text);
+    EXPECT_GE(event.at("dur").number, 0.0);
+  }
+  ASSERT_EQ(stages_by_task.size(), config.task_count);
+  const std::set<std::string> expected = {"submit",  "queued",
+                                          "notify",  "get_work",
+                                          "exec",    "deliver_result",
+                                          "ack"};
+  for (const auto& [task, stages] : stages_by_task) {
+    EXPECT_EQ(stages, expected) << "task " << task << " missing stages";
+  }
+
+  // The sim's registry counters agree with the run.
+  obs::Snapshot snap = observer.registry().snapshot();
+  std::map<std::string, std::uint64_t> counters(snap.counters.begin(),
+                                                snap.counters.end());
+  EXPECT_EQ(counters.at("falkon.sim.tasks_submitted"), config.task_count);
+  EXPECT_EQ(counters.at("falkon.sim.tasks_completed"), config.task_count);
+}
+
+TEST(ObsExport, SaveFilesRoundTrip) {
+  obs::Obs observer;
+  observer.registry().counter("falkon.test.saved").inc(5);
+  observer.tracer().set_enabled(true);
+  observer.tracer().record(TaskId{1}, Stage::kExec, 0.0, 1.0);
+
+  const std::string trace_path = "test_obs_trace.json";
+  const std::string metrics_path = "test_obs_metrics.json";
+  ASSERT_TRUE(obs::save_chrome_trace(observer.tracer(), trace_path).ok());
+  ASSERT_TRUE(obs::save_metrics_json(observer.registry(), metrics_path).ok());
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_NO_THROW(JsonParser(slurp(trace_path)).parse());
+  EXPECT_NO_THROW(JsonParser(slurp(metrics_path)).parse());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ObsExport, PeriodicDumperEmits) {
+  obs::Registry registry;
+  registry.counter("falkon.tick").inc();
+  std::atomic<int> emissions{0};
+  {
+    obs::PeriodicDumper dumper(registry, 0.01,
+                               [&emissions](const std::string& text) {
+                                 EXPECT_FALSE(text.empty());
+                                 emissions.fetch_add(1);
+                               });
+    while (emissions.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }  // destructor stops the thread
+  EXPECT_GE(emissions.load(), 1);
+}
+
+}  // namespace
+}  // namespace falkon
