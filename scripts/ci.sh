@@ -6,7 +6,12 @@
 #
 # An optional third pass (`scripts/ci.sh tsan`) builds with ThreadSanitizer
 # and runs the concurrency-heavy suites (obs registry/tracer, dispatcher,
-# executor, stress) — slower, so it is opt-in.
+# executor, stress, chaos) — slower, so it is opt-in.
+#
+# The chaos stage re-runs the fault-injection soak (test_chaos, fixed seeds
+# — see docs/FAULTS.md) under each sanitizer explicitly, so a recovery-path
+# regression fails CI with the soak's own diagnostics even when the rest of
+# the suite passes.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +28,9 @@ cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-ci-asan -j "$JOBS"
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
+echo "== Chaos soak under ASan+UBSan =="
+ctest --test-dir build-ci-asan --output-on-failure -R 'test_chaos|test_fault'
+
 if [ "${1:-}" = "tsan" ]; then
   echo "== TSan build + concurrency suites =="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -30,6 +38,8 @@ if [ "${1:-}" = "tsan" ]; then
   cmake --build build-ci-tsan -j "$JOBS"
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
         -R 'test_obs|test_dispatcher|test_executor|test_stress'
+  echo "== Chaos soak under TSan =="
+  ctest --test-dir build-ci-tsan --output-on-failure -R 'test_chaos|test_fault'
 fi
 
 echo "CI OK"

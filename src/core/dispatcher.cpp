@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -10,12 +11,18 @@ namespace falkon::core {
 
 wire::StatusReply DispatcherStatus::to_wire() const {
   wire::StatusReply reply;
+  reply.submitted_tasks = submitted;
   reply.queued_tasks = queued;
   reply.dispatched_tasks = dispatched;
   reply.completed_tasks = completed;
   reply.failed_tasks = failed;
+  reply.retried_tasks = retried;
+  reply.suspicions = suspicions;
+  reply.false_suspicions = false_suspicions;
+  reply.quarantined_tasks = quarantined;
   reply.registered_executors = registered_executors;
   reply.busy_executors = busy_executors;
+  reply.idle_executors = idle_executors;
   return reply;
 }
 
@@ -36,9 +43,18 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
     m_failed_ = &reg.counter("falkon.dispatcher.tasks_failed");
     m_retried_ = &reg.counter("falkon.dispatcher.tasks_retried");
     m_notifications_ = &reg.counter("falkon.dispatcher.notifications");
+    m_heartbeats_ = &reg.counter("falkon.dispatcher.heartbeats");
+    m_suspicions_ = &reg.counter("falkon.dispatcher.suspicions");
+    m_false_suspicions_ = &reg.counter("falkon.dispatcher.false_suspicions");
+    m_quarantined_ = &reg.counter("falkon.dispatcher.tasks_quarantined");
+    m_renotifies_ = &reg.counter("falkon.dispatcher.renotifies");
+    m_sweeps_ = &reg.counter("falkon.dispatcher.sweeps");
     m_queue_depth_ = &reg.gauge("falkon.dispatcher.queue_depth");
     m_queue_time_ = &reg.histogram("falkon.task.queue_time_s", 1e-6, 1e4);
     m_overhead_ = &reg.histogram("falkon.task.overhead_s", 1e-6, 1e4);
+  }
+  if (config_.sweep_interval_s > 0) {
+    sweeper_ = std::thread([this] { sweeper_loop(); });
   }
 }
 
@@ -55,7 +71,33 @@ void Dispatcher::shutdown() {
       instance->cv.notify_all();
     }
   }
+  if (sweeper_.joinable()) {
+    {
+      std::lock_guard lock(sweep_mu_);
+      sweep_stop_ = true;
+    }
+    sweep_cv_.notify_all();
+    sweeper_.join();
+  }
   notify_pool_.shutdown();
+}
+
+void Dispatcher::sweeper_loop() {
+  std::unique_lock lock(sweep_mu_);
+  for (;;) {
+    // Model-time interval -> real wait for scaled clocks; the cv makes
+    // shutdown prompt regardless of the interval.
+    const double real_interval = config_.sweep_interval_s / clock_.rate();
+    sweep_cv_.wait_for(lock, std::chrono::duration<double>(real_interval),
+                       [&] { return sweep_stop_; });
+    if (sweep_stop_) return;
+    lock.unlock();
+    if (m_sweeps_) m_sweeps_->inc();
+    (void)check_replays();
+    (void)check_liveness();
+    renotify_stale();
+    lock.lock();
+  }
 }
 
 Result<InstanceId> Dispatcher::create_instance(ClientId client) {
@@ -164,11 +206,79 @@ Result<ExecutorId> Dispatcher::register_executor(
   entry.info = request;
   entry.sink = std::move(sink);
   entry.registered_s = clock_.now_s();
+  entry.last_heartbeat_s = entry.registered_s;
   executors_[id.value] = std::move(entry);
   counters_.registered_executors =
       static_cast<std::uint32_t>(executors_.size());
   pump_notifications_locked();
   return id;
+}
+
+void Dispatcher::remove_executor_locked(std::uint64_t executor_value,
+                                        const std::string& reason, bool blame,
+                                        std::vector<PendingRoute>& to_route) {
+  auto it = executors_.find(executor_value);
+  if (it == executors_.end()) return;
+  // Requeue anything in flight on this executor; under `blame` the death
+  // is charged to the tasks it held, and a task that has now killed
+  // config_.quarantine_threshold distinct executors is poison — fail it
+  // permanently instead of handing it to yet another victim.
+  std::vector<std::uint64_t> orphaned;
+  for (const auto& [task_id, dispatched] : dispatched_) {
+    if (dispatched.executor.value == executor_value) orphaned.push_back(task_id);
+  }
+  std::size_t requeued = 0;
+  for (auto task_id : orphaned) {
+    auto node = dispatched_.extract(task_id);
+    DispatchedTask task = std::move(node.mapped());
+    if (blame &&
+        std::find(task.killers.begin(), task.killers.end(), executor_value) ==
+            task.killers.end()) {
+      task.killers.push_back(executor_value);
+    }
+    if (blame && config_.quarantine_threshold > 0 &&
+        static_cast<int>(task.killers.size()) >= config_.quarantine_threshold) {
+      ++counters_.quarantined;
+      ++counters_.failed;
+      if (m_quarantined_) m_quarantined_->inc();
+      if (m_failed_) m_failed_->inc();
+      LOG_WARN("dispatcher",
+               "task %llu quarantined after killing %zu executors",
+               static_cast<unsigned long long>(task.spec.id.value),
+               task.killers.size());
+      TaskResult result;
+      result.task_id = task.spec.id;
+      result.executor_id = ExecutorId{executor_value};
+      result.state = TaskState::kFailed;
+      result.exit_code = -1;
+      result.stderr_data = "quarantined: poison task killed " +
+                           std::to_string(task.killers.size()) + " executors";
+      result.queue_time_s = task.dispatch_s - task.enqueue_s;
+      if (auto iit = instances_.find(task.instance.value);
+          iit != instances_.end()) {
+        to_route.push_back(
+            PendingRoute{task.instance, iit->second, std::move(result)});
+      }
+      continue;
+    }
+    requeue_locked(std::move(task), /*front=*/true);
+    ++requeued;
+  }
+  executors_.erase(it);
+  counters_.registered_executors =
+      static_cast<std::uint32_t>(executors_.size());
+  counters_.dispatched = dispatched_.size();
+  LOG_DEBUG("dispatcher", "executor %llu deregistered (%s), %zu tasks requeued",
+            static_cast<unsigned long long>(executor_value), reason.c_str(),
+            requeued);
+}
+
+void Dispatcher::route_all(std::vector<PendingRoute>& to_route) {
+  for (auto& pending : to_route) {
+    route_result(pending.instance_id, pending.instance,
+                 std::move(pending.result));
+  }
+  to_route.clear();
 }
 
 Status Dispatcher::deregister_executor(ExecutorId executor_id,
@@ -178,23 +288,55 @@ Status Dispatcher::deregister_executor(ExecutorId executor_id,
   if (it == executors_.end()) {
     return make_error(ErrorCode::kNotFound, "no such executor");
   }
-  // Requeue anything in flight on this executor.
-  std::vector<std::uint64_t> orphaned;
-  for (const auto& [task_id, dispatched] : dispatched_) {
-    if (dispatched.executor == executor_id) orphaned.push_back(task_id);
-  }
-  for (auto task_id : orphaned) {
-    auto node = dispatched_.extract(task_id);
-    requeue_locked(std::move(node.mapped()), /*front=*/true);
-  }
-  executors_.erase(it);
-  counters_.registered_executors =
-      static_cast<std::uint32_t>(executors_.size());
-  LOG_DEBUG("dispatcher", "executor %llu deregistered (%s), %zu tasks requeued",
-            static_cast<unsigned long long>(executor_id.value), reason.c_str(),
-            orphaned.size());
+  // An orderly deregistration never blames the executor's tasks, so no
+  // quarantine results can be produced here.
+  std::vector<PendingRoute> to_route;
+  remove_executor_locked(executor_id.value, reason, /*blame=*/false, to_route);
   pump_notifications_locked();
   return ok_status();
+}
+
+Status Dispatcher::heartbeat(ExecutorId executor_id) {
+  std::lock_guard lock(mu_);
+  if (m_heartbeats_) m_heartbeats_->inc();
+  auto it = executors_.find(executor_id.value);
+  if (it == executors_.end()) {
+    if (suspected_.erase(executor_id.value) > 0) {
+      // The "dead" executor just beat: the detector was wrong.
+      ++counters_.false_suspicions;
+      if (m_false_suspicions_) m_false_suspicions_->inc();
+    }
+    return make_error(ErrorCode::kNotFound, "executor not registered");
+  }
+  it->second.last_heartbeat_s = clock_.now_s();
+  return ok_status();
+}
+
+int Dispatcher::check_liveness() {
+  if (config_.heartbeat_timeout_s <= 0) return 0;
+  std::vector<PendingRoute> to_route;
+  int removed = 0;
+  {
+    std::lock_guard lock(mu_);
+    const double now = clock_.now_s();
+    std::vector<std::uint64_t> dead;
+    for (const auto& [id, entry] : executors_) {
+      if (now - entry.last_heartbeat_s > config_.heartbeat_timeout_s) {
+        dead.push_back(id);
+      }
+    }
+    for (auto id : dead) {
+      suspected_.insert(id);
+      ++counters_.suspicions;
+      if (m_suspicions_) m_suspicions_->inc();
+      remove_executor_locked(id, "heartbeat timeout", /*blame=*/true,
+                             to_route);
+      ++removed;
+    }
+    if (removed > 0) pump_notifications_locked();
+  }
+  route_all(to_route);
+  return removed;
 }
 
 ExecutorCandidate Dispatcher::candidate_locked(const ExecutorEntry& entry) {
@@ -226,6 +368,7 @@ void Dispatcher::pump_notifications_locked() {
         policy_->select(queue_.front().spec, idle), idle.size() - 1);
     ExecutorEntry& chosen = *idle_entries[pick];
     chosen.state = ExecState::kNotified;
+    chosen.notified_s = clock_.now_s();
     auto sink = chosen.sink;
     const ExecutorId id = chosen.id;
     if (m_notifications_) m_notifications_->inc();
@@ -234,6 +377,15 @@ void Dispatcher::pump_notifications_locked() {
       // the dispatcher wake this executor (it may end up pulling others).
       tracer_->instant(queue_.front().spec.id, obs::Stage::kNotify,
                        clock_.now_s(), id.value);
+    }
+    if (config_.fault != nullptr &&
+        config_.fault->sample(fault::Site::kDispatcherNotify).action ==
+            fault::Action::kDrop) {
+      // Lost notification: the executor stays kNotified with no wake-up;
+      // only the stale-notification resend (renotify_timeout_s) or a
+      // piggy-backed ack can recover it.
+      --queued;
+      continue;
     }
     // The notification itself happens on the engine's thread pool {3}.
     (void)notify_pool_.submit([sink, id] {
@@ -278,6 +430,7 @@ std::vector<TaskSpec> Dispatcher::take_work_locked(ExecutorEntry& entry,
     dispatched.enqueue_s = task.enqueue_s;
     dispatched.dispatch_s = now;
     dispatched.attempts = task.attempts;
+    dispatched.killers = std::move(task.killers);
     dispatched.spec = task.spec;
     const std::uint64_t task_id = task.spec.id.value;
     bundle_runtime += task.spec.estimated_runtime_s;
@@ -299,6 +452,7 @@ std::vector<TaskSpec> Dispatcher::take_work_locked(ExecutorEntry& entry,
   } else if (entry.inflight == 0) {
     entry.state = ExecState::kIdle;
   }
+  entry.notified_s = -1.0;  // the executor pulled: notification consumed
   counters_.queued = queue_.size();
   counters_.dispatched = dispatched_.size();
   std::uint32_t busy = 0;
@@ -316,8 +470,13 @@ Result<std::vector<TaskSpec>> Dispatcher::get_work(ExecutorId executor_id,
   std::lock_guard lock(mu_);
   auto it = executors_.find(executor_id.value);
   if (it == executors_.end()) {
+    if (suspected_.erase(executor_id.value) > 0) {
+      ++counters_.false_suspicions;
+      if (m_false_suspicions_) m_false_suspicions_->inc();
+    }
     return make_error(ErrorCode::kNotFound, "executor not registered");
   }
+  it->second.last_heartbeat_s = clock_.now_s();
   return take_work_locked(it->second, max_tasks);
 }
 
@@ -348,17 +507,31 @@ void Dispatcher::route_result(InstanceId instance_id,
 Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
     ExecutorId executor_id, std::vector<TaskResult> results,
     std::uint32_t want_tasks) {
-  std::vector<std::pair<InstanceId,
-                        std::pair<std::shared_ptr<Instance>, TaskResult>>>
-      to_route;
+  std::vector<PendingRoute> to_route;
   DeliverOutcome outcome;
   {
     std::lock_guard lock(mu_);
     auto it = executors_.find(executor_id.value);
     if (it == executors_.end()) {
+      if (suspected_.erase(executor_id.value) > 0) {
+        // A delivery from a "dead" executor: it was alive all along. Its
+        // tasks were already requeued; dropping this delivery keeps the
+        // exactly-once result guarantee.
+        ++counters_.false_suspicions;
+        if (m_false_suspicions_) m_false_suspicions_->inc();
+      }
       return make_error(ErrorCode::kNotFound, "executor not registered");
     }
+    if (config_.fault != nullptr &&
+        config_.fault->sample(fault::Site::kDispatcherAck).action ==
+            fault::Action::kDrop) {
+      // Lost ack: the delivery "never arrived" — nothing is processed, the
+      // executor sees a failure and redelivers. The late-duplicate drop
+      // below keeps redelivered results exactly-once.
+      return make_error(ErrorCode::kUnavailable, "injected lost ack");
+    }
     ExecutorEntry& entry = it->second;
+    entry.last_heartbeat_s = clock_.now_s();
     const double now = clock_.now_s();
 
     for (auto& result : results) {
@@ -416,8 +589,8 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
       }
       auto iit = instances_.find(dispatched.instance.value);
       if (iit != instances_.end()) {
-        to_route.emplace_back(dispatched.instance,
-                              std::make_pair(iit->second, std::move(result)));
+        to_route.push_back(PendingRoute{dispatched.instance, iit->second,
+                                        std::move(result)});
       }
     }
 
@@ -441,9 +614,7 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
     counters_.idle_executors =
         static_cast<std::uint32_t>(executors_.size()) - busy;
   }
-  for (auto& [instance_id, payload] : to_route) {
-    route_result(instance_id, payload.first, std::move(payload.second));
-  }
+  route_all(to_route);
   return outcome;
 }
 
@@ -461,6 +632,7 @@ void Dispatcher::requeue_locked(DispatchedTask task, bool front) {
   queued.spec = std::move(task.spec);
   queued.enqueue_s = task.enqueue_s;
   queued.attempts = task.attempts;
+  queued.killers = std::move(task.killers);
   if (front) {
     queue_.push_front(std::move(queued));
   } else {
@@ -487,31 +659,79 @@ DispatcherStatus Dispatcher::status() const {
 
 int Dispatcher::check_replays() {
   if (config_.replay.response_timeout_s <= 0) return 0;
+  std::vector<PendingRoute> to_route;
+  int requeued = 0;
+  {
+    std::lock_guard lock(mu_);
+    const double now = clock_.now_s();
+    std::vector<std::uint64_t> overdue;
+    for (const auto& [task_id, task] : dispatched_) {
+      const double deadline = task.dispatch_s +
+                              config_.replay.response_timeout_s +
+                              task.spec.estimated_runtime_s;
+      if (now >= deadline) overdue.push_back(task_id);
+    }
+    for (auto task_id : overdue) {
+      auto node = dispatched_.extract(task_id);
+      DispatchedTask task = std::move(node.mapped());
+      auto eit = executors_.find(task.executor.value);
+      if (eit != executors_.end() && eit->second.inflight > 0) {
+        --eit->second.inflight;
+        if (eit->second.inflight == 0) eit->second.state = ExecState::kIdle;
+      }
+      if (task.attempts >= config_.replay.max_retries) {
+        // Retry budget exhausted while the task sat on an unresponsive
+        // executor: fail it permanently so it reaches a terminal state
+        // instead of lingering in dispatched_ forever.
+        ++counters_.failed;
+        if (m_failed_) m_failed_->inc();
+        TaskResult result;
+        result.task_id = task.spec.id;
+        result.executor_id = task.executor;
+        result.state = TaskState::kFailed;
+        result.exit_code = -1;
+        result.stderr_data = "replay timeout: retry budget exhausted";
+        result.queue_time_s = task.dispatch_s - task.enqueue_s;
+        if (auto iit = instances_.find(task.instance.value);
+            iit != instances_.end()) {
+          to_route.push_back(
+              PendingRoute{task.instance, iit->second, std::move(result)});
+        }
+        continue;
+      }
+      ++task.attempts;
+      ++counters_.retried;
+      if (m_retried_) m_retried_->inc();
+      requeue_locked(std::move(task), /*front=*/true);
+      ++requeued;
+    }
+    counters_.dispatched = dispatched_.size();
+    if (!overdue.empty()) pump_notifications_locked();
+  }
+  route_all(to_route);
+  return requeued;
+}
+
+void Dispatcher::renotify_stale() {
+  if (config_.renotify_timeout_s <= 0) return;
   std::lock_guard lock(mu_);
+  if (shutdown_) return;
   const double now = clock_.now_s();
-  std::vector<std::uint64_t> overdue;
-  for (const auto& [task_id, task] : dispatched_) {
-    const double deadline = task.dispatch_s + config_.replay.response_timeout_s +
-                            task.spec.estimated_runtime_s;
-    if (now >= deadline && task.attempts < config_.replay.max_retries) {
-      overdue.push_back(task_id);
+  for (auto& [id, entry] : executors_) {
+    if (entry.state != ExecState::kNotified || entry.notified_s < 0 ||
+        now - entry.notified_s <= config_.renotify_timeout_s) {
+      continue;
     }
+    // The executor was notified but never pulled: the notification was
+    // lost (or the push channel is slow). Send another one.
+    entry.notified_s = now;
+    if (m_renotifies_) m_renotifies_->inc();
+    auto sink = entry.sink;
+    const ExecutorId executor_id = entry.id;
+    (void)notify_pool_.submit([sink, executor_id] {
+      if (sink) sink->notify(executor_id, executor_id.value);
+    });
   }
-  for (auto task_id : overdue) {
-    auto node = dispatched_.extract(task_id);
-    DispatchedTask task = std::move(node.mapped());
-    auto eit = executors_.find(task.executor.value);
-    if (eit != executors_.end() && eit->second.inflight > 0) {
-      --eit->second.inflight;
-      if (eit->second.inflight == 0) eit->second.state = ExecState::kIdle;
-    }
-    ++task.attempts;
-    ++counters_.retried;
-    if (m_retried_) m_retried_->inc();
-    requeue_locked(std::move(task), /*front=*/true);
-  }
-  if (!overdue.empty()) pump_notifications_locked();
-  return static_cast<int>(overdue.size());
 }
 
 std::vector<ExecutorId> Dispatcher::request_release(int count) {

@@ -17,8 +17,10 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "common/task.h"
 #include "common/thread_pool.h"
 #include "core/policies.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "wire/message.h"
 
@@ -61,6 +64,29 @@ struct DispatcherConfig {
   /// Observability context (metrics + lifecycle tracing); nullptr disables
   /// all instrumentation at zero cost. See docs/OBSERVABILITY.md.
   obs::Obs* obs{nullptr};
+
+  // ---- failure detection & recovery (docs/FAULTS.md) ----
+
+  /// Failure detector: deregister an executor whose last heartbeat (or
+  /// registration) is older than this, requeueing its in-flight tasks.
+  /// 0 disables the detector.
+  double heartbeat_timeout_s{0.0};
+  /// Background recovery sweep period (model time). When > 0 a sweeper
+  /// thread runs replay timeouts, the failure detector and stale-
+  /// notification resends automatically; 0 keeps the manual-only
+  /// check_replays() behaviour.
+  double sweep_interval_s{0.0};
+  /// Re-send the notification of an executor stuck in the notified state
+  /// longer than this (0 disables) — recovers notifications lost on the
+  /// push channel.
+  double renotify_timeout_s{0.0};
+  /// Poison-task quarantine: permanently fail a task once this many
+  /// distinct executors died while holding it (0 disables), so one bad
+  /// task cannot kill the worker pool executor by executor.
+  int quarantine_threshold{0};
+  /// Fault injection (lost notifications, lost acks); nullptr in
+  /// production — same zero-cost discipline as `obs`.
+  fault::FaultInjector* fault{nullptr};
 };
 
 struct DispatcherStatus {
@@ -70,6 +96,13 @@ struct DispatcherStatus {
   std::uint64_t completed{0};
   std::uint64_t failed{0};
   std::uint64_t retried{0};
+  /// Failure-detector verdicts: executors deregistered for missing
+  /// heartbeats, and how many of those later proved alive (false
+  /// positives: a heartbeat or delivery arrived after the suspicion).
+  std::uint64_t suspicions{0};
+  std::uint64_t false_suspicions{0};
+  /// Tasks permanently failed by the poison-task quarantine.
+  std::uint64_t quarantined{0};
   std::uint32_t registered_executors{0};
   std::uint32_t busy_executors{0};
   std::uint32_t idle_executors{0};
@@ -122,6 +155,11 @@ class Dispatcher {
                                        std::shared_ptr<ExecutorSink> sink);
   Status deregister_executor(ExecutorId executor, const std::string& reason);
 
+  /// Liveness beacon from an executor. kNotFound if the executor is not
+  /// registered (e.g. the failure detector already removed it — the
+  /// executor should re-register).
+  Status heartbeat(ExecutorId executor);
+
   /// Pull work {4,5}: up to `max_tasks` tasks for this executor (respecting
   /// the dispatch policy's task selection, e.g. data-aware).
   Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
@@ -146,9 +184,23 @@ class Dispatcher {
   [[nodiscard]] DispatcherStatus status() const;
 
   /// Replay policy enforcement: requeue dispatched tasks whose response
-  /// timeout elapsed. Returns the number of tasks requeued. Call
-  /// periodically (the provisioner's poll loop does).
+  /// timeout elapsed; tasks already out of retry budget are failed
+  /// permanently so they cannot linger on a black-holed executor forever.
+  /// Returns the number of tasks requeued. Runs automatically when
+  /// config.sweep_interval_s > 0; otherwise call periodically (the
+  /// provisioner's poll loop does).
   int check_replays();
+
+  /// Failure detector: deregister executors whose heartbeat is older than
+  /// config.heartbeat_timeout_s and requeue (or quarantine) their
+  /// in-flight tasks. Returns the number of executors removed. Runs
+  /// automatically when the sweeper is enabled.
+  int check_liveness();
+
+  /// Re-send notifications to executors stuck in the notified state past
+  /// config.renotify_timeout_s (lost-notification recovery). Runs
+  /// automatically when the sweeper is enabled.
+  void renotify_stale();
 
   /// Centralized release: push a release request to `count` idle executors;
   /// returns ids actually asked.
@@ -176,6 +228,8 @@ class Dispatcher {
     TaskSpec spec;
     double enqueue_s{0.0};
     int attempts{0};
+    /// Distinct executors that died while holding this task (quarantine).
+    std::vector<std::uint64_t> killers;
   };
 
   struct DispatchedTask {
@@ -185,6 +239,7 @@ class Dispatcher {
     double enqueue_s{0.0};
     double dispatch_s{0.0};
     int attempts{0};
+    std::vector<std::uint64_t> killers;
   };
 
   enum class ExecState : std::uint8_t { kIdle, kNotified, kBusy };
@@ -196,6 +251,10 @@ class Dispatcher {
     ExecState state{ExecState::kIdle};
     std::uint32_t inflight{0};
     double registered_s{0.0};
+    double last_heartbeat_s{0.0};
+    /// When the pending notification was sent (-1: none outstanding);
+    /// drives the stale-notification resend.
+    double notified_s{-1.0};
     std::unordered_set<std::string> cached_objects;
     bool release_requested{false};
   };
@@ -209,9 +268,29 @@ class Dispatcher {
     bool open{true};
   };
 
+  /// A result ready to be routed to its instance mailbox once mu_ is
+  /// released (route_result re-locks instance mutexes).
+  struct PendingRoute {
+    InstanceId instance_id;
+    std::shared_ptr<Instance> instance;
+    TaskResult result;
+  };
+
   // Requires mu_ held. Schedules notifications for idle executors while
   // there is queued work.
   void pump_notifications_locked();
+
+  // Requires mu_ held. Removes one executor and requeues its in-flight
+  // tasks; with `blame` set the executor's death is charged to those tasks
+  // and ones past the quarantine threshold are failed permanently into
+  // `to_route`.
+  void remove_executor_locked(std::uint64_t executor_value,
+                              const std::string& reason, bool blame,
+                              std::vector<PendingRoute>& to_route);
+
+  void route_all(std::vector<PendingRoute>& to_route);
+
+  void sweeper_loop();
 
   // Requires mu_ held. Pops up to max_tasks for `entry` honouring the
   // dispatch policy; updates entry state and the dispatched map.
@@ -241,6 +320,12 @@ class Dispatcher {
   obs::Counter* m_failed_{nullptr};
   obs::Counter* m_retried_{nullptr};
   obs::Counter* m_notifications_{nullptr};
+  obs::Counter* m_heartbeats_{nullptr};
+  obs::Counter* m_suspicions_{nullptr};
+  obs::Counter* m_false_suspicions_{nullptr};
+  obs::Counter* m_quarantined_{nullptr};
+  obs::Counter* m_renotifies_{nullptr};
+  obs::Counter* m_sweeps_{nullptr};
   obs::Gauge* m_queue_depth_{nullptr};
   obs::Histogram* m_queue_time_{nullptr};
   obs::Histogram* m_overhead_{nullptr};
@@ -256,7 +341,17 @@ class Dispatcher {
   Accumulator overhead_stats_;
   std::function<void(const TaskResult&, double)> completion_listener_;
   std::shared_ptr<ClientSink> client_sink_;
+  /// Executors removed by the failure detector; a later heartbeat or
+  /// delivery from one of these ids is counted as a false suspicion.
+  /// Bounded by the number of detector verdicts in the process lifetime.
+  std::unordered_set<std::uint64_t> suspected_;
   bool shutdown_{false};
+
+  // Background recovery sweeper (runs when config_.sweep_interval_s > 0).
+  std::thread sweeper_;
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  bool sweep_stop_{false};
 };
 
 }  // namespace falkon::core

@@ -1,6 +1,8 @@
 #include "core/executor.h"
 
+#include <chrono>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -27,12 +29,28 @@ Status ExecutorRuntime::start() {
   request.host = options_.host;
   request.slots = 1;
   request.allocation_id = options_.allocation_id;
-  auto registered = link_.register_executor(request);
-  if (!registered.ok()) return registered.error();
-  id_ = registered.value();
-  running_.store(true);
-  thread_ = std::thread([this] { work_loop(); });
-  return ok_status();
+
+  fault::Backoff backoff(options_.backoff, options_.node_id.value + 1);
+  Status last_error = ok_status();
+  for (int attempt = 0; attempt <= options_.register_retries; ++attempt) {
+    if (attempt > 0 && !interruptible_sleep(backoff.next_s())) {
+      return make_error(ErrorCode::kCancelled, "stopped during registration");
+    }
+    auto registered = link_.register_executor(request);
+    if (registered.ok()) {
+      id_ = registered.value();
+      running_.store(true);
+      thread_ = std::thread([this] { work_loop(); });
+      if (options_.heartbeat_interval_s > 0) {
+        heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+      }
+      return ok_status();
+    }
+    last_error = registered.error();
+    LOG_DEBUG("executor", "registration attempt %d failed: %s", attempt + 1,
+              registered.error().str().c_str());
+  }
+  return last_error;
 }
 
 void ExecutorRuntime::notify(std::uint64_t resource_key) {
@@ -64,6 +82,11 @@ void ExecutorRuntime::stop() {
 
 void ExecutorRuntime::join() {
   if (thread_.joinable()) thread_.join();
+  // The work loop has exited; release the heartbeat thread too so a dead
+  // executor stops beaconing (a crashed one must look dead to the detector).
+  stop_requested_.store(true);
+  cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 }
 
 ExecutorStats ExecutorRuntime::stats() const {
@@ -77,28 +100,41 @@ void ExecutorRuntime::set_exit_listener(
   exit_listener_ = std::move(listener);
 }
 
-bool ExecutorRuntime::wait_for_wakeup() {
+bool ExecutorRuntime::interruptible_sleep(double model_s) {
+  if (model_s <= 0) return !stop_requested_.load();
+  const double real_s = model_s / clock_.rate();
   std::unique_lock lock(mu_);
-  const auto ready = [&] { return notified_ || stop_requested_.load(); };
-  if (options_.poll_interval_s > 0) {
-    // Polling mode: wake up after the poll interval regardless of
-    // notifications (a notification still short-circuits the wait). The
-    // idle timeout is enforced by the caller across poll rounds.
-    const double real_interval = options_.poll_interval_s / clock_.rate();
-    (void)cv_.wait_for(lock, std::chrono::duration<double>(real_interval),
-                       ready);
-  } else if (options_.idle_timeout_s > 0) {
-    // idle_timeout_s is model time; convert to a real wait.
-    const double real_timeout = options_.idle_timeout_s / clock_.rate();
-    if (!cv_.wait_for(lock, std::chrono::duration<double>(real_timeout),
-                      ready)) {
-      return false;  // idle timeout elapsed: distributed release
-    }
-  } else {
-    cv_.wait(lock, ready);
-  }
-  notified_ = false;
+  cv_.wait_for(lock, std::chrono::duration<double>(real_s),
+               [&] { return stop_requested_.load(); });
   return !stop_requested_.load();
+}
+
+template <class Call>
+auto ExecutorRuntime::call_with_retry(Call&& call) -> decltype(call()) {
+  auto result = call();
+  if (result.ok() || options_.link_retries <= 0) return result;
+  fault::Backoff backoff(options_.backoff, id_.value + 1);
+  for (int attempt = 0; attempt < options_.link_retries; ++attempt) {
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.link_retries;
+    }
+    if (!interruptible_sleep(backoff.next_s())) return result;
+    result = call();
+    if (result.ok()) return result;
+  }
+  return result;
+}
+
+void ExecutorRuntime::heartbeat_loop() {
+  while (!stop_requested_.load() && running_.load()) {
+    if (!interruptible_sleep(options_.heartbeat_interval_s)) return;
+    if (crashed_.load() || !running_.load()) return;
+    if (link_.heartbeat(id_).ok()) {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.heartbeats_sent;
+    }
+  }
 }
 
 void ExecutorRuntime::work_loop() {
@@ -111,13 +147,14 @@ void ExecutorRuntime::work_loop() {
     bool executed_any = false;
     // Drain available work.
     for (;;) {
-      if (stop_requested_.load()) break;
+      if (stop_requested_.load() || crashed_.load()) break;
       std::vector<TaskSpec> tasks;
       if (!pending.empty()) {
         tasks = std::move(pending);
         pending.clear();
       } else {
-        auto work = link_.get_work(id_, options_.max_bundle);
+        auto work =
+            call_with_retry([&] { return link_.get_work(id_, options_.max_bundle); });
         if (!work.ok()) {
           dispatcher_gone = true;
           exit_reason = "dispatcher unreachable";
@@ -144,6 +181,27 @@ void ExecutorRuntime::work_loop() {
       std::vector<TaskResult> results;
       results.reserve(tasks.size());
       for (const auto& task : tasks) {
+        if (options_.fault != nullptr) {
+          const fault::Outcome outcome =
+              options_.fault->sample(fault::Site::kExecutorTask);
+          if (outcome.action == fault::Action::kCrash) {
+            // Simulated process death: vanish mid-task without delivering a
+            // result or deregistering. The dispatcher's failure detector
+            // must notice and requeue everything we held.
+            crashed_.store(true);
+            break;
+          }
+          if (outcome.action == fault::Action::kHang) {
+            // Wedge for param model-seconds holding the task: only the
+            // replay timeout can recover it (heartbeats keep flowing).
+            if (!interruptible_sleep(outcome.param)) break;
+            continue;  // task swallowed, never completed nor delivered
+          }
+          if (outcome.action == fault::Action::kSlow ||
+              outcome.action == fault::Action::kDelay) {
+            if (!interruptible_sleep(outcome.param)) break;
+          }
+        }
         const double start = clock_.now_s();
         TaskResult result = engine_.run(task);
         result.task_id = task.id;
@@ -165,10 +223,16 @@ void ExecutorRuntime::work_loop() {
         executed_any = true;
         results.push_back(std::move(result));
       }
+      if (crashed_.load()) break;
 
+      if (results.empty()) continue;  // every task hung: nothing to deliver
       const std::uint32_t want =
           stop_requested_.load() ? 0 : options_.piggyback_tasks;
-      auto ack = link_.deliver_results(id_, std::move(results), want);
+      auto results_shared =
+          std::make_shared<std::vector<TaskResult>>(std::move(results));
+      auto ack = call_with_retry([&] {
+        return link_.deliver_results(id_, *results_shared, want);
+      });
       if (!ack.ok()) {
         dispatcher_gone = true;
         exit_reason = "result delivery failed";
@@ -185,7 +249,7 @@ void ExecutorRuntime::work_loop() {
       }
     }
 
-    if (dispatcher_gone || stop_requested_.load()) break;
+    if (dispatcher_gone || stop_requested_.load() || crashed_.load()) break;
     if (executed_any) idle_since = clock_.now_s();
     // Poll mode enforces the idle timeout across poll rounds.
     if (options_.poll_interval_s > 0 && options_.idle_timeout_s > 0 &&
@@ -200,7 +264,9 @@ void ExecutorRuntime::work_loop() {
     }
   }
 
-  if (exit_reason != "dispatcher unreachable") {
+  if (crashed_.load()) exit_reason = "crashed (injected)";
+  // A crashed executor dies silently — no goodbye to the dispatcher.
+  if (exit_reason != "dispatcher unreachable" && !crashed_.load()) {
     (void)link_.deregister(id_, exit_reason);
   }
   running_.store(false);
@@ -212,6 +278,30 @@ void ExecutorRuntime::work_loop() {
   if (listener) listener(id_);
   LOG_DEBUG("executor", "executor %llu exited: %s",
             static_cast<unsigned long long>(id_.value), exit_reason.c_str());
+}
+
+bool ExecutorRuntime::wait_for_wakeup() {
+  std::unique_lock lock(mu_);
+  const auto ready = [&] { return notified_ || stop_requested_.load(); };
+  if (options_.poll_interval_s > 0) {
+    // Polling mode: wake up after the poll interval regardless of
+    // notifications (a notification still short-circuits the wait). The
+    // idle timeout is enforced by the caller across poll rounds.
+    const double real_interval = options_.poll_interval_s / clock_.rate();
+    (void)cv_.wait_for(lock, std::chrono::duration<double>(real_interval),
+                       ready);
+  } else if (options_.idle_timeout_s > 0) {
+    // idle_timeout_s is model time; convert to a real wait.
+    const double real_timeout = options_.idle_timeout_s / clock_.rate();
+    if (!cv_.wait_for(lock, std::chrono::duration<double>(real_timeout),
+                      ready)) {
+      return false;  // idle timeout elapsed: distributed release
+    }
+  } else {
+    cv_.wait(lock, ready);
+  }
+  notified_ = false;
+  return !stop_requested_.load();
 }
 
 }  // namespace falkon::core

@@ -22,6 +22,8 @@
 #include "common/result.h"
 #include "common/task.h"
 #include "core/task_engine.h"
+#include "fault/backoff.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "wire/message.h"
 
@@ -43,6 +45,12 @@ class DispatcherLink {
       ExecutorId executor, std::vector<TaskResult> results,
       std::uint32_t want_tasks) = 0;
   virtual Status deregister(ExecutorId executor, const std::string& reason) = 0;
+  /// Liveness beacon; links without a control channel can keep the no-op
+  /// default (the dispatcher then falls back to replay timeouts alone).
+  virtual Status heartbeat(ExecutorId executor) {
+    (void)executor;
+    return ok_status();
+  }
 };
 
 struct ExecutorOptions {
@@ -70,12 +78,31 @@ struct ExecutorOptions {
 
   /// Observability context; nullptr disables instrumentation at zero cost.
   obs::Obs* obs{nullptr};
+
+  // ---- failure detection & recovery (docs/FAULTS.md) ----
+
+  /// Send a heartbeat to the dispatcher every this many seconds of model
+  /// time (0 disables; pair with DispatcherConfig::heartbeat_timeout_s).
+  double heartbeat_interval_s{0.0};
+  /// Retry a failed get_work/deliver_results this many times (with
+  /// exponential backoff) before declaring the dispatcher unreachable.
+  /// 0 = fail fast (the original behaviour).
+  int link_retries{0};
+  /// Retry a failed registration this many times with the same backoff.
+  int register_retries{0};
+  /// Backoff schedule for link and registration retries.
+  fault::BackoffConfig backoff;
+  /// Fault injection (crash / hang / slow-node at Site::kExecutorTask);
+  /// nullptr in production.
+  fault::FaultInjector* fault{nullptr};
 };
 
 struct ExecutorStats {
   std::uint64_t tasks_executed{0};
   std::uint64_t notifications{0};
   std::uint64_t empty_polls{0};
+  std::uint64_t link_retries{0};    // failed link calls that were retried
+  std::uint64_t heartbeats_sent{0};
   double busy_time_s{0.0};
 };
 
@@ -107,6 +134,9 @@ class ExecutorRuntime {
 
   [[nodiscard]] ExecutorId id() const { return id_; }
   [[nodiscard]] bool running() const { return running_.load(); }
+  /// True after an injected crash killed the runtime (the executor exited
+  /// without deregistering — exactly what a real worker death looks like).
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
   [[nodiscard]] ExecutorStats stats() const;
 
   /// Invoked (from the runtime's thread) right after the loop exits;
@@ -115,9 +145,17 @@ class ExecutorRuntime {
 
  private:
   void work_loop();
+  void heartbeat_loop();
   /// Wait for a notification or idle timeout; true = work may be available,
   /// false = stop (released or shutting down).
   bool wait_for_wakeup();
+  /// Interruptible real-time sleep of `model_s` model seconds; returns
+  /// early (false) if a stop was requested meanwhile.
+  bool interruptible_sleep(double model_s);
+  /// Run a link call, retrying up to options_.link_retries times with
+  /// exponential backoff on failure.
+  template <class Call>
+  auto call_with_retry(Call&& call) -> decltype(call());
 
   Clock& clock_;
   DispatcherLink& link_;
@@ -126,8 +164,10 @@ class ExecutorRuntime {
 
   ExecutorId id_;
   std::thread thread_;
+  std::thread heartbeat_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> crashed_{false};
 
   std::mutex mu_;
   std::condition_variable cv_;

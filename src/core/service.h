@@ -76,6 +76,9 @@ class LocalExecutorHarness {
     Status deregister(ExecutorId executor, const std::string& reason) override {
       return dispatcher_.deregister_executor(executor, reason);
     }
+    Status heartbeat(ExecutorId executor) override {
+      return dispatcher_.heartbeat(executor);
+    }
 
    private:
     Dispatcher& dispatcher_;

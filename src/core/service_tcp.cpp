@@ -32,13 +32,14 @@ TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
 TcpDispatcherServer::~TcpDispatcherServer() { stop(); }
 
 Status TcpDispatcherServer::start(std::uint16_t rpc_port,
-                                  std::uint16_t push_port) {
-  if (auto status = push_.start(push_port); !status.ok()) return status;
+                                  std::uint16_t push_port,
+                                  fault::FaultInjector* fault) {
+  if (auto status = push_.start(push_port, fault); !status.ok()) return status;
   sink_ = std::make_shared<PushSink>(push_, m_pushes_);
   client_sink_ = std::make_shared<ClientPushSink>(push_);
   dispatcher_.set_client_sink(client_sink_);
   return rpc_.start([this](const wire::Message& m) { return handle(m); },
-                    rpc_port);
+                    rpc_port, fault);
 }
 
 void TcpDispatcherServer::stop() {
@@ -116,6 +117,11 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     reply.piggyback_tasks = std::move(result.value().piggyback);
     return reply;
   }
+  if (const auto* m = std::get_if<HeartbeatRequest>(&request)) {
+    auto result = dispatcher_.heartbeat(m->executor_id);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    return HeartbeatReply{};
+  }
   if (const auto* m = std::get_if<DeregisterRequest>(&request)) {
     push_.drop_subscriber(m->executor_id.value);
     auto result = dispatcher_.deregister_executor(m->executor_id, m->reason);
@@ -131,16 +137,42 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
 }
 
 Status TcpExecutorHarness::Link::connect(const std::string& host,
-                                         std::uint16_t rpc_port) {
-  auto client = net::RpcClient::connect(host, rpc_port);
+                                         std::uint16_t rpc_port,
+                                         fault::FaultInjector* fault) {
+  std::lock_guard lock(mu_);
+  host_ = host;
+  rpc_port_ = rpc_port;
+  fault_ = fault;
+  auto client = net::RpcClient::connect(host_, rpc_port_, fault_);
   if (!client.ok()) return client.error();
   rpc_ = std::make_unique<net::RpcClient>(client.take());
   return ok_status();
 }
 
+Result<wire::Message> TcpExecutorHarness::Link::roundtrip(
+    const wire::Message& request) {
+  std::lock_guard lock(mu_);
+  if (rpc_ == nullptr) {
+    auto client = net::RpcClient::connect(host_, rpc_port_, fault_);
+    if (!client.ok()) return client.error();
+    rpc_ = std::make_unique<net::RpcClient>(client.take());
+  }
+  auto reply = rpc_->call(request);
+  if (!reply.ok()) {
+    const ErrorCode code = reply.error().code;
+    if (code == ErrorCode::kIoError || code == ErrorCode::kClosed ||
+        code == ErrorCode::kProtocolError || code == ErrorCode::kUnavailable) {
+      // Transport-level failure: the stream may be desynchronised or dead.
+      // Drop the connection so the next attempt dials fresh.
+      rpc_.reset();
+    }
+  }
+  return reply;
+}
+
 Result<ExecutorId> TcpExecutorHarness::Link::register_executor(
     const wire::RegisterRequest& request) {
-  auto reply = expect<wire::RegisterReply>(rpc_->call(request));
+  auto reply = expect<wire::RegisterReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
   return reply.value().executor_id;
 }
@@ -150,7 +182,7 @@ Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::get_work(
   wire::GetWorkRequest request;
   request.executor_id = executor;
   request.max_tasks = max_tasks;
-  auto reply = expect<wire::GetWorkReply>(rpc_->call(request));
+  auto reply = expect<wire::GetWorkReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
   return std::move(reply.value().tasks);
 }
@@ -162,7 +194,7 @@ Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::deliver_results(
   request.executor_id = executor;
   request.results = std::move(results);
   request.want_tasks = want_tasks;
-  auto reply = expect<wire::ResultReply>(rpc_->call(request));
+  auto reply = expect<wire::ResultReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
   return std::move(reply.value().piggyback_tasks);
 }
@@ -172,7 +204,15 @@ Status TcpExecutorHarness::Link::deregister(ExecutorId executor,
   wire::DeregisterRequest request;
   request.executor_id = executor;
   request.reason = reason;
-  auto reply = expect<wire::DeregisterReply>(rpc_->call(request));
+  auto reply = expect<wire::DeregisterReply>(roundtrip(request));
+  if (!reply.ok()) return reply.error();
+  return ok_status();
+}
+
+Status TcpExecutorHarness::Link::heartbeat(ExecutorId executor) {
+  wire::HeartbeatRequest request;
+  request.executor_id = executor;
+  auto reply = expect<wire::HeartbeatReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
   return ok_status();
 }
@@ -195,7 +235,8 @@ TcpExecutorHarness::TcpExecutorHarness(Clock& clock, std::string host,
 TcpExecutorHarness::~TcpExecutorHarness() { stop(); }
 
 Status TcpExecutorHarness::start() {
-  if (auto status = link_.connect(host_, rpc_port_); !status.ok()) {
+  if (auto status = link_.connect(host_, rpc_port_, options_.fault);
+      !status.ok()) {
     return status;
   }
   if (auto status = runtime_->start(); !status.ok()) return status;
@@ -268,14 +309,18 @@ Result<DispatcherStatus> TcpDispatcherClient::status() {
   auto reply = expect<wire::StatusReply>(rpc_.call(wire::StatusRequest{}));
   if (!reply.ok()) return reply.error();
   DispatcherStatus status;
+  status.submitted = reply.value().submitted_tasks;
   status.queued = reply.value().queued_tasks;
   status.dispatched = reply.value().dispatched_tasks;
   status.completed = reply.value().completed_tasks;
   status.failed = reply.value().failed_tasks;
+  status.retried = reply.value().retried_tasks;
+  status.suspicions = reply.value().suspicions;
+  status.false_suspicions = reply.value().false_suspicions;
+  status.quarantined = reply.value().quarantined_tasks;
   status.registered_executors = reply.value().registered_executors;
   status.busy_executors = reply.value().busy_executors;
-  status.idle_executors =
-      reply.value().registered_executors - reply.value().busy_executors;
+  status.idle_executors = reply.value().idle_executors;
   return status;
 }
 

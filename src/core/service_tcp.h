@@ -35,7 +35,10 @@ class TcpDispatcherServer {
   TcpDispatcherServer(const TcpDispatcherServer&) = delete;
   TcpDispatcherServer& operator=(const TcpDispatcherServer&) = delete;
 
-  Status start(std::uint16_t rpc_port = 0, std::uint16_t push_port = 0);
+  /// `fault` (optional, test-only) is handed to both channels: reply-frame
+  /// faults on the RPC port, push-frame faults on the notification port.
+  Status start(std::uint16_t rpc_port = 0, std::uint16_t push_port = 0,
+               fault::FaultInjector* fault = nullptr);
   void stop();
 
   [[nodiscard]] std::uint16_t rpc_port() const { return rpc_.port(); }
@@ -118,7 +121,10 @@ class TcpExecutorHarness {
  private:
   class Link final : public DispatcherLink {
    public:
-    Status connect(const std::string& host, std::uint16_t rpc_port);
+    /// `fault` (optional) makes every (re)connect and request pass through
+    /// the injector, exercising the reconnect path below.
+    Status connect(const std::string& host, std::uint16_t rpc_port,
+                   fault::FaultInjector* fault = nullptr);
 
     Result<ExecutorId> register_executor(
         const wire::RegisterRequest& request) override;
@@ -128,8 +134,19 @@ class TcpExecutorHarness {
         ExecutorId executor, std::vector<TaskResult> results,
         std::uint32_t want_tasks) override;
     Status deregister(ExecutorId executor, const std::string& reason) override;
+    Status heartbeat(ExecutorId executor) override;
 
    private:
+    /// One RPC exchange with lazy reconnect: a transport-level failure
+    /// (severed, truncated, or corrupted stream) discards the connection so
+    /// the next attempt dials fresh — paired with the runtime's
+    /// backoff-retry loop this is the executor's reconnect story.
+    Result<wire::Message> roundtrip(const wire::Message& request);
+
+    std::mutex mu_;
+    std::string host_;
+    std::uint16_t rpc_port_{0};
+    fault::FaultInjector* fault_{nullptr};
     std::unique_ptr<net::RpcClient> rpc_;
   };
 

@@ -1,0 +1,55 @@
+// Exponential backoff with jitter.
+//
+// Recovery paths (RPC reconnect, executor re-registration, result
+// redelivery) must not hammer a struggling dispatcher in lock-step — the
+// classic retry-storm failure. Delays grow geometrically and each is
+// jittered by a seeded Rng so a fleet of executors that died together
+// spreads its retries out, deterministically under a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace falkon::fault {
+
+struct BackoffConfig {
+  double base_s{0.05};     // first delay
+  double max_s{2.0};       // cap on any delay
+  double multiplier{2.0};  // geometric growth per attempt
+  /// Fractional jitter: each delay is drawn uniformly from
+  /// [d * (1 - jitter), d * (1 + jitter)], clamped to max_s.
+  double jitter{0.25};
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig config = {}, std::uint64_t seed = 1)
+      : config_(config), rng_(seed) {}
+
+  /// Delay before the next retry; grows with each call until reset().
+  double next_s() {
+    double delay = config_.base_s;
+    for (int i = 0; i < attempt_; ++i) delay *= config_.multiplier;
+    delay = std::min(delay, config_.max_s);
+    ++attempt_;
+    if (config_.jitter > 0.0) {
+      delay *= rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+      delay = std::min(delay, config_.max_s);
+    }
+    return std::max(delay, 0.0);
+  }
+
+  /// Call after a successful attempt so the next failure starts small.
+  void reset() { attempt_ = 0; }
+
+  [[nodiscard]] int attempt() const { return attempt_; }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  int attempt_{0};
+};
+
+}  // namespace falkon::fault

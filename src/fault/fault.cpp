@@ -1,0 +1,106 @@
+#include "fault/fault.h"
+
+#include <string>
+
+namespace falkon::fault {
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kRpcConnect: return "rpc_connect";
+    case Site::kRpcRequest: return "rpc_request";
+    case Site::kRpcReply: return "rpc_reply";
+    case Site::kPushFrame: return "push_frame";
+    case Site::kExecutorTask: return "executor_task";
+    case Site::kDispatcherNotify: return "dispatcher_notify";
+    case Site::kDispatcherAck: return "dispatcher_ack";
+    case Site::kLrmAllocate: return "lrm_allocate";
+    case Site::kLrmPreempt: return "lrm_preempt";
+  }
+  return "unknown";
+}
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kDrop: return "drop";
+    case Action::kTruncate: return "truncate";
+    case Action::kCorrupt: return "corrupt";
+    case Action::kDelay: return "delay";
+    case Action::kCrash: return "crash";
+    case Action::kHang: return "hang";
+    case Action::kSlow: return "slow";
+    case Action::kReject: return "reject";
+    case Action::kPreempt: return "preempt";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Obs* obs) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    SiteState& state = sites_[i];
+    // Distinct stream per site: SplitMix64 diffuses any seed difference,
+    // a multiplied site index keeps the streams far apart even for
+    // adjacent plan seeds.
+    state.rng = Rng(plan.seed ^ (0x51ed2701a41c5e37ULL * (i + 1)));
+    if (obs != nullptr) {
+      state.m_injected = &obs->registry().counter(
+          std::string("falkon.fault.injected.") +
+          site_name(static_cast<Site>(i)));
+    }
+  }
+  for (const auto& rule : plan.rules) {
+    sites_[static_cast<std::size_t>(rule.site)].rules.push_back(rule);
+  }
+  for (const auto& event : plan.script) {
+    sites_[static_cast<std::size_t>(event.site)].script.push_back(event);
+  }
+}
+
+Outcome FaultInjector::sample(Site site) {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  std::lock_guard lock(state.mu);
+  const std::uint64_t op = ++state.ops;
+  Outcome outcome;
+  for (const auto& event : state.script) {
+    if (event.at_op == op) {
+      outcome = Outcome{event.action, event.param};
+      break;
+    }
+  }
+  // Always draw, even when a scripted event overrides or no rule fires:
+  // the stream advances exactly once per operation, so the schedule at
+  // this site depends only on the operation index.
+  const double draw = state.rng.next_double();
+  if (!outcome) {
+    double threshold = 0.0;
+    for (const auto& rule : state.rules) {
+      threshold += rule.probability;
+      if (draw < threshold) {
+        outcome = Outcome{rule.action, rule.param};
+        break;
+      }
+    }
+  }
+  if (outcome) {
+    ++state.injected;
+    if (state.m_injected) state.m_injected->inc();
+  }
+  return outcome;
+}
+
+SiteStats FaultInjector::stats(Site site) const {
+  const SiteState& state = sites_[static_cast<std::size_t>(site)];
+  std::lock_guard lock(state.mu);
+  return SiteStats{state.ops, state.injected};
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& state : sites_) {
+    std::lock_guard lock(state.mu);
+    total += state.injected;
+  }
+  return total;
+}
+
+}  // namespace falkon::fault

@@ -184,6 +184,21 @@ void BatchScheduler::step() {
         next_cycle_s_ += config_.poll_interval_s;
       }
     }
+    if (config_.fault != nullptr) {
+      // Node preemption: the LRM reclaims a running allocation (higher
+      // priority job, node drain). Modeled as a walltime-style kill — the
+      // job enters cleanup and its on_done fires with killed=true.
+      for (auto& [id, job] : jobs_) {
+        if (job.state != JobState::kRunning) continue;
+        const fault::Outcome outcome =
+            config_.fault->sample(fault::Site::kLrmPreempt);
+        if (outcome.action != fault::Action::kPreempt) continue;
+        job.times.end_s = now;
+        job.state = JobState::kCompleting;
+        job.next_transition_s = now + config_.cleanup_overhead_s;
+        job.spec.run_time_s = -2.0;  // sentinel: killed
+      }
+    }
   }
   for (auto& callback : callbacks) callback();
 }

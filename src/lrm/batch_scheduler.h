@@ -27,6 +27,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 
 namespace falkon::lrm {
 
@@ -55,6 +56,10 @@ struct LrmConfig {
   /// Cap on jobs one scheduling cycle may start (many LRMs throttle
   /// concurrent submissions per user; 0 = unlimited).
   int max_starts_per_cycle{0};
+
+  /// Fault injection (node preemption at Site::kLrmPreempt, sampled once
+  /// per running job per step); nullptr in production.
+  fault::FaultInjector* fault{nullptr};
 };
 
 /// Paper-calibrated presets. Throughputs: PBS 0.45 tasks/s, Condor v6.7.2

@@ -31,6 +31,16 @@ Result<std::vector<JobId>> Gram4Gateway::submit_batch(
   if (specs.empty()) {
     return make_error(ErrorCode::kInvalidArgument, "empty GRAM batch");
   }
+  if (config_.fault != nullptr) {
+    const fault::Outcome outcome =
+        config_.fault->sample(fault::Site::kLrmAllocate);
+    if (outcome.action == fault::Action::kReject) {
+      // The LRM turned the request away (quota, down queue, maintenance);
+      // the provisioner is expected to retry on a later poll cycle.
+      return make_error(ErrorCode::kUnavailable,
+                        "injected allocation rejection");
+    }
+  }
   std::lock_guard lock(mu_);
   const double now = clock_.now_s();
   // Requests serialise on the gateway: each takes request_overhead_s of

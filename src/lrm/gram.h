@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 
+#include "fault/fault.h"
 #include "lrm/batch_scheduler.h"
 
 namespace falkon::lrm {
@@ -26,6 +27,9 @@ struct GramConfig {
   double request_overhead_s{2.0};
   /// Delay before a state-change notification reaches the subscriber.
   double notification_delay_s{0.2};
+  /// Fault injection (allocation rejection at Site::kLrmAllocate);
+  /// nullptr in production.
+  fault::FaultInjector* fault{nullptr};
 };
 
 /// Callback invoked on GRAM state changes (after notification delay).

@@ -1,16 +1,69 @@
 #include "net/rpc.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace falkon::net {
+namespace {
+
+/// Apply a sampled fault to an outgoing frame. A clean ok_status() means
+/// the caller should write `payload` normally (it may have been corrupted
+/// in place — framing stays aligned because the length prefix is intact);
+/// an error means the fault consumed the frame and severed the stream.
+Status apply_frame_fault(fault::FaultInjector* injector, fault::Site site,
+                         TcpStream& stream,
+                         std::vector<std::uint8_t>& payload) {
+  if (injector == nullptr) return ok_status();
+  const fault::Outcome outcome = injector->sample(site);
+  switch (outcome.action) {
+    case fault::Action::kDrop:
+      stream.shutdown();
+      return make_error(ErrorCode::kIoError, "injected connection drop");
+    case fault::Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+      return ok_status();
+    case fault::Action::kCorrupt:
+      // Flip payload bytes only: the peer reads a well-framed message that
+      // fails to decode, exercising the protocol-error path without
+      // desynchronising the stream. The type byte lands outside the enum
+      // so corruption is always detected, never silently misread.
+      if (!payload.empty()) {
+        payload[0] ^= 0x80;
+        payload[payload.size() / 2] ^= 0xff;
+      }
+      return ok_status();
+    case fault::Action::kTruncate: {
+      // Write a header promising the full payload, deliver only half, then
+      // sever: the peer's read_frame sees a truncated frame.
+      const auto length = static_cast<std::uint32_t>(payload.size());
+      std::uint8_t header[4];
+      std::memcpy(header, &length, 4);
+      (void)stream.write_all(header, 4);
+      if (length > 1) (void)stream.write_all(payload.data(), length / 2);
+      stream.shutdown();
+      return make_error(ErrorCode::kIoError, "injected frame truncation");
+    }
+    default:
+      return ok_status();
+  }
+}
+
+}  // namespace
 
 RpcServer::~RpcServer() { stop(); }
 
-Status RpcServer::start(RpcHandler handler, std::uint16_t port) {
+Status RpcServer::start(RpcHandler handler, std::uint16_t port,
+                        fault::FaultInjector* fault) {
   auto listener = TcpListener::bind(port);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   handler_ = std::move(handler);
+  fault_ = fault;
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
@@ -80,24 +133,44 @@ void RpcServer::serve_connection(std::shared_ptr<TcpStream> stream) {
     } else {
       reply = handler_(request.value());
     }
-    if (auto status = wire::write_frame(*stream, wire::encode_message(reply));
-        !status.ok()) {
+    auto payload = wire::encode_message(reply);
+    if (!apply_frame_fault(fault_, fault::Site::kRpcReply, *stream, payload)
+             .ok()) {
+      return;  // reply lost: the client sees a dead connection and retries
+    }
+    if (auto status = wire::write_frame(*stream, payload); !status.ok()) {
       return;
     }
   }
 }
 
 Result<RpcClient> RpcClient::connect(const std::string& host,
-                                     std::uint16_t port) {
+                                     std::uint16_t port,
+                                     fault::FaultInjector* fault) {
+  if (fault != nullptr) {
+    const fault::Outcome outcome = fault->sample(fault::Site::kRpcConnect);
+    if (outcome.action == fault::Action::kDrop) {
+      return make_error(ErrorCode::kUnavailable, "injected connect refusal");
+    }
+    if (outcome.action == fault::Action::kDelay) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+    }
+  }
   auto stream = TcpStream::connect(host, port);
   if (!stream.ok()) return stream.error();
-  return RpcClient(stream.take());
+  return RpcClient(stream.take(), fault);
 }
 
 Result<wire::Message> RpcClient::call(const wire::Message& request) {
   std::lock_guard lock(mu_);
-  if (auto status = wire::write_frame(stream_, wire::encode_message(request));
+  auto payload = wire::encode_message(request);
+  if (auto status =
+          apply_frame_fault(fault_, fault::Site::kRpcRequest, stream_, payload);
       !status.ok()) {
+    return status.error();
+  }
+  if (auto status = wire::write_frame(stream_, payload); !status.ok()) {
     return status.error();
   }
   auto frame = wire::read_frame(stream_);
@@ -114,10 +187,11 @@ void RpcClient::close() { stream_.shutdown(); }
 
 PushServer::~PushServer() { stop(); }
 
-Status PushServer::start(std::uint16_t port) {
+Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault) {
   auto listener = TcpListener::bind(port);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
+  fault_ = fault;
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
@@ -178,7 +252,24 @@ Status PushServer::push(std::uint64_t key, const wire::Message& message) {
     }
     stream = it->second;
   }
-  return wire::write_frame(*stream, wire::encode_message(message));
+  auto payload = wire::encode_message(message);
+  if (fault_ != nullptr) {
+    const fault::Outcome outcome = fault_->sample(fault::Site::kPushFrame);
+    if (outcome.action == fault::Action::kDrop) {
+      // A lost notification: reported as sent, never delivered. The
+      // subscriber stays connected; the dispatcher's stale-notification
+      // sweep is what recovers the executor.
+      return ok_status();
+    }
+    if (outcome.action == fault::Action::kDelay) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+    } else if (outcome.action == fault::Action::kCorrupt && !payload.empty()) {
+      payload[0] ^= 0x80;
+      payload[payload.size() / 2] ^= 0xff;
+    }
+  }
+  return wire::write_frame(*stream, payload);
 }
 
 void PushServer::drop_subscriber(std::uint64_t key) {

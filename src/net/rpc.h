@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/socket.h"
 #include "wire/message.h"
 
@@ -35,8 +36,10 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Bind (port 0 = ephemeral) and start the accept loop.
-  Status start(RpcHandler handler, std::uint16_t port = 0);
+  /// Bind (port 0 = ephemeral) and start the accept loop. `fault`
+  /// (optional, test-only) injects reply-frame faults at Site::kRpcReply.
+  Status start(RpcHandler handler, std::uint16_t port = 0,
+               fault::FaultInjector* fault = nullptr);
 
   /// Stop accepting, sever all connections, join all threads. Idempotent.
   void stop();
@@ -50,6 +53,7 @@ class RpcServer {
 
   TcpListener listener_;
   RpcHandler handler_;
+  fault::FaultInjector* fault_{nullptr};
   std::thread accept_thread_;
   mutable std::mutex mu_;
   std::vector<std::thread> connection_threads_;
@@ -61,7 +65,10 @@ class RpcServer {
 /// Blocking RPC client; one outstanding call at a time per connection.
 class RpcClient {
  public:
-  static Result<RpcClient> connect(const std::string& host, std::uint16_t port);
+  /// `fault` (optional, test-only) injects connect faults at
+  /// Site::kRpcConnect and request-frame faults at Site::kRpcRequest.
+  static Result<RpcClient> connect(const std::string& host, std::uint16_t port,
+                                   fault::FaultInjector* fault = nullptr);
 
   /// Send a request, wait for the reply. An ErrorReply from the server is
   /// surfaced as a failed Status with the carried code.
@@ -70,13 +77,16 @@ class RpcClient {
   void close();
 
  private:
-  explicit RpcClient(TcpStream stream) : stream_(std::move(stream)) {}
+  RpcClient(TcpStream stream, fault::FaultInjector* fault)
+      : stream_(std::move(stream)), fault_(fault) {}
 
   std::mutex mu_;
   TcpStream stream_;
+  fault::FaultInjector* fault_{nullptr};
 
  public:
-  RpcClient(RpcClient&& other) noexcept : stream_(std::move(other.stream_)) {}
+  RpcClient(RpcClient&& other) noexcept
+      : stream_(std::move(other.stream_)), fault_(other.fault_) {}
 };
 
 /// Dispatcher-side notification fan-out. Executors connect and send one
@@ -90,7 +100,9 @@ class PushServer {
   PushServer(const PushServer&) = delete;
   PushServer& operator=(const PushServer&) = delete;
 
-  Status start(std::uint16_t port = 0);
+  /// `fault` (optional, test-only) injects push-frame faults at
+  /// Site::kPushFrame (drop = the notification silently vanishes).
+  Status start(std::uint16_t port = 0, fault::FaultInjector* fault = nullptr);
   void stop();
 
   /// Push a message to subscriber `key`; kNotFound if no such subscriber.
@@ -104,6 +116,7 @@ class PushServer {
   void accept_loop();
 
   TcpListener listener_;
+  fault::FaultInjector* fault_{nullptr};
   std::thread accept_thread_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> subscribers_;

@@ -22,6 +22,8 @@ class FalkonSim {
       m_submitted_ = &reg.counter("falkon.sim.tasks_submitted");
       m_completed_ = &reg.counter("falkon.sim.tasks_completed");
       m_overhead_ = &reg.histogram("falkon.sim.overhead_s", 1e-6, 1e3);
+      m_failed_ = &reg.counter("falkon.sim.tasks_failed");
+      m_retried_ = &reg.counter("falkon.sim.tasks_retried");
     }
   }
 
@@ -31,6 +33,7 @@ class FalkonSim {
     sim_.run();
     result_.makespan_s = finish_time_;
     result_.completed = completed_;
+    result_.failed = failed_;
     return std::move(result_);
   }
 
@@ -68,6 +71,10 @@ class FalkonSim {
     }
     sim_.schedule_at(arrival, [this, bundle] {
       pending_ += static_cast<std::uint64_t>(bundle);
+      if (config_.fault != nullptr) {
+        pending_attempts_.insert(pending_attempts_.end(),
+                                 static_cast<std::size_t>(bundle), 1);
+      }
       if (m_submitted_) m_submitted_->inc(static_cast<std::uint64_t>(bundle));
       if (tracer_) {
         const double now = sim_.now();
@@ -102,12 +109,61 @@ class FalkonSim {
     return task.id;
   }
 
+  // ---- fault bookkeeping (active only when config_.fault != nullptr) ----
+
+  /// Per-queued-task attempt counters, aligned with `pending_` (FIFO).
+  int pop_attempts() {
+    if (config_.fault == nullptr) return 1;
+    const int attempts = pending_attempts_.front();
+    pending_attempts_.pop_front();
+    return attempts;
+  }
+
+  /// A lost attempt resurfaces after the replay timeout: requeue with an
+  /// incremented attempt count, or fail terminally once the budget is gone.
+  void replay_or_fail(std::uint64_t task, int attempts) {
+    if (attempts > config_.max_retries) {
+      ++failed_;
+      finish_time_ = sim_.now();
+      if (m_failed_) m_failed_->inc();
+      return;
+    }
+    ++result_.retried;
+    if (m_retried_) m_retried_->inc();
+    ++pending_;
+    if (config_.fault != nullptr) pending_attempts_.push_back(attempts + 1);
+    if (tracer_) pending_tasks_.push_back({task, sim_.now()});
+    pump_assignments();
+  }
+
   // ---- dispatch {3,4,5}: notify + get-work for idle executors ----
   void pump_assignments() {
     while (pending_ > 0 && !idle_.empty()) {
+      if (config_.fault != nullptr) {
+        const fault::Outcome outcome =
+            config_.fault->sample(fault::Site::kDispatcherNotify);
+        if (outcome.action == fault::Action::kDrop) {
+          // Lost notification: the assignment never reaches an executor;
+          // the replay sweep re-dispatches it later.
+          --pending_;
+          const int attempts = pop_attempts();
+          std::uint64_t task = 0;
+          if (tracer_ && !pending_tasks_.empty()) {
+            task = pending_tasks_.front().id;
+            pending_tasks_.pop_front();
+          }
+          ++result_.injected_faults;
+          sim_.schedule_at(sim_.now() + config_.replay_timeout_s,
+                           [this, task, attempts] {
+                             replay_or_fail(task, attempts);
+                           });
+          continue;
+        }
+      }
       const int executor = idle_.back();
       idle_.pop_back();
       --pending_;
+      const int attempts = pop_attempts();
       ++busy_count_;
       if (busy_count_ == config_.executors && result_.full_busy_at_s < 0) {
         result_.full_busy_at_s = sim_.now();
@@ -119,37 +175,83 @@ class FalkonSim {
           trace_dispatch(notify_begin, ready, task_at_executor, executor);
       // Overhead accounting starts when the executor receives the task,
       // matching the paper's executor-side measurement (Figure 10).
-      sim_.schedule_at(task_at_executor, [this, executor, task] {
-        execute_task(executor, task, sim_.now());
+      sim_.schedule_at(task_at_executor, [this, executor, task, attempts] {
+        execute_task(executor, task, sim_.now(), attempts);
       });
     }
   }
 
   // ---- execution on the executor ----
-  void execute_task(int executor, std::uint64_t task, double picked_up) {
+  void execute_task(int executor, std::uint64_t task, double picked_up,
+                    int attempts) {
+    double extra = 0.0;
+    if (config_.fault != nullptr) {
+      const fault::Outcome outcome =
+          config_.fault->sample(fault::Site::kExecutorTask);
+      if (outcome.action == fault::Action::kCrash ||
+          outcome.action == fault::Action::kHang) {
+        // The attempt dies with (or wedges inside) the executor. At the
+        // replay timeout the failure detector notices: the slot returns to
+        // the pool (crash: respawned; hang: the stuck attempt abandoned)
+        // and the task replays or fails.
+        ++result_.injected_faults;
+        sim_.schedule_at(sim_.now() + config_.replay_timeout_s,
+                         [this, executor, task, attempts] {
+                           --busy_count_;
+                           idle_.push_back(executor);
+                           replay_or_fail(task, attempts);
+                           pump_assignments();
+                         });
+        return;
+      }
+      if (outcome.action == fault::Action::kSlow ||
+          outcome.action == fault::Action::kDelay) {
+        ++result_.injected_faults;
+        extra = std::max(outcome.param, 0.0);
+      }
+    }
     double crowd = config_.executor_crowding *
                    rng_.uniform(0.85, 1.25);  // CPU-share jitter
     if (config_.straggler_probability > 0 &&
         rng_.bernoulli(config_.straggler_probability)) {
       crowd *= rng_.uniform(2.0, config_.straggler_factor);
     }
-    const double overhead = config_.ws.executor_cost() * std::max(1.0, crowd);
+    const double overhead =
+        config_.ws.executor_cost() * std::max(1.0, crowd) + extra;
     const double done = sim_.now() + config_.task_length_s + overhead;
     if (tracer_ && task != 0) {
       tracer_->record(TaskId{task}, obs::Stage::kExec, sim_.now(), done,
                       static_cast<std::uint64_t>(executor) + 1);
     }
-    sim_.schedule_at(done, [this, executor, task, picked_up] {
-      deliver_result(executor, task, picked_up);
+    sim_.schedule_at(done, [this, executor, task, picked_up, attempts] {
+      deliver_result(executor, task, picked_up, attempts);
     });
   }
 
   // ---- result delivery + piggy-backed next task {6,7} ----
-  void deliver_result(int executor, std::uint64_t task, double picked_up) {
+  void deliver_result(int executor, std::uint64_t task, double picked_up,
+                      int attempts) {
     const double done = sim_.now();
     const double arrival = done + config_.ws.latency_s;
     sim_.schedule_at(arrival, [this, executor, task, picked_up, done,
-                               arrival] {
+                               arrival, attempts] {
+      if (config_.fault != nullptr) {
+        const fault::Outcome outcome =
+            config_.fault->sample(fault::Site::kDispatcherAck);
+        if (outcome.action == fault::Action::kDrop) {
+          // Result lost in flight: the executor abandons the exchange and
+          // returns to the pool; the dispatcher replays the task later.
+          ++result_.injected_faults;
+          --busy_count_;
+          idle_.push_back(executor);
+          pump_assignments();
+          sim_.schedule_at(sim_.now() + config_.replay_timeout_s,
+                           [this, task, attempts] {
+                             replay_or_fail(task, attempts);
+                           });
+          return;
+        }
+      }
       const double acked = dispatcher_op(arrival, config_.ws.dispatch_cost());
       if (tracer_ && task != 0) {
         const std::uint64_t actor = static_cast<std::uint64_t>(executor) + 1;
@@ -161,14 +263,15 @@ class FalkonSim {
         on_task_complete(picked_up);
         if (config_.piggyback && pending_ > 0) {
           --pending_;
+          const int next_attempts = pop_attempts();
           const double acked_at = sim_.now();
           const double next_at = acked_at + config_.ws.latency_s;
           // Piggy-backed hand-off: the ack {7} carries the next task, so
           // its notify window is empty and get_work is just the transfer.
           const std::uint64_t next =
               trace_dispatch(acked_at, acked_at, next_at, executor);
-          sim_.schedule_at(next_at, [this, executor, next] {
-            execute_task(executor, next, sim_.now());
+          sim_.schedule_at(next_at, [this, executor, next, next_attempts] {
+            execute_task(executor, next, sim_.now(), next_attempts);
           });
         } else {
           --busy_count_;
@@ -199,7 +302,7 @@ class FalkonSim {
     sim_.schedule_in(config_.sample_interval_s, [this] {
       result_.queue_series.push_back(static_cast<double>(pending_));
       result_.busy_series.push_back(static_cast<double>(busy_count_));
-      if (completed_ < config_.task_count) schedule_sampler();
+      if (completed_ + failed_ < config_.task_count) schedule_sampler();
     });
   }
 
@@ -212,6 +315,10 @@ class FalkonSim {
   std::uint64_t submitted_{0};
   std::uint64_t pending_{0};
   std::uint64_t completed_{0};
+  std::uint64_t failed_{0};
+  /// Attempt count per queued task, FIFO-aligned with pending_ (only
+  /// maintained when fault injection is on).
+  std::deque<int> pending_attempts_;
   double next_rate_slot_{0.0};
   double finish_time_{0.0};
   std::vector<int> idle_;
@@ -228,6 +335,8 @@ class FalkonSim {
   obs::Counter* m_submitted_{nullptr};
   obs::Counter* m_completed_{nullptr};
   obs::Histogram* m_overhead_{nullptr};
+  obs::Counter* m_failed_{nullptr};
+  obs::Counter* m_retried_{nullptr};
   std::deque<PendingTask> pending_tasks_;
   std::uint64_t last_task_id_{0};
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
@@ -60,11 +61,36 @@ struct SimFalkonConfig {
   /// at the ack that carried the task — see docs/OBSERVABILITY.md).
   /// nullptr (default) keeps the counter-only fast path.
   obs::Obs* obs{nullptr};
+
+  // ---- fault model (docs/FAULTS.md) ----
+
+  /// Fault injection; nullptr (default) keeps the fault-free fast path.
+  /// Sampled at Site::kExecutorTask per execution attempt (kCrash/kHang:
+  /// the attempt is lost and the task replays after replay_timeout_s;
+  /// kSlow/kDelay: param seconds added to the run), Site::kDispatcherNotify
+  /// per dispatch (kDrop: the assignment never reaches the executor) and
+  /// Site::kDispatcherAck per delivery (kDrop: the result is lost in
+  /// flight). Same-seed runs are bit-reproducible: the DES is
+  /// single-threaded, so site op-counters advance identically.
+  fault::FaultInjector* fault{nullptr};
+  /// Model time before a lost attempt is detected and re-dispatched
+  /// (mirrors DispatcherConfig::replay_timeout_s).
+  double replay_timeout_s{5.0};
+  /// Re-dispatches allowed before the task fails terminally (mirrors
+  /// ReplayPolicy::max_retries).
+  int max_retries{3};
 };
 
 struct SimFalkonResult {
   double makespan_s{0.0};
   std::uint64_t completed{0};
+  /// Tasks that exhausted their retry budget (terminal failures). Every
+  /// submitted task ends in exactly one of completed/failed.
+  std::uint64_t failed{0};
+  /// Re-dispatches after a lost attempt.
+  std::uint64_t retried{0};
+  /// Fault-injector outcomes that actually perturbed the run.
+  std::uint64_t injected_faults{0};
 
   /// Raw completions per sample interval (Figure 8 light dots).
   std::vector<std::size_t> throughput_samples;

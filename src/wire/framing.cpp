@@ -34,6 +34,13 @@ Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream) {
   std::vector<std::uint8_t> payload(length);
   if (length > 0) {
     if (auto status = stream.read_exact(payload.data(), length); !status.ok()) {
+      if (status.error().code == ErrorCode::kClosed) {
+        // EOF after the header promised `length` payload bytes: the frame
+        // was truncated. Distinct from a clean close at a frame boundary.
+        return make_error(ErrorCode::kProtocolError,
+                          strf("truncated frame: expected %u payload bytes",
+                               length));
+      }
       return status.error();
     }
   }

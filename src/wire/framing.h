@@ -31,7 +31,9 @@ inline constexpr std::size_t kMaxFrameBytes = 256 * 1024 * 1024;
 /// Write one frame.
 Status write_frame(ByteStream& stream, const std::vector<std::uint8_t>& payload);
 
-/// Read one frame; kProtocolError on oversized length.
+/// Read one frame. kProtocolError on an oversized length and on a stream
+/// that ends mid-frame (truncation — the peer died or lied about the
+/// length); kClosed only for a clean EOF at a frame boundary.
 Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream);
 
 }  // namespace falkon::wire

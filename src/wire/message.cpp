@@ -61,6 +61,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kWaitResultsRequest: return "WaitResultsRequest";
     case MsgType::kWaitResultsReply: return "WaitResultsReply";
     case MsgType::kClientNotify: return "ClientNotify";
+    case MsgType::kHeartbeatRequest: return "HeartbeatRequest";
+    case MsgType::kHeartbeatReply: return "HeartbeatReply";
   }
   return "Unknown";
 }
@@ -204,12 +206,18 @@ struct EncodeVisitor {
   }
   void operator()(const StatusRequest&) const {}
   void operator()(const StatusReply& m) const {
+    w.put_u64(m.submitted_tasks);
     w.put_u64(m.queued_tasks);
     w.put_u64(m.dispatched_tasks);
     w.put_u64(m.completed_tasks);
     w.put_u64(m.failed_tasks);
+    w.put_u64(m.retried_tasks);
+    w.put_u64(m.suspicions);
+    w.put_u64(m.false_suspicions);
+    w.put_u64(m.quarantined_tasks);
     w.put_u32(m.registered_executors);
     w.put_u32(m.busy_executors);
+    w.put_u32(m.idle_executors);
   }
   void operator()(const DeregisterRequest& m) const {
     w.put_u64(m.executor_id.value);
@@ -228,6 +236,10 @@ struct EncodeVisitor {
     w.put_u64(m.instance_id.value);
     w.put_u64(m.completed);
   }
+  void operator()(const HeartbeatRequest& m) const {
+    w.put_u64(m.executor_id.value);
+  }
+  void operator()(const HeartbeatReply&) const {}
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -298,12 +310,18 @@ Message decode_payload(MsgType type, Reader& r) {
       return StatusRequest{};
     case MsgType::kStatusReply: {
       StatusReply m;
+      m.submitted_tasks = r.get_u64();
       m.queued_tasks = r.get_u64();
       m.dispatched_tasks = r.get_u64();
       m.completed_tasks = r.get_u64();
       m.failed_tasks = r.get_u64();
+      m.retried_tasks = r.get_u64();
+      m.suspicions = r.get_u64();
+      m.false_suspicions = r.get_u64();
+      m.quarantined_tasks = r.get_u64();
       m.registered_executors = r.get_u32();
       m.busy_executors = r.get_u32();
+      m.idle_executors = r.get_u32();
       return m;
     }
     case MsgType::kDeregisterRequest: {
@@ -332,6 +350,10 @@ Message decode_payload(MsgType type, Reader& r) {
       m.completed = r.get_u64();
       return m;
     }
+    case MsgType::kHeartbeatRequest:
+      return HeartbeatRequest{ExecutorId{r.get_u64()}};
+    case MsgType::kHeartbeatReply:
+      return HeartbeatReply{};
   }
   throw CodecError("unknown message type");
 }

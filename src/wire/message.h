@@ -46,6 +46,8 @@ enum class MsgType : std::uint8_t {
   kWaitResultsRequest = 18,
   kWaitResultsReply = 19,
   kClientNotify = 20,
+  kHeartbeatRequest = 21,
+  kHeartbeatReply = 22,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -128,12 +130,18 @@ struct StatusRequest {};
 
 /// Dispatcher state snapshot consumed by the provisioner {POLL}.
 struct StatusReply {
+  std::uint64_t submitted_tasks{0};
   std::uint64_t queued_tasks{0};
   std::uint64_t dispatched_tasks{0};
   std::uint64_t completed_tasks{0};
   std::uint64_t failed_tasks{0};
+  std::uint64_t retried_tasks{0};
+  std::uint64_t suspicions{0};
+  std::uint64_t false_suspicions{0};
+  std::uint64_t quarantined_tasks{0};
   std::uint32_t registered_executors{0};
   std::uint32_t busy_executors{0};
+  std::uint32_t idle_executors{0};
 };
 
 struct DeregisterRequest {
@@ -159,6 +167,16 @@ struct ClientNotify {
   std::uint64_t completed{0};
 };
 
+/// Executor liveness beacon on the control channel; the dispatcher's
+/// failure detector deregisters executors whose beacons stop.
+struct HeartbeatRequest {
+  ExecutorId executor_id;
+};
+
+struct HeartbeatReply {};
+
+// NOTE: MsgType values equal variant indices (message_type() casts the
+// index) — new messages must be appended at the end of BOTH lists.
 using Message =
     std::variant<ErrorReply, CreateInstanceRequest, CreateInstanceReply,
                  DestroyInstanceRequest, DestroyInstanceReply, SubmitRequest,
@@ -166,7 +184,7 @@ using Message =
                  GetWorkRequest, GetWorkReply, ResultRequest, ResultReply,
                  StatusRequest, StatusReply, DeregisterRequest,
                  DeregisterReply, WaitResultsRequest, WaitResultsReply,
-                 ClientNotify>;
+                 ClientNotify, HeartbeatRequest, HeartbeatReply>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 

@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
 
 #include "common/clock.h"
 #include "core/client.h"
 #include "core/service.h"
+#include "obs/obs.h"
 
 namespace falkon::core {
 namespace {
@@ -188,6 +190,247 @@ TEST(Failures, LostResponseRecoversViaReplayTimeout) {
   }
   EXPECT_EQ(completed, 5);
   EXPECT_EQ(dispatcher.status().completed, 5u);
+}
+
+TEST(Failures, SweeperRecoversLostResponseWithoutManualSweep) {
+  // Same black-hole scenario as above, but nobody ever calls
+  // check_replays(): the background sweeper must notice the overdue tasks
+  // and requeue them on its own (docs/FAULTS.md).
+  RealClock clock;
+  obs::Obs obs;
+  DispatcherConfig config;
+  config.replay.response_timeout_s = 0.15;
+  config.replay.max_retries = 5;
+  config.sweep_interval_s = 0.02;
+  config.obs = &obs;
+  Dispatcher dispatcher(clock, config);
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto instance = dispatcher.create_instance(ClientId{1});
+  auto blackhole = dispatcher.register_executor(wire::RegisterRequest{},
+                                                std::make_shared<NullSink>());
+  auto healthy = dispatcher.register_executor(wire::RegisterRequest{},
+                                              std::make_shared<NullSink>());
+  ASSERT_TRUE(instance.ok() && blackhole.ok() && healthy.ok());
+
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(5)).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto work = dispatcher.get_work(blackhole.value(), 1);
+    ASSERT_TRUE(work.ok());
+    ASSERT_EQ(work.value().size(), 1u);
+  }
+
+  // The healthy executor just polls; the sweeper does the recovery.
+  int completed = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (completed < 5 && std::chrono::steady_clock::now() < deadline) {
+    auto work = dispatcher.get_work(healthy.value(), 5);
+    ASSERT_TRUE(work.ok());
+    if (work.value().empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::vector<TaskResult> results;
+    for (const auto& task : work.value()) {
+      TaskResult result;
+      result.task_id = task.id;
+      results.push_back(result);
+    }
+    auto ack = dispatcher.deliver_results(healthy.value(), results, 0);
+    ASSERT_TRUE(ack.ok());
+    completed += static_cast<int>(ack.value().acknowledged);
+  }
+  EXPECT_EQ(completed, 5);
+  const auto status = dispatcher.status();
+  EXPECT_EQ(status.completed, 5u);
+  EXPECT_GE(status.retried, 5u);
+  EXPECT_GT(obs.registry().counter("falkon.dispatcher.sweeps").value(), 0u);
+  EXPECT_EQ(obs.registry().counter("falkon.dispatcher.tasks_retried").value(),
+            status.retried);
+  dispatcher.shutdown();
+}
+
+TEST(Failures, ExhaustedRetriesEndFailedNotDropped) {
+  // A task stuck on an unresponsive executor past its retry budget must
+  // reach a terminal failed state (delivered to the client), not linger in
+  // dispatched_ forever — and status counters must agree with obs metrics.
+  ManualClock clock;
+  obs::Obs obs;
+  DispatcherConfig config;
+  config.replay.response_timeout_s = 5.0;
+  config.replay.max_retries = 1;
+  config.max_tasks_per_dispatch = 3;
+  config.obs = &obs;
+  Dispatcher dispatcher(clock, config);
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto instance = dispatcher.create_instance(ClientId{1});
+  auto blackhole = dispatcher.register_executor(wire::RegisterRequest{},
+                                                std::make_shared<NullSink>());
+  ASSERT_TRUE(instance.ok() && blackhole.ok());
+
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(3)).ok());
+  auto work = dispatcher.get_work(blackhole.value(), 3);
+  ASSERT_TRUE(work.ok());
+  ASSERT_EQ(work.value().size(), 3u);
+
+  clock.advance(6.0);
+  EXPECT_EQ(dispatcher.check_replays(), 3);  // first replay: retried
+  work = dispatcher.get_work(blackhole.value(), 3);
+  ASSERT_TRUE(work.ok());
+  ASSERT_EQ(work.value().size(), 3u);  // black hole grabs them again
+
+  clock.advance(6.0);
+  EXPECT_EQ(dispatcher.check_replays(), 0);  // budget exhausted: no requeue
+
+  const auto status = dispatcher.status();
+  EXPECT_EQ(status.failed, 3u);
+  EXPECT_EQ(status.retried, 3u);
+  EXPECT_EQ(status.completed, 0u);
+  EXPECT_EQ(status.dispatched, 0u);  // nothing left in flight
+  EXPECT_EQ(status.queued, 0u);
+  EXPECT_EQ(obs.registry().counter("falkon.dispatcher.tasks_failed").value(),
+            status.failed);
+  EXPECT_EQ(obs.registry().counter("falkon.dispatcher.tasks_retried").value(),
+            status.retried);
+
+  // The failures are delivered to the client as terminal results.
+  auto results = dispatcher.wait_results(instance.value(), 10, 0.0);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 3u);
+  for (const auto& result : results.value()) {
+    EXPECT_EQ(result.state, TaskState::kFailed);
+    EXPECT_NE(result.stderr_data.find("retry budget exhausted"),
+              std::string::npos);
+  }
+}
+
+TEST(Failures, HeartbeatTimeoutDeregistersDeadExecutor) {
+  ManualClock clock;
+  DispatcherConfig config;
+  config.heartbeat_timeout_s = 5.0;
+  config.max_tasks_per_dispatch = 2;
+  Dispatcher dispatcher(clock, config);
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto instance = dispatcher.create_instance(ClientId{1});
+  auto dead = dispatcher.register_executor(wire::RegisterRequest{},
+                                           std::make_shared<NullSink>());
+  auto alive = dispatcher.register_executor(wire::RegisterRequest{},
+                                            std::make_shared<NullSink>());
+  ASSERT_TRUE(instance.ok() && dead.ok() && alive.ok());
+
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(2)).ok());
+  auto work = dispatcher.get_work(dead.value(), 2);
+  ASSERT_TRUE(work.ok());
+  ASSERT_EQ(work.value().size(), 2u);
+
+  clock.advance(3.0);
+  ASSERT_TRUE(dispatcher.heartbeat(alive.value()).ok());
+  clock.advance(3.0);  // dead: 6 s silent; alive: 3 s since last beat
+  EXPECT_EQ(dispatcher.check_liveness(), 1);
+
+  const auto status = dispatcher.status();
+  EXPECT_EQ(status.suspicions, 1u);
+  EXPECT_EQ(status.registered_executors, 1u);
+  EXPECT_EQ(status.queued, 2u);  // in-flight work was requeued
+
+  // The "dead" executor beats after removal: counted as a false positive.
+  EXPECT_FALSE(dispatcher.heartbeat(dead.value()).ok());
+  EXPECT_EQ(dispatcher.status().false_suspicions, 1u);
+}
+
+TEST(Failures, PoisonTaskQuarantinedAfterKillingExecutors) {
+  ManualClock clock;
+  obs::Obs obs;
+  DispatcherConfig config;
+  config.heartbeat_timeout_s = 5.0;
+  config.quarantine_threshold = 2;
+  config.obs = &obs;
+  Dispatcher dispatcher(clock, config);
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(1)).ok());
+
+  // Victim 1 takes the task and dies (heartbeat timeout).
+  auto victim1 = dispatcher.register_executor(wire::RegisterRequest{},
+                                              std::make_shared<NullSink>());
+  ASSERT_TRUE(victim1.ok());
+  ASSERT_EQ(dispatcher.get_work(victim1.value(), 1).value().size(), 1u);
+  clock.advance(6.0);
+  EXPECT_EQ(dispatcher.check_liveness(), 1);
+  EXPECT_EQ(dispatcher.status().queued, 1u);  // first death: requeued
+
+  // Victim 2 takes it and dies too: threshold reached, task quarantined.
+  auto victim2 = dispatcher.register_executor(wire::RegisterRequest{},
+                                              std::make_shared<NullSink>());
+  ASSERT_TRUE(victim2.ok());
+  ASSERT_EQ(dispatcher.get_work(victim2.value(), 1).value().size(), 1u);
+  clock.advance(6.0);
+  EXPECT_EQ(dispatcher.check_liveness(), 1);
+
+  const auto status = dispatcher.status();
+  EXPECT_EQ(status.quarantined, 1u);
+  EXPECT_EQ(status.failed, 1u);
+  EXPECT_EQ(status.queued, 0u);  // NOT requeued a third time
+  EXPECT_EQ(
+      obs.registry().counter("falkon.dispatcher.tasks_quarantined").value(),
+      1u);
+
+  auto results = dispatcher.wait_results(instance.value(), 10, 0.0);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 1u);
+  EXPECT_EQ(results.value()[0].state, TaskState::kFailed);
+  EXPECT_NE(results.value()[0].stderr_data.find("quarantined"),
+            std::string::npos);
+}
+
+TEST(Failures, RenotifySweepRecoversLostNotification) {
+  // An executor whose notification vanished sits in the notified state
+  // forever; the stale-notification sweep must re-send it.
+  ManualClock clock;
+  DispatcherConfig config;
+  config.renotify_timeout_s = 2.0;
+  config.obs = nullptr;
+  Dispatcher dispatcher(clock, config);
+  struct CountingSink final : ExecutorSink {
+    std::atomic<int> notifies{0};
+    void notify(ExecutorId, std::uint64_t) override { ++notifies; }
+  };
+  auto sink = std::make_shared<CountingSink>();
+  auto instance = dispatcher.create_instance(ClientId{1});
+  auto executor =
+      dispatcher.register_executor(wire::RegisterRequest{}, sink);
+  ASSERT_TRUE(instance.ok() && executor.ok());
+
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(1)).ok());
+  // The first notification goes out via the notify pool; wait for it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sink->notifies.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(sink->notifies.load(), 1);
+
+  // Executor never pulls (the notify was "lost" on its side). After the
+  // renotify timeout the sweep fires another one.
+  clock.advance(3.0);
+  dispatcher.renotify_stale();
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sink->notifies.load() < 2 &&
+         std::chrono::steady_clock::now() < deadline2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sink->notifies.load(), 2);
 }
 
 TEST(Failures, ShutdownUnblocksWaitingClients) {

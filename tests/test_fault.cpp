@@ -1,0 +1,180 @@
+// falkon::fault unit tests: deterministic per-site sampling, scripted
+// events, stats, obs integration, and the retry backoff schedule.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fault/backoff.h"
+#include "fault/fault.h"
+#include "obs/obs.h"
+
+namespace falkon::fault {
+namespace {
+
+TEST(FaultInjector, NullPlanNeverInjects) {
+  FaultInjector injector{FaultPlan{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.sample(Site::kRpcRequest));
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_EQ(injector.stats(Site::kRpcRequest).ops, 1000u);
+}
+
+TEST(FaultInjector, SameSeedSameDecisionSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.with(Site::kExecutorTask, Action::kCrash, 0.3);
+  plan.with(Site::kExecutorTask, Action::kSlow, 0.2, 1.5);
+
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  for (int i = 0; i < 2000; ++i) {
+    const Outcome oa = a.sample(Site::kExecutorTask);
+    const Outcome ob = b.sample(Site::kExecutorTask);
+    EXPECT_EQ(oa.action, ob.action);
+    EXPECT_DOUBLE_EQ(oa.param, ob.param);
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  EXPECT_GT(a.total_injected(), 0u);
+}
+
+TEST(FaultInjector, SitesHaveIndependentStreams) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.with(Site::kRpcReply, Action::kDrop, 0.5);
+  plan.with(Site::kPushFrame, Action::kDrop, 0.5);
+
+  // Interleaving order must not change each site's decision sequence:
+  // sample site A 100 times with B interleaved, then compare against a
+  // fresh injector sampling A alone.
+  FaultInjector interleaved{plan};
+  std::vector<Action> with_noise;
+  for (int i = 0; i < 100; ++i) {
+    with_noise.push_back(interleaved.sample(Site::kRpcReply).action);
+    (void)interleaved.sample(Site::kPushFrame);
+    (void)interleaved.sample(Site::kPushFrame);
+  }
+  FaultInjector alone{plan};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(alone.sample(Site::kRpcReply).action, with_noise[i]);
+  }
+}
+
+TEST(FaultInjector, ScriptedEventFiresAtExactOp) {
+  FaultPlan plan;
+  plan.at(Site::kDispatcherAck, Action::kDrop, 3);
+  plan.at(Site::kDispatcherAck, Action::kDrop, 7);
+
+  FaultInjector injector{plan};
+  for (int op = 1; op <= 10; ++op) {
+    const Outcome outcome = injector.sample(Site::kDispatcherAck);
+    if (op == 3 || op == 7) {
+      EXPECT_EQ(outcome.action, Action::kDrop) << "op " << op;
+    } else {
+      EXPECT_EQ(outcome.action, Action::kNone) << "op " << op;
+    }
+  }
+  EXPECT_EQ(injector.stats(Site::kDispatcherAck).injected, 2u);
+}
+
+TEST(FaultInjector, ProbabilityRulesRoughlyMatchFrequency) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.with(Site::kRpcConnect, Action::kDrop, 0.25);
+  FaultInjector injector{plan};
+  int dropped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.sample(Site::kRpcConnect).action == Action::kDrop) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(injector.stats(Site::kRpcConnect).injected,
+            static_cast<std::uint64_t>(dropped));
+}
+
+TEST(FaultInjector, ThreadSafeUnderConcurrentSampling) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.with(Site::kRpcRequest, Action::kDrop, 0.1);
+  FaultInjector injector{plan};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&injector] {
+      for (int i = 0; i < 5000; ++i) (void)injector.sample(Site::kRpcRequest);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(injector.stats(Site::kRpcRequest).ops, 20000u);
+}
+
+TEST(FaultInjector, RegistersObsCounters) {
+  obs::ObsConfig obs_config;
+  obs::Obs obs{obs_config};
+  FaultPlan plan;
+  plan.at(Site::kExecutorTask, Action::kCrash, 1);
+  FaultInjector injector{plan, &obs};
+  (void)injector.sample(Site::kExecutorTask);
+  (void)injector.sample(Site::kExecutorTask);
+  EXPECT_EQ(
+      obs.registry().counter("falkon.fault.injected.executor_task").value(),
+      1u);
+}
+
+TEST(Backoff, GrowsGeometricallyAndCaps) {
+  BackoffConfig config;
+  config.base_s = 0.1;
+  config.max_s = 1.0;
+  config.multiplier = 2.0;
+  config.jitter = 0.0;
+  Backoff backoff{config, 1};
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 0.1);
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 0.2);
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 0.4);
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 0.8);
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 1.0);
+  EXPECT_EQ(backoff.attempt(), 6);
+}
+
+TEST(Backoff, ResetRestartsSchedule) {
+  BackoffConfig config;
+  config.base_s = 0.05;
+  config.jitter = 0.0;
+  Backoff backoff{config, 1};
+  (void)backoff.next_s();
+  (void)backoff.next_s();
+  backoff.reset();
+  EXPECT_EQ(backoff.attempt(), 0);
+  EXPECT_DOUBLE_EQ(backoff.next_s(), 0.05);
+}
+
+TEST(Backoff, JitterStaysWithinBoundsAndIsDeterministic) {
+  BackoffConfig config;
+  config.base_s = 0.1;
+  config.max_s = 10.0;
+  config.multiplier = 2.0;
+  config.jitter = 0.25;
+  Backoff a{config, 77};
+  Backoff b{config, 77};
+  double expected_base = 0.1;
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.next_s();
+    const double db = b.next_s();
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same jitter
+    EXPECT_GE(da, expected_base * 0.75 - 1e-12);
+    EXPECT_LE(da, expected_base * 1.25 + 1e-12);
+    expected_base = std::min(expected_base * 2.0, 10.0);
+  }
+}
+
+TEST(FaultNames, CoverAllSitesAndActions) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    EXPECT_STRNE(site_name(static_cast<Site>(i)), "unknown");
+  }
+  EXPECT_STRNE(action_name(Action::kPreempt), "unknown");
+}
+
+}  // namespace
+}  // namespace falkon::fault

@@ -297,5 +297,115 @@ TEST(Framing, RejectsOversizedLength) {
   EXPECT_EQ(frame.error().code, ErrorCode::kProtocolError);
 }
 
+TEST(Framing, RejectsTruncatedPayloadAsProtocolError) {
+  // A header promising 100 bytes followed by only 10: the reader must
+  // report a clean protocol error (truncated frame), not a bare EOF that
+  // looks like an orderly close.
+  MemoryStream stream;
+  const std::uint32_t length = 100;
+  ASSERT_TRUE(stream.write_all(&length, 4).ok());
+  const std::vector<std::uint8_t> partial(10, 0xaa);
+  ASSERT_TRUE(stream.write_all(partial.data(), partial.size()).ok());
+  auto frame = read_frame(stream);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, ErrorCode::kProtocolError);
+  EXPECT_NE(frame.error().message.find("truncated"), std::string::npos);
+}
+
+TEST(Framing, CleanEofAtFrameBoundaryIsNotProtocolError) {
+  // EOF between frames is an orderly close (kClosed), distinct from a
+  // truncation inside a frame.
+  MemoryStream stream;
+  ASSERT_TRUE(write_frame(stream, {1, 2, 3}).ok());
+  ASSERT_TRUE(read_frame(stream).ok());
+  auto eof = read_frame(stream);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.error().code, ErrorCode::kClosed);
+}
+
+TEST(Message, HeartbeatRoundtrip) {
+  HeartbeatRequest request;
+  request.executor_id = ExecutorId{0xfeedULL};
+  auto bytes = encode_message(request);
+  auto decoded = decode_message(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const auto* reply = std::get_if<HeartbeatRequest>(&decoded.value());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->executor_id.value, 0xfeedULL);
+  EXPECT_EQ(message_type(decoded.value()), MsgType::kHeartbeatRequest);
+
+  auto pong = decode_message(encode_message(HeartbeatReply{}));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(message_type(pong.value()), MsgType::kHeartbeatReply);
+}
+
+/// Fuzz property over the *framing* layer: byte streams assembled from
+/// valid frames and then mutated (bit flips, truncations, length tampering)
+/// must never crash the reader — every frame either decodes or fails with a
+/// clean error, and the reader never spins forever.
+class FramingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FramingFuzz, MutatedFrameStreamsFailCleanly) {
+  falkon::Rng rng(GetParam());
+  // Assemble a pristine multi-frame stream of real protocol messages.
+  std::vector<std::uint8_t> pristine;
+  {
+    struct Capture final : ByteStream {
+      std::vector<std::uint8_t>* out;
+      explicit Capture(std::vector<std::uint8_t>* out) : out(out) {}
+      Status write_all(const void* data, std::size_t size) override {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        out->insert(out->end(), p, p + size);
+        return ok_status();
+      }
+      Status read_exact(void*, std::size_t) override {
+        return make_error(ErrorCode::kInternal, "write-only");
+      }
+    } capture{&pristine};
+    (void)write_frame(capture, encode_message(Notify{ExecutorId{1}, 1}));
+    (void)write_frame(capture, encode_message(GetWorkRequest{ExecutorId{1}, 4}));
+    SubmitRequest submit;
+    submit.instance_id = InstanceId{2};
+    for (std::uint64_t i = 1; i <= 3; ++i) submit.tasks.push_back(sample_spec(i));
+    (void)write_frame(capture, encode_message(submit));
+    (void)write_frame(capture, encode_message(HeartbeatRequest{ExecutorId{9}}));
+  }
+
+  for (int round = 0; round < 300; ++round) {
+    auto bytes = pristine;
+    // Mutate: either truncate the stream or flip a handful of bits.
+    if (rng.bernoulli(0.3)) {
+      bytes.resize(rng.uniform_int(0, bytes.size()));
+    } else {
+      const auto flips = rng.uniform_int(1, 8);
+      for (std::uint64_t f = 0; f < flips && !bytes.empty(); ++f) {
+        const auto at = rng.uniform_int(0, bytes.size() - 1);
+        bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+    }
+    MemoryStream stream;
+    if (!bytes.empty()) {
+      ASSERT_TRUE(stream.write_all(bytes.data(), bytes.size()).ok());
+    }
+    // Read frames until the stream errors; bounded by the frame count so a
+    // corrupted length cannot make us loop forever.
+    for (int frames = 0; frames < 16; ++frames) {
+      auto frame = read_frame(stream);
+      if (!frame.ok()) {
+        EXPECT_TRUE(frame.error().code == ErrorCode::kProtocolError ||
+                    frame.error().code == ErrorCode::kClosed)
+            << frame.error().str();
+        break;
+      }
+      auto decoded = decode_message(frame.value());
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramingFuzz, ::testing::Values(3, 17, 29, 71));
+
 }  // namespace
 }  // namespace falkon::wire
