@@ -10,10 +10,14 @@
 // C++ implementation's real submission path (binary codec instead of XML):
 // the C++ path has no grow-array pathology, so its curve saturates instead
 // of declining — quantifying what the paper's proposed rewrite buys.
+#include <algorithm>
+
 #include "bench_util.h"
 #include "common/clock.h"
 #include "core/client.h"
 #include "core/service.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "sim/cost_model.h"
 #include "wire/message.h"
 
@@ -60,20 +64,41 @@ int main() {
   title("Figure 5: bundling throughput and cost per task");
 
   sim::BundlingCostModel model;
+  obs::Obs obs;
   Table table({"bundle size", "model tasks/s", "model ms/task",
                "C++ path tasks/s"});
+  const std::vector<int> bundles{1,   2,   5,   10,  25,   50,  100,
+                                 200, 300, 500, 750, 1000, 1500, 2000};
+  // Best of five, with the repetitions interleaved round-robin across
+  // bundle sizes: a machine-wide slow phase (scheduler, thermal, noisy
+  // neighbour) then lands on every point of one pass instead of distorting
+  // a few adjacent bundle sizes, and the per-point max recovers the
+  // cost-curve shape rather than the noise floor.
+  std::vector<double> best_cpp(bundles.size(), 0.0);
+  (void)measure_cpp_submit(100, 40000);  // warm-up: page in and settle
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      best_cpp[i] = std::max(best_cpp[i], measure_cpp_submit(bundles[i], 40000));
+    }
+  }
   double best_rate = 0.0;
   int best_bundle = 0;
-  for (int bundle : {1, 2, 5, 10, 25, 50, 100, 200, 300, 500, 750, 1000, 1500, 2000}) {
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    const int bundle = bundles[i];
     const double rate = model.throughput(bundle);
     const double cost_ms = model.bundle_cost_s(bundle) / bundle * 1e3;
     if (rate > best_rate) {
       best_rate = rate;
       best_bundle = bundle;
     }
-    const double cpp = measure_cpp_submit(bundle, 40000);
+    obs.registry()
+        .gauge("bench.fig5.model_tasks_per_s", {{"bundle", strf("%d", bundle)}})
+        .set(rate);
+    obs.registry()
+        .gauge("bench.fig5.cpp_tasks_per_s", {{"bundle", strf("%d", bundle)}})
+        .set(best_cpp[i]);
     table.row({strf("%d", bundle), strf("%.0f", rate), strf("%.3f", cost_ms),
-               strf("%.0f", cpp)});
+               strf("%.0f", best_cpp[i])});
   }
   table.print();
   note(strf("model peak: %.0f tasks/s at %d tasks/bundle"
@@ -81,5 +106,8 @@ int main() {
             best_rate, best_bundle));
   note("the C++ binary-codec path keeps rising with bundle size: no Axis"
        " grow-array collapse.");
+  if (obs::save_metrics_json(obs.registry(), "BENCH_fig5_bundling.json").ok()) {
+    note("metrics snapshot: BENCH_fig5_bundling.json");
+  }
   return 0;
 }

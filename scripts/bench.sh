@@ -1,0 +1,84 @@
+#!/bin/sh
+# Dispatch-path benchmark gate: build Release, run the Fig. 3 / Fig. 5
+# benches (they write BENCH_*.json metric snapshots into the repo root),
+# and compare every `bench.*` throughput gauge against the committed
+# baselines in bench/baselines/.
+#
+# Throughput gauges are lower-bounded only: a run must reach at least
+# (1 - BENCH_TOLERANCE) of its baseline. The default tolerance of 0.5 is
+# deliberately loose — these benchmarks run on whatever noisy host CI got,
+# and the regressions worth gating on (an accidentally serialised RPC path,
+# a lock back in the hot loop) move the numbers by multiples, not percents.
+#
+#   scripts/bench.sh            run + compare against baselines
+#   scripts/bench.sh --update   run + rewrite the baselines
+set -eu
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_TOLERANCE:-0.5}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BENCHES="bench_fig3_throughput bench_fig5_bundling"
+SNAPSHOTS="BENCH_fig3_throughput.json BENCH_fig5_bundling.json"
+
+echo "== Release build (bench) =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+# shellcheck disable=SC2086
+cmake --build build-bench -j "$JOBS" --target $BENCHES >/dev/null
+
+for bench in $BENCHES; do
+  echo "== $bench =="
+  "./build-bench/bench/$bench"
+done
+
+if [ "${1:-}" = "--update" ]; then
+  mkdir -p bench/baselines
+  # shellcheck disable=SC2086
+  cp $SNAPSHOTS bench/baselines/
+  echo "baselines updated: bench/baselines/"
+  exit 0
+fi
+
+# Pull "bench.*" gauges (name value per line) out of a metrics snapshot.
+extract() {
+  sed -n 's/^ *"\(bench\.[^"]*\)": \([-0-9.eE+]*\),\{0,1\}$/\1 \2/p' "$1"
+}
+
+status=0
+for name in $SNAPSHOTS; do
+  base="bench/baselines/$name"
+  if [ ! -f "$base" ]; then
+    echo "missing baseline $base (run scripts/bench.sh --update)"
+    status=1
+    continue
+  fi
+  echo "== compare $name (tolerance $TOL) =="
+  extract "$base" >"build-bench/base.$name.txt"
+  extract "$name" >"build-bench/cur.$name.txt"
+  if ! awk -v tol="$TOL" '
+      NR == FNR { base[$1] = $2; next }
+      ($1 in base) && base[$1] > 0 {
+        floor = (1 - tol) * base[$1]
+        if ($2 < floor) {
+          printf "FAIL %s: %.0f < floor %.0f (baseline %.0f)\n", $1, $2, floor, base[$1]
+          bad = 1
+        } else {
+          printf "ok   %s: %.0f (baseline %.0f)\n", $1, $2, base[$1]
+        }
+        seen[$1] = 1
+      }
+      END {
+        for (k in base) if (!(k in seen)) {
+          printf "FAIL %s: present in baseline but missing from run\n", k
+          bad = 1
+        }
+        exit bad
+      }' "build-bench/base.$name.txt" "build-bench/cur.$name.txt"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "BENCH FAILED"
+  exit 1
+fi
+echo "BENCH OK"

@@ -8,6 +8,10 @@
 # and runs the concurrency-heavy suites (obs registry/tracer, dispatcher,
 # executor, stress, chaos) — slower, so it is opt-in.
 #
+# An optional benchmark pass (`scripts/ci.sh bench`) runs the dispatch-path
+# benchmarks and gates on the committed baselines (scripts/bench.sh) —
+# opt-in because throughput numbers only mean something on a quiet host.
+#
 # The chaos stage re-runs the fault-injection soak (test_chaos, fixed seeds
 # — see docs/FAULTS.md) under each sanitizer explicitly, so a recovery-path
 # regression fails CI with the soak's own diagnostics even when the rest of
@@ -30,6 +34,11 @@ ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
 echo "== Chaos soak under ASan+UBSan =="
 ctest --test-dir build-ci-asan --output-on-failure -R 'test_chaos|test_fault'
+
+if [ "${1:-}" = "bench" ]; then
+  echo "== Benchmark gate =="
+  scripts/bench.sh
+fi
 
 if [ "${1:-}" = "tsan" ]; then
   echo "== TSan build + concurrency suites =="

@@ -32,8 +32,11 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
       config_(config),
       policy_(policy ? std::move(policy)
                      : std::make_unique<NextAvailablePolicy>()),
+      policy_head_only_(policy_->selects_queue_head()),
       notify_pool_(static_cast<std::size_t>(std::max(1, config.notify_threads)),
                    "notify") {
+  shard_count_ = static_cast<std::size_t>(std::max(1, config_.executor_shards));
+  shards_ = std::make_unique<Shard[]>(shard_count_);
   if (config_.obs != nullptr) {
     obs::Registry& reg = config_.obs->registry();
     tracer_ = &config_.obs->tracer();
@@ -52,6 +55,8 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
     m_queue_depth_ = &reg.gauge("falkon.dispatcher.queue_depth");
     m_queue_time_ = &reg.histogram("falkon.task.queue_time_s", 1e-6, 1e4);
     m_overhead_ = &reg.histogram("falkon.task.overhead_s", 1e-6, 1e4);
+    m_bundle_size_ = &reg.histogram("falkon.dispatcher.bundle_size", 1.0, 4096.0);
+    m_lock_wait_ = &reg.histogram("falkon.dispatcher.lock_wait_s", 1e-9, 1.0);
   }
   if (config_.sweep_interval_s > 0) {
     sweeper_ = std::thread([this] { sweeper_loop(); });
@@ -61,10 +66,9 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
 Dispatcher::~Dispatcher() { shutdown(); }
 
 void Dispatcher::shutdown() {
+  if (shutdown_.exchange(true)) return;
   {
-    std::lock_guard lock(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
+    std::lock_guard lock(inst_mu_);
     for (auto& [id, instance] : instances_) {
       std::lock_guard ilock(instance->mu);
       instance->open = false;
@@ -100,9 +104,101 @@ void Dispatcher::sweeper_loop() {
   }
 }
 
+// ---------------------------------------------------------------- registry
+
+Dispatcher::Shard& Dispatcher::shard_for(std::uint64_t executor_value) {
+  return shards_[executor_value % shard_count_];
+}
+
+std::shared_ptr<Dispatcher::ExecutorEntry> Dispatcher::find_entry(
+    std::uint64_t executor_value) {
+  Shard& shard = shard_for(executor_value);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.entries.find(executor_value);
+  return it == shard.entries.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Dispatcher::ExecutorEntry>>
+Dispatcher::snapshot_entries() {
+  std::vector<std::shared_ptr<ExecutorEntry>> out;
+  out.reserve(registered_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    for (auto& [id, entry] : shards_[i].entries) out.push_back(entry);
+  }
+  return out;
+}
+
+std::unique_lock<std::mutex> Dispatcher::lock_entry(ExecutorEntry& entry) {
+  if (m_lock_wait_ == nullptr) return std::unique_lock(entry.mu);
+  std::unique_lock lock(entry.mu, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  m_lock_wait_->record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return lock;
+}
+
+void Dispatcher::set_state_locked(ExecutorEntry& entry, ExecState next) {
+  if (entry.state == next) return;
+  if (entry.state == ExecState::kBusy) {
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (next == ExecState::kBusy) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry.state = next;
+}
+
+void Dispatcher::cache_insert_locked(ExecutorEntry& entry,
+                                     const std::string& object) {
+  if (entry.cached_objects != nullptr &&
+      entry.cached_objects->count(object) > 0) {
+    return;
+  }
+  auto next = entry.cached_objects
+                  ? std::make_shared<std::unordered_set<std::string>>(
+                        *entry.cached_objects)
+                  : std::make_shared<std::unordered_set<std::string>>();
+  next->insert(object);
+  entry.cached_objects = std::move(next);
+}
+
+ExecutorCandidate Dispatcher::candidate_of(const ExecutorEntry& entry) {
+  ExecutorCandidate candidate;
+  candidate.id = entry.id;
+  // Snapshot of the copy-on-write cache set: the probe stays valid after
+  // the entry lock is released.
+  candidate.has_cached = [objects = entry.cached_objects](
+                             const std::string& object) {
+    return objects != nullptr && objects->count(object) > 0;
+  };
+  return candidate;
+}
+
+Error Dispatcher::unknown_executor(std::uint64_t executor_value) {
+  bool was_suspected;
+  {
+    std::lock_guard lock(suspect_mu_);
+    was_suspected = suspected_.erase(executor_value) > 0;
+  }
+  if (was_suspected) {
+    // The "dead" executor spoke again: the detector was wrong.
+    n_false_suspicions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_false_suspicions_) m_false_suspicions_->inc();
+  }
+  return Error{ErrorCode::kNotFound, "executor not registered"};
+}
+
+// ------------------------------------------------------------------ client
+
 Result<InstanceId> Dispatcher::create_instance(ClientId client) {
-  std::lock_guard lock(mu_);
-  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  std::lock_guard lock(inst_mu_);
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  }
   const InstanceId id = instance_ids_.next();
   auto instance = std::make_shared<Instance>();
   instance->client = client;
@@ -113,7 +209,7 @@ Result<InstanceId> Dispatcher::create_instance(ClientId client) {
 Status Dispatcher::destroy_instance(InstanceId instance_id) {
   std::shared_ptr<Instance> instance;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(inst_mu_);
     auto it = instances_.find(instance_id.value);
     if (it == instances_.end()) {
       return make_error(ErrorCode::kNotFound, "no such instance");
@@ -122,12 +218,30 @@ Status Dispatcher::destroy_instance(InstanceId instance_id) {
     instances_.erase(it);
     // Drop this instance's queued tasks; in-flight ones will be discarded
     // at delivery time because the instance is gone.
+    std::lock_guard qlock(queue_mu_);
     queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                                 [&](const QueuedTask& task) {
                                   return task.instance == instance_id;
                                 }),
                  queue_.end());
-    counters_.queued = queue_.size();
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
+    if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
+  // Prefetched (outboxed) tasks of this instance are queued work too —
+  // purge them the same way. Submits for this instance now fail, so no new
+  // ones can appear afterwards.
+  for (auto& entry : snapshot_entries()) {
+    std::lock_guard elock(entry->mu);
+    auto& outbox = entry->outbox;
+    const std::size_t before = outbox.size();
+    outbox.erase(std::remove_if(outbox.begin(), outbox.end(),
+                                [&](const QueuedTask& task) {
+                                  return task.instance == instance_id;
+                                }),
+                 outbox.end());
+    if (before != outbox.size()) {
+      outboxed_.fetch_sub(before - outbox.size(), std::memory_order_relaxed);
+    }
   }
   {
     std::lock_guard ilock(instance->mu);
@@ -139,31 +253,36 @@ Status Dispatcher::destroy_instance(InstanceId instance_id) {
 
 Result<std::uint64_t> Dispatcher::submit(InstanceId instance_id,
                                          std::vector<TaskSpec> tasks) {
-  std::lock_guard lock(mu_);
-  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
-  if (instances_.find(instance_id.value) == instances_.end()) {
-    return make_error(ErrorCode::kNotFound, "no such instance");
-  }
-  const double now = clock_.now_s();
-  for (auto& spec : tasks) {
-    if (!spec.id.valid()) {
-      return make_error(ErrorCode::kInvalidArgument, "task without id");
+  {
+    std::lock_guard lock(inst_mu_);
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return make_error(ErrorCode::kClosed, "dispatcher shut down");
     }
-    QueuedTask task;
-    task.instance = instance_id;
-    task.spec = std::move(spec);
-    task.enqueue_s = now;
-    if (tracer_) tracer_->instant(task.spec.id, obs::Stage::kSubmit, now);
-    queue_.push_back(std::move(task));
+    if (instances_.find(instance_id.value) == instances_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such instance");
+    }
+    const double now = clock_.now_s();
+    std::lock_guard qlock(queue_mu_);
+    for (auto& spec : tasks) {
+      if (!spec.id.valid()) {
+        return make_error(ErrorCode::kInvalidArgument, "task without id");
+      }
+      QueuedTask task;
+      task.instance = instance_id;
+      task.spec = std::move(spec);
+      task.enqueue_s = now;
+      if (tracer_) tracer_->instant(task.spec.id, obs::Stage::kSubmit, now);
+      queue_.push_back(std::move(task));
+    }
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
+    if (m_submitted_) {
+      m_submitted_->inc(tasks.size());
+      m_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
   const auto accepted = static_cast<std::uint64_t>(tasks.size());
-  counters_.submitted += accepted;
-  counters_.queued = queue_.size();
-  if (m_submitted_) {
-    m_submitted_->inc(accepted);
-    m_queue_depth_->set(static_cast<double>(queue_.size()));
-  }
-  pump_notifications_locked();
+  n_submitted_.fetch_add(accepted, std::memory_order_relaxed);
+  pump_notifications();
   return accepted;
 }
 
@@ -171,7 +290,7 @@ Result<std::vector<TaskResult>> Dispatcher::wait_results(
     InstanceId instance_id, std::uint32_t max_results, double timeout_s) {
   std::shared_ptr<Instance> instance;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(inst_mu_);
     auto it = instances_.find(instance_id.value);
     if (it == instances_.end()) {
       return make_error(ErrorCode::kNotFound, "no such instance");
@@ -196,288 +315,392 @@ Result<std::vector<TaskResult>> Dispatcher::wait_results(
   return out;
 }
 
+// ---------------------------------------------------------------- executor
+
 Result<ExecutorId> Dispatcher::register_executor(
     const wire::RegisterRequest& request, std::shared_ptr<ExecutorSink> sink) {
-  std::lock_guard lock(mu_);
-  if (shutdown_) return make_error(ErrorCode::kClosed, "dispatcher shut down");
-  const ExecutorId id = executor_ids_.next();
-  ExecutorEntry entry;
-  entry.id = id;
-  entry.info = request;
-  entry.sink = std::move(sink);
-  entry.registered_s = clock_.now_s();
-  entry.last_heartbeat_s = entry.registered_s;
-  executors_[id.value] = std::move(entry);
-  counters_.registered_executors =
-      static_cast<std::uint32_t>(executors_.size());
-  pump_notifications_locked();
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  }
+  ExecutorId id;
+  {
+    std::lock_guard lock(ids_mu_);
+    id = executor_ids_.next();
+  }
+  auto entry = std::make_shared<ExecutorEntry>();
+  entry->id = id;
+  entry->info = request;
+  entry->sink = std::move(sink);
+  entry->registered_s = clock_.now_s();
+  entry->last_heartbeat_s = entry->registered_s;
+  {
+    Shard& shard = shard_for(id.value);
+    std::lock_guard lock(shard.mu);
+    shard.entries.emplace(id.value, std::move(entry));
+  }
+  registered_.fetch_add(1, std::memory_order_relaxed);
+  pump_notifications();
   return id;
 }
 
-void Dispatcher::remove_executor_locked(std::uint64_t executor_value,
-                                        const std::string& reason, bool blame,
-                                        std::vector<PendingRoute>& to_route) {
-  auto it = executors_.find(executor_value);
-  if (it == executors_.end()) return;
-  // Requeue anything in flight on this executor; under `blame` the death
-  // is charged to the tasks it held, and a task that has now killed
-  // config_.quarantine_threshold distinct executors is poison — fail it
-  // permanently instead of handing it to yet another victim.
-  std::vector<std::uint64_t> orphaned;
-  for (const auto& [task_id, dispatched] : dispatched_) {
-    if (dispatched.executor.value == executor_value) orphaned.push_back(task_id);
+Dispatcher::QueuedTask Dispatcher::to_queued(DispatchedTask task) {
+  QueuedTask queued;
+  queued.instance = task.instance;
+  queued.spec = std::move(task.spec);
+  queued.enqueue_s = task.enqueue_s;
+  queued.attempts = task.attempts;
+  queued.killers = std::move(task.killers);
+  return queued;
+}
+
+void Dispatcher::requeue_task(QueuedTask task, bool front) {
+  std::lock_guard qlock(queue_mu_);
+  if (front) {
+    queue_.push_front(std::move(task));
+  } else {
+    queue_.push_back(std::move(task));
   }
+  queue_size_.store(queue_.size(), std::memory_order_relaxed);
+  if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+}
+
+void Dispatcher::drain_outbox_locked(ExecutorEntry& entry) {
+  if (entry.outbox.empty()) return;
+  std::lock_guard qlock(queue_mu_);
+  // Back-to-front so the outbox order is preserved at the queue head.
+  while (!entry.outbox.empty()) {
+    queue_.push_front(std::move(entry.outbox.back()));
+    entry.outbox.pop_back();
+    outboxed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  queue_size_.store(queue_.size(), std::memory_order_relaxed);
+  if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+}
+
+bool Dispatcher::remove_executor(std::uint64_t executor_value,
+                                 const std::string& reason, bool blame,
+                                 std::vector<PendingRoute>& to_route) {
+  std::shared_ptr<ExecutorEntry> entry;
+  {
+    Shard& shard = shard_for(executor_value);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.entries.find(executor_value);
+    if (it == shard.entries.end()) return false;
+    entry = std::move(it->second);
+    shard.entries.erase(it);
+  }
+  registered_.fetch_sub(1, std::memory_order_relaxed);
   std::size_t requeued = 0;
-  for (auto task_id : orphaned) {
-    auto node = dispatched_.extract(task_id);
-    DispatchedTask task = std::move(node.mapped());
-    if (blame &&
-        std::find(task.killers.begin(), task.killers.end(), executor_value) ==
-            task.killers.end()) {
-      task.killers.push_back(executor_value);
-    }
-    if (blame && config_.quarantine_threshold > 0 &&
-        static_cast<int>(task.killers.size()) >= config_.quarantine_threshold) {
-      ++counters_.quarantined;
-      ++counters_.failed;
-      if (m_quarantined_) m_quarantined_->inc();
-      if (m_failed_) m_failed_->inc();
-      LOG_WARN("dispatcher",
-               "task %llu quarantined after killing %zu executors",
-               static_cast<unsigned long long>(task.spec.id.value),
-               task.killers.size());
-      TaskResult result;
-      result.task_id = task.spec.id;
-      result.executor_id = ExecutorId{executor_value};
-      result.state = TaskState::kFailed;
-      result.exit_code = -1;
-      result.stderr_data = "quarantined: poison task killed " +
-                           std::to_string(task.killers.size()) + " executors";
-      result.queue_time_s = task.dispatch_s - task.enqueue_s;
-      if (auto iit = instances_.find(task.instance.value);
-          iit != instances_.end()) {
-        to_route.push_back(
-            PendingRoute{task.instance, iit->second, std::move(result)});
+  {
+    std::lock_guard elock(entry->mu);
+    entry->removed = true;
+    set_state_locked(*entry, ExecState::kIdle);
+    // Prefetched-but-never-sent work goes straight back to the queue head.
+    drain_outbox_locked(*entry);
+    // Requeue anything in flight on this executor; under `blame` the death
+    // is charged to the tasks it held, and a task that has now killed
+    // config_.quarantine_threshold distinct executors is poison — fail it
+    // permanently instead of handing it to yet another victim.
+    for (auto& [task_id, dispatched] : entry->dispatched) {
+      DispatchedTask task = std::move(dispatched);
+      dispatched_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (blame && std::find(task.killers.begin(), task.killers.end(),
+                             executor_value) == task.killers.end()) {
+        task.killers.push_back(executor_value);
       }
-      continue;
+      if (blame && config_.quarantine_threshold > 0 &&
+          static_cast<int>(task.killers.size()) >=
+              config_.quarantine_threshold) {
+        n_quarantined_.fetch_add(1, std::memory_order_relaxed);
+        n_failed_.fetch_add(1, std::memory_order_relaxed);
+        if (m_quarantined_) m_quarantined_->inc();
+        if (m_failed_) m_failed_->inc();
+        LOG_WARN("dispatcher",
+                 "task %llu quarantined after killing %zu executors",
+                 static_cast<unsigned long long>(task.spec.id.value),
+                 task.killers.size());
+        TaskResult result;
+        result.task_id = task.spec.id;
+        result.executor_id = ExecutorId{executor_value};
+        result.state = TaskState::kFailed;
+        result.exit_code = -1;
+        result.stderr_data = "quarantined: poison task killed " +
+                             std::to_string(task.killers.size()) +
+                             " executors";
+        result.queue_time_s = task.dispatch_s - task.enqueue_s;
+        to_route.push_back(PendingRoute{task.instance, std::move(result)});
+        continue;
+      }
+      requeue_task(to_queued(std::move(task)), /*front=*/true);
+      ++requeued;
     }
-    requeue_locked(std::move(task), /*front=*/true);
-    ++requeued;
+    entry->dispatched.clear();
+    entry->inflight = 0;
   }
-  executors_.erase(it);
-  counters_.registered_executors =
-      static_cast<std::uint32_t>(executors_.size());
-  counters_.dispatched = dispatched_.size();
   LOG_DEBUG("dispatcher", "executor %llu deregistered (%s), %zu tasks requeued",
             static_cast<unsigned long long>(executor_value), reason.c_str(),
             requeued);
-}
-
-void Dispatcher::route_all(std::vector<PendingRoute>& to_route) {
-  for (auto& pending : to_route) {
-    route_result(pending.instance_id, pending.instance,
-                 std::move(pending.result));
-  }
-  to_route.clear();
+  return true;
 }
 
 Status Dispatcher::deregister_executor(ExecutorId executor_id,
                                        const std::string& reason) {
-  std::lock_guard lock(mu_);
-  auto it = executors_.find(executor_id.value);
-  if (it == executors_.end()) {
-    return make_error(ErrorCode::kNotFound, "no such executor");
-  }
   // An orderly deregistration never blames the executor's tasks, so no
   // quarantine results can be produced here.
   std::vector<PendingRoute> to_route;
-  remove_executor_locked(executor_id.value, reason, /*blame=*/false, to_route);
-  pump_notifications_locked();
+  if (!remove_executor(executor_id.value, reason, /*blame=*/false, to_route)) {
+    return make_error(ErrorCode::kNotFound, "no such executor");
+  }
+  route_all(to_route);
+  pump_notifications();
   return ok_status();
 }
 
 Status Dispatcher::heartbeat(ExecutorId executor_id) {
-  std::lock_guard lock(mu_);
   if (m_heartbeats_) m_heartbeats_->inc();
-  auto it = executors_.find(executor_id.value);
-  if (it == executors_.end()) {
-    if (suspected_.erase(executor_id.value) > 0) {
-      // The "dead" executor just beat: the detector was wrong.
-      ++counters_.false_suspicions;
-      if (m_false_suspicions_) m_false_suspicions_->inc();
-    }
-    return make_error(ErrorCode::kNotFound, "executor not registered");
-  }
-  it->second.last_heartbeat_s = clock_.now_s();
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) return unknown_executor(executor_id.value);
+  std::lock_guard elock(entry->mu);
+  if (entry->removed) return unknown_executor(executor_id.value);
+  entry->last_heartbeat_s = clock_.now_s();
   return ok_status();
 }
 
 int Dispatcher::check_liveness() {
   if (config_.heartbeat_timeout_s <= 0) return 0;
+  const double now = clock_.now_s();
+  std::vector<std::uint64_t> dead;
+  for (auto& entry : snapshot_entries()) {
+    std::lock_guard elock(entry->mu);
+    if (!entry->removed &&
+        now - entry->last_heartbeat_s > config_.heartbeat_timeout_s) {
+      dead.push_back(entry->id.value);
+    }
+  }
   std::vector<PendingRoute> to_route;
   int removed = 0;
-  {
-    std::lock_guard lock(mu_);
-    const double now = clock_.now_s();
-    std::vector<std::uint64_t> dead;
-    for (const auto& [id, entry] : executors_) {
-      if (now - entry.last_heartbeat_s > config_.heartbeat_timeout_s) {
-        dead.push_back(id);
-      }
-    }
-    for (auto id : dead) {
+  for (auto id : dead) {
+    {
+      std::lock_guard lock(suspect_mu_);
       suspected_.insert(id);
-      ++counters_.suspicions;
-      if (m_suspicions_) m_suspicions_->inc();
-      remove_executor_locked(id, "heartbeat timeout", /*blame=*/true,
-                             to_route);
-      ++removed;
     }
-    if (removed > 0) pump_notifications_locked();
+    n_suspicions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_suspicions_) m_suspicions_->inc();
+    (void)remove_executor(id, "heartbeat timeout", /*blame=*/true, to_route);
+    ++removed;
   }
+  if (removed > 0) pump_notifications();
   route_all(to_route);
   return removed;
 }
 
-ExecutorCandidate Dispatcher::candidate_locked(const ExecutorEntry& entry) {
-  ExecutorCandidate candidate;
-  candidate.id = entry.id;
-  const auto* objects = &entry.cached_objects;
-  candidate.has_cached = [objects](const std::string& object) {
-    return objects->count(object) > 0;
-  };
-  return candidate;
-}
+// ---------------------------------------------------------------- dispatch
 
-void Dispatcher::pump_notifications_locked() {
-  if (shutdown_) return;
+void Dispatcher::pump_notifications() {
+  if (shutdown_.load(std::memory_order_relaxed)) return;
   // Offer the queue head to idle executors, chosen by the dispatch policy,
-  // until we run out of either queued tasks or idle executors.
-  std::size_t queued = queue_.size();
-  while (queued > 0) {
+  // until we run out of either queued tasks or idle executors. `budget`
+  // bounds the number of notifications to the queue depth.
+  std::size_t budget;
+  {
+    std::lock_guard qlock(queue_mu_);
+    budget = queue_.size();
+  }
+  while (budget > 0) {
+    TaskSpec head;
+    {
+      std::lock_guard qlock(queue_mu_);
+      if (queue_.empty()) return;
+      budget = std::min(budget, queue_.size());
+      head = queue_.front().spec;
+    }
+    // Collect idle candidates one entry lock at a time (never two at once).
+    // Newest registration first (LIFO): keeps long-idle executors idle so
+    // the distributed release policy can reclaim them, and preserves the
+    // seed implementation's observable notification order.
+    auto entries = snapshot_entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return b->id < a->id; });
     std::vector<ExecutorCandidate> idle;
-    std::vector<ExecutorEntry*> idle_entries;
-    for (auto& [id, entry] : executors_) {
-      if (entry.state == ExecState::kIdle && !entry.release_requested) {
-        idle.push_back(candidate_locked(entry));
-        idle_entries.push_back(&entry);
+    std::vector<std::shared_ptr<ExecutorEntry>> idle_entries;
+    for (auto& entry : entries) {
+      std::lock_guard elock(entry->mu);
+      if (!entry->removed && entry->state == ExecState::kIdle &&
+          !entry->release_requested) {
+        idle.push_back(candidate_of(*entry));
+        idle_entries.push_back(entry);
       }
     }
     if (idle.empty()) return;
-    const std::size_t pick = std::min(
-        policy_->select(queue_.front().spec, idle), idle.size() - 1);
+    const std::size_t pick =
+        std::min(policy_->select(head, idle), idle.size() - 1);
     ExecutorEntry& chosen = *idle_entries[pick];
-    chosen.state = ExecState::kNotified;
-    chosen.notified_s = clock_.now_s();
+    {
+      std::lock_guard elock(chosen.mu);
+      if (chosen.removed || chosen.state != ExecState::kIdle ||
+          chosen.release_requested) {
+        // Lost the race to another exchange; rescan without spending budget.
+        continue;
+      }
+      set_state_locked(chosen, ExecState::kNotified);
+      chosen.notified_s = clock_.now_s();
+    }
     auto sink = chosen.sink;
     const ExecutorId id = chosen.id;
     if (m_notifications_) m_notifications_->inc();
     if (tracer_) {
       // Attribute the notification to the queue head — the task that made
       // the dispatcher wake this executor (it may end up pulling others).
-      tracer_->instant(queue_.front().spec.id, obs::Stage::kNotify,
-                       clock_.now_s(), id.value);
+      tracer_->instant(head.id, obs::Stage::kNotify, clock_.now_s(), id.value);
     }
+    --budget;
     if (config_.fault != nullptr &&
         config_.fault->sample(fault::Site::kDispatcherNotify).action ==
             fault::Action::kDrop) {
       // Lost notification: the executor stays kNotified with no wake-up;
       // only the stale-notification resend (renotify_timeout_s) or a
       // piggy-backed ack can recover it.
-      --queued;
       continue;
     }
     // The notification itself happens on the engine's thread pool {3}.
     (void)notify_pool_.submit([sink, id] {
       if (sink) sink->notify(id, id.value);
     });
-    --queued;
   }
 }
 
-std::vector<TaskSpec> Dispatcher::take_work_locked(ExecutorEntry& entry,
-                                                   std::uint32_t max_tasks) {
-  max_tasks = std::min(max_tasks, config_.max_tasks_per_dispatch);
-  if (max_tasks == 0) max_tasks = 1;
-  std::vector<TaskSpec> out;
-  double bundle_runtime = 0.0;
+void Dispatcher::dispatch_one_locked(ExecutorEntry& entry, QueuedTask task,
+                                     double now, std::vector<TaskSpec>& out) {
+  DispatchedTask dispatched;
+  dispatched.instance = task.instance;
+  dispatched.executor = entry.id;
+  dispatched.enqueue_s = task.enqueue_s;
+  dispatched.dispatch_s = now;
+  dispatched.attempts = task.attempts;
+  dispatched.killers = std::move(task.killers);
+  dispatched.spec = task.spec;
+  const std::uint64_t task_id = task.spec.id.value;
+  if (tracer_) {
+    tracer_->record(task.spec.id, obs::Stage::kQueued, task.enqueue_s, now);
+    tracer_->instant(task.spec.id, obs::Stage::kGetWork, now, entry.id.value);
+  }
+  if (m_queue_time_) m_queue_time_->record(now - task.enqueue_s);
+  out.push_back(std::move(task.spec));
+  entry.dispatched[task_id] = std::move(dispatched);
+  dispatched_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TaskSpec> Dispatcher::take_work_entry_locked(ExecutorEntry& entry,
+                                                         std::uint32_t max_tasks,
+                                                         bool adaptive) {
+  std::uint32_t target;
+  if (adaptive) {
+    // Size the bundle from queue pressure: an even share of the backlog,
+    // at least one task, capped so one executor is never handed the world.
+    const auto depth =
+        static_cast<std::uint64_t>(queue_size_.load(std::memory_order_relaxed)) +
+        entry.outbox.size();
+    const auto executors = std::max<std::uint32_t>(
+        1, registered_.load(std::memory_order_relaxed));
+    const std::uint64_t cap = std::max<std::uint32_t>(
+        1, config_.max_adaptive_bundle);
+    target = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(depth / executors, 1, cap));
+  } else {
+    target = std::min(max_tasks, config_.max_tasks_per_dispatch);
+    if (target == 0) target = 1;
+  }
   const double now = clock_.now_s();
-  while (out.size() < max_tasks && !queue_.empty()) {
-    // Let the policy pick a task from a lookahead window (data-aware
-    // scheduling); next-available always takes the head.
-    std::vector<const TaskSpec*> window;
-    const std::size_t window_size = std::min<std::size_t>(queue_.size(), 64);
-    window.reserve(window_size);
-    for (std::size_t i = 0; i < window_size; ++i) {
-      window.push_back(&queue_[i].spec);
-    }
-    const std::size_t pick =
-        std::min(policy_->select_task(candidate_locked(entry), window),
-                 window_size - 1);
-    // Estimate-balanced bundling: never grow a non-empty bundle past the
-    // runtime budget (section 3.4's runtime-estimate fix for imbalance).
-    if (config_.max_bundle_runtime_s > 0 && !out.empty() &&
-        bundle_runtime + queue_[pick].spec.estimated_runtime_s >
-            config_.max_bundle_runtime_s) {
+  const double budget = config_.max_bundle_runtime_s;
+  std::vector<TaskSpec> out;
+  out.reserve(std::min<std::size_t>(target, 256));
+  double bundle_runtime = 0.0;
+  bool budget_hit = false;
+
+  // Serve prefetched tasks first: they were claimed for this executor on a
+  // previous exchange, so this path never touches queue_mu_.
+  while (out.size() < target && !entry.outbox.empty()) {
+    const double est = entry.outbox.front().spec.estimated_runtime_s;
+    if (budget > 0 && !out.empty() && bundle_runtime + est > budget) {
+      budget_hit = true;
       break;
     }
-    QueuedTask task = std::move(queue_[pick]);
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
-
-    DispatchedTask dispatched;
-    dispatched.instance = task.instance;
-    dispatched.executor = entry.id;
-    dispatched.enqueue_s = task.enqueue_s;
-    dispatched.dispatch_s = now;
-    dispatched.attempts = task.attempts;
-    dispatched.killers = std::move(task.killers);
-    dispatched.spec = task.spec;
-    const std::uint64_t task_id = task.spec.id.value;
-    bundle_runtime += task.spec.estimated_runtime_s;
-    if (tracer_) {
-      tracer_->record(task.spec.id, obs::Stage::kQueued, task.enqueue_s, now);
-      tracer_->instant(task.spec.id, obs::Stage::kGetWork, now, entry.id.value);
-    }
-    if (m_queue_time_) m_queue_time_->record(now - task.enqueue_s);
-    out.push_back(std::move(task.spec));
-    dispatched_[task_id] = std::move(dispatched);
+    QueuedTask task = std::move(entry.outbox.front());
+    entry.outbox.pop_front();
+    outboxed_.fetch_sub(1, std::memory_order_relaxed);
+    bundle_runtime += est;
+    dispatch_one_locked(entry, std::move(task), now, out);
   }
-  if (m_dispatched_) {
+
+  if (!budget_hit && out.size() < target) {
+    std::lock_guard qlock(queue_mu_);
+    ExecutorCandidate self;
+    if (!policy_head_only_) self = candidate_of(entry);
+    while (out.size() < target && !queue_.empty()) {
+      // Let the policy pick a task from a lookahead window (data-aware
+      // scheduling); head-of-queue policies skip the window entirely.
+      std::size_t pick = 0;
+      if (!policy_head_only_) {
+        std::vector<const TaskSpec*> window;
+        const std::size_t window_size = std::min<std::size_t>(queue_.size(), 64);
+        window.reserve(window_size);
+        for (std::size_t i = 0; i < window_size; ++i) {
+          window.push_back(&queue_[i].spec);
+        }
+        pick = std::min(policy_->select_task(self, window), window_size - 1);
+      }
+      // Estimate-balanced bundling: never grow a non-empty bundle past the
+      // runtime budget (section 3.4's runtime-estimate fix for imbalance).
+      if (budget > 0 && !out.empty() &&
+          bundle_runtime + queue_[pick].spec.estimated_runtime_s > budget) {
+        break;
+      }
+      QueuedTask task = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      bundle_runtime += task.spec.estimated_runtime_s;
+      dispatch_one_locked(entry, std::move(task), now, out);
+    }
+    // Adaptive prefetch: while the backlog is deep, stash the next bundle
+    // in this executor's outbox so its next exchange skips queue_mu_
+    // entirely. Head-of-queue policies only — prefetching bypasses
+    // select_task, which would break data-aware picks.
+    if (adaptive && policy_head_only_ && !out.empty() &&
+        queue_.size() >= 2 * static_cast<std::size_t>(target)) {
+      for (std::uint32_t i = 0; i < target && !queue_.empty(); ++i) {
+        entry.outbox.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        outboxed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
+    if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
+
+  if (m_dispatched_ && !out.empty()) {
     m_dispatched_->inc(out.size());
-    m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
+  if (m_bundle_size_ && !out.empty()) {
+    m_bundle_size_->record(static_cast<double>(out.size()));
   }
   if (!out.empty()) {
-    entry.state = ExecState::kBusy;
+    set_state_locked(entry, ExecState::kBusy);
     entry.inflight += static_cast<std::uint32_t>(out.size());
   } else if (entry.inflight == 0) {
-    entry.state = ExecState::kIdle;
+    set_state_locked(entry, ExecState::kIdle);
   }
   entry.notified_s = -1.0;  // the executor pulled: notification consumed
-  counters_.queued = queue_.size();
-  counters_.dispatched = dispatched_.size();
-  std::uint32_t busy = 0;
-  for (const auto& [id, e] : executors_) {
-    if (e.state == ExecState::kBusy) ++busy;
-  }
-  counters_.busy_executors = busy;
-  counters_.idle_executors =
-      static_cast<std::uint32_t>(executors_.size()) - busy;
   return out;
 }
 
 Result<std::vector<TaskSpec>> Dispatcher::get_work(ExecutorId executor_id,
                                                    std::uint32_t max_tasks) {
-  std::lock_guard lock(mu_);
-  auto it = executors_.find(executor_id.value);
-  if (it == executors_.end()) {
-    if (suspected_.erase(executor_id.value) > 0) {
-      ++counters_.false_suspicions;
-      if (m_false_suspicions_) m_false_suspicions_->inc();
-    }
-    return make_error(ErrorCode::kNotFound, "executor not registered");
-  }
-  it->second.last_heartbeat_s = clock_.now_s();
-  return take_work_locked(it->second, max_tasks);
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) return unknown_executor(executor_id.value);
+  auto elock = lock_entry(*entry);
+  if (entry->removed) return unknown_executor(executor_id.value);
+  entry->last_heartbeat_s = clock_.now_s();
+  const bool adaptive = (max_tasks == wire::kAdaptiveBundle);
+  return take_work_entry_locked(*entry, max_tasks, adaptive);
 }
 
 void Dispatcher::route_result(InstanceId instance_id,
@@ -494,7 +717,7 @@ void Dispatcher::route_result(InstanceId instance_id,
   // Client notification {8}, sent off the delivery path.
   std::shared_ptr<ClientSink> sink;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(listeners_mu_);
     sink = client_sink_;
   }
   if (sink) {
@@ -504,52 +727,74 @@ void Dispatcher::route_result(InstanceId instance_id,
   }
 }
 
+void Dispatcher::route_all(std::vector<PendingRoute>& to_route) {
+  for (auto& pending : to_route) {
+    std::shared_ptr<Instance> instance;
+    {
+      std::lock_guard lock(inst_mu_);
+      auto it = instances_.find(pending.instance_id.value);
+      if (it != instances_.end()) instance = it->second;
+    }
+    if (instance) {
+      route_result(pending.instance_id, instance, std::move(pending.result));
+    }
+  }
+  to_route.clear();
+}
+
 Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
     ExecutorId executor_id, std::vector<TaskResult> results,
     std::uint32_t want_tasks) {
-  std::vector<PendingRoute> to_route;
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) {
+    // A delivery from a "dead" executor: it was alive all along. Its tasks
+    // were already requeued; dropping this delivery keeps the exactly-once
+    // result guarantee.
+    return unknown_executor(executor_id.value);
+  }
+  if (config_.fault != nullptr &&
+      config_.fault->sample(fault::Site::kDispatcherAck).action ==
+          fault::Action::kDrop) {
+    // Lost ack: the delivery "never arrived" — nothing is processed, the
+    // executor sees a failure and redelivers. The late-duplicate drop
+    // below keeps redelivered results exactly-once.
+    return make_error(ErrorCode::kUnavailable, "injected lost ack");
+  }
+
+  // A result accepted under the entry lock, held until the lock is
+  // released: the completion listener and instance routing run lock-free.
+  struct Accepted {
+    TaskResult result;
+    InstanceId instance;
+    bool route{false};
+  };
+  std::vector<Accepted> accepted;
   DeliverOutcome outcome;
+  bool pump_after = false;
+  double now;
   {
-    std::lock_guard lock(mu_);
-    auto it = executors_.find(executor_id.value);
-    if (it == executors_.end()) {
-      if (suspected_.erase(executor_id.value) > 0) {
-        // A delivery from a "dead" executor: it was alive all along. Its
-        // tasks were already requeued; dropping this delivery keeps the
-        // exactly-once result guarantee.
-        ++counters_.false_suspicions;
-        if (m_false_suspicions_) m_false_suspicions_->inc();
-      }
-      return make_error(ErrorCode::kNotFound, "executor not registered");
-    }
-    if (config_.fault != nullptr &&
-        config_.fault->sample(fault::Site::kDispatcherAck).action ==
-            fault::Action::kDrop) {
-      // Lost ack: the delivery "never arrived" — nothing is processed, the
-      // executor sees a failure and redelivers. The late-duplicate drop
-      // below keeps redelivered results exactly-once.
-      return make_error(ErrorCode::kUnavailable, "injected lost ack");
-    }
-    ExecutorEntry& entry = it->second;
-    entry.last_heartbeat_s = clock_.now_s();
-    const double now = clock_.now_s();
+    auto elock = lock_entry(*entry);
+    if (entry->removed) return unknown_executor(executor_id.value);
+    now = clock_.now_s();
+    entry->last_heartbeat_s = now;
 
     for (auto& result : results) {
-      auto dit = dispatched_.find(result.task_id.value);
-      if (dit == dispatched_.end()) {
-        // Late duplicate of a task already replayed elsewhere: drop it so
-        // the client sees exactly one result per task.
+      auto dit = entry->dispatched.find(result.task_id.value);
+      if (dit == entry->dispatched.end()) {
+        // Late duplicate of a task already replayed (possibly now owned by
+        // another executor): drop it so the client sees exactly one result
+        // per task.
         continue;
       }
       DispatchedTask dispatched = std::move(dit->second);
-      dispatched_.erase(dit);
-      if (entry.inflight > 0) --entry.inflight;
+      entry->dispatched.erase(dit);
+      dispatched_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (entry->inflight > 0) --entry->inflight;
       ++outcome.acknowledged;
 
       result.queue_time_s = dispatched.dispatch_s - dispatched.enqueue_s;
       result.overhead_s = (now - dispatched.dispatch_s) - result.exec_time_s;
       result.executor_id = executor_id;
-      overhead_stats_.add(result.overhead_s);
       if (tracer_) {
         // Result delivery {6}: from when execution finished (dispatch time
         // plus exec time, i.e. `now` minus the measured overhead) until the
@@ -559,101 +804,115 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
                         executor_id.value);
       }
       if (m_overhead_) m_overhead_->record(result.overhead_s);
-      if (completion_listener_) completion_listener_(result, now);
 
       // Mirror the executor's data cache for data-aware dispatch.
       if (!dispatched.spec.data_object.empty()) {
-        entry.cached_objects.insert(dispatched.spec.data_object);
+        cache_insert_locked(*entry, dispatched.spec.data_object);
       }
 
+      const InstanceId instance_id = dispatched.instance;
       const bool failed = !result.success();
       if (failed && config_.replay.retry_on_failure &&
           dispatched.attempts < config_.replay.max_retries) {
         ++dispatched.attempts;
-        ++counters_.retried;
+        n_retried_.fetch_add(1, std::memory_order_relaxed);
         if (m_retried_) m_retried_->inc();
-        requeue_locked(std::move(dispatched), /*front=*/false);
+        requeue_task(to_queued(std::move(dispatched)), /*front=*/false);
+        accepted.push_back(
+            Accepted{std::move(result), instance_id, /*route=*/false});
         continue;
       }
 
       if (failed) {
-        ++counters_.failed;
+        n_failed_.fetch_add(1, std::memory_order_relaxed);
         if (m_failed_) m_failed_->inc();
       } else {
-        ++counters_.completed;
+        n_completed_.fetch_add(1, std::memory_order_relaxed);
         if (m_completed_) m_completed_->inc();
       }
       if (tracer_) {
         tracer_->instant(result.task_id, obs::Stage::kAck, now,
                          executor_id.value);
       }
-      auto iit = instances_.find(dispatched.instance.value);
-      if (iit != instances_.end()) {
-        to_route.push_back(PendingRoute{dispatched.instance, iit->second,
-                                        std::move(result)});
-      }
+      accepted.push_back(
+          Accepted{std::move(result), instance_id, /*route=*/true});
     }
 
     // Piggy-back new work on the acknowledgement {7} (section 3.4).
-    if (want_tasks > 0 && config_.piggyback && !entry.release_requested) {
-      outcome.piggyback = take_work_locked(entry, want_tasks);
+    if (want_tasks > 0 && config_.piggyback && !entry->release_requested) {
+      const bool adaptive = (want_tasks == wire::kAdaptiveWant);
+      outcome.piggyback =
+          take_work_entry_locked(*entry, adaptive ? 1 : want_tasks, adaptive);
     }
     if (outcome.piggyback.empty()) {
-      if (entry.inflight == 0) {
-        entry.state = ExecState::kIdle;
+      if (entry->inflight == 0) {
+        set_state_locked(*entry, ExecState::kIdle);
+        // An idle executor must not sit on prefetched work.
+        drain_outbox_locked(*entry);
       }
-      pump_notifications_locked();
+      pump_after = true;
     }
-    counters_.queued = queue_.size();
-    counters_.dispatched = dispatched_.size();
-    std::uint32_t busy = 0;
-    for (const auto& [id, e] : executors_) {
-      if (e.state == ExecState::kBusy) ++busy;
-    }
-    counters_.busy_executors = busy;
-    counters_.idle_executors =
-        static_cast<std::uint32_t>(executors_.size()) - busy;
   }
-  route_all(to_route);
+
+  if (!accepted.empty()) {
+    {
+      std::lock_guard slock(stats_mu_);
+      for (const auto& a : accepted) {
+        overhead_stats_.add(a.result.overhead_s);
+      }
+    }
+    std::function<void(const TaskResult&, double)> listener;
+    {
+      std::lock_guard lock(listeners_mu_);
+      listener = completion_listener_;
+    }
+    if (listener) {
+      for (const auto& a : accepted) listener(a.result, now);
+    }
+    std::vector<PendingRoute> to_route;
+    to_route.reserve(accepted.size());
+    for (auto& a : accepted) {
+      if (a.route) {
+        to_route.push_back(PendingRoute{a.instance, std::move(a.result)});
+      }
+    }
+    route_all(to_route);
+  }
+  if (pump_after) pump_notifications();
   return outcome;
 }
 
 void Dispatcher::note_cached_object(ExecutorId executor_id,
                                     const std::string& object) {
   if (object.empty()) return;
-  std::lock_guard lock(mu_);
-  auto it = executors_.find(executor_id.value);
-  if (it != executors_.end()) it->second.cached_objects.insert(object);
-}
-
-void Dispatcher::requeue_locked(DispatchedTask task, bool front) {
-  QueuedTask queued;
-  queued.instance = task.instance;
-  queued.spec = std::move(task.spec);
-  queued.enqueue_s = task.enqueue_s;
-  queued.attempts = task.attempts;
-  queued.killers = std::move(task.killers);
-  if (front) {
-    queue_.push_front(std::move(queued));
-  } else {
-    queue_.push_back(std::move(queued));
-  }
-  counters_.queued = queue_.size();
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) return;
+  std::lock_guard elock(entry->mu);
+  if (!entry->removed) cache_insert_locked(*entry, object);
 }
 
 DispatcherStatus Dispatcher::status() const {
-  std::lock_guard lock(mu_);
-  DispatcherStatus snapshot = counters_;
-  snapshot.queued = queue_.size();
-  snapshot.dispatched = dispatched_.size();
-  snapshot.registered_executors =
-      static_cast<std::uint32_t>(executors_.size());
-  std::uint32_t busy = 0;
-  for (const auto& [id, entry] : executors_) {
-    if (entry.state == ExecState::kBusy) ++busy;
+  DispatcherStatus snapshot;
+  snapshot.submitted = n_submitted_.load(std::memory_order_relaxed);
+  snapshot.completed = n_completed_.load(std::memory_order_relaxed);
+  snapshot.failed = n_failed_.load(std::memory_order_relaxed);
+  snapshot.retried = n_retried_.load(std::memory_order_relaxed);
+  snapshot.suspicions = n_suspicions_.load(std::memory_order_relaxed);
+  snapshot.false_suspicions =
+      n_false_suspicions_.load(std::memory_order_relaxed);
+  snapshot.quarantined = n_quarantined_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard qlock(queue_mu_);
+    snapshot.queued = queue_.size();
   }
-  snapshot.busy_executors = busy;
-  snapshot.idle_executors = snapshot.registered_executors - busy;
+  // Prefetched tasks have not been handed to an executor yet: still queued.
+  snapshot.queued += outboxed_.load(std::memory_order_relaxed);
+  snapshot.dispatched = dispatched_count_.load(std::memory_order_relaxed);
+  snapshot.registered_executors = registered_.load(std::memory_order_relaxed);
+  const std::uint32_t busy = busy_.load(std::memory_order_relaxed);
+  snapshot.busy_executors = std::min(busy, snapshot.registered_executors);
+  snapshot.idle_executors = snapshot.registered_executors -
+                            snapshot.busy_executors;
   return snapshot;
 }
 
@@ -661,29 +920,30 @@ int Dispatcher::check_replays() {
   if (config_.replay.response_timeout_s <= 0) return 0;
   std::vector<PendingRoute> to_route;
   int requeued = 0;
-  {
-    std::lock_guard lock(mu_);
-    const double now = clock_.now_s();
+  bool any_overdue = false;
+  const double now = clock_.now_s();
+  for (auto& entry : snapshot_entries()) {
+    std::lock_guard elock(entry->mu);
+    if (entry->removed) continue;
     std::vector<std::uint64_t> overdue;
-    for (const auto& [task_id, task] : dispatched_) {
+    for (const auto& [task_id, task] : entry->dispatched) {
       const double deadline = task.dispatch_s +
                               config_.replay.response_timeout_s +
                               task.spec.estimated_runtime_s;
       if (now >= deadline) overdue.push_back(task_id);
     }
+    if (overdue.empty()) continue;
+    any_overdue = true;
     for (auto task_id : overdue) {
-      auto node = dispatched_.extract(task_id);
+      auto node = entry->dispatched.extract(task_id);
       DispatchedTask task = std::move(node.mapped());
-      auto eit = executors_.find(task.executor.value);
-      if (eit != executors_.end() && eit->second.inflight > 0) {
-        --eit->second.inflight;
-        if (eit->second.inflight == 0) eit->second.state = ExecState::kIdle;
-      }
+      dispatched_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (entry->inflight > 0) --entry->inflight;
       if (task.attempts >= config_.replay.max_retries) {
         // Retry budget exhausted while the task sat on an unresponsive
         // executor: fail it permanently so it reaches a terminal state
-        // instead of lingering in dispatched_ forever.
-        ++counters_.failed;
+        // instead of lingering in the dispatched map forever.
+        n_failed_.fetch_add(1, std::memory_order_relaxed);
         if (m_failed_) m_failed_->inc();
         TaskResult result;
         result.task_id = task.spec.id;
@@ -692,42 +952,44 @@ int Dispatcher::check_replays() {
         result.exit_code = -1;
         result.stderr_data = "replay timeout: retry budget exhausted";
         result.queue_time_s = task.dispatch_s - task.enqueue_s;
-        if (auto iit = instances_.find(task.instance.value);
-            iit != instances_.end()) {
-          to_route.push_back(
-              PendingRoute{task.instance, iit->second, std::move(result)});
-        }
+        to_route.push_back(PendingRoute{task.instance, std::move(result)});
         continue;
       }
       ++task.attempts;
-      ++counters_.retried;
+      n_retried_.fetch_add(1, std::memory_order_relaxed);
       if (m_retried_) m_retried_->inc();
-      requeue_locked(std::move(task), /*front=*/true);
+      requeue_task(to_queued(std::move(task)), /*front=*/true);
       ++requeued;
     }
-    counters_.dispatched = dispatched_.size();
-    if (!overdue.empty()) pump_notifications_locked();
+    // The executor missed its response deadline: reclaim any prefetched
+    // work so it cannot black-hole that too.
+    drain_outbox_locked(*entry);
+    if (entry->inflight == 0) set_state_locked(*entry, ExecState::kIdle);
   }
+  if (any_overdue) pump_notifications();
   route_all(to_route);
   return requeued;
 }
 
 void Dispatcher::renotify_stale() {
   if (config_.renotify_timeout_s <= 0) return;
-  std::lock_guard lock(mu_);
-  if (shutdown_) return;
+  if (shutdown_.load(std::memory_order_relaxed)) return;
   const double now = clock_.now_s();
-  for (auto& [id, entry] : executors_) {
-    if (entry.state != ExecState::kNotified || entry.notified_s < 0 ||
-        now - entry.notified_s <= config_.renotify_timeout_s) {
+  std::vector<std::pair<std::shared_ptr<ExecutorSink>, ExecutorId>> to_notify;
+  for (auto& entry : snapshot_entries()) {
+    std::lock_guard elock(entry->mu);
+    if (entry->removed || entry->state != ExecState::kNotified ||
+        entry->notified_s < 0 ||
+        now - entry->notified_s <= config_.renotify_timeout_s) {
       continue;
     }
     // The executor was notified but never pulled: the notification was
     // lost (or the push channel is slow). Send another one.
-    entry.notified_s = now;
+    entry->notified_s = now;
     if (m_renotifies_) m_renotifies_->inc();
-    auto sink = entry.sink;
-    const ExecutorId executor_id = entry.id;
+    to_notify.emplace_back(entry->sink, entry->id);
+  }
+  for (auto& [sink, executor_id] : to_notify) {
     (void)notify_pool_.submit([sink, executor_id] {
       if (sink) sink->notify(executor_id, executor_id.value);
     });
@@ -737,15 +999,14 @@ void Dispatcher::renotify_stale() {
 std::vector<ExecutorId> Dispatcher::request_release(int count) {
   std::vector<ExecutorId> released;
   std::vector<std::pair<std::shared_ptr<ExecutorSink>, ExecutorId>> to_notify;
-  {
-    std::lock_guard lock(mu_);
-    for (auto& [id, entry] : executors_) {
-      if (static_cast<int>(released.size()) >= count) break;
-      if (entry.state == ExecState::kIdle && !entry.release_requested) {
-        entry.release_requested = true;
-        released.push_back(entry.id);
-        to_notify.emplace_back(entry.sink, entry.id);
-      }
+  for (auto& entry : snapshot_entries()) {
+    if (static_cast<int>(released.size()) >= count) break;
+    std::lock_guard elock(entry->mu);
+    if (!entry->removed && entry->state == ExecState::kIdle &&
+        !entry->release_requested) {
+      entry->release_requested = true;
+      released.push_back(entry->id);
+      to_notify.emplace_back(entry->sink, entry->id);
     }
   }
   for (auto& [sink, id] : to_notify) {
@@ -756,17 +1017,17 @@ std::vector<ExecutorId> Dispatcher::request_release(int count) {
 
 void Dispatcher::set_completion_listener(
     std::function<void(const TaskResult&, double)> listener) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(listeners_mu_);
   completion_listener_ = std::move(listener);
 }
 
 void Dispatcher::set_client_sink(std::shared_ptr<ClientSink> sink) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(listeners_mu_);
   client_sink_ = std::move(sink);
 }
 
 Accumulator Dispatcher::overhead_stats() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(stats_mu_);
   return overhead_stats_;
 }
 

@@ -13,8 +13,23 @@
 // notification through an ExecutorSink {3}; the executor pulls work with
 // get_work {4,5}, executes, and delivers results {6}; the acknowledgement
 // {7} optionally piggy-backs the next task(s) (section 3.4).
+//
+// Locking (the dispatch hot path is sharded; there is no global lock):
+//   * The executor registry is split into `executor_shards` shards, each a
+//     mutex + id->entry map. A shard mutex only guards map membership;
+//     entry state lives behind the entry's own mutex, so concurrent
+//     get_work/deliver_results for different executors never contend.
+//   * The wait queue has its own mutex (`queue_mu_`), instances another
+//     (`inst_mu_`). Lock order: inst_mu_ -> queue_mu_, entry->mu ->
+//     queue_mu_; shard mutexes and instance mutexes are leaves; two entry
+//     mutexes are never held together.
+//   * Counters are atomics; busy_ is maintained incrementally on state
+//     transitions instead of recounted under a global lock.
+//   * Result routing and the completion listener run outside all
+//     dispatcher locks.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -60,6 +75,18 @@ struct DispatcherConfig {
   /// its summed estimated runtime reaches this budget, so one executor is
   /// never handed many long tasks. 0 disables the budget (count-only cap).
   double max_bundle_runtime_s{0.0};
+
+  /// Cap for adaptively sized bundles: when an executor requests
+  /// wire::kAdaptiveBundle / wire::kAdaptiveWant, the dispatcher targets
+  /// clamp(queue_depth / registered_executors, 1, max_adaptive_bundle)
+  /// tasks per exchange (still honouring max_bundle_runtime_s). Adaptive
+  /// requests deliberately ignore max_tasks_per_dispatch.
+  std::uint32_t max_adaptive_bundle{256};
+
+  /// Shards in the executor registry. Executor ids hash onto shards, so
+  /// exchanges from different executors proceed under different locks.
+  /// Values < 1 are treated as 1.
+  int executor_shards{8};
 
   /// Observability context (metrics + lifecycle tracing); nullptr disables
   /// all instrumentation at zero cost. See docs/OBSERVABILITY.md.
@@ -162,6 +189,8 @@ class Dispatcher {
 
   /// Pull work {4,5}: up to `max_tasks` tasks for this executor (respecting
   /// the dispatch policy's task selection, e.g. data-aware).
+  /// `max_tasks == wire::kAdaptiveBundle` asks the dispatcher to size the
+  /// bundle from current queue depth.
   Result<std::vector<TaskSpec>> get_work(ExecutorId executor,
                                          std::uint32_t max_tasks);
 
@@ -171,7 +200,8 @@ class Dispatcher {
   };
 
   /// Deliver results {6} and acknowledge {7}, optionally piggy-backing up
-  /// to `want_tasks` new tasks in the acknowledgement.
+  /// to `want_tasks` new tasks in the acknowledgement (or an adaptively
+  /// sized bundle for wire::kAdaptiveWant).
   Result<DeliverOutcome> deliver_results(ExecutorId executor,
                                          std::vector<TaskResult> results,
                                          std::uint32_t want_tasks);
@@ -248,6 +278,14 @@ class Dispatcher {
     ExecutorId id;
     wire::RegisterRequest info;
     std::shared_ptr<ExecutorSink> sink;
+
+    /// Guards every mutable field below. Held while exchanging work with
+    /// this executor; never held together with another entry's mutex.
+    std::mutex mu;
+    /// Set when the entry has been unlinked from its shard; a caller that
+    /// grabbed the shared_ptr just before removal sees it and treats the
+    /// executor as deregistered.
+    bool removed{false};
     ExecState state{ExecState::kIdle};
     std::uint32_t inflight{0};
     double registered_s{0.0};
@@ -255,8 +293,24 @@ class Dispatcher {
     /// When the pending notification was sent (-1: none outstanding);
     /// drives the stale-notification resend.
     double notified_s{-1.0};
-    std::unordered_set<std::string> cached_objects;
+    /// Copy-on-write: candidates snapshot the set, so the data-aware
+    /// policy can probe it after the entry lock is released.
+    std::shared_ptr<const std::unordered_set<std::string>> cached_objects;
     bool release_requested{false};
+    /// This executor's in-flight tasks (by TaskId). Sharded counterpart of
+    /// the old global dispatched map: a late duplicate from an executor
+    /// that no longer owns the task misses here and is dropped.
+    std::unordered_map<std::uint64_t, DispatchedTask> dispatched;
+    /// Prefetched tasks claimed for this executor while the queue lock was
+    /// already held; the next adaptive exchange serves them without
+    /// touching queue_mu_. Reclaimed into the queue whenever the executor
+    /// goes idle, times out, or deregisters.
+    std::deque<QueuedTask> outbox;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<ExecutorEntry>> entries;
   };
 
   /// Per-instance result mailbox; shared_ptr so waiters survive destroy.
@@ -268,47 +322,80 @@ class Dispatcher {
     bool open{true};
   };
 
-  /// A result ready to be routed to its instance mailbox once mu_ is
-  /// released (route_result re-locks instance mutexes).
+  /// A result ready to be routed to its instance mailbox once dispatcher
+  /// locks are released (route_all resolves the instance then).
   struct PendingRoute {
     InstanceId instance_id;
-    std::shared_ptr<Instance> instance;
     TaskResult result;
   };
 
-  // Requires mu_ held. Schedules notifications for idle executors while
-  // there is queued work.
-  void pump_notifications_locked();
+  Shard& shard_for(std::uint64_t executor_value);
+  std::shared_ptr<ExecutorEntry> find_entry(std::uint64_t executor_value);
+  std::vector<std::shared_ptr<ExecutorEntry>> snapshot_entries();
 
-  // Requires mu_ held. Removes one executor and requeues its in-flight
-  // tasks; with `blame` set the executor's death is charged to those tasks
-  // and ones past the quarantine threshold are failed permanently into
-  // `to_route`.
-  void remove_executor_locked(std::uint64_t executor_value,
-                              const std::string& reason, bool blame,
-                              std::vector<PendingRoute>& to_route);
+  /// Lock an entry, recording the wait in falkon.dispatcher.lock_wait_s
+  /// when the acquisition actually contended.
+  std::unique_lock<std::mutex> lock_entry(ExecutorEntry& entry);
+
+  // Requires entry.mu held. State transition keeping busy_ incremental.
+  void set_state_locked(ExecutorEntry& entry, ExecState next);
+
+  // Requires entry.mu held.
+  void cache_insert_locked(ExecutorEntry& entry, const std::string& object);
+
+  ExecutorCandidate candidate_of(const ExecutorEntry& entry);
+
+  /// Bookkeeping for an operation naming an unregistered executor: clears
+  /// a pending suspicion (false positive) and returns kNotFound.
+  Error unknown_executor(std::uint64_t executor_value);
+
+  /// Offer the queue head to idle executors, chosen by the dispatch
+  /// policy, until either runs out. Takes no lock on entry; safe to call
+  /// from any thread.
+  void pump_notifications();
+
+  /// Remove one executor and requeue its in-flight tasks; with `blame` set
+  /// the executor's death is charged to those tasks and ones past the
+  /// quarantine threshold are failed permanently into `to_route`. Returns
+  /// false when the executor was not registered.
+  bool remove_executor(std::uint64_t executor_value, const std::string& reason,
+                       bool blame, std::vector<PendingRoute>& to_route);
 
   void route_all(std::vector<PendingRoute>& to_route);
-
-  void sweeper_loop();
-
-  // Requires mu_ held. Pops up to max_tasks for `entry` honouring the
-  // dispatch policy; updates entry state and the dispatched map.
-  std::vector<TaskSpec> take_work_locked(ExecutorEntry& entry,
-                                         std::uint32_t max_tasks);
-
-  // Requires mu_ held.
-  void requeue_locked(DispatchedTask task, bool front);
-
-  ExecutorCandidate candidate_locked(const ExecutorEntry& entry);
 
   void route_result(InstanceId instance_id,
                     const std::shared_ptr<Instance>& instance,
                     TaskResult result);
 
+  void sweeper_loop();
+
+  // Requires entry.mu held (NOT queue_mu_). Pops up to max_tasks for
+  // `entry` honouring the dispatch policy; `adaptive` sizes the bundle
+  // from queue depth instead. Updates entry state and its dispatched map.
+  std::vector<TaskSpec> take_work_entry_locked(ExecutorEntry& entry,
+                                               std::uint32_t max_tasks,
+                                               bool adaptive);
+
+  // Requires entry.mu held. Moves one queued task into the entry's
+  // dispatched map and appends its spec to `out`.
+  void dispatch_one_locked(ExecutorEntry& entry, QueuedTask task, double now,
+                           std::vector<TaskSpec>& out);
+
+  // Requires entry.mu held. Returns the entry's prefetched tasks to the
+  // front of the wait queue.
+  void drain_outbox_locked(ExecutorEntry& entry);
+
+  // Takes queue_mu_ internally.
+  void requeue_task(QueuedTask task, bool front);
+
+  static QueuedTask to_queued(DispatchedTask task);
+
   Clock& clock_;
   DispatcherConfig config_;
   std::unique_ptr<DispatchPolicy> policy_;
+  /// Cached policy_->selects_queue_head(): skips the per-pop lookahead
+  /// window for head-of-queue policies (the common case).
+  bool policy_head_only_{false};
   ThreadPool notify_pool_;
 
   // Observability handles, resolved once at construction; all null when
@@ -329,23 +416,55 @@ class Dispatcher {
   obs::Gauge* m_queue_depth_{nullptr};
   obs::Histogram* m_queue_time_{nullptr};
   obs::Histogram* m_overhead_{nullptr};
+  obs::Histogram* m_bundle_size_{nullptr};
+  obs::Histogram* m_lock_wait_{nullptr};
 
-  mutable std::mutex mu_;
+  // ---- sharded executor registry ----
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t shard_count_{1};
+
+  // ---- wait queue ----
+  mutable std::mutex queue_mu_;
   std::deque<QueuedTask> queue_;
-  std::unordered_map<std::uint64_t, DispatchedTask> dispatched_;  // by TaskId
-  std::unordered_map<std::uint64_t, ExecutorEntry> executors_;    // by ExecutorId
+  /// Relaxed mirror of queue_.size() read by adaptive bundle sizing
+  /// without taking queue_mu_.
+  std::atomic<std::size_t> queue_size_{0};
+
+  // ---- client instances ----
+  std::mutex inst_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Instance>> instances_;
-  IdGenerator<InstanceId> instance_ids_;
-  IdGenerator<ExecutorId> executor_ids_;
-  DispatcherStatus counters_;
-  Accumulator overhead_stats_;
+  IdGenerator<InstanceId> instance_ids_;  // guarded by inst_mu_
+
+  std::mutex ids_mu_;
+  IdGenerator<ExecutorId> executor_ids_;  // guarded by ids_mu_
+
+  std::mutex listeners_mu_;
   std::function<void(const TaskResult&, double)> completion_listener_;
   std::shared_ptr<ClientSink> client_sink_;
+
+  mutable std::mutex stats_mu_;
+  Accumulator overhead_stats_;
+
   /// Executors removed by the failure detector; a later heartbeat or
   /// delivery from one of these ids is counted as a false suspicion.
   /// Bounded by the number of detector verdicts in the process lifetime.
+  std::mutex suspect_mu_;
   std::unordered_set<std::uint64_t> suspected_;
-  bool shutdown_{false};
+
+  // ---- counters (lock-free snapshots for status()) ----
+  std::atomic<std::uint64_t> n_submitted_{0};
+  std::atomic<std::uint64_t> n_completed_{0};
+  std::atomic<std::uint64_t> n_failed_{0};
+  std::atomic<std::uint64_t> n_retried_{0};
+  std::atomic<std::uint64_t> n_suspicions_{0};
+  std::atomic<std::uint64_t> n_false_suspicions_{0};
+  std::atomic<std::uint64_t> n_quarantined_{0};
+  std::atomic<std::uint64_t> dispatched_count_{0};
+  std::atomic<std::uint64_t> outboxed_{0};
+  std::atomic<std::uint32_t> registered_{0};
+  std::atomic<std::uint32_t> busy_{0};
+
+  std::atomic<bool> shutdown_{false};
 
   // Background recovery sweeper (runs when config_.sweep_interval_s > 0).
   std::thread sweeper_;

@@ -141,6 +141,11 @@ void ExecutorRuntime::work_loop() {
   std::string exit_reason = "stopped";
   std::vector<TaskSpec> pending;  // pre-fetched bundle
   double idle_since = clock_.now_s();  // for poll-mode idle accounting
+  const std::uint32_t pull_size =
+      options_.adaptive_bundle ? wire::kAdaptiveBundle : options_.max_bundle;
+  const std::uint32_t want_size = options_.adaptive_bundle
+                                      ? wire::kAdaptiveWant
+                                      : options_.piggyback_tasks;
 
   for (;;) {
     bool dispatcher_gone = false;
@@ -154,7 +159,7 @@ void ExecutorRuntime::work_loop() {
         pending.clear();
       } else {
         auto work =
-            call_with_retry([&] { return link_.get_work(id_, options_.max_bundle); });
+            call_with_retry([&] { return link_.get_work(id_, pull_size); });
         if (!work.ok()) {
           dispatcher_gone = true;
           exit_reason = "dispatcher unreachable";
@@ -174,7 +179,7 @@ void ExecutorRuntime::work_loop() {
       // Pre-fetch (section 6): grab the next bundle before executing, so
       // dispatch latency overlaps with execution.
       if (options_.prefetch) {
-        auto next = link_.get_work(id_, options_.max_bundle);
+        auto next = link_.get_work(id_, pull_size);
         if (next.ok()) pending = next.take();
       }
 
@@ -226,8 +231,7 @@ void ExecutorRuntime::work_loop() {
       if (crashed_.load()) break;
 
       if (results.empty()) continue;  // every task hung: nothing to deliver
-      const std::uint32_t want =
-          stop_requested_.load() ? 0 : options_.piggyback_tasks;
+      const std::uint32_t want = stop_requested_.load() ? 0 : want_size;
       auto results_shared =
           std::make_shared<std::vector<TaskResult>>(std::move(results));
       auto ack = call_with_retry([&] {

@@ -61,6 +61,11 @@ struct ExecutorOptions {
   std::uint32_t max_bundle{1};
   /// Piggy-back request size on result delivery (0 disables; paper enables).
   std::uint32_t piggyback_tasks{1};
+  /// Adaptive wire bundling: ignore max_bundle/piggyback_tasks and send the
+  /// wire::kAdaptiveBundle / wire::kAdaptiveWant sentinels instead, letting
+  /// the dispatcher size each bundle from current queue depth (capped by
+  /// DispatcherConfig::max_adaptive_bundle and max_bundle_runtime_s).
+  bool adaptive_bundle{false};
   /// Distributed release policy: deregister after this much idle model time
   /// (<= 0: never release — Falkon-inf).
   double idle_timeout_s{0.0};

@@ -50,6 +50,13 @@ class DispatchPolicy {
   /// the task it should receive. Default: head of queue.
   [[nodiscard]] virtual std::size_t select_task(
       const ExecutorCandidate& self, const std::vector<const TaskSpec*>& queue);
+
+  /// True when select_task always picks the head of the queue. The
+  /// dispatcher then skips building the lookahead window for every popped
+  /// task, which is the dominant per-task cost on the dispatch hot path.
+  /// Conservative default: any policy that overrides select_task keeps the
+  /// window unless it also opts in here.
+  [[nodiscard]] virtual bool selects_queue_head() const { return false; }
 };
 
 /// Paper's evaluated policy: "dispatches each task to the next available
@@ -61,6 +68,7 @@ class NextAvailablePolicy final : public DispatchPolicy {
       const TaskSpec&, const std::vector<ExecutorCandidate>&) override {
     return 0;
   }
+  [[nodiscard]] bool selects_queue_head() const override { return true; }
 };
 
 /// Paper section 6 (future work, implemented here): prefer executors whose

@@ -20,12 +20,13 @@ Result<Expected> expect(Result<wire::Message> reply) {
 }  // namespace
 
 TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
-    : dispatcher_(dispatcher) {
+    : dispatcher_(dispatcher), obs_(obs) {
   if (obs != nullptr) {
     obs::Registry& reg = obs->registry();
     m_requests_ = &reg.counter("falkon.net.rpc.requests");
     m_errors_ = &reg.counter("falkon.net.rpc.errors");
     m_pushes_ = &reg.counter("falkon.net.push.notifications");
+    m_pending_bundles_ = &reg.gauge("falkon.net.rpc.pending_bundles");
   }
 }
 
@@ -34,12 +35,20 @@ TcpDispatcherServer::~TcpDispatcherServer() { stop(); }
 Status TcpDispatcherServer::start(std::uint16_t rpc_port,
                                   std::uint16_t push_port,
                                   fault::FaultInjector* fault) {
-  if (auto status = push_.start(push_port, fault); !status.ok()) return status;
+  if (auto status = push_.start(push_port, fault, obs_); !status.ok()) {
+    return status;
+  }
   sink_ = std::make_shared<PushSink>(push_, m_pushes_);
   client_sink_ = std::make_shared<ClientPushSink>(push_);
   dispatcher_.set_client_sink(client_sink_);
+  // A shared handler pool keeps slow/blocking handlers (wait_results with a
+  // timeout) from stalling pipelined calls on the same connection, which a
+  // per-connection inline handler would serialise.
+  net::RpcServerOptions options;
+  options.handler_threads = 16;
+  options.obs = obs_;
   return rpc_.start([this](const wire::Message& m) { return handle(m); },
-                    rpc_port, fault);
+                    rpc_port, fault, options);
 }
 
 void TcpDispatcherServer::stop() {
@@ -117,6 +126,36 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     reply.piggyback_tasks = std::move(result.value().piggyback);
     return reply;
   }
+  if (const auto* m = std::get_if<ResultBundle>(&request)) {
+    // Batched-ack bookkeeping: the echoed ack_seq retires the executor's
+    // outstanding bundle in one shot (no per-task ack traffic).
+    if (m->ack_seq != 0) {
+      std::lock_guard lock(bundles_mu_);
+      auto it = pending_bundles_.find(m->executor_id.value);
+      if (it != pending_bundles_.end() && m->ack_seq >= it->second) {
+        pending_bundles_.erase(it);
+      }
+      if (m_pending_bundles_) {
+        m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
+      }
+    }
+    auto result = dispatcher_.deliver_results(m->executor_id, m->results,
+                                              m->want_tasks);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    TaskBundle reply;
+    reply.executor_id = m->executor_id;
+    reply.acknowledged = result.value().acknowledged;
+    reply.tasks = std::move(result.value().piggyback);
+    if (!reply.tasks.empty()) {
+      reply.bundle_seq = bundle_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::lock_guard lock(bundles_mu_);
+      pending_bundles_[m->executor_id.value] = reply.bundle_seq;
+      if (m_pending_bundles_) {
+        m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
+      }
+    }
+    return reply;
+  }
   if (const auto* m = std::get_if<HeartbeatRequest>(&request)) {
     auto result = dispatcher_.heartbeat(m->executor_id);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
@@ -124,6 +163,13 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
   }
   if (const auto* m = std::get_if<DeregisterRequest>(&request)) {
     push_.drop_subscriber(m->executor_id.value);
+    {
+      std::lock_guard lock(bundles_mu_);
+      pending_bundles_.erase(m->executor_id.value);
+      if (m_pending_bundles_) {
+        m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
+      }
+    }
     auto result = dispatcher_.deregister_executor(m->executor_id, m->reason);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
     return DeregisterReply{};
@@ -138,12 +184,14 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
 
 Status TcpExecutorHarness::Link::connect(const std::string& host,
                                          std::uint16_t rpc_port,
-                                         fault::FaultInjector* fault) {
+                                         fault::FaultInjector* fault,
+                                         obs::Obs* obs) {
   std::lock_guard lock(mu_);
   host_ = host;
   rpc_port_ = rpc_port;
   fault_ = fault;
-  auto client = net::RpcClient::connect(host_, rpc_port_, fault_);
+  obs_ = obs;
+  auto client = net::RpcClient::connect(host_, rpc_port_, fault_, obs_);
   if (!client.ok()) return client.error();
   rpc_ = std::make_unique<net::RpcClient>(client.take());
   return ok_status();
@@ -153,7 +201,7 @@ Result<wire::Message> TcpExecutorHarness::Link::roundtrip(
     const wire::Message& request) {
   std::lock_guard lock(mu_);
   if (rpc_ == nullptr) {
-    auto client = net::RpcClient::connect(host_, rpc_port_, fault_);
+    auto client = net::RpcClient::connect(host_, rpc_port_, fault_, obs_);
     if (!client.ok()) return client.error();
     rpc_ = std::make_unique<net::RpcClient>(client.take());
   }
@@ -190,13 +238,21 @@ Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::get_work(
 Result<std::vector<TaskSpec>> TcpExecutorHarness::Link::deliver_results(
     ExecutorId executor, std::vector<TaskResult> results,
     std::uint32_t want_tasks) {
-  wire::ResultRequest request;
+  wire::ResultBundle request;
   request.executor_id = executor;
+  {
+    std::lock_guard lock(mu_);
+    request.ack_seq = last_bundle_seq_;
+  }
   request.results = std::move(results);
   request.want_tasks = want_tasks;
-  auto reply = expect<wire::ResultReply>(roundtrip(request));
+  auto reply = expect<wire::TaskBundle>(roundtrip(request));
   if (!reply.ok()) return reply.error();
-  return std::move(reply.value().piggyback_tasks);
+  if (reply.value().bundle_seq != 0) {
+    std::lock_guard lock(mu_);
+    last_bundle_seq_ = reply.value().bundle_seq;
+  }
+  return std::move(reply.value().tasks);
 }
 
 Status TcpExecutorHarness::Link::deregister(ExecutorId executor,
@@ -235,7 +291,8 @@ TcpExecutorHarness::TcpExecutorHarness(Clock& clock, std::string host,
 TcpExecutorHarness::~TcpExecutorHarness() { stop(); }
 
 Status TcpExecutorHarness::start() {
-  if (auto status = link_.connect(host_, rpc_port_, options_.fault);
+  if (auto status = link_.connect(host_, rpc_port_, options_.fault,
+                                  options_.obs);
       !status.ok()) {
     return status;
   }

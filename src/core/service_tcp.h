@@ -8,8 +8,11 @@
 // TcpDispatcherClient is the client-side stub.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/client.h"
 #include "core/dispatcher.h"
@@ -77,6 +80,7 @@ class TcpDispatcherServer {
   [[nodiscard]] wire::Message dispatch(const wire::Message& request);
 
   Dispatcher& dispatcher_;
+  obs::Obs* obs_{nullptr};
   net::RpcServer rpc_;
   net::PushServer push_;
   std::shared_ptr<PushSink> sink_;
@@ -84,6 +88,15 @@ class TcpDispatcherServer {
   obs::Counter* m_requests_{nullptr};
   obs::Counter* m_errors_{nullptr};
   obs::Counter* m_pushes_{nullptr};
+  obs::Gauge* m_pending_bundles_{nullptr};
+
+  /// Batched acknowledgements (section 3.4): every non-empty TaskBundle
+  /// gets a sequence number; the executor acks the whole bundle by echoing
+  /// it in its next ResultBundle.ack_seq instead of per-task acks.
+  std::atomic<std::uint64_t> bundle_seq_{0};
+  std::mutex bundles_mu_;
+  /// executor id -> last bundle_seq sent and not yet echoed back.
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_bundles_;
 };
 
 /// Client-side subscription to result notifications {8}: connects to the
@@ -122,9 +135,11 @@ class TcpExecutorHarness {
   class Link final : public DispatcherLink {
    public:
     /// `fault` (optional) makes every (re)connect and request pass through
-    /// the injector, exercising the reconnect path below.
+    /// the injector, exercising the reconnect path below. `obs` (optional)
+    /// feeds the RPC client's pipelining instrumentation.
     Status connect(const std::string& host, std::uint16_t rpc_port,
-                   fault::FaultInjector* fault = nullptr);
+                   fault::FaultInjector* fault = nullptr,
+                   obs::Obs* obs = nullptr);
 
     Result<ExecutorId> register_executor(
         const wire::RegisterRequest& request) override;
@@ -147,7 +162,11 @@ class TcpExecutorHarness {
     std::string host_;
     std::uint16_t rpc_port_{0};
     fault::FaultInjector* fault_{nullptr};
+    obs::Obs* obs_{nullptr};
     std::unique_ptr<net::RpcClient> rpc_;
+    /// Highest TaskBundle.bundle_seq received; echoed as the batched ack
+    /// in the next ResultBundle (guarded by mu_).
+    std::uint64_t last_bundle_seq_{0};
   };
 
   Clock& clock_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "common/logging.h"
@@ -10,12 +12,42 @@
 namespace falkon::net {
 namespace {
 
+/// Frames drained from a connection outbox per gathered write. Bounds the
+/// latency a just-enqueued reply waits behind a long drain while still
+/// amortising the syscall across a burst.
+constexpr std::size_t kMaxCoalesce = 16;
+
+void corrupt_payload(std::vector<std::uint8_t>& payload) {
+  // Flip payload bytes only: the peer reads a well-framed message that
+  // fails to decode, exercising the protocol-error path without
+  // desynchronising the stream. The type byte lands outside the enum so
+  // corruption is always detected, never silently misread.
+  if (!payload.empty()) {
+    payload[0] ^= 0x80;
+    payload[payload.size() / 2] ^= 0xff;
+  }
+}
+
+/// Write a header promising the full payload, deliver only half, then
+/// sever: the peer's read_frame sees a truncated frame.
+void truncate_and_sever(TcpStream& stream, std::uint64_t corr,
+                        const std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[wire::kFrameHeaderBytes];
+  wire::put_frame_header(header, corr,
+                         static_cast<std::uint32_t>(payload.size()));
+  (void)stream.write_all(header, wire::kFrameHeaderBytes);
+  if (payload.size() > 1) {
+    (void)stream.write_all(payload.data(), payload.size() / 2);
+  }
+  stream.shutdown();
+}
+
 /// Apply a sampled fault to an outgoing frame. A clean ok_status() means
 /// the caller should write `payload` normally (it may have been corrupted
 /// in place — framing stays aligned because the length prefix is intact);
 /// an error means the fault consumed the frame and severed the stream.
 Status apply_frame_fault(fault::FaultInjector* injector, fault::Site site,
-                         TcpStream& stream,
+                         TcpStream& stream, std::uint64_t corr,
                          std::vector<std::uint8_t>& payload) {
   if (injector == nullptr) return ok_status();
   const fault::Outcome outcome = injector->sample(site);
@@ -28,26 +60,11 @@ Status apply_frame_fault(fault::FaultInjector* injector, fault::Site site,
           std::chrono::duration<double>(std::max(outcome.param, 0.0)));
       return ok_status();
     case fault::Action::kCorrupt:
-      // Flip payload bytes only: the peer reads a well-framed message that
-      // fails to decode, exercising the protocol-error path without
-      // desynchronising the stream. The type byte lands outside the enum
-      // so corruption is always detected, never silently misread.
-      if (!payload.empty()) {
-        payload[0] ^= 0x80;
-        payload[payload.size() / 2] ^= 0xff;
-      }
+      corrupt_payload(payload);
       return ok_status();
-    case fault::Action::kTruncate: {
-      // Write a header promising the full payload, deliver only half, then
-      // sever: the peer's read_frame sees a truncated frame.
-      const auto length = static_cast<std::uint32_t>(payload.size());
-      std::uint8_t header[4];
-      std::memcpy(header, &length, 4);
-      (void)stream.write_all(header, 4);
-      if (length > 1) (void)stream.write_all(payload.data(), length / 2);
-      stream.shutdown();
+    case fault::Action::kTruncate:
+      truncate_and_sever(stream, corr, payload);
       return make_error(ErrorCode::kIoError, "injected frame truncation");
-    }
     default:
       return ok_status();
   }
@@ -55,15 +72,24 @@ Status apply_frame_fault(fault::FaultInjector* injector, fault::Site site,
 
 }  // namespace
 
+// ---- RpcServer -------------------------------------------------------
+
 RpcServer::~RpcServer() { stop(); }
 
 Status RpcServer::start(RpcHandler handler, std::uint16_t port,
-                        fault::FaultInjector* fault) {
+                        fault::FaultInjector* fault, RpcServerOptions options) {
   auto listener = TcpListener::bind(port);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   handler_ = std::move(handler);
   fault_ = fault;
+  if (options.handler_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options.handler_threads, "rpc");
+  }
+  if (options.obs != nullptr) {
+    m_coalesced_ =
+        &options.obs->registry().counter("falkon.net.frames_coalesced");
+  }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
@@ -76,18 +102,21 @@ void RpcServer::stop() {
   {
     std::lock_guard lock(mu_);
     for (auto& weak : connections_) {
-      if (auto stream = weak.lock()) stream->shutdown();
+      if (auto conn = weak.lock()) conn->stream->shutdown();
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  std::list<ConnThread> threads;
   {
     std::lock_guard lock(mu_);
     threads.swap(connection_threads_);
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& entry : threads) {
+    if (entry.thread.joinable()) entry.thread.join();
   }
+  // Handlers still in flight enqueue replies into severed connections and
+  // fail harmlessly; shutdown() drains them before returning.
+  if (pool_) pool_->shutdown();
   started_ = false;
 }
 
@@ -100,6 +129,24 @@ std::size_t RpcServer::active_connections() const {
   return alive;
 }
 
+void RpcServer::reap_finished_locked() {
+  for (auto it = connection_threads_.begin();
+       it != connection_threads_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connection_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [](const std::weak_ptr<Conn>& weak) {
+                       return weak.expired();
+                     }),
+      connections_.end());
+}
+
 void RpcServer::accept_loop() {
   for (;;) {
     auto accepted = listener_.accept();
@@ -108,45 +155,256 @@ void RpcServer::accept_loop() {
       LOG_WARN("rpc", "accept failed: %s", accepted.error().str().c_str());
       return;
     }
-    auto stream = std::make_shared<TcpStream>(accepted.take());
+    auto conn = std::make_shared<Conn>();
+    conn->stream = std::make_shared<TcpStream>(accepted.take());
     std::lock_guard lock(mu_);
     if (stopping_.load()) {
-      stream->shutdown();
+      conn->stream->shutdown();
       return;
     }
-    connections_.push_back(stream);
-    connection_threads_.emplace_back(
-        [this, stream] { serve_connection(stream); });
+    // A long-lived dispatcher accepts one connection per executor ever
+    // launched: reap finished reader threads here so the thread list tracks
+    // live connections instead of growing without bound.
+    reap_finished_locked();
+    connections_.push_back(conn);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    ConnThread entry;
+    entry.done = done;
+    entry.thread = std::thread([this, conn, done] {
+      serve_connection(conn);
+      done->store(true);
+    });
+    connection_threads_.push_back(std::move(entry));
   }
 }
 
-void RpcServer::serve_connection(std::shared_ptr<TcpStream> stream) {
+void RpcServer::serve_connection(const std::shared_ptr<Conn>& conn) {
+  wire::Frame frame;
   for (;;) {
-    auto frame = wire::read_frame(*stream);
-    if (!frame.ok()) return;  // peer closed or connection severed
-
-    auto request = wire::decode_message(frame.value());
-    wire::Message reply;
+    if (auto status = wire::read_frame(*conn->stream, frame); !status.ok()) {
+      return;  // peer closed or connection severed
+    }
+    auto request = wire::decode_message(frame.payload);
     if (!request.ok()) {
-      reply = wire::ErrorReply{ErrorCode::kProtocolError,
-                               request.error().message};
+      enqueue_reply(*conn, frame.corr,
+                    wire::ErrorReply{ErrorCode::kProtocolError,
+                                     request.error().message});
+      continue;
+    }
+    if (pool_) {
+      const std::uint64_t corr = frame.corr;
+      auto submitted =
+          pool_->submit([this, conn, corr, message = request.take()] {
+            handle_request(conn, corr, message);
+          });
+      if (!submitted.ok()) return;  // pool closed: server stopping
     } else {
-      reply = handler_(request.value());
-    }
-    auto payload = wire::encode_message(reply);
-    if (!apply_frame_fault(fault_, fault::Site::kRpcReply, *stream, payload)
-             .ok()) {
-      return;  // reply lost: the client sees a dead connection and retries
-    }
-    if (auto status = wire::write_frame(*stream, payload); !status.ok()) {
-      return;
+      handle_request(conn, frame.corr, request.value());
     }
   }
+}
+
+void RpcServer::handle_request(const std::shared_ptr<Conn>& conn,
+                               std::uint64_t corr,
+                               const wire::Message& request) {
+  enqueue_reply(*conn, corr, handler_(request));
+}
+
+void RpcServer::enqueue_reply(Conn& conn, std::uint64_t corr,
+                              const wire::Message& reply) {
+  // The reused thread-local Writer stops allocating once it has grown to
+  // the largest reply; the outbox copy is sized exactly.
+  thread_local wire::Writer scratch;
+  wire::encode_message_into(scratch, reply);
+  wire::PendingFrame frame;
+  frame.corr = corr;
+  frame.payload = scratch.data();
+  {
+    std::lock_guard lock(conn.out_mu);
+    if (conn.dead) return;
+    conn.outbox.push_back(std::move(frame));
+  }
+  flush_outbox(conn);
+}
+
+void RpcServer::flush_outbox(Conn& conn) {
+  // Caller-drains: whichever thread enqueues while nobody is writing takes
+  // the writer role and drains the outbox in coalesced batches; later
+  // enqueuers see `writing` and leave their frame for the active drainer.
+  std::unique_lock lock(conn.out_mu);
+  if (conn.writing || conn.dead) return;
+  conn.writing = true;
+  std::vector<wire::PendingFrame> batch;
+  while (!conn.outbox.empty() && !conn.dead) {
+    batch.clear();
+    const std::size_t n = std::min(conn.outbox.size(), kMaxCoalesce);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(conn.outbox.front()));
+      conn.outbox.pop_front();
+    }
+    lock.unlock();
+    Status status = write_batch_faulted(conn, batch);
+    lock.lock();
+    if (!status.ok()) {
+      conn.dead = true;
+      conn.outbox.clear();
+    }
+  }
+  conn.writing = false;
+}
+
+// Defined out of the header's sight: only flush_outbox calls this, under
+// the `writing` flag, so header_scratch has a single writer at a time.
+Status RpcServer::write_batch_faulted(Conn& conn,
+                                      std::vector<wire::PendingFrame>& batch) {
+  if (fault_ == nullptr) {
+    if (batch.size() > 1 && m_coalesced_ != nullptr) {
+      m_coalesced_->inc(batch.size() - 1);
+    }
+    return wire::write_frames(*conn.stream, batch.data(), batch.size(),
+                              conn.header_scratch);
+  }
+  // Fault-injected path: sample each frame's fate in enqueue order, writing
+  // the clean run so far before a fault that severs or delays the stream —
+  // frames ahead of the faulted one were already logically sent.
+  std::size_t begin = 0;
+  auto flush_run = [&](std::size_t end) -> Status {
+    if (end <= begin) return ok_status();
+    if (end - begin > 1 && m_coalesced_ != nullptr) {
+      m_coalesced_->inc(end - begin - 1);
+    }
+    auto status = wire::write_frames(*conn.stream, batch.data() + begin,
+                                     end - begin, conn.header_scratch);
+    begin = end;
+    return status;
+  };
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const fault::Outcome outcome = fault_->sample(fault::Site::kRpcReply);
+    switch (outcome.action) {
+      case fault::Action::kCorrupt:
+        corrupt_payload(batch[i].payload);
+        break;
+      case fault::Action::kDelay: {
+        if (auto status = flush_run(i); !status.ok()) return status;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+        break;
+      }
+      case fault::Action::kDrop:
+        (void)flush_run(i);
+        conn.stream->shutdown();
+        return make_error(ErrorCode::kIoError, "injected connection drop");
+      case fault::Action::kTruncate:
+        (void)flush_run(i);
+        truncate_and_sever(*conn.stream, batch[i].corr, batch[i].payload);
+        return make_error(ErrorCode::kIoError, "injected frame truncation");
+      default:
+        break;
+    }
+  }
+  return flush_run(batch.size());
+}
+
+// ---- RpcClient -------------------------------------------------------
+
+struct RpcClient::Impl {
+  TcpStream stream;
+  fault::FaultInjector* fault{nullptr};
+  obs::Gauge* m_inflight{nullptr};
+
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done{false};
+    std::optional<Result<wire::Message>> reply;
+  };
+
+  std::mutex write_mu;  // serialises frame writes (and request faults)
+  std::mutex mu;        // guards pending/next_corr/broken
+  std::unordered_map<std::uint64_t, std::shared_ptr<CallState>> pending;
+  std::uint64_t next_corr{1};
+  bool broken{false};
+  Error broken_error{ErrorCode::kClosed, "connection closed"};
+  std::thread reader;
+
+  static void complete(const std::shared_ptr<CallState>& cs,
+                       Result<wire::Message> reply) {
+    {
+      std::lock_guard lock(cs->mu);
+      cs->reply.emplace(std::move(reply));
+      cs->done = true;
+    }
+    cs->cv.notify_all();
+  }
+
+  void set_inflight_locked() {
+    if (m_inflight != nullptr) {
+      m_inflight->set(static_cast<double>(pending.size()));
+    }
+  }
+
+  void fail_all(const Error& error) {
+    std::unordered_map<std::uint64_t, std::shared_ptr<CallState>> orphans;
+    {
+      std::lock_guard lock(mu);
+      broken = true;
+      broken_error = error;
+      orphans.swap(pending);
+      set_inflight_locked();
+    }
+    for (auto& [corr, cs] : orphans) complete(cs, error);
+  }
+
+  void reader_loop() {
+    wire::Frame frame;
+    for (;;) {
+      if (auto status = wire::read_frame(stream, frame); !status.ok()) {
+        // Stream-level failure: every call in flight was mapped to this
+        // connection, so all of them fail with the stream's error.
+        fail_all(status.error());
+        return;
+      }
+      std::shared_ptr<CallState> cs;
+      {
+        std::lock_guard lock(mu);
+        auto it = pending.find(frame.corr);
+        if (it != pending.end()) {
+          cs = std::move(it->second);
+          pending.erase(it);
+          set_inflight_locked();
+        }
+      }
+      if (!cs) continue;  // reply to an abandoned call
+      auto decoded = wire::decode_message(frame.payload);
+      if (!decoded.ok()) {
+        // Corrupt payload inside intact framing: only the correlated call
+        // fails; the stream stays aligned and later replies still route.
+        complete(cs, decoded.error());
+        continue;
+      }
+      if (const auto* error = std::get_if<wire::ErrorReply>(&decoded.value())) {
+        complete(cs, Error{error->code, error->message});
+        continue;
+      }
+      complete(cs, decoded.take());
+    }
+  }
+};
+
+RpcClient::RpcClient(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+RpcClient::RpcClient(RpcClient&&) noexcept = default;
+RpcClient& RpcClient::operator=(RpcClient&&) noexcept = default;
+
+RpcClient::~RpcClient() {
+  if (!impl_) return;
+  impl_->stream.shutdown();
+  if (impl_->reader.joinable()) impl_->reader.join();
 }
 
 Result<RpcClient> RpcClient::connect(const std::string& host,
                                      std::uint16_t port,
-                                     fault::FaultInjector* fault) {
+                                     fault::FaultInjector* fault,
+                                     obs::Obs* obs) {
   if (fault != nullptr) {
     const fault::Outcome outcome = fault->sample(fault::Site::kRpcConnect);
     if (outcome.action == fault::Action::kDrop) {
@@ -159,39 +417,69 @@ Result<RpcClient> RpcClient::connect(const std::string& host,
   }
   auto stream = TcpStream::connect(host, port);
   if (!stream.ok()) return stream.error();
-  return RpcClient(stream.take(), fault);
+  auto impl = std::make_unique<Impl>();
+  impl->stream = stream.take();
+  impl->fault = fault;
+  if (obs != nullptr) {
+    impl->m_inflight = &obs->registry().gauge("falkon.net.rpc.inflight");
+  }
+  auto* raw = impl.get();
+  impl->reader = std::thread([raw] { raw->reader_loop(); });
+  return RpcClient(std::move(impl));
 }
 
 Result<wire::Message> RpcClient::call(const wire::Message& request) {
-  std::lock_guard lock(mu_);
-  auto payload = wire::encode_message(request);
-  if (auto status =
-          apply_frame_fault(fault_, fault::Site::kRpcRequest, stream_, payload);
-      !status.ok()) {
-    return status.error();
+  Impl* impl = impl_.get();
+  auto cs = std::make_shared<Impl::CallState>();
+  std::uint64_t corr;
+  {
+    std::lock_guard lock(impl->mu);
+    if (impl->broken) return impl->broken_error;
+    corr = impl->next_corr++;
+    impl->pending.emplace(corr, cs);
+    impl->set_inflight_locked();
   }
-  if (auto status = wire::write_frame(stream_, payload); !status.ok()) {
-    return status.error();
+  thread_local wire::Writer scratch;
+  wire::encode_message_into(scratch, request);
+  Status wrote = ok_status();
+  {
+    std::lock_guard lock(impl->write_mu);
+    wrote = apply_frame_fault(impl->fault, fault::Site::kRpcRequest,
+                              impl->stream, corr, scratch.buffer());
+    if (wrote.ok()) {
+      wrote = wire::write_frame(impl->stream, corr, scratch.buffer());
+    }
   }
-  auto frame = wire::read_frame(stream_);
-  if (!frame.ok()) return frame.error();
-  auto reply = wire::decode_message(frame.value());
-  if (!reply.ok()) return reply.error();
-  if (const auto* error = std::get_if<wire::ErrorReply>(&reply.value())) {
-    return make_error(error->code, error->message);
+  if (!wrote.ok()) {
+    {
+      std::lock_guard lock(impl->mu);
+      impl->pending.erase(corr);
+      impl->set_inflight_locked();
+    }
+    return wrote.error();
   }
-  return reply;
+  std::unique_lock lock(cs->mu);
+  cs->cv.wait(lock, [&] { return cs->done; });
+  return std::move(*cs->reply);
 }
 
-void RpcClient::close() { stream_.shutdown(); }
+void RpcClient::close() {
+  if (impl_) impl_->stream.shutdown();
+}
+
+// ---- PushServer ------------------------------------------------------
 
 PushServer::~PushServer() { stop(); }
 
-Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault) {
+Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault,
+                         obs::Obs* obs) {
   auto listener = TcpListener::bind(port);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   fault_ = fault;
+  if (obs != nullptr) {
+    m_coalesced_ = &obs->registry().counter("falkon.net.frames_coalesced");
+  }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
@@ -202,17 +490,28 @@ void PushServer::stop() {
   stopping_.store(true);
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  std::list<HandshakeThread> threads;
   {
     std::lock_guard lock(mu_);
-    for (auto& [key, stream] : subscribers_) stream->shutdown();
+    for (auto& [key, sub] : subscribers_) sub->stream->shutdown();
     subscribers_.clear();
     threads.swap(handshake_threads_);
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& entry : threads) {
+    if (entry.thread.joinable()) entry.thread.join();
   }
   started_ = false;
+}
+
+void PushServer::reap_finished_locked() {
+  for (auto it = handshake_threads_.begin(); it != handshake_threads_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = handshake_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void PushServer::accept_loop() {
@@ -225,24 +524,36 @@ void PushServer::accept_loop() {
       stream->shutdown();
       return;
     }
+    reap_finished_locked();
     // The subscription frame is read on its own thread so a slow or broken
     // client cannot stall the accept loop.
-    handshake_threads_.emplace_back([this, stream] {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    HandshakeThread entry;
+    entry.done = done;
+    entry.thread = std::thread([this, stream, done] {
       auto frame = wire::read_frame(*stream);
-      if (!frame.ok()) return;
-      auto message = wire::decode_message(frame.value());
-      if (!message.ok()) return;
-      const auto* notify = std::get_if<wire::Notify>(&message.value());
-      if (notify == nullptr) return;
-      std::lock_guard inner(mu_);
-      if (stopping_.load()) return;
-      subscribers_[notify->executor_id.value] = stream;
+      if (frame.ok()) {
+        auto message = wire::decode_message(frame.value());
+        if (message.ok()) {
+          if (const auto* notify =
+                  std::get_if<wire::Notify>(&message.value())) {
+            std::lock_guard inner(mu_);
+            if (!stopping_.load()) {
+              auto sub = std::make_shared<Subscriber>();
+              sub->stream = stream;
+              subscribers_[notify->executor_id.value] = std::move(sub);
+            }
+          }
+        }
+      }
+      done->store(true);
     });
+    handshake_threads_.push_back(std::move(entry));
   }
 }
 
 Status PushServer::push(std::uint64_t key, const wire::Message& message) {
-  std::shared_ptr<TcpStream> stream;
+  std::shared_ptr<Subscriber> sub;
   {
     std::lock_guard lock(mu_);
     auto it = subscribers_.find(key);
@@ -250,7 +561,7 @@ Status PushServer::push(std::uint64_t key, const wire::Message& message) {
       return make_error(ErrorCode::kNotFound,
                         "no subscriber with key " + std::to_string(key));
     }
-    stream = it->second;
+    sub = it->second;
   }
   auto payload = wire::encode_message(message);
   if (fault_ != nullptr) {
@@ -264,19 +575,61 @@ Status PushServer::push(std::uint64_t key, const wire::Message& message) {
     if (outcome.action == fault::Action::kDelay) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(std::max(outcome.param, 0.0)));
-    } else if (outcome.action == fault::Action::kCorrupt && !payload.empty()) {
-      payload[0] ^= 0x80;
-      payload[payload.size() / 2] ^= 0xff;
+    } else if (outcome.action == fault::Action::kCorrupt) {
+      corrupt_payload(payload);
     }
   }
-  return wire::write_frame(*stream, payload);
+  {
+    std::lock_guard lock(sub->out_mu);
+    if (sub->dead) {
+      return make_error(ErrorCode::kClosed, "subscriber channel severed");
+    }
+    wire::PendingFrame frame;
+    frame.payload = std::move(payload);
+    sub->outbox.push_back(std::move(frame));
+  }
+  return flush_subscriber(*sub, m_coalesced_);
+}
+
+Status PushServer::flush_subscriber(Subscriber& sub, obs::Counter* coalesced) {
+  std::unique_lock lock(sub.out_mu);
+  if (sub.writing || sub.dead) return ok_status();
+  sub.writing = true;
+  Status result = ok_status();
+  std::vector<wire::PendingFrame> batch;
+  while (!sub.outbox.empty() && !sub.dead) {
+    batch.clear();
+    const std::size_t n = std::min(sub.outbox.size(), kMaxCoalesce);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(sub.outbox.front()));
+      sub.outbox.pop_front();
+    }
+    lock.unlock();
+    if (batch.size() > 1 && coalesced != nullptr) {
+      coalesced->inc(batch.size() - 1);
+    }
+    auto status = wire::write_frames(*sub.stream, batch.data(), batch.size(),
+                                     sub.header_scratch);
+    lock.lock();
+    if (!status.ok()) {
+      result = status;
+      sub.dead = true;
+      sub.outbox.clear();
+    }
+  }
+  sub.writing = false;
+  return result;
 }
 
 void PushServer::drop_subscriber(std::uint64_t key) {
   std::lock_guard lock(mu_);
   auto it = subscribers_.find(key);
   if (it != subscribers_.end()) {
-    it->second->shutdown();
+    it->second->stream->shutdown();
+    {
+      std::lock_guard inner(it->second->out_mu);
+      it->second->dead = true;
+    }
     subscribers_.erase(it);
   }
 }
@@ -285,6 +638,8 @@ std::size_t PushServer::subscriber_count() const {
   std::lock_guard lock(mu_);
   return subscribers_.size();
 }
+
+// ---- PushReceiver ----------------------------------------------------
 
 PushReceiver::~PushReceiver() { stop(); }
 
@@ -314,10 +669,10 @@ void PushReceiver::stop() {
 }
 
 void PushReceiver::read_loop() {
+  wire::Frame frame;
   for (;;) {
-    auto frame = wire::read_frame(*stream_);
-    if (!frame.ok()) return;
-    auto message = wire::decode_message(frame.value());
+    if (auto status = wire::read_frame(*stream_, frame); !status.ok()) return;
+    auto message = wire::decode_message(frame.payload);
     if (!message.ok()) continue;
     if (stopping_.load()) return;
     callback_(message.value());

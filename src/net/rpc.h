@@ -6,18 +6,30 @@
 //   * PushServer/PushReceiver carry the custom TCP notification protocol of
 //     paper section 3.3 (implementation alternative 2: the executor is a
 //     plain client that subscribes for notifications).
+//
+// The RPC channel is *pipelined*: every frame carries a correlation id, the
+// client keeps many calls outstanding on one connection and a reader thread
+// demuxes replies to per-call waiters, and the server coalesces pending
+// reply frames into single gathered writes. This is where the paper's
+// dispatch-rate headroom comes from — per-call latency no longer serialises
+// the connection.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "fault/fault.h"
 #include "net/socket.h"
+#include "obs/obs.h"
 #include "wire/message.h"
 
 namespace falkon::net {
@@ -25,9 +37,20 @@ namespace falkon::net {
 /// Server-side request handler: one message in, one message out.
 using RpcHandler = std::function<wire::Message(const wire::Message&)>;
 
-/// Accepts connections and serves framed request/response exchanges, one
-/// thread per connection (adequate for hundreds of executors on loopback;
-/// the paper's GT4 container was likewise thread-pool based).
+struct RpcServerOptions {
+  /// 0: handle requests inline on the connection's reader thread (strict
+  /// per-connection FIFO, what unit tests expect). N > 0: a shared pool of
+  /// N handler threads, so a blocking handler (wait_results) cannot stall
+  /// pipelined calls behind it and replies genuinely reorder.
+  std::size_t handler_threads{0};
+  /// Optional metrics sink: falkon.net.frames_coalesced.
+  obs::Obs* obs{nullptr};
+};
+
+/// Accepts connections and serves framed request/response exchanges. Each
+/// connection gets a reader thread; handlers run inline or on a shared pool
+/// (RpcServerOptions::handler_threads), and replies are queued per
+/// connection and flushed in coalesced gathered writes.
 class RpcServer {
  public:
   RpcServer() = default;
@@ -39,7 +62,8 @@ class RpcServer {
   /// Bind (port 0 = ephemeral) and start the accept loop. `fault`
   /// (optional, test-only) injects reply-frame faults at Site::kRpcReply.
   Status start(RpcHandler handler, std::uint16_t port = 0,
-               fault::FaultInjector* fault = nullptr);
+               fault::FaultInjector* fault = nullptr,
+               RpcServerOptions options = {});
 
   /// Stop accepting, sever all connections, join all threads. Idempotent.
   void stop();
@@ -48,50 +72,89 @@ class RpcServer {
   [[nodiscard]] std::size_t active_connections() const;
 
  private:
+  struct Conn {
+    std::shared_ptr<TcpStream> stream;
+    std::mutex out_mu;
+    std::deque<wire::PendingFrame> outbox;
+    bool writing{false};
+    bool dead{false};
+    std::vector<std::uint8_t> header_scratch;
+  };
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
-  void serve_connection(std::shared_ptr<TcpStream> stream);
+  void reap_finished_locked();
+  void serve_connection(const std::shared_ptr<Conn>& conn);
+  void handle_request(const std::shared_ptr<Conn>& conn, std::uint64_t corr,
+                      const wire::Message& request);
+  void enqueue_reply(Conn& conn, std::uint64_t corr,
+                     const wire::Message& reply);
+  void flush_outbox(Conn& conn);
+  Status write_batch_faulted(Conn& conn,
+                             std::vector<wire::PendingFrame>& batch);
 
   TcpListener listener_;
   RpcHandler handler_;
   fault::FaultInjector* fault_{nullptr};
+  std::unique_ptr<ThreadPool> pool_;
+  obs::Counter* m_coalesced_{nullptr};
   std::thread accept_thread_;
   mutable std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<std::weak_ptr<TcpStream>> connections_;
+  std::list<ConnThread> connection_threads_;
+  std::vector<std::weak_ptr<Conn>> connections_;
   std::atomic<bool> stopping_{false};
   bool started_{false};
 };
 
-/// Blocking RPC client; one outstanding call at a time per connection.
+/// Pipelined RPC client: many outstanding calls share one connection. Each
+/// call takes a fresh correlation id and parks on its own waiter; a reader
+/// thread demuxes reply frames by correlation id. Out-of-order replies (a
+/// pooled server finishing a fast call before a slow one) route correctly.
+///
+/// Failure semantics: a frame that fails to *decode* (corrupt payload,
+/// intact framing) fails only the call it correlates to; a stream-level
+/// error (drop, truncation, peer death) fails every call in flight on the
+/// connection, which is exactly the set mapped to the lost stream.
 class RpcClient {
  public:
   /// `fault` (optional, test-only) injects connect faults at
   /// Site::kRpcConnect and request-frame faults at Site::kRpcRequest.
+  /// `obs` (optional) exposes the falkon.net.rpc.inflight gauge.
   static Result<RpcClient> connect(const std::string& host, std::uint16_t port,
-                                   fault::FaultInjector* fault = nullptr);
+                                   fault::FaultInjector* fault = nullptr,
+                                   obs::Obs* obs = nullptr);
 
-  /// Send a request, wait for the reply. An ErrorReply from the server is
-  /// surfaced as a failed Status with the carried code.
+  RpcClient(RpcClient&&) noexcept;
+  RpcClient& operator=(RpcClient&&) noexcept;
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Send a request, wait for the reply. Safe to call from many threads
+  /// concurrently; calls overlap on the wire. An ErrorReply from the server
+  /// is surfaced as a failed Status with the carried code.
   Result<wire::Message> call(const wire::Message& request);
 
+  /// Sever the connection; in-flight and future calls fail.
   void close();
 
  private:
-  RpcClient(TcpStream stream, fault::FaultInjector* fault)
-      : stream_(std::move(stream)), fault_(fault) {}
+  struct Impl;
+  explicit RpcClient(std::unique_ptr<Impl> impl);
 
-  std::mutex mu_;
-  TcpStream stream_;
-  fault::FaultInjector* fault_{nullptr};
-
- public:
-  RpcClient(RpcClient&& other) noexcept
-      : stream_(std::move(other.stream_)), fault_(other.fault_) {}
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Dispatcher-side notification fan-out. Executors connect and send one
 /// subscription frame (a Notify carrying their executor id); afterwards the
-/// dispatcher pushes frames to them by key.
+/// dispatcher pushes frames to them by key. Pushes to one subscriber from
+/// many notifier threads are queued and flushed as coalesced writes — the
+/// outbox also serialises the stream, so concurrent pushes can never
+/// interleave bytes mid-frame.
 class PushServer {
  public:
   PushServer() = default;
@@ -102,7 +165,9 @@ class PushServer {
 
   /// `fault` (optional, test-only) injects push-frame faults at
   /// Site::kPushFrame (drop = the notification silently vanishes).
-  Status start(std::uint16_t port = 0, fault::FaultInjector* fault = nullptr);
+  /// `obs` (optional) feeds falkon.net.frames_coalesced.
+  Status start(std::uint16_t port = 0, fault::FaultInjector* fault = nullptr,
+               obs::Obs* obs = nullptr);
   void stop();
 
   /// Push a message to subscriber `key`; kNotFound if no such subscriber.
@@ -113,14 +178,30 @@ class PushServer {
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
  private:
+  struct Subscriber {
+    std::shared_ptr<TcpStream> stream;
+    std::mutex out_mu;
+    std::deque<wire::PendingFrame> outbox;
+    bool writing{false};
+    bool dead{false};
+    std::vector<std::uint8_t> header_scratch;
+  };
+  struct HandshakeThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
+  void reap_finished_locked();
+  static Status flush_subscriber(Subscriber& sub, obs::Counter* coalesced);
 
   TcpListener listener_;
   fault::FaultInjector* fault_{nullptr};
+  obs::Counter* m_coalesced_{nullptr};
   std::thread accept_thread_;
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> subscribers_;
-  std::vector<std::thread> handshake_threads_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Subscriber>> subscribers_;
+  std::list<HandshakeThread> handshake_threads_;
   std::atomic<bool> stopping_{false};
   bool started_{false};
 };

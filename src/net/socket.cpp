@@ -4,8 +4,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -59,6 +61,53 @@ Status TcpStream::write_all(const void* data, std::size_t size) {
       return errno_error("send");
     }
     sent += static_cast<std::size_t>(n);
+  }
+  return ok_status();
+}
+
+Status TcpStream::write_gather(const ConstBuf* bufs, std::size_t count) {
+  // One sendmsg(2) per batch of coalesced frames (falling back to partial
+  // resume on short writes). iovec mirrors ConstBuf's layout by construction,
+  // but the kernel may scribble nothing — we copy so the retry loop can
+  // advance base/len without mutating the caller's spans.
+  constexpr std::size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  std::size_t offset = 0;
+  while (offset < count) {
+    const std::size_t chunk = std::min(count - offset, kMaxIov);
+    std::size_t used = 0;
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const auto& buf = bufs[offset + i];
+      if (buf.size == 0) continue;
+      iov[used].iov_base = const_cast<void*>(buf.data);
+      iov[used].iov_len = buf.size;
+      pending += buf.size;
+      ++used;
+    }
+    offset += chunk;
+    std::size_t first = 0;
+    while (pending > 0) {
+      msghdr msg{};
+      msg.msg_iov = iov + first;
+      msg.msg_iovlen = used - first;
+      const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("sendmsg");
+      }
+      pending -= static_cast<std::size_t>(n);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (advanced > 0 && advanced >= iov[first].iov_len) {
+        advanced -= iov[first].iov_len;
+        ++first;
+      }
+      if (advanced > 0) {
+        iov[first].iov_base =
+            static_cast<std::uint8_t*>(iov[first].iov_base) + advanced;
+        iov[first].iov_len -= advanced;
+      }
+    }
   }
   return ok_status();
 }

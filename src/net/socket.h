@@ -51,6 +51,7 @@ class TcpStream final : public wire::ByteStream {
   static Result<TcpStream> connect(const std::string& host, std::uint16_t port);
 
   Status write_all(const void* data, std::size_t size) override;
+  Status write_gather(const ConstBuf* bufs, std::size_t count) override;
   Status read_exact(void* data, std::size_t size) override;
 
   /// Abort in-flight reads/writes from another thread (shutdown(2)).

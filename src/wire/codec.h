@@ -69,6 +69,14 @@ class Writer {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
+  /// Drop contents but keep capacity: a thread-local Writer reused across
+  /// encodes stops allocating once it has seen the largest message.
+  void clear() { buffer_.clear(); }
+
+  /// Mutable view for callers that frame the encoded bytes in place (fault
+  /// injection flips bytes here before the frame hits the stream).
+  [[nodiscard]] std::vector<std::uint8_t>& buffer() { return buffer_; }
+
  private:
   std::vector<std::uint8_t> buffer_;
 };

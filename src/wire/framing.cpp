@@ -6,24 +6,69 @@
 
 namespace falkon::wire {
 
+void put_frame_header(std::uint8_t* out, std::uint64_t corr,
+                      std::uint32_t length) {
+  std::memcpy(out, &length, 4);
+  std::memcpy(out + 4, &corr, 8);
+}
+
 Status write_frame(ByteStream& stream,
+                   const std::vector<std::uint8_t>& payload) {
+  return write_frame(stream, 0, payload);
+}
+
+Status write_frame(ByteStream& stream, std::uint64_t corr,
                    const std::vector<std::uint8_t>& payload) {
   if (payload.size() > kMaxFrameBytes) {
     return make_error(ErrorCode::kInvalidArgument,
                       strf("frame too large: %zu bytes", payload.size()));
   }
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  std::uint8_t header[4];
-  std::memcpy(header, &length, 4);
-  if (auto status = stream.write_all(header, 4); !status.ok()) return status;
-  if (payload.empty()) return ok_status();
-  return stream.write_all(payload.data(), payload.size());
+  std::uint8_t header[kFrameHeaderBytes];
+  put_frame_header(header, corr, static_cast<std::uint32_t>(payload.size()));
+  ByteStream::ConstBuf bufs[2] = {
+      {header, kFrameHeaderBytes},
+      {payload.data(), payload.size()},
+  };
+  return stream.write_gather(bufs, payload.empty() ? 1 : 2);
+}
+
+Status write_frames(ByteStream& stream, const PendingFrame* frames,
+                    std::size_t count,
+                    std::vector<std::uint8_t>& header_scratch) {
+  if (count == 0) return ok_status();
+  header_scratch.resize(count * kFrameHeaderBytes);
+  std::vector<ByteStream::ConstBuf> bufs;
+  bufs.reserve(count * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& frame = frames[i];
+    if (frame.payload.size() > kMaxFrameBytes) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        strf("frame too large: %zu bytes",
+                             frame.payload.size()));
+    }
+    std::uint8_t* header = header_scratch.data() + i * kFrameHeaderBytes;
+    put_frame_header(header, frame.corr,
+                     static_cast<std::uint32_t>(frame.payload.size()));
+    bufs.push_back({header, kFrameHeaderBytes});
+    if (!frame.payload.empty()) {
+      bufs.push_back({frame.payload.data(), frame.payload.size()});
+    }
+  }
+  return stream.write_gather(bufs.data(), bufs.size());
 }
 
 Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream) {
-  std::uint8_t header[4];
-  if (auto status = stream.read_exact(header, 4); !status.ok()) {
+  Frame frame;
+  if (auto status = read_frame(stream, frame); !status.ok()) {
     return status.error();
+  }
+  return std::move(frame.payload);
+}
+
+Status read_frame(ByteStream& stream, Frame& frame) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (auto status = stream.read_exact(header, 4); !status.ok()) {
+    return status;
   }
   std::uint32_t length;
   std::memcpy(&length, header, 4);
@@ -31,9 +76,18 @@ Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream) {
     return make_error(ErrorCode::kProtocolError,
                       strf("frame length %u exceeds limit", length));
   }
-  std::vector<std::uint8_t> payload(length);
+  if (auto status = stream.read_exact(header + 4, 8); !status.ok()) {
+    if (status.error().code == ErrorCode::kClosed) {
+      return make_error(ErrorCode::kProtocolError,
+                        "truncated frame: stream ended inside the header");
+    }
+    return status;
+  }
+  std::memcpy(&frame.corr, header + 4, 8);
+  frame.payload.resize(length);
   if (length > 0) {
-    if (auto status = stream.read_exact(payload.data(), length); !status.ok()) {
+    if (auto status = stream.read_exact(frame.payload.data(), length);
+        !status.ok()) {
       if (status.error().code == ErrorCode::kClosed) {
         // EOF after the header promised `length` payload bytes: the frame
         // was truncated. Distinct from a clean close at a frame boundary.
@@ -41,10 +95,10 @@ Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream) {
                           strf("truncated frame: expected %u payload bytes",
                                length));
       }
-      return status.error();
+      return status;
     }
   }
-  return payload;
+  return ok_status();
 }
 
 }  // namespace falkon::wire

@@ -1,6 +1,9 @@
 // Length-prefixed frames over a byte stream.
 //
-// Frame layout: u32 little-endian payload length, then payload bytes. A
+// Frame layout: u32 little-endian payload length, u64 little-endian
+// correlation id, then payload bytes. The correlation id lets an RPC client
+// pipeline many outstanding calls on one connection and demux the replies;
+// frames outside an RPC exchange (push notifications) carry corr 0. A
 // maximum frame size guards against corrupted lengths taking down the
 // dispatcher with a giant allocation.
 #pragma once
@@ -21,19 +24,72 @@ class ByteStream {
   /// Write exactly `size` bytes or fail.
   virtual Status write_all(const void* data, std::size_t size) = 0;
 
+  /// One span of a gathered write.
+  struct ConstBuf {
+    const void* data{nullptr};
+    std::size_t size{0};
+  };
+
+  /// Write all spans, in order, or fail. The default loops over write_all;
+  /// TcpStream overrides with a single vectored syscall so a batch of
+  /// coalesced frames costs one trip into the kernel.
+  virtual Status write_gather(const ConstBuf* bufs, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (bufs[i].size == 0) continue;
+      if (auto status = write_all(bufs[i].data, bufs[i].size); !status.ok()) {
+        return status;
+      }
+    }
+    return ok_status();
+  }
+
   /// Read exactly `size` bytes or fail (kClosed on clean EOF at a frame
   /// boundary is reported by the framing layer, not here).
   virtual Status read_exact(void* data, std::size_t size) = 0;
 };
 
 inline constexpr std::size_t kMaxFrameBytes = 256 * 1024 * 1024;
+inline constexpr std::size_t kFrameHeaderBytes = 12;  // u32 length + u64 corr
 
-/// Write one frame.
+/// One decoded frame. Reused across read_frame calls so the payload buffer's
+/// capacity amortizes instead of being reallocated per frame.
+struct Frame {
+  std::uint64_t corr{0};
+  std::vector<std::uint8_t> payload;
+};
+
+/// An encoded frame waiting in a connection outbox for a coalesced write.
+struct PendingFrame {
+  std::uint64_t corr{0};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Pack the 12-byte header for a frame into `out`.
+void put_frame_header(std::uint8_t* out, std::uint64_t corr,
+                      std::uint32_t length);
+
+/// Write one frame with correlation id 0.
 Status write_frame(ByteStream& stream, const std::vector<std::uint8_t>& payload);
 
-/// Read one frame. kProtocolError on an oversized length and on a stream
-/// that ends mid-frame (truncation — the peer died or lied about the
-/// length); kClosed only for a clean EOF at a frame boundary.
+/// Write one frame.
+Status write_frame(ByteStream& stream, std::uint64_t corr,
+                   const std::vector<std::uint8_t>& payload);
+
+/// Write `count` frames as one gathered write. `header_scratch` holds the
+/// packed headers between calls so a steady-state drain loop does not
+/// allocate.
+Status write_frames(ByteStream& stream, const PendingFrame* frames,
+                    std::size_t count,
+                    std::vector<std::uint8_t>& header_scratch);
+
+/// Read one frame, discarding the correlation id. kProtocolError on an
+/// oversized length and on a stream that ends mid-frame (truncation — the
+/// peer died or lied about the length); kClosed only for a clean EOF at a
+/// frame boundary.
 Result<std::vector<std::uint8_t>> read_frame(ByteStream& stream);
+
+/// Read one frame into `frame`, reusing its payload buffer. Same error
+/// contract as the value-returning overload.
+Status read_frame(ByteStream& stream, Frame& frame);
 
 }  // namespace falkon::wire

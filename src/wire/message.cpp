@@ -63,6 +63,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kClientNotify: return "ClientNotify";
     case MsgType::kHeartbeatRequest: return "HeartbeatRequest";
     case MsgType::kHeartbeatReply: return "HeartbeatReply";
+    case MsgType::kTaskBundle: return "TaskBundle";
+    case MsgType::kResultBundle: return "ResultBundle";
   }
   return "Unknown";
 }
@@ -240,6 +242,18 @@ struct EncodeVisitor {
     w.put_u64(m.executor_id.value);
   }
   void operator()(const HeartbeatReply&) const {}
+  void operator()(const TaskBundle& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_u64(m.bundle_seq);
+    w.put_u64(m.acknowledged);
+    encode_task_specs(w, m.tasks);
+  }
+  void operator()(const ResultBundle& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_u64(m.ack_seq);
+    encode_task_results(w, m.results);
+    w.put_u32(m.want_tasks);
+  }
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -354,6 +368,22 @@ Message decode_payload(MsgType type, Reader& r) {
       return HeartbeatRequest{ExecutorId{r.get_u64()}};
     case MsgType::kHeartbeatReply:
       return HeartbeatReply{};
+    case MsgType::kTaskBundle: {
+      TaskBundle m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.bundle_seq = r.get_u64();
+      m.acknowledged = r.get_u64();
+      m.tasks = decode_task_specs(r);
+      return m;
+    }
+    case MsgType::kResultBundle: {
+      ResultBundle m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.ack_seq = r.get_u64();
+      m.results = decode_task_results(r);
+      m.want_tasks = r.get_u32();
+      return m;
+    }
   }
   throw CodecError("unknown message type");
 }
@@ -366,9 +396,14 @@ MsgType message_type(const Message& message) {
 
 std::vector<std::uint8_t> encode_message(const Message& message) {
   Writer w;
+  encode_message_into(w, message);
+  return w.take();
+}
+
+void encode_message_into(Writer& w, const Message& message) {
+  w.clear();
   w.put_u8(static_cast<std::uint8_t>(message_type(message)));
   std::visit(EncodeVisitor{w}, message);
-  return w.take();
 }
 
 Result<Message> decode_message(const std::uint8_t* data, std::size_t size) {

@@ -48,6 +48,8 @@ enum class MsgType : std::uint8_t {
   kClientNotify = 20,
   kHeartbeatRequest = 21,
   kHeartbeatReply = 22,
+  kTaskBundle = 23,
+  kResultBundle = 24,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -175,6 +177,36 @@ struct HeartbeatRequest {
 
 struct HeartbeatReply {};
 
+/// GetWorkRequest.max_tasks / TaskBundle request sentinel: let the
+/// dispatcher size the bundle adaptively from current queue depth (still
+/// capped by max_bundle_runtime_s and DispatcherConfig::max_adaptive_bundle).
+inline constexpr std::uint32_t kAdaptiveBundle = 0;
+
+/// want_tasks sentinel asking for adaptively-sized piggyback instead of a
+/// fixed count (0 keeps its existing meaning: no piggyback).
+inline constexpr std::uint32_t kAdaptiveWant = 0xffffffffu;
+
+/// N tasks in one frame (paper §3.4 / Fig. 5 bundling at the wire layer).
+/// Sent dispatcher -> executor as the reply to a ResultBundle. `bundle_seq`
+/// numbers non-empty bundles so the executor can acknowledge a whole batch
+/// with one `ack_seq` instead of per-task acks.
+struct TaskBundle {
+  ExecutorId executor_id;
+  std::uint64_t bundle_seq{0};
+  std::uint64_t acknowledged{0};
+  std::vector<TaskSpec> tasks;
+};
+
+/// Executor -> dispatcher: deliver N results and ask for the next bundle in
+/// the same exchange. `ack_seq` echoes the highest TaskBundle.bundle_seq
+/// received so far (batched acknowledgement).
+struct ResultBundle {
+  ExecutorId executor_id;
+  std::uint64_t ack_seq{0};
+  std::vector<TaskResult> results;
+  std::uint32_t want_tasks{0};
+};
+
 // NOTE: MsgType values equal variant indices (message_type() casts the
 // index) — new messages must be appended at the end of BOTH lists.
 using Message =
@@ -184,12 +216,18 @@ using Message =
                  GetWorkRequest, GetWorkReply, ResultRequest, ResultReply,
                  StatusRequest, StatusReply, DeregisterRequest,
                  DeregisterReply, WaitResultsRequest, WaitResultsReply,
-                 ClientNotify, HeartbeatRequest, HeartbeatReply>;
+                 ClientNotify, HeartbeatRequest, HeartbeatReply, TaskBundle,
+                 ResultBundle>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 
 /// Serialise a message (type byte + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Serialise into a caller-owned Writer (cleared first). A thread-local
+/// Writer reused across calls keeps the hot encode path allocation-free
+/// once its buffer has grown to the largest message seen.
+void encode_message_into(Writer& writer, const Message& message);
 
 /// Decode; kProtocolError on malformed input.
 [[nodiscard]] Result<Message> decode_message(const std::uint8_t* data,

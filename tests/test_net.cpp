@@ -107,6 +107,185 @@ TEST(Rpc, MultipleConcurrentClients) {
   server.stop();
 }
 
+TEST(Rpc, PipelinedCallsShareOneConnection) {
+  // Many threads issue calls through ONE client: all calls multiplex over a
+  // single connection (correlation ids demux the replies) and every caller
+  // gets its own answer back.
+  RpcServerOptions options;
+  options.handler_threads = 4;
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [](const wire::Message& request) -> wire::Message {
+                        const auto* notify = std::get_if<wire::Notify>(&request);
+                        if (notify == nullptr) {
+                          return wire::ErrorReply{ErrorCode::kProtocolError, "?"};
+                        }
+                        return wire::Notify{notify->executor_id,
+                                            notify->resource_key * 2};
+                      },
+                      0, nullptr, options)
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::atomic<int> correct{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000 + i;
+        auto reply = client.value().call(wire::Notify{ExecutorId{1}, key});
+        if (!reply.ok()) continue;
+        const auto* notify = std::get_if<wire::Notify>(&reply.value());
+        if (notify != nullptr && notify->resource_key == key * 2) {
+          correct.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(correct.load(), 8 * 50);
+  EXPECT_EQ(server.active_connections(), 1u);
+  server.stop();
+}
+
+TEST(Rpc, OutOfOrderRepliesRouteByCorrelationId) {
+  // A pooled server finishes a fast call while a slow one is still being
+  // handled on the same connection; the fast reply overtakes the slow one
+  // on the wire and the client must route both correctly.
+  constexpr std::uint64_t kSlowKey = 1;
+  constexpr std::uint64_t kFastKey = 2;
+  RpcServerOptions options;
+  options.handler_threads = 2;
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [&](const wire::Message& request) -> wire::Message {
+                        const auto* notify = std::get_if<wire::Notify>(&request);
+                        if (notify == nullptr) {
+                          return wire::ErrorReply{ErrorCode::kProtocolError, "?"};
+                        }
+                        if (notify->resource_key == kSlowKey) {
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(300));
+                        }
+                        return *notify;
+                      },
+                      0, nullptr, options)
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::mutex mu;
+  std::vector<std::uint64_t> completion_order;
+  std::thread slow([&] {
+    auto reply = client.value().call(wire::Notify{ExecutorId{1}, kSlowKey});
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(std::get_if<wire::Notify>(&reply.value())->resource_key, kSlowKey);
+    std::lock_guard lock(mu);
+    completion_order.push_back(kSlowKey);
+  });
+  // Give the slow call time to reach the server before racing it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto reply = client.value().call(wire::Notify{ExecutorId{1}, kFastKey});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(std::get_if<wire::Notify>(&reply.value())->resource_key, kFastKey);
+  {
+    std::lock_guard lock(mu);
+    completion_order.push_back(kFastKey);
+  }
+  slow.join();
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_EQ(completion_order[0], kFastKey);  // overtook the slow call
+  EXPECT_EQ(completion_order[1], kSlowKey);
+  server.stop();
+}
+
+TEST(Rpc, CorruptReplyFailsOnlyItsOwnCall) {
+  // Reply #3 is corrupted in-flight (payload bytes flipped, framing intact):
+  // exactly that call fails with a protocol error; earlier and later calls
+  // on the SAME connection succeed — the stream never desynchronises.
+  fault::FaultPlan plan;
+  plan.at(fault::Site::kRpcReply, fault::Action::kCorrupt, /*nth_op=*/3);
+  fault::FaultInjector inject(plan);
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [](const wire::Message&) -> wire::Message {
+                        return wire::StatusReply{};
+                      },
+                      0, &inject)
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  for (int i = 1; i <= 5; ++i) {
+    auto reply = client.value().call(wire::StatusRequest{});
+    if (i == 3) {
+      ASSERT_FALSE(reply.ok()) << "corrupted reply must fail its call";
+      EXPECT_EQ(reply.error().code, ErrorCode::kProtocolError);
+    } else {
+      EXPECT_TRUE(reply.ok()) << "call " << i << ": " << (reply.ok() ? "" : reply.error().str());
+    }
+  }
+  server.stop();
+}
+
+TEST(Rpc, DroppedReplyFailsEveryCallInFlight) {
+  // A dropped reply severs the stream (fault semantics at kRpcReply): every
+  // call in flight on that connection fails — they were all mapped to the
+  // lost stream — and the client stays broken rather than silently hanging.
+  fault::FaultPlan plan;
+  plan.at(fault::Site::kRpcReply, fault::Action::kDrop, /*nth_op=*/2);
+  fault::FaultInjector inject(plan);
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [](const wire::Message&) -> wire::Message {
+                        return wire::StatusReply{};
+                      },
+                      0, &inject)
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client.value().call(wire::StatusRequest{}).ok());
+
+  // Two concurrent calls: reply #2's flush severs the connection, so BOTH
+  // fail — one by the drop itself, the other by the stream's death.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      if (!client.value().call(wire::StatusRequest{}).ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 2);
+  // The connection is gone for good; later calls fail fast, never hang.
+  EXPECT_FALSE(client.value().call(wire::StatusRequest{}).ok());
+  server.stop();
+}
+
+TEST(Rpc, InflightGaugeRegistersWithObs) {
+  obs::Obs obs;
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start([](const wire::Message&) -> wire::Message {
+                    return wire::StatusReply{};
+                  })
+                  .ok());
+  auto client = RpcClient::connect("127.0.0.1", server.port(), nullptr, &obs);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().call(wire::StatusRequest{}).ok());
+  // After a completed call the gauge exists and reads zero in flight.
+  EXPECT_EQ(obs.registry().gauge("falkon.net.rpc.inflight").value(), 0.0);
+  server.stop();
+}
+
 TEST(Push, SubscribeAndReceiveNotifications) {
   PushServer server;
   ASSERT_TRUE(server.start().ok());

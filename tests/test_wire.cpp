@@ -134,6 +134,47 @@ TEST(Message, TypeTagsMatchEnum) {
   EXPECT_EQ(message_type(Message{Notify{}}), MsgType::kNotify);
   EXPECT_EQ(message_type(Message{StatusReply{}}), MsgType::kStatusReply);
   EXPECT_EQ(message_type(Message{ClientNotify{}}), MsgType::kClientNotify);
+  EXPECT_EQ(message_type(Message{TaskBundle{}}), MsgType::kTaskBundle);
+  EXPECT_EQ(message_type(Message{ResultBundle{}}), MsgType::kResultBundle);
+}
+
+TEST(Message, TaskBundleRoundtripPreservesSeqAndTasks) {
+  TaskBundle bundle;
+  bundle.executor_id = ExecutorId{42};
+  bundle.bundle_seq = 0xabcdef0123456789ULL;
+  bundle.acknowledged = 17;
+  for (std::uint64_t i = 1; i <= 64; ++i) bundle.tasks.push_back(sample_spec(i));
+
+  auto decoded = decode_message(encode_message(bundle));
+  ASSERT_TRUE(decoded.ok());
+  const auto* reply = std::get_if<TaskBundle>(&decoded.value());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->executor_id.value, 42u);
+  EXPECT_EQ(reply->bundle_seq, 0xabcdef0123456789ULL);
+  EXPECT_EQ(reply->acknowledged, 17u);
+  ASSERT_EQ(reply->tasks.size(), 64u);
+  expect_spec_eq(reply->tasks[31], bundle.tasks[31]);
+}
+
+TEST(Message, ResultBundleRoundtripPreservesAckAndSentinel) {
+  ResultBundle bundle;
+  bundle.executor_id = ExecutorId{7};
+  bundle.ack_seq = 991;
+  bundle.want_tasks = kAdaptiveWant;
+  TaskResult result;
+  result.task_id = TaskId{5};
+  result.exit_code = 3;
+  bundle.results.push_back(result);
+
+  auto decoded = decode_message(encode_message(bundle));
+  ASSERT_TRUE(decoded.ok());
+  const auto* reply = std::get_if<ResultBundle>(&decoded.value());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->executor_id.value, 7u);
+  EXPECT_EQ(reply->ack_seq, 991u);
+  EXPECT_EQ(reply->want_tasks, kAdaptiveWant);
+  ASSERT_EQ(reply->results.size(), 1u);
+  EXPECT_EQ(reply->results[0].task_id.value, 5u);
 }
 
 TEST(Message, MalformedBufferIsProtocolError) {
@@ -193,6 +234,34 @@ TEST_P(MessageRoundtrip, RandomizedMessagesSurviveEncodeDecode) {
       m.queued_tasks = rng.next_u64() % 1000000;
       m.busy_executors = static_cast<std::uint32_t>(rng.uniform_int(0, 54000));
       messages.push_back(m);
+    }
+    {
+      TaskBundle m;
+      m.executor_id = ExecutorId{rng.next_u64()};
+      m.bundle_seq = rng.next_u64();
+      m.acknowledged = static_cast<std::uint32_t>(rng.uniform_int(0, 4096));
+      const auto n = rng.uniform_int(0, 20);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        m.tasks.push_back(sample_spec(rng.next_u64()));
+      }
+      messages.push_back(std::move(m));
+    }
+    {
+      ResultBundle m;
+      m.executor_id = ExecutorId{rng.next_u64()};
+      m.ack_seq = rng.next_u64();
+      const auto n = rng.uniform_int(0, 20);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TaskResult result;
+        result.task_id = TaskId{rng.next_u64()};
+        result.exit_code = static_cast<int>(rng.uniform_int(0, 255));
+        m.results.push_back(result);
+      }
+      // Exercise the adaptive sentinel alongside ordinary counts.
+      m.want_tasks = rng.bernoulli(0.2)
+                         ? kAdaptiveWant
+                         : static_cast<std::uint32_t>(rng.uniform_int(0, 16));
+      messages.push_back(std::move(m));
     }
 
     for (const auto& message : messages) {
@@ -312,6 +381,41 @@ TEST(Framing, RejectsTruncatedPayloadAsProtocolError) {
   EXPECT_NE(frame.error().message.find("truncated"), std::string::npos);
 }
 
+TEST(Framing, CorrelationIdSurvivesRoundtrip) {
+  MemoryStream stream;
+  ASSERT_TRUE(write_frame(stream, 0xdeadbeefcafeULL, {1, 2, 3}).ok());
+  ASSERT_TRUE(write_frame(stream, {4, 5}).ok());  // push-style frame: corr 0
+
+  Frame frame;
+  ASSERT_TRUE(read_frame(stream, frame).ok());
+  EXPECT_EQ(frame.corr, 0xdeadbeefcafeULL);
+  EXPECT_EQ(frame.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  ASSERT_TRUE(read_frame(stream, frame).ok());
+  EXPECT_EQ(frame.corr, 0u);
+  EXPECT_EQ(frame.payload, (std::vector<std::uint8_t>{4, 5}));
+}
+
+TEST(Framing, GatheredWriteMatchesIndividualFrames) {
+  // write_frames (the server's coalesced path) must put the same bytes on
+  // the wire as one write_frame per PendingFrame.
+  std::vector<PendingFrame> batch(3);
+  batch[0] = PendingFrame{101, {0xaa}};
+  batch[1] = PendingFrame{102, {}};
+  batch[2] = PendingFrame{103, std::vector<std::uint8_t>(500, 0x55)};
+
+  MemoryStream gathered;
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(write_frames(gathered, batch.data(), batch.size(), scratch).ok());
+
+  Frame frame;
+  for (const auto& expected : batch) {
+    ASSERT_TRUE(read_frame(gathered, frame).ok());
+    EXPECT_EQ(frame.corr, expected.corr);
+    EXPECT_EQ(frame.payload, expected.payload);
+  }
+  EXPECT_EQ(read_frame(gathered, frame).error().code, ErrorCode::kClosed);
+}
+
 TEST(Framing, CleanEofAtFrameBoundaryIsNotProtocolError) {
   // EOF between frames is an orderly close (kClosed), distinct from a
   // truncation inside a frame.
@@ -369,6 +473,12 @@ TEST_P(FramingFuzz, MutatedFrameStreamsFailCleanly) {
     for (std::uint64_t i = 1; i <= 3; ++i) submit.tasks.push_back(sample_spec(i));
     (void)write_frame(capture, encode_message(submit));
     (void)write_frame(capture, encode_message(HeartbeatRequest{ExecutorId{9}}));
+    TaskBundle bundle;
+    bundle.executor_id = ExecutorId{4};
+    bundle.bundle_seq = 12;
+    bundle.tasks.push_back(sample_spec(8));
+    // Pipelined frame with a non-zero correlation id in the header.
+    (void)write_frame(capture, /*corr=*/0x1234, encode_message(bundle));
   }
 
   for (int round = 0; round < 300; ++round) {
