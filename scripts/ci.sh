@@ -16,6 +16,15 @@
 # — see docs/FAULTS.md) under each sanitizer explicitly, so a recovery-path
 # regression fails CI with the soak's own diagnostics even when the rest of
 # the suite passes.
+#
+# The prop stage re-runs the seeded property suites (ctest -L prop, see
+# docs/TESTING.md) at a raised fixed budget, so every CI run scans more
+# workloads than a default local ctest while staying reproducible.
+#
+# An optional coverage pass (`scripts/ci.sh coverage`) builds with gcov
+# instrumentation, runs the tier-1 + prop suites, and reports line/branch
+# coverage via gcovr when the tool is installed — informational only,
+# never a gate (and skipped gracefully where gcovr is absent).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,6 +34,10 @@ echo "== Release build + ctest =="
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci-release -j "$JOBS"
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "== Property suites (raised fixed budget) =="
+FALKON_PROP_CASES=400 \
+  ctest --test-dir build-ci-release --output-on-failure -L prop
 
 echo "== ASan+UBSan build + ctest =="
 cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -38,6 +51,24 @@ ctest --test-dir build-ci-asan --output-on-failure -R 'test_chaos|test_fault'
 if [ "${1:-}" = "bench" ]; then
   echo "== Benchmark gate =="
   scripts/bench.sh
+fi
+
+if [ "${1:-}" = "coverage" ]; then
+  echo "== Coverage build + tier-1 and prop suites =="
+  cmake -B build-ci-cov -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DFALKON_COVERAGE=ON >/dev/null
+  cmake --build build-ci-cov -j "$JOBS"
+  ctest --test-dir build-ci-cov --output-on-failure -j "$JOBS" \
+        -L 'unit|integration'
+  ctest --test-dir build-ci-cov --output-on-failure -L prop
+  if command -v gcovr >/dev/null 2>&1; then
+    echo "== Coverage report (informational, no gate) =="
+    gcovr --root . --filter 'src/' build-ci-cov \
+          --print-summary --txt build-ci-cov/coverage.txt || true
+    echo "full report: build-ci-cov/coverage.txt"
+  else
+    echo "gcovr not installed; skipping coverage report"
+  fi
 fi
 
 if [ "${1:-}" = "tsan" ]; then

@@ -144,6 +144,12 @@ class ExecutorSink {
  public:
   virtual ~ExecutorSink() = default;
   virtual void notify(ExecutorId id, std::uint64_t resource_key) = 0;
+
+  /// Called after the dispatcher has unlinked `id` (deregistration, failure
+  /// detection, poison-blame eviction) so transports can release any
+  /// per-executor state — push subscriptions, unretired bundle sequence
+  /// numbers. Invoked outside the dispatcher's entry locks; default no-op.
+  virtual void on_removed(ExecutorId id) { (void)id; }
 };
 
 /// How the dispatcher notifies clients that results are ready for pick-up

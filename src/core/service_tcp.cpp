@@ -27,6 +27,8 @@ TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
     m_errors_ = &reg.counter("falkon.net.rpc.errors");
     m_pushes_ = &reg.counter("falkon.net.push.notifications");
     m_pending_bundles_ = &reg.gauge("falkon.net.rpc.pending_bundles");
+    m_bundles_issued_ = &reg.counter("falkon.net.rpc.bundles_issued");
+    m_bundles_retired_ = &reg.counter("falkon.net.rpc.bundles_retired");
   }
 }
 
@@ -38,7 +40,7 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
   if (auto status = push_.start(push_port, fault, obs_); !status.ok()) {
     return status;
   }
-  sink_ = std::make_shared<PushSink>(push_, m_pushes_);
+  sink_ = std::make_shared<PushSink>(*this, m_pushes_);
   client_sink_ = std::make_shared<ClientPushSink>(push_);
   dispatcher_.set_client_sink(client_sink_);
   // A shared handler pool keeps slow/blocking handlers (wait_results with a
@@ -67,6 +69,17 @@ Status TcpResultListener::start(const std::string& host,
           callback(notify->instance_id, notify->completed);
         }
       });
+}
+
+void TcpDispatcherServer::release_executor(std::uint64_t executor_value) {
+  push_.drop_subscriber(executor_value);
+  std::lock_guard lock(bundles_mu_);
+  if (pending_bundles_.erase(executor_value) != 0) {
+    if (m_bundles_retired_) m_bundles_retired_->inc();
+    if (m_pending_bundles_) {
+      m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
+    }
+  }
 }
 
 void TcpResultListener::stop() { receiver_.stop(); }
@@ -134,6 +147,7 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
       auto it = pending_bundles_.find(m->executor_id.value);
       if (it != pending_bundles_.end() && m->ack_seq >= it->second) {
         pending_bundles_.erase(it);
+        if (m_bundles_retired_) m_bundles_retired_->inc();
       }
       if (m_pending_bundles_) {
         m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
@@ -149,7 +163,15 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     if (!reply.tasks.empty()) {
       reply.bundle_seq = bundle_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
       std::lock_guard lock(bundles_mu_);
-      pending_bundles_[m->executor_id.value] = reply.bundle_seq;
+      auto [it, inserted] =
+          pending_bundles_.emplace(m->executor_id.value, reply.bundle_seq);
+      if (!inserted) {
+        // Superseding an unacked seq settles it: the next ack_seq covers
+        // both (cumulative ack), so only the newest needs tracking.
+        it->second = reply.bundle_seq;
+        if (m_bundles_retired_) m_bundles_retired_->inc();
+      }
+      if (m_bundles_issued_) m_bundles_issued_->inc();
       if (m_pending_bundles_) {
         m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
       }
@@ -162,15 +184,12 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     return HeartbeatReply{};
   }
   if (const auto* m = std::get_if<DeregisterRequest>(&request)) {
-    push_.drop_subscriber(m->executor_id.value);
-    {
-      std::lock_guard lock(bundles_mu_);
-      pending_bundles_.erase(m->executor_id.value);
-      if (m_pending_bundles_) {
-        m_pending_bundles_->set(static_cast<double>(pending_bundles_.size()));
-      }
-    }
+    // Transport cleanup rides the sink's on_removed hook (same path the
+    // failure detector takes); release here too so an unknown executor —
+    // where deregister_executor never fires the hook — still drops its
+    // push subscription.
     auto result = dispatcher_.deregister_executor(m->executor_id, m->reason);
+    release_executor(m->executor_id.value);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
     return DeregisterReply{};
   }

@@ -49,17 +49,25 @@ class TcpDispatcherServer {
 
  private:
   /// ExecutorSink that writes Notify frames on the notification channel.
+  /// on_removed ties transport cleanup to the dispatcher's removal paths:
+  /// without it, an executor evicted by the failure detector (no orderly
+  /// DeregisterRequest) would leak its push subscription and its unretired
+  /// bundle_seq entry — and `falkon.net.rpc.pending_bundles` would never
+  /// drain to zero.
   struct PushSink final : ExecutorSink {
-    PushSink(net::PushServer& push, obs::Counter* pushes)
-        : push(push), pushes(pushes) {}
+    PushSink(TcpDispatcherServer& server, obs::Counter* pushes)
+        : server(server), pushes(pushes) {}
     void notify(ExecutorId id, std::uint64_t resource_key) override {
       wire::Notify message;
       message.executor_id = id;
       message.resource_key = resource_key;
       if (pushes) pushes->inc();
-      (void)push.push(id.value, message);
+      (void)server.push_.push(id.value, message);
     }
-    net::PushServer& push;
+    void on_removed(ExecutorId id) override {
+      server.release_executor(id.value);
+    }
+    TcpDispatcherServer& server;
     obs::Counter* pushes;
   };
 
@@ -79,6 +87,11 @@ class TcpDispatcherServer {
   [[nodiscard]] wire::Message handle(const wire::Message& request);
   [[nodiscard]] wire::Message dispatch(const wire::Message& request);
 
+  /// Drop all per-executor transport state: push subscription plus any
+  /// unretired bundle_seq (counted as retired — the dispatcher has already
+  /// requeued the bundle's tasks, so the sequence number is settled).
+  void release_executor(std::uint64_t executor_value);
+
   Dispatcher& dispatcher_;
   obs::Obs* obs_{nullptr};
   net::RpcServer rpc_;
@@ -89,6 +102,12 @@ class TcpDispatcherServer {
   obs::Counter* m_errors_{nullptr};
   obs::Counter* m_pushes_{nullptr};
   obs::Gauge* m_pending_bundles_{nullptr};
+  /// Bundle-seq lifecycle counters: issued on every numbered (non-empty)
+  /// TaskBundle, retired when the seq is acked, superseded by a newer seq,
+  /// or settled by executor removal. At quiesce issued == retired — the
+  /// testkit invariant checker asserts exactly this.
+  obs::Counter* m_bundles_issued_{nullptr};
+  obs::Counter* m_bundles_retired_{nullptr};
 
   /// Batched acknowledgements (section 3.4): every non-empty TaskBundle
   /// gets a sequence number; the executor acks the whole bundle by echoing

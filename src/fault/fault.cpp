@@ -1,5 +1,6 @@
 #include "fault/fault.h"
 
+#include <algorithm>
 #include <string>
 
 namespace falkon::fault {
@@ -33,6 +34,66 @@ const char* action_name(Action action) {
     case Action::kPreempt: return "preempt";
   }
   return "unknown";
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::string out = "FaultPlan{seed=" + std::to_string(plan.seed);
+  for (const auto& rule : plan.rules) {
+    out += ", " + std::string(site_name(rule.site)) + ":" +
+           action_name(rule.action) + " p=" + std::to_string(rule.probability);
+    if (rule.param != 0.0) out += " param=" + std::to_string(rule.param);
+  }
+  for (const auto& event : plan.script) {
+    out += ", " + std::string(site_name(event.site)) + ":" +
+           action_name(event.action) + " @op " + std::to_string(event.at_op);
+    if (event.param != 0.0) out += " param=" + std::to_string(event.param);
+  }
+  return out + "}";
+}
+
+FaultPlan random_plan(std::uint64_t seed, double intensity) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (intensity <= 0.0) return plan;
+  const double level = std::min(intensity, 1.0);
+  // Independent stream from the injector's own site streams so a plan and
+  // its execution never share draws.
+  Rng rng(seed ^ 0xa076'1d64'78bd'642fULL);
+
+  // The recoverable menu: each candidate's probability ceiling is chosen so
+  // the recovery machinery (replay timeout, heartbeat detector, renotify
+  // sweep, link retries) converges. Params are real-time-safe (the TCP
+  // backend runs these against a RealClock).
+  struct Candidate {
+    Site site;
+    Action action;
+    double max_probability;
+    double max_param;
+  };
+  static constexpr Candidate kMenu[] = {
+      {Site::kRpcConnect, Action::kDrop, 0.10, 0.0},
+      {Site::kRpcRequest, Action::kDrop, 0.02, 0.0},
+      {Site::kRpcRequest, Action::kCorrupt, 0.02, 0.0},
+      {Site::kRpcReply, Action::kDrop, 0.01, 0.0},
+      {Site::kPushFrame, Action::kDrop, 0.10, 0.0},
+      {Site::kExecutorTask, Action::kCrash, 0.01, 0.0},
+      {Site::kExecutorTask, Action::kHang, 0.005, 0.15},
+      {Site::kExecutorTask, Action::kSlow, 0.03, 0.02},
+      {Site::kDispatcherNotify, Action::kDrop, 0.03, 0.0},
+      {Site::kDispatcherAck, Action::kDrop, 0.02, 0.0},
+  };
+  for (const Candidate& candidate : kMenu) {
+    // Roughly half the menu at full intensity, scaled down with it.
+    if (!rng.bernoulli(0.55 * level)) continue;
+    const double probability =
+        candidate.max_probability * level * rng.uniform(0.25, 1.0);
+    const double param =
+        candidate.max_param > 0 ? candidate.max_param * rng.uniform(0.2, 1.0)
+                                : 0.0;
+    plan.rules.push_back(
+        FaultRule{candidate.site, candidate.action, probability, param});
+  }
+  return plan;
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, obs::Obs* obs) {

@@ -100,6 +100,23 @@ struct FaultPlan {
   }
 };
 
+/// One line per rule/scripted event, for counterexample dumps and logs.
+[[nodiscard]] std::string describe(const FaultPlan& plan);
+
+/// Draw a reproducible chaos schedule from a single seed (the testkit's
+/// workload generator uses this to give every generated workload its own
+/// fault plan). `intensity` in [0, 1] scales both how many rules are drawn
+/// and their probabilities; 0 yields an empty plan.
+///
+/// Every drawn rule is *recoverable*: probabilities and delay/hang params
+/// are bounded so a stack with replay + heartbeat recovery enabled (and a
+/// generous retry budget) still drives every task to completion — which is
+/// what lets conformance runs demand "all tasks complete" even under
+/// faults. Sites that only make sense against real transports (connect /
+/// request / reply / push faults) are included; the DES simply never
+/// samples them.
+[[nodiscard]] FaultPlan random_plan(std::uint64_t seed, double intensity);
+
 /// The decision for one operation. Contextually convertible to bool:
 /// true when a fault should be injected.
 struct Outcome {

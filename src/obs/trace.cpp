@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace falkon::obs {
 
@@ -45,6 +46,23 @@ std::vector<SpanEvent> Tracer::snapshot() const {
 
 void Tracer::clear() {
   head_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TaskHistory> group_by_task(const std::vector<SpanEvent>& events) {
+  std::vector<TaskHistory> histories;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (const SpanEvent& event : events) {
+    if (event.task == 0) continue;
+    auto [it, inserted] = index.emplace(event.task, histories.size());
+    if (inserted) {
+      histories.emplace_back();
+      histories.back().task = event.task;
+    }
+    TaskHistory& history = histories[it->second];
+    history.events.push_back(event);
+    ++history.stage_counts[static_cast<std::size_t>(event.stage)];
+  }
+  return histories;
 }
 
 }  // namespace falkon::obs

@@ -15,6 +15,7 @@
 // for monitoring, not for accounting.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -94,6 +95,12 @@ class Tracer {
   /// an exact snapshot matters.
   [[nodiscard]] std::vector<SpanEvent> snapshot() const;
 
+  /// True iff the ring retained every event ever recorded: a snapshot taken
+  /// now is a *complete* protocol history, which is what the conformance
+  /// and invariant checkers (falkon::testkit) require. A wrapped ring is
+  /// still fine for monitoring, just not for accounting.
+  [[nodiscard]] bool complete() const { return dropped() == 0; }
+
   /// Forget all events (drop count included). Not safe against concurrent
   /// writers.
   void clear();
@@ -104,5 +111,25 @@ class Tracer {
   std::atomic<std::uint64_t> head_{0};
   std::atomic<bool> enabled_{true};
 };
+
+/// One task's slice of a trace snapshot: its events in ring (i.e. record)
+/// order plus per-stage counts. This is the view the invariant and
+/// conformance checkers (falkon::testkit) replay — built once from a
+/// quiesced snapshot, so checking never touches the hot path.
+struct TaskHistory {
+  std::uint64_t task{0};
+  std::vector<SpanEvent> events;
+  std::array<std::uint32_t, kStageCount> stage_counts{};
+
+  [[nodiscard]] std::uint32_t count(Stage stage) const {
+    return stage_counts[static_cast<std::size_t>(stage)];
+  }
+};
+
+/// Group a snapshot by task id, preserving ring order within each task.
+/// Histories are returned ordered by first appearance in the snapshot.
+/// Events with task id 0 (untraced markers) are skipped.
+[[nodiscard]] std::vector<TaskHistory> group_by_task(
+    const std::vector<SpanEvent>& events);
 
 }  // namespace falkon::obs

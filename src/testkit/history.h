@@ -1,0 +1,104 @@
+// falkon::testkit — protocol histories and the dispatcher invariant model.
+//
+// A RunHistory is everything one backend run leaves behind: the dispatcher's
+// terminal accounting, the obs lifecycle trace (replayed offline from the
+// lock-free ring, so checking never perturbs the hot path), the result ids
+// the client actually picked up, and — for the TCP backend — the bundle_seq
+// lifecycle counters.
+//
+// check_invariants encodes the dispatcher state machine the paper relies on
+// (§4.3: no task lost, none double-completed across millions of tasks):
+//
+//   I1  conservation        submitted == completed + failed; queue and
+//                           in-flight set empty at quiesce
+//   I2  exactly-one-submit  every traced task has exactly one kSubmit
+//   I3  at-most-one-ack     no un-retried double completion: <= 1 kAck per
+//                           task, and completed tasks account for all acks
+//   I4  stage ordering      kSubmit first; no kExec before the first
+//                           kGetWork; kAck never precedes a kDeliverResult
+//                           (kNotify excluded: the real dispatcher records
+//                           it for the queue head at pump time, which may
+//                           not be the task the woken executor pulls)
+//   I5  retry budget        dispatch attempts per task <= max_retries + 1
+//                           (only checkable when no failure detector
+//                           requeues occurred — those are not replays)
+//   I6  quarantine monotone sampled quarantine counter never decreases
+//   I7  bundles drain       pending_bundles gauge reads 0 at quiesce and
+//                           bundle_seqs issued == retired (TCP backend)
+//   I8  unique delivery     no result id delivered to the client twice
+//
+// check_conformance compares two histories of the *same* WorkloadSpec (DES
+// vs threaded stack): same task set, both quiescent, same per-task terminal
+// ack discipline, and — for recoverable fault plans — full completion on
+// both sides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace falkon::testkit {
+
+/// Everything one run leaves behind for the checkers.
+struct RunHistory {
+  std::string backend;  // "sim" | "inproc" | "tcp"
+
+  // Terminal dispatcher accounting (DispatcherStatus / SimFalkonResult).
+  std::uint64_t submitted{0};
+  std::uint64_t completed{0};
+  std::uint64_t failed{0};
+  std::uint64_t retried{0};
+  std::uint64_t quarantined{0};
+  std::uint64_t suspicions{0};
+  std::uint64_t queued_at_end{0};
+  std::uint64_t dispatched_at_end{0};
+
+  /// Retry budget the run was configured with; < 0 = unbounded (I5 skipped).
+  int max_retries{-1};
+
+  /// Lifecycle trace, oldest first. Only meaningful when trace_complete.
+  std::vector<obs::SpanEvent> events;
+  /// Ring kept every event (Tracer::complete()); checkers demand this.
+  bool trace_complete{false};
+
+  /// Result ids the client picked up, in delivery order. May be shorter
+  /// than `completed` when reply frames were lost; never contains dupes.
+  std::vector<std::uint64_t> result_ids;
+
+  /// TCP backend only (has_bundle_counters): bundle_seq lifecycle.
+  bool has_bundle_counters{false};
+  double pending_bundles_gauge{0.0};
+  std::uint64_t bundles_issued{0};
+  std::uint64_t bundles_retired{0};
+
+  /// Periodic samples of the quarantine counter during the run (I6).
+  std::vector<std::uint64_t> quarantine_series;
+
+  /// Fault-injector decisions that fired during the run (0 for fault-free
+  /// specs). Lets suites assert their fault-bearing cases actually bit.
+  std::uint64_t injected_faults{0};
+
+  /// Non-empty when the runner itself failed (stall past deadline, refused
+  /// connection, ...). Checkers surface it as a violation.
+  std::string run_error;
+};
+
+/// Replay `history` through the invariant model. Returns human-readable
+/// violations; empty = all invariants hold.
+[[nodiscard]] std::vector<std::string> check_invariants(
+    const RunHistory& history);
+
+/// Compare two histories of the same workload. `require_all_complete`
+/// demands completed == submitted on both sides (valid for fault-free specs
+/// and for fault::random_plan's recoverable-by-construction plans under a
+/// generous retry budget).
+[[nodiscard]] std::vector<std::string> check_conformance(
+    const RunHistory& a, const RunHistory& b, bool require_all_complete);
+
+/// Render violations for a test failure message, one per line.
+[[nodiscard]] std::string join_violations(
+    const std::vector<std::string>& violations);
+
+}  // namespace falkon::testkit

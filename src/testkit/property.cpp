@@ -1,0 +1,109 @@
+#include "testkit/property.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace falkon::testkit {
+namespace {
+
+bool env_u64(const char* name, std::uint64_t& out) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string PropertyOutcome::report(const std::string& name) const {
+  if (passed) return name + ": all " + std::to_string(cases_run) + " cases hold";
+  std::string out = name + " failed at seed " + std::to_string(failing_seed) +
+                    " (replay: FALKON_TEST_SEED=" +
+                    std::to_string(failing_seed) + ")\n";
+  out += "  original: " + describe(original) + "\n";
+  out += "  minimal (after " + std::to_string(shrink_steps) +
+         " shrink steps): " + describe(minimal) + "\n";
+  out += "  violations:\n";
+  for (const auto& violation : violations) {
+    out += "    - " + violation + "\n";
+  }
+  return out;
+}
+
+PropertyOutcome shrink_failure(const std::string& name,
+                               const WorkloadSpec& spec,
+                               const PropertyOptions& options,
+                               const Property& property) {
+  PropertyOutcome outcome;
+  outcome.passed = false;
+  outcome.failing_seed = spec.seed;
+  outcome.original = spec;
+  outcome.minimal = spec;
+  outcome.violations = property(spec);
+
+  // Greedy descent: take the first strictly-smaller candidate that still
+  // fails, restart from it. Terminates because spec_size strictly
+  // decreases each step.
+  for (int step = 0; step < options.max_shrink_steps; ++step) {
+    bool descended = false;
+    for (const WorkloadSpec& candidate : shrink_candidates(outcome.minimal)) {
+      const std::vector<std::string> violations = property(candidate);
+      if (!violations.empty()) {
+        outcome.minimal = candidate;
+        outcome.violations = violations;
+        ++outcome.shrink_steps;
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) break;
+  }
+  if (outcome.violations.empty()) {
+    // The "failure" did not reproduce on the unmodified spec (flaky
+    // property) — report the original violations' absence explicitly.
+    outcome.violations.push_back(
+        "(failure did not reproduce when re-running the original spec)");
+  }
+  std::cerr << "[testkit] " << name << ": seed " << spec.seed
+            << " fails; minimal: " << describe(outcome.minimal) << "\n";
+  return outcome;
+}
+
+PropertyOutcome check_property(const std::string& name,
+                               const PropertyOptions& options,
+                               const Property& property) {
+  std::uint64_t replay_seed = 0;
+  if (env_u64("FALKON_TEST_SEED", replay_seed)) {
+    const WorkloadSpec spec = generate_workload(replay_seed);
+    std::cerr << "[testkit] " << name << ": replaying seed " << replay_seed
+              << ": " << describe(spec) << "\n";
+    const std::vector<std::string> violations = property(spec);
+    PropertyOutcome outcome;
+    outcome.cases_run = 1;
+    if (violations.empty()) return outcome;
+    return shrink_failure(name, spec, options, property);
+  }
+
+  std::uint64_t cases = static_cast<std::uint64_t>(options.cases);
+  (void)env_u64("FALKON_PROP_CASES", cases);
+
+  PropertyOutcome outcome;
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = options.base_seed + i;
+    const WorkloadSpec spec = generate_workload(seed);
+    const std::vector<std::string> violations = property(spec);
+    ++outcome.cases_run;
+    if (!violations.empty()) {
+      std::cerr << "[testkit] " << name << ": case " << i << " (seed " << seed
+                << ") failed; shrinking. Replay: FALKON_TEST_SEED=" << seed
+                << "\n";
+      return shrink_failure(name, spec, options, property);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace falkon::testkit

@@ -1,0 +1,67 @@
+// falkon::testkit — the property harness.
+//
+// A Property maps a WorkloadSpec to a list of violations (empty = holds).
+// check_property drives it over `cases` seeded workloads; on the first
+// failure it prints the seed (replayable with FALKON_TEST_SEED=<n>) and
+// greedily shrinks the failing spec through shrink_candidates until no
+// strictly-smaller mutation still fails, so the report carries a *minimal*
+// counterexample alongside the original.
+//
+// Environment knobs (read per check_property call):
+//   FALKON_TEST_SEED=<n>   replay exactly seed n (one case, no scan)
+//   FALKON_PROP_CASES=<n>  override the case budget (ci.sh's prop stage
+//                          raises it; a plain ctest run uses the default)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testkit/workload.h"
+
+namespace falkon::testkit {
+
+using Property = std::function<std::vector<std::string>(const WorkloadSpec&)>;
+
+struct PropertyOptions {
+  /// First seed of the scan; case i uses base_seed + i. Fixed per suite so
+  /// every ctest invocation re-checks the same seed block (deterministic CI)
+  /// while different suites cover different blocks.
+  std::uint64_t base_seed{1};
+  /// Seeded cases to run (before env overrides).
+  int cases{100};
+  /// Bound on shrink iterations (each iteration re-runs the property once
+  /// per candidate until one fails).
+  int max_shrink_steps{64};
+};
+
+struct PropertyOutcome {
+  bool passed{true};
+  int cases_run{0};
+  /// Set on failure.
+  std::uint64_t failing_seed{0};
+  WorkloadSpec original;       // the spec generated from failing_seed
+  WorkloadSpec minimal;        // after shrinking (== original if unshrinkable)
+  std::vector<std::string> violations;  // from the minimal spec
+  int shrink_steps{0};
+
+  /// Failure report: seed, replay instructions, original and minimal specs,
+  /// violations — the string tests hand to ASSERT_TRUE.
+  [[nodiscard]] std::string report(const std::string& name) const;
+};
+
+/// Run `property` over seeded workloads. Prints one line per failure to
+/// stderr (seed + replay hint) as it happens; details go in the outcome.
+[[nodiscard]] PropertyOutcome check_property(const std::string& name,
+                                             const PropertyOptions& options,
+                                             const Property& property);
+
+/// Shrink `spec` against `property` alone (exposed for harness tests and
+/// for shrinking externally-found counterexamples).
+[[nodiscard]] PropertyOutcome shrink_failure(const std::string& name,
+                                             const WorkloadSpec& spec,
+                                             const PropertyOptions& options,
+                                             const Property& property);
+
+}  // namespace falkon::testkit

@@ -1,0 +1,396 @@
+#include "testkit/runners.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/client.h"
+#include "core/service.h"
+#include "core/service_tcp.h"
+#include "core/task_engine.h"
+#include "sim/sim_falkon.h"
+
+namespace falkon::testkit {
+namespace {
+
+/// Ring sized for the largest generated workload at a generous retry
+/// budget; Tracer::complete() still guards every checker.
+constexpr std::size_t kTraceCapacity = 1 << 17;
+
+obs::ObsConfig trace_config() {
+  obs::ObsConfig config;
+  config.tracing = true;
+  config.trace_capacity = kTraceCapacity;
+  return config;
+}
+
+void nap_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+core::DispatcherConfig dispatcher_config(const WorkloadSpec& spec,
+                                         obs::Obs& obs,
+                                         fault::FaultInjector* injector) {
+  core::DispatcherConfig config;
+  config.replay.response_timeout_s = spec.replay_timeout_s;
+  config.replay.max_retries = spec.max_retries;
+  config.piggyback = spec.piggyback;
+  config.max_tasks_per_dispatch = spec.max_tasks_per_dispatch;
+  config.max_bundle_runtime_s = spec.max_bundle_runtime_s;
+  config.max_adaptive_bundle = spec.max_adaptive_bundle;
+  config.obs = &obs;
+  // Background recovery always on: the sweep drives replay timeouts for
+  // fault-free specs too (where it simply never fires) and renotify covers
+  // lost push frames.
+  config.sweep_interval_s = 0.05;
+  config.renotify_timeout_s = 0.3;
+  if (spec.faulty()) {
+    config.heartbeat_timeout_s = 0.6;
+    config.quarantine_threshold = 6;
+    config.fault = injector;
+  }
+  return config;
+}
+
+core::ExecutorOptions executor_options(const WorkloadSpec& spec,
+                                       std::uint64_t node, obs::Obs& obs,
+                                       fault::FaultInjector* injector) {
+  core::ExecutorOptions options;
+  options.node_id = NodeId{node};
+  options.max_bundle = spec.executor_bundle;
+  options.piggyback_tasks = spec.piggyback ? spec.executor_bundle : 0;
+  options.adaptive_bundle = spec.adaptive_bundle;
+  options.obs = &obs;
+  if (spec.faulty()) {
+    options.heartbeat_interval_s = 0.15;
+    options.link_retries = 6;
+    options.register_retries = 6;
+    options.backoff.base_s = 0.02;
+    options.backoff.max_s = 0.2;
+    options.fault = injector;
+  }
+  return options;
+}
+
+std::vector<TaskSpec> make_tasks(const WorkloadSpec& spec) {
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(spec.task_count));
+  for (std::uint64_t i = 1; i <= spec.task_count; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{i}, spec.task_length_s));
+  }
+  return tasks;
+}
+
+void fill_terminal_status(RunHistory& history,
+                          const core::DispatcherStatus& status) {
+  history.submitted = status.submitted;
+  history.completed = status.completed;
+  history.failed = status.failed;
+  history.retried = status.retried;
+  history.quarantined = status.quarantined;
+  history.suspicions = status.suspicions;
+  history.queued_at_end = status.queued;
+  history.dispatched_at_end = status.dispatched;
+}
+
+/// Poll `status()` until every submitted task is terminal, supervising the
+/// fleet via `respawn(slot)` and sampling the quarantine counter for I6.
+/// Returns false on deadline (run_error is set).
+template <class StatusFn, class RespawnFn>
+bool drive_to_quiesce(RunHistory& history, const WorkloadSpec& spec,
+                      double deadline_s, const StatusFn& status,
+                      const RespawnFn& respawn) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(deadline_s * 1000));
+  for (;;) {
+    const core::DispatcherStatus now = status();
+    history.quarantine_series.push_back(now.quarantined);
+    if (now.submitted >= spec.task_count &&
+        now.completed + now.failed >= now.submitted) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      history.run_error =
+          "stalled: completed=" + std::to_string(now.completed) +
+          " failed=" + std::to_string(now.failed) +
+          " queued=" + std::to_string(now.queued) +
+          " dispatched=" + std::to_string(now.dispatched) + " of " +
+          std::to_string(spec.task_count);
+      return false;
+    }
+    if (spec.supervise) {
+      for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
+    }
+    nap_ms(5);
+  }
+}
+
+}  // namespace
+
+RunHistory run_sim(const WorkloadSpec& spec) {
+  obs::Obs obs{trace_config()};
+  const fault::FaultPlan plan = fault_plan(spec);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (spec.faulty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan, &obs);
+  }
+
+  sim::SimFalkonConfig config;
+  config.executors = spec.executors;
+  config.task_count = spec.task_count;
+  config.task_length_s = spec.task_length_s;
+  config.client_bundle = spec.client_bundle;
+  config.piggyback = spec.piggyback;
+  config.seed = spec.seed;
+  config.replay_timeout_s = spec.replay_timeout_s;
+  config.max_retries = spec.max_retries;
+  config.obs = &obs;
+  config.fault = injector.get();
+
+  const sim::SimFalkonResult result = sim::simulate_falkon(config);
+
+  RunHistory history;
+  history.backend = "sim";
+  history.submitted = spec.task_count;
+  history.completed = result.completed;
+  history.failed = result.failed;
+  history.retried = result.retried;
+  history.max_retries = spec.max_retries;
+  if (injector) history.injected_faults = injector->total_injected();
+  history.events = obs.tracer().snapshot();
+  history.trace_complete = obs.tracer().complete();
+  return history;
+}
+
+RunHistory run_inproc(const WorkloadSpec& spec) {
+  RunHistory history;
+  history.backend = "inproc";
+  history.max_retries = spec.max_retries;
+
+  obs::Obs obs{trace_config()};
+  const fault::FaultPlan plan = fault_plan(spec);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (spec.faulty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan, &obs);
+  }
+
+  RealClock clock;
+  core::Dispatcher dispatcher(clock,
+                              dispatcher_config(spec, obs, injector.get()));
+  core::LocalDispatcherClient client(dispatcher);
+
+  // Fleet with supervision: a slot whose runtime exited (injected crash or
+  // false suspicion) is respawned as a fresh executor.
+  std::uint64_t next_node = 1;
+  std::vector<std::unique_ptr<core::LocalExecutorHarness>> fleet(
+      static_cast<std::size_t>(spec.executors));
+  const auto respawn = [&](int slot) {
+    auto& cell = fleet[static_cast<std::size_t>(slot)];
+    if (cell && cell->runtime().running()) return;
+    cell.reset();
+    auto harness = std::make_unique<core::LocalExecutorHarness>(
+        clock, dispatcher, std::make_unique<core::SleepEngine>(clock),
+        executor_options(spec, next_node++, obs, injector.get()));
+    if (harness->start().ok()) cell = std::move(harness);
+  };
+  for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
+
+  const auto instance = client.create_instance(ClientId{1});
+  if (!instance.ok()) {
+    history.run_error = "create_instance: " + instance.error().str();
+    return history;
+  }
+
+  // Client-dispatcher bundling {1,2}.
+  const std::vector<TaskSpec> tasks = make_tasks(spec);
+  for (std::size_t at = 0; at < tasks.size();
+       at += static_cast<std::size_t>(spec.client_bundle)) {
+    const std::size_t end = std::min(
+        tasks.size(), at + static_cast<std::size_t>(spec.client_bundle));
+    auto accepted = client.submit(
+        instance.value(), {tasks.begin() + static_cast<long>(at),
+                           tasks.begin() + static_cast<long>(end)});
+    if (!accepted.ok()) {
+      history.run_error = "submit: " + accepted.error().str();
+      return history;
+    }
+  }
+
+  drive_to_quiesce(history, spec, /*deadline_s=*/60.0,
+                   [&] { return dispatcher.status(); }, respawn);
+
+  // Pick up every routed result (failures included — replay exhaustion and
+  // quarantine also deliver a terminal TaskResult).
+  int idle_polls = 0;
+  while (history.run_error.empty() &&
+         history.result_ids.size() < spec.task_count && idle_polls < 5) {
+    auto batch = client.wait_results(instance.value(), 256, 0.2);
+    if (!batch.ok() || batch.value().empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const auto& result : batch.value()) {
+      history.result_ids.push_back(result.task_id.value);
+    }
+  }
+
+  const core::DispatcherStatus status = dispatcher.status();
+  for (auto& harness : fleet) harness.reset();
+  dispatcher.shutdown();
+
+  if (injector) history.injected_faults = injector->total_injected();
+  fill_terminal_status(history, status);
+  history.events = obs.tracer().snapshot();
+  history.trace_complete = obs.tracer().complete();
+  return history;
+}
+
+RunHistory run_tcp(const WorkloadSpec& spec, double deadline_s) {
+  RunHistory history;
+  history.backend = "tcp";
+  history.max_retries = spec.max_retries;
+
+  obs::Obs obs{trace_config()};
+  const fault::FaultPlan plan = fault_plan(spec);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (spec.faulty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan, &obs);
+  }
+
+  RealClock clock;
+  core::Dispatcher dispatcher(clock,
+                              dispatcher_config(spec, obs, injector.get()));
+  core::TcpDispatcherServer server(dispatcher, &obs);
+  if (auto status = server.start(0, 0, injector.get()); !status.ok()) {
+    history.run_error = "server start: " + status.error().str();
+    return history;
+  }
+
+  std::uint64_t next_node = 1;
+  std::vector<std::unique_ptr<core::TcpExecutorHarness>> fleet(
+      static_cast<std::size_t>(spec.executors));
+  const auto respawn = [&](int slot) {
+    auto& cell = fleet[static_cast<std::size_t>(slot)];
+    if (cell && cell->runtime().running()) return;
+    cell.reset();
+    auto harness = std::make_unique<core::TcpExecutorHarness>(
+        clock, "127.0.0.1", server.rpc_port(), server.push_port(),
+        std::make_unique<core::SleepEngine>(clock),
+        executor_options(spec, next_node++, obs, injector.get()));
+    if (harness->start().ok()) cell = std::move(harness);
+  };
+  for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
+
+  // Client over real TCP. The client stub carries no injector, so requests
+  // always reach the dispatcher — but the server may drop reply frames
+  // (Site::kRpcReply), so reads retry on a fresh connection and submits are
+  // confirmed through the (idempotent) status call instead of re-sending.
+  std::unique_ptr<core::TcpDispatcherClient> client;
+  const auto redial = [&]() -> bool {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto connected =
+          core::TcpDispatcherClient::connect("127.0.0.1", server.rpc_port());
+      if (connected.ok()) {
+        client = connected.take();
+        return true;
+      }
+      nap_ms(10);
+    }
+    return false;
+  };
+  const auto reliable = [&](const auto& fn) -> bool {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (client == nullptr && !redial()) break;
+      if (fn(*client)) return true;
+      client.reset();
+      nap_ms(10);
+    }
+    return false;
+  };
+
+  InstanceId instance;
+  if (!reliable([&](core::TcpDispatcherClient& c) {
+        auto created = c.create_instance(ClientId{1});
+        if (created.ok()) instance = created.value();
+        return created.ok();
+      })) {
+    history.run_error = "create_instance never succeeded";
+    return history;
+  }
+
+  const std::vector<TaskSpec> tasks = make_tasks(spec);
+  std::uint64_t confirmed = 0;
+  for (std::size_t at = 0; at < tasks.size();
+       at += static_cast<std::size_t>(spec.client_bundle)) {
+    const std::size_t end = std::min(
+        tasks.size(), at + static_cast<std::size_t>(spec.client_bundle));
+    if (client == nullptr && !redial()) break;
+    // Send once; a lost reply must not trigger a blind re-send (that would
+    // duplicate task ids). The status poll below confirms acceptance.
+    (void)client->submit(instance, {tasks.begin() + static_cast<long>(at),
+                                    tasks.begin() + static_cast<long>(end)});
+    confirmed += end - at;
+    const std::uint64_t want = confirmed;
+    if (!reliable([&](core::TcpDispatcherClient& c) {
+          auto status = c.status();
+          return status.ok() && status.value().submitted >= want;
+        })) {
+      history.run_error = "submit of bundle at " + std::to_string(at) +
+                          " never confirmed";
+      return history;
+    }
+  }
+
+  drive_to_quiesce(history, spec, deadline_s,
+                   [&] { return dispatcher.status(); }, respawn);
+
+  int idle_polls = 0;
+  while (history.run_error.empty() &&
+         history.result_ids.size() < spec.task_count && idle_polls < 8) {
+    std::vector<TaskResult> batch;
+    const bool got = reliable([&](core::TcpDispatcherClient& c) {
+      auto results = c.wait_results(instance, 256, 0.2);
+      if (!results.ok()) return false;
+      batch = std::move(results.value());
+      return true;
+    });
+    if (!got || batch.empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const auto& result : batch) {
+      history.result_ids.push_back(result.task_id.value);
+    }
+  }
+
+  const core::DispatcherStatus status = dispatcher.status();
+  // Orderly fleet teardown *before* reading the bundle ledger: deregister
+  // (or removal via the sink hook) must retire every outstanding
+  // bundle_seq — exactly invariant I7.
+  for (auto& harness : fleet) harness.reset();
+
+  obs::Registry& reg = obs.registry();
+  history.has_bundle_counters = true;
+  history.pending_bundles_gauge =
+      reg.gauge("falkon.net.rpc.pending_bundles").value();
+  history.bundles_issued = reg.counter("falkon.net.rpc.bundles_issued").value();
+  history.bundles_retired =
+      reg.counter("falkon.net.rpc.bundles_retired").value();
+
+  dispatcher.shutdown();
+  server.stop();
+
+  if (injector) history.injected_faults = injector->total_injected();
+  fill_terminal_status(history, status);
+  history.events = obs.tracer().snapshot();
+  history.trace_complete = obs.tracer().complete();
+  return history;
+}
+
+}  // namespace falkon::testkit

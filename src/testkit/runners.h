@@ -1,0 +1,37 @@
+// falkon::testkit — backend runners.
+//
+// Each runner executes one WorkloadSpec end-to-end on a different backend
+// and returns the RunHistory the checkers consume:
+//
+//   run_sim     the DES (sim::simulate_falkon) — model time, single thread,
+//               bit-reproducible under the spec's seed
+//   run_inproc  real Dispatcher + LocalExecutorHarness fleet — threads and
+//               locks, no wire
+//   run_tcp     full loopback-TCP deployment (TcpDispatcherServer +
+//               TcpExecutorHarness) — the production protocol, including
+//               bundle_seq retirement
+//
+// All three enable obs tracing with a ring sized to hold the whole run, so
+// the resulting histories are complete protocol transcripts. Threaded
+// runners supervise the fleet (respawning crashed executors, like a
+// provisioner holding an allocation at size) and bound the run with a real
+// deadline: a stall is reported through RunHistory::run_error rather than
+// hanging the property harness.
+#pragma once
+
+#include "testkit/history.h"
+#include "testkit/workload.h"
+
+namespace falkon::testkit {
+
+/// Run the spec through the discrete-event simulation.
+[[nodiscard]] RunHistory run_sim(const WorkloadSpec& spec);
+
+/// Run the spec on a real dispatcher with in-process executors.
+[[nodiscard]] RunHistory run_inproc(const WorkloadSpec& spec);
+
+/// Run the spec on the loopback-TCP stack. `deadline_s` bounds wall time.
+[[nodiscard]] RunHistory run_tcp(const WorkloadSpec& spec,
+                                 double deadline_s = 60.0);
+
+}  // namespace falkon::testkit

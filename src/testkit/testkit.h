@@ -1,0 +1,14 @@
+// falkon::testkit — umbrella header.
+//
+// Seeded property-based testing for the Falkon reproduction: workload
+// generation with automatic shrinking (workload.h), protocol histories and
+// the dispatcher invariant model replayed from the obs trace ring
+// (history.h), backend runners for DES / in-process / loopback-TCP
+// (runners.h), and the property harness with seed replay (property.h).
+// See docs/TESTING.md.
+#pragma once
+
+#include "testkit/history.h"
+#include "testkit/property.h"
+#include "testkit/runners.h"
+#include "testkit/workload.h"

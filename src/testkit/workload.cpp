@@ -1,0 +1,122 @@
+#include "testkit/workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace falkon::testkit {
+
+WorkloadSpec generate_workload(std::uint64_t seed) {
+  // Offset stream so spec draws never collide with fault::random_plan's
+  // (which XORs its own constant into the same seed).
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.task_count = rng.uniform_int(1, 160);
+  spec.executors = static_cast<int>(rng.uniform_int(1, 8));
+  // Mostly instant tasks; occasionally short sleeps so execution genuinely
+  // overlaps dispatch.
+  spec.task_length_s = rng.bernoulli(0.25) ? rng.uniform(0.001, 0.02) : 0.0;
+
+  spec.client_bundle = static_cast<int>(rng.uniform_int(1, 64));
+  spec.piggyback = rng.bernoulli(0.7);
+  spec.max_tasks_per_dispatch =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  spec.executor_bundle = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  spec.adaptive_bundle = rng.bernoulli(0.3);
+  spec.max_adaptive_bundle =
+      static_cast<std::uint32_t>(rng.uniform_int(4, 64));
+  spec.max_bundle_runtime_s = rng.bernoulli(0.2) ? rng.uniform(0.01, 0.5) : 0.0;
+
+  // Generous budget: recoverable fault plans must converge well inside it.
+  spec.max_retries = static_cast<int>(rng.uniform_int(16, 64));
+  spec.replay_timeout_s = rng.uniform(0.3, 1.0);
+  spec.supervise = true;
+
+  // Roughly a third of all cases carry faults.
+  spec.fault_intensity = rng.bernoulli(0.35) ? rng.uniform(0.2, 1.0) : 0.0;
+  return spec;
+}
+
+fault::FaultPlan fault_plan(const WorkloadSpec& spec) {
+  if (!spec.faulty()) return fault::FaultPlan{spec.seed, {}, {}};
+  return fault::random_plan(spec.seed, spec.fault_intensity);
+}
+
+std::string describe(const WorkloadSpec& spec) {
+  std::string out = "WorkloadSpec{";
+  out += ".seed=" + std::to_string(spec.seed);
+  out += ", .task_count=" + std::to_string(spec.task_count);
+  out += ", .executors=" + std::to_string(spec.executors);
+  out += ", .task_length_s=" + std::to_string(spec.task_length_s);
+  out += ", .client_bundle=" + std::to_string(spec.client_bundle);
+  out += ", .piggyback=" + std::string(spec.piggyback ? "true" : "false");
+  out += ", .max_tasks_per_dispatch=" +
+         std::to_string(spec.max_tasks_per_dispatch);
+  out += ", .executor_bundle=" + std::to_string(spec.executor_bundle);
+  out += ", .adaptive_bundle=" +
+         std::string(spec.adaptive_bundle ? "true" : "false");
+  out += ", .max_adaptive_bundle=" + std::to_string(spec.max_adaptive_bundle);
+  out += ", .max_bundle_runtime_s=" + std::to_string(spec.max_bundle_runtime_s);
+  out += ", .max_retries=" + std::to_string(spec.max_retries);
+  out += ", .replay_timeout_s=" + std::to_string(spec.replay_timeout_s);
+  out += ", .supervise=" + std::string(spec.supervise ? "true" : "false");
+  out += ", .fault_intensity=" + std::to_string(spec.fault_intensity);
+  return out + "}";
+}
+
+std::uint64_t spec_size(const WorkloadSpec& spec) {
+  // Dominated by task count, then fleet size, then knob complexity. Each
+  // "complex" knob adds one so disabling it strictly shrinks.
+  std::uint64_t size = spec.task_count * 16;
+  size += static_cast<std::uint64_t>(spec.executors) * 4;
+  if (spec.faulty()) size += 8;
+  if (spec.task_length_s > 0) size += 1;
+  if (spec.adaptive_bundle) size += 1;
+  if (spec.max_tasks_per_dispatch > 1) size += 1;
+  if (spec.executor_bundle > 1) size += 1;
+  if (spec.max_bundle_runtime_s > 0) size += 1;
+  if (spec.client_bundle > 1) size += 1;
+  if (!spec.piggyback) size += 1;
+  return size;
+}
+
+std::vector<WorkloadSpec> shrink_candidates(const WorkloadSpec& spec) {
+  std::vector<WorkloadSpec> out;
+  const auto push = [&](auto&& mutate) {
+    WorkloadSpec candidate = spec;
+    mutate(candidate);
+    if (spec_size(candidate) < spec_size(spec)) out.push_back(candidate);
+  };
+
+  // Aggressive first: halve the workload, then the fleet, then strip the
+  // fault plan, then simplify knobs one at a time.
+  if (spec.task_count > 1) {
+    push([](WorkloadSpec& s) { s.task_count /= 2; });
+    push([](WorkloadSpec& s) { s.task_count -= 1; });
+  }
+  if (spec.executors > 1) {
+    push([](WorkloadSpec& s) { s.executors = std::max(1, s.executors / 2); });
+    push([](WorkloadSpec& s) { s.executors -= 1; });
+  }
+  if (spec.faulty()) push([](WorkloadSpec& s) { s.fault_intensity = 0.0; });
+  if (spec.task_length_s > 0) push([](WorkloadSpec& s) { s.task_length_s = 0.0; });
+  if (spec.adaptive_bundle) {
+    push([](WorkloadSpec& s) { s.adaptive_bundle = false; });
+  }
+  if (spec.max_tasks_per_dispatch > 1) {
+    push([](WorkloadSpec& s) { s.max_tasks_per_dispatch = 1; });
+  }
+  if (spec.executor_bundle > 1) {
+    push([](WorkloadSpec& s) { s.executor_bundle = 1; });
+  }
+  if (spec.max_bundle_runtime_s > 0) {
+    push([](WorkloadSpec& s) { s.max_bundle_runtime_s = 0.0; });
+  }
+  if (spec.client_bundle > 1) push([](WorkloadSpec& s) { s.client_bundle = 1; });
+  if (!spec.piggyback) push([](WorkloadSpec& s) { s.piggyback = true; });
+  return out;
+}
+
+}  // namespace falkon::testkit

@@ -1,0 +1,89 @@
+// falkon::testkit — seeded property-based workload generation.
+//
+// A WorkloadSpec is the *entire* input of one property case: task count,
+// runtimes, bundling/policy knobs, a fault intensity (expanded into a
+// fault::FaultPlan via fault::random_plan) and provisioner-ish fleet knobs.
+// Every field is drawn from a single SplitMix64 seed by generate_workload,
+// so a failing case is fully described by one integer — the seed printed
+// on failure — and `FALKON_TEST_SEED=<n>` replays it exactly.
+//
+// Shrinking operates on the spec, not the seed: shrink_candidates returns
+// strictly "smaller" mutations of a failing spec (fewer tasks, fewer
+// executors, no faults, simpler bundling), and the property harness
+// (property.h) greedily descends until no mutation still fails. The
+// minimal spec is what goes into the bug report — and into tests as a
+// regression case, via the plain aggregate literal printed by describe().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace falkon::testkit {
+
+/// One generated property case. Plain aggregate: regression tests write
+/// shrunk counterexamples as braced literals.
+struct WorkloadSpec {
+  /// Generator seed; also seeds the fault plan and any runner RNG needs.
+  std::uint64_t seed{1};
+
+  // ---- workload shape ----
+  std::uint64_t task_count{32};
+  int executors{4};
+  /// Homogeneous task runtime. Kept tiny: the threaded runners sleep for
+  /// real (scaled) time.
+  double task_length_s{0.0};
+
+  // ---- client/dispatcher/wire policy knobs ----
+  int client_bundle{16};
+  bool piggyback{true};
+  std::uint32_t max_tasks_per_dispatch{1};
+  /// Executor-side fixed bundle request (GetWork max_tasks); >= 1.
+  std::uint32_t executor_bundle{1};
+  /// Adaptive wire bundling (kAdaptiveBundle/kAdaptiveWant sentinels).
+  bool adaptive_bundle{false};
+  std::uint32_t max_adaptive_bundle{32};
+  double max_bundle_runtime_s{0.0};
+
+  // ---- recovery policy ----
+  int max_retries{8};
+  double replay_timeout_s{2.0};
+  /// Fleet supervision (threaded runners): respawn crashed executors, like
+  /// a provisioner holding the allocation at size.
+  bool supervise{true};
+
+  // ---- fault model ----
+  /// 0 = fault-free; otherwise expanded by fault_plan() below. Recoverable
+  /// by construction (see fault::random_plan), so properties may demand
+  /// full completion even for fault-bearing specs.
+  double fault_intensity{0.0};
+
+  [[nodiscard]] bool faulty() const { return fault_intensity > 0.0; }
+};
+
+/// Draw a complete spec from one seed. Deterministic; ranges are sized so
+/// any spec finishes in well under a second in the DES and a few seconds
+/// in the threaded runners.
+[[nodiscard]] WorkloadSpec generate_workload(std::uint64_t seed);
+
+/// The spec's fault plan: empty when fault_intensity == 0, otherwise
+/// fault::random_plan(seed, intensity) — every rule recoverable.
+[[nodiscard]] fault::FaultPlan fault_plan(const WorkloadSpec& spec);
+
+/// One line, every field — pasteable as an aggregate literal.
+[[nodiscard]] std::string describe(const WorkloadSpec& spec);
+
+/// Strictly-smaller mutations of `spec`, most aggressive first (halve the
+/// task count before fiddling with knobs). Each candidate changes exactly
+/// one axis; the harness re-runs the property on each and recurses on the
+/// first that still fails.
+[[nodiscard]] std::vector<WorkloadSpec> shrink_candidates(
+    const WorkloadSpec& spec);
+
+/// Total "size" of a spec — the measure shrinking minimises. Monotone:
+/// every shrink_candidates entry has a strictly smaller size.
+[[nodiscard]] std::uint64_t spec_size(const WorkloadSpec& spec);
+
+}  // namespace falkon::testkit

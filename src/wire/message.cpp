@@ -1,5 +1,7 @@
 #include "wire/message.h"
 
+#include <type_traits>
+
 namespace falkon::wire {
 namespace {
 
@@ -67,6 +69,84 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kResultBundle: return "ResultBundle";
   }
   return "Unknown";
+}
+
+std::string debug_summary(const Message& message) {
+  std::string out = msg_type_name(message_type(message));
+  const auto num = [](std::uint64_t v) { return std::to_string(v); };
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ErrorReply>) {
+          out += "{" + m.message + "}";
+        } else if constexpr (std::is_same_v<T, SubmitRequest>) {
+          out += "{instance=" + num(m.instance_id.value) +
+                 ", tasks=" + num(m.tasks.size()) + "}";
+        } else if constexpr (std::is_same_v<T, SubmitReply>) {
+          out += "{accepted=" + num(m.accepted) + "}";
+        } else if constexpr (std::is_same_v<T, RegisterRequest>) {
+          out += "{node=" + num(m.node_id.value) + ", slots=" + num(m.slots) +
+                 "}";
+        } else if constexpr (std::is_same_v<T, RegisterReply>) {
+          out += "{executor=" + num(m.executor_id.value) + "}";
+        } else if constexpr (std::is_same_v<T, Notify>) {
+          out += "{executor=" + num(m.executor_id.value) +
+                 (m.resource_key == kReleaseResourceKey
+                      ? std::string(", release")
+                      : ", key=" + num(m.resource_key)) +
+                 "}";
+        } else if constexpr (std::is_same_v<T, GetWorkRequest>) {
+          out += "{executor=" + num(m.executor_id.value) + ", max=" +
+                 (m.max_tasks == kAdaptiveBundle ? std::string("adaptive")
+                                                 : num(m.max_tasks)) +
+                 "}";
+        } else if constexpr (std::is_same_v<T, GetWorkReply>) {
+          out += "{tasks=" + num(m.tasks.size()) + "}";
+        } else if constexpr (std::is_same_v<T, ResultRequest>) {
+          out += "{executor=" + num(m.executor_id.value) +
+                 ", results=" + num(m.results.size()) + ", want=" +
+                 (m.want_tasks == kAdaptiveWant ? std::string("adaptive")
+                                                : num(m.want_tasks)) +
+                 "}";
+        } else if constexpr (std::is_same_v<T, ResultReply>) {
+          out += "{acked=" + num(m.acknowledged) +
+                 ", piggyback=" + num(m.piggyback_tasks.size()) + "}";
+        } else if constexpr (std::is_same_v<T, StatusReply>) {
+          out += "{submitted=" + num(m.submitted_tasks) +
+                 ", queued=" + num(m.queued_tasks) +
+                 ", dispatched=" + num(m.dispatched_tasks) +
+                 ", completed=" + num(m.completed_tasks) +
+                 ", failed=" + num(m.failed_tasks) +
+                 ", executors=" + num(m.registered_executors) + "}";
+        } else if constexpr (std::is_same_v<T, DeregisterRequest>) {
+          out += "{executor=" + num(m.executor_id.value) + ", reason=" +
+                 m.reason + "}";
+        } else if constexpr (std::is_same_v<T, WaitResultsRequest>) {
+          out += "{instance=" + num(m.instance_id.value) +
+                 ", max=" + num(m.max_results) + "}";
+        } else if constexpr (std::is_same_v<T, WaitResultsReply>) {
+          out += "{results=" + num(m.results.size()) + "}";
+        } else if constexpr (std::is_same_v<T, ClientNotify>) {
+          out += "{instance=" + num(m.instance_id.value) +
+                 ", completed=" + num(m.completed) + "}";
+        } else if constexpr (std::is_same_v<T, HeartbeatRequest>) {
+          out += "{executor=" + num(m.executor_id.value) + "}";
+        } else if constexpr (std::is_same_v<T, TaskBundle>) {
+          out += "{executor=" + num(m.executor_id.value) +
+                 ", seq=" + num(m.bundle_seq) +
+                 ", acked=" + num(m.acknowledged) +
+                 ", tasks=" + num(m.tasks.size()) + "}";
+        } else if constexpr (std::is_same_v<T, ResultBundle>) {
+          out += "{executor=" + num(m.executor_id.value) +
+                 ", ack_seq=" + num(m.ack_seq) +
+                 ", results=" + num(m.results.size()) + ", want=" +
+                 (m.want_tasks == kAdaptiveWant ? std::string("adaptive")
+                                                : num(m.want_tasks)) +
+                 "}";
+        }
+      },
+      message);
+  return out;
 }
 
 void encode_task_spec(Writer& w, const TaskSpec& spec) {

@@ -221,6 +221,12 @@ using Message =
 
 [[nodiscard]] MsgType message_type(const Message& message);
 
+/// One-line human-readable summary ("TaskBundle{seq=3, acked=2, tasks=8}")
+/// for counterexample dumps, trace logs and test failure messages. Payload
+/// bodies (task args, result stdout) are elided — only the protocol-level
+/// fields that matter for conformance debugging are shown.
+[[nodiscard]] std::string debug_summary(const Message& message);
+
 /// Serialise a message (type byte + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
 

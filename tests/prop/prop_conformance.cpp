@@ -1,0 +1,84 @@
+// Property suite: sim ↔ TCP trace conformance.
+//
+// The acceptance bar for trusting the DES as a stand-in for deployments:
+// for the same WorkloadSpec, the DES and the loopback-TCP stack must
+// describe equivalent protocol histories — same task set, both quiescent,
+// per-task stage ordering valid on both sides, exactly one terminal ack
+// per task — and, because generated fault plans are recoverable by
+// construction, *every* task completes on both backends even on
+// fault-bearing specs.
+//
+// Budget: 26 randomized workloads from the seed scan plus 6 forced-fault
+// workloads (32 conformance pairs per invocation). Each pair runs a full
+// TCP deployment, so this suite is serialised in ctest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/testkit.h"
+
+namespace falkon::testkit {
+namespace {
+
+std::vector<std::string> conformance_property(const WorkloadSpec& spec) {
+  const RunHistory sim = run_sim(spec);
+  const RunHistory tcp = run_tcp(spec);
+  std::vector<std::string> violations = check_invariants(sim);
+  for (auto& v : check_invariants(tcp)) violations.push_back(std::move(v));
+  for (auto& v : check_conformance(sim, tcp, /*require_all_complete=*/true)) {
+    violations.push_back(std::move(v));
+  }
+  return violations;
+}
+
+TEST(PropConformance, SimAndTcpAgreeOnRandomWorkloads) {
+  PropertyOptions options;
+  options.base_seed = 9000;
+  options.cases = 26;
+  // TCP runs are expensive; keep the shrink descent bounded.
+  options.max_shrink_steps = 24;
+  const PropertyOutcome outcome =
+      check_property("sim-tcp-conformance", options, conformance_property);
+  EXPECT_TRUE(outcome.passed) << outcome.report("sim-tcp-conformance");
+  EXPECT_GE(outcome.cases_run, 1);
+}
+
+TEST(PropConformance, SimAndTcpAgreeUnderForcedFaultPlans) {
+  // The random scan leaves fault-bearing specs to chance; force a plan on
+  // every case here so ack retirement, replay and crash recovery are
+  // compared on each invocation.
+  PropertyOptions options;
+  options.base_seed = 9500;
+  options.cases = 6;
+  options.max_shrink_steps = 24;
+  std::uint64_t total_injected = 0;
+  const PropertyOutcome outcome = check_property(
+      "sim-tcp-conformance-faulty", options, [&](const WorkloadSpec& raw) {
+        WorkloadSpec spec = raw;
+        spec.fault_intensity = std::max(spec.fault_intensity, 0.5);
+        // Keep the forced runs quick: cap the workload, keep budgets high.
+        spec.task_count = std::min<std::uint64_t>(spec.task_count, 80);
+        const RunHistory sim = run_sim(spec);
+        const RunHistory tcp = run_tcp(spec);
+        total_injected += sim.injected_faults + tcp.injected_faults;
+        std::vector<std::string> violations = check_invariants(sim);
+        for (auto& v : check_invariants(tcp)) violations.push_back(std::move(v));
+        for (auto& v :
+             check_conformance(sim, tcp, /*require_all_complete=*/true)) {
+          violations.push_back(std::move(v));
+        }
+        return violations;
+      });
+  EXPECT_TRUE(outcome.passed)
+      << outcome.report("sim-tcp-conformance-faulty");
+  // Forced plans must actually inject somewhere across the scan, or the
+  // "faulty" conformance pass is vacuous.
+  EXPECT_GT(total_injected, 0u)
+      << "no fault ever fired across " << outcome.cases_run << " cases";
+}
+
+}  // namespace
+}  // namespace falkon::testkit

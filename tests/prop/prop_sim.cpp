@@ -1,0 +1,98 @@
+// Property suite: the DES backend.
+//
+// Budget: 240 seeded cases per ctest invocation (raise with
+// FALKON_PROP_CASES, replay one with FALKON_TEST_SEED). Two properties:
+//   * every generated workload — fault plans included — satisfies the
+//     dispatcher invariant model (history.h I1..I8) when run through
+//     sim::simulate_falkon;
+//   * the DES is bit-reproducible: same spec, same protocol history.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/testkit.h"
+
+namespace falkon::testkit {
+namespace {
+
+TEST(PropSim, InvariantsHoldOnRandomWorkloads) {
+  PropertyOptions options;
+  options.base_seed = 1000;
+  options.cases = 200;
+  const PropertyOutcome outcome =
+      check_property("sim-invariants", options, [](const WorkloadSpec& spec) {
+        return check_invariants(run_sim(spec));
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report("sim-invariants");
+  EXPECT_GE(outcome.cases_run, 1);
+}
+
+TEST(PropSim, RecoverableFaultPlansStillCompleteEveryTask) {
+  // fault::random_plan promises recoverability: under the generated (>= 16)
+  // retry budget every task must still reach completion, not just a
+  // terminal state.
+  PropertyOptions options;
+  options.base_seed = 2000;
+  options.cases = 40;
+  std::uint64_t total_injected = 0;
+  const PropertyOutcome outcome = check_property(
+      "sim-fault-completion", options, [&](const WorkloadSpec& raw) {
+        WorkloadSpec spec = raw;
+        spec.fault_intensity = std::max(spec.fault_intensity, 0.5);
+        const RunHistory history = run_sim(spec);
+        total_injected += history.injected_faults;
+        std::vector<std::string> violations = check_invariants(history);
+        if (history.completed != history.submitted) {
+          violations.push_back(
+              "recoverable plan lost tasks: completed=" +
+              std::to_string(history.completed) + " of " +
+              std::to_string(history.submitted) + " under " +
+              fault::describe(fault_plan(spec)));
+        }
+        return violations;
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report("sim-fault-completion");
+  // The scan is only meaningful if the forced plans actually bit somewhere.
+  EXPECT_GT(total_injected, 0u)
+      << "no fault ever fired across " << outcome.cases_run << " cases";
+}
+
+TEST(PropSim, SameSpecIsBitReproducible) {
+  PropertyOptions options;
+  options.base_seed = 3000;
+  options.cases = 30;
+  const PropertyOutcome outcome = check_property(
+      "sim-determinism", options, [](const WorkloadSpec& spec) {
+        const RunHistory a = run_sim(spec);
+        const RunHistory b = run_sim(spec);
+        std::vector<std::string> violations;
+        if (a.completed != b.completed || a.failed != b.failed ||
+            a.retried != b.retried) {
+          violations.push_back("terminal accounting diverged between runs");
+        }
+        if (a.events.size() != b.events.size()) {
+          violations.push_back("trace lengths diverged: " +
+                               std::to_string(a.events.size()) + " vs " +
+                               std::to_string(b.events.size()));
+        } else {
+          for (std::size_t i = 0; i < a.events.size(); ++i) {
+            if (a.events[i].task != b.events[i].task ||
+                a.events[i].stage != b.events[i].stage ||
+                a.events[i].begin_s != b.events[i].begin_s ||
+                a.events[i].end_s != b.events[i].end_s) {
+              violations.push_back("trace event " + std::to_string(i) +
+                                   " diverged");
+              break;
+            }
+          }
+        }
+        return violations;
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report("sim-determinism");
+}
+
+}  // namespace
+}  // namespace falkon::testkit

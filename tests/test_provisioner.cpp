@@ -1,9 +1,13 @@
 // Provisioner unit tests with a ManualClock: allocation lifecycle through
-// GRAM + the LRM, pending-executor accounting, per-node lease release, the
-// min-executor floor, and the provisioning time series.
+// GRAM + the LRM, all four acquisition policies (one-at-a-time, additive,
+// exponential, all-at-once), pending-executor accounting, per-node lease
+// release, centralized + idle-timeout de-registration, the min-executor
+// floor, and the provisioning time series.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "common/clock.h"
 #include "core/provisioner.h"
@@ -11,8 +15,18 @@
 namespace falkon::core {
 namespace {
 
-struct NullSink final : ExecutorSink {
-  void notify(ExecutorId, std::uint64_t) override {}
+/// Sink that records centralized-release requests (kReleaseResourceKey
+/// pushes) so tests can simulate executor compliance.
+struct RecordingSink final : ExecutorSink {
+  RecordingSink(std::mutex& mu, std::vector<std::uint64_t>& released)
+      : mu(mu), released(released) {}
+  void notify(ExecutorId id, std::uint64_t resource_key) override {
+    if (resource_key != kReleaseResourceKey) return;
+    std::lock_guard lock(mu);
+    released.push_back(id.value);
+  }
+  std::mutex& mu;
+  std::vector<std::uint64_t>& released;
 };
 
 lrm::LrmConfig fast_lrm() {
@@ -33,8 +47,9 @@ class ProvisionerTest : public ::testing::Test {
         gram_(clock_, scheduler_, lrm::GramConfig{/*request_overhead_s=*/1.0,
                                                   /*notification_delay_s=*/0.0}) {}
 
-  void make_provisioner(ProvisionerConfig config,
-                        const std::string& policy = "all-at-once") {
+  void make_provisioner(
+      ProvisionerConfig config, const std::string& policy = "all-at-once",
+      std::unique_ptr<CentralizedReleasePolicy> central = nullptr) {
     launch_per_node_ = std::max(1, config.executors_per_node);
     provisioner_ = std::make_unique<Provisioner>(
         clock_, dispatcher_, gram_, scheduler_, config,
@@ -49,7 +64,8 @@ class ProvisionerTest : public ::testing::Test {
               request.node_id = node;
               request.allocation_id = allocation;
               auto id = dispatcher_.register_executor(
-                  request, std::make_shared<NullSink>());
+                  request,
+                  std::make_shared<RecordingSink>(release_mu_, released_));
               if (id.ok()) {
                 leases_.emplace_back(allocation, node);
                 ids_.push_back(id.value());
@@ -58,7 +74,29 @@ class ProvisionerTest : public ::testing::Test {
             }
           }
           return launched;
-        });
+        },
+        std::move(central));
+  }
+
+  /// Ack one empty bundle per executor so every executor goes idle and the
+  /// queue drains (each executor pulls + completes at most one task).
+  void drain_queue() {
+    for (auto id : ids_) {
+      auto work = dispatcher_.get_work(id, 1);
+      ASSERT_TRUE(work.ok());
+      if (work.value().empty()) continue;
+      TaskResult result;
+      result.task_id = work.value()[0].id;
+      ASSERT_TRUE(dispatcher_.deliver_results(id, {result}, 0).ok());
+    }
+  }
+
+  /// Simulate the executor side of a de-registration (idle timeout firing
+  /// or compliance with a centralized release request): deregister from the
+  /// dispatcher and report the exit to the provisioner.
+  void exit_executor(std::size_t slot, const std::string& reason) {
+    (void)dispatcher_.deregister_executor(ids_[slot], reason);
+    provisioner_->executor_exited(leases_[slot].first, leases_[slot].second);
   }
 
   void queue_tasks(int count) {
@@ -87,6 +125,8 @@ class ProvisionerTest : public ::testing::Test {
   std::unique_ptr<Provisioner> provisioner_;
   std::vector<std::pair<AllocationId, NodeId>> leases_;
   std::vector<ExecutorId> ids_;
+  std::mutex release_mu_;
+  std::vector<std::uint64_t> released_;
   InstanceId instance_;
   std::uint64_t next_task_id_{1};
   int launch_per_node_{1};
@@ -176,6 +216,113 @@ TEST_F(ProvisionerTest, OneAtATimeIssuesManyAllocations) {
   provisioner_->step();
   EXPECT_EQ(provisioner_->stats().allocations_requested, 5u);
   EXPECT_EQ(provisioner_->pending_executors(), 5);
+}
+
+TEST_F(ProvisionerTest, AdditiveGrowsRequestsArithmetically) {
+  ProvisionerConfig config;
+  config.max_executors = 8;
+  make_provisioner(config, "additive");
+  queue_tasks(6);
+  provisioner_->step();
+  // Deficit of 6 covered by arithmetically growing requests: 1 + 2 + 3.
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 3u);
+  EXPECT_EQ(provisioner_->pending_executors(), 6);
+
+  advance(13.0);
+  EXPECT_EQ(provisioner_->stats().executors_launched, 6u);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 6u);
+  // Demand covered: the ramp stops.
+  advance(10.0);
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 3u);
+}
+
+TEST_F(ProvisionerTest, ExponentialDoublesRequestSizes) {
+  ProvisionerConfig config;
+  config.max_executors = 8;
+  make_provisioner(config, "exponential");
+  queue_tasks(7);
+  provisioner_->step();
+  // Deficit of 7 covered by doubling requests: 1 + 2 + 4.
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 3u);
+  EXPECT_EQ(provisioner_->pending_executors(), 7);
+
+  advance(13.0);
+  EXPECT_EQ(provisioner_->stats().executors_launched, 7u);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 7u);
+  advance(10.0);
+  EXPECT_EQ(provisioner_->stats().allocations_requested, 3u);
+}
+
+TEST_F(ProvisionerTest, CentralizedReleaseDrainsIdleExecutorsToFloor) {
+  ProvisionerConfig config;
+  config.min_executors = 1;
+  config.max_executors = 4;
+  make_provisioner(config, "all-at-once",
+                   std::make_unique<QueueThresholdReleasePolicy>(1));
+  queue_tasks(4);
+  advance(13.0);
+  ASSERT_EQ(dispatcher_.status().registered_executors, 4u);
+
+  // First pass completes every task; second pass pulls an empty reply for
+  // each executor so notified-but-not-working entries settle back to idle.
+  drain_queue();
+  drain_queue();
+  ASSERT_EQ(dispatcher_.status().queued, 0u);
+  ASSERT_EQ(dispatcher_.status().idle_executors, 4u);
+
+  // Queue empty: the threshold policy asks everything above the min floor
+  // to release itself.
+  provisioner_->step();
+  std::vector<std::uint64_t> released;
+  {
+    std::lock_guard lock(release_mu_);
+    released = released_;
+  }
+  EXPECT_EQ(released.size(), 3u);
+
+  // Executors comply: deregister + exit; their nodes return to the LRM.
+  for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+    if (std::find(released.begin(), released.end(), ids_[slot].value) ==
+        released.end()) {
+      continue;
+    }
+    exit_executor(slot, "released");
+  }
+  advance(3.0);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 1u);
+  EXPECT_EQ(scheduler_.free_nodes(), 7);
+  // The floor survivor is never asked to release.
+  {
+    std::lock_guard lock(release_mu_);
+    EXPECT_EQ(released_.size(), 3u);
+  }
+}
+
+TEST_F(ProvisionerTest, IdleTimeoutDeregistrationFreesNodesAndReacquires) {
+  ProvisionerConfig config;
+  config.max_executors = 4;
+  make_provisioner(config);
+  queue_tasks(4);
+  advance(13.0);
+  ASSERT_EQ(dispatcher_.status().registered_executors, 4u);
+  drain_queue();
+
+  // Distributed release: every executor's idle timer fires; each one
+  // deregisters itself and reports the exit, so all nodes come back.
+  for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+    exit_executor(slot, "idle timeout");
+  }
+  advance(3.0);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 0u);
+  EXPECT_EQ(scheduler_.free_nodes(), 8);
+  const auto allocations_before = provisioner_->stats().allocations_requested;
+
+  // New demand after the pool drained away: the provisioner re-acquires
+  // from zero.
+  queue_tasks(2);
+  advance(13.0);
+  EXPECT_GT(provisioner_->stats().allocations_requested, allocations_before);
+  EXPECT_EQ(dispatcher_.status().registered_executors, 2u);
 }
 
 TEST_F(ProvisionerTest, ExecutorsPerNodeRoundsUpNodes) {

@@ -1,5 +1,6 @@
 // End-to-end tests over real TCP on loopback: dispatcher server, remote
-// executors (RPC pull + push notifications), and remote client.
+// executors (RPC pull + push notifications), and remote client. All servers
+// bind port 0 (ephemeral), so the binary is safe under parallel ctest.
 #include <gtest/gtest.h>
 
 #include <condition_variable>
@@ -9,6 +10,8 @@
 #include "common/clock.h"
 #include "core/client.h"
 #include "core/service_tcp.h"
+#include "net/rpc.h"
+#include "obs/obs.h"
 
 namespace falkon::core {
 namespace {
@@ -196,6 +199,175 @@ TEST_F(TcpStackTest, ServerStopSurvivesActiveExecutors) {
   server_->stop();
   executors_.clear();
   SUCCEED();
+}
+
+// ---- wire-level bundle-path regressions ------------------------------
+//
+// These speak the protocol with a raw net::RpcClient instead of the
+// harness, so they can act as misbehaving or down-level peers.
+
+namespace {
+
+/// Raw call that must produce a reply of type `Expected`.
+template <class Expected>
+Expected call_expect(net::RpcClient& rpc, const wire::Message& request) {
+  auto reply = rpc.call(request);
+  EXPECT_TRUE(reply.ok()) << reply.error().str();
+  if (!reply.ok()) return Expected{};
+  auto* payload = std::get_if<Expected>(&reply.value());
+  EXPECT_NE(payload, nullptr)
+      << "unexpected reply: " << wire::debug_summary(reply.value());
+  if (payload == nullptr) return Expected{};
+  return std::move(*payload);
+}
+
+}  // namespace
+
+TEST(TcpBundleRegression, BundleSeqRetiredWhenExecutorCrashesMidBundle) {
+  // An executor that takes a numbered TaskBundle and dies before echoing
+  // the ack must not leak its bundle_seq: the failure detector's removal
+  // path (ExecutorSink::on_removed -> release_executor) settles it, so
+  // pending_bundles drains to zero and issued == retired.
+  RealClock clock;
+  obs::Obs obs{obs::ObsConfig{}};
+  DispatcherConfig config;
+  config.piggyback = true;
+  config.heartbeat_timeout_s = 0.05;  // detector run manually below
+  Dispatcher dispatcher(clock, config);
+  TcpDispatcherServer server(dispatcher, &obs);
+  ASSERT_TRUE(server.start().ok());
+
+  auto raw = net::RpcClient::connect("127.0.0.1", server.rpc_port());
+  ASSERT_TRUE(raw.ok());
+
+  wire::RegisterRequest reg;
+  reg.node_id = NodeId{1};
+  reg.host = "crash-peer";
+  const ExecutorId executor =
+      call_expect<wire::RegisterReply>(raw.value(), reg).executor_id;
+  ASSERT_NE(executor.value, 0u);
+
+  const InstanceId instance =
+      call_expect<wire::CreateInstanceReply>(
+          raw.value(), wire::CreateInstanceRequest{ClientId{1}})
+          .instance_id;
+  wire::SubmitRequest submit;
+  submit.instance_id = instance;
+  submit.tasks = sleep_tasks(4);
+  call_expect<wire::SubmitReply>(raw.value(), submit);
+
+  // Pull a numbered bundle (empty delivery, want-tasks piggyback) and then
+  // crash without ever acknowledging it.
+  wire::ResultBundle pull;
+  pull.executor_id = executor;
+  pull.want_tasks = 4;
+  const wire::TaskBundle bundle =
+      call_expect<wire::TaskBundle>(raw.value(), pull);
+  ASSERT_FALSE(bundle.tasks.empty());
+  EXPECT_NE(bundle.bundle_seq, 0u);
+
+  obs::Registry& reg_metrics = obs.registry();
+  EXPECT_EQ(reg_metrics.gauge("falkon.net.rpc.pending_bundles").value(), 1.0);
+  EXPECT_EQ(reg_metrics.counter("falkon.net.rpc.bundles_issued").value(), 1u);
+  EXPECT_EQ(reg_metrics.counter("falkon.net.rpc.bundles_retired").value(), 0u);
+
+  raw.value().close();  // crash: no ack, no deregister
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    dispatcher.check_liveness();
+    if (dispatcher.status().registered_executors == 0) break;
+  }
+  EXPECT_EQ(dispatcher.status().registered_executors, 0u);
+
+  // Removal settled the outstanding seq; its tasks are back in the queue.
+  EXPECT_EQ(reg_metrics.gauge("falkon.net.rpc.pending_bundles").value(), 0.0);
+  EXPECT_EQ(reg_metrics.counter("falkon.net.rpc.bundles_retired").value(),
+            reg_metrics.counter("falkon.net.rpc.bundles_issued").value());
+  EXPECT_EQ(dispatcher.status().queued, 4u);
+
+  server.stop();
+  dispatcher.shutdown();
+}
+
+TEST(TcpBundleRegression, AdaptiveSentinelsServeV0NonBundlingPeer) {
+  // A down-level executor that never learned TaskBundle/ResultBundle can
+  // still request adaptive sizing: max_tasks = kAdaptiveBundle on a legacy
+  // GetWorkRequest and want_tasks = kAdaptiveWant on a legacy ResultRequest
+  // must yield work, and the legacy exchange must never issue bundle_seqs.
+  RealClock clock;
+  obs::Obs obs{obs::ObsConfig{}};
+  DispatcherConfig config;
+  config.piggyback = true;
+  Dispatcher dispatcher(clock, config);
+  TcpDispatcherServer server(dispatcher, &obs);
+  ASSERT_TRUE(server.start().ok());
+
+  auto raw = net::RpcClient::connect("127.0.0.1", server.rpc_port());
+  ASSERT_TRUE(raw.ok());
+
+  wire::RegisterRequest reg;
+  reg.node_id = NodeId{7};
+  reg.host = "v0-peer";
+  const ExecutorId executor =
+      call_expect<wire::RegisterReply>(raw.value(), reg).executor_id;
+
+  const InstanceId instance =
+      call_expect<wire::CreateInstanceReply>(
+          raw.value(), wire::CreateInstanceRequest{ClientId{1}})
+          .instance_id;
+  constexpr int kTasks = 12;
+  wire::SubmitRequest submit;
+  submit.instance_id = instance;
+  submit.tasks = sleep_tasks(kTasks);
+  call_expect<wire::SubmitReply>(raw.value(), submit);
+
+  wire::GetWorkRequest get_work;
+  get_work.executor_id = executor;
+  get_work.max_tasks = wire::kAdaptiveBundle;  // sentinel, not literal zero
+  std::vector<TaskSpec> pending =
+      call_expect<wire::GetWorkReply>(raw.value(), get_work).tasks;
+  ASSERT_FALSE(pending.empty());
+
+  std::set<std::uint64_t> done;
+  while (!pending.empty()) {
+    wire::ResultRequest deliver;
+    deliver.executor_id = executor;
+    deliver.want_tasks = wire::kAdaptiveWant;
+    for (const TaskSpec& spec : pending) {
+      TaskResult result;
+      result.task_id = spec.id;
+      result.executor_id = executor;
+      deliver.results.push_back(std::move(result));
+      done.insert(spec.id.value);
+    }
+    const wire::ResultReply reply =
+        call_expect<wire::ResultReply>(raw.value(), deliver);
+    EXPECT_EQ(reply.acknowledged, deliver.results.size());
+    pending = reply.piggyback_tasks;
+    if (pending.empty() && done.size() < static_cast<std::size_t>(kTasks)) {
+      // Adaptive piggyback may momentarily come back empty; pull again.
+      pending = call_expect<wire::GetWorkReply>(raw.value(), get_work).tasks;
+    }
+  }
+  EXPECT_EQ(done.size(), static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(dispatcher.status().completed, static_cast<std::uint64_t>(kTasks));
+
+  // The v0 exchange carries no sequence numbers, so the bundle ledger must
+  // stay untouched.
+  obs::Registry& reg_metrics = obs.registry();
+  EXPECT_EQ(reg_metrics.counter("falkon.net.rpc.bundles_issued").value(), 0u);
+  EXPECT_EQ(reg_metrics.gauge("falkon.net.rpc.pending_bundles").value(), 0.0);
+
+  wire::WaitResultsRequest wait;
+  wait.instance_id = instance;
+  wait.max_results = 64;
+  wait.timeout_s = 5.0;
+  const wire::WaitResultsReply results =
+      call_expect<wire::WaitResultsReply>(raw.value(), wait);
+  EXPECT_EQ(results.results.size(), static_cast<std::size_t>(kTasks));
+
+  server.stop();
+  dispatcher.shutdown();
 }
 
 }  // namespace
