@@ -2,14 +2,22 @@
 // implementation: codec, framing, dispatcher operations, the end-to-end
 // in-process dispatch cycle, and the DES engine.
 #include <benchmark/benchmark.h>
+#include <dirent.h>
+#include <poll.h>
+
+#include <chrono>
+#include <cstring>
 
 #include "common/clock.h"
 #include "common/queue.h"
 #include "core/client.h"
 #include "core/service.h"
+#include "core/service_tcp.h"
+#include "net/socket.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "sim/event_queue.h"
+#include "wire/framing.h"
 #include "wire/message.h"
 
 namespace {
@@ -163,6 +171,205 @@ void BM_EndToEndInProc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_EndToEndInProc)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Parse an integer field ("Threads:", "VmRSS:") out of /proc/self/status.
+long proc_self_status(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long value = -1;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      value = std::strtol(line + field_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+long open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  long count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count - 2;  // "." and ".."
+}
+
+/// Connection-scale probe: N idle executors registered and subscribed over
+/// real TCP against one TcpDispatcherServer, then one task cycled through
+/// the fleet per iteration. The client side uses raw blocking sockets (two
+/// per executor, zero threads), so the process totals isolate the server's
+/// per-connection cost: with the reactor the Threads counter must stay flat
+/// from N=16 to N=1024 — connections live in one epoll set, not one reader
+/// thread each. Counters:
+///   threads / fds / rss_mb    process totals after the fleet is up
+///   notify_us                 submit() returning -> Notify frame readable
+///   getwork_us                Notify -> GetWorkReply with the task in hand
+void BM_ConnectionScale(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RealClock clock;
+  core::DispatcherConfig config;
+  core::Dispatcher dispatcher(clock, config);
+  core::TcpDispatcherServer server(dispatcher);
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  struct ProbeExecutor {
+    net::TcpStream rpc;
+    net::TcpStream push;
+    ExecutorId id;
+  };
+  std::vector<ProbeExecutor> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  wire::Frame frame;
+  auto roundtrip = [&frame](net::TcpStream& stream,
+                            const wire::Message& request)
+      -> Result<wire::Message> {
+    if (auto status =
+            wire::write_frame(stream, 1, wire::encode_message(request));
+        !status.ok()) {
+      return status.error();
+    }
+    if (auto status = wire::read_frame(stream, frame); !status.ok()) {
+      return status.error();
+    }
+    return wire::decode_message(frame.payload);
+  };
+  for (int e = 0; e < n; ++e) {
+    ProbeExecutor executor;
+    auto rpc = net::TcpStream::connect("127.0.0.1", server.rpc_port());
+    auto push = net::TcpStream::connect("127.0.0.1", server.push_port());
+    if (!rpc.ok() || !push.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    executor.rpc = rpc.take();
+    executor.push = push.take();
+    wire::RegisterRequest reg;
+    reg.node_id = NodeId{static_cast<std::uint64_t>(e) + 1};
+    reg.host = "probe";
+    auto reply = roundtrip(executor.rpc, reg);
+    if (!reply.ok() ||
+        !std::holds_alternative<wire::RegisterReply>(reply.value())) {
+      state.SkipWithError("register failed");
+      return;
+    }
+    executor.id = std::get<wire::RegisterReply>(reply.value()).executor_id;
+    wire::Notify subscribe;
+    subscribe.executor_id = executor.id;
+    if (!wire::write_frame(executor.push, wire::encode_message(subscribe))
+             .ok()) {
+      state.SkipWithError("subscribe failed");
+      return;
+    }
+    fleet.push_back(std::move(executor));
+  }
+
+  auto client = core::TcpDispatcherClient::connect("127.0.0.1",
+                                                   server.rpc_port());
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  auto instance = client.value()->create_instance(ClientId{1});
+  if (!instance.ok()) {
+    state.SkipWithError("create_instance failed");
+    return;
+  }
+
+  const long threads = proc_self_status("Threads:");
+  const long fds = open_fd_count();
+  const long rss_kb = proc_self_status("VmRSS:");
+
+  std::vector<pollfd> pollfds(static_cast<std::size_t>(n));
+  for (int e = 0; e < n; ++e) {
+    pollfds[static_cast<std::size_t>(e)] = {fleet[e].push.fd(), POLLIN, 0};
+  }
+  std::uint64_t next_task = 1;
+  double notify_s = 0.0;
+  double getwork_s = 0.0;
+  using Ticker = std::chrono::steady_clock;
+  auto seconds_since = [](Ticker::time_point start) {
+    return std::chrono::duration<double>(Ticker::now() - start).count();
+  };
+  wire::Frame push_frame;
+  for (auto _ : state) {
+    std::vector<TaskSpec> tasks;
+    tasks.push_back(make_noop_task(TaskId{next_task++}));
+    const auto t0 = Ticker::now();
+    if (!client.value()->submit(instance.value(), std::move(tasks)).ok()) {
+      state.SkipWithError("submit failed");
+      return;
+    }
+    // The dispatcher notifies one idle executor; wait for whichever push
+    // socket turns readable, then drive that executor's RPC connection.
+    int woken = -1;
+    while (woken < 0) {
+      if (::poll(pollfds.data(), pollfds.size(), 5000) <= 0) {
+        state.SkipWithError("no notify within 5s");
+        return;
+      }
+      for (int e = 0; e < n; ++e) {
+        if (pollfds[static_cast<std::size_t>(e)].revents & POLLIN) {
+          woken = e;
+          break;
+        }
+      }
+    }
+    notify_s += seconds_since(t0);
+    if (!wire::read_frame(fleet[woken].push, push_frame).ok()) {
+      state.SkipWithError("push read failed");
+      return;
+    }
+    const auto t1 = Ticker::now();
+    wire::GetWorkRequest get;
+    get.executor_id = fleet[woken].id;
+    get.max_tasks = 1;
+    auto work = roundtrip(fleet[woken].rpc, get);
+    if (!work.ok() ||
+        !std::holds_alternative<wire::GetWorkReply>(work.value()) ||
+        std::get<wire::GetWorkReply>(work.value()).tasks.size() != 1) {
+      state.SkipWithError("get_work failed");
+      return;
+    }
+    getwork_s += seconds_since(t1);
+    wire::ResultRequest done;
+    done.executor_id = fleet[woken].id;
+    TaskResult result;
+    result.task_id = std::get<wire::GetWorkReply>(work.value()).tasks[0].id;
+    done.results.push_back(result);
+    if (!roundtrip(fleet[woken].rpc, done).ok()) {
+      state.SkipWithError("deliver failed");
+      return;
+    }
+    if (!client.value()->wait_results(instance.value(), 64, 5.0).ok()) {
+      state.SkipWithError("wait_results failed");
+      return;
+    }
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["fds"] = static_cast<double>(fds);
+  state.counters["rss_mb"] = static_cast<double>(rss_kb) / 1024.0;
+  state.counters["notify_us"] = notify_s / iters * 1e6;
+  state.counters["getwork_us"] = getwork_s / iters * 1e6;
+  auto& registry = bench_obs().registry();
+  const auto label = std::to_string(n);
+  registry.gauge("bench.micro.connscale.threads", {{"executors", label}})
+      .set(static_cast<double>(threads));
+  registry.gauge("bench.micro.connscale.fds", {{"executors", label}})
+      .set(static_cast<double>(fds));
+  registry.gauge("bench.micro.connscale.rss_mb", {{"executors", label}})
+      .set(static_cast<double>(rss_kb) / 1024.0);
+  registry.gauge("bench.micro.connscale.notify_us", {{"executors", label}})
+      .set(notify_s / iters * 1e6);
+}
+BENCHMARK(BM_ConnectionScale)->Arg(16)->Arg(256)->Arg(1024)->Iterations(200);
 
 void BM_SimulationEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

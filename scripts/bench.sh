@@ -39,8 +39,12 @@ if [ "${1:-}" = "--update" ]; then
 fi
 
 # Pull "bench.*" gauges (name value per line) out of a metrics snapshot.
+# The fig3 TCP curve now covers the paper's full x-axis (8..256 executors),
+# but only the 1/4-executor points gate: the large-N columns are
+# informational and far too host-sensitive to fail CI on.
 extract() {
-  sed -n 's/^ *"\(bench\.[^"]*\)": \([-0-9.eE+]*\),\{0,1\}$/\1 \2/p' "$1"
+  sed -n 's/^ *"\(bench\.[^"]*\)": \([-0-9.eE+]*\),\{0,1\}$/\1 \2/p' "$1" |
+    grep -Ev '^bench\.fig3\.[a-z_]+\{executors=(8|16|32|64|128|256)\}' || true
 }
 
 status=0

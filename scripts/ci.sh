@@ -6,7 +6,7 @@
 #
 # An optional third pass (`scripts/ci.sh tsan`) builds with ThreadSanitizer
 # and runs the concurrency-heavy suites (obs registry/tracer, dispatcher,
-# executor, stress, chaos) — slower, so it is opt-in.
+# executor, net reactor/TCP, stress, chaos) — slower, so it is opt-in.
 #
 # An optional benchmark pass (`scripts/ci.sh bench`) runs the dispatch-path
 # benchmarks and gates on the committed baselines (scripts/bench.sh) —
@@ -76,8 +76,11 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DFALKON_TSAN=ON >/dev/null
   cmake --build build-ci-tsan -j "$JOBS"
+  # test_net/test_tcp cover the reactor: one epoll thread owning every
+  # connection while producers append to outboxes and handlers run on the
+  # pool — exactly the sharing TSan is for.
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -R 'test_obs|test_dispatcher|test_executor|test_stress'
+        -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net|test_tcp'
   echo "== Chaos soak under TSan =="
   ctest --test-dir build-ci-tsan --output-on-failure -R 'test_chaos|test_fault'
 fi

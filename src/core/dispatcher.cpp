@@ -96,12 +96,43 @@ void Dispatcher::sweeper_loop() {
                        [&] { return sweep_stop_; });
     if (sweep_stop_) return;
     lock.unlock();
-    if (m_sweeps_) m_sweeps_->inc();
-    (void)check_replays();
-    (void)check_liveness();
-    renotify_stale();
+    sweep_once();
     lock.lock();
   }
+}
+
+void Dispatcher::sweep_once() {
+  if (shutdown_.load()) return;
+  if (m_sweeps_) m_sweeps_->inc();
+  (void)check_replays();
+  (void)check_liveness();
+  renotify_stale();
+}
+
+bool Dispatcher::adopt_external_sweeper() {
+  if (config_.sweep_interval_s <= 0) return false;
+  if (sweeper_.joinable()) {
+    {
+      std::lock_guard lock(sweep_mu_);
+      sweep_stop_ = true;
+    }
+    sweep_cv_.notify_all();
+    sweeper_.join();
+    sweeper_ = std::thread();
+    std::lock_guard lock(sweep_mu_);
+    sweep_stop_ = false;  // allow resume_internal_sweeper later
+  }
+  return true;
+}
+
+void Dispatcher::resume_internal_sweeper() {
+  if (config_.sweep_interval_s <= 0 || shutdown_.load()) return;
+  if (sweeper_.joinable()) return;
+  sweeper_ = std::thread([this] { sweeper_loop(); });
+}
+
+double Dispatcher::sweep_interval_real_s() const {
+  return config_.sweep_interval_s / clock_.rate();
 }
 
 // ---------------------------------------------------------------- registry

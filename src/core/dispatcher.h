@@ -238,6 +238,25 @@ class Dispatcher {
   /// automatically when the sweeper is enabled.
   void renotify_stale();
 
+  /// One full recovery sweep (replay timeouts + failure detector + stale
+  /// renotify), exactly what one sweeper-thread iteration runs. Public so
+  /// an external timer (the TCP service's reactor wheel) can drive the
+  /// cadence instead of a dedicated thread. No-op after shutdown.
+  void sweep_once();
+
+  /// Hand the sweep cadence to an external timer: stops and joins the
+  /// internal sweeper thread. Returns false (and does nothing) when no
+  /// sweeping is configured (sweep_interval_s <= 0). The caller must then
+  /// invoke sweep_once() every sweep_interval_real_s() seconds and call
+  /// resume_internal_sweeper() when its timer goes away.
+  bool adopt_external_sweeper();
+
+  /// Restart the internal sweeper thread after adopt_external_sweeper().
+  void resume_internal_sweeper();
+
+  /// The sweep period in real seconds (config interval is model time).
+  [[nodiscard]] double sweep_interval_real_s() const;
+
   /// Centralized release: push a release request to `count` idle executors;
   /// returns ids actually asked.
   std::vector<ExecutorId> request_release(int count);

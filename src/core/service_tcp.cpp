@@ -20,7 +20,9 @@ Result<Expected> expect(Result<wire::Message> reply) {
 }  // namespace
 
 TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
-    : dispatcher_(dispatcher), obs_(obs) {
+    : dispatcher_(dispatcher),
+      obs_(obs),
+      reactor_(net::ReactorOptions{.obs = obs}) {
   if (obs != nullptr) {
     obs::Registry& reg = obs->registry();
     m_requests_ = &reg.counter("falkon.net.rpc.requests");
@@ -37,26 +39,50 @@ TcpDispatcherServer::~TcpDispatcherServer() { stop(); }
 Status TcpDispatcherServer::start(std::uint16_t rpc_port,
                                   std::uint16_t push_port,
                                   fault::FaultInjector* fault) {
-  if (auto status = push_.start(push_port, fault, obs_); !status.ok()) {
+  if (auto status = reactor_.start(); !status.ok()) return status;
+  net::PushServerOptions push_options;
+  push_options.reactor = &reactor_;
+  if (auto status = push_.start(push_port, fault, obs_, push_options);
+      !status.ok()) {
     return status;
   }
   sink_ = std::make_shared<PushSink>(*this, m_pushes_);
   client_sink_ = std::make_shared<ClientPushSink>(push_);
   dispatcher_.set_client_sink(client_sink_);
   // A shared handler pool keeps slow/blocking handlers (wait_results with a
-  // timeout) from stalling pipelined calls on the same connection, which a
-  // per-connection inline handler would serialise.
+  // timeout) from stalling pipelined calls on the same connection; the
+  // reactor loop itself never runs handlers.
   net::RpcServerOptions options;
   options.handler_threads = 16;
   options.obs = obs_;
-  return rpc_.start([this](const wire::Message& m) { return handle(m); },
-                    rpc_port, fault, options);
+  options.reactor = &reactor_;
+  if (auto status =
+          rpc_.start([this](const wire::Message& m) { return handle(m); },
+                     rpc_port, fault, options);
+      !status.ok()) {
+    return status;
+  }
+  // Move the dispatcher's recovery sweep onto the reactor's timer wheel:
+  // same cadence, one fewer dedicated thread in the deployment.
+  if (dispatcher_.adopt_external_sweeper()) {
+    sweeper_adopted_ = true;
+    sweep_timer_ = reactor_.add_periodic(
+        dispatcher_.sweep_interval_real_s(), [this] { dispatcher_.sweep_once(); });
+  }
+  return ok_status();
 }
 
 void TcpDispatcherServer::stop() {
+  if (sweeper_adopted_) {
+    reactor_.cancel_timer(sweep_timer_);
+    reactor_.barrier();  // a final sweep_once() may be mid-flight
+    sweeper_adopted_ = false;
+    dispatcher_.resume_internal_sweeper();
+  }
   dispatcher_.set_client_sink(nullptr);
   rpc_.stop();
   push_.stop();
+  reactor_.stop();
 }
 
 Status TcpResultListener::start(const std::string& host,

@@ -94,8 +94,16 @@ class TcpDispatcherServer {
 
   Dispatcher& dispatcher_;
   obs::Obs* obs_{nullptr};
+  /// One event loop shared by both channels: every executor costs two
+  /// reactor-owned connections, zero threads. Declared before the servers
+  /// so it outlives their stop() sequences.
+  net::Reactor reactor_;
   net::RpcServer rpc_;
   net::PushServer push_;
+  /// Recovery sweep rides the reactor's timer wheel instead of the
+  /// dispatcher's dedicated sweeper thread (0 = sweeping disabled).
+  net::TimerId sweep_timer_{0};
+  bool sweeper_adopted_{false};
   std::shared_ptr<PushSink> sink_;
   std::shared_ptr<ClientPushSink> client_sink_;
   obs::Counter* m_requests_{nullptr};

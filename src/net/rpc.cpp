@@ -1,5 +1,8 @@
 #include "net/rpc.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -11,11 +14,6 @@
 
 namespace falkon::net {
 namespace {
-
-/// Frames drained from a connection outbox per gathered write. Bounds the
-/// latency a just-enqueued reply waits behind a long drain while still
-/// amortising the syscall across a burst.
-constexpr std::size_t kMaxCoalesce = 16;
 
 void corrupt_payload(std::vector<std::uint8_t>& payload) {
   // Flip payload bytes only: the peer reads a well-framed message that
@@ -42,10 +40,26 @@ void truncate_and_sever(TcpStream& stream, std::uint64_t corr,
   stream.shutdown();
 }
 
-/// Apply a sampled fault to an outgoing frame. A clean ok_status() means
-/// the caller should write `payload` normally (it may have been corrupted
-/// in place — framing stays aligned because the length prefix is intact);
-/// an error means the fault consumed the frame and severed the stream.
+/// The reactor-side equivalent: a raw byte run whose header promises the
+/// full payload but whose body stops halfway. Queued through send_raw and
+/// followed by close_after_flush, the peer sees a truncated frame.
+std::vector<std::uint8_t> truncated_frame_bytes(
+    std::uint64_t corr, const std::vector<std::uint8_t>& payload) {
+  const std::size_t half = payload.size() > 1 ? payload.size() / 2 : 0;
+  std::vector<std::uint8_t> bytes(wire::kFrameHeaderBytes + half);
+  wire::put_frame_header(bytes.data(), corr,
+                         static_cast<std::uint32_t>(payload.size()));
+  if (half > 0) {
+    std::memcpy(bytes.data() + wire::kFrameHeaderBytes, payload.data(), half);
+  }
+  return bytes;
+}
+
+/// Apply a sampled fault to an outgoing frame on a blocking stream (client
+/// request path). A clean ok_status() means the caller should write
+/// `payload` normally (it may have been corrupted in place — framing stays
+/// aligned because the length prefix is intact); an error means the fault
+/// consumed the frame and severed the stream.
 Status apply_frame_fault(fault::FaultInjector* injector, fault::Site site,
                          TcpStream& stream, std::uint64_t corr,
                          std::vector<std::uint8_t>& payload) {
@@ -83,40 +97,50 @@ Status RpcServer::start(RpcHandler handler, std::uint16_t port,
   listener_ = listener.take();
   handler_ = std::move(handler);
   fault_ = fault;
-  if (options.handler_threads > 0) {
-    pool_ = std::make_unique<ThreadPool>(options.handler_threads, "rpc");
+  sndbuf_bytes_ = options.sndbuf_bytes;
+  // Handlers may block (wait_results); they always run off-loop, so even
+  // handler_threads == 0 gets one worker — that also preserves strict FIFO
+  // handling, which several protocol tests rely on.
+  pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(1, options.handler_threads),
+                                       "rpc");
+  if (options.reactor != nullptr) {
+    reactor_ = options.reactor;
+  } else {
+    ReactorOptions ropts;
+    ropts.n_loops = options.n_loops;
+    ropts.high_watermark_bytes = options.high_watermark_bytes;
+    ropts.low_watermark_bytes = options.low_watermark_bytes;
+    ropts.obs = options.obs;
+    owned_reactor_ = std::make_unique<Reactor>(ropts);
+    if (auto status = owned_reactor_->start(); !status.ok()) {
+      listener_.close();
+      return status;
+    }
+    reactor_ = owned_reactor_.get();
   }
-  if (options.obs != nullptr) {
-    m_coalesced_ =
-        &options.obs->registry().counter("falkon.net.frames_coalesced");
-  }
+  reactor_->add_listener(listener_.fd(), [this](int fd) { on_accept(fd); });
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
 }
 
 void RpcServer::stop() {
   if (!started_) return;
   stopping_.store(true);
-  listener_.close();
+  reactor_->remove_listener(listener_.fd());
   {
     std::lock_guard lock(mu_);
     for (auto& weak : connections_) {
-      if (auto conn = weak.lock()) conn->stream->shutdown();
+      if (auto conn = weak.lock()) conn->close();
     }
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::list<ConnThread> threads;
-  {
-    std::lock_guard lock(mu_);
-    threads.swap(connection_threads_);
-  }
-  for (auto& entry : threads) {
-    if (entry.thread.joinable()) entry.thread.join();
-  }
+  // After the barrier every close has been processed and no frame or close
+  // callback is still running on a loop thread.
+  reactor_->barrier();
+  listener_.close();
   // Handlers still in flight enqueue replies into severed connections and
   // fail harmlessly; shutdown() drains them before returning.
   if (pool_) pool_->shutdown();
+  if (owned_reactor_) owned_reactor_->stop();
   started_ = false;
 }
 
@@ -129,180 +153,91 @@ std::size_t RpcServer::active_connections() const {
   return alive;
 }
 
-void RpcServer::reap_finished_locked() {
-  for (auto it = connection_threads_.begin();
-       it != connection_threads_.end();) {
-    if (it->done->load()) {
-      if (it->thread.joinable()) it->thread.join();
-      it = connection_threads_.erase(it);
-    } else {
-      ++it;
-    }
+void RpcServer::on_accept(int fd) {
+  if (stopping_.load()) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    return;
   }
+  if (sndbuf_bytes_ > 0) (void)set_send_buffer(fd, sndbuf_bytes_);
+  auto conn = reactor_->adopt(
+      fd,
+      [this](const std::shared_ptr<Reactor::Conn>& c, std::uint64_t corr,
+             std::vector<std::uint8_t>&& payload) {
+        on_frame(c, corr, std::move(payload));
+      },
+      [this](const std::shared_ptr<Reactor::Conn>& c) { on_close(c); });
+  std::lock_guard lock(mu_);
   connections_.erase(
       std::remove_if(connections_.begin(), connections_.end(),
-                     [](const std::weak_ptr<Conn>& weak) {
+                     [](const std::weak_ptr<Reactor::Conn>& weak) {
                        return weak.expired();
+                     }),
+      connections_.end());
+  connections_.push_back(conn);
+}
+
+void RpcServer::on_frame(const std::shared_ptr<Reactor::Conn>& conn,
+                         std::uint64_t corr,
+                         std::vector<std::uint8_t>&& payload) {
+  // Decode on the pool too: a large TaskBundle deserialisation would
+  // otherwise stall every other connection on this loop.
+  auto submitted =
+      pool_->submit([this, conn, corr, payload = std::move(payload)] {
+        auto request = wire::decode_message(payload);
+        if (!request.ok()) {
+          enqueue_reply(conn, corr,
+                        wire::ErrorReply{ErrorCode::kProtocolError,
+                                         request.error().message});
+          return;
+        }
+        enqueue_reply(conn, corr, handler_(request.value()));
+      });
+  if (!submitted.ok()) conn->close();  // pool closed: server stopping
+}
+
+void RpcServer::on_close(const std::shared_ptr<Reactor::Conn>& conn) {
+  std::lock_guard lock(mu_);
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [&](const std::weak_ptr<Reactor::Conn>& weak) {
+                       auto locked = weak.lock();
+                       return locked == nullptr || locked == conn;
                      }),
       connections_.end());
 }
 
-void RpcServer::accept_loop() {
-  for (;;) {
-    auto accepted = listener_.accept();
-    if (!accepted.ok()) {
-      if (stopping_.load()) return;
-      LOG_WARN("rpc", "accept failed: %s", accepted.error().str().c_str());
-      return;
-    }
-    auto conn = std::make_shared<Conn>();
-    conn->stream = std::make_shared<TcpStream>(accepted.take());
-    std::lock_guard lock(mu_);
-    if (stopping_.load()) {
-      conn->stream->shutdown();
-      return;
-    }
-    // A long-lived dispatcher accepts one connection per executor ever
-    // launched: reap finished reader threads here so the thread list tracks
-    // live connections instead of growing without bound.
-    reap_finished_locked();
-    connections_.push_back(conn);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    ConnThread entry;
-    entry.done = done;
-    entry.thread = std::thread([this, conn, done] {
-      serve_connection(conn);
-      done->store(true);
-    });
-    connection_threads_.push_back(std::move(entry));
-  }
-}
-
-void RpcServer::serve_connection(const std::shared_ptr<Conn>& conn) {
-  wire::Frame frame;
-  for (;;) {
-    if (auto status = wire::read_frame(*conn->stream, frame); !status.ok()) {
-      return;  // peer closed or connection severed
-    }
-    auto request = wire::decode_message(frame.payload);
-    if (!request.ok()) {
-      enqueue_reply(*conn, frame.corr,
-                    wire::ErrorReply{ErrorCode::kProtocolError,
-                                     request.error().message});
-      continue;
-    }
-    if (pool_) {
-      const std::uint64_t corr = frame.corr;
-      auto submitted =
-          pool_->submit([this, conn, corr, message = request.take()] {
-            handle_request(conn, corr, message);
-          });
-      if (!submitted.ok()) return;  // pool closed: server stopping
-    } else {
-      handle_request(conn, frame.corr, request.value());
-    }
-  }
-}
-
-void RpcServer::handle_request(const std::shared_ptr<Conn>& conn,
-                               std::uint64_t corr,
-                               const wire::Message& request) {
-  enqueue_reply(*conn, corr, handler_(request));
-}
-
-void RpcServer::enqueue_reply(Conn& conn, std::uint64_t corr,
-                              const wire::Message& reply) {
+void RpcServer::enqueue_reply(const std::shared_ptr<Reactor::Conn>& conn,
+                              std::uint64_t corr, const wire::Message& reply) {
   // The reused thread-local Writer stops allocating once it has grown to
-  // the largest reply; the outbox copy is sized exactly.
+  // the largest reply; send_frame copies exactly one framed buffer out.
   thread_local wire::Writer scratch;
   wire::encode_message_into(scratch, reply);
-  wire::PendingFrame frame;
-  frame.corr = corr;
-  frame.payload = scratch.data();
-  {
-    std::lock_guard lock(conn.out_mu);
-    if (conn.dead) return;
-    conn.outbox.push_back(std::move(frame));
-  }
-  flush_outbox(conn);
-}
-
-void RpcServer::flush_outbox(Conn& conn) {
-  // Caller-drains: whichever thread enqueues while nobody is writing takes
-  // the writer role and drains the outbox in coalesced batches; later
-  // enqueuers see `writing` and leave their frame for the active drainer.
-  std::unique_lock lock(conn.out_mu);
-  if (conn.writing || conn.dead) return;
-  conn.writing = true;
-  std::vector<wire::PendingFrame> batch;
-  while (!conn.outbox.empty() && !conn.dead) {
-    batch.clear();
-    const std::size_t n = std::min(conn.outbox.size(), kMaxCoalesce);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(conn.outbox.front()));
-      conn.outbox.pop_front();
-    }
-    lock.unlock();
-    Status status = write_batch_faulted(conn, batch);
-    lock.lock();
-    if (!status.ok()) {
-      conn.dead = true;
-      conn.outbox.clear();
-    }
-  }
-  conn.writing = false;
-}
-
-// Defined out of the header's sight: only flush_outbox calls this, under
-// the `writing` flag, so header_scratch has a single writer at a time.
-Status RpcServer::write_batch_faulted(Conn& conn,
-                                      std::vector<wire::PendingFrame>& batch) {
-  if (fault_ == nullptr) {
-    if (batch.size() > 1 && m_coalesced_ != nullptr) {
-      m_coalesced_->inc(batch.size() - 1);
-    }
-    return wire::write_frames(*conn.stream, batch.data(), batch.size(),
-                              conn.header_scratch);
-  }
-  // Fault-injected path: sample each frame's fate in enqueue order, writing
-  // the clean run so far before a fault that severs or delays the stream —
-  // frames ahead of the faulted one were already logically sent.
-  std::size_t begin = 0;
-  auto flush_run = [&](std::size_t end) -> Status {
-    if (end <= begin) return ok_status();
-    if (end - begin > 1 && m_coalesced_ != nullptr) {
-      m_coalesced_->inc(end - begin - 1);
-    }
-    auto status = wire::write_frames(*conn.stream, batch.data() + begin,
-                                     end - begin, conn.header_scratch);
-    begin = end;
-    return status;
-  };
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  if (fault_ != nullptr) {
+    // Reply-site faults, reactor flavor: the outbox already serialises the
+    // stream, so "frames ahead of the faulted one were logically sent"
+    // falls out of close_after_flush, and delay becomes a pause marker on
+    // the timer wheel instead of a sleeping thread.
     const fault::Outcome outcome = fault_->sample(fault::Site::kRpcReply);
     switch (outcome.action) {
       case fault::Action::kCorrupt:
-        corrupt_payload(batch[i].payload);
+        corrupt_payload(scratch.buffer());
         break;
-      case fault::Action::kDelay: {
-        if (auto status = flush_run(i); !status.ok()) return status;
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+      case fault::Action::kDelay:
+        conn->pause_output(std::max(outcome.param, 0.0));
         break;
-      }
       case fault::Action::kDrop:
-        (void)flush_run(i);
-        conn.stream->shutdown();
-        return make_error(ErrorCode::kIoError, "injected connection drop");
+        conn->close_after_flush();
+        return;
       case fault::Action::kTruncate:
-        (void)flush_run(i);
-        truncate_and_sever(*conn.stream, batch[i].corr, batch[i].payload);
-        return make_error(ErrorCode::kIoError, "injected frame truncation");
+        (void)conn->send_raw(truncated_frame_bytes(corr, scratch.data()));
+        conn->close_after_flush();
+        return;
       default:
         break;
     }
   }
-  return flush_run(batch.size());
+  (void)conn->send_frame(corr, scratch.data());
 }
 
 // ---- RpcClient -------------------------------------------------------
@@ -472,88 +407,124 @@ void RpcClient::close() {
 PushServer::~PushServer() { stop(); }
 
 Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault,
-                         obs::Obs* obs) {
+                         obs::Obs* obs, PushServerOptions options) {
   auto listener = TcpListener::bind(port);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   fault_ = fault;
   if (obs != nullptr) {
-    m_coalesced_ = &obs->registry().counter("falkon.net.frames_coalesced");
+    m_bp_drops_ =
+        &obs->registry().counter("falkon.net.push.backpressure_drops");
   }
+  if (options.reactor != nullptr) {
+    reactor_ = options.reactor;
+  } else {
+    ReactorOptions ropts;
+    ropts.n_loops = options.n_loops;
+    ropts.high_watermark_bytes = options.high_watermark_bytes;
+    ropts.low_watermark_bytes = options.low_watermark_bytes;
+    ropts.obs = obs;
+    owned_reactor_ = std::make_unique<Reactor>(ropts);
+    if (auto status = owned_reactor_->start(); !status.ok()) {
+      listener_.close();
+      return status;
+    }
+    reactor_ = owned_reactor_.get();
+  }
+  reactor_->add_listener(listener_.fd(), [this](int fd) { on_accept(fd); });
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
   return ok_status();
 }
 
 void PushServer::stop() {
   if (!started_) return;
   stopping_.store(true);
-  listener_.close();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::list<HandshakeThread> threads;
+  reactor_->remove_listener(listener_.fd());
   {
     std::lock_guard lock(mu_);
-    for (auto& [key, sub] : subscribers_) sub->stream->shutdown();
     subscribers_.clear();
-    threads.swap(handshake_threads_);
+    for (auto& weak : connections_) {
+      if (auto conn = weak.lock()) conn->close();
+    }
   }
-  for (auto& entry : threads) {
-    if (entry.thread.joinable()) entry.thread.join();
-  }
+  reactor_->barrier();
+  listener_.close();
+  if (owned_reactor_) owned_reactor_->stop();
   started_ = false;
 }
 
-void PushServer::reap_finished_locked() {
-  for (auto it = handshake_threads_.begin(); it != handshake_threads_.end();) {
-    if (it->done->load()) {
-      if (it->thread.joinable()) it->thread.join();
-      it = handshake_threads_.erase(it);
-    } else {
-      ++it;
-    }
+void PushServer::on_accept(int fd) {
+  if (stopping_.load()) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    return;
   }
+  auto conn = reactor_->adopt(
+      fd,
+      [this](const std::shared_ptr<Reactor::Conn>& c, std::uint64_t /*corr*/,
+             std::vector<std::uint8_t>&& payload) {
+        on_frame(c, std::move(payload));
+      },
+      [this](const std::shared_ptr<Reactor::Conn>& c) { on_close(c); });
+  std::lock_guard lock(mu_);
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [](const std::weak_ptr<Reactor::Conn>& weak) {
+                       return weak.expired();
+                     }),
+      connections_.end());
+  connections_.push_back(conn);
 }
 
-void PushServer::accept_loop() {
-  for (;;) {
-    auto accepted = listener_.accept();
-    if (!accepted.ok()) return;
-    auto stream = std::make_shared<TcpStream>(accepted.take());
+void PushServer::on_frame(const std::shared_ptr<Reactor::Conn>& conn,
+                          std::vector<std::uint8_t>&& payload) {
+  // The only executor->dispatcher traffic on this channel is the tiny
+  // subscription Notify; decode it inline on the loop (no handshake
+  // threads). Anything else is a protocol violation and severs the
+  // connection.
+  auto message = wire::decode_message(payload);
+  if (!message.ok()) {
+    conn->close();
+    return;
+  }
+  const auto* notify = std::get_if<wire::Notify>(&message.value());
+  if (notify == nullptr) {
+    conn->close();
+    return;
+  }
+  std::shared_ptr<Reactor::Conn> displaced;
+  {
     std::lock_guard lock(mu_);
     if (stopping_.load()) {
-      stream->shutdown();
+      conn->close();
       return;
     }
-    reap_finished_locked();
-    // The subscription frame is read on its own thread so a slow or broken
-    // client cannot stall the accept loop.
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    HandshakeThread entry;
-    entry.done = done;
-    entry.thread = std::thread([this, stream, done] {
-      auto frame = wire::read_frame(*stream);
-      if (frame.ok()) {
-        auto message = wire::decode_message(frame.value());
-        if (message.ok()) {
-          if (const auto* notify =
-                  std::get_if<wire::Notify>(&message.value())) {
-            std::lock_guard inner(mu_);
-            if (!stopping_.load()) {
-              auto sub = std::make_shared<Subscriber>();
-              sub->stream = stream;
-              subscribers_[notify->executor_id.value] = std::move(sub);
-            }
-          }
-        }
-      }
-      done->store(true);
-    });
-    handshake_threads_.push_back(std::move(entry));
+    auto& slot = subscribers_[notify->executor_id.value];
+    if (slot != conn) displaced = std::move(slot);
+    slot = conn;
   }
+  if (displaced) displaced->close();
+}
+
+void PushServer::on_close(const std::shared_ptr<Reactor::Conn>& conn) {
+  std::lock_guard lock(mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->second == conn) {
+      subscribers_.erase(it);
+      break;
+    }
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [&](const std::weak_ptr<Reactor::Conn>& weak) {
+                       auto locked = weak.lock();
+                       return locked == nullptr || locked == conn;
+                     }),
+      connections_.end());
 }
 
 Status PushServer::push(std::uint64_t key, const wire::Message& message) {
-  std::shared_ptr<Subscriber> sub;
+  std::shared_ptr<Reactor::Conn> conn;
   {
     std::lock_guard lock(mu_);
     auto it = subscribers_.find(key);
@@ -561,7 +532,7 @@ Status PushServer::push(std::uint64_t key, const wire::Message& message) {
       return make_error(ErrorCode::kNotFound,
                         "no subscriber with key " + std::to_string(key));
     }
-    sub = it->second;
+    conn = it->second;
   }
   auto payload = wire::encode_message(message);
   if (fault_ != nullptr) {
@@ -573,65 +544,32 @@ Status PushServer::push(std::uint64_t key, const wire::Message& message) {
       return ok_status();
     }
     if (outcome.action == fault::Action::kDelay) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(std::max(outcome.param, 0.0)));
+      conn->pause_output(std::max(outcome.param, 0.0));
     } else if (outcome.action == fault::Action::kCorrupt) {
       corrupt_payload(payload);
     }
   }
-  {
-    std::lock_guard lock(sub->out_mu);
-    if (sub->dead) {
-      return make_error(ErrorCode::kClosed, "subscriber channel severed");
-    }
-    wire::PendingFrame frame;
-    frame.payload = std::move(payload);
-    sub->outbox.push_back(std::move(frame));
+  if (conn->overloaded()) {
+    // Slow subscriber past the high watermark: shed the notification
+    // instead of buffering without bound. Like an injected drop, the
+    // renotify sweep recovers the executor if the hint mattered.
+    if (m_bp_drops_ != nullptr) m_bp_drops_->inc();
+    return ok_status();
   }
-  return flush_subscriber(*sub, m_coalesced_);
-}
-
-Status PushServer::flush_subscriber(Subscriber& sub, obs::Counter* coalesced) {
-  std::unique_lock lock(sub.out_mu);
-  if (sub.writing || sub.dead) return ok_status();
-  sub.writing = true;
-  Status result = ok_status();
-  std::vector<wire::PendingFrame> batch;
-  while (!sub.outbox.empty() && !sub.dead) {
-    batch.clear();
-    const std::size_t n = std::min(sub.outbox.size(), kMaxCoalesce);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(sub.outbox.front()));
-      sub.outbox.pop_front();
-    }
-    lock.unlock();
-    if (batch.size() > 1 && coalesced != nullptr) {
-      coalesced->inc(batch.size() - 1);
-    }
-    auto status = wire::write_frames(*sub.stream, batch.data(), batch.size(),
-                                     sub.header_scratch);
-    lock.lock();
-    if (!status.ok()) {
-      result = status;
-      sub.dead = true;
-      sub.outbox.clear();
-    }
-  }
-  sub.writing = false;
-  return result;
+  return conn->send_frame(0, payload);
 }
 
 void PushServer::drop_subscriber(std::uint64_t key) {
-  std::lock_guard lock(mu_);
-  auto it = subscribers_.find(key);
-  if (it != subscribers_.end()) {
-    it->second->stream->shutdown();
-    {
-      std::lock_guard inner(it->second->out_mu);
-      it->second->dead = true;
+  std::shared_ptr<Reactor::Conn> conn;
+  {
+    std::lock_guard lock(mu_);
+    auto it = subscribers_.find(key);
+    if (it != subscribers_.end()) {
+      conn = std::move(it->second);
+      subscribers_.erase(it);
     }
-    subscribers_.erase(it);
   }
+  if (conn) conn->close();
 }
 
 std::size_t PushServer::subscriber_count() const {

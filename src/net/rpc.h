@@ -9,17 +9,17 @@
 //
 // The RPC channel is *pipelined*: every frame carries a correlation id, the
 // client keeps many calls outstanding on one connection and a reader thread
-// demuxes replies to per-call waiters, and the server coalesces pending
-// reply frames into single gathered writes. This is where the paper's
-// dispatch-rate headroom comes from — per-call latency no longer serialises
-// the connection.
+// demuxes replies to per-call waiters. The server side runs on the
+// falkon::net::Reactor — one epoll loop owns every accepted connection, so
+// a dispatcher holding hundreds of registered executors costs loop + pool
+// threads, not two threads per connection. Handlers run on a shared pool
+// (the loop thread never blocks); replies drain through per-connection
+// outboxes as gathered writes with watermark backpressure.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -28,6 +28,7 @@
 
 #include "common/thread_pool.h"
 #include "fault/fault.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 #include "obs/obs.h"
 #include "wire/message.h"
@@ -38,19 +39,31 @@ namespace falkon::net {
 using RpcHandler = std::function<wire::Message(const wire::Message&)>;
 
 struct RpcServerOptions {
-  /// 0: handle requests inline on the connection's reader thread (strict
-  /// per-connection FIFO, what unit tests expect). N > 0: a shared pool of
-  /// N handler threads, so a blocking handler (wait_results) cannot stall
-  /// pipelined calls behind it and replies genuinely reorder.
+  /// Handler pool size. 0 means one shared handler thread (strict FIFO
+  /// through a single worker, what unit tests expect); N > 0 gives a pool
+  /// of N so a blocking handler (wait_results) cannot stall pipelined
+  /// calls behind it and replies genuinely reorder. Handlers never run on
+  /// the reactor loop thread.
   std::size_t handler_threads{0};
-  /// Optional metrics sink: falkon.net.frames_coalesced.
+  /// Optional metrics sink (falkon.net.frames_coalesced plus the
+  /// falkon.net.reactor.* family when the server owns its reactor).
   obs::Obs* obs{nullptr};
+  /// Run on this shared reactor instead of owning one (the TCP service
+  /// shares a single loop between RPC and push). Watermark/n_loops fields
+  /// below only apply to an owned reactor.
+  Reactor* reactor{nullptr};
+  int n_loops{1};
+  std::size_t high_watermark_bytes{8u << 20};
+  std::size_t low_watermark_bytes{1u << 20};
+  /// Test-only: shrink SO_SNDBUF on accepted sockets to force the
+  /// partial-write/EAGAIN paths.
+  int sndbuf_bytes{0};
 };
 
-/// Accepts connections and serves framed request/response exchanges. Each
-/// connection gets a reader thread; handlers run inline or on a shared pool
-/// (RpcServerOptions::handler_threads), and replies are queued per
-/// connection and flushed in coalesced gathered writes.
+/// Accepts connections on the reactor and serves framed request/response
+/// exchanges. Connections are reactor-owned Conn objects (no per-connection
+/// threads); requests are decoded and handled on the shared pool, and
+/// replies drain through the connection outbox as coalesced gathered writes.
 class RpcServer {
  public:
   RpcServer() = default;
@@ -59,52 +72,36 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Bind (port 0 = ephemeral) and start the accept loop. `fault`
-  /// (optional, test-only) injects reply-frame faults at Site::kRpcReply.
+  /// Bind (port 0 = ephemeral) and start accepting. `fault` (optional,
+  /// test-only) injects reply-frame faults at Site::kRpcReply.
   Status start(RpcHandler handler, std::uint16_t port = 0,
                fault::FaultInjector* fault = nullptr,
                RpcServerOptions options = {});
 
-  /// Stop accepting, sever all connections, join all threads. Idempotent.
+  /// Stop accepting, sever all connections, drain the handler pool.
+  /// Idempotent.
   void stop();
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
   [[nodiscard]] std::size_t active_connections() const;
 
  private:
-  struct Conn {
-    std::shared_ptr<TcpStream> stream;
-    std::mutex out_mu;
-    std::deque<wire::PendingFrame> outbox;
-    bool writing{false};
-    bool dead{false};
-    std::vector<std::uint8_t> header_scratch;
-  };
-  struct ConnThread {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-
-  void accept_loop();
-  void reap_finished_locked();
-  void serve_connection(const std::shared_ptr<Conn>& conn);
-  void handle_request(const std::shared_ptr<Conn>& conn, std::uint64_t corr,
-                      const wire::Message& request);
-  void enqueue_reply(Conn& conn, std::uint64_t corr,
-                     const wire::Message& reply);
-  void flush_outbox(Conn& conn);
-  Status write_batch_faulted(Conn& conn,
-                             std::vector<wire::PendingFrame>& batch);
+  void on_accept(int fd);
+  void on_frame(const std::shared_ptr<Reactor::Conn>& conn,
+                std::uint64_t corr, std::vector<std::uint8_t>&& payload);
+  void on_close(const std::shared_ptr<Reactor::Conn>& conn);
+  void enqueue_reply(const std::shared_ptr<Reactor::Conn>& conn,
+                     std::uint64_t corr, const wire::Message& reply);
 
   TcpListener listener_;
   RpcHandler handler_;
   fault::FaultInjector* fault_{nullptr};
   std::unique_ptr<ThreadPool> pool_;
-  obs::Counter* m_coalesced_{nullptr};
-  std::thread accept_thread_;
+  std::unique_ptr<Reactor> owned_reactor_;
+  Reactor* reactor_{nullptr};
+  int sndbuf_bytes_{0};
   mutable std::mutex mu_;
-  std::list<ConnThread> connection_threads_;
-  std::vector<std::weak_ptr<Conn>> connections_;
+  std::vector<std::weak_ptr<Reactor::Conn>> connections_;
   std::atomic<bool> stopping_{false};
   bool started_{false};
 };
@@ -149,12 +146,24 @@ class RpcClient {
   std::unique_ptr<Impl> impl_;
 };
 
+struct PushServerOptions {
+  /// Run on this shared reactor instead of owning one. Watermark/n_loops
+  /// fields only apply to an owned reactor.
+  Reactor* reactor{nullptr};
+  int n_loops{1};
+  std::size_t high_watermark_bytes{8u << 20};
+  std::size_t low_watermark_bytes{1u << 20};
+};
+
 /// Dispatcher-side notification fan-out. Executors connect and send one
 /// subscription frame (a Notify carrying their executor id); afterwards the
-/// dispatcher pushes frames to them by key. Pushes to one subscriber from
-/// many notifier threads are queued and flushed as coalesced writes — the
-/// outbox also serialises the stream, so concurrent pushes can never
-/// interleave bytes mid-frame.
+/// dispatcher pushes frames to them by key. Connections are reactor-owned:
+/// the subscription frame is decoded on the loop (no handshake threads) and
+/// pushes drain through the connection outbox, which also serialises the
+/// stream so concurrent pushes can never interleave bytes mid-frame. A
+/// subscriber whose outbox is past the high watermark has new notifications
+/// shed (falkon.net.push.backpressure_drops) — a lost notification is
+/// recoverable, the dispatcher's stale-notification sweep re-sends it.
 class PushServer {
  public:
   PushServer() = default;
@@ -165,9 +174,10 @@ class PushServer {
 
   /// `fault` (optional, test-only) injects push-frame faults at
   /// Site::kPushFrame (drop = the notification silently vanishes).
-  /// `obs` (optional) feeds falkon.net.frames_coalesced.
+  /// `obs` (optional) feeds falkon.net.frames_coalesced and
+  /// falkon.net.push.backpressure_drops.
   Status start(std::uint16_t port = 0, fault::FaultInjector* fault = nullptr,
-               obs::Obs* obs = nullptr);
+               obs::Obs* obs = nullptr, PushServerOptions options = {});
   void stop();
 
   /// Push a message to subscriber `key`; kNotFound if no such subscriber.
@@ -178,30 +188,20 @@ class PushServer {
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
  private:
-  struct Subscriber {
-    std::shared_ptr<TcpStream> stream;
-    std::mutex out_mu;
-    std::deque<wire::PendingFrame> outbox;
-    bool writing{false};
-    bool dead{false};
-    std::vector<std::uint8_t> header_scratch;
-  };
-  struct HandshakeThread {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-
-  void accept_loop();
-  void reap_finished_locked();
-  static Status flush_subscriber(Subscriber& sub, obs::Counter* coalesced);
+  void on_accept(int fd);
+  void on_frame(const std::shared_ptr<Reactor::Conn>& conn,
+                std::vector<std::uint8_t>&& payload);
+  void on_close(const std::shared_ptr<Reactor::Conn>& conn);
 
   TcpListener listener_;
   fault::FaultInjector* fault_{nullptr};
-  obs::Counter* m_coalesced_{nullptr};
-  std::thread accept_thread_;
+  obs::Counter* m_bp_drops_{nullptr};
+  std::unique_ptr<Reactor> owned_reactor_;
+  Reactor* reactor_{nullptr};
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Subscriber>> subscribers_;
-  std::list<HandshakeThread> handshake_threads_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Reactor::Conn>>
+      subscribers_;
+  std::vector<std::weak_ptr<Reactor::Conn>> connections_;
   std::atomic<bool> stopping_{false};
   bool started_{false};
 };

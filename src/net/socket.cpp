@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -178,6 +179,21 @@ void TcpListener::close() {
     ::shutdown(fd_.get(), SHUT_RDWR);
     fd_.reset();
   }
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return errno_error("fcntl(O_NONBLOCK)");
+  }
+  return ok_status();
+}
+
+Status set_send_buffer(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return errno_error("setsockopt(SO_SNDBUF)");
+  }
+  return ok_status();
 }
 
 }  // namespace falkon::net

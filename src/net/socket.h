@@ -58,6 +58,8 @@ class TcpStream final : public wire::ByteStream {
   void shutdown();
 
   [[nodiscard]] bool valid() const { return fd_.valid(); }
+  /// Raw descriptor, for poll()-style readiness checks (still owned here).
+  [[nodiscard]] int fd() const { return fd_.get(); }
 
  private:
   FdHandle fd_;
@@ -75,6 +77,8 @@ class TcpListener {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool valid() const { return fd_.valid(); }
+  /// Raw descriptor, for registering with an event loop (still owned here).
+  [[nodiscard]] int fd() const { return fd_.get(); }
 
   TcpListener() = default;
 
@@ -82,5 +86,12 @@ class TcpListener {
   FdHandle fd_;
   std::uint16_t port_{0};
 };
+
+/// Put a descriptor into non-blocking mode (reactor-managed sockets).
+Status set_nonblocking(int fd);
+
+/// Set SO_SNDBUF. Tests shrink it to force partial writes and EAGAIN on the
+/// reactor's write path; the kernel may round the value up.
+Status set_send_buffer(int fd, int bytes);
 
 }  // namespace falkon::net

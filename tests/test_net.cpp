@@ -1,12 +1,22 @@
-// TCP substrate tests: sockets, RPC request/response, push notifications.
+// TCP substrate tests: sockets, the reactor event loop, RPC
+// request/response, push notifications, and the watermark backpressure and
+// fd-exhaustion paths of the server side.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "net/rpc.h"
 #include "net/socket.h"
+#include "obs/obs.h"
+#include "wire/framing.h"
 
 namespace falkon::net {
 namespace {
@@ -333,6 +343,203 @@ TEST(Push, PushToUnknownKeyFails) {
   auto status = server.push(12345, wire::Notify{});
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, ErrorCode::kNotFound);
+  server.stop();
+}
+
+TEST(Reactor, TimersFireOnceAndPeriodicallyUntilCancelled) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.start().ok());
+  std::atomic<int> once{0};
+  std::atomic<int> ticks{0};
+  reactor.add_timer(0.01, [&] { once.fetch_add(1); });
+  const TimerId periodic = reactor.add_periodic(0.005, [&] {
+    ticks.fetch_add(1);
+  });
+  for (int i = 0; i < 1000 && (once.load() < 1 || ticks.load() < 3); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(once.load(), 1);
+  EXPECT_GE(ticks.load(), 3);
+  reactor.cancel_timer(periodic);
+  reactor.barrier();  // cancellation processed on the loop
+  const int after_cancel = ticks.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(ticks.load(), after_cancel);
+  reactor.stop();
+}
+
+TEST(Rpc, AcceptBackoffOnFdExhaustionThenRecovers) {
+  // Satellite of the reactor migration: EMFILE on accept must pause the
+  // listener with backoff (counting falkon.net.accept_rejected) instead of
+  // spinning or dying, and the pending connection must complete once
+  // descriptors free up.
+  obs::Obs obs;
+  RpcServerOptions options;
+  options.obs = &obs;
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [](const wire::Message&) -> wire::Message {
+                        return wire::StatusReply{};
+                      },
+                      0, nullptr, options)
+                  .ok());
+  auto& rejected = obs.registry().counter("falkon.net.accept_rejected");
+  ASSERT_EQ(rejected.value(), 0u);
+
+  // Lower RLIMIT_NOFILE to just above current usage and hoard the rest,
+  // keeping exactly one slot free for the client's own socket.
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  std::vector<int> hoard;
+  {
+    long used = 0;
+    for (int fd = 0; fd < 4096; ++fd) {
+      if (::fcntl(fd, F_GETFD) != -1) used = fd + 1;
+    }
+    rlimit tight = old_limit;
+    tight.rlim_cur = static_cast<rlim_t>(used + 8);
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+    int fd = -1;
+    while ((fd = ::open("/dev/null", O_RDONLY)) >= 0) hoard.push_back(fd);
+    ASSERT_FALSE(hoard.empty());
+    ::close(hoard.back());  // the client's slot
+    hoard.pop_back();
+  }
+
+  // The TCP handshake completes in the kernel backlog; accept4 in the
+  // reactor hits EMFILE and backs off.
+  auto stream = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(stream.ok());
+  for (int i = 0; i < 1000 && rejected.value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(rejected.value(), 1u);
+
+  // Free the descriptors: the next backoff retry adopts the connection and
+  // the exchange completes end to end.
+  for (int fd : hoard) ::close(fd);
+  hoard.clear();
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  ASSERT_TRUE(wire::write_frame(stream.value(), 1,
+                                wire::encode_message(wire::StatusRequest{}))
+                  .ok());
+  wire::Frame frame;
+  ASSERT_TRUE(wire::read_frame(stream.value(), frame).ok());
+  EXPECT_EQ(frame.corr, 1u);
+  auto reply = wire::decode_message(frame.payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(std::holds_alternative<wire::StatusReply>(reply.value()));
+  server.stop();
+}
+
+TEST(Rpc, WatermarkBackpressureDrainsOversizedRepliesInOrder) {
+  // Oversized replies through a tiny SO_SNDBUF and a slow reader: the
+  // connection outbox crosses the high watermark, the reactor stops
+  // reading the connection (falkon.net.reactor.read_paused), and the
+  // backlog drains through partial writev rounds without reordering or
+  // corrupting a single frame.
+  constexpr std::size_t kReplyBytes = 1u << 20;
+  constexpr int kCalls = 6;
+  obs::Obs obs;
+  RpcServerOptions options;
+  options.obs = &obs;
+  options.sndbuf_bytes = 4096;
+  options.high_watermark_bytes = 64 * 1024;
+  options.low_watermark_bytes = 16 * 1024;
+  RpcServer server;
+  ASSERT_TRUE(server
+                  .start(
+                      [](const wire::Message& request) -> wire::Message {
+                        const auto* notify =
+                            std::get_if<wire::Notify>(&request);
+                        if (notify == nullptr) {
+                          return wire::ErrorReply{ErrorCode::kProtocolError,
+                                                  "?"};
+                        }
+                        wire::WaitResultsReply reply;
+                        TaskResult result;
+                        result.task_id = TaskId{notify->resource_key};
+                        result.stdout_data = std::string(
+                            kReplyBytes,
+                            static_cast<char>('a' + notify->resource_key % 26));
+                        reply.results.push_back(std::move(result));
+                        return reply;
+                      },
+                      0, nullptr, options)
+                  .ok());
+
+  auto stream = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(stream.ok());
+  // Pipeline every request before reading a single reply byte, so the
+  // replies (6 MiB total) pile up behind a ~4 KiB send buffer.
+  for (std::uint64_t corr = 1; corr <= kCalls; ++corr) {
+    ASSERT_TRUE(wire::write_frame(
+                    stream.value(), corr,
+                    wire::encode_message(wire::Notify{ExecutorId{corr}, corr}))
+                    .ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  wire::Frame frame;
+  for (std::uint64_t corr = 1; corr <= kCalls; ++corr) {
+    // Slow reader: let the outbox stay backed up between frames.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(wire::read_frame(stream.value(), frame).ok());
+    // One shared handler worker => strict FIFO, replies arrive in request
+    // order even though the transport stalled mid-frame many times.
+    EXPECT_EQ(frame.corr, corr);
+    auto reply = wire::decode_message(frame.payload);
+    ASSERT_TRUE(reply.ok());
+    const auto* results = std::get_if<wire::WaitResultsReply>(&reply.value());
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->results.size(), 1u);
+    EXPECT_EQ(results->results[0].task_id.value, corr);
+    const std::string expected(
+        kReplyBytes, static_cast<char>('a' + corr % 26));
+    EXPECT_TRUE(results->results[0].stdout_data == expected)
+        << "payload corrupted for corr " << corr;
+  }
+  EXPECT_GE(obs.registry().counter("falkon.net.reactor.read_paused").value(),
+            1u);
+  server.stop();
+}
+
+TEST(Push, SlowSubscriberShedsInsteadOfBlocking) {
+  // A subscriber that never reads must not wedge the dispatcher: once its
+  // outbox passes the high watermark, push() sheds notifications (counted
+  // in falkon.net.push.backpressure_drops) and returns immediately.
+  obs::Obs obs;
+  PushServerOptions options;
+  options.high_watermark_bytes = 64 * 1024;
+  options.low_watermark_bytes = 16 * 1024;
+  PushServer server;
+  ASSERT_TRUE(server.start(0, nullptr, &obs, options).ok());
+
+  auto stream = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(wire::write_frame(stream.value(),
+                                wire::encode_message(
+                                    wire::Notify{ExecutorId{7}, 0}))
+                  .ok());
+  for (int i = 0; i < 200 && server.subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.subscriber_count(), 1u);
+
+  auto& drops =
+      obs.registry().counter("falkon.net.push.backpressure_drops");
+  wire::WaitResultsReply big;
+  TaskResult result;
+  result.stdout_data = std::string(256 * 1024, 'x');
+  big.results.push_back(std::move(result));
+  for (int i = 0; i < 200 && drops.value() == 0; ++i) {
+    // Never blocks and never errors: a full subscriber is shed, not waited
+    // on (the stale-notification sweep re-delivers).
+    ASSERT_TRUE(server.push(7, big).ok());
+  }
+  EXPECT_GE(drops.value(), 1u);
+  EXPECT_EQ(server.subscriber_count(), 1u);
   server.stop();
 }
 
