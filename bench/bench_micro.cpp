@@ -6,13 +6,20 @@
 #include <poll.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/queue.h"
 #include "core/client.h"
 #include "core/service.h"
 #include "core/service_tcp.h"
+#include "ha/failover_client.h"
+#include "ha/journal.h"
+#include "ha/standby.h"
+#include "ha/wal.h"
 #include "net/socket.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -370,6 +377,161 @@ void BM_ConnectionScale(benchmark::State& state) {
       .set(notify_s / iters * 1e6);
 }
 BENCHMARK(BM_ConnectionScale)->Arg(16)->Arg(256)->Arg(1024)->Iterations(200);
+
+/// WAL append cost per fsync policy (docs/HA.md): 128-byte records, one
+/// append per iteration, into a fresh temp-dir log. Arg maps onto
+/// ha::FsyncPolicy — 0 none, 1 every-record, 2 group-commit — so the
+/// spread between Arg(0) and Arg(1) is the durability price per record.
+void BM_WalAppend(benchmark::State& state) {
+  const auto policy = static_cast<ha::FsyncPolicy>(state.range(0));
+  char tmpl[] = "/tmp/falkon_bench_wal_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string dir = tmpl;
+  ha::WalOptions options;
+  options.dir = dir;
+  options.fsync = policy;
+  options.group_commit_interval_s = 0.005;
+  auto wal = ha::Wal::open(options);
+  if (!wal.ok()) {
+    state.SkipWithError("wal open failed");
+  } else {
+    const std::vector<std::uint8_t> payload(128, 0xAB);
+    using Ticker = std::chrono::steady_clock;
+    const auto t0 = Ticker::now();
+    for (auto _ : state) {
+      if (!wal.value()->append(payload).ok()) {
+        state.SkipWithError("append failed");
+        break;
+      }
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(Ticker::now() - t0).count();
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(payload.size()));
+    if (elapsed_s > 0.0) {
+      bench_obs()
+          .registry()
+          .gauge("bench.micro.wal.appends_per_s",
+                 {{"fsync", ha::fsync_policy_name(policy)}})
+          .set(static_cast<double>(state.iterations()) / elapsed_s);
+    }
+    wal.value().reset();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(2);
+
+/// Measured failover downtime (docs/HA.md): a journaled primary with a warm
+/// standby sharing its log directory, queued-but-unserved tasks as state to
+/// recover, then the primary dies and the probe times kill -> a
+/// FailoverClient status() answered by the promoted standby on the same
+/// port. Manual time, so the reported ms IS the client-visible outage.
+void BM_HaFailoverDowntime(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  double last_downtime_s = 0.0;
+  for (auto _ : state) {
+    char primary_tmpl[] = "/tmp/falkon_bench_ha_p_XXXXXX";
+    char standby_tmpl[] = "/tmp/falkon_bench_ha_s_XXXXXX";
+    if (::mkdtemp(primary_tmpl) == nullptr ||
+        ::mkdtemp(standby_tmpl) == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    const std::string primary_dir = primary_tmpl;
+    const std::string standby_dir = standby_tmpl;
+    RealClock clock;
+
+    ha::Journal::Options jopts;
+    jopts.dir = primary_dir;
+    auto journal = ha::Journal::open(jopts);
+    if (!journal.ok()) {
+      state.SkipWithError("journal open failed");
+      return;
+    }
+    core::DispatcherConfig config;
+    config.journal = journal.value().get();
+    auto dispatcher = std::make_unique<core::Dispatcher>(clock, config);
+    auto server = std::make_unique<core::TcpDispatcherServer>(*dispatcher);
+    if (!server->start().ok()) {
+      state.SkipWithError("server start failed");
+      return;
+    }
+    server->set_replication_source(journal.value().get());
+
+    ha::StandbyOptions sopts;
+    sopts.primary_rpc_port = server->rpc_port();
+    sopts.takeover_rpc_port = server->rpc_port();
+    sopts.takeover_push_port = server->push_port();
+    sopts.shared_log_dir = primary_dir;
+    sopts.standby_dir = standby_dir;
+    sopts.poll_interval_s = 0.01;
+    sopts.failover_after_s = 0.2;
+    ha::Standby standby(clock, sopts);
+    if (!standby.start().ok()) {
+      state.SkipWithError("standby start failed");
+      return;
+    }
+
+    ha::FailoverClientOptions copts;
+    copts.rpc_port = server->rpc_port();
+    ha::FailoverClient client(copts);
+    auto instance = client.create_instance(ClientId{1});
+    if (!instance.ok()) {
+      state.SkipWithError("create_instance failed");
+      return;
+    }
+    std::vector<TaskSpec> tasks;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+      tasks.push_back(make_noop_task(TaskId{i}));
+    }
+    if (!client.submit(instance.value(), std::move(tasks)).ok()) {
+      state.SkipWithError("submit failed");
+      return;
+    }
+    // Let the standby catch up so promotion replays a warm log.
+    const auto catchup_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (standby.applied_lsn() < journal.value()->last_lsn() &&
+           std::chrono::steady_clock::now() < catchup_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server->stop();
+    server.reset();
+    dispatcher->shutdown();
+    dispatcher.reset();
+    journal.value().reset();
+    // One FailoverClient call rides out the outage internally (reconnect +
+    // backoff) and returns as soon as the promoted standby answers.
+    if (!client.status().ok()) {
+      state.SkipWithError("post-failover status failed");
+      return;
+    }
+    last_downtime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(last_downtime_s);
+
+    standby.stop();
+    std::error_code ec;
+    fs::remove_all(primary_dir, ec);
+    fs::remove_all(standby_dir, ec);
+  }
+  bench_obs()
+      .registry()
+      .gauge("bench.micro.ha.failover_downtime_ms")
+      .set(last_downtime_s * 1e3);
+}
+BENCHMARK(BM_HaFailoverDowntime)
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulationEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -21,6 +21,12 @@
 # docs/TESTING.md) at a raised fixed budget, so every CI run scans more
 # workloads than a default local ctest while staying reproducible.
 #
+# The ha stage (ctest -L ha, see docs/HA.md) does the same for the
+# durability/failover stack — WAL torn-tail fuzzing, standby takeover, the
+# primary-kill chaos case — under ASan+UBSan, and again under TSan in the
+# opt-in pass (the WAL append path, the replication tail thread and the
+# promotion handoff are exactly the cross-thread sharing TSan is for).
+#
 # An optional coverage pass (`scripts/ci.sh coverage`) builds with gcov
 # instrumentation, runs the tier-1 + prop suites, and reports line/branch
 # coverage via gcovr when the tool is installed — informational only,
@@ -47,6 +53,9 @@ ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
 echo "== Chaos soak under ASan+UBSan =="
 ctest --test-dir build-ci-asan --output-on-failure -R 'test_chaos|test_fault'
+
+echo "== HA durability/failover suite under ASan+UBSan =="
+ctest --test-dir build-ci-asan --output-on-failure -L ha
 
 if [ "${1:-}" = "bench" ]; then
   echo "== Benchmark gate =="
@@ -80,7 +89,7 @@ if [ "${1:-}" = "tsan" ]; then
   # connection while producers append to outboxes and handlers run on the
   # pool — exactly the sharing TSan is for.
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net|test_tcp'
+        -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net|test_tcp|test_wal|test_ha'
   echo "== Chaos soak under TSan =="
   ctest --test-dir build-ci-tsan --output-on-failure -R 'test_chaos|test_fault'
 fi

@@ -55,6 +55,13 @@ class IdGenerator {
  public:
   IdType next() { return IdType{++last_}; }
 
+  /// Restore the high-water mark (recovery: a restarted dispatcher must
+  /// never re-issue an id already present in its journal). Only moves
+  /// forward.
+  void reset(std::uint64_t last) {
+    if (last > last_) last_ = last;
+  }
+
  private:
   std::uint64_t last_{0};
 };

@@ -234,6 +234,7 @@ Result<InstanceId> Dispatcher::create_instance(ClientId client) {
   auto instance = std::make_shared<Instance>();
   instance->client = client;
   instances_[id.value] = std::move(instance);
+  if (config_.journal) config_.journal->on_instance_created(id, client);
   return id;
 }
 
@@ -257,6 +258,7 @@ Status Dispatcher::destroy_instance(InstanceId instance_id) {
                  queue_.end());
     queue_size_.store(queue_.size(), std::memory_order_relaxed);
     if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+    if (config_.journal) config_.journal->on_instance_destroyed(instance_id);
   }
   // Prefetched (outboxed) tasks of this instance are queued work too —
   // purge them the same way. Submits for this instance now fail, so no new
@@ -283,21 +285,41 @@ Status Dispatcher::destroy_instance(InstanceId instance_id) {
 }
 
 Result<std::uint64_t> Dispatcher::submit(InstanceId instance_id,
-                                         std::vector<TaskSpec> tasks) {
+                                         std::vector<TaskSpec> tasks,
+                                         std::uint64_t submit_seq) {
   {
     std::lock_guard lock(inst_mu_);
     if (shutdown_.load(std::memory_order_relaxed)) {
       return make_error(ErrorCode::kClosed, "dispatcher shut down");
     }
-    if (instances_.find(instance_id.value) == instances_.end()) {
+    auto it = instances_.find(instance_id.value);
+    if (it == instances_.end()) {
       return make_error(ErrorCode::kNotFound, "no such instance");
     }
-    const double now = clock_.now_s();
-    std::lock_guard qlock(queue_mu_);
-    for (auto& spec : tasks) {
+    // Validate before any mutation so a bad bundle never half-enqueues (and
+    // never reaches the journal).
+    for (const auto& spec : tasks) {
       if (!spec.id.valid()) {
         return make_error(ErrorCode::kInvalidArgument, "task without id");
       }
+    }
+    if (submit_seq != 0) {
+      if (submit_seq <= it->second->last_submit_seq) {
+        // Duplicate of a submit already accepted (the client retried after
+        // a failover ate its reply): acknowledge idempotently, enqueue
+        // nothing — the tasks are already in the queue or the journal.
+        return static_cast<std::uint64_t>(tasks.size());
+      }
+      it->second->last_submit_seq = submit_seq;
+    }
+    const double now = clock_.now_s();
+    std::lock_guard qlock(queue_mu_);
+    // Journal before the tasks become visible to get_work (see the ordering
+    // contract in core/journal.h).
+    if (config_.journal) {
+      config_.journal->on_submit(instance_id, submit_seq, tasks);
+    }
+    for (auto& spec : tasks) {
       QueuedTask task;
       task.instance = instance_id;
       task.spec = std::move(spec);
@@ -340,10 +362,51 @@ Result<std::vector<TaskResult>> Dispatcher::wait_results(
     out.push_back(std::move(instance->results.front()));
     instance->results.pop_front();
   }
+  // Journal the pick-up while still holding the mailbox lock: after
+  // recovery these results must not be re-delivered (docs/HA.md).
+  if (config_.journal && !out.empty()) {
+    std::vector<TaskId> ids;
+    ids.reserve(out.size());
+    for (const auto& result : out) ids.push_back(result.task_id);
+    config_.journal->on_delivered(instance_id, ids);
+  }
   if (out.empty() && !instance->open) {
     return make_error(ErrorCode::kClosed, "instance destroyed");
   }
   return out;
+}
+
+void Dispatcher::restore(const DispatcherImage& image) {
+  const double now = clock_.now_s();
+  std::lock_guard lock(inst_mu_);
+  std::lock_guard qlock(queue_mu_);
+  for (const auto& inst : image.instances) {
+    auto instance = std::make_shared<Instance>();
+    instance->client = inst.client;
+    instance->last_submit_seq = inst.last_submit_seq;
+    // Undelivered results go back into the mailbox; the client-side dedup
+    // set absorbs any the old primary managed to deliver after journaling.
+    for (const auto& result : inst.mailbox) {
+      instance->results.push_back(result);
+    }
+    instances_[inst.id.value] = std::move(instance);
+  }
+  instance_ids_.reset(image.next_instance_id);
+  for (const auto& queued : image.queue) {
+    QueuedTask task;
+    task.instance = queued.instance;
+    task.spec = queued.spec;
+    task.enqueue_s = now;
+    task.attempts = queued.attempts;
+    queue_.push_back(std::move(task));
+  }
+  queue_size_.store(queue_.size(), std::memory_order_relaxed);
+  if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+  n_submitted_.store(image.submitted, std::memory_order_relaxed);
+  n_completed_.store(image.completed, std::memory_order_relaxed);
+  n_failed_.store(image.failed, std::memory_order_relaxed);
+  n_retried_.store(image.retried, std::memory_order_relaxed);
+  n_quarantined_.store(image.quarantined, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------- executor
@@ -459,8 +522,15 @@ bool Dispatcher::remove_executor(std::uint64_t executor_value,
                              std::to_string(task.killers.size()) +
                              " executors";
         result.queue_time_s = task.dispatch_s - task.enqueue_s;
+        if (config_.journal) {
+          config_.journal->on_complete(task.instance, result,
+                                       /*quarantined=*/true);
+        }
         to_route.push_back(PendingRoute{task.instance, std::move(result)});
         continue;
+      }
+      if (config_.journal) {
+        config_.journal->on_requeue({task.spec.id}, /*retry=*/false);
       }
       requeue_task(to_queued(std::move(task)), /*front=*/true);
       ++requeued;
@@ -720,6 +790,16 @@ std::vector<TaskSpec> Dispatcher::take_work_entry_locked(ExecutorEntry& entry,
   if (!out.empty()) {
     set_state_locked(entry, ExecState::kBusy);
     entry.inflight += static_cast<std::uint32_t>(out.size());
+    // Journal the assignment while entry.mu is still held: a completion for
+    // these tasks needs the same lock, so it can only be journaled later.
+    // (Prefetch into the outbox is deliberately NOT an assignment — those
+    // tasks are still queued until an exchange actually serves them.)
+    if (config_.journal) {
+      std::vector<TaskId> ids;
+      ids.reserve(out.size());
+      for (const auto& spec : out) ids.push_back(spec.id);
+      config_.journal->on_assign(entry.id, ids);
+    }
   } else if (entry.inflight == 0) {
     set_state_locked(entry, ExecState::kIdle);
   }
@@ -852,6 +932,10 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
         ++dispatched.attempts;
         n_retried_.fetch_add(1, std::memory_order_relaxed);
         if (m_retried_) m_retried_->inc();
+        // Journal before the push makes the task visible to get_work.
+        if (config_.journal) {
+          config_.journal->on_requeue({result.task_id}, /*retry=*/true);
+        }
         requeue_task(to_queued(std::move(dispatched)), /*front=*/false);
         accepted.push_back(
             Accepted{std::move(result), instance_id, /*route=*/false});
@@ -864,6 +948,9 @@ Result<Dispatcher::DeliverOutcome> Dispatcher::deliver_results(
       } else {
         n_completed_.fetch_add(1, std::memory_order_relaxed);
         if (m_completed_) m_completed_->inc();
+      }
+      if (config_.journal) {
+        config_.journal->on_complete(instance_id, result, /*quarantined=*/false);
       }
       if (tracer_) {
         tracer_->instant(result.task_id, obs::Stage::kAck, now,
@@ -987,12 +1074,19 @@ int Dispatcher::check_replays() {
         result.exit_code = -1;
         result.stderr_data = "replay timeout: retry budget exhausted";
         result.queue_time_s = task.dispatch_s - task.enqueue_s;
+        if (config_.journal) {
+          config_.journal->on_complete(task.instance, result,
+                                       /*quarantined=*/false);
+        }
         to_route.push_back(PendingRoute{task.instance, std::move(result)});
         continue;
       }
       ++task.attempts;
       n_retried_.fetch_add(1, std::memory_order_relaxed);
       if (m_retried_) m_retried_->inc();
+      if (config_.journal) {
+        config_.journal->on_requeue({task.spec.id}, /*retry=*/true);
+      }
       requeue_task(to_queued(std::move(task)), /*front=*/true);
       ++requeued;
     }

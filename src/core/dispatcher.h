@@ -46,6 +46,7 @@
 #include "common/stats.h"
 #include "common/task.h"
 #include "common/thread_pool.h"
+#include "core/journal.h"
 #include "core/policies.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
@@ -114,6 +115,14 @@ struct DispatcherConfig {
   /// Fault injection (lost notifications, lost acks); nullptr in
   /// production — same zero-cost discipline as `obs`.
   fault::FaultInjector* fault{nullptr};
+
+  // ---- durability & failover (docs/HA.md) ----
+
+  /// Write-ahead journal receiving every state transition; nullptr (the
+  /// default) disables journaling entirely — same zero-cost discipline as
+  /// `obs` and `fault`. Typically an ha::Journal; must outlive the
+  /// dispatcher.
+  StateJournal* journal{nullptr};
 };
 
 struct DispatcherStatus {
@@ -175,7 +184,20 @@ class Dispatcher {
   Status destroy_instance(InstanceId instance);
 
   /// Bundled submit {1,2}; returns the number of tasks accepted.
-  Result<std::uint64_t> submit(InstanceId instance, std::vector<TaskSpec> tasks);
+  /// `submit_seq` (optional) is a per-instance, strictly increasing client
+  /// sequence number for exactly-once submission across failover: a seq at
+  /// or below the instance's high-water mark is a duplicate of a submit the
+  /// dispatcher already journaled (the client retried after losing the
+  /// reply), and is acknowledged without enqueueing anything. 0 disables
+  /// dedup for this call.
+  Result<std::uint64_t> submit(InstanceId instance, std::vector<TaskSpec> tasks,
+                               std::uint64_t submit_seq = 0);
+
+  /// Seed a freshly constructed dispatcher from a recovered image (cold
+  /// restart from WAL+snapshot, or standby promotion — docs/HA.md). Must be
+  /// called before any clients or executors are attached; the configured
+  /// journal is NOT replayed into (it already contains this state).
+  void restore(const DispatcherImage& image);
 
   /// Blocking result pick-up {9,10}: waits until at least one result is
   /// available (or timeout), returns up to `max_results`.
@@ -341,6 +363,9 @@ class Dispatcher {
   /// Per-instance result mailbox; shared_ptr so waiters survive destroy.
   struct Instance {
     ClientId client;
+    /// Submit-dedup high-water mark (docs/HA.md); guarded by inst_mu_ —
+    /// submit() and restore() both hold it, wait paths never touch this.
+    std::uint64_t last_submit_seq{0};
     std::mutex mu;
     std::condition_variable cv;
     std::deque<TaskResult> results;

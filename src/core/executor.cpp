@@ -1,5 +1,6 @@
 #include "core/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <utility>
@@ -38,7 +39,7 @@ Status ExecutorRuntime::start() {
     }
     auto registered = link_.register_executor(request);
     if (registered.ok()) {
-      id_ = registered.value();
+      id_value_.store(registered.value().value, std::memory_order_release);
       running_.store(true);
       thread_ = std::thread([this] { work_loop(); });
       if (options_.heartbeat_interval_s > 0) {
@@ -100,6 +101,44 @@ void ExecutorRuntime::set_exit_listener(
   exit_listener_ = std::move(listener);
 }
 
+void ExecutorRuntime::set_id_listener(
+    std::function<void(ExecutorId)> listener) {
+  std::lock_guard lock(stats_mu_);
+  id_listener_ = std::move(listener);
+}
+
+bool ExecutorRuntime::try_reregister() {
+  wire::RegisterRequest request;
+  request.node_id = options_.node_id;
+  request.host = options_.host;
+  request.slots = 1;
+  request.allocation_id = options_.allocation_id;
+
+  // Reuse the link-retry budget: re-registration is the recovery tail of a
+  // failed link call, and register_retries may be 0 on runtimes that only
+  // opted into link retries.
+  const int budget = std::max(options_.register_retries, options_.link_retries);
+  fault::Backoff backoff(options_.backoff, options_.node_id.value + 1);
+  for (int attempt = 0; attempt <= budget; ++attempt) {
+    if (attempt > 0 && !interruptible_sleep(backoff.next_s())) return false;
+    auto registered = link_.register_executor(request);
+    if (registered.ok()) {
+      id_value_.store(registered.value().value, std::memory_order_release);
+      std::function<void(ExecutorId)> listener;
+      {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.reregistrations;
+        listener = id_listener_;
+      }
+      if (listener) listener(registered.value());
+      LOG_INFO("executor", "re-registered after dispatcher failover: id=%llu",
+               static_cast<unsigned long long>(registered.value().value));
+      return true;
+    }
+  }
+  return false;
+}
+
 bool ExecutorRuntime::interruptible_sleep(double model_s) {
   if (model_s <= 0) return !stop_requested_.load();
   const double real_s = model_s / clock_.rate();
@@ -113,7 +152,7 @@ template <class Call>
 auto ExecutorRuntime::call_with_retry(Call&& call) -> decltype(call()) {
   auto result = call();
   if (result.ok() || options_.link_retries <= 0) return result;
-  fault::Backoff backoff(options_.backoff, id_.value + 1);
+  fault::Backoff backoff(options_.backoff, id().value + 1);
   for (int attempt = 0; attempt < options_.link_retries; ++attempt) {
     {
       std::lock_guard lock(stats_mu_);
@@ -130,7 +169,7 @@ void ExecutorRuntime::heartbeat_loop() {
   while (!stop_requested_.load() && running_.load()) {
     if (!interruptible_sleep(options_.heartbeat_interval_s)) return;
     if (crashed_.load() || !running_.load()) return;
-    if (link_.heartbeat(id_).ok()) {
+    if (link_.heartbeat(id()).ok()) {
       std::lock_guard lock(stats_mu_);
       ++stats_.heartbeats_sent;
     }
@@ -159,8 +198,14 @@ void ExecutorRuntime::work_loop() {
         pending.clear();
       } else {
         auto work =
-            call_with_retry([&] { return link_.get_work(id_, pull_size); });
+            call_with_retry([&] { return link_.get_work(id(), pull_size); });
         if (!work.ok()) {
+          // kNotFound means a dispatcher answered but doesn't know us — a
+          // promoted standby took over (docs/HA.md). Re-register under a
+          // fresh id and keep working.
+          if (work.error().code == ErrorCode::kNotFound && try_reregister()) {
+            continue;
+          }
           dispatcher_gone = true;
           exit_reason = "dispatcher unreachable";
           break;
@@ -179,7 +224,7 @@ void ExecutorRuntime::work_loop() {
       // Pre-fetch (section 6): grab the next bundle before executing, so
       // dispatch latency overlaps with execution.
       if (options_.prefetch) {
-        auto next = link_.get_work(id_, pull_size);
+        auto next = link_.get_work(id(), pull_size);
         if (next.ok()) pending = next.take();
       }
 
@@ -210,7 +255,7 @@ void ExecutorRuntime::work_loop() {
         const double start = clock_.now_s();
         TaskResult result = engine_.run(task);
         result.task_id = task.id;
-        result.executor_id = id_;
+        result.executor_id = id();
         const double elapsed = clock_.now_s() - start;
         {
           std::lock_guard lock(stats_mu_);
@@ -219,7 +264,7 @@ void ExecutorRuntime::work_loop() {
         }
         if (tracer_) {
           tracer_->record(task.id, obs::Stage::kExec, start, start + elapsed,
-                          id_.value);
+                          id().value);
         }
         if (m_tasks_) {
           m_tasks_->inc();
@@ -235,9 +280,17 @@ void ExecutorRuntime::work_loop() {
       auto results_shared =
           std::make_shared<std::vector<TaskResult>>(std::move(results));
       auto ack = call_with_retry([&] {
-        return link_.deliver_results(id_, *results_shared, want);
+        return link_.deliver_results(id(), *results_shared, want);
       });
       if (!ack.ok()) {
+        if (ack.error().code == ErrorCode::kNotFound && try_reregister()) {
+          // Failover mid-delivery: the promoted dispatcher recovered these
+          // tasks from the journal and will re-dispatch them, so the stale
+          // results (and any pre-fetched bundle) are dropped — the client
+          // still sees each completion exactly once.
+          pending.clear();
+          continue;
+        }
         dispatcher_gone = true;
         exit_reason = "result delivery failed";
         break;
@@ -271,7 +324,7 @@ void ExecutorRuntime::work_loop() {
   if (crashed_.load()) exit_reason = "crashed (injected)";
   // A crashed executor dies silently — no goodbye to the dispatcher.
   if (exit_reason != "dispatcher unreachable" && !crashed_.load()) {
-    (void)link_.deregister(id_, exit_reason);
+    (void)link_.deregister(id(), exit_reason);
   }
   running_.store(false);
   std::function<void(ExecutorId)> listener;
@@ -279,9 +332,9 @@ void ExecutorRuntime::work_loop() {
     std::lock_guard lock(stats_mu_);
     listener = exit_listener_;
   }
-  if (listener) listener(id_);
+  if (listener) listener(id());
   LOG_DEBUG("executor", "executor %llu exited: %s",
-            static_cast<unsigned long long>(id_.value), exit_reason.c_str());
+            static_cast<unsigned long long>(id().value), exit_reason.c_str());
 }
 
 bool ExecutorRuntime::wait_for_wakeup() {

@@ -108,6 +108,9 @@ struct ExecutorStats {
   std::uint64_t empty_polls{0};
   std::uint64_t link_retries{0};    // failed link calls that were retried
   std::uint64_t heartbeats_sent{0};
+  /// Successful re-registrations after the dispatcher forgot us (a promoted
+  /// standby knows no executor ids — docs/HA.md failover sequence).
+  std::uint64_t reregistrations{0};
   double busy_time_s{0.0};
 };
 
@@ -137,7 +140,9 @@ class ExecutorRuntime {
   /// Blocks until the loop exited (self-release or stop). Returns reason.
   void join();
 
-  [[nodiscard]] ExecutorId id() const { return id_; }
+  [[nodiscard]] ExecutorId id() const {
+    return ExecutorId{id_value_.load(std::memory_order_acquire)};
+  }
   [[nodiscard]] bool running() const { return running_.load(); }
   /// True after an injected crash killed the runtime (the executor exited
   /// without deregistering — exactly what a real worker death looks like).
@@ -147,6 +152,11 @@ class ExecutorRuntime {
   /// Invoked (from the runtime's thread) right after the loop exits;
   /// used by the provisioner to track self-released executors.
   void set_exit_listener(std::function<void(ExecutorId)> listener);
+
+  /// Invoked (from the work thread) after a successful re-registration
+  /// changed id(); transports use it to re-key their notification
+  /// subscription (docs/HA.md failover).
+  void set_id_listener(std::function<void(ExecutorId)> listener);
 
  private:
   void work_loop();
@@ -161,13 +171,18 @@ class ExecutorRuntime {
   /// exponential backoff on failure.
   template <class Call>
   auto call_with_retry(Call&& call) -> decltype(call());
+  /// Register again after the dispatcher forgot us (failover to a promoted
+  /// standby). On success updates id() and fires the id listener.
+  bool try_reregister();
 
   Clock& clock_;
   DispatcherLink& link_;
   TaskEngine& engine_;
   ExecutorOptions options_;
 
-  ExecutorId id_;
+  /// Atomic because the heartbeat thread and transports read id() while
+  /// the work thread may swap it during a failover re-registration.
+  std::atomic<std::uint64_t> id_value_{0};
   std::thread thread_;
   std::thread heartbeat_thread_;
   std::atomic<bool> running_{false};
@@ -181,6 +196,7 @@ class ExecutorRuntime {
   mutable std::mutex stats_mu_;
   ExecutorStats stats_;
   std::function<void(ExecutorId)> exit_listener_;
+  std::function<void(ExecutorId)> id_listener_;
 
   // Observability handles (null when options_.obs is null).
   obs::Tracer* tracer_{nullptr};

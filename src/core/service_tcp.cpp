@@ -60,6 +60,10 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
           rpc_.start([this](const wire::Message& m) { return handle(m); },
                      rpc_port, fault, options);
       !status.ok()) {
+    // Unwind the sink registration: with start() failed, stop() will be a
+    // no-op, and the dispatcher must not keep notifying through a server
+    // the caller is about to destroy.
+    dispatcher_.set_client_sink(nullptr);
     return status;
   }
   // Move the dispatcher's recovery sweep onto the reactor's timer wheel:
@@ -69,10 +73,16 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
     sweep_timer_ = reactor_.add_periodic(
         dispatcher_.sweep_interval_real_s(), [this] { dispatcher_.sweep_once(); });
   }
+  started_ = true;
   return ok_status();
 }
 
 void TcpDispatcherServer::stop() {
+  // Idempotent: a dead primary's server object may be stopped explicitly
+  // and then destroyed after its Dispatcher is already gone — the second
+  // stop must not touch the dangling reference.
+  if (!started_) return;
+  started_ = false;
   if (sweeper_adopted_) {
     reactor_.cancel_timer(sweep_timer_);
     reactor_.barrier();  // a final sweep_once() may be mid-flight
@@ -132,7 +142,7 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     return DestroyInstanceReply{};
   }
   if (const auto* m = std::get_if<SubmitRequest>(&request)) {
-    auto result = dispatcher_.submit(m->instance_id, m->tasks);
+    auto result = dispatcher_.submit(m->instance_id, m->tasks, m->submit_seq);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
     return SubmitReply{result.value()};
   }
@@ -221,6 +231,32 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
   }
   if (std::get_if<StatusRequest>(&request) != nullptr) {
     return dispatcher_.status().to_wire();
+  }
+  if (const auto* m = std::get_if<ReplFetch>(&request)) {
+    ReplicationSource* source =
+        replication_.load(std::memory_order_acquire);
+    if (source == nullptr) {
+      return ErrorReply{ErrorCode::kUnavailable,
+                        "replication not enabled on this dispatcher"};
+    }
+    auto batch = source->fetch(m->from_lsn, m->max_bytes);
+    if (batch.is_snapshot) {
+      ReplSnapshot reply;
+      reply.lsn = batch.last_lsn;
+      reply.payload = std::move(batch.payload);
+      return reply;
+    }
+    ReplAppend reply;
+    reply.first_lsn = batch.first_lsn;
+    reply.last_lsn = batch.last_lsn;
+    reply.payload = std::move(batch.payload);
+    return reply;
+  }
+  if (const auto* m = std::get_if<ReplAck>(&request)) {
+    ReplicationSource* source =
+        replication_.load(std::memory_order_acquire);
+    if (source != nullptr) source->note_ack(m->applied_lsn);
+    return ReplAckReply{};
   }
   return ErrorReply{ErrorCode::kProtocolError,
                     std::string("unhandled request: ") +
@@ -340,6 +376,21 @@ Status TcpExecutorHarness::start() {
                                   options_.obs);
       !status.ok()) {
     return status;
+  }
+  if (options_.poll_interval_s <= 0) {
+    // A failover re-registration changes our executor id; re-key the push
+    // subscription (runs on the runtime's work thread, where PushReceiver
+    // stop/start is safe) so the promoted dispatcher can notify us.
+    runtime_->set_id_listener([this](ExecutorId id) {
+      receiver_.stop();
+      (void)receiver_.start(host_, push_port_, id.value,
+                            [this](const wire::Message& message) {
+                              if (const auto* notify =
+                                      std::get_if<wire::Notify>(&message)) {
+                                runtime_->notify(notify->resource_key);
+                              }
+                            });
+    });
   }
   if (auto status = runtime_->start(); !status.ok()) return status;
   if (options_.poll_interval_s > 0) {

@@ -47,6 +47,14 @@ class TcpDispatcherServer {
   [[nodiscard]] std::uint16_t rpc_port() const { return rpc_.port(); }
   [[nodiscard]] std::uint16_t push_port() const { return push_.port(); }
 
+  /// Serve ReplFetch/ReplAck from this source (typically the dispatcher's
+  /// ha::Journal), enabling a warm standby to tail the log over the RPC
+  /// port. nullptr (the default) answers ReplFetch with kUnavailable.
+  /// The source must outlive the server or be cleared first.
+  void set_replication_source(ReplicationSource* source) {
+    replication_.store(source, std::memory_order_release);
+  }
+
  private:
   /// ExecutorSink that writes Notify frames on the notification channel.
   /// on_removed ties transport cleanup to the dispatcher's removal paths:
@@ -94,6 +102,7 @@ class TcpDispatcherServer {
 
   Dispatcher& dispatcher_;
   obs::Obs* obs_{nullptr};
+  std::atomic<ReplicationSource*> replication_{nullptr};
   /// One event loop shared by both channels: every executor costs two
   /// reactor-owned connections, zero threads. Declared before the servers
   /// so it outlives their stop() sequences.
@@ -104,6 +113,10 @@ class TcpDispatcherServer {
   /// dispatcher's dedicated sweeper thread (0 = sweeping disabled).
   net::TimerId sweep_timer_{0};
   bool sweeper_adopted_{false};
+  /// Set by a fully-successful start(); stop() is a no-op otherwise (and
+  /// after the first stop), so destroying a stopped server never touches
+  /// the dispatcher reference again.
+  bool started_{false};
   std::shared_ptr<PushSink> sink_;
   std::shared_ptr<ClientPushSink> client_sink_;
   obs::Counter* m_requests_{nullptr};

@@ -16,6 +16,7 @@ const char* site_name(Site site) {
     case Site::kDispatcherAck: return "dispatcher_ack";
     case Site::kLrmAllocate: return "lrm_allocate";
     case Site::kLrmPreempt: return "lrm_preempt";
+    case Site::kHaPrimary: return "ha_primary";
   }
   return "unknown";
 }

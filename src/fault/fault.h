@@ -41,8 +41,12 @@ enum class Site : std::uint8_t {
   kDispatcherAck,     // dispatcher ingesting delivered results
   kLrmAllocate,       // GRAM allocation request
   kLrmPreempt,        // running LRM job, sampled once per scheduling cycle
+  kHaPrimary,         // primary dispatcher liveness, sampled by HA harnesses
+                      // once per chaos round (kCrash = kill the primary);
+                      // never drawn by random_plan — only scripted/explicit
+                      // plans schedule a takeover
 };
-inline constexpr std::size_t kSiteCount = 9;
+inline constexpr std::size_t kSiteCount = 10;
 
 [[nodiscard]] const char* site_name(Site site);
 

@@ -1,0 +1,160 @@
+#include "ha/failover_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace falkon::ha {
+namespace {
+
+/// Errors that mean "the connection (or the dispatcher behind it) is gone,
+/// dial again": connection-level failures plus kUnavailable from a server
+/// that is still starting up. Everything else is an application answer.
+bool transport_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kClosed:
+    case ErrorCode::kProtocolError:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <class T>
+Result<T> expect(Result<wire::Message> reply) {
+  if (!reply.ok()) return reply.error();
+  if (auto* value = std::get_if<T>(&reply.value())) return std::move(*value);
+  if (auto* error = std::get_if<wire::ErrorReply>(&reply.value())) {
+    return make_error(error->code, error->message);
+  }
+  return make_error(ErrorCode::kProtocolError,
+                    std::string("unexpected reply: ") +
+                        wire::msg_type_name(wire::message_type(reply.value())));
+}
+
+}  // namespace
+
+FailoverClient::FailoverClient(FailoverClientOptions options)
+    : options_(std::move(options)) {
+  if (options_.obs != nullptr) {
+    auto& reg = options_.obs->registry();
+    m_reconnects_ = &reg.counter("falkon.ha.client.reconnects");
+    m_dup_results_ = &reg.counter("falkon.ha.client.duplicate_results");
+  }
+}
+
+std::uint64_t FailoverClient::reconnects() const {
+  std::lock_guard lock(mu_);
+  return reconnects_;
+}
+
+Result<wire::Message> FailoverClient::call(const wire::Message& request) {
+  double backoff_s = options_.backoff_initial_s;
+  Error last = make_error(ErrorCode::kUnavailable, "never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      backoff_s = std::min(backoff_s * 2.0, options_.backoff_max_s);
+    }
+    std::unique_lock lock(mu_);
+    if (!rpc_) {
+      auto rpc = net::RpcClient::connect(options_.host, options_.rpc_port,
+                                         options_.fault);
+      if (!rpc.ok()) {
+        last = rpc.error();
+        reconnects_ += 1;
+        if (m_reconnects_ != nullptr) m_reconnects_->inc();
+        continue;
+      }
+      rpc_ = std::make_unique<net::RpcClient>(rpc.take());
+    }
+    auto reply = rpc_->call(request);
+    if (reply.ok()) return reply;
+    last = reply.error();
+    if (!transport_error(last.code)) return reply;
+    rpc_.reset();  // dial fresh next attempt (possibly the new primary)
+    reconnects_ += 1;
+    if (m_reconnects_ != nullptr) m_reconnects_->inc();
+  }
+  return make_error(last.code,
+                    "gave up after " + std::to_string(options_.max_attempts) +
+                        " attempts: " + last.message);
+}
+
+Result<InstanceId> FailoverClient::create_instance(ClientId client) {
+  wire::CreateInstanceRequest request;
+  request.client_id = client;
+  auto reply = expect<wire::CreateInstanceReply>(call(request));
+  if (!reply.ok()) return reply.error();
+  return reply.value().instance_id;
+}
+
+Result<std::uint64_t> FailoverClient::submit(InstanceId instance,
+                                             std::vector<TaskSpec> tasks) {
+  wire::SubmitRequest request;
+  request.instance_id = instance;
+  request.tasks = std::move(tasks);
+  {
+    // The sequence makes the retried call idempotent: a dispatcher (old or
+    // promoted) that journaled this sequence acks without re-enqueueing.
+    std::lock_guard lock(mu_);
+    request.submit_seq = ++submit_seq_;
+  }
+  auto reply = expect<wire::SubmitReply>(call(request));
+  if (!reply.ok()) return reply.error();
+  return reply.value().accepted;
+}
+
+Result<std::vector<TaskResult>> FailoverClient::wait_results(
+    InstanceId instance, std::uint32_t max_results, double timeout_s) {
+  wire::WaitResultsRequest request;
+  request.instance_id = instance;
+  request.max_results = max_results;
+  request.timeout_s = timeout_s;
+  auto reply = expect<wire::WaitResultsReply>(call(request));
+  if (!reply.ok()) return reply.error();
+  std::vector<TaskResult> fresh;
+  fresh.reserve(reply.value().results.size());
+  std::lock_guard lock(mu_);
+  for (TaskResult& result : reply.value().results) {
+    if (seen_.insert(result.task_id.value).second) {
+      fresh.push_back(std::move(result));
+    } else if (m_dup_results_ != nullptr) {
+      m_dup_results_->inc();
+    }
+  }
+  return fresh;
+}
+
+Status FailoverClient::destroy_instance(InstanceId instance) {
+  wire::DestroyInstanceRequest request;
+  request.instance_id = instance;
+  auto reply = expect<wire::DestroyInstanceReply>(call(request));
+  if (!reply.ok()) return reply.error();
+  return ok_status();
+}
+
+Result<core::DispatcherStatus> FailoverClient::status() {
+  auto reply = expect<wire::StatusReply>(call(wire::StatusRequest{}));
+  if (!reply.ok()) return reply.error();
+  core::DispatcherStatus status;
+  status.submitted = reply.value().submitted_tasks;
+  status.queued = reply.value().queued_tasks;
+  status.dispatched = reply.value().dispatched_tasks;
+  status.completed = reply.value().completed_tasks;
+  status.failed = reply.value().failed_tasks;
+  status.retried = reply.value().retried_tasks;
+  status.suspicions = reply.value().suspicions;
+  status.false_suspicions = reply.value().false_suspicions;
+  status.quarantined = reply.value().quarantined_tasks;
+  status.registered_executors = reply.value().registered_executors;
+  status.busy_executors = reply.value().busy_executors;
+  status.idle_executors = reply.value().idle_executors;
+  return status;
+}
+
+}  // namespace falkon::ha

@@ -1,0 +1,70 @@
+// Failover-aware dispatcher client (docs/HA.md).
+//
+// A drop-in core::DispatcherClient that survives a dispatcher takeover:
+// every RPC retries with exponential backoff across reconnects (the
+// standby re-binds the same host:port), submits carry a strictly
+// increasing per-client submit_seq so a retried SubmitRequest that already
+// reached the old primary's journal is acknowledged instead of re-enqueued,
+// and wait_results dedups by task id so mailbox re-delivery after a
+// takeover cannot double-deliver a completion. Together with the
+// dispatcher-side journaling this keeps completions exactly-once across
+// failover.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "core/client.h"
+#include "fault/fault.h"
+#include "net/rpc.h"
+#include "obs/obs.h"
+
+namespace falkon::ha {
+
+struct FailoverClientOptions {
+  std::string host{"127.0.0.1"};
+  std::uint16_t rpc_port{0};
+  /// Transport-level retries per call; with backoff below, the default
+  /// rides out several seconds of takeover downtime.
+  int max_attempts{200};
+  double backoff_initial_s{0.01};
+  double backoff_max_s{0.3};
+  fault::FaultInjector* fault{nullptr};
+  obs::Obs* obs{nullptr};
+};
+
+class FailoverClient final : public core::DispatcherClient {
+ public:
+  explicit FailoverClient(FailoverClientOptions options);
+
+  Result<InstanceId> create_instance(ClientId client) override;
+  Result<std::uint64_t> submit(InstanceId instance,
+                               std::vector<TaskSpec> tasks) override;
+  Result<std::vector<TaskResult>> wait_results(InstanceId instance,
+                                               std::uint32_t max_results,
+                                               double timeout_s) override;
+  Status destroy_instance(InstanceId instance) override;
+  Result<core::DispatcherStatus> status() override;
+
+  /// Reconnects performed so far (each is one observed transport failure).
+  [[nodiscard]] std::uint64_t reconnects() const;
+
+ private:
+  /// One RPC with reconnect + backoff across transport failures.
+  Result<wire::Message> call(const wire::Message& request);
+
+  FailoverClientOptions options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<net::RpcClient> rpc_;
+  std::uint64_t submit_seq_{0};
+  std::uint64_t reconnects_{0};
+  /// Task ids already handed to the caller (re-delivery dedup).
+  std::unordered_set<std::uint64_t> seen_;
+  obs::Counter* m_reconnects_{nullptr};
+  obs::Counter* m_dup_results_{nullptr};
+};
+
+}  // namespace falkon::ha

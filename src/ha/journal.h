@@ -1,0 +1,139 @@
+// ha::Journal — the durable dispatcher journal (docs/HA.md).
+//
+// Implements core::StateJournal on top of ha::Wal: every dispatcher
+// transition becomes one LogRecord, applied to an in-memory StateMachine
+// and appended to the segmented WAL under one mutex — so the WAL order,
+// the state machine and the replication tail always agree. Periodically
+// (snapshot_every records) the current image is written as a snapshot and
+// fully-covered WAL segments are compacted, which bounds recovery to
+// one snapshot load plus at most snapshot_every record replays per
+// segment-rotation interval.
+//
+// It also implements core::ReplicationSource: a warm standby pulls the
+// framed record tail (kept in memory, bounded by repl_tail_bytes) via
+// ReplFetch, or a full image when it has fallen behind the tail.
+//
+// Lock discipline: mu_ is a leaf — hooks run under dispatcher locks and
+// never call back out (core/journal.h contract).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/journal.h"
+#include "ha/state.h"
+#include "ha/wal.h"
+#include "obs/obs.h"
+
+namespace falkon::ha {
+
+// ---- snapshot files (snap-<lsn>.snap: "FSNP" v1, crc-checked) ----------
+
+struct SnapshotInfo {
+  std::uint64_t lsn{0};
+  std::vector<std::uint8_t> payload;  // encode_image bytes
+};
+
+/// Write an image snapshot at `lsn` (temp file + rename: readers never see
+/// a partial snapshot) and prune all but the newest two.
+Status write_snapshot(const std::string& dir, std::uint64_t lsn,
+                      const std::vector<std::uint8_t>& payload);
+
+/// Newest snapshot that passes its CRC; corrupt ones are skipped in favour
+/// of older ones. nullopt when none is loadable.
+[[nodiscard]] std::optional<SnapshotInfo> load_latest_snapshot(
+    const std::string& dir);
+
+// ---- the journal --------------------------------------------------------
+
+class Journal final : public core::StateJournal, public core::ReplicationSource {
+ public:
+  struct Options {
+    std::string dir;  // holds wal-*.log segments and snap-*.snap files
+    FsyncPolicy fsync{FsyncPolicy::kGroupCommit};
+    double group_commit_interval_s{0.02};
+    std::uint64_t segment_bytes{8ull << 20};
+    /// Write a snapshot + compact every N appended records (0 disables).
+    std::uint64_t snapshot_every{4096};
+    /// In-memory framed-record tail served to pulling standbys; a follower
+    /// further behind than this gets a full snapshot instead.
+    std::size_t repl_tail_bytes{4u << 20};
+    obs::Obs* obs{nullptr};
+  };
+
+  /// Recover from `dir`: load the newest good snapshot, let Wal::open
+  /// repair any torn tail, replay records past the snapshot into the state
+  /// machine. An empty directory yields an empty journal at LSN 0.
+  static Result<std::unique_ptr<Journal>> open(Options options);
+
+  /// Bootstrap a *fresh* directory from a warm in-memory image at
+  /// `last_lsn` (standby promotion without a shared log directory): writes
+  /// the image as the base snapshot and starts the WAL at last_lsn + 1.
+  static Result<std::unique_ptr<Journal>> open(
+      Options options, const core::DispatcherImage& bootstrap_image,
+      std::uint64_t bootstrap_lsn);
+
+  /// State reconstructed by open() — feed it to Dispatcher::restore()
+  /// before attaching the journal to a live dispatcher.
+  [[nodiscard]] core::DispatcherImage recovered_image() const;
+
+  [[nodiscard]] std::uint64_t last_lsn() const;
+  /// Torn-tail / record-count diagnostics from recovery.
+  [[nodiscard]] const ReplayStats& recovery_stats() const;
+
+  Status sync();
+  /// Force a snapshot + compaction now (tests, clean shutdown).
+  Status snapshot_now();
+
+  // core::StateJournal -----------------------------------------------------
+  void on_instance_created(InstanceId instance, ClientId client) override;
+  void on_instance_destroyed(InstanceId instance) override;
+  void on_submit(InstanceId instance, std::uint64_t submit_seq,
+                 const std::vector<TaskSpec>& tasks) override;
+  void on_assign(ExecutorId executor,
+                 const std::vector<TaskId>& tasks) override;
+  void on_requeue(const std::vector<TaskId>& tasks, bool retry) override;
+  void on_complete(InstanceId instance, const TaskResult& result,
+                   bool quarantined) override;
+  void on_delivered(InstanceId instance,
+                    const std::vector<TaskId>& tasks) override;
+
+  // core::ReplicationSource ------------------------------------------------
+  Batch fetch(std::uint64_t from_lsn, std::uint32_t max_bytes) override;
+  void note_ack(std::uint64_t applied_lsn) override;
+
+ private:
+  explicit Journal(Options options);
+
+  void append_record(const LogRecord& record);
+  Status snapshot_locked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<Wal> wal_;
+  StateMachine sm_;
+  core::DispatcherImage recovered_;
+  std::uint64_t last_lsn_{0};
+  std::uint64_t records_since_snapshot_{0};
+
+  struct TailRecord {
+    std::uint64_t lsn{0};
+    std::vector<std::uint8_t> framed;  // [len][crc][payload]
+  };
+  std::deque<TailRecord> tail_;
+  std::size_t tail_bytes_{0};
+
+  obs::Counter* m_records_{nullptr};
+  obs::Counter* m_snapshots_{nullptr};
+  obs::Gauge* m_last_lsn_{nullptr};
+  obs::Gauge* m_acked_lsn_{nullptr};
+  obs::Gauge* m_lag_{nullptr};
+};
+
+}  // namespace falkon::ha

@@ -1,0 +1,237 @@
+#include "ha/standby.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "net/rpc.h"
+
+namespace falkon::ha {
+namespace {
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void real_sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+Standby::Standby(Clock& clock, StandbyOptions options)
+    : clock_(clock), options_(std::move(options)) {
+  if (options_.obs != nullptr) {
+    auto& reg = options_.obs->registry();
+    m_applied_ = &reg.gauge("falkon.ha.standby.applied_lsn");
+    m_failover_s_ = &reg.gauge("falkon.ha.standby.failover_s");
+  }
+}
+
+Standby::~Standby() { stop(); }
+
+Status Standby::start() {
+  if (options_.standby_dir.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "standby_dir not set");
+  }
+  if (options_.primary_rpc_port == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "primary_rpc_port not set");
+  }
+  stopping_.store(false, std::memory_order_release);
+  tail_thread_ = std::thread([this] { tail_loop(); });
+  return ok_status();
+}
+
+void Standby::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (tail_thread_.joinable()) tail_thread_.join();
+  if (server_) server_->stop();
+}
+
+bool Standby::wait_promoted(double timeout_s) {
+  std::unique_lock lock(promote_mu_);
+  promote_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                       [this] { return promoted(); });
+  return promoted();
+}
+
+bool Standby::fetch_once() {
+  if (!rpc_) {
+    auto rpc = net::RpcClient::connect(options_.primary_host,
+                                       options_.primary_rpc_port);
+    if (!rpc.ok()) return false;
+    rpc_ = std::make_unique<net::RpcClient>(rpc.take());
+  }
+
+  wire::ReplFetch fetch;
+  fetch.from_lsn = applied_.load(std::memory_order_relaxed) + 1;
+  fetch.max_bytes = options_.fetch_max_bytes;
+  auto reply = rpc_->call(fetch);
+  if (!reply.ok()) {
+    rpc_.reset();
+    return false;
+  }
+  saw_primary_ = true;
+
+  bool caught_up = false;
+  if (const auto* append = std::get_if<wire::ReplAppend>(&reply.value())) {
+    if (append->payload.empty()) {
+      caught_up = true;
+    } else {
+      std::uint64_t lsn = append->first_lsn;
+      std::uint64_t applied = applied_.load(std::memory_order_relaxed);
+      bool bad = false;
+      auto st = Wal::parse_frames(
+          reinterpret_cast<const std::uint8_t*>(append->payload.data()),
+          append->payload.size(),
+          [&](const std::uint8_t* payload, std::size_t size) {
+            if (bad) return;
+            auto record = decode_record(payload, size);
+            if (!record.ok()) {
+              bad = true;
+              return;
+            }
+            if (lsn > applied) {
+              sm_.apply(record.value());
+              applied = lsn;
+            }
+            lsn += 1;
+          });
+      if (!st.ok() || bad) {
+        LOG_WARN("ha", "standby: bad replication batch at lsn %llu",
+                 static_cast<unsigned long long>(lsn));
+        rpc_.reset();
+        return false;
+      }
+      applied_.store(applied, std::memory_order_release);
+    }
+  } else if (const auto* snap =
+                 std::get_if<wire::ReplSnapshot>(&reply.value())) {
+    auto image = decode_image(
+        reinterpret_cast<const std::uint8_t*>(snap->payload.data()),
+        snap->payload.size());
+    if (!image.ok()) {
+      LOG_WARN("ha", "standby: bad replication snapshot at lsn %llu",
+               static_cast<unsigned long long>(snap->lsn));
+      rpc_.reset();
+      return false;
+    }
+    sm_.reset(image.value());
+    applied_.store(snap->lsn, std::memory_order_release);
+  } else {
+    rpc_.reset();  // protocol confusion: redial
+    return false;
+  }
+
+  if (m_applied_ != nullptr) {
+    m_applied_->set(
+        static_cast<double>(applied_.load(std::memory_order_relaxed)));
+  }
+  wire::ReplAck ack;
+  ack.applied_lsn = applied_.load(std::memory_order_relaxed);
+  (void)rpc_->call(ack);  // best-effort progress report
+
+  if (caught_up) real_sleep_s(options_.poll_interval_s);
+  return true;
+}
+
+void Standby::tail_loop() {
+  double first_failure_s = -1.0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (fetch_once()) {
+      first_failure_s = -1.0;
+      continue;
+    }
+    const double now = monotonic_s();
+    if (first_failure_s < 0) first_failure_s = now;
+    if (now - first_failure_s >= options_.failover_after_s &&
+        (saw_primary_ || options_.promote_without_contact)) {
+      promote();
+      return;
+    }
+    real_sleep_s(options_.poll_interval_s);
+  }
+}
+
+void Standby::promote() {
+  const double start_s = monotonic_s();
+  LOG_INFO("ha", "standby promoting: applied_lsn=%llu",
+           static_cast<unsigned long long>(
+               applied_.load(std::memory_order_relaxed)));
+
+  // Recover the authoritative image. The shared log directory wins when
+  // readable: it contains records appended after our last fetch.
+  core::DispatcherImage image;
+  bool recovered = false;
+  if (!options_.shared_log_dir.empty()) {
+    Journal::Options jopts = options_.journal;
+    jopts.dir = options_.shared_log_dir;
+    jopts.obs = options_.obs;
+    auto journal = Journal::open(std::move(jopts));
+    if (journal.ok()) {
+      journal_ = journal.take();
+      image = journal_->recovered_image();
+      recovered = true;
+    } else {
+      LOG_WARN("ha", "standby: shared log unusable (%s), using warm image",
+               journal.error().message.c_str());
+    }
+  }
+  if (!recovered) {
+    Journal::Options jopts = options_.journal;
+    jopts.dir = options_.standby_dir;
+    jopts.obs = options_.obs;
+    auto journal = Journal::open(std::move(jopts), sm_.image(),
+                                 applied_.load(std::memory_order_relaxed));
+    if (!journal.ok()) {
+      LOG_ERROR("ha", "standby: cannot persist warm image: %s",
+                journal.error().message.c_str());
+      return;
+    }
+    journal_ = journal.take();
+    image = journal_->recovered_image();
+  }
+
+  core::DispatcherConfig config = options_.dispatcher;
+  config.journal = journal_.get();
+  if (config.obs == nullptr) config.obs = options_.obs;
+  dispatcher_ = std::make_unique<core::Dispatcher>(clock_, config);
+  dispatcher_->restore(image);
+
+  // Take over the primary's endpoints. SO_REUSEADDR on the listeners makes
+  // the rebind race only against a still-running primary, so retry until
+  // the old process lets go.
+  const double bind_deadline = monotonic_s() + options_.takeover_bind_timeout_s;
+  for (;;) {
+    // Fresh server object per attempt: a partially-started one (push port
+    // bound, RPC port still held by the dying primary) tears itself down
+    // through its destructor instead of needing restart semantics.
+    server_ = std::make_unique<core::TcpDispatcherServer>(*dispatcher_,
+                                                          options_.obs);
+    server_->set_replication_source(journal_.get());
+    auto st = server_->start(options_.takeover_rpc_port,
+                             options_.takeover_push_port, options_.fault);
+    if (st.ok()) break;
+    server_.reset();
+    if (monotonic_s() >= bind_deadline ||
+        stopping_.load(std::memory_order_acquire)) {
+      LOG_ERROR("ha", "standby: endpoint takeover failed: %s",
+                st.error().message.c_str());
+      return;
+    }
+    real_sleep_s(0.02);
+  }
+
+  if (m_failover_s_ != nullptr) m_failover_s_->set(monotonic_s() - start_s);
+  LOG_INFO("ha", "standby promoted in %.3fs (queue=%zu, instances=%zu)",
+           monotonic_s() - start_s, image.queue.size(),
+           image.instances.size());
+  {
+    std::lock_guard lock(promote_mu_);
+    promoted_.store(true, std::memory_order_release);
+  }
+  promote_cv_.notify_all();
+}
+
+}  // namespace falkon::ha

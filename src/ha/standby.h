@@ -1,0 +1,131 @@
+// Warm-standby dispatcher (docs/HA.md).
+//
+// A Standby tails the primary dispatcher's journal over the falkon-wire
+// replication messages (ReplFetch -> ReplAppend / ReplSnapshot, served off
+// the primary's existing RPC reactor): it keeps a StateMachine warm and
+// acknowledges progress with ReplAck. When the primary stops answering for
+// `failover_after_s` it promotes itself — recover authoritative state,
+// spin up a fresh Dispatcher seeded via restore(), and take over the
+// primary's listen endpoints (SO_REUSEADDR + bind retry) so executors and
+// clients reconnect to the same host:port they already know.
+//
+// Promotion recovers from `shared_log_dir` when the standby can see the
+// primary's log directory (same-host deployments; authoritative — closes
+// any replication lag), falling back to its warm in-memory image persisted
+// into `standby_dir` otherwise (loses at most the replication lag, which
+// ReplAck keeps observable as falkon.ha.repl.lag).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/dispatcher.h"
+#include "core/service_tcp.h"
+#include "ha/journal.h"
+#include "ha/state.h"
+
+namespace falkon::ha {
+
+struct StandbyOptions {
+  std::string primary_host{"127.0.0.1"};
+  std::uint16_t primary_rpc_port{0};
+
+  /// Endpoints to claim on promotion — the primary's advertised ports, so
+  /// reconnecting peers need no re-configuration.
+  std::uint16_t takeover_rpc_port{0};
+  std::uint16_t takeover_push_port{0};
+
+  /// Primary's journal directory when visible from this process (same-host
+  /// failover); empty when the standby can only rely on replication.
+  std::string shared_log_dir;
+  /// The standby's own journal directory, used to persist the warm image
+  /// when promoting without a readable shared_log_dir — and, either way,
+  /// where the promoted dispatcher keeps journaling. Required.
+  std::string standby_dir;
+  /// Journal settings for the promoted dispatcher (dir is overridden by
+  /// shared_log_dir / standby_dir above).
+  Journal::Options journal;
+
+  double poll_interval_s{0.02};
+  std::uint32_t fetch_max_bytes{1u << 20};
+  /// Promote after this long without a successful fetch.
+  double failover_after_s{0.5};
+  /// Promote even if the primary was never reachable (normally off: a
+  /// standby that never saw a primary has nothing to recover and would
+  /// race a healthy primary for the port).
+  bool promote_without_contact{false};
+  /// How long promotion retries binding the takeover ports (the dying
+  /// primary's sockets may linger briefly).
+  double takeover_bind_timeout_s{5.0};
+
+  /// Configuration for the promoted dispatcher (journal/obs/fault fields
+  /// are filled in by the standby).
+  core::DispatcherConfig dispatcher;
+
+  obs::Obs* obs{nullptr};
+  fault::FaultInjector* fault{nullptr};
+};
+
+class Standby {
+ public:
+  Standby(Clock& clock, StandbyOptions options);
+  ~Standby();
+
+  Standby(const Standby&) = delete;
+  Standby& operator=(const Standby&) = delete;
+
+  /// Start tailing the primary.
+  Status start();
+  /// Stop tailing (and the promoted server, if any).
+  void stop();
+
+  [[nodiscard]] bool promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+  /// Block until promotion or timeout (real seconds); true when promoted.
+  bool wait_promoted(double timeout_s);
+
+  [[nodiscard]] std::uint64_t applied_lsn() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  /// Valid only after promotion.
+  [[nodiscard]] core::Dispatcher* dispatcher() { return dispatcher_.get(); }
+  [[nodiscard]] core::TcpDispatcherServer* server() { return server_.get(); }
+
+ private:
+  void tail_loop();
+  /// One ReplFetch exchange; false on transport failure.
+  bool fetch_once();
+  void promote();
+
+  Clock& clock_;
+  StandbyOptions options_;
+
+  std::thread tail_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<std::uint64_t> applied_{0};
+  std::mutex promote_mu_;
+  std::condition_variable promote_cv_;
+
+  std::unique_ptr<net::RpcClient> rpc_;
+  StateMachine sm_;  // tail thread only (until promotion hands it off)
+  bool saw_primary_{false};
+
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<core::Dispatcher> dispatcher_;
+  std::unique_ptr<core::TcpDispatcherServer> server_;
+
+  obs::Gauge* m_applied_{nullptr};
+  obs::Gauge* m_failover_s_{nullptr};
+};
+
+}  // namespace falkon::ha

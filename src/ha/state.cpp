@@ -1,0 +1,415 @@
+#include "ha/state.h"
+
+#include <algorithm>
+
+#include "wire/message.h"
+
+namespace falkon::ha {
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+void encode_task_ids(Writer& w, const std::vector<TaskId>& ids) {
+  w.put_varint(ids.size());
+  for (TaskId id : ids) w.put_u64(id.value);
+}
+
+std::vector<TaskId> decode_task_ids(Reader& r) {
+  const std::uint64_t n = r.get_varint();
+  if (n > r.remaining()) throw wire::CodecError("task id count exceeds buffer");
+  std::vector<TaskId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) ids.push_back(TaskId{r.get_u64()});
+  return ids;
+}
+
+struct EncodeVisitor {
+  Writer& w;
+
+  void operator()(const RecInstanceCreated& r) const {
+    w.put_u64(r.instance.value);
+    w.put_u64(r.client.value);
+  }
+  void operator()(const RecInstanceDestroyed& r) const {
+    w.put_u64(r.instance.value);
+  }
+  void operator()(const RecSubmit& r) const {
+    w.put_u64(r.instance.value);
+    w.put_u64(r.submit_seq);
+    w.put_varint(r.tasks.size());
+    for (const TaskSpec& spec : r.tasks) wire::encode_task_spec(w, spec);
+  }
+  void operator()(const RecAssign& r) const {
+    w.put_u64(r.executor.value);
+    encode_task_ids(w, r.tasks);
+  }
+  void operator()(const RecRequeue& r) const {
+    encode_task_ids(w, r.tasks);
+    w.put_bool(r.retry);
+  }
+  void operator()(const RecComplete& r) const {
+    w.put_u64(r.instance.value);
+    wire::encode_task_result(w, r.result);
+    w.put_bool(r.quarantined);
+  }
+  void operator()(const RecDelivered& r) const {
+    w.put_u64(r.instance.value);
+    encode_task_ids(w, r.tasks);
+  }
+};
+
+LogRecord decode_record_or_throw(Reader& r) {
+  const auto type = static_cast<RecType>(r.get_u8());
+  switch (type) {
+    case RecType::kInstanceCreated: {
+      RecInstanceCreated rec;
+      rec.instance = InstanceId{r.get_u64()};
+      rec.client = ClientId{r.get_u64()};
+      return rec;
+    }
+    case RecType::kInstanceDestroyed: {
+      RecInstanceDestroyed rec;
+      rec.instance = InstanceId{r.get_u64()};
+      return rec;
+    }
+    case RecType::kSubmit: {
+      RecSubmit rec;
+      rec.instance = InstanceId{r.get_u64()};
+      rec.submit_seq = r.get_u64();
+      const std::uint64_t n = r.get_varint();
+      if (n > r.remaining()) throw wire::CodecError("task count");
+      rec.tasks.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        rec.tasks.push_back(wire::decode_task_spec(r));
+      }
+      return rec;
+    }
+    case RecType::kAssign: {
+      RecAssign rec;
+      rec.executor = ExecutorId{r.get_u64()};
+      rec.tasks = decode_task_ids(r);
+      return rec;
+    }
+    case RecType::kRequeue: {
+      RecRequeue rec;
+      rec.tasks = decode_task_ids(r);
+      rec.retry = r.get_bool();
+      return rec;
+    }
+    case RecType::kComplete: {
+      RecComplete rec;
+      rec.instance = InstanceId{r.get_u64()};
+      rec.result = wire::decode_task_result(r);
+      rec.quarantined = r.get_bool();
+      return rec;
+    }
+    case RecType::kDelivered: {
+      RecDelivered rec;
+      rec.instance = InstanceId{r.get_u64()};
+      rec.tasks = decode_task_ids(r);
+      return rec;
+    }
+  }
+  throw wire::CodecError("unknown record type");
+}
+
+}  // namespace
+
+const char* record_type_name(RecType type) {
+  switch (type) {
+    case RecType::kInstanceCreated: return "InstanceCreated";
+    case RecType::kInstanceDestroyed: return "InstanceDestroyed";
+    case RecType::kSubmit: return "Submit";
+    case RecType::kAssign: return "Assign";
+    case RecType::kRequeue: return "Requeue";
+    case RecType::kComplete: return "Complete";
+    case RecType::kDelivered: return "Delivered";
+  }
+  return "unknown";
+}
+
+RecType record_type(const LogRecord& record) {
+  return static_cast<RecType>(record.index());
+}
+
+std::string record_summary(const LogRecord& record) {
+  struct Visitor {
+    std::string operator()(const RecInstanceCreated& r) const {
+      return "InstanceCreated{instance=" + r.instance.str() +
+             ", client=" + r.client.str() + "}";
+    }
+    std::string operator()(const RecInstanceDestroyed& r) const {
+      return "InstanceDestroyed{instance=" + r.instance.str() + "}";
+    }
+    std::string operator()(const RecSubmit& r) const {
+      return "Submit{instance=" + r.instance.str() +
+             ", seq=" + std::to_string(r.submit_seq) +
+             ", tasks=" + std::to_string(r.tasks.size()) + "}";
+    }
+    std::string operator()(const RecAssign& r) const {
+      return "Assign{executor=" + r.executor.str() +
+             ", tasks=" + std::to_string(r.tasks.size()) + "}";
+    }
+    std::string operator()(const RecRequeue& r) const {
+      return std::string("Requeue{tasks=") + std::to_string(r.tasks.size()) +
+             ", retry=" + (r.retry ? "true" : "false") + "}";
+    }
+    std::string operator()(const RecComplete& r) const {
+      return "Complete{instance=" + r.instance.str() +
+             ", task=" + r.result.task_id.str() +
+             ", state=" + task_state_name(r.result.state) +
+             ", exit=" + std::to_string(r.result.exit_code) +
+             (r.quarantined ? ", quarantined" : "") + "}";
+    }
+    std::string operator()(const RecDelivered& r) const {
+      return "Delivered{instance=" + r.instance.str() +
+             ", tasks=" + std::to_string(r.tasks.size()) + "}";
+    }
+  };
+  return std::visit(Visitor{}, record);
+}
+
+std::vector<std::uint8_t> encode_record(const LogRecord& record) {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(record.index()));
+  std::visit(EncodeVisitor{w}, record);
+  return w.take();
+}
+
+Result<LogRecord> decode_record(const std::uint8_t* data, std::size_t size) {
+  try {
+    Reader r(data, size);
+    LogRecord record = decode_record_or_throw(r);
+    if (!r.at_end()) throw wire::CodecError("trailing bytes");
+    return record;
+  } catch (const wire::CodecError& e) {
+    return make_error(ErrorCode::kProtocolError,
+                      std::string("log record: ") + e.what());
+  }
+}
+
+std::vector<std::uint8_t> encode_image(const core::DispatcherImage& image) {
+  Writer w;
+  w.put_u64(image.next_instance_id);
+  w.put_u64(image.submitted);
+  w.put_u64(image.completed);
+  w.put_u64(image.failed);
+  w.put_u64(image.retried);
+  w.put_u64(image.quarantined);
+  w.put_varint(image.instances.size());
+  for (const core::InstanceImage& inst : image.instances) {
+    w.put_u64(inst.id.value);
+    w.put_u64(inst.client.value);
+    w.put_u64(inst.last_submit_seq);
+    w.put_varint(inst.mailbox.size());
+    for (const TaskResult& result : inst.mailbox) {
+      wire::encode_task_result(w, result);
+    }
+  }
+  w.put_varint(image.queue.size());
+  for (const core::QueuedTaskImage& task : image.queue) {
+    w.put_u64(task.instance.value);
+    w.put_u32(static_cast<std::uint32_t>(task.attempts));
+    wire::encode_task_spec(w, task.spec);
+  }
+  return w.take();
+}
+
+Result<core::DispatcherImage> decode_image(const std::uint8_t* data,
+                                           std::size_t size) {
+  try {
+    Reader r(data, size);
+    core::DispatcherImage image;
+    image.next_instance_id = r.get_u64();
+    image.submitted = r.get_u64();
+    image.completed = r.get_u64();
+    image.failed = r.get_u64();
+    image.retried = r.get_u64();
+    image.quarantined = r.get_u64();
+    const std::uint64_t n_instances = r.get_varint();
+    if (n_instances > r.remaining()) throw wire::CodecError("instance count");
+    image.instances.reserve(static_cast<std::size_t>(n_instances));
+    for (std::uint64_t i = 0; i < n_instances; ++i) {
+      core::InstanceImage inst;
+      inst.id = InstanceId{r.get_u64()};
+      inst.client = ClientId{r.get_u64()};
+      inst.last_submit_seq = r.get_u64();
+      const std::uint64_t n_mail = r.get_varint();
+      if (n_mail > r.remaining()) throw wire::CodecError("mailbox count");
+      inst.mailbox.reserve(static_cast<std::size_t>(n_mail));
+      for (std::uint64_t k = 0; k < n_mail; ++k) {
+        inst.mailbox.push_back(wire::decode_task_result(r));
+      }
+      image.instances.push_back(std::move(inst));
+    }
+    const std::uint64_t n_queue = r.get_varint();
+    if (n_queue > r.remaining()) throw wire::CodecError("queue count");
+    image.queue.reserve(static_cast<std::size_t>(n_queue));
+    for (std::uint64_t i = 0; i < n_queue; ++i) {
+      core::QueuedTaskImage task;
+      task.instance = InstanceId{r.get_u64()};
+      task.attempts = static_cast<int>(r.get_u32());
+      task.spec = wire::decode_task_spec(r);
+      image.queue.push_back(std::move(task));
+    }
+    if (!r.at_end()) throw wire::CodecError("trailing bytes");
+    return image;
+  } catch (const wire::CodecError& e) {
+    return make_error(ErrorCode::kProtocolError,
+                      std::string("state image: ") + e.what());
+  }
+}
+
+bool images_equal(const core::DispatcherImage& a,
+                  const core::DispatcherImage& b) {
+  // Canonical encodings compare byte-for-byte; both producers (StateMachine
+  // and snapshot load/store) emit canonical order.
+  return encode_image(a) == encode_image(b);
+}
+
+// ------------------------------------------------------------ StateMachine
+
+void StateMachine::reset() {
+  instances_.clear();
+  tasks_.clear();
+  order_counter_ = 0;
+  next_instance_id_ = 0;
+  submitted_ = completed_ = failed_ = retried_ = quarantined_ = 0;
+}
+
+void StateMachine::reset(const core::DispatcherImage& image) {
+  reset();
+  next_instance_id_ = image.next_instance_id;
+  submitted_ = image.submitted;
+  completed_ = image.completed;
+  failed_ = image.failed;
+  retried_ = image.retried;
+  quarantined_ = image.quarantined;
+  for (const core::InstanceImage& inst : image.instances) {
+    InstanceState& state = instances_[inst.id.value];
+    state.client = inst.client;
+    state.last_submit_seq = inst.last_submit_seq;
+    for (const TaskResult& result : inst.mailbox) {
+      state.mailbox[result.task_id.value] = result;
+    }
+  }
+  for (const core::QueuedTaskImage& task : image.queue) {
+    const std::uint64_t id = task.spec.id.value;
+    tasks_[id] =
+        TaskState{task.instance, task.spec, task.attempts, false,
+                  order_counter_++};
+  }
+}
+
+void StateMachine::apply(const LogRecord& record) {
+  struct Visitor {
+    StateMachine& sm;
+
+    void operator()(const RecInstanceCreated& r) {
+      InstanceState& state = sm.instances_[r.instance.value];
+      state.client = r.client;
+      sm.next_instance_id_ =
+          std::max(sm.next_instance_id_, r.instance.value);
+    }
+    void operator()(const RecInstanceDestroyed& r) {
+      sm.instances_.erase(r.instance.value);
+      for (auto it = sm.tasks_.begin(); it != sm.tasks_.end();) {
+        if (it->second.instance == r.instance) {
+          it = sm.tasks_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    void operator()(const RecSubmit& r) {
+      auto it = sm.instances_.find(r.instance.value);
+      if (it == sm.instances_.end()) return;  // destroyed since
+      if (r.submit_seq != 0) {
+        it->second.last_submit_seq =
+            std::max(it->second.last_submit_seq, r.submit_seq);
+      }
+      sm.submitted_ += r.tasks.size();
+      for (const TaskSpec& spec : r.tasks) {
+        sm.tasks_[spec.id.value] =
+            TaskState{r.instance, spec, 0, false, sm.order_counter_++};
+      }
+    }
+    void operator()(const RecAssign& r) {
+      for (TaskId id : r.tasks) {
+        auto it = sm.tasks_.find(id.value);
+        if (it != sm.tasks_.end()) it->second.assigned = true;
+      }
+    }
+    void operator()(const RecRequeue& r) {
+      for (TaskId id : r.tasks) {
+        auto it = sm.tasks_.find(id.value);
+        if (it == sm.tasks_.end()) continue;
+        it->second.assigned = false;
+        it->second.order = sm.order_counter_++;
+        if (r.retry) {
+          it->second.attempts += 1;
+          sm.retried_ += 1;
+        }
+      }
+    }
+    void operator()(const RecComplete& r) {
+      if (r.quarantined) {
+        sm.failed_ += 1;
+        sm.quarantined_ += 1;
+      } else if (r.result.success()) {
+        sm.completed_ += 1;
+      } else {
+        sm.failed_ += 1;
+      }
+      sm.tasks_.erase(r.result.task_id.value);
+      auto it = sm.instances_.find(r.instance.value);
+      if (it != sm.instances_.end()) {
+        it->second.mailbox[r.result.task_id.value] = r.result;
+      }
+    }
+    void operator()(const RecDelivered& r) {
+      auto it = sm.instances_.find(r.instance.value);
+      if (it == sm.instances_.end()) return;
+      for (TaskId id : r.tasks) it->second.mailbox.erase(id.value);
+    }
+  };
+  std::visit(Visitor{*this}, record);
+}
+
+core::DispatcherImage StateMachine::image() const {
+  core::DispatcherImage image;
+  image.next_instance_id = next_instance_id_;
+  image.submitted = submitted_;
+  image.completed = completed_;
+  image.failed = failed_;
+  image.retried = retried_;
+  image.quarantined = quarantined_;
+  image.instances.reserve(instances_.size());
+  for (const auto& [id, state] : instances_) {
+    core::InstanceImage inst;
+    inst.id = InstanceId{id};
+    inst.client = state.client;
+    inst.last_submit_seq = state.last_submit_seq;
+    inst.mailbox.reserve(state.mailbox.size());
+    for (const auto& [task_id, result] : state.mailbox) {
+      inst.mailbox.push_back(result);
+    }
+    image.instances.push_back(std::move(inst));
+  }
+  std::vector<const TaskState*> ordered;
+  ordered.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) ordered.push_back(&task);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TaskState* a, const TaskState* b) {
+              return a->order < b->order;
+            });
+  image.queue.reserve(ordered.size());
+  for (const TaskState* task : ordered) {
+    image.queue.push_back(
+        core::QueuedTaskImage{task->instance, task->spec, task->attempts});
+  }
+  return image;
+}
+
+}  // namespace falkon::ha

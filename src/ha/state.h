@@ -1,0 +1,149 @@
+// Log record types and the replicated dispatcher state machine (docs/HA.md).
+//
+// Every core::StateJournal hook maps to one LogRecord; the WAL stores their
+// encodings, the replication channel ships the same framed bytes, and
+// StateMachine folds them — in LSN order — into a core::DispatcherImage.
+// Because the dispatcher journals each transition before it becomes
+// visible (see core/journal.h), applying records 1..N yields exactly the
+// durable state at LSN N: primary recovery, standby tailing and the
+// falkon-wal tool all share this one apply function.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/task.h"
+#include "core/journal.h"
+
+namespace falkon::ha {
+
+// NOTE: RecType values equal LogRecord variant indices (record_type() casts
+// the index) — new records must be appended at the end of BOTH lists.
+enum class RecType : std::uint8_t {
+  kInstanceCreated = 0,
+  kInstanceDestroyed = 1,
+  kSubmit = 2,
+  kAssign = 3,
+  kRequeue = 4,
+  kComplete = 5,
+  kDelivered = 6,
+};
+
+[[nodiscard]] const char* record_type_name(RecType type);
+
+struct RecInstanceCreated {
+  InstanceId instance;
+  ClientId client;
+};
+
+struct RecInstanceDestroyed {
+  InstanceId instance;
+};
+
+struct RecSubmit {
+  InstanceId instance;
+  std::uint64_t submit_seq{0};  // 0: client not using dedup
+  std::vector<TaskSpec> tasks;
+};
+
+struct RecAssign {
+  ExecutorId executor;
+  std::vector<TaskId> tasks;
+};
+
+struct RecRequeue {
+  std::vector<TaskId> tasks;
+  bool retry{false};  // attempt counter bumped
+};
+
+struct RecComplete {
+  InstanceId instance;
+  TaskResult result;
+  bool quarantined{false};
+};
+
+struct RecDelivered {
+  InstanceId instance;
+  std::vector<TaskId> tasks;
+};
+
+using LogRecord =
+    std::variant<RecInstanceCreated, RecInstanceDestroyed, RecSubmit,
+                 RecAssign, RecRequeue, RecComplete, RecDelivered>;
+
+[[nodiscard]] RecType record_type(const LogRecord& record);
+
+/// One-line summary ("Submit{instance=3, seq=7, tasks=16}") for the
+/// falkon-wal dump tool and test failure messages.
+[[nodiscard]] std::string record_summary(const LogRecord& record);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const LogRecord& record);
+/// kProtocolError on malformed input.
+[[nodiscard]] Result<LogRecord> decode_record(const std::uint8_t* data,
+                                              std::size_t size);
+
+/// Snapshot / ReplSnapshot body: a whole DispatcherImage.
+[[nodiscard]] std::vector<std::uint8_t> encode_image(
+    const core::DispatcherImage& image);
+[[nodiscard]] Result<core::DispatcherImage> decode_image(
+    const std::uint8_t* data, std::size_t size);
+
+/// Structural equality, for replay-equivalence tests (image order is
+/// canonical: instances sorted by id, queue in submission order).
+[[nodiscard]] bool images_equal(const core::DispatcherImage& a,
+                                const core::DispatcherImage& b);
+
+/// Folds log records into a DispatcherImage. Single-threaded by design —
+/// callers (ha::Journal under its mutex, the standby's tail loop, replay in
+/// tests/tools) serialise access.
+class StateMachine {
+ public:
+  /// Back to empty.
+  void reset();
+  /// Load from a snapshot image.
+  void reset(const core::DispatcherImage& image);
+
+  /// Apply one record. Tolerates records for instances/tasks it no longer
+  /// knows (the dispatcher counts completions for destroyed instances, and
+  /// a snapshot may already incorporate part of a requeue run) — apply
+  /// never throws on semantically-stale records.
+  void apply(const LogRecord& record);
+
+  /// Canonical image of the current state (see images_equal for order).
+  [[nodiscard]] core::DispatcherImage image() const;
+
+  /// Non-terminal tasks currently tracked (queued or assigned).
+  [[nodiscard]] std::size_t tasks_pending() const { return tasks_.size(); }
+
+ private:
+  struct InstanceState {
+    ClientId client;
+    std::uint64_t last_submit_seq{0};
+    std::map<std::uint64_t, TaskResult> mailbox;  // by task id, stable order
+  };
+  struct TaskState {
+    InstanceId instance;
+    TaskSpec spec;
+    int attempts{0};
+    bool assigned{false};
+    std::uint64_t order{0};  // submission/requeue order for the queue image
+  };
+
+  std::map<std::uint64_t, InstanceState> instances_;  // by instance id
+  std::unordered_map<std::uint64_t, TaskState> tasks_;  // by task id
+  std::uint64_t order_counter_{0};
+  std::uint64_t next_instance_id_{0};
+  std::uint64_t submitted_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t failed_{0};
+  std::uint64_t retried_{0};
+  std::uint64_t quarantined_{0};
+};
+
+}  // namespace falkon::ha

@@ -1,0 +1,496 @@
+#include "ha/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+
+namespace falkon::ha {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'W', 'A', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;  // magic + u32 version + u64 first_lsn
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+// A record bigger than this is treated as corruption, not data: the
+// dispatcher's largest record is a submit bundle, far below this.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         (static_cast<std::uint64_t>(get_u32(in + 4)) << 32);
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t first_lsn) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_lsn));
+  return dir + "/" + name;
+}
+
+/// Parse "wal-<lsn>.log"; returns 0 for anything else (LSNs start at 1).
+std::uint64_t parse_segment_name(const char* name) {
+  unsigned long long lsn = 0;
+  char tail[8] = {0};
+  if (std::sscanf(name, "wal-%20llu.%3s", &lsn, tail) != 2) return 0;
+  if (std::strcmp(tail, "log") != 0) return 0;
+  return lsn;
+}
+
+Status read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIoError,
+                      "open " + path + ": " + std::strerror(errno));
+  }
+  out.clear();
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return make_error(ErrorCode::kIoError,
+                        "read " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  return ok_status();
+}
+
+struct SegmentScan {
+  std::uint64_t records{0};      // valid records found
+  std::size_t valid_bytes{0};    // header + valid frames
+  bool clean{true};              // no torn tail / corruption after the last
+                                 // valid record
+  bool header_ok{false};
+};
+
+/// Walk one segment's bytes, invoking fn per valid record; stops at the
+/// first invalid frame.
+SegmentScan scan_segment(const std::uint8_t* data, std::size_t size,
+                         std::uint64_t expect_first_lsn,
+                         const Wal::ReplayFn* fn, std::uint64_t from_lsn) {
+  SegmentScan scan;
+  if (size < kHeaderBytes || std::memcmp(data, kMagic, 4) != 0 ||
+      get_u32(data + 4) != kVersion ||
+      get_u64(data + 8) != expect_first_lsn) {
+    scan.clean = false;
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kHeaderBytes;
+  std::size_t off = kHeaderBytes;
+  std::uint64_t lsn = expect_first_lsn;
+  while (off < size) {
+    if (size - off < kFrameHeaderBytes) {
+      scan.clean = false;  // torn frame header
+      break;
+    }
+    const std::uint32_t len = get_u32(data + off);
+    const std::uint32_t want_crc = get_u32(data + off + 4);
+    if (len > kMaxRecordBytes || size - off - kFrameHeaderBytes < len) {
+      scan.clean = false;  // insane length or torn payload
+      break;
+    }
+    const std::uint8_t* payload = data + off + kFrameHeaderBytes;
+    if (crc32(payload, len) != want_crc) {
+      scan.clean = false;  // corrupted record
+      break;
+    }
+    if (fn != nullptr && lsn >= from_lsn) {
+      if (!(*fn)(lsn, payload, len)) {
+        // Early stop requested: report progress so far, still "clean".
+        scan.records += 1;
+        scan.valid_bytes = off + kFrameHeaderBytes + len;
+        return scan;
+      }
+    }
+    scan.records += 1;
+    off += kFrameHeaderBytes + len;
+    scan.valid_bytes = off;
+    lsn += 1;
+  }
+  return scan;
+}
+
+/// Sorted (by first_lsn) list of segment files in dir.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* entry = ::readdir(d)) {
+    const std::uint64_t lsn = parse_segment_name(entry->d_name);
+    if (lsn != 0) out.emplace_back(lsn, dir + "/" + entry->d_name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kEveryRecord: return "every_record";
+    case FsyncPolicy::kGroupCommit: return "group_commit";
+  }
+  return "unknown";
+}
+
+void Wal::frame_record(std::vector<std::uint8_t>& out,
+                       const std::uint8_t* payload, std::size_t size) {
+  std::uint8_t header[kFrameHeaderBytes];
+  put_u32(header, static_cast<std::uint32_t>(size));
+  put_u32(header + 4, crc32(payload, size));
+  out.insert(out.end(), header, header + kFrameHeaderBytes);
+  out.insert(out.end(), payload, payload + size);
+}
+
+Status Wal::parse_frames(
+    const std::uint8_t* data, std::size_t size,
+    const std::function<void(const std::uint8_t*, std::size_t)>& fn) {
+  std::size_t off = 0;
+  while (off < size) {
+    if (size - off < kFrameHeaderBytes) {
+      return make_error(ErrorCode::kProtocolError, "truncated frame header");
+    }
+    const std::uint32_t len = get_u32(data + off);
+    const std::uint32_t want_crc = get_u32(data + off + 4);
+    if (len > kMaxRecordBytes || size - off - kFrameHeaderBytes < len) {
+      return make_error(ErrorCode::kProtocolError, "truncated frame payload");
+    }
+    const std::uint8_t* payload = data + off + kFrameHeaderBytes;
+    if (crc32(payload, len) != want_crc) {
+      return make_error(ErrorCode::kProtocolError, "frame crc mismatch");
+    }
+    fn(payload, len);
+    off += kFrameHeaderBytes + len;
+  }
+  return ok_status();
+}
+
+Result<ReplayStats> Wal::replay(const std::string& dir, std::uint64_t from_lsn,
+                                const ReplayFn& fn) {
+  ReplayStats stats;
+  const auto segments = list_segments(dir);
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_lsn, path] = segments[i];
+    if (stats.first_lsn == 0) stats.first_lsn = first_lsn;
+    // A gap between segments means the earlier one is incomplete relative
+    // to the later one's name — treat everything from the gap on as
+    // unreachable tail.
+    if (stats.last_lsn != 0 && first_lsn != stats.last_lsn + 1) {
+      stats.torn_tail = true;
+      break;
+    }
+    if (auto st = read_file(path, bytes); !st.ok()) return st.error();
+    const SegmentScan scan =
+        scan_segment(bytes.data(), bytes.size(), first_lsn, &fn, from_lsn);
+    stats.records += scan.records;
+    if (scan.records > 0) stats.last_lsn = first_lsn + scan.records - 1;
+    if (!scan.clean) {
+      stats.torn_tail = true;
+      break;
+    }
+    // An empty-but-valid segment can only be the last one; a later segment
+    // after it would create a gap caught above.
+    if (scan.records == 0 && i + 1 < segments.size()) {
+      stats.torn_tail = true;
+      break;
+    }
+  }
+  if (stats.records == 0) stats.first_lsn = 0;
+  return stats;
+}
+
+Wal::Wal(WalOptions options) : options_(std::move(options)) {
+  if (options_.obs != nullptr) {
+    auto& reg = options_.obs->registry();
+    m_appends_ = &reg.counter("falkon.ha.wal.appends");
+    m_fsyncs_ = &reg.counter("falkon.ha.wal.fsyncs");
+    m_segments_ = &reg.gauge("falkon.ha.wal.segments");
+    m_fsync_s_ = &reg.histogram("falkon.ha.wal.fsync_s", 1e-6, 1.0);
+  }
+}
+
+Wal::~Wal() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::open(WalOptions options) {
+  if (options.dir.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "wal dir not set");
+  }
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return make_error(ErrorCode::kIoError, "mkdir " + options.dir + ": " +
+                                               std::strerror(errno));
+  }
+  std::unique_ptr<Wal> wal(new Wal(std::move(options)));
+
+  const auto segments = list_segments(wal->options_.dir);
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t last_lsn = 0;
+  bool torn = false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_lsn, path] = segments[i];
+    if (torn || (last_lsn != 0 && first_lsn != last_lsn + 1) ||
+        (last_lsn == 0 && i > 0)) {
+      // Unreachable past a torn/missing predecessor: discard entirely.
+      wal->recovered_.torn_tail = true;
+      ::unlink(path.c_str());
+      torn = true;
+      continue;
+    }
+    if (auto st = read_file(path, bytes); !st.ok()) return st.error();
+    const SegmentScan scan =
+        scan_segment(bytes.data(), bytes.size(), first_lsn, nullptr, 0);
+    if (!scan.header_ok) {
+      // Garbage segment: drop it and everything after.
+      wal->recovered_.torn_tail = true;
+      ::unlink(path.c_str());
+      torn = true;
+      continue;
+    }
+    if (wal->recovered_.first_lsn == 0) wal->recovered_.first_lsn = first_lsn;
+    wal->recovered_.records += scan.records;
+    if (scan.records > 0) last_lsn = first_lsn + scan.records - 1;
+    if (!scan.clean) {
+      // Torn tail: truncate this segment to its last valid record and
+      // drop any later segments.
+      wal->recovered_.torn_tail = true;
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(scan.valid_bytes)) != 0) {
+        return make_error(ErrorCode::kIoError, "truncate " + path + ": " +
+                                                   std::strerror(errno));
+      }
+      torn = true;
+    }
+    wal->segments_.push_back(Segment{first_lsn, path});
+    wal->segment_size_ = scan.valid_bytes;
+  }
+  wal->recovered_.last_lsn = last_lsn;
+  if (wal->recovered_.records == 0) wal->recovered_.first_lsn = 0;
+
+  std::lock_guard lock(wal->mu_);
+  if (wal->segments_.empty()) {
+    wal->next_lsn_ = std::max<std::uint64_t>(wal->options_.initial_lsn, 1);
+    if (auto st = wal->open_segment_locked(wal->next_lsn_); !st.ok()) {
+      return st.error();
+    }
+  } else {
+    wal->next_lsn_ = last_lsn == 0 ? wal->segments_.back().first_lsn
+                                   : last_lsn + 1;
+    // Reopen the last segment for appending.
+    const int fd = ::open(wal->segments_.back().path.c_str(),
+                          O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      return make_error(ErrorCode::kIoError,
+                        "open " + wal->segments_.back().path + ": " +
+                            std::strerror(errno));
+    }
+    wal->fd_ = fd;
+  }
+  if (wal->m_segments_ != nullptr) {
+    wal->m_segments_->set(static_cast<double>(wal->segments_.size()));
+  }
+  return wal;
+}
+
+Status Wal::open_segment_locked(std::uint64_t first_lsn) {
+  const std::string path = segment_path(options_.dir, first_lsn);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIoError,
+                      "open " + path + ": " + std::strerror(errno));
+  }
+  std::uint8_t header[kHeaderBytes];
+  std::memcpy(header, kMagic, 4);
+  put_u32(header + 4, kVersion);
+  put_u64(header + 8, first_lsn);
+  if (::write(fd, header, sizeof(header)) !=
+      static_cast<ssize_t>(sizeof(header))) {
+    const int err = errno;
+    ::close(fd);
+    return make_error(ErrorCode::kIoError,
+                      "write " + path + ": " + std::strerror(err));
+  }
+  fd_ = fd;
+  segment_size_ = kHeaderBytes;
+  segments_.push_back(Segment{first_lsn, path});
+  if (m_segments_ != nullptr) {
+    m_segments_->set(static_cast<double>(segments_.size()));
+  }
+  return ok_status();
+}
+
+Status Wal::rotate_locked() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);  // a closed segment is always durable
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return open_segment_locked(next_lsn_);
+}
+
+Status Wal::sync_locked() {
+  if (fd_ < 0) return ok_status();
+  const double start = monotonic_s();
+  if (::fsync(fd_) != 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("fsync: ") + std::strerror(errno));
+  }
+  last_sync_monotonic_s_ = monotonic_s();
+  if (m_fsyncs_ != nullptr) m_fsyncs_->inc();
+  if (m_fsync_s_ != nullptr) m_fsync_s_->record(last_sync_monotonic_s_ - start);
+  return ok_status();
+}
+
+Result<std::uint64_t> Wal::append(const std::uint8_t* payload,
+                                  std::size_t size) {
+  if (size > kMaxRecordBytes) {
+    return make_error(ErrorCode::kInvalidArgument, "record too large");
+  }
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return make_error(ErrorCode::kClosed, "wal closed");
+  if (segment_size_ >= options_.segment_bytes) {
+    if (auto st = rotate_locked(); !st.ok()) return st.error();
+  }
+  // One writev-shaped buffer per append keeps the frame atomic-ish on
+  // disk; a crash can still tear it, which is exactly what recovery
+  // handles.
+  std::uint8_t header[kFrameHeaderBytes];
+  put_u32(header, static_cast<std::uint32_t>(size));
+  put_u32(header + 4, crc32(payload, size));
+  struct iovec iov[2] = {
+      {header, sizeof(header)},
+      {const_cast<std::uint8_t*>(payload), size},
+  };
+  const ssize_t want = static_cast<ssize_t>(sizeof(header) + size);
+  if (::writev(fd_, iov, 2) != want) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("writev: ") + std::strerror(errno));
+  }
+  segment_size_ += static_cast<std::uint64_t>(want);
+  const std::uint64_t lsn = next_lsn_++;
+  if (m_appends_ != nullptr) m_appends_->inc();
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kNone:
+      break;
+    case FsyncPolicy::kEveryRecord:
+      if (auto st = sync_locked(); !st.ok()) return st.error();
+      break;
+    case FsyncPolicy::kGroupCommit:
+      if (monotonic_s() - last_sync_monotonic_s_ >=
+          options_.group_commit_interval_s) {
+        if (auto st = sync_locked(); !st.ok()) return st.error();
+      }
+      break;
+  }
+  return lsn;
+}
+
+Result<std::uint64_t> Wal::append(const std::vector<std::uint8_t>& payload) {
+  return append(payload.data(), payload.size());
+}
+
+Status Wal::sync() {
+  std::lock_guard lock(mu_);
+  return sync_locked();
+}
+
+void Wal::compact(std::uint64_t upto_lsn) {
+  std::lock_guard lock(mu_);
+  // A closed segment's records end at the next segment's first_lsn - 1.
+  while (segments_.size() > 1 && segments_[1].first_lsn - 1 <= upto_lsn) {
+    ::unlink(segments_.front().path.c_str());
+    segments_.erase(segments_.begin());
+  }
+  if (m_segments_ != nullptr) {
+    m_segments_->set(static_cast<double>(segments_.size()));
+  }
+}
+
+std::uint64_t Wal::last_lsn() const {
+  std::lock_guard lock(mu_);
+  return next_lsn_ - 1;
+}
+
+std::uint64_t Wal::next_lsn() const {
+  std::lock_guard lock(mu_);
+  return next_lsn_;
+}
+
+std::size_t Wal::segment_count() const {
+  std::lock_guard lock(mu_);
+  return segments_.size();
+}
+
+}  // namespace falkon::ha

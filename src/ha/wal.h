@@ -1,0 +1,152 @@
+// Segmented, CRC32-framed write-ahead log (docs/HA.md).
+//
+// Layout: the log directory holds segments named wal-<first_lsn>.log. A
+// segment starts with a 16-byte header (magic "FWAL", version, first LSN)
+// followed by records framed as [u32 len][u32 crc32][payload]. LSNs are
+// dense and start at 1; a segment's records are exactly
+// [first_lsn, next segment's first_lsn).
+//
+// Torn-tail recovery: a crash mid-write leaves a short or corrupt frame at
+// the end of the last segment. open()/replay() stop at the last valid
+// record — never crash on garbage — and open() physically truncates the
+// tail (and discards any unreachable later segments) so appends continue
+// from a clean edge.
+//
+// Fsync policy trades durability for append latency: kEveryRecord fsyncs
+// each append (bounded loss: nothing), kGroupCommit fsyncs at most once
+// per interval while writes flow (bounded loss: one interval), kNone
+// leaves flushing to the OS. Records are written straight through write(2)
+// with no userspace buffering, so a same-host reader (the standby's
+// promote-time catch-up replay) sees every appended record even before it
+// is fsynced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/obs.h"
+
+namespace falkon::ha {
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) — the frame checksum.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+enum class FsyncPolicy : std::uint8_t {
+  kNone = 0,       // leave flushing to the OS
+  kEveryRecord,    // fsync after every append
+  kGroupCommit,    // fsync at most once per group_commit_interval_s
+};
+
+[[nodiscard]] const char* fsync_policy_name(FsyncPolicy policy);
+
+struct WalOptions {
+  std::string dir;
+  FsyncPolicy fsync{FsyncPolicy::kNone};
+  double group_commit_interval_s{0.02};
+  /// Rotate to a new segment once the current one exceeds this.
+  std::uint64_t segment_bytes{8ull << 20};
+  /// First LSN to issue when the directory holds no segments (a standby
+  /// bootstrapping a fresh log from a snapshot continues the primary's
+  /// numbering instead of restarting at 1).
+  std::uint64_t initial_lsn{1};
+  /// Metrics: falkon.ha.wal.{appends,fsyncs,segments,fsync_s}.
+  obs::Obs* obs{nullptr};
+};
+
+/// What a replay/open scan found.
+struct ReplayStats {
+  std::uint64_t records{0};
+  std::uint64_t first_lsn{0};  // 0 when the log is empty
+  std::uint64_t last_lsn{0};
+  /// Replay stopped before the physical end of the log (short frame, CRC
+  /// mismatch, insane length, or bad segment header).
+  bool torn_tail{false};
+};
+
+class Wal {
+ public:
+  /// Scan `options.dir` (created if missing), truncate any torn tail, and
+  /// open the log for appending after its last valid record.
+  static Result<std::unique_ptr<Wal>> open(WalOptions options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one record; returns its LSN. Thread-safe.
+  Result<std::uint64_t> append(const std::uint8_t* payload, std::size_t size);
+  Result<std::uint64_t> append(const std::vector<std::uint8_t>& payload);
+
+  /// Flush to disk regardless of policy (rotation and close also sync).
+  Status sync();
+
+  /// Delete closed segments whose records are all <= upto_lsn (a snapshot
+  /// at upto_lsn makes them redundant). The active segment always stays.
+  void compact(std::uint64_t upto_lsn);
+
+  [[nodiscard]] std::uint64_t last_lsn() const;
+  [[nodiscard]] std::uint64_t next_lsn() const;
+  [[nodiscard]] std::size_t segment_count() const;
+  /// What open() found on disk (torn tail diagnostics).
+  [[nodiscard]] const ReplayStats& recovery_stats() const { return recovered_; }
+
+  /// Stream every valid record with lsn >= from_lsn, in LSN order, from a
+  /// cold directory (no Wal instance needed — recovery and the falkon-wal
+  /// tool both use this). The callback returns false to stop early. Replay
+  /// stops at the first invalid frame; that is reported via
+  /// ReplayStats::torn_tail, not an error.
+  using ReplayFn = std::function<bool(
+      std::uint64_t lsn, const std::uint8_t* payload, std::size_t size)>;
+  static Result<ReplayStats> replay(const std::string& dir,
+                                    std::uint64_t from_lsn,
+                                    const ReplayFn& fn);
+
+  // ---- frame helpers (shared with the replication path) ----
+
+  /// Append one [len][crc][payload] frame to `out` — the exact bytes a
+  /// segment stores, reused as the ReplAppend payload encoding.
+  static void frame_record(std::vector<std::uint8_t>& out,
+                           const std::uint8_t* payload, std::size_t size);
+
+  /// Strict parse of concatenated frames (replication batches): unlike
+  /// replay, any malformed frame is an error — a torn frame inside an RPC
+  /// payload means corruption, not a crash edge.
+  static Status parse_frames(
+      const std::uint8_t* data, std::size_t size,
+      const std::function<void(const std::uint8_t* payload,
+                               std::size_t size)>& fn);
+
+ private:
+  struct Segment {
+    std::uint64_t first_lsn{0};
+    std::string path;
+  };
+
+  explicit Wal(WalOptions options);
+
+  Status open_segment_locked(std::uint64_t first_lsn);
+  Status rotate_locked();
+  Status sync_locked();
+
+  WalOptions options_;
+  mutable std::mutex mu_;
+  int fd_{-1};
+  std::uint64_t next_lsn_{1};
+  std::uint64_t segment_size_{0};
+  std::vector<Segment> segments_;  // sorted by first_lsn; back() is active
+  double last_sync_monotonic_s_{0.0};
+  ReplayStats recovered_;
+
+  obs::Counter* m_appends_{nullptr};
+  obs::Counter* m_fsyncs_{nullptr};
+  obs::Gauge* m_segments_{nullptr};
+  obs::Histogram* m_fsync_s_{nullptr};
+};
+
+}  // namespace falkon::ha

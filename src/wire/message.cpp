@@ -67,6 +67,11 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kHeartbeatReply: return "HeartbeatReply";
     case MsgType::kTaskBundle: return "TaskBundle";
     case MsgType::kResultBundle: return "ResultBundle";
+    case MsgType::kReplFetch: return "ReplFetch";
+    case MsgType::kReplAppend: return "ReplAppend";
+    case MsgType::kReplSnapshot: return "ReplSnapshot";
+    case MsgType::kReplAck: return "ReplAck";
+    case MsgType::kReplAckReply: return "ReplAckReply";
   }
   return "Unknown";
 }
@@ -143,6 +148,18 @@ std::string debug_summary(const Message& message) {
                  (m.want_tasks == kAdaptiveWant ? std::string("adaptive")
                                                 : num(m.want_tasks)) +
                  "}";
+        } else if constexpr (std::is_same_v<T, ReplFetch>) {
+          out += "{from_lsn=" + num(m.from_lsn) +
+                 ", max_bytes=" + num(m.max_bytes) + "}";
+        } else if constexpr (std::is_same_v<T, ReplAppend>) {
+          out += "{first_lsn=" + num(m.first_lsn) +
+                 ", last_lsn=" + num(m.last_lsn) +
+                 ", bytes=" + num(m.payload.size()) + "}";
+        } else if constexpr (std::is_same_v<T, ReplSnapshot>) {
+          out += "{lsn=" + num(m.lsn) + ", bytes=" + num(m.payload.size()) +
+                 "}";
+        } else if constexpr (std::is_same_v<T, ReplAck>) {
+          out += "{applied_lsn=" + num(m.applied_lsn) + "}";
         }
       },
       message);
@@ -257,6 +274,7 @@ struct EncodeVisitor {
   void operator()(const SubmitRequest& m) const {
     w.put_u64(m.instance_id.value);
     encode_task_specs(w, m.tasks);
+    w.put_u64(m.submit_seq);
   }
   void operator()(const SubmitReply& m) const { w.put_u64(m.accepted); }
   void operator()(const RegisterRequest& m) const {
@@ -334,6 +352,21 @@ struct EncodeVisitor {
     encode_task_results(w, m.results);
     w.put_u32(m.want_tasks);
   }
+  void operator()(const ReplFetch& m) const {
+    w.put_u64(m.from_lsn);
+    w.put_u32(m.max_bytes);
+  }
+  void operator()(const ReplAppend& m) const {
+    w.put_u64(m.first_lsn);
+    w.put_u64(m.last_lsn);
+    w.put_string(m.payload);
+  }
+  void operator()(const ReplSnapshot& m) const {
+    w.put_u64(m.lsn);
+    w.put_string(m.payload);
+  }
+  void operator()(const ReplAck& m) const { w.put_u64(m.applied_lsn); }
+  void operator()(const ReplAckReply&) const {}
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -356,6 +389,7 @@ Message decode_payload(MsgType type, Reader& r) {
       SubmitRequest m;
       m.instance_id = InstanceId{r.get_u64()};
       m.tasks = decode_task_specs(r);
+      m.submit_seq = r.get_u64();
       return m;
     }
     case MsgType::kSubmitReply:
@@ -464,6 +498,29 @@ Message decode_payload(MsgType type, Reader& r) {
       m.want_tasks = r.get_u32();
       return m;
     }
+    case MsgType::kReplFetch: {
+      ReplFetch m;
+      m.from_lsn = r.get_u64();
+      m.max_bytes = r.get_u32();
+      return m;
+    }
+    case MsgType::kReplAppend: {
+      ReplAppend m;
+      m.first_lsn = r.get_u64();
+      m.last_lsn = r.get_u64();
+      m.payload = r.get_string();
+      return m;
+    }
+    case MsgType::kReplSnapshot: {
+      ReplSnapshot m;
+      m.lsn = r.get_u64();
+      m.payload = r.get_string();
+      return m;
+    }
+    case MsgType::kReplAck:
+      return ReplAck{r.get_u64()};
+    case MsgType::kReplAckReply:
+      return ReplAckReply{};
   }
   throw CodecError("unknown message type");
 }

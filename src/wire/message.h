@@ -50,6 +50,11 @@ enum class MsgType : std::uint8_t {
   kHeartbeatReply = 22,
   kTaskBundle = 23,
   kResultBundle = 24,
+  kReplFetch = 25,
+  kReplAppend = 26,
+  kReplSnapshot = 27,
+  kReplAck = 28,
+  kReplAckReply = 29,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -79,6 +84,9 @@ struct DestroyInstanceReply {};
 struct SubmitRequest {
   InstanceId instance_id;
   std::vector<TaskSpec> tasks;  // client-dispatcher bundling
+  /// Per-instance, strictly increasing submit sequence for exactly-once
+  /// submission across dispatcher failover (docs/HA.md); 0 = dedup unused.
+  std::uint64_t submit_seq{0};
 };
 
 struct SubmitReply {
@@ -207,6 +215,41 @@ struct ResultBundle {
   std::uint32_t want_tasks{0};
 };
 
+// ---- log replication (docs/HA.md) ------------------------------------
+
+/// Standby -> primary: send log records starting at `from_lsn`. Doubles as
+/// a cumulative acknowledgement of everything below `from_lsn`.
+struct ReplFetch {
+  std::uint64_t from_lsn{1};
+  std::uint32_t max_bytes{1u << 20};
+};
+
+/// Primary -> standby: a run of WAL-framed records [first_lsn, last_lsn]
+/// (the payload uses the same [len][crc32][payload] framing as log
+/// segments, so both sides share one codec). Empty payload with
+/// last_lsn < from_lsn's predecessor never occurs; an empty payload means
+/// "caught up".
+struct ReplAppend {
+  std::uint64_t first_lsn{0};
+  std::uint64_t last_lsn{0};
+  std::string payload;
+};
+
+/// Primary -> standby: the follower fell behind the primary's in-memory
+/// tail — here is a full state image at `lsn`; resume fetching at lsn + 1.
+struct ReplSnapshot {
+  std::uint64_t lsn{0};
+  std::string payload;
+};
+
+/// Standby -> primary: explicit progress report, drives the primary's
+/// replication-lag gauge (falkon.ha.repl.lag).
+struct ReplAck {
+  std::uint64_t applied_lsn{0};
+};
+
+struct ReplAckReply {};
+
 // NOTE: MsgType values equal variant indices (message_type() casts the
 // index) — new messages must be appended at the end of BOTH lists.
 using Message =
@@ -217,7 +260,8 @@ using Message =
                  StatusRequest, StatusReply, DeregisterRequest,
                  DeregisterReply, WaitResultsRequest, WaitResultsReply,
                  ClientNotify, HeartbeatRequest, HeartbeatReply, TaskBundle,
-                 ResultBundle>;
+                 ResultBundle, ReplFetch, ReplAppend, ReplSnapshot, ReplAck,
+                 ReplAckReply>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <set>
@@ -18,6 +20,9 @@
 #include "core/client.h"
 #include "core/service_tcp.h"
 #include "fault/fault.h"
+#include "ha/failover_client.h"
+#include "ha/journal.h"
+#include "ha/standby.h"
 #include "obs/obs.h"
 #include "sim/sim_falkon.h"
 
@@ -212,19 +217,238 @@ TEST(ChaosTcp, SoakEveryTaskReachesExactlyOneTerminalState) {
   EXPECT_EQ(reg.counter("falkon.dispatcher.tasks_quarantined").value(),
             status.quarantined);
 
-  // At least five fault sites genuinely fired (each has thousands of
-  // sampling opportunities at these probabilities).
-  for (const fault::Site site :
-       {fault::Site::kRpcRequest, fault::Site::kRpcReply,
-        fault::Site::kPushFrame, fault::Site::kExecutorTask,
-        fault::Site::kDispatcherAck}) {
-    EXPECT_GT(injector.stats(site).injected, 0u)
-        << "no injections at " << fault::site_name(site);
+  // The plan's fault sites genuinely fired — but a site only gates when
+  // the run gave it enough opportunities that silence would be a real
+  // bug. P(no injection) = (1-p)^ops, so ops*p >= 14 puts that below
+  // 1e-6; fewer samples (push_frame in a run that drains mostly via
+  // piggy-backing can see only a handful of pushes) prove nothing.
+  struct SiteProb {
+    fault::Site site;
+    double prob;
+  };
+  for (const SiteProb sp :
+       {SiteProb{fault::Site::kRpcRequest, 0.04},
+        SiteProb{fault::Site::kRpcReply, 0.01},
+        SiteProb{fault::Site::kPushFrame, 0.10},
+        SiteProb{fault::Site::kExecutorTask, 0.032},
+        SiteProb{fault::Site::kDispatcherAck, 0.02}}) {
+    const fault::SiteStats stats = injector.stats(sp.site);
+    if (static_cast<double>(stats.ops) * sp.prob < 14.0) continue;
+    EXPECT_GT(stats.injected, 0u)
+        << "no injections at " << fault::site_name(sp.site) << " in "
+        << stats.ops << " samples";
   }
 
   for (auto& harness : fleet) harness.reset();
   dispatcher.shutdown();
   server.stop();
+}
+
+// ---- HA chaos: primary killed mid-run, standby takes over ----
+
+/// Scratch journal directory, removed on destruction.
+class ChaosTempDir {
+ public:
+  ChaosTempDir() {
+    char pattern[] = "/tmp/falkon_chaos_ha_XXXXXX";
+    const char* made = ::mkdtemp(pattern);
+    EXPECT_NE(made, nullptr);
+    path_ = made ? made : "";
+  }
+  ~ChaosTempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// The dispatcher itself becomes a fault site: the supervision loop samples
+// Site::kHaPrimary once per round from the seeded plan (the site
+// random_plan never draws — HA takeover is always scripted), and when the
+// draw says kCrash the primary is killed mid-run. The standby tails the
+// journal over ReplFetch, promotes onto the primary's ports, executors
+// re-register, the failover client rides out the downtime, and every task
+// still reaches exactly one terminal state with each result delivered
+// exactly once. The kill schedule is a deterministic function of the seed
+// and the round count, so a failing seed replays the same decisions.
+TEST(ChaosHa, PrimaryKilledMidRunStandbyFinishesExactlyOnce) {
+  constexpr std::uint64_t kTasks = 400;
+  constexpr int kExecutors = 4;
+
+  ChaosTempDir primary_dir, standby_dir;
+  RealClock clock;
+  obs::Obs obs;
+
+  fault::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.with(fault::Site::kExecutorTask, fault::Action::kCrash, 0.005);
+  plan.with(fault::Site::kExecutorTask, fault::Action::kSlow, 0.02, 0.01);
+  plan.with(fault::Site::kRpcConnect, fault::Action::kDrop, 0.05);
+  plan.with(fault::Site::kHaPrimary, fault::Action::kCrash, 0.05);
+  fault::FaultInjector injector{plan, &obs};
+
+  ha::Journal::Options jopts;
+  jopts.dir = primary_dir.path();
+  jopts.obs = &obs;
+  auto journal = ha::Journal::open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.error().str();
+
+  auto make_config = [&](StateJournal* state_journal) {
+    DispatcherConfig config;
+    config.replay.response_timeout_s = 0.5;
+    config.replay.max_retries = 1000;  // recovery, not exhaustion, ends tasks
+    config.heartbeat_timeout_s = 1.0;
+    config.sweep_interval_s = 0.05;
+    config.renotify_timeout_s = 0.3;
+    config.obs = &obs;
+    config.journal = state_journal;
+    return config;
+  };
+  auto dispatcher =
+      std::make_unique<Dispatcher>(clock, make_config(journal.value().get()));
+  auto server = std::make_unique<TcpDispatcherServer>(*dispatcher, &obs);
+  ASSERT_TRUE(server->start(0, 0, &injector).ok());
+  server->set_replication_source(journal.value().get());
+  const std::uint16_t rpc_port = server->rpc_port();
+  const std::uint16_t push_port = server->push_port();
+
+  ha::StandbyOptions sopts;
+  sopts.primary_rpc_port = rpc_port;
+  sopts.takeover_rpc_port = rpc_port;
+  sopts.takeover_push_port = push_port;
+  sopts.shared_log_dir = primary_dir.path();
+  sopts.standby_dir = standby_dir.path();
+  sopts.poll_interval_s = 0.01;
+  sopts.failover_after_s = 0.3;
+  sopts.dispatcher = make_config(nullptr);  // journal filled in on promote
+  sopts.obs = &obs;
+  ha::Standby standby(clock, sopts);
+  ASSERT_TRUE(standby.start().ok());
+
+  // Polling fleet (notices a takeover via get_work -> kNotFound) with a
+  // supervisor respawning crashed slots against the fixed ports.
+  std::uint64_t next_node = 1;
+  std::vector<std::unique_ptr<TcpExecutorHarness>> fleet(kExecutors);
+  auto spawn = [&](int slot) {
+    ExecutorOptions options;
+    options.node_id = NodeId{next_node++};
+    options.poll_interval_s = 0.05;
+    options.heartbeat_interval_s = 0.15;
+    options.link_retries = 20;
+    options.register_retries = 20;
+    options.backoff.base_s = 0.02;
+    options.backoff.max_s = 0.25;
+    options.fault = &injector;
+    auto harness = std::make_unique<TcpExecutorHarness>(
+        clock, "127.0.0.1", rpc_port, push_port,
+        std::make_unique<NoopEngine>(), options);
+    if (harness->start().ok()) fleet[slot] = std::move(harness);
+  };
+  for (int slot = 0; slot < kExecutors; ++slot) spawn(slot);
+
+  ha::FailoverClientOptions copts;
+  copts.rpc_port = rpc_port;
+  copts.max_attempts = 400;
+  copts.backoff_max_s = 0.2;
+  copts.obs = &obs;
+  ha::FailoverClient client(copts);
+  auto instance = client.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok()) << instance.error().str();
+  std::vector<TaskSpec> tasks;
+  for (std::uint64_t i = 1; i <= kTasks; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{i}, 0.0));
+  }
+  auto accepted = client.submit(instance.value(), tasks);
+  ASSERT_TRUE(accepted.ok()) << accepted.error().str();
+  ASSERT_EQ(accepted.value(), kTasks);
+
+  auto kill_primary = [&] {
+    server->stop();
+    server.reset();  // the server references the dispatcher: destroy it first
+    dispatcher->shutdown();
+    dispatcher.reset();
+    journal.value().reset();  // fsync + release the log dir to the standby
+  };
+
+  // Supervision loop: sample the primary's fate once per round, respawn
+  // dead executor slots, and run until every task is terminal on whichever
+  // dispatcher is currently in charge.
+  bool primary_alive = true;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (;;) {
+    auto active_status = [&]() -> DispatcherStatus {
+      if (primary_alive) return dispatcher->status();
+      if (standby.dispatcher() != nullptr) return standby.dispatcher()->status();
+      return DispatcherStatus{};
+    };
+    const DispatcherStatus status = active_status();
+    if (!primary_alive && standby.promoted() &&
+        status.completed + status.failed >= kTasks) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "chaos takeover stalled: primary_alive=" << primary_alive
+        << " promoted=" << standby.promoted()
+        << " completed=" << status.completed << " failed=" << status.failed
+        << " queued=" << status.queued
+        << " dispatched=" << status.dispatched;
+    if (primary_alive) {
+      const fault::Outcome fate = injector.sample(fault::Site::kHaPrimary);
+      // Force the takeover if the seeded schedule hasn't fired by the time
+      // the run is half done — this test is about failover, not luck.
+      if (fate.action == fault::Action::kCrash ||
+          status.completed >= kTasks / 2) {
+        kill_primary();
+        primary_alive = false;
+      }
+    }
+    for (int slot = 0; slot < kExecutors; ++slot) {
+      if (!fleet[slot] || !fleet[slot]->runtime().running()) {
+        fleet[slot].reset();
+        spawn(slot);
+      }
+    }
+    nap_ms(25);
+  }
+
+  ASSERT_TRUE(standby.promoted());
+  const DispatcherStatus final_status = standby.dispatcher()->status();
+  EXPECT_EQ(final_status.completed + final_status.failed, kTasks);
+  EXPECT_EQ(final_status.queued, 0u);
+  EXPECT_EQ(final_status.dispatched, 0u);
+
+  // Exactly-once delivery across the takeover: the journaled mailbox plus
+  // the client-side dedup hand the caller each task id exactly once, even
+  // for results that completed on the old primary.
+  std::set<std::uint64_t> ids;
+  int idle_polls = 0;
+  while (ids.size() < kTasks && idle_polls < 20) {
+    auto batch = client.wait_results(instance.value(), 256, 0.25);
+    if (!batch.ok() || batch.value().empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const auto& result : batch.value()) {
+      EXPECT_TRUE(ids.insert(result.task_id.value).second)
+          << "duplicate delivery of task " << result.task_id.value;
+      EXPECT_GE(result.task_id.value, 1u);
+      EXPECT_LE(result.task_id.value, kTasks);
+    }
+  }
+  EXPECT_EQ(ids.size(), kTasks);
+
+  EXPECT_GT(client.reconnects(), 0u);
+  EXPECT_GT(obs.registry().gauge("falkon.ha.standby.failover_s").value(), 0.0);
+
+  for (auto& harness : fleet) harness.reset();
+  standby.stop();
 }
 
 // ---- DES soak ----

@@ -1,0 +1,396 @@
+// HA integration suite (docs/HA.md): a journaled primary serving the
+// replication protocol off its RPC port, a warm standby tailing it, and the
+// full failover story — primary dies mid-run, the standby recovers the
+// journal, takes over the primary's ports, executors re-register, the
+// failover client rides out the downtime, and every task still completes
+// exactly once.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/task.h"
+#include "core/dispatcher.h"
+#include "core/service_tcp.h"
+#include "ha/failover_client.h"
+#include "ha/journal.h"
+#include "ha/standby.h"
+#include "obs/obs.h"
+
+namespace falkon::ha {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Dispatcher;
+using core::DispatcherConfig;
+using core::DispatcherStatus;
+using core::ExecutorOptions;
+using core::SleepEngine;
+using core::TcpDispatcherServer;
+using core::TcpExecutorHarness;
+
+class TempDir {
+ public:
+  TempDir() {
+    char pattern[] = "/tmp/falkon_ha_XXXXXX";
+    const char* made = ::mkdtemp(pattern);
+    EXPECT_NE(made, nullptr);
+    path_ = made ? made : "";
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void nap_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+DispatcherConfig primary_config(obs::Obs& obs, core::StateJournal* journal) {
+  DispatcherConfig config;
+  config.replay.response_timeout_s = 0.5;
+  config.replay.max_retries = 100;
+  config.heartbeat_timeout_s = 1.0;
+  config.sweep_interval_s = 0.05;
+  config.renotify_timeout_s = 0.2;
+  config.obs = &obs;
+  config.journal = journal;
+  return config;
+}
+
+ExecutorOptions polling_executor(std::uint64_t node, obs::Obs& obs) {
+  ExecutorOptions options;
+  options.node_id = NodeId{node};
+  // Polling (firewall) mode: the executor keeps calling get_work on its
+  // own schedule, so it notices a takeover (kNotFound) without depending
+  // on push notifications from a server it no longer knows.
+  options.poll_interval_s = 0.03;
+  options.heartbeat_interval_s = 0.1;
+  options.link_retries = 30;
+  options.register_retries = 30;
+  options.backoff.base_s = 0.02;
+  options.backoff.max_s = 0.25;
+  options.obs = &obs;
+  return options;
+}
+
+std::vector<TaskSpec> sleep_tasks(std::uint64_t count, double seconds) {
+  std::vector<TaskSpec> tasks;
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    tasks.push_back(make_sleep_task(TaskId{i}, seconds));
+  }
+  return tasks;
+}
+
+// ---- standby tailing (no failover) -----------------------------------------
+
+TEST(HaStandby, TailsPrimaryAndAcksProgress) {
+  TempDir primary_dir, standby_dir;
+  RealClock clock;
+  obs::Obs obs;
+
+  Journal::Options jopts;
+  jopts.dir = primary_dir.path();
+  jopts.obs = &obs;
+  auto journal = Journal::open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.error().str();
+
+  Dispatcher dispatcher(clock, primary_config(obs, journal.value().get()));
+  TcpDispatcherServer server(dispatcher, &obs);
+  ASSERT_TRUE(server.start().ok());
+  server.set_replication_source(journal.value().get());
+
+  StandbyOptions sopts;
+  sopts.primary_rpc_port = server.rpc_port();
+  sopts.standby_dir = standby_dir.path();
+  sopts.poll_interval_s = 0.01;
+  sopts.failover_after_s = 60.0;  // never promote in this test
+  sopts.obs = &obs;
+  Standby standby(clock, sopts);
+  ASSERT_TRUE(standby.start().ok());
+
+  // Generate journaled transitions: one executor works through a batch.
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(dispatcher.submit(instance.value(), sleep_tasks(50, 0.0)).ok());
+  TcpExecutorHarness executor(clock, "127.0.0.1", server.rpc_port(),
+                              server.push_port(),
+                              std::make_unique<core::NoopEngine>(),
+                              polling_executor(1, obs));
+  ASSERT_TRUE(executor.start().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (dispatcher.status().completed < 50 ||
+         standby.applied_lsn() < journal.value()->last_lsn()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "standby lagging: applied=" << standby.applied_lsn()
+        << " last_lsn=" << journal.value()->last_lsn();
+    nap_ms(10);
+  }
+
+  EXPECT_FALSE(standby.promoted());
+  EXPECT_EQ(standby.applied_lsn(), journal.value()->last_lsn());
+  // The ack path fed the lag gauges.
+  EXPECT_EQ(obs.registry().gauge("falkon.ha.repl.acked_lsn").value(),
+            static_cast<double>(standby.applied_lsn()));
+  EXPECT_EQ(obs.registry().gauge("falkon.ha.repl.lag").value(), 0.0);
+
+  standby.stop();
+  executor.stop();
+  dispatcher.shutdown();
+  server.stop();
+}
+
+TEST(HaStandby, CatchesUpViaSnapshotWhenBehindTail) {
+  TempDir primary_dir, standby_dir;
+  RealClock clock;
+  obs::Obs obs;
+
+  Journal::Options jopts;
+  jopts.dir = primary_dir.path();
+  jopts.repl_tail_bytes = 512;  // tail forgets almost immediately
+  auto journal = Journal::open(jopts);
+  ASSERT_TRUE(journal.ok());
+
+  // Journal a pile of records *before* the standby connects — one submit
+  // per task, so each is its own log record — and the standby's first
+  // fetch (from LSN 1) lands far behind the in-memory tail and must be
+  // answered with a full ReplSnapshot.
+  Dispatcher dispatcher(clock, primary_config(obs, journal.value().get()));
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    std::vector<TaskSpec> one{make_sleep_task(TaskId{i}, 0.0)};
+    ASSERT_TRUE(dispatcher.submit(instance.value(), one).ok());
+  }
+  const std::uint64_t piled_lsn = journal.value()->last_lsn();
+  ASSERT_GT(piled_lsn, 10u);
+
+  TcpDispatcherServer server(dispatcher, &obs);
+  ASSERT_TRUE(server.start().ok());
+  server.set_replication_source(journal.value().get());
+
+  StandbyOptions sopts;
+  sopts.primary_rpc_port = server.rpc_port();
+  sopts.standby_dir = standby_dir.path();
+  sopts.poll_interval_s = 0.01;
+  sopts.failover_after_s = 60.0;
+  Standby standby(clock, sopts);
+  ASSERT_TRUE(standby.start().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (standby.applied_lsn() < piled_lsn) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "snapshot catch-up stalled at " << standby.applied_lsn();
+    nap_ms(10);
+  }
+  EXPECT_GE(standby.applied_lsn(), piled_lsn);
+
+  standby.stop();
+  dispatcher.shutdown();
+  server.stop();
+}
+
+// ---- submit-seq dedup ------------------------------------------------------
+
+TEST(HaClient, DuplicateSubmitSeqIsAcknowledgedNotReenqueued) {
+  RealClock clock;
+  DispatcherConfig config;
+  Dispatcher dispatcher(clock, config);
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+
+  auto first = dispatcher.submit(instance.value(), sleep_tasks(10, 0.0), 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 10u);
+  EXPECT_EQ(dispatcher.status().submitted, 10u);
+
+  // The retry of an already-journaled submit: acknowledged, not enqueued.
+  auto dup = dispatcher.submit(instance.value(), sleep_tasks(10, 0.0), 1);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup.value(), 10u);
+  EXPECT_EQ(dispatcher.status().submitted, 10u);
+  EXPECT_EQ(dispatcher.status().queued, 10u);
+
+  // A higher seq is new work.
+  std::vector<TaskSpec> more{make_sleep_task(TaskId{11}, 0.0)};
+  ASSERT_TRUE(dispatcher.submit(instance.value(), more, 2).ok());
+  EXPECT_EQ(dispatcher.status().submitted, 11u);
+
+  dispatcher.shutdown();
+}
+
+// ---- full failover ---------------------------------------------------------
+
+/// Run the takeover story end to end. `shared_log` selects how the standby
+/// recovers: from the primary's journal directory (authoritative) or from
+/// its warm in-memory image (bootstrap into its own directory).
+void run_failover_scenario(bool shared_log) {
+  constexpr std::uint64_t kTasks = 200;
+  constexpr int kExecutors = 3;
+
+  TempDir primary_dir, standby_dir;
+  RealClock clock;
+  obs::Obs obs;
+
+  Journal::Options jopts;
+  jopts.dir = primary_dir.path();
+  jopts.fsync = FsyncPolicy::kGroupCommit;
+  auto journal = Journal::open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.error().str();
+
+  auto dispatcher = std::make_unique<Dispatcher>(
+      clock, primary_config(obs, journal.value().get()));
+  auto server = std::make_unique<TcpDispatcherServer>(*dispatcher, &obs);
+  ASSERT_TRUE(server->start().ok());
+  server->set_replication_source(journal.value().get());
+  const std::uint16_t rpc_port = server->rpc_port();
+  const std::uint16_t push_port = server->push_port();
+
+  StandbyOptions sopts;
+  sopts.primary_rpc_port = rpc_port;
+  sopts.takeover_rpc_port = rpc_port;
+  sopts.takeover_push_port = push_port;
+  if (shared_log) sopts.shared_log_dir = primary_dir.path();
+  sopts.standby_dir = standby_dir.path();
+  sopts.poll_interval_s = 0.01;
+  sopts.failover_after_s = 0.3;
+  sopts.dispatcher = primary_config(obs, nullptr);  // journal filled in
+  sopts.obs = &obs;
+  Standby standby(clock, sopts);
+  ASSERT_TRUE(standby.start().ok());
+
+  std::vector<std::unique_ptr<TcpExecutorHarness>> fleet;
+  for (int i = 0; i < kExecutors; ++i) {
+    fleet.push_back(std::make_unique<TcpExecutorHarness>(
+        clock, "127.0.0.1", rpc_port, push_port,
+        std::make_unique<SleepEngine>(clock),
+        polling_executor(static_cast<std::uint64_t>(i + 1), obs)));
+    ASSERT_TRUE(fleet.back()->start().ok());
+  }
+
+  FailoverClientOptions copts;
+  copts.rpc_port = rpc_port;
+  copts.max_attempts = 400;
+  copts.backoff_initial_s = 0.01;
+  copts.backoff_max_s = 0.2;
+  copts.obs = &obs;
+  FailoverClient client(copts);
+
+  auto instance = client.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok()) << instance.error().str();
+  auto accepted = client.submit(instance.value(), sleep_tasks(kTasks, 0.005));
+  ASSERT_TRUE(accepted.ok()) << accepted.error().str();
+  ASSERT_EQ(accepted.value(), kTasks);
+
+  // Let the run get well underway, then kill the primary mid-flight: stop
+  // serving, shut the dispatcher down, close its journal (fsync + release
+  // the log directory for the standby).
+  const auto kill_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    auto status = client.status();
+    if (status.ok() && status.value().completed >= kTasks / 4) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), kill_deadline);
+    nap_ms(10);
+  }
+  const DispatcherStatus at_kill = dispatcher->status();
+  ASSERT_LT(at_kill.completed + at_kill.failed, kTasks)
+      << "primary finished before the kill — lengthen the tasks";
+  server->stop();
+  server.reset();  // the server references the dispatcher: destroy it first
+  dispatcher->shutdown();
+  dispatcher.reset();
+  journal.value().reset();
+
+  ASSERT_TRUE(standby.wait_promoted(15.0))
+      << "standby never promoted (applied_lsn=" << standby.applied_lsn()
+      << ")";
+  ASSERT_NE(standby.dispatcher(), nullptr);
+  ASSERT_NE(standby.server(), nullptr);
+  EXPECT_EQ(standby.server()->rpc_port(), rpc_port);
+
+  // Takeover is continuous: counters picked up where the primary left off.
+  const DispatcherStatus resumed = standby.dispatcher()->status();
+  EXPECT_EQ(resumed.submitted, kTasks);
+  EXPECT_GE(resumed.completed, shared_log ? at_kill.completed : 0);
+
+  // The fleet re-registers against the promoted dispatcher and finishes
+  // the remaining work.
+  const auto finish_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    const DispatcherStatus status = standby.dispatcher()->status();
+    if (status.completed + status.failed >= kTasks) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), finish_deadline)
+        << "takeover stalled: completed=" << status.completed
+        << " queued=" << status.queued
+        << " dispatched=" << status.dispatched;
+    nap_ms(20);
+  }
+  const DispatcherStatus final_status = standby.dispatcher()->status();
+  EXPECT_EQ(final_status.completed, kTasks);
+  EXPECT_EQ(final_status.failed, 0u);
+  EXPECT_EQ(final_status.queued, 0u);
+  EXPECT_EQ(final_status.dispatched, 0u);
+
+  // Exactly-once delivery across the takeover: the failover client dedups
+  // re-deliveries from the recovered mailbox, so collecting everything
+  // yields each task id exactly once.
+  std::set<std::uint64_t> ids;
+  int idle_polls = 0;
+  while (ids.size() < kTasks && idle_polls < 20) {
+    auto batch = client.wait_results(instance.value(), 256, 0.25);
+    if (!batch.ok() || batch.value().empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const auto& result : batch.value()) {
+      EXPECT_TRUE(ids.insert(result.task_id.value).second)
+          << "duplicate delivery of task " << result.task_id.value;
+    }
+  }
+  EXPECT_EQ(ids.size(), kTasks);
+
+  // The client observed the outage and reconnected through it.
+  EXPECT_GT(client.reconnects(), 0u);
+  // At least one executor had to re-register with the new primary.
+  std::uint64_t reregistrations = 0;
+  for (auto& harness : fleet) {
+    reregistrations += harness->runtime().stats().reregistrations;
+  }
+  EXPECT_GT(reregistrations, 0u);
+  // Failover downtime was measured and published.
+  EXPECT_GT(obs.registry().gauge("falkon.ha.standby.failover_s").value(), 0.0);
+
+  for (auto& harness : fleet) harness->stop();
+  standby.stop();
+}
+
+TEST(HaFailover, TakeoverFromSharedLogCompletesAllTasksExactlyOnce) {
+  run_failover_scenario(/*shared_log=*/true);
+}
+
+TEST(HaFailover, TakeoverFromWarmImageCompletesAllTasksExactlyOnce) {
+  run_failover_scenario(/*shared_log=*/false);
+}
+
+}  // namespace
+}  // namespace falkon::ha

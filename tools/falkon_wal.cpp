@@ -1,0 +1,171 @@
+// falkon-wal: inspect and verify a dispatcher journal directory (docs/HA.md).
+//
+//   $ falkon-wal dump <dir> [--from LSN]   print every record past the
+//                                          newest snapshot (or LSN)
+//   $ falkon-wal verify <dir>              check snapshot CRCs and walk the
+//                                          whole log; exit 1 on a torn tail
+//                                          or an undecodable record
+//   $ falkon-wal image <dir>               recover snapshot + replay and
+//                                          print the resulting state summary
+//
+// Both commands are read-only: they never truncate a torn tail (that is
+// Wal::open's job, done by the owning dispatcher), so they are safe to run
+// against a live primary's directory.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ha/journal.h"
+#include "ha/state.h"
+#include "ha/wal.h"
+
+namespace {
+
+using namespace falkon;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: falkon-wal dump <dir> [--from LSN]\n"
+               "       falkon-wal verify <dir>\n"
+               "       falkon-wal image <dir>\n");
+  return 2;
+}
+
+void print_snapshot_line(const std::string& dir) {
+  if (auto snapshot = ha::load_latest_snapshot(dir)) {
+    std::printf("snapshot: lsn=%llu (%zu bytes)\n",
+                static_cast<unsigned long long>(snapshot->lsn),
+                snapshot->payload.size());
+  } else {
+    std::printf("snapshot: none\n");
+  }
+}
+
+int cmd_dump(const std::string& dir, std::uint64_t from_lsn) {
+  print_snapshot_line(dir);
+  if (from_lsn == 0) {
+    auto snapshot = ha::load_latest_snapshot(dir);
+    from_lsn = snapshot ? snapshot->lsn + 1 : 1;
+  }
+  bool decode_failed = false;
+  auto stats = ha::Wal::replay(
+      dir, from_lsn,
+      [&](std::uint64_t lsn, const std::uint8_t* payload, std::size_t size) {
+        auto record = ha::decode_record(payload, size);
+        if (record.ok()) {
+          std::printf("%12llu  %s\n", static_cast<unsigned long long>(lsn),
+                      ha::record_summary(record.value()).c_str());
+        } else {
+          std::printf("%12llu  <undecodable: %s>\n",
+                      static_cast<unsigned long long>(lsn),
+                      record.error().message.c_str());
+          decode_failed = true;
+        }
+        return true;
+      });
+  if (!stats.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 stats.error().message.c_str());
+    return 1;
+  }
+  std::printf("%llu records, lsn [%llu, %llu]%s\n",
+              static_cast<unsigned long long>(stats.value().records),
+              static_cast<unsigned long long>(stats.value().first_lsn),
+              static_cast<unsigned long long>(stats.value().last_lsn),
+              stats.value().torn_tail ? ", TORN TAIL" : "");
+  return decode_failed ? 1 : 0;
+}
+
+int cmd_verify(const std::string& dir) {
+  print_snapshot_line(dir);
+  std::uint64_t undecodable = 0;
+  auto stats = ha::Wal::replay(
+      dir, 1,
+      [&](std::uint64_t, const std::uint8_t* payload, std::size_t size) {
+        if (!ha::decode_record(payload, size).ok()) ++undecodable;
+        return true;
+      });
+  if (!stats.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 stats.error().message.c_str());
+    return 1;
+  }
+  std::printf(
+      "log: %llu records, lsn [%llu, %llu], torn_tail=%s, undecodable=%llu\n",
+      static_cast<unsigned long long>(stats.value().records),
+      static_cast<unsigned long long>(stats.value().first_lsn),
+      static_cast<unsigned long long>(stats.value().last_lsn),
+      stats.value().torn_tail ? "yes" : "no",
+      static_cast<unsigned long long>(undecodable));
+  return (stats.value().torn_tail || undecodable > 0) ? 1 : 0;
+}
+
+int cmd_image(const std::string& dir) {
+  ha::StateMachine sm;
+  std::uint64_t base_lsn = 0;
+  if (auto snapshot = ha::load_latest_snapshot(dir)) {
+    auto image =
+        ha::decode_image(snapshot->payload.data(), snapshot->payload.size());
+    if (!image.ok()) {
+      std::fprintf(stderr, "snapshot undecodable: %s\n",
+                   image.error().message.c_str());
+      return 1;
+    }
+    sm.reset(image.value());
+    base_lsn = snapshot->lsn;
+  }
+  auto stats = ha::Wal::replay(
+      dir, base_lsn + 1,
+      [&](std::uint64_t, const std::uint8_t* payload, std::size_t size) {
+        auto record = ha::decode_record(payload, size);
+        if (record.ok()) sm.apply(record.value());
+        return record.ok();
+      });
+  if (!stats.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 stats.error().message.c_str());
+    return 1;
+  }
+  const core::DispatcherImage image = sm.image();
+  std::printf(
+      "image @ lsn %llu: instances=%zu queue=%zu submitted=%llu "
+      "completed=%llu failed=%llu retried=%llu quarantined=%llu\n",
+      static_cast<unsigned long long>(
+          stats.value().last_lsn ? stats.value().last_lsn : base_lsn),
+      image.instances.size(), image.queue.size(),
+      static_cast<unsigned long long>(image.submitted),
+      static_cast<unsigned long long>(image.completed),
+      static_cast<unsigned long long>(image.failed),
+      static_cast<unsigned long long>(image.retried),
+      static_cast<unsigned long long>(image.quarantined));
+  for (const auto& instance : image.instances) {
+    std::printf("  instance %llu: client=%llu last_submit_seq=%llu "
+                "mailbox=%zu\n",
+                static_cast<unsigned long long>(instance.id.value),
+                static_cast<unsigned long long>(instance.client.value),
+                static_cast<unsigned long long>(instance.last_submit_seq),
+                instance.mailbox.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  std::uint64_t from_lsn = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc) {
+      from_lsn = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (command == "dump") return cmd_dump(dir, from_lsn);
+  if (command == "verify") return cmd_verify(dir);
+  if (command == "image") return cmd_image(dir);
+  return usage();
+}
