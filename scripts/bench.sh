@@ -4,11 +4,15 @@
 # and compare every `bench.*` throughput gauge against the committed
 # baselines in bench/baselines/.
 #
-# Throughput gauges are lower-bounded only: a run must reach at least
-# (1 - BENCH_TOLERANCE) of its baseline. The default tolerance of 0.5 is
-# deliberately loose — these benchmarks run on whatever noisy host CI got,
-# and the regressions worth gating on (an accidentally serialised RPC path,
-# a lock back in the hot loop) move the numbers by multiples, not percents.
+# Throughput gauges are lower-bounded: a run must reach at least
+# (1 - BENCH_TOLERANCE) of its baseline. Latency gauges (names ending in
+# `_ms`, e.g. bench.micro.ha.failover_downtime_ms) are upper-bounded
+# instead: a run must stay below (1 + BENCH_TOLERANCE) of its baseline.
+# The default tolerance of 0.5 is deliberately loose — these benchmarks run
+# on whatever noisy host CI got, and the regressions worth gating on (an
+# accidentally serialised RPC path, a lock back in the hot loop, a
+# synchronous fsync back under the dispatcher locks) move the numbers by
+# multiples, not percents.
 #
 #   scripts/bench.sh            run + compare against baselines
 #   scripts/bench.sh --update   run + rewrite the baselines
@@ -17,8 +21,8 @@ cd "$(dirname "$0")/.."
 
 TOL="${BENCH_TOLERANCE:-0.5}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-BENCHES="bench_fig3_throughput bench_fig5_bundling"
-SNAPSHOTS="BENCH_fig3_throughput.json BENCH_fig5_bundling.json"
+BENCHES="bench_fig3_throughput bench_fig5_bundling bench_ha"
+SNAPSHOTS="BENCH_fig3_throughput.json BENCH_fig5_bundling.json BENCH_ha.json"
 
 echo "== Release build (bench) =="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -61,12 +65,22 @@ for name in $SNAPSHOTS; do
   if ! awk -v tol="$TOL" '
       NR == FNR { base[$1] = $2; next }
       ($1 in base) && base[$1] > 0 {
-        floor = (1 - tol) * base[$1]
-        if ($2 < floor) {
-          printf "FAIL %s: %.0f < floor %.0f (baseline %.0f)\n", $1, $2, floor, base[$1]
-          bad = 1
+        if ($1 ~ /_ms(\{|$)/) {
+          ceil = (1 + tol) * base[$1]
+          if ($2 > ceil) {
+            printf "FAIL %s: %.0f > ceiling %.0f (baseline %.0f)\n", $1, $2, ceil, base[$1]
+            bad = 1
+          } else {
+            printf "ok   %s: %.0f (baseline %.0f)\n", $1, $2, base[$1]
+          }
         } else {
-          printf "ok   %s: %.0f (baseline %.0f)\n", $1, $2, base[$1]
+          floor = (1 - tol) * base[$1]
+          if ($2 < floor) {
+            printf "FAIL %s: %.0f < floor %.0f (baseline %.0f)\n", $1, $2, floor, base[$1]
+            bad = 1
+          } else {
+            printf "ok   %s: %.0f (baseline %.0f)\n", $1, $2, base[$1]
+          }
         }
         seen[$1] = 1
       }

@@ -23,9 +23,12 @@
 #
 # The ha stage (ctest -L ha, see docs/HA.md) does the same for the
 # durability/failover stack — WAL torn-tail fuzzing, standby takeover, the
-# primary-kill chaos case — under ASan+UBSan, and again under TSan in the
-# opt-in pass (the WAL append path, the replication tail thread and the
-# promotion handoff are exactly the cross-thread sharing TSan is for).
+# primary-kill chaos case, the two-standby election/split-brain regression
+# and the multi-standby double-failover soak (kill the primary, then kill
+# the winning standby) — under ASan+UBSan, and again under TSan in the
+# opt-in pass (the WAL append path, the replication tail thread, the
+# election exchange and the promotion handoff are exactly the cross-thread
+# sharing TSan is for).
 #
 # An optional coverage pass (`scripts/ci.sh coverage`) builds with gcov
 # instrumentation, runs the tier-1 + prop suites, and reports line/branch
@@ -53,6 +56,12 @@ ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
 echo "== Chaos soak under ASan+UBSan =="
 ctest --test-dir build-ci-asan --output-on-failure -R 'test_chaos|test_fault'
+
+echo "== Multi-standby double-failover chaos variant under ASan+UBSan =="
+# Run the election chaos cases by themselves too: a split-brain or a
+# stalled second election fails this stage with only its own output,
+# instead of being buried in the full soak log.
+build-ci-asan/tests/test_chaos --gtest_filter='ChaosHa.*'
 
 echo "== HA durability/failover suite under ASan+UBSan =="
 ctest --test-dir build-ci-asan --output-on-failure -L ha
@@ -90,6 +99,13 @@ if [ "${1:-}" = "tsan" ]; then
   # pool — exactly the sharing TSan is for.
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
         -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net|test_tcp|test_wal|test_ha'
+  echo "== Election and split-brain regression under TSan =="
+  # The election path is all cross-thread: tail threads answering
+  # ElectionPing while the failover timer promotes, two standbys racing
+  # for the shared-directory fence. Run those cases alone first so a race
+  # report names the election, then the full chaos soak.
+  build-ci-tsan/tests/test_ha --gtest_filter='HaElection.*:HaSoak.*'
+  build-ci-tsan/tests/test_chaos --gtest_filter='ChaosHa.*'
   echo "== Chaos soak under TSan =="
   ctest --test-dir build-ci-tsan --output-on-failure -R 'test_chaos|test_fault'
 fi

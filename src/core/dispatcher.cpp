@@ -226,15 +226,21 @@ Error Dispatcher::unknown_executor(std::uint64_t executor_value) {
 // ------------------------------------------------------------------ client
 
 Result<InstanceId> Dispatcher::create_instance(ClientId client) {
-  std::lock_guard lock(inst_mu_);
-  if (shutdown_.load(std::memory_order_relaxed)) {
-    return make_error(ErrorCode::kClosed, "dispatcher shut down");
+  InstanceId id;
+  {
+    std::lock_guard lock(inst_mu_);
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return make_error(ErrorCode::kClosed, "dispatcher shut down");
+    }
+    id = instance_ids_.next();
+    auto instance = std::make_shared<Instance>();
+    instance->client = client;
+    instances_[id.value] = std::move(instance);
+    if (config_.journal) config_.journal->on_instance_created(id, client);
   }
-  const InstanceId id = instance_ids_.next();
-  auto instance = std::make_shared<Instance>();
-  instance->client = client;
-  instances_[id.value] = std::move(instance);
-  if (config_.journal) config_.journal->on_instance_created(id, client);
+  // Durability barrier outside the lock: the instance id handed back must
+  // survive a failover (async journals drain their queue here).
+  if (config_.journal) config_.journal->barrier();
   return id;
 }
 
@@ -333,6 +339,9 @@ Result<std::uint64_t> Dispatcher::submit(InstanceId instance_id,
       m_queue_depth_->set(static_cast<double>(queue_.size()));
     }
   }
+  // Durability barrier outside inst_mu_/queue_mu_: the submit ack implies
+  // the RecSubmit reached the WAL even when journaling is asynchronous.
+  if (config_.journal) config_.journal->barrier();
   const auto accepted = static_cast<std::uint64_t>(tasks.size());
   n_submitted_.fetch_add(accepted, std::memory_order_relaxed);
   pump_notifications();

@@ -308,8 +308,12 @@ void ExecutorRuntime::work_loop() {
 
     if (dispatcher_gone || stop_requested_.load() || crashed_.load()) break;
     if (executed_any) idle_since = clock_.now_s();
-    // Poll mode enforces the idle timeout across poll rounds.
-    if (options_.poll_interval_s > 0 && options_.idle_timeout_s > 0 &&
+    // Poll and probe modes enforce the idle timeout across wakeup rounds
+    // (the probe only governs the wait when shorter than the idle budget).
+    if ((options_.poll_interval_s > 0 ||
+         (options_.takeover_probe_s > 0 &&
+          options_.takeover_probe_s < options_.idle_timeout_s)) &&
+        options_.idle_timeout_s > 0 &&
         clock_.now_s() - idle_since >= options_.idle_timeout_s) {
       exit_reason = "idle timeout";
       break;
@@ -347,6 +351,18 @@ bool ExecutorRuntime::wait_for_wakeup() {
     const double real_interval = options_.poll_interval_s / clock_.rate();
     (void)cv_.wait_for(lock, std::chrono::duration<double>(real_interval),
                        ready);
+  } else if (options_.takeover_probe_s > 0 &&
+             (options_.idle_timeout_s <= 0 ||
+              options_.takeover_probe_s < options_.idle_timeout_s)) {
+    // Push mode with a takeover probe: wake at most every probe interval
+    // and report "work may be available" so the loop issues one get_work.
+    // A promoted standby that doesn't know us answers it with kNotFound,
+    // which triggers re-registration (docs/HA.md) — without the probe an
+    // idle push-mode executor would wait here forever after a failover.
+    // The idle timeout (necessarily longer than the probe here) is
+    // enforced by the caller across probe rounds.
+    const double real_probe = options_.takeover_probe_s / clock_.rate();
+    (void)cv_.wait_for(lock, std::chrono::duration<double>(real_probe), ready);
   } else if (options_.idle_timeout_s > 0) {
     // idle_timeout_s is model time; convert to a real wait.
     const double real_timeout = options_.idle_timeout_s / clock_.rate();

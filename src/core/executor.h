@@ -80,6 +80,14 @@ struct ExecutorOptions {
   /// responsiveness and dispatcher load for needing only outbound
   /// connections. 0 = hybrid push/pull (the paper's preferred model).
   double poll_interval_s{0.0};
+  /// Push-mode takeover probe (docs/HA.md): in hybrid push/pull mode an
+  /// idle executor waits on notifications — but a freshly promoted standby
+  /// knows no executor ids and can never notify it. Waking at most every
+  /// this many model seconds to issue one get_work turns the standby's
+  /// kNotFound answer into a re-registration, bounding how long an idle
+  /// executor can stay stranded after a failover. 0 disables the probe
+  /// (pre-HA behaviour); ignored in polling mode, which already wakes.
+  double takeover_probe_s{1.0};
 
   /// Observability context; nullptr disables instrumentation at zero cost.
   obs::Obs* obs{nullptr};

@@ -69,6 +69,11 @@ struct DispatcherImage {
   std::uint64_t failed{0};
   std::uint64_t retried{0};
   std::uint64_t quarantined{0};
+
+  /// Promotion epoch the state was produced under (monotone across
+  /// failovers; 0 = pre-epoch state). Fencing, not payload: the dispatcher
+  /// never inspects it, but services reject stale-epoch peers with it.
+  std::uint64_t epoch{0};
 };
 
 /// Journaling hooks, one per dispatcher state transition. See the ordering
@@ -96,6 +101,14 @@ class StateJournal {
   /// and must not be re-delivered after recovery.
   virtual void on_delivered(InstanceId instance,
                             const std::vector<TaskId>& tasks) = 0;
+
+  /// Durability barrier: returns once every hook invoked before this call
+  /// has reached the journal's storage (per its fsync policy). Synchronous
+  /// journals are already durable on hook return and keep the default
+  /// no-op; asynchronous ones (ha::AsyncJournal) drain their queue here.
+  /// Called OUTSIDE dispatcher locks — unlike the hooks, barrier() may
+  /// block.
+  virtual void barrier() {}
 };
 
 /// Server side of log shipping: the warm standby pulls record batches (or a
@@ -113,6 +126,8 @@ class ReplicationSource {
     std::uint64_t first_lsn{0};
     std::uint64_t last_lsn{0};
     std::string payload;
+    /// Source's current epoch, stamped on the Repl* reply.
+    std::uint64_t epoch{0};
   };
 
   virtual ~ReplicationSource() = default;

@@ -142,9 +142,19 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     return DestroyInstanceReply{};
   }
   if (const auto* m = std::get_if<SubmitRequest>(&request)) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (m->epoch != 0 && m->epoch != epoch) {
+      // Fencing both ways: a client that learned a newer epoch must not be
+      // accepted by this (zombie) server, and a client stamped with an old
+      // epoch re-syncs via status() before retrying.
+      return ErrorReply{ErrorCode::kUnavailable,
+                        "epoch mismatch: request epoch " +
+                            std::to_string(m->epoch) + ", server epoch " +
+                            std::to_string(epoch)};
+    }
     auto result = dispatcher_.submit(m->instance_id, m->tasks, m->submit_seq);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
-    return SubmitReply{result.value()};
+    return SubmitReply{result.value(), epoch};
   }
   if (const auto* m = std::get_if<WaitResultsRequest>(&request)) {
     auto result =
@@ -157,7 +167,8 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
   if (const auto* m = std::get_if<RegisterRequest>(&request)) {
     auto result = dispatcher_.register_executor(*m, sink_);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
-    return RegisterReply{result.value()};
+    return RegisterReply{result.value(),
+                         epoch_.load(std::memory_order_acquire)};
   }
   if (const auto* m = std::get_if<GetWorkRequest>(&request)) {
     auto result = dispatcher_.get_work(m->executor_id, m->max_tasks);
@@ -230,7 +241,9 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     return DeregisterReply{};
   }
   if (std::get_if<StatusRequest>(&request) != nullptr) {
-    return dispatcher_.status().to_wire();
+    StatusReply reply = dispatcher_.status().to_wire();
+    reply.epoch = epoch_.load(std::memory_order_acquire);
+    return reply;
   }
   if (const auto* m = std::get_if<ReplFetch>(&request)) {
     ReplicationSource* source =
@@ -240,16 +253,26 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
                         "replication not enabled on this dispatcher"};
     }
     auto batch = source->fetch(m->from_lsn, m->max_bytes);
+    if (m->epoch != 0 && m->epoch > batch.epoch) {
+      // The follower has seen a newer regime than this source: we are the
+      // stale side and must not feed it our (dead) branch of history.
+      return ErrorReply{ErrorCode::kUnavailable,
+                        "stale replication source: follower epoch " +
+                            std::to_string(m->epoch) + " > source epoch " +
+                            std::to_string(batch.epoch)};
+    }
     if (batch.is_snapshot) {
       ReplSnapshot reply;
       reply.lsn = batch.last_lsn;
       reply.payload = std::move(batch.payload);
+      reply.epoch = batch.epoch;
       return reply;
     }
     ReplAppend reply;
     reply.first_lsn = batch.first_lsn;
     reply.last_lsn = batch.last_lsn;
     reply.payload = std::move(batch.payload);
+    reply.epoch = batch.epoch;
     return reply;
   }
   if (const auto* m = std::get_if<ReplAck>(&request)) {
@@ -257,6 +280,15 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
         replication_.load(std::memory_order_acquire);
     if (source != nullptr) source->note_ack(m->applied_lsn);
     return ReplAckReply{};
+  }
+  if (std::get_if<ElectionPing>(&request) != nullptr) {
+    // A running primary answers election pings as an already-promoted rank-0
+    // contestant: any standby probing it stands down immediately.
+    ElectionAck ack;
+    ack.epoch = epoch_.load(std::memory_order_acquire);
+    ack.rank = 0;
+    ack.promoted = true;
+    return ack;
   }
   return ErrorReply{ErrorCode::kProtocolError,
                     std::string("unhandled request: ") +
@@ -303,6 +335,7 @@ Result<ExecutorId> TcpExecutorHarness::Link::register_executor(
     const wire::RegisterRequest& request) {
   auto reply = expect<wire::RegisterReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
+  epoch_.store(reply.value().epoch, std::memory_order_release);
   return reply.value().executor_id;
 }
 

@@ -55,6 +55,18 @@ class TcpDispatcherServer {
     replication_.store(source, std::memory_order_release);
   }
 
+  /// Fence this server to the dispatcher's promotion epoch (docs/HA.md):
+  /// epoch-stamped submits and repl fetches that disagree with it are
+  /// rejected, and every SubmitReply/RegisterReply/StatusReply advertises
+  /// it so clients and executors learn the new epoch on reconnect.
+  /// 0 (the default) disables fencing for pre-HA deployments.
+  void set_epoch(std::uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   /// ExecutorSink that writes Notify frames on the notification channel.
   /// on_removed ties transport cleanup to the dispatcher's removal paths:
@@ -103,6 +115,7 @@ class TcpDispatcherServer {
   Dispatcher& dispatcher_;
   obs::Obs* obs_{nullptr};
   std::atomic<ReplicationSource*> replication_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
   /// One event loop shared by both channels: every executor costs two
   /// reactor-owned connections, zero threads. Declared before the servers
   /// so it outlives their stop() sequences.
@@ -170,6 +183,8 @@ class TcpExecutorHarness {
   void stop();
 
   [[nodiscard]] ExecutorRuntime& runtime() { return *runtime_; }
+  /// Dispatcher epoch learned at the last (re-)registration.
+  [[nodiscard]] std::uint64_t dispatcher_epoch() const { return link_.epoch(); }
 
  private:
   class Link final : public DispatcherLink {
@@ -191,6 +206,12 @@ class TcpExecutorHarness {
     Status deregister(ExecutorId executor, const std::string& reason) override;
     Status heartbeat(ExecutorId executor) override;
 
+    /// Dispatcher epoch from the last RegisterReply — bumps after the
+    /// executor re-registers on a promoted standby (docs/HA.md).
+    [[nodiscard]] std::uint64_t epoch() const {
+      return epoch_.load(std::memory_order_acquire);
+    }
+
    private:
     /// One RPC exchange with lazy reconnect: a transport-level failure
     /// (severed, truncated, or corrupted stream) discards the connection so
@@ -207,6 +228,7 @@ class TcpExecutorHarness {
     /// Highest TaskBundle.bundle_seq received; echoed as the batched ack
     /// in the next ResultBundle (guarded by mu_).
     std::uint64_t last_bundle_seq_{0};
+    std::atomic<std::uint64_t> epoch_{0};
   };
 
   Clock& clock_;

@@ -17,6 +17,7 @@ const char* site_name(Site site) {
     case Site::kLrmAllocate: return "lrm_allocate";
     case Site::kLrmPreempt: return "lrm_preempt";
     case Site::kHaPrimary: return "ha_primary";
+    case Site::kHaElection: return "ha_election";
   }
   return "unknown";
 }

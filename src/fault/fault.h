@@ -45,8 +45,11 @@ enum class Site : std::uint8_t {
                       // once per chaos round (kCrash = kill the primary);
                       // never drawn by random_plan — only scripted/explicit
                       // plans schedule a takeover
+  kHaElection,        // one election ping leaving a standby (kDrop = the
+                      // peer looks dead this round); never drawn by
+                      // random_plan — scripted plans partition elections
 };
-inline constexpr std::size_t kSiteCount = 10;
+inline constexpr std::size_t kSiteCount = 11;
 
 [[nodiscard]] const char* site_name(Site site);
 

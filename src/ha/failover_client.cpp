@@ -52,6 +52,16 @@ std::uint64_t FailoverClient::reconnects() const {
   return reconnects_;
 }
 
+std::uint64_t FailoverClient::epoch() const {
+  std::lock_guard lock(mu_);
+  return epoch_;
+}
+
+void FailoverClient::learn_epoch(std::uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  epoch_ = std::max(epoch_, epoch);
+}
+
 Result<wire::Message> FailoverClient::call(const wire::Message& request) {
   double backoff_s = options_.backoff_initial_s;
   Error last = make_error(ErrorCode::kUnavailable, "never attempted");
@@ -76,6 +86,13 @@ Result<wire::Message> FailoverClient::call(const wire::Message& request) {
     if (reply.ok()) return reply;
     last = reply.error();
     if (!transport_error(last.code)) return reply;
+    if (last.code == ErrorCode::kUnavailable &&
+        last.message.find("epoch mismatch") != std::string::npos) {
+      // Not a dead connection but a fencing rejection: retrying the same
+      // stamped request can never succeed. Surface it so submit() can
+      // re-sync its epoch and re-stamp.
+      return reply;
+    }
     rpc_.reset();  // dial fresh next attempt (possibly the new primary)
     reconnects_ += 1;
     if (m_reconnects_ != nullptr) m_reconnects_->inc();
@@ -104,9 +121,26 @@ Result<std::uint64_t> FailoverClient::submit(InstanceId instance,
     std::lock_guard lock(mu_);
     request.submit_seq = ++submit_seq_;
   }
-  auto reply = expect<wire::SubmitReply>(call(request));
-  if (!reply.ok()) return reply.error();
-  return reply.value().accepted;
+  for (int sync_attempts = 0;; ++sync_attempts) {
+    {
+      std::lock_guard lock(mu_);
+      request.epoch = epoch_;
+    }
+    auto reply = expect<wire::SubmitReply>(call(request));
+    if (reply.ok()) {
+      learn_epoch(reply.value().epoch);
+      return reply.value().accepted;
+    }
+    if (sync_attempts == 0 && reply.error().code == ErrorCode::kUnavailable &&
+        reply.error().message.find("epoch mismatch") != std::string::npos) {
+      // Our stamp is stale (a standby promoted since we last heard from a
+      // dispatcher): learn the current epoch and re-send the same
+      // submit_seq — the journal makes the retry idempotent.
+      if (auto st = status(); !st.ok()) return reply.error();
+      continue;
+    }
+    return reply.error();
+  }
 }
 
 Result<std::vector<TaskResult>> FailoverClient::wait_results(
@@ -141,6 +175,7 @@ Status FailoverClient::destroy_instance(InstanceId instance) {
 Result<core::DispatcherStatus> FailoverClient::status() {
   auto reply = expect<wire::StatusReply>(call(wire::StatusRequest{}));
   if (!reply.ok()) return reply.error();
+  learn_epoch(reply.value().epoch);
   core::DispatcherStatus status;
   status.submitted = reply.value().submitted_tasks;
   status.queued = reply.value().queued_tasks;

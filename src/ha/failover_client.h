@@ -9,6 +9,13 @@
 // takeover cannot double-deliver a completion. Together with the
 // dispatcher-side journaling this keeps completions exactly-once across
 // failover.
+//
+// Epoch fencing: submits are stamped with the last dispatcher epoch the
+// client learned (from SubmitReply/StatusReply); a server that rejects the
+// stamp ("epoch mismatch") triggers one status() re-sync and a retry under
+// the fresh epoch, so clients follow a promotion without manual
+// reconfiguration — while a zombie primary can never accept a submit
+// stamped by a newer regime.
 #pragma once
 
 #include <cstdint>
@@ -51,16 +58,22 @@ class FailoverClient final : public core::DispatcherClient {
 
   /// Reconnects performed so far (each is one observed transport failure).
   [[nodiscard]] std::uint64_t reconnects() const;
+  /// Last dispatcher epoch learned from a reply (0 until the first ack
+  /// from an epoch-fenced server).
+  [[nodiscard]] std::uint64_t epoch() const;
 
  private:
   /// One RPC with reconnect + backoff across transport failures.
   Result<wire::Message> call(const wire::Message& request);
+  /// Fold a server-advertised epoch into epoch_ (monotone).
+  void learn_epoch(std::uint64_t epoch);
 
   FailoverClientOptions options_;
   mutable std::mutex mu_;
   std::unique_ptr<net::RpcClient> rpc_;
   std::uint64_t submit_seq_{0};
   std::uint64_t reconnects_{0};
+  std::uint64_t epoch_{0};
   /// Task ids already handed to the caller (re-delivery dedup).
   std::unordered_set<std::uint64_t> seen_;
   obs::Counter* m_reconnects_{nullptr};

@@ -16,9 +16,12 @@ namespace falkon::ha {
 namespace {
 
 constexpr char kSnapMagic[4] = {'F', 'S', 'N', 'P'};
-constexpr std::uint32_t kSnapVersion = 1;
-// magic + u32 version + u64 lsn + u32 len + u32 crc
-constexpr std::size_t kSnapHeaderBytes = 24;
+constexpr std::uint32_t kSnapVersionV1 = 1;
+constexpr std::uint32_t kSnapVersion = 2;
+// v2: magic + u32 version + u64 lsn + u64 epoch + u32 len + u32 crc
+constexpr std::size_t kSnapHeaderBytes = 32;
+// v1 (no epoch): magic + u32 version + u64 lsn + u32 len + u32 crc
+constexpr std::size_t kSnapHeaderBytesV1 = 24;
 
 std::string snapshot_path(const std::string& dir, std::uint64_t lsn) {
   char name[48];
@@ -61,6 +64,7 @@ std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
 }  // namespace
 
 Status write_snapshot(const std::string& dir, std::uint64_t lsn,
+                      std::uint64_t epoch,
                       const std::vector<std::uint8_t>& payload) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return make_error(ErrorCode::kIoError,
@@ -78,8 +82,9 @@ Status write_snapshot(const std::string& dir, std::uint64_t lsn,
   std::memcpy(header, kSnapMagic, 4);
   put_u32(header + 4, kSnapVersion);
   put_u64(header + 8, lsn);
-  put_u32(header + 16, static_cast<std::uint32_t>(payload.size()));
-  put_u32(header + 20, crc32(payload.data(), payload.size()));
+  put_u64(header + 16, epoch);
+  put_u32(header + 24, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 28, crc32(payload.data(), payload.size()));
   bool ok = ::write(fd, header, sizeof(header)) ==
             static_cast<ssize_t>(sizeof(header));
   ok = ok && ::write(fd, payload.data(), payload.size()) ==
@@ -111,21 +116,37 @@ std::optional<SnapshotInfo> load_latest_snapshot(const std::string& dir) {
   for (const auto& [lsn, path] : list_snapshots(dir)) {
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) continue;
+    // Read the fixed v2 prefix up to the version field, then the rest of
+    // whichever header layout the version selects.
     std::uint8_t header[kSnapHeaderBytes];
-    if (::read(fd, header, sizeof(header)) !=
-        static_cast<ssize_t>(sizeof(header))) {
+    if (::read(fd, header, kSnapHeaderBytesV1) !=
+        static_cast<ssize_t>(kSnapHeaderBytesV1)) {
       ::close(fd);
       continue;
     }
     std::uint32_t version = 0;
     std::uint64_t stored_lsn = 0;
+    std::uint64_t epoch = 0;
     std::uint32_t len = 0;
     std::uint32_t want_crc = 0;
     std::memcpy(&version, header + 4, 4);
     std::memcpy(&stored_lsn, header + 8, 8);
-    std::memcpy(&len, header + 16, 4);
-    std::memcpy(&want_crc, header + 20, 4);
-    if (std::memcmp(header, kSnapMagic, 4) != 0 || version != kSnapVersion ||
+    if (version == kSnapVersionV1) {
+      std::memcpy(&len, header + 16, 4);
+      std::memcpy(&want_crc, header + 20, 4);
+    } else if (version == kSnapVersion) {
+      if (::read(fd, header + kSnapHeaderBytesV1,
+                 kSnapHeaderBytes - kSnapHeaderBytesV1) !=
+          static_cast<ssize_t>(kSnapHeaderBytes - kSnapHeaderBytesV1)) {
+        ::close(fd);
+        continue;
+      }
+      std::memcpy(&epoch, header + 16, 8);
+      std::memcpy(&len, header + 24, 4);
+      std::memcpy(&want_crc, header + 28, 4);
+    }
+    if (std::memcmp(header, kSnapMagic, 4) != 0 ||
+        (version != kSnapVersionV1 && version != kSnapVersion) ||
         stored_lsn != lsn) {
       ::close(fd);
       continue;
@@ -143,9 +164,30 @@ std::optional<SnapshotInfo> load_latest_snapshot(const std::string& dir) {
                path.c_str());
       continue;
     }
-    return SnapshotInfo{lsn, std::move(payload)};
+    return SnapshotInfo{lsn, epoch, std::move(payload)};
   }
   return std::nullopt;
+}
+
+std::uint64_t read_log_epoch(const std::string& dir) {
+  std::uint64_t epoch = 0;
+  std::uint64_t base_lsn = 0;
+  if (auto snap = load_latest_snapshot(dir)) {
+    epoch = snap->epoch;
+    base_lsn = snap->lsn;
+  }
+  (void)Wal::replay(dir, base_lsn + 1,
+                    [&](std::uint64_t, const std::uint8_t* payload,
+                        std::size_t size) {
+                      auto record = decode_record(payload, size);
+                      if (!record.ok()) return false;
+                      if (const auto* bump =
+                              std::get_if<RecEpoch>(&record.value())) {
+                        epoch = std::max(epoch, bump->epoch);
+                      }
+                      return true;
+                    });
+  return epoch;
 }
 
 // ---------------------------------------------------------------- Journal
@@ -206,6 +248,24 @@ Result<std::unique_ptr<Journal>> Journal::open(Options options) {
   if (!replay_status.ok()) return replay_status.error();
 
   journal->last_lsn_ = std::max(base_lsn, journal->wal_->last_lsn());
+
+  // Epoch fence: first process to append (and fsync) the RecEpoch bump
+  // owns the new epoch; everyone else arriving at the same directory sees
+  // an epoch >= theirs and must stand down.
+  if (journal->options_.promote_epoch != 0) {
+    if (journal->sm_.epoch() >= journal->options_.promote_epoch) {
+      return make_error(
+          ErrorCode::kAlreadyExists,
+          "journal already fenced at epoch " +
+              std::to_string(journal->sm_.epoch()) + " (wanted " +
+              std::to_string(journal->options_.promote_epoch) + ")");
+    }
+    journal->append_record(RecEpoch{journal->options_.promote_epoch});
+    if (auto st = journal->wal_->sync(); !st.ok()) {
+      return make_error(st.error().code,
+                        "epoch fence fsync: " + st.error().message);
+    }
+  }
   journal->recovered_ = journal->sm_.image();
   if (journal->m_last_lsn_ != nullptr) {
     journal->m_last_lsn_->set(static_cast<double>(journal->last_lsn_));
@@ -222,7 +282,8 @@ Result<std::unique_ptr<Journal>> Journal::open(
     Options options, const core::DispatcherImage& bootstrap_image,
     std::uint64_t bootstrap_lsn) {
   const std::vector<std::uint8_t> payload = encode_image(bootstrap_image);
-  if (auto st = write_snapshot(options.dir, bootstrap_lsn, payload);
+  if (auto st = write_snapshot(options.dir, bootstrap_lsn,
+                               bootstrap_image.epoch, payload);
       !st.ok()) {
     return st.error();
   }
@@ -239,6 +300,11 @@ std::uint64_t Journal::last_lsn() const {
   return last_lsn_;
 }
 
+std::uint64_t Journal::epoch() const {
+  std::lock_guard lock(mu_);
+  return sm_.epoch();
+}
+
 const ReplayStats& Journal::recovery_stats() const {
   return wal_->recovery_stats();
 }
@@ -252,7 +318,8 @@ Status Journal::snapshot_now() {
 
 Status Journal::snapshot_locked() {
   const std::vector<std::uint8_t> payload = encode_image(sm_.image());
-  if (auto st = write_snapshot(options_.dir, last_lsn_, payload); !st.ok()) {
+  if (auto st = write_snapshot(options_.dir, last_lsn_, sm_.epoch(), payload);
+      !st.ok()) {
     return st;
   }
   wal_->compact(last_lsn_);
@@ -281,18 +348,77 @@ void Journal::append_record(const LogRecord& record) {
     m_last_lsn_->set(static_cast<double>(last_lsn_));
   }
 
-  TailRecord tail_record;
-  tail_record.lsn = last_lsn_;
-  Wal::frame_record(tail_record.framed, payload.data(), payload.size());
-  tail_bytes_ += tail_record.framed.size();
-  tail_.push_back(std::move(tail_record));
+  TailRun tail_run;
+  tail_run.first_lsn = last_lsn_;
+  tail_run.count = 1;
+  Wal::frame_record(tail_run.framed, payload.data(), payload.size());
+  tail_bytes_ += tail_run.framed.size();
+  tail_.push_back(std::move(tail_run));
   while (tail_bytes_ > options_.repl_tail_bytes && tail_.size() > 1) {
     tail_bytes_ -= tail_.front().framed.size();
     tail_.pop_front();
   }
 
+  maybe_snapshot_locked(1);
+}
+
+void Journal::append_records(std::vector<LogRecord>& records) {
+  if (records.empty()) return;
+  std::lock_guard lock(mu_);
+  // One pass builds the exact segment bytes (concatenated frames), then a
+  // single Wal::append_frames call commits the run: one write syscall and
+  // one fsync-policy check per batch, and the frame buffer moves into the
+  // repl tail wholesale — no per-record tail allocation. Records are
+  // encoded before they are applied so apply can move their payloads
+  // (task specs, results) into the state machine instead of copying.
+  std::vector<std::uint8_t> frames;
+  for (LogRecord& record : records) {
+    encode_record(record, scratch_writer_);
+    Wal::frame_record(frames, scratch_writer_.data().data(),
+                      scratch_writer_.size());
+    sm_.apply(std::move(record));
+  }
+  auto lsn = wal_->append_frames(frames.data(), frames.size(), records.size());
+  if (lsn.ok()) {
+    last_lsn_ = lsn.value();
+  } else {
+    // Same contract as append_record: disk trouble must not take the
+    // dispatcher down, and the LSN sequence keeps advancing.
+    last_lsn_ += records.size();
+    LOG_ERROR("ha", "wal batch append failed at lsn %llu: %s",
+              static_cast<unsigned long long>(last_lsn_),
+              lsn.error().message.c_str());
+  }
+  TailRun tail_run;
+  tail_run.first_lsn = last_lsn_ - records.size() + 1;
+  tail_run.count = records.size();
+  tail_run.framed = std::move(frames);
+  tail_bytes_ += tail_run.framed.size();
+  tail_.push_back(std::move(tail_run));
+  while (tail_bytes_ > options_.repl_tail_bytes && tail_.size() > 1) {
+    tail_bytes_ -= tail_.front().framed.size();
+    tail_.pop_front();
+  }
+  if (m_records_ != nullptr) m_records_->inc(records.size());
+  if (m_last_lsn_ != nullptr) {
+    m_last_lsn_->set(static_cast<double>(last_lsn_));
+  }
+  maybe_snapshot_locked(records.size());
+}
+
+void Journal::maybe_snapshot_locked(std::uint64_t new_records) {
+  // Snapshot cadence scales with the live image: writing an O(state)
+  // snapshot every fixed interval turns a large backlog (e.g. 100k queued
+  // tasks) into quadratic append cost. Requiring at least k * live_size()
+  // records between snapshots caps the amortized snapshot cost at
+  // (per-entry image cost) / k per append; recovery replay is bounded by
+  // k * live_size records past the snapshot in exchange.
+  constexpr std::uint64_t kSnapshotLiveMultiplier = 8;
+  records_since_snapshot_ += new_records;
   if (options_.snapshot_every != 0 &&
-      ++records_since_snapshot_ >= options_.snapshot_every) {
+      records_since_snapshot_ >=
+          std::max<std::uint64_t>(options_.snapshot_every,
+                                  kSnapshotLiveMultiplier * sm_.live_size())) {
     if (auto st = snapshot_locked(); !st.ok()) {
       LOG_WARN("ha", "periodic snapshot failed: %s",
                st.error().message.c_str());
@@ -304,22 +430,39 @@ void Journal::append_record(const LogRecord& record) {
 Journal::Batch Journal::fetch(std::uint64_t from_lsn, std::uint32_t max_bytes) {
   std::lock_guard lock(mu_);
   Batch batch;
+  batch.epoch = sm_.epoch();
   batch.last_lsn = last_lsn_;
   if (from_lsn > last_lsn_) return batch;  // caught up: empty ReplAppend
 
-  if (!tail_.empty() && tail_.front().lsn <= from_lsn) {
+  if (!tail_.empty() && tail_.front().first_lsn <= from_lsn) {
     std::string payload;
     std::uint64_t first = 0;
     std::uint64_t last = 0;
-    for (const TailRecord& record : tail_) {
-      if (record.lsn < from_lsn) continue;
-      if (first != 0 && payload.size() + record.framed.size() > max_bytes) {
-        break;
+    for (const TailRun& run : tail_) {
+      const std::uint64_t run_last = run.first_lsn + run.count - 1;
+      if (run_last < from_lsn) continue;
+      // Walk the run's frames: skip those below from_lsn, then append
+      // frame by frame so the max_bytes cap still lands on a record
+      // boundary.
+      std::size_t off = 0;
+      std::uint64_t lsn = run.first_lsn;
+      for (; lsn < from_lsn; ++lsn) {
+        off += Wal::frame_size(run.framed.data() + off);
       }
-      if (first == 0) first = record.lsn;
-      payload.append(reinterpret_cast<const char*>(record.framed.data()),
-                     record.framed.size());
-      last = record.lsn;
+      bool full = false;
+      for (; lsn <= run_last; ++lsn) {
+        const std::size_t frame = Wal::frame_size(run.framed.data() + off);
+        if (first != 0 && payload.size() + frame > max_bytes) {
+          full = true;
+          break;
+        }
+        if (first == 0) first = lsn;
+        payload.append(
+            reinterpret_cast<const char*>(run.framed.data() + off), frame);
+        off += frame;
+        last = lsn;
+      }
+      if (full) break;
     }
     if (first != 0) {
       batch.first_lsn = first;

@@ -33,22 +33,31 @@
 
 namespace falkon::ha {
 
-// ---- snapshot files (snap-<lsn>.snap: "FSNP" v1, crc-checked) ----------
+// ---- snapshot files (snap-<lsn>.snap: "FSNP" v2, crc-checked) ----------
 
 struct SnapshotInfo {
   std::uint64_t lsn{0};
+  std::uint64_t epoch{0};  // promotion epoch at snapshot time (v1 files: 0)
   std::vector<std::uint8_t> payload;  // encode_image bytes
 };
 
-/// Write an image snapshot at `lsn` (temp file + rename: readers never see
-/// a partial snapshot) and prune all but the newest two.
+/// Write an image snapshot at `lsn` under `epoch` (temp file + rename:
+/// readers never see a partial snapshot) and prune all but the newest two.
 Status write_snapshot(const std::string& dir, std::uint64_t lsn,
+                      std::uint64_t epoch,
                       const std::vector<std::uint8_t>& payload);
 
 /// Newest snapshot that passes its CRC; corrupt ones are skipped in favour
-/// of older ones. nullopt when none is loadable.
+/// of older ones. nullopt when none is loadable. Reads both the v2 header
+/// (with epoch) and legacy v1 (epoch reported as 0).
 [[nodiscard]] std::optional<SnapshotInfo> load_latest_snapshot(
     const std::string& dir);
+
+/// Highest epoch recorded in `dir` (newest snapshot header and every
+/// RecEpoch past it). This is the promotion fence: a promoting process
+/// re-reads it after binding and aborts if someone recorded a higher
+/// epoch. 0 when the directory is empty or pre-epoch.
+[[nodiscard]] std::uint64_t read_log_epoch(const std::string& dir);
 
 // ---- the journal --------------------------------------------------------
 
@@ -64,6 +73,12 @@ class Journal final : public core::StateJournal, public core::ReplicationSource 
     /// In-memory framed-record tail served to pulling standbys; a follower
     /// further behind than this gets a full snapshot instead.
     std::size_t repl_tail_bytes{4u << 20};
+    /// Non-zero: fence recovery to this epoch. open() fails with
+    /// kAlreadyExists when the recovered epoch is already >= this
+    /// value (another process won the promotion race), otherwise appends
+    /// RecEpoch{promote_epoch} and fsyncs it before returning — the append
+    /// IS the election commit point for processes sharing the directory.
+    std::uint64_t promote_epoch{0};
     obs::Obs* obs{nullptr};
   };
 
@@ -84,12 +99,28 @@ class Journal final : public core::StateJournal, public core::ReplicationSource 
   [[nodiscard]] core::DispatcherImage recovered_image() const;
 
   [[nodiscard]] std::uint64_t last_lsn() const;
+  /// Current promotion epoch (recovered, possibly bumped by promote_epoch).
+  [[nodiscard]] std::uint64_t epoch() const;
   /// Torn-tail / record-count diagnostics from recovery.
   [[nodiscard]] const ReplayStats& recovery_stats() const;
 
   Status sync();
   /// Force a snapshot + compaction now (tests, clean shutdown).
   Status snapshot_now();
+
+  /// Apply + append one record under mu_. Every StateJournal hook funnels
+  /// here; AsyncJournal's drain thread calls it directly when replaying
+  /// its ring into this journal.
+  void append_record(const LogRecord& record);
+
+  /// Apply + append a run of records under one mu_ acquisition and one WAL
+  /// write (Wal::append_frames). Semantically identical to calling
+  /// append_record for each element in order; AsyncJournal's drain thread
+  /// uses it to amortize the per-record syscall and lock costs across a
+  /// ring batch. Records are consumed (payloads moved into the state
+  /// machine after encoding) — the caller's vector holds moved-from
+  /// records on return.
+  void append_records(std::vector<LogRecord>& records);
 
   // core::StateJournal -----------------------------------------------------
   void on_instance_created(InstanceId instance, ClientId client) override;
@@ -111,8 +142,10 @@ class Journal final : public core::StateJournal, public core::ReplicationSource 
  private:
   explicit Journal(Options options);
 
-  void append_record(const LogRecord& record);
   Status snapshot_locked();
+  /// Bump records_since_snapshot_ by `new_records` and snapshot when the
+  /// cadence (scaled by StateMachine::live_size) is due.
+  void maybe_snapshot_locked(std::uint64_t new_records);
 
   Options options_;
   mutable std::mutex mu_;
@@ -121,12 +154,19 @@ class Journal final : public core::StateJournal, public core::ReplicationSource 
   core::DispatcherImage recovered_;
   std::uint64_t last_lsn_{0};
   std::uint64_t records_since_snapshot_{0};
+  /// Reused record-encode buffer for append_records (guarded by mu_).
+  wire::Writer scratch_writer_;
 
-  struct TailRecord {
-    std::uint64_t lsn{0};
-    std::vector<std::uint8_t> framed;  // [len][crc][payload]
+  /// A run of `count` consecutive framed records starting at first_lsn —
+  /// one run per append_records batch (the batch's frame buffer moves in
+  /// wholesale, no per-record tail allocation), one per single append.
+  /// fetch() slices mid-run by walking frame headers.
+  struct TailRun {
+    std::uint64_t first_lsn{0};
+    std::uint64_t count{0};
+    std::vector<std::uint8_t> framed;  // [len][crc][payload] runs
   };
-  std::deque<TailRecord> tail_;
+  std::deque<TailRun> tail_;
   std::size_t tail_bytes_{0};
 
   obs::Counter* m_records_{nullptr};

@@ -57,6 +57,7 @@ struct EncodeVisitor {
     w.put_u64(r.instance.value);
     encode_task_ids(w, r.tasks);
   }
+  void operator()(const RecEpoch& r) const { w.put_u64(r.epoch); }
 };
 
 LogRecord decode_record_or_throw(Reader& r) {
@@ -110,6 +111,11 @@ LogRecord decode_record_or_throw(Reader& r) {
       rec.tasks = decode_task_ids(r);
       return rec;
     }
+    case RecType::kEpoch: {
+      RecEpoch rec;
+      rec.epoch = r.get_u64();
+      return rec;
+    }
   }
   throw wire::CodecError("unknown record type");
 }
@@ -125,6 +131,7 @@ const char* record_type_name(RecType type) {
     case RecType::kRequeue: return "Requeue";
     case RecType::kComplete: return "Complete";
     case RecType::kDelivered: return "Delivered";
+    case RecType::kEpoch: return "Epoch";
   }
   return "unknown";
 }
@@ -166,6 +173,9 @@ std::string record_summary(const LogRecord& record) {
       return "Delivered{instance=" + r.instance.str() +
              ", tasks=" + std::to_string(r.tasks.size()) + "}";
     }
+    std::string operator()(const RecEpoch& r) const {
+      return "Epoch{epoch=" + std::to_string(r.epoch) + "}";
+    }
   };
   return std::visit(Visitor{}, record);
 }
@@ -175,6 +185,12 @@ std::vector<std::uint8_t> encode_record(const LogRecord& record) {
   w.put_u8(static_cast<std::uint8_t>(record.index()));
   std::visit(EncodeVisitor{w}, record);
   return w.take();
+}
+
+void encode_record(const LogRecord& record, Writer& w) {
+  w.clear();
+  w.put_u8(static_cast<std::uint8_t>(record.index()));
+  std::visit(EncodeVisitor{w}, record);
 }
 
 Result<LogRecord> decode_record(const std::uint8_t* data, std::size_t size) {
@@ -191,6 +207,7 @@ Result<LogRecord> decode_record(const std::uint8_t* data, std::size_t size) {
 
 std::vector<std::uint8_t> encode_image(const core::DispatcherImage& image) {
   Writer w;
+  w.put_u64(image.epoch);
   w.put_u64(image.next_instance_id);
   w.put_u64(image.submitted);
   w.put_u64(image.completed);
@@ -221,6 +238,7 @@ Result<core::DispatcherImage> decode_image(const std::uint8_t* data,
   try {
     Reader r(data, size);
     core::DispatcherImage image;
+    image.epoch = r.get_u64();
     image.next_instance_id = r.get_u64();
     image.submitted = r.get_u64();
     image.completed = r.get_u64();
@@ -275,11 +293,13 @@ void StateMachine::reset() {
   tasks_.clear();
   order_counter_ = 0;
   next_instance_id_ = 0;
+  epoch_ = 0;
   submitted_ = completed_ = failed_ = retried_ = quarantined_ = 0;
 }
 
 void StateMachine::reset(const core::DispatcherImage& image) {
   reset();
+  epoch_ = image.epoch;
   next_instance_id_ = image.next_instance_id;
   submitted_ = image.submitted;
   completed_ = image.completed;
@@ -373,12 +393,60 @@ void StateMachine::apply(const LogRecord& record) {
       if (it == sm.instances_.end()) return;
       for (TaskId id : r.tasks) it->second.mailbox.erase(id.value);
     }
+    void operator()(const RecEpoch& r) {
+      sm.epoch_ = std::max(sm.epoch_, r.epoch);
+    }
   };
   std::visit(Visitor{*this}, record);
 }
 
+void StateMachine::apply(LogRecord&& record) {
+  if (auto* submit = std::get_if<RecSubmit>(&record)) {
+    auto it = instances_.find(submit->instance.value);
+    if (it == instances_.end()) return;  // destroyed since
+    if (submit->submit_seq != 0) {
+      it->second.last_submit_seq =
+          std::max(it->second.last_submit_seq, submit->submit_seq);
+    }
+    submitted_ += submit->tasks.size();
+    for (TaskSpec& spec : submit->tasks) {
+      const std::uint64_t id = spec.id.value;
+      tasks_[id] = TaskState{submit->instance, std::move(spec), 0, false,
+                             order_counter_++};
+    }
+    return;
+  }
+  if (auto* complete = std::get_if<RecComplete>(&record)) {
+    if (complete->quarantined) {
+      failed_ += 1;
+      quarantined_ += 1;
+    } else if (complete->result.success()) {
+      completed_ += 1;
+    } else {
+      failed_ += 1;
+    }
+    tasks_.erase(complete->result.task_id.value);
+    auto it = instances_.find(complete->instance.value);
+    if (it != instances_.end()) {
+      const std::uint64_t id = complete->result.task_id.value;
+      it->second.mailbox[id] = std::move(complete->result);
+    }
+    return;
+  }
+  apply(static_cast<const LogRecord&>(record));
+}
+
+std::size_t StateMachine::live_size() const {
+  std::size_t size = tasks_.size() + instances_.size();
+  for (const auto& [id, instance] : instances_) {
+    size += instance.mailbox.size();
+  }
+  return size;
+}
+
 core::DispatcherImage StateMachine::image() const {
   core::DispatcherImage image;
+  image.epoch = epoch_;
   image.next_instance_id = next_instance_id_;
   image.submitted = submitted_;
   image.completed = completed_;

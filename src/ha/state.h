@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "common/task.h"
 #include "core/journal.h"
+#include "wire/codec.h"
 
 namespace falkon::ha {
 
@@ -33,6 +34,7 @@ enum class RecType : std::uint8_t {
   kRequeue = 4,
   kComplete = 5,
   kDelivered = 6,
+  kEpoch = 7,
 };
 
 [[nodiscard]] const char* record_type_name(RecType type);
@@ -73,9 +75,17 @@ struct RecDelivered {
   std::vector<TaskId> tasks;
 };
 
+/// Epoch bump: appended exactly once per promotion (or fenced restart)
+/// before any other record of the new regime. A record's epoch is
+/// positional — the value of the last RecEpoch preceding it — so the
+/// steady-state append path pays nothing for fencing.
+struct RecEpoch {
+  std::uint64_t epoch{0};
+};
+
 using LogRecord =
     std::variant<RecInstanceCreated, RecInstanceDestroyed, RecSubmit,
-                 RecAssign, RecRequeue, RecComplete, RecDelivered>;
+                 RecAssign, RecRequeue, RecComplete, RecDelivered, RecEpoch>;
 
 [[nodiscard]] RecType record_type(const LogRecord& record);
 
@@ -84,6 +94,10 @@ using LogRecord =
 [[nodiscard]] std::string record_summary(const LogRecord& record);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_record(const LogRecord& record);
+/// Encode into a caller-owned Writer (clear()ed first): the journal's
+/// batch append path reuses one Writer so per-record encoding stops
+/// allocating once it has seen the largest record.
+void encode_record(const LogRecord& record, wire::Writer& w);
 /// kProtocolError on malformed input.
 [[nodiscard]] Result<LogRecord> decode_record(const std::uint8_t* data,
                                               std::size_t size);
@@ -114,12 +128,25 @@ class StateMachine {
   /// a snapshot may already incorporate part of a requeue run) — apply
   /// never throws on semantically-stale records.
   void apply(const LogRecord& record);
+  /// Move-enabled variant for callers that own the record (the journal's
+  /// batch append path): payload-carrying records (RecSubmit specs,
+  /// RecComplete results) donate their contents instead of copying.
+  void apply(LogRecord&& record);
 
   /// Canonical image of the current state (see images_equal for order).
   [[nodiscard]] core::DispatcherImage image() const;
 
   /// Non-terminal tasks currently tracked (queued or assigned).
   [[nodiscard]] std::size_t tasks_pending() const { return tasks_.size(); }
+
+  /// Rough live-state size in records (pending tasks + undelivered results
+  /// + instances) — the cost driver of image()/encode_image. The journal
+  /// scales its snapshot cadence by this so compaction of a large state
+  /// stays amortized O(1) per append instead of O(state) every interval.
+  [[nodiscard]] std::size_t live_size() const;
+
+  /// Highest epoch applied (last RecEpoch, or the snapshot's epoch).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
   struct InstanceState {
@@ -139,6 +166,7 @@ class StateMachine {
   std::unordered_map<std::uint64_t, TaskState> tasks_;  // by task id
   std::uint64_t order_counter_{0};
   std::uint64_t next_instance_id_{0};
+  std::uint64_t epoch_{0};
   std::uint64_t submitted_{0};
   std::uint64_t completed_{0};
   std::uint64_t failed_{0};

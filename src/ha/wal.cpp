@@ -206,6 +206,10 @@ void Wal::frame_record(std::vector<std::uint8_t>& out,
   out.insert(out.end(), payload, payload + size);
 }
 
+std::size_t Wal::frame_size(const std::uint8_t* frame) {
+  return kFrameHeaderBytes + get_u32(frame);
+}
+
 Status Wal::parse_frames(
     const std::uint8_t* data, std::size_t size,
     const std::function<void(const std::uint8_t*, std::size_t)>& fn) {
@@ -402,9 +406,13 @@ Status Wal::rotate_locked() {
 Status Wal::sync_locked() {
   if (fd_ < 0) return ok_status();
   const double start = monotonic_s();
-  if (::fsync(fd_) != 0) {
+  // fdatasync, not fsync: the append path only needs the data and the file
+  // size durable (the size IS how recovery finds the tail), not mtime and
+  // friends — skipping the metadata journal commit roughly halves the
+  // group-commit CPU bill on ext-family filesystems.
+  if (::fdatasync(fd_) != 0) {
     return make_error(ErrorCode::kIoError,
-                      std::string("fsync: ") + std::strerror(errno));
+                      std::string("fdatasync: ") + std::strerror(errno));
   }
   last_sync_monotonic_s_ = monotonic_s();
   if (m_fsyncs_ != nullptr) m_fsyncs_->inc();
@@ -459,6 +467,43 @@ Result<std::uint64_t> Wal::append(const std::uint8_t* payload,
 
 Result<std::uint64_t> Wal::append(const std::vector<std::uint8_t>& payload) {
   return append(payload.data(), payload.size());
+}
+
+Result<std::uint64_t> Wal::append_frames(const std::uint8_t* frames,
+                                         std::size_t size, std::size_t count) {
+  if (count == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "empty frame batch");
+  }
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return make_error(ErrorCode::kClosed, "wal closed");
+  // Rotation check once per batch: a batch may overshoot segment_bytes by
+  // its own size, which recovery and compaction are indifferent to.
+  if (segment_size_ >= options_.segment_bytes) {
+    if (auto st = rotate_locked(); !st.ok()) return st.error();
+  }
+  if (::write(fd_, frames, size) != static_cast<ssize_t>(size)) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("write: ") + std::strerror(errno));
+  }
+  segment_size_ += static_cast<std::uint64_t>(size);
+  next_lsn_ += count;
+  const std::uint64_t lsn = next_lsn_ - 1;
+  if (m_appends_ != nullptr) m_appends_->inc(count);
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kNone:
+      break;
+    case FsyncPolicy::kEveryRecord:
+      if (auto st = sync_locked(); !st.ok()) return st.error();
+      break;
+    case FsyncPolicy::kGroupCommit:
+      if (monotonic_s() - last_sync_monotonic_s_ >=
+          options_.group_commit_interval_s) {
+        if (auto st = sync_locked(); !st.ok()) return st.error();
+      }
+      break;
+  }
+  return lsn;
 }
 
 Status Wal::sync() {

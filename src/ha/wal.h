@@ -83,6 +83,13 @@ class Wal {
   Result<std::uint64_t> append(const std::uint8_t* payload, std::size_t size);
   Result<std::uint64_t> append(const std::vector<std::uint8_t>& payload);
 
+  /// Append `count` pre-framed records (concatenated frame_record output)
+  /// with a single write and one fsync-policy check; returns the LSN of
+  /// the last record. The group-commit fast path: AsyncJournal's drain
+  /// batches its ring into one of these instead of one syscall per record.
+  Result<std::uint64_t> append_frames(const std::uint8_t* frames,
+                                      std::size_t size, std::size_t count);
+
   /// Flush to disk regardless of policy (rotation and close also sync).
   Status sync();
 
@@ -113,6 +120,10 @@ class Wal {
   /// segment stores, reused as the ReplAppend payload encoding.
   static void frame_record(std::vector<std::uint8_t>& out,
                            const std::uint8_t* payload, std::size_t size);
+
+  /// Total on-disk size of the frame starting at `frame` (header +
+  /// payload), for walking concatenated frame runs.
+  static std::size_t frame_size(const std::uint8_t* frame);
 
   /// Strict parse of concatenated frames (replication batches): unlike
   /// replay, any malformed frame is an error — a torn frame inside an RPC

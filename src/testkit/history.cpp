@@ -120,6 +120,30 @@ std::vector<std::string> check_invariants(const RunHistory& history) {
     }
   }
 
+  // I9 one-primary-per-epoch (HA runs): the epoch fence means promotion
+  // epochs strictly increase across the run — two primaries sharing an
+  // epoch is a split brain.
+  if (history.ha_run) {
+    for (std::size_t i = 1; i < history.primary_epochs.size(); ++i) {
+      if (history.primary_epochs[i] <= history.primary_epochs[i - 1]) {
+        violate("I9 one-primary-per-epoch: primary " + std::to_string(i) +
+                " served epoch " + std::to_string(history.primary_epochs[i]) +
+                " after epoch " +
+                std::to_string(history.primary_epochs[i - 1]));
+      }
+    }
+  }
+
+  // I10 exactly-once-across-promotion (HA runs): nothing lost to the
+  // takeover — the client collected a result for every submitted task
+  // (uniqueness is I8's half of exactly-once).
+  if (history.ha_run && history.run_error.empty() &&
+      history.result_ids.size() != history.submitted) {
+    violate("I10 exactly-once-across-promotion: client collected " +
+            std::to_string(history.result_ids.size()) + " results for " +
+            std::to_string(history.submitted) + " submitted tasks");
+  }
+
   // Trace-replay invariants need the full history.
   if (!history.trace_complete) return violations;
   const std::vector<obs::TaskHistory> tasks =

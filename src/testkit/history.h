@@ -26,6 +26,11 @@
 //   I7  bundles drain       pending_bundles gauge reads 0 at quiesce and
 //                           bundle_seqs issued == retired (TCP backend)
 //   I8  unique delivery     no result id delivered to the client twice
+//   I9  one-primary-per-epoch (HA runs) promotion epochs strictly increase:
+//                           no two dispatchers ever served the same epoch
+//   I10 exactly-once-across-promotion (HA runs) despite takeovers the
+//                           client collected every submitted task exactly
+//                           once — dupes caught by I8, loss caught here
 //
 // check_conformance compares two histories of the *same* WorkloadSpec (DES
 // vs threaded stack): same task set, both quiescent, same per-task terminal
@@ -75,6 +80,12 @@ struct RunHistory {
 
   /// Periodic samples of the quarantine counter during the run (I6).
   std::vector<std::uint64_t> quarantine_series;
+
+  /// HA runs only (ha_run): the epoch of every dispatcher that served as
+  /// primary during the run, in serving order — the seed primary first,
+  /// then each promoted standby. I9 demands strict increase.
+  bool ha_run{false};
+  std::vector<std::uint64_t> primary_epochs;
 
   /// Fault-injector decisions that fired during the run (0 for fault-free
   /// specs). Lets suites assert their fault-bearing cases actually bit.

@@ -1,7 +1,11 @@
 #include "testkit/runners.h"
 
+#include <cstdlib>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -11,6 +15,11 @@
 #include "core/service.h"
 #include "core/service_tcp.h"
 #include "core/task_engine.h"
+#include "ha/async_journal.h"
+#include "ha/failover_client.h"
+#include "ha/journal.h"
+#include "ha/standby.h"
+#include "net/socket.h"
 #include "sim/sim_falkon.h"
 
 namespace falkon::testkit {
@@ -388,6 +397,320 @@ RunHistory run_tcp(const WorkloadSpec& spec, double deadline_s) {
 
   if (injector) history.injected_faults = injector->total_injected();
   fill_terminal_status(history, status);
+  history.events = obs.tracer().snapshot();
+  history.trace_complete = obs.tracer().complete();
+  return history;
+}
+
+namespace {
+
+/// Self-deleting scratch directory holding the HA run's journals.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char pattern[] = "/tmp/falkon_tk_XXXXXX";
+    if (const char* made = ::mkdtemp(pattern)) path_ = made;
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Reserve a free loopback port: bind ephemeral, note it, release. The
+/// election mesh needs every standby's port known before any is built.
+std::uint16_t reserve_port() {
+  auto listener = net::TcpListener::bind(0);
+  if (!listener.ok()) return 0;
+  const std::uint16_t port = listener.value().port();
+  listener.value().close();
+  return port;
+}
+
+}  // namespace
+
+RunHistory run_tcp_ha(const WorkloadSpec& spec, const HaRunOptions& ha) {
+  RunHistory history;
+  history.backend = "tcp-ha";
+  history.ha_run = true;
+  // Takeover requeues re-dispatch in-flight tasks outside the retry
+  // budget, so the per-task kGetWork count is not I5-accountable here.
+  history.max_retries = -1;
+
+  obs::Obs obs{trace_config()};
+  const fault::FaultPlan plan = fault_plan(spec);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (spec.faulty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan, &obs);
+  }
+
+  ScratchDir scratch;
+  if (scratch.path().empty()) {
+    history.run_error = "mkdtemp failed";
+    return history;
+  }
+  const std::string primary_dir = scratch.path() + "/primary";
+  std::error_code ec;
+  std::filesystem::create_directories(primary_dir, ec);
+
+  RealClock clock;
+
+  // Primary: journaled dispatcher, optionally with group commit moved off
+  // the submit/complete hot path via AsyncJournal.
+  ha::Journal::Options jopts = {};
+  jopts.dir = primary_dir;
+  jopts.obs = &obs;
+  auto opened = ha::Journal::open(jopts);
+  if (!opened.ok()) {
+    history.run_error = "journal open: " + opened.error().str();
+    return history;
+  }
+  const std::uint64_t primary_epoch = opened.value()->epoch();
+  std::unique_ptr<ha::AsyncJournal> async_journal;
+  std::unique_ptr<ha::Journal> sync_journal;
+  core::StateJournal* journal = nullptr;
+  core::ReplicationSource* repl = nullptr;
+  if (ha.async_journal) {
+    async_journal = std::make_unique<ha::AsyncJournal>(opened.take());
+    journal = async_journal.get();
+    repl = async_journal.get();
+  } else {
+    sync_journal = opened.take();
+    journal = sync_journal.get();
+    repl = sync_journal.get();
+  }
+
+  core::DispatcherConfig dconfig = dispatcher_config(spec, obs, injector.get());
+  dconfig.journal = journal;
+  auto dispatcher = std::make_unique<core::Dispatcher>(clock, dconfig);
+  auto server = std::make_unique<core::TcpDispatcherServer>(*dispatcher, &obs);
+  if (auto status = server->start(0, 0, injector.get()); !status.ok()) {
+    history.run_error = "server start: " + status.error().str();
+    return history;
+  }
+  server->set_replication_source(repl);
+  server->set_epoch(primary_epoch);
+  history.primary_epochs.push_back(primary_epoch);
+  const std::uint16_t rpc_port = server->rpc_port();
+  const std::uint16_t push_port = server->push_port();
+
+  // Standby fleet: full election mesh, every standby fencing through the
+  // primary's (shared, same-host) log directory.
+  const int standby_count = std::max(1, ha.standbys);
+  std::vector<std::uint16_t> election_ports(
+      static_cast<std::size_t>(standby_count));
+  for (auto& port : election_ports) port = reserve_port();
+  std::vector<std::unique_ptr<ha::Standby>> standbys;
+  for (int i = 0; i < standby_count; ++i) {
+    ha::StandbyOptions sopts;
+    sopts.primary_host = "127.0.0.1";
+    sopts.primary_rpc_port = rpc_port;
+    sopts.rank = static_cast<std::uint32_t>(i);
+    sopts.election_port = election_ports[static_cast<std::size_t>(i)];
+    for (int j = 0; j < standby_count; ++j) {
+      if (j == i) continue;
+      sopts.peers.push_back({"127.0.0.1",
+                             election_ports[static_cast<std::size_t>(j)],
+                             static_cast<std::uint32_t>(j)});
+    }
+    sopts.takeover_rpc_port = rpc_port;
+    sopts.takeover_push_port = push_port;
+    sopts.shared_log_dir = primary_dir;
+    sopts.standby_dir = scratch.path() + "/standby" + std::to_string(i);
+    std::filesystem::create_directories(sopts.standby_dir, ec);
+    sopts.poll_interval_s = 0.02;
+    sopts.failover_after_s = 0.35;
+    sopts.dispatcher = dispatcher_config(spec, obs, injector.get());
+    sopts.obs = &obs;
+    sopts.fault = injector.get();
+    auto standby = std::make_unique<ha::Standby>(clock, std::move(sopts));
+    if (auto status = standby->start(); !status.ok()) {
+      history.run_error = "standby start: " + status.error().str();
+      return history;
+    }
+    standbys.push_back(std::move(standby));
+  }
+
+  std::uint64_t next_node = 1;
+  std::vector<std::unique_ptr<core::TcpExecutorHarness>> fleet(
+      static_cast<std::size_t>(spec.executors));
+  const auto respawn = [&](int slot) {
+    auto& cell = fleet[static_cast<std::size_t>(slot)];
+    if (cell && cell->runtime().running()) return;
+    cell.reset();
+    core::ExecutorOptions eopts =
+        executor_options(spec, next_node++, obs, injector.get());
+    // Survive the takeover window: a generous link budget so in-flight
+    // calls ride out the downtime, and a fast takeover probe so push-mode
+    // executors rediscover the promoted dispatcher without polling.
+    eopts.link_retries = std::max(eopts.link_retries, 8);
+    eopts.register_retries = std::max(eopts.register_retries, 8);
+    eopts.backoff.base_s = 0.02;
+    eopts.backoff.max_s = 0.2;
+    eopts.takeover_probe_s = 0.1;
+    auto harness = std::make_unique<core::TcpExecutorHarness>(
+        clock, "127.0.0.1", rpc_port, push_port,
+        std::make_unique<core::SleepEngine>(clock), eopts);
+    if (harness->start().ok()) cell = std::move(harness);
+  };
+  for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
+
+  // The failover client carries the epoch protocol and submit_seq
+  // idempotence; one submit call per bundle is exactly-once end to end.
+  ha::FailoverClientOptions copts;
+  copts.host = "127.0.0.1";
+  copts.rpc_port = rpc_port;
+  copts.obs = &obs;
+  ha::FailoverClient client(copts);
+
+  auto created = client.create_instance(ClientId{1});
+  if (!created.ok()) {
+    history.run_error = "create_instance: " + created.error().str();
+    return history;
+  }
+  const InstanceId instance = created.value();
+
+  const std::vector<TaskSpec> tasks = make_tasks(spec);
+  for (std::size_t at = 0; at < tasks.size();
+       at += static_cast<std::size_t>(spec.client_bundle)) {
+    const std::size_t end = std::min(
+        tasks.size(), at + static_cast<std::size_t>(spec.client_bundle));
+    auto accepted = client.submit(
+        instance, {tasks.begin() + static_cast<long>(at),
+                   tasks.begin() + static_cast<long>(end)});
+    if (!accepted.ok()) {
+      history.run_error = "submit: " + accepted.error().str();
+      return history;
+    }
+  }
+
+  // Drive to quiesce with the kill schedule folded in. Promotions are
+  // recorded the moment they are observed so primary_epochs keeps serving
+  // order (I9).
+  const std::uint64_t kill_at =
+      spec.kill_primary_after > 0
+          ? static_cast<std::uint64_t>(spec.kill_primary_after *
+                                       static_cast<double>(spec.task_count))
+          : std::numeric_limits<std::uint64_t>::max();
+  bool primary_killed = spec.kill_primary_after <= 0;
+  bool winner_killed = !ha.kill_winner_too || standby_count < 2;
+  int winner = -1;
+  std::chrono::steady_clock::time_point winner_seen{};
+  std::vector<bool> recorded(standbys.size(), false);
+  const auto record_promotions = [&] {
+    for (std::size_t i = 0; i < standbys.size(); ++i) {
+      if (recorded[i] || standbys[i] == nullptr || !standbys[i]->promoted()) {
+        continue;
+      }
+      recorded[i] = true;
+      history.primary_epochs.push_back(standbys[i]->epoch());
+      if (winner < 0) winner = static_cast<int>(i);
+    }
+  };
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(ha.deadline_s * 1000));
+  core::DispatcherStatus last{};
+  for (;;) {
+    if (auto status = client.status(); status.ok()) last = status.value();
+    history.quarantine_series.push_back(last.quarantined);
+    record_promotions();
+
+    if (!primary_killed && last.completed >= kill_at) {
+      // Kill the primary: stop serving, then release the journal (the
+      // AsyncJournal destructor drains) so the election winner can fence
+      // and recover the shared directory.
+      server->stop();
+      server.reset();
+      dispatcher->shutdown();
+      dispatcher.reset();
+      async_journal.reset();
+      sync_journal.reset();
+      primary_killed = true;
+    }
+
+    if (primary_killed && !winner_killed && winner >= 0) {
+      if (winner_seen == std::chrono::steady_clock::time_point{}) {
+        winner_seen = std::chrono::steady_clock::now();
+      } else if (std::chrono::steady_clock::now() - winner_seen >
+                 std::chrono::milliseconds(300)) {
+        auto& victim = standbys[static_cast<std::size_t>(winner)];
+        victim->stop();
+        if (victim->dispatcher() != nullptr) {
+          victim->dispatcher()->shutdown();
+        }
+        victim.reset();  // releases the shared dir for the next winner
+        winner_killed = true;
+        winner = -1;
+      }
+    }
+
+    if (primary_killed && winner_killed &&
+        last.submitted >= spec.task_count &&
+        last.completed + last.failed >= last.submitted) {
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      history.run_error =
+          "stalled: completed=" + std::to_string(last.completed) +
+          " failed=" + std::to_string(last.failed) +
+          " queued=" + std::to_string(last.queued) +
+          " dispatched=" + std::to_string(last.dispatched) + " of " +
+          std::to_string(spec.task_count);
+      break;
+    }
+    if (spec.supervise) {
+      for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
+    }
+    nap_ms(5);
+  }
+  record_promotions();
+
+  // Collect every result through the failover client (dedups re-delivery
+  // across the takeover; I10 demands one per submitted task).
+  int idle_polls = 0;
+  while (history.run_error.empty() &&
+         history.result_ids.size() < spec.task_count && idle_polls < 10) {
+    auto batch = client.wait_results(instance, 256, 0.2);
+    if (!batch.ok() || batch.value().empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const auto& result : batch.value()) {
+      history.result_ids.push_back(result.task_id.value);
+    }
+  }
+
+  core::DispatcherStatus final_status = last;
+  if (auto status = client.status(); status.ok()) final_status = status.value();
+  record_promotions();
+
+  // Orderly teardown: fleet first (deregister against whoever serves),
+  // then standbys, then whatever remains of the original primary.
+  for (auto& harness : fleet) harness.reset();
+  for (auto& standby : standbys) {
+    if (standby == nullptr) continue;
+    standby->stop();
+    if (standby->dispatcher() != nullptr) standby->dispatcher()->shutdown();
+    standby.reset();
+  }
+  if (server != nullptr) server->stop();
+  server.reset();
+  if (dispatcher != nullptr) dispatcher->shutdown();
+  dispatcher.reset();
+  async_journal.reset();
+  sync_journal.reset();
+
+  if (injector) history.injected_faults = injector->total_injected();
+  fill_terminal_status(history, final_status);
   history.events = obs.tracer().snapshot();
   history.trace_complete = obs.tracer().complete();
   return history;

@@ -34,4 +34,27 @@ namespace falkon::testkit {
 [[nodiscard]] RunHistory run_tcp(const WorkloadSpec& spec,
                                  double deadline_s = 60.0);
 
+/// HA-runner knobs beyond the spec (the spec itself carries
+/// kill_primary_after so property shrinking can turn the takeover off).
+struct HaRunOptions {
+  /// Election-capable warm standbys tailing the primary.
+  int standbys{2};
+  /// After the first takeover has settled, kill the winning standby too,
+  /// forcing a second election among the survivors (needs standbys >= 2).
+  bool kill_winner_too{false};
+  /// Journal the primary through ha::AsyncJournal (group commit off the
+  /// hot path); false = synchronous ha::Journal.
+  bool async_journal{true};
+  double deadline_s{90.0};
+};
+
+/// Run the spec on the loopback-TCP stack with a journaled primary and a
+/// fleet of warm standbys; honours spec.kill_primary_after by killing the
+/// primary mid-run and riding the election/takeover with an
+/// ha::FailoverClient. Fills ha_run/primary_epochs so check_invariants
+/// exercises I9 (one primary per epoch) and I10 (exactly-once across
+/// promotion).
+[[nodiscard]] RunHistory run_tcp_ha(const WorkloadSpec& spec,
+                                    const HaRunOptions& ha = {});
+
 }  // namespace falkon::testkit

@@ -63,6 +63,7 @@ std::string describe(const WorkloadSpec& spec) {
   out += ", .replay_timeout_s=" + std::to_string(spec.replay_timeout_s);
   out += ", .supervise=" + std::string(spec.supervise ? "true" : "false");
   out += ", .fault_intensity=" + std::to_string(spec.fault_intensity);
+  out += ", .kill_primary_after=" + std::to_string(spec.kill_primary_after);
   return out + "}";
 }
 
@@ -79,6 +80,7 @@ std::uint64_t spec_size(const WorkloadSpec& spec) {
   if (spec.max_bundle_runtime_s > 0) size += 1;
   if (spec.client_bundle > 1) size += 1;
   if (!spec.piggyback) size += 1;
+  if (spec.kill_primary_after > 0) size += 8;  // a takeover dominates knobs
   return size;
 }
 
@@ -101,6 +103,9 @@ std::vector<WorkloadSpec> shrink_candidates(const WorkloadSpec& spec) {
     push([](WorkloadSpec& s) { s.executors -= 1; });
   }
   if (spec.faulty()) push([](WorkloadSpec& s) { s.fault_intensity = 0.0; });
+  if (spec.kill_primary_after > 0) {
+    push([](WorkloadSpec& s) { s.kill_primary_after = 0.0; });
+  }
   if (spec.task_length_s > 0) push([](WorkloadSpec& s) { s.task_length_s = 0.0; });
   if (spec.adaptive_bundle) {
     push([](WorkloadSpec& s) { s.adaptive_bundle = false; });

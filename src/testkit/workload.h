@@ -60,6 +60,12 @@ struct WorkloadSpec {
   /// full completion even for fault-bearing specs.
   double fault_intensity{0.0};
 
+  // ---- HA failover (consumed by run_tcp_ha; ignored elsewhere) ----
+  /// Kill the primary dispatcher once this fraction of tasks has completed
+  /// (0 disables). A standby is expected to win the election, take over the
+  /// primary's endpoints under a bumped epoch, and finish the workload.
+  double kill_primary_after{0.0};
+
   [[nodiscard]] bool faulty() const { return fault_intensity > 0.0; }
 };
 

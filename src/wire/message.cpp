@@ -72,6 +72,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kReplSnapshot: return "ReplSnapshot";
     case MsgType::kReplAck: return "ReplAck";
     case MsgType::kReplAckReply: return "ReplAckReply";
+    case MsgType::kElectionPing: return "ElectionPing";
+    case MsgType::kElectionAck: return "ElectionAck";
   }
   return "Unknown";
 }
@@ -150,16 +152,26 @@ std::string debug_summary(const Message& message) {
                  "}";
         } else if constexpr (std::is_same_v<T, ReplFetch>) {
           out += "{from_lsn=" + num(m.from_lsn) +
-                 ", max_bytes=" + num(m.max_bytes) + "}";
+                 ", max_bytes=" + num(m.max_bytes) +
+                 ", epoch=" + num(m.epoch) + "}";
         } else if constexpr (std::is_same_v<T, ReplAppend>) {
           out += "{first_lsn=" + num(m.first_lsn) +
                  ", last_lsn=" + num(m.last_lsn) +
-                 ", bytes=" + num(m.payload.size()) + "}";
+                 ", bytes=" + num(m.payload.size()) +
+                 ", epoch=" + num(m.epoch) + "}";
         } else if constexpr (std::is_same_v<T, ReplSnapshot>) {
           out += "{lsn=" + num(m.lsn) + ", bytes=" + num(m.payload.size()) +
-                 "}";
+                 ", epoch=" + num(m.epoch) + "}";
         } else if constexpr (std::is_same_v<T, ReplAck>) {
-          out += "{applied_lsn=" + num(m.applied_lsn) + "}";
+          out += "{applied_lsn=" + num(m.applied_lsn) +
+                 ", epoch=" + num(m.epoch) + "}";
+        } else if constexpr (std::is_same_v<T, ElectionPing>) {
+          out += "{epoch=" + num(m.epoch) + ", rank=" + num(m.rank) +
+                 ", applied_lsn=" + num(m.applied_lsn) + "}";
+        } else if constexpr (std::is_same_v<T, ElectionAck>) {
+          out += "{epoch=" + num(m.epoch) + ", rank=" + num(m.rank) +
+                 ", applied_lsn=" + num(m.applied_lsn) +
+                 (m.promoted ? ", promoted" : "") + "}";
         }
       },
       message);
@@ -275,8 +287,12 @@ struct EncodeVisitor {
     w.put_u64(m.instance_id.value);
     encode_task_specs(w, m.tasks);
     w.put_u64(m.submit_seq);
+    w.put_u64(m.epoch);
   }
-  void operator()(const SubmitReply& m) const { w.put_u64(m.accepted); }
+  void operator()(const SubmitReply& m) const {
+    w.put_u64(m.accepted);
+    w.put_u64(m.epoch);
+  }
   void operator()(const RegisterRequest& m) const {
     w.put_u64(m.node_id.value);
     w.put_string(m.host);
@@ -285,6 +301,7 @@ struct EncodeVisitor {
   }
   void operator()(const RegisterReply& m) const {
     w.put_u64(m.executor_id.value);
+    w.put_u64(m.epoch);
   }
   void operator()(const Notify& m) const {
     w.put_u64(m.executor_id.value);
@@ -318,6 +335,7 @@ struct EncodeVisitor {
     w.put_u32(m.registered_executors);
     w.put_u32(m.busy_executors);
     w.put_u32(m.idle_executors);
+    w.put_u64(m.epoch);
   }
   void operator()(const DeregisterRequest& m) const {
     w.put_u64(m.executor_id.value);
@@ -355,18 +373,35 @@ struct EncodeVisitor {
   void operator()(const ReplFetch& m) const {
     w.put_u64(m.from_lsn);
     w.put_u32(m.max_bytes);
+    w.put_u64(m.epoch);
   }
   void operator()(const ReplAppend& m) const {
     w.put_u64(m.first_lsn);
     w.put_u64(m.last_lsn);
     w.put_string(m.payload);
+    w.put_u64(m.epoch);
   }
   void operator()(const ReplSnapshot& m) const {
     w.put_u64(m.lsn);
     w.put_string(m.payload);
+    w.put_u64(m.epoch);
   }
-  void operator()(const ReplAck& m) const { w.put_u64(m.applied_lsn); }
+  void operator()(const ReplAck& m) const {
+    w.put_u64(m.applied_lsn);
+    w.put_u64(m.epoch);
+  }
   void operator()(const ReplAckReply&) const {}
+  void operator()(const ElectionPing& m) const {
+    w.put_u64(m.epoch);
+    w.put_u32(m.rank);
+    w.put_u64(m.applied_lsn);
+  }
+  void operator()(const ElectionAck& m) const {
+    w.put_u64(m.epoch);
+    w.put_u32(m.rank);
+    w.put_u64(m.applied_lsn);
+    w.put_bool(m.promoted);
+  }
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -390,10 +425,15 @@ Message decode_payload(MsgType type, Reader& r) {
       m.instance_id = InstanceId{r.get_u64()};
       m.tasks = decode_task_specs(r);
       m.submit_seq = r.get_u64();
+      m.epoch = r.get_u64();
       return m;
     }
-    case MsgType::kSubmitReply:
-      return SubmitReply{r.get_u64()};
+    case MsgType::kSubmitReply: {
+      SubmitReply m;
+      m.accepted = r.get_u64();
+      m.epoch = r.get_u64();
+      return m;
+    }
     case MsgType::kRegisterRequest: {
       RegisterRequest m;
       m.node_id = NodeId{r.get_u64()};
@@ -402,8 +442,12 @@ Message decode_payload(MsgType type, Reader& r) {
       m.allocation_id = AllocationId{r.get_u64()};
       return m;
     }
-    case MsgType::kRegisterReply:
-      return RegisterReply{ExecutorId{r.get_u64()}};
+    case MsgType::kRegisterReply: {
+      RegisterReply m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.epoch = r.get_u64();
+      return m;
+    }
     case MsgType::kNotify: {
       Notify m;
       m.executor_id = ExecutorId{r.get_u64()};
@@ -450,6 +494,7 @@ Message decode_payload(MsgType type, Reader& r) {
       m.registered_executors = r.get_u32();
       m.busy_executors = r.get_u32();
       m.idle_executors = r.get_u32();
+      m.epoch = r.get_u64();
       return m;
     }
     case MsgType::kDeregisterRequest: {
@@ -502,6 +547,7 @@ Message decode_payload(MsgType type, Reader& r) {
       ReplFetch m;
       m.from_lsn = r.get_u64();
       m.max_bytes = r.get_u32();
+      m.epoch = r.get_u64();
       return m;
     }
     case MsgType::kReplAppend: {
@@ -509,18 +555,39 @@ Message decode_payload(MsgType type, Reader& r) {
       m.first_lsn = r.get_u64();
       m.last_lsn = r.get_u64();
       m.payload = r.get_string();
+      m.epoch = r.get_u64();
       return m;
     }
     case MsgType::kReplSnapshot: {
       ReplSnapshot m;
       m.lsn = r.get_u64();
       m.payload = r.get_string();
+      m.epoch = r.get_u64();
       return m;
     }
-    case MsgType::kReplAck:
-      return ReplAck{r.get_u64()};
+    case MsgType::kReplAck: {
+      ReplAck m;
+      m.applied_lsn = r.get_u64();
+      m.epoch = r.get_u64();
+      return m;
+    }
     case MsgType::kReplAckReply:
       return ReplAckReply{};
+    case MsgType::kElectionPing: {
+      ElectionPing m;
+      m.epoch = r.get_u64();
+      m.rank = r.get_u32();
+      m.applied_lsn = r.get_u64();
+      return m;
+    }
+    case MsgType::kElectionAck: {
+      ElectionAck m;
+      m.epoch = r.get_u64();
+      m.rank = r.get_u32();
+      m.applied_lsn = r.get_u64();
+      m.promoted = r.get_bool();
+      return m;
+    }
   }
   throw CodecError("unknown message type");
 }

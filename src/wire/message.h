@@ -55,6 +55,8 @@ enum class MsgType : std::uint8_t {
   kReplSnapshot = 27,
   kReplAck = 28,
   kReplAckReply = 29,
+  kElectionPing = 30,
+  kElectionAck = 31,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -87,10 +89,16 @@ struct SubmitRequest {
   /// Per-instance, strictly increasing submit sequence for exactly-once
   /// submission across dispatcher failover (docs/HA.md); 0 = dedup unused.
   std::uint64_t submit_seq{0};
+  /// Dispatcher epoch the client believes it is talking to; a promoted
+  /// dispatcher rejects submits stamped with an older epoch (fencing,
+  /// docs/HA.md). 0 = unfenced legacy client, always accepted.
+  std::uint64_t epoch{0};
 };
 
 struct SubmitReply {
   std::uint64_t accepted{0};
+  /// Current dispatcher epoch — how clients learn the epoch after failover.
+  std::uint64_t epoch{0};
 };
 
 struct RegisterRequest {
@@ -102,6 +110,8 @@ struct RegisterRequest {
 
 struct RegisterReply {
   ExecutorId executor_id;
+  /// Current dispatcher epoch — executors learn it on (re-)registration.
+  std::uint64_t epoch{0};
 };
 
 /// Sentinel resource key in a Notify that asks the executor to release
@@ -152,6 +162,8 @@ struct StatusReply {
   std::uint32_t registered_executors{0};
   std::uint32_t busy_executors{0};
   std::uint32_t idle_executors{0};
+  /// Current dispatcher epoch (0 on pre-HA dispatchers).
+  std::uint64_t epoch{0};
 };
 
 struct DeregisterRequest {
@@ -218,10 +230,14 @@ struct ResultBundle {
 // ---- log replication (docs/HA.md) ------------------------------------
 
 /// Standby -> primary: send log records starting at `from_lsn`. Doubles as
-/// a cumulative acknowledgement of everything below `from_lsn`.
+/// a cumulative acknowledgement of everything below `from_lsn`. `epoch` is
+/// the highest epoch the follower has applied; a source at a higher epoch
+/// still serves the fetch (the records carry the epoch bump), but a source
+/// at a LOWER epoch must refuse — it is the zombie.
 struct ReplFetch {
   std::uint64_t from_lsn{1};
   std::uint32_t max_bytes{1u << 20};
+  std::uint64_t epoch{0};
 };
 
 /// Primary -> standby: a run of WAL-framed records [first_lsn, last_lsn]
@@ -233,6 +249,8 @@ struct ReplAppend {
   std::uint64_t first_lsn{0};
   std::uint64_t last_lsn{0};
   std::string payload;
+  /// Source's current epoch; followers drop batches from a stale epoch.
+  std::uint64_t epoch{0};
 };
 
 /// Primary -> standby: the follower fell behind the primary's in-memory
@@ -240,15 +258,39 @@ struct ReplAppend {
 struct ReplSnapshot {
   std::uint64_t lsn{0};
   std::string payload;
+  /// Source's current epoch; followers drop snapshots from a stale epoch.
+  std::uint64_t epoch{0};
 };
 
 /// Standby -> primary: explicit progress report, drives the primary's
 /// replication-lag gauge (falkon.ha.repl.lag).
 struct ReplAck {
   std::uint64_t applied_lsn{0};
+  std::uint64_t epoch{0};
 };
 
 struct ReplAckReply {};
+
+// ---- standby lease election (docs/HA.md) -----------------------------
+
+/// Standby -> standby: "the primary looks dead to me — are you alive, and
+/// who should promote?". Sent to every configured peer when the failover
+/// timer expires; the sender promotes only if no live peer outranks it
+/// (lower rank wins) and none has already promoted.
+struct ElectionPing {
+  std::uint64_t epoch{0};        // sender's highest applied epoch
+  std::uint32_t rank{0};         // sender's configured rank
+  std::uint64_t applied_lsn{0};  // sender's replication progress
+};
+
+/// Election answer: receiver's identity and progress. `promoted` short-
+/// circuits the election — the sender adopts the existing winner.
+struct ElectionAck {
+  std::uint64_t epoch{0};
+  std::uint32_t rank{0};
+  std::uint64_t applied_lsn{0};
+  bool promoted{false};
+};
 
 // NOTE: MsgType values equal variant indices (message_type() casts the
 // index) — new messages must be appended at the end of BOTH lists.
@@ -261,7 +303,7 @@ using Message =
                  DeregisterReply, WaitResultsRequest, WaitResultsReply,
                  ClientNotify, HeartbeatRequest, HeartbeatReply, TaskBundle,
                  ResultBundle, ReplFetch, ReplAppend, ReplSnapshot, ReplAck,
-                 ReplAckReply>;
+                 ReplAckReply, ElectionPing, ElectionAck>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 

@@ -25,6 +25,8 @@
 #include "ha/standby.h"
 #include "obs/obs.h"
 #include "sim/sim_falkon.h"
+#include "testkit/history.h"
+#include "testkit/runners.h"
 
 namespace falkon::core {
 namespace {
@@ -384,7 +386,9 @@ TEST(ChaosHa, PrimaryKilledMidRunStandbyFinishesExactlyOnce) {
   for (;;) {
     auto active_status = [&]() -> DispatcherStatus {
       if (primary_alive) return dispatcher->status();
-      if (standby.dispatcher() != nullptr) return standby.dispatcher()->status();
+      // promoted() is the release/acquire gate for dispatcher(): reading
+      // the pointer before promotion races the tail thread's promote().
+      if (standby.promoted()) return standby.dispatcher()->status();
       return DispatcherStatus{};
     };
     const DispatcherStatus status = active_status();
@@ -449,6 +453,42 @@ TEST(ChaosHa, PrimaryKilledMidRunStandbyFinishesExactlyOnce) {
 
   for (auto& harness : fleet) harness.reset();
   standby.stop();
+}
+
+// Double takeover under the invariant model: a multi-standby deployment
+// loses its primary, exactly one standby wins the election and takes over;
+// then the winner is killed too and the second election among the
+// survivors must seat exactly one new primary at a strictly higher epoch.
+// The testkit HA runner drives the whole story and the I1-I10 invariants
+// (notably I9 one-primary-per-epoch, I10 exactly-once-across-promotion)
+// check it offline.
+TEST(ChaosHa, DoubleFailoverSecondElectionPromotesSurvivor) {
+  testkit::WorkloadSpec spec;
+  spec.seed = 20260808;
+  spec.task_count = 200;
+  spec.executors = 4;
+  spec.task_length_s = 0.01;
+  spec.client_bundle = 32;
+  spec.max_retries = 100;
+  spec.replay_timeout_s = 0.5;
+  spec.kill_primary_after = 0.25;
+
+  testkit::HaRunOptions ha;
+  ha.standbys = 3;
+  ha.kill_winner_too = true;
+  ha.deadline_s = 120.0;
+
+  const testkit::RunHistory history = testkit::run_tcp_ha(spec, ha);
+  const auto violations = testkit::check_invariants(history);
+  EXPECT_TRUE(violations.empty()) << testkit::join_violations(violations);
+  // Seed primary + exactly two promotions, epochs strictly climbing.
+  ASSERT_EQ(history.primary_epochs.size(), 3u)
+      << "expected primary + two promoted standbys";
+  EXPECT_EQ(history.primary_epochs[0], 0u);
+  EXPECT_GT(history.primary_epochs[1], 0u);
+  EXPECT_GT(history.primary_epochs[2], history.primary_epochs[1]);
+  EXPECT_EQ(history.completed, spec.task_count);
+  EXPECT_EQ(history.result_ids.size(), spec.task_count);
 }
 
 // ---- DES soak ----

@@ -389,12 +389,13 @@ TEST(Snapshot, NewestWinsAndCorruptFallsBack) {
   TempDir dir;
   const std::vector<std::uint8_t> older{1, 2, 3};
   const std::vector<std::uint8_t> newer{9, 8, 7, 6};
-  ASSERT_TRUE(write_snapshot(dir.path(), 10, older).ok());
-  ASSERT_TRUE(write_snapshot(dir.path(), 20, newer).ok());
+  ASSERT_TRUE(write_snapshot(dir.path(), 10, 1, older).ok());
+  ASSERT_TRUE(write_snapshot(dir.path(), 20, 2, newer).ok());
 
   auto loaded = load_latest_snapshot(dir.path());
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->lsn, 20u);
+  EXPECT_EQ(loaded->epoch, 2u);
   EXPECT_EQ(loaded->payload, newer);
 
   // Corrupt the newest: load falls back to the older one.
@@ -407,13 +408,14 @@ TEST(Snapshot, NewestWinsAndCorruptFallsBack) {
   loaded = load_latest_snapshot(dir.path());
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->lsn, 10u);
+  EXPECT_EQ(loaded->epoch, 1u);
   EXPECT_EQ(loaded->payload, older);
 }
 
 TEST(Snapshot, PrunesToNewestTwo) {
   TempDir dir;
   for (std::uint64_t lsn = 1; lsn <= 6; ++lsn) {
-    ASSERT_TRUE(write_snapshot(dir.path(), lsn, {std::uint8_t(lsn)}).ok());
+    ASSERT_TRUE(write_snapshot(dir.path(), lsn, lsn, {std::uint8_t(lsn)}).ok());
   }
   std::size_t count = 0;
   for (const auto& entry : fs::directory_iterator(dir.path())) {
@@ -680,6 +682,90 @@ TEST(Journal, BootstrapFromImageContinuesLsnNumbering) {
   auto reopened = Journal::open(options);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened.value()->last_lsn(), 58u);
+}
+
+// ---- journal: promotion epochs ---------------------------------------------
+
+TEST(JournalEpoch, PromoteEpochFencesSharedDirectory) {
+  TempDir dir;
+  Journal::Options options;
+  options.dir = dir.path();
+  {
+    auto journal = Journal::open(options);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_EQ(journal.value()->epoch(), 0u);
+    StateMachine shadow;
+    drive(*journal.value(), shadow, 8);
+  }
+
+  // First promoter wins: recovery appends RecEpoch{3} and fsyncs it before
+  // open() returns — the append is the election commit point.
+  options.promote_epoch = 3;
+  {
+    auto winner = Journal::open(options);
+    ASSERT_TRUE(winner.ok()) << winner.error().str();
+    EXPECT_EQ(winner.value()->epoch(), 3u);
+  }
+  EXPECT_EQ(read_log_epoch(dir.path()), 3u);
+
+  // A racing promoter targeting the same (or an older) epoch loses the
+  // fence: the directory already records an epoch >= its claim.
+  auto loser = Journal::open(options);
+  ASSERT_FALSE(loser.ok());
+  EXPECT_EQ(loser.error().code, ErrorCode::kAlreadyExists);
+  options.promote_epoch = 2;
+  auto stale = Journal::open(options);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, ErrorCode::kAlreadyExists);
+
+  // A later regime still gets through, and the epoch sticks across an
+  // unfenced reopen.
+  options.promote_epoch = 4;
+  {
+    auto next = Journal::open(options);
+    ASSERT_TRUE(next.ok()) << next.error().str();
+    EXPECT_EQ(next.value()->epoch(), 4u);
+  }
+  options.promote_epoch = 0;
+  auto plain = Journal::open(options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value()->epoch(), 4u);
+}
+
+TEST(JournalEpoch, EpochSurvivesSnapshotCompaction) {
+  TempDir dir;
+  Journal::Options options;
+  options.dir = dir.path();
+  options.promote_epoch = 7;
+  {
+    auto journal = Journal::open(options);
+    ASSERT_TRUE(journal.ok()) << journal.error().str();
+    StateMachine shadow;
+    drive(*journal.value(), shadow, 16);
+    // Compaction may drop the segment holding RecEpoch{7}; the snapshot
+    // header must carry the epoch forward.
+    ASSERT_TRUE(journal.value()->snapshot_now().ok());
+  }
+  EXPECT_EQ(read_log_epoch(dir.path()), 7u);
+  options.promote_epoch = 0;
+  auto reopened = Journal::open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().str();
+  EXPECT_EQ(reopened.value()->epoch(), 7u);
+}
+
+TEST(JournalEpoch, BootstrapOpenHonoursPromoteEpoch) {
+  TempDir dir;
+  StateMachine warm;
+  warm.apply(RecInstanceCreated{InstanceId{1}, ClientId{2}});
+
+  Journal::Options options;
+  options.dir = dir.path();
+  options.promote_epoch = 5;
+  auto journal = Journal::open(options, warm.image(), 12);
+  ASSERT_TRUE(journal.ok()) << journal.error().str();
+  EXPECT_EQ(journal.value()->epoch(), 5u);
+  journal.value().reset();
+  EXPECT_EQ(read_log_epoch(dir.path()), 5u);
 }
 
 }  // namespace

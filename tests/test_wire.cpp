@@ -263,6 +263,46 @@ TEST_P(MessageRoundtrip, RandomizedMessagesSurviveEncodeDecode) {
                          : static_cast<std::uint32_t>(rng.uniform_int(0, 16));
       messages.push_back(std::move(m));
     }
+    // Epoch-carrying replication + election messages: the epoch must
+    // survive the round trip bit-exactly (fencing compares it).
+    {
+      ReplFetch m;
+      m.from_lsn = rng.next_u64();
+      m.max_bytes = static_cast<std::uint32_t>(rng.next_u64());
+      m.epoch = rng.next_u64();
+      messages.push_back(m);
+    }
+    {
+      ReplAppend m;
+      m.first_lsn = rng.next_u64();
+      m.last_lsn = rng.next_u64();
+      m.payload.assign(rng.uniform_int(0, 64), 'r');
+      m.epoch = rng.next_u64();
+      messages.push_back(std::move(m));
+    }
+    {
+      ReplSnapshot m;
+      m.lsn = rng.next_u64();
+      m.payload.assign(rng.uniform_int(0, 64), 's');
+      m.epoch = rng.next_u64();
+      messages.push_back(std::move(m));
+    }
+    messages.push_back(ReplAck{rng.next_u64(), rng.next_u64()});
+    {
+      ElectionPing m;
+      m.epoch = rng.next_u64();
+      m.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 64));
+      m.applied_lsn = rng.next_u64();
+      messages.push_back(m);
+    }
+    {
+      ElectionAck m;
+      m.epoch = rng.next_u64();
+      m.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 64));
+      m.applied_lsn = rng.next_u64();
+      m.promoted = rng.bernoulli(0.5);
+      messages.push_back(m);
+    }
 
     for (const auto& message : messages) {
       auto bytes = encode_message(message);
@@ -316,6 +356,83 @@ TEST_P(DecoderFuzz, NeverCrashesOnHostileInput) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(11, 22, 33, 44));
+
+/// Epoch-field fuzz: every epoch-carrying message survives truncation at
+/// every byte boundary — including cuts through the (trailing) epoch
+/// varint — and random corruption, yielding a clean decode or
+/// kProtocolError, never a crash or a torn half-message.
+class EpochFieldFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpochFieldFuzz, TruncatedOrCorruptEpochFramesFailCleanly) {
+  falkon::Rng rng(GetParam());
+  // Large epochs stress the full varint width.
+  const std::uint64_t epoch = rng.next_u64() | (1ull << 63);
+
+  std::vector<Message> messages;
+  {
+    SubmitRequest m;
+    m.instance_id = InstanceId{rng.next_u64()};
+    m.tasks.push_back(sample_spec(rng.next_u64()));
+    m.epoch = epoch;
+    messages.push_back(std::move(m));
+  }
+  {
+    ReplFetch m;
+    m.from_lsn = rng.next_u64();
+    m.epoch = epoch;
+    messages.push_back(m);
+  }
+  {
+    ReplAppend m;
+    m.first_lsn = 1;
+    m.last_lsn = 2;
+    m.payload = "framed-records";
+    m.epoch = epoch;
+    messages.push_back(std::move(m));
+  }
+  {
+    ReplSnapshot m;
+    m.lsn = rng.next_u64();
+    m.payload = "image";
+    m.epoch = epoch;
+    messages.push_back(std::move(m));
+  }
+  messages.push_back(ReplAck{rng.next_u64(), epoch});
+  messages.push_back(ElectionPing{epoch, 3, rng.next_u64()});
+  messages.push_back(ElectionAck{epoch, 3, rng.next_u64(), true});
+
+  for (const auto& message : messages) {
+    const auto valid = encode_message(message);
+
+    // Truncation at every boundary: the trailing cuts land inside the
+    // epoch varint itself.
+    for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+      std::vector<std::uint8_t> truncated(
+          valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+      auto decoded = decode_message(truncated);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+      } else {
+        // A shorter prefix that still decodes must not impersonate the
+        // original stamped message.
+        EXPECT_NE(encode_message(decoded.value()), valid);
+      }
+    }
+
+    // Random byte corruption never crashes the decoder.
+    for (int i = 0; i < 100; ++i) {
+      auto corrupted = valid;
+      const auto at = rng.uniform_int(0, corrupted.size() - 1);
+      corrupted[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      auto decoded = decode_message(corrupted);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochFieldFuzz, ::testing::Values(7, 19, 53));
 
 /// In-memory ByteStream for framing tests.
 class MemoryStream final : public ByteStream {

@@ -11,10 +11,12 @@
 // Both commands are read-only: they never truncate a torn tail (that is
 // Wal::open's job, done by the owning dispatcher), so they are safe to run
 // against a live primary's directory.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <variant>
 
 #include "ha/journal.h"
 #include "ha/state.h"
@@ -34,8 +36,9 @@ int usage() {
 
 void print_snapshot_line(const std::string& dir) {
   if (auto snapshot = ha::load_latest_snapshot(dir)) {
-    std::printf("snapshot: lsn=%llu (%zu bytes)\n",
+    std::printf("snapshot: lsn=%llu epoch=%llu (%zu bytes)\n",
                 static_cast<unsigned long long>(snapshot->lsn),
+                static_cast<unsigned long long>(snapshot->epoch),
                 snapshot->payload.size());
   } else {
     std::printf("snapshot: none\n");
@@ -69,21 +72,47 @@ int cmd_dump(const std::string& dir, std::uint64_t from_lsn) {
                  stats.error().message.c_str());
     return 1;
   }
-  std::printf("%llu records, lsn [%llu, %llu]%s\n",
+  std::printf("%llu records, lsn [%llu, %llu], epoch=%llu%s\n",
               static_cast<unsigned long long>(stats.value().records),
               static_cast<unsigned long long>(stats.value().first_lsn),
               static_cast<unsigned long long>(stats.value().last_lsn),
+              static_cast<unsigned long long>(ha::read_log_epoch(dir)),
               stats.value().torn_tail ? ", TORN TAIL" : "");
   return decode_failed ? 1 : 0;
 }
 
 int cmd_verify(const std::string& dir) {
   print_snapshot_line(dir);
+  const auto snapshot = ha::load_latest_snapshot(dir);
   std::uint64_t undecodable = 0;
+  // Promotion epochs only ever climb: RecEpoch values must be strictly
+  // increasing in LSN order, and any RecEpoch past the newest snapshot
+  // must be above the epoch frozen into that snapshot's header. A
+  // violation means two regimes wrote the same directory — split brain.
+  std::uint64_t last_epoch = 0;
+  std::uint64_t epoch_violations = 0;
   auto stats = ha::Wal::replay(
       dir, 1,
-      [&](std::uint64_t, const std::uint8_t* payload, std::size_t size) {
-        if (!ha::decode_record(payload, size).ok()) ++undecodable;
+      [&](std::uint64_t lsn, const std::uint8_t* payload, std::size_t size) {
+        auto record = ha::decode_record(payload, size);
+        if (!record.ok()) {
+          ++undecodable;
+          return true;
+        }
+        if (const auto* epoch = std::get_if<ha::RecEpoch>(&record.value())) {
+          if (epoch->epoch <= last_epoch ||
+              (snapshot && lsn > snapshot->lsn &&
+               epoch->epoch <= snapshot->epoch)) {
+            std::fprintf(stderr,
+                         "non-monotone epoch at lsn %llu: %llu after %llu\n",
+                         static_cast<unsigned long long>(lsn),
+                         static_cast<unsigned long long>(epoch->epoch),
+                         static_cast<unsigned long long>(std::max(
+                             last_epoch, snapshot ? snapshot->epoch : 0)));
+            ++epoch_violations;
+          }
+          last_epoch = std::max(last_epoch, epoch->epoch);
+        }
         return true;
       });
   if (!stats.ok()) {
@@ -92,13 +121,18 @@ int cmd_verify(const std::string& dir) {
     return 1;
   }
   std::printf(
-      "log: %llu records, lsn [%llu, %llu], torn_tail=%s, undecodable=%llu\n",
+      "log: %llu records, lsn [%llu, %llu], epoch=%llu, torn_tail=%s, "
+      "undecodable=%llu, epoch_violations=%llu\n",
       static_cast<unsigned long long>(stats.value().records),
       static_cast<unsigned long long>(stats.value().first_lsn),
       static_cast<unsigned long long>(stats.value().last_lsn),
+      static_cast<unsigned long long>(ha::read_log_epoch(dir)),
       stats.value().torn_tail ? "yes" : "no",
-      static_cast<unsigned long long>(undecodable));
-  return (stats.value().torn_tail || undecodable > 0) ? 1 : 0;
+      static_cast<unsigned long long>(undecodable),
+      static_cast<unsigned long long>(epoch_violations));
+  return (stats.value().torn_tail || undecodable > 0 || epoch_violations > 0)
+             ? 1
+             : 0;
 }
 
 int cmd_image(const std::string& dir) {
