@@ -51,20 +51,23 @@ double measure_inproc_cpp(int executors, std::uint64_t tasks,
   return static_cast<double>(tasks) / elapsed;
 }
 
-double measure_tcp_cpp(int executors, std::uint64_t tasks) {
+double measure_tcp_cpp(int executors, std::uint64_t tasks,
+                       obs::Obs* obs = nullptr) {
   RealClock clock;
   // Adaptive wire bundling: executors send the adaptive sentinels and the
   // dispatcher sizes each TaskBundle from current queue depth (Fig. 5's
   // bundling win applied to the dispatch path).
   core::DispatcherConfig config;
   config.max_adaptive_bundle = 256;
+  config.obs = obs;
   core::Dispatcher dispatcher(clock, config);
-  core::TcpDispatcherServer server(dispatcher);
+  core::TcpDispatcherServer server(dispatcher, obs);
   if (!server.start().ok()) return 0.0;
   std::vector<std::unique_ptr<core::TcpExecutorHarness>> harnesses;
   for (int e = 0; e < executors; ++e) {
     core::ExecutorOptions options;
     options.adaptive_bundle = true;
+    options.obs = obs;
     auto harness = std::make_unique<core::TcpExecutorHarness>(
         clock, "127.0.0.1", server.rpc_port(), server.push_port(),
         std::make_unique<core::NoopEngine>(), options);
@@ -181,6 +184,38 @@ int main() {
   cpp.print();
   note("the C/C++ rewrite the paper's section 6 anticipates removes the"
        " GT4/XML per-call cost entirely.");
+
+  // Per-task overhead breakdown (the Dask-overheads-style attribution):
+  // separate traced runs at the curve's knee and tail, so the cost at 256
+  // executors is attributable stage by stage instead of guessed. Tracing
+  // costs a ring write per stage per task, so these runs are NOT the gated
+  // timing measurements above.
+  title("Per-task overhead breakdown (traced TCP runs)");
+  Table shares({"executors", "stage", "share of task wall-clock"});
+  for (int n : {16, 256}) {
+    obs::ObsConfig trace_config;
+    trace_config.tracing = true;
+    trace_config.trace_capacity = 1u << 19;  // 30000 tasks x 7 stages fits
+    obs::Obs traced(trace_config);
+    (void)measure_tcp_cpp(n, 30000, &traced);
+    const auto breakdown = obs::stage_breakdown(traced.tracer().snapshot());
+    const auto label = strf("%d", n);
+    auto emit = [&](const char* stage, double share) {
+      obs.registry()
+          .gauge("bench.fig3.stage_share",
+                 {{"executors", label}, {"stage", stage}})
+          .set(share);
+      shares.row({label, stage, strf("%.1f%%", share * 100.0)});
+    };
+    emit("queued", breakdown.share(obs::Stage::kQueued));
+    emit("exec", breakdown.share(obs::Stage::kExec));
+    emit("deliver_result", breakdown.share(obs::Stage::kDeliverResult));
+    emit("dispatch_wire", breakdown.gap_share());
+  }
+  shares.print();
+  note("queued = dispatcher FIFO wait; dispatch_wire = span time no stage"
+       " covers (notify/get_work transit, thread wake-ups); traced runs,"
+       " so absolute throughput is lower than the table above.");
   if (obs::save_metrics_json(obs.registry(), "BENCH_fig3_throughput.json").ok()) {
     note("metrics snapshot: BENCH_fig3_throughput.json");
   }

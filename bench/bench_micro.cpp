@@ -5,6 +5,7 @@
 #include <dirent.h>
 #include <poll.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -213,6 +214,10 @@ long open_fd_count() {
 /// from N=16 to N=1024 — connections live in one epoll set, not one reader
 /// thread each. Counters:
 ///   threads / fds / rss_mb    process totals after the fleet is up
+///   rss_per_conn_kb           (RSS after fleet - RSS before) / connections;
+///                             both stream ends are in-process, so this is
+///                             the marginal footprint of one reactor-owned
+///                             connection plus its raw client socket
 ///   notify_us                 submit() returning -> Notify frame readable
 ///   getwork_us                Notify -> GetWorkReply with the task in hand
 void BM_ConnectionScale(benchmark::State& state) {
@@ -225,6 +230,7 @@ void BM_ConnectionScale(benchmark::State& state) {
     state.SkipWithError("server start failed");
     return;
   }
+  const long rss_before_kb = proc_self_status("VmRSS:");
 
   struct ProbeExecutor {
     net::TcpStream rpc;
@@ -292,6 +298,12 @@ void BM_ConnectionScale(benchmark::State& state) {
   const long threads = proc_self_status("Threads:");
   const long fds = open_fd_count();
   const long rss_kb = proc_self_status("VmRSS:");
+  // Each probe executor is two TCP connections (RPC + push), and each
+  // connection has both its reactor-owned end and its raw client end in
+  // this process.
+  const double rss_per_conn_kb =
+      std::max(0.0, static_cast<double>(rss_kb - rss_before_kb)) /
+      (2.0 * static_cast<double>(n));
 
   std::vector<pollfd> pollfds(static_cast<std::size_t>(n));
   for (int e = 0; e < n; ++e) {
@@ -363,6 +375,7 @@ void BM_ConnectionScale(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["fds"] = static_cast<double>(fds);
   state.counters["rss_mb"] = static_cast<double>(rss_kb) / 1024.0;
+  state.counters["rss_per_conn_kb"] = rss_per_conn_kb;
   state.counters["notify_us"] = notify_s / iters * 1e6;
   state.counters["getwork_us"] = getwork_s / iters * 1e6;
   auto& registry = bench_obs().registry();
@@ -373,6 +386,9 @@ void BM_ConnectionScale(benchmark::State& state) {
       .set(static_cast<double>(fds));
   registry.gauge("bench.micro.connscale.rss_mb", {{"executors", label}})
       .set(static_cast<double>(rss_kb) / 1024.0);
+  registry.gauge("bench.micro.connscale.rss_per_conn_kb",
+                 {{"executors", label}})
+      .set(rss_per_conn_kb);
   registry.gauge("bench.micro.connscale.notify_us", {{"executors", label}})
       .set(notify_s / iters * 1e6);
 }

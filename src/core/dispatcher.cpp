@@ -33,6 +33,7 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
       policy_(policy ? std::move(policy)
                      : std::make_unique<NextAvailablePolicy>()),
       policy_head_only_(policy_->selects_queue_head()),
+      policy_first_idle_(policy_->selects_first_idle()),
       notify_pool_(static_cast<std::size_t>(std::max(1, config.notify_threads)),
                    "notify") {
   shard_count_ = static_cast<std::size_t>(std::max(1, config_.executor_shards));
@@ -172,6 +173,18 @@ std::unique_lock<std::mutex> Dispatcher::lock_entry(ExecutorEntry& entry) {
   return lock;
 }
 
+void Dispatcher::idle_erase(std::uint64_t executor_value) {
+  if (!policy_first_idle_) return;
+  std::lock_guard lock(idle_mu_);
+  idle_set_.erase(executor_value);
+}
+
+void Dispatcher::idle_insert(std::uint64_t executor_value) {
+  if (!policy_first_idle_) return;
+  std::lock_guard lock(idle_mu_);
+  idle_set_.insert(executor_value);
+}
+
 void Dispatcher::set_state_locked(ExecutorEntry& entry, ExecState next) {
   if (entry.state == next) return;
   if (entry.state == ExecState::kBusy) {
@@ -181,6 +194,14 @@ void Dispatcher::set_state_locked(ExecutorEntry& entry, ExecState next) {
     busy_.fetch_add(1, std::memory_order_relaxed);
   }
   entry.state = next;
+  if (policy_first_idle_) {
+    if (next == ExecState::kIdle && !entry.removed &&
+        !entry.release_requested) {
+      idle_insert(entry.id.value);
+    } else {
+      idle_erase(entry.id.value);
+    }
+  }
 }
 
 void Dispatcher::cache_insert_locked(ExecutorEntry& entry,
@@ -442,6 +463,7 @@ Result<ExecutorId> Dispatcher::register_executor(
     shard.entries.emplace(id.value, std::move(entry));
   }
   registered_.fetch_add(1, std::memory_order_relaxed);
+  idle_insert(id.value);  // fresh entries start idle
   pump_notifications();
   return id;
 }
@@ -497,6 +519,10 @@ bool Dispatcher::remove_executor(std::uint64_t executor_value,
   {
     std::lock_guard elock(entry->mu);
     entry->removed = true;
+    // set_state_locked early-returns when the entry was already idle, so
+    // drop it from the idle set explicitly — removed executors must never
+    // be notification candidates.
+    idle_erase(executor_value);
     set_state_locked(*entry, ExecState::kIdle);
     // Prefetched-but-never-sent work goes straight back to the queue head.
     drain_outbox_locked(*entry);
@@ -620,6 +646,62 @@ void Dispatcher::pump_notifications() {
     std::lock_guard qlock(queue_mu_);
     budget = queue_.size();
   }
+
+  if (policy_first_idle_) {
+    // Fast path for first-idle policies (next-available): pop the newest
+    // idle executor from the ordered set instead of snapshotting, sorting
+    // and lock-probing the whole registry per notification — the full scan
+    // is O(fleet log fleet) per task, which collapses throughput once
+    // hundreds of executors drain a deep queue.
+    while (budget > 0) {
+      TaskId head_id;
+      {
+        std::lock_guard qlock(queue_mu_);
+        if (queue_.empty()) return;
+        budget = std::min(budget, queue_.size());
+        head_id = queue_.front().spec.id;
+      }
+      std::uint64_t candidate;
+      {
+        std::lock_guard ilock(idle_mu_);
+        if (idle_set_.empty()) return;
+        auto it = idle_set_.begin();
+        candidate = *it;
+        idle_set_.erase(it);
+      }
+      auto entry = find_entry(candidate);
+      if (entry == nullptr) continue;  // removed after it was popped
+      {
+        std::lock_guard elock(entry->mu);
+        if (entry->removed || entry->state != ExecState::kIdle ||
+            entry->release_requested) {
+          // Lost the race to an exchange; the set is already consistent
+          // (set_state_locked re-inserts when it goes idle again).
+          continue;
+        }
+        set_state_locked(*entry, ExecState::kNotified);
+        entry->notified_s = clock_.now_s();
+      }
+      auto sink = entry->sink;
+      const ExecutorId id = entry->id;
+      if (m_notifications_) m_notifications_->inc();
+      if (tracer_) {
+        tracer_->instant(head_id, obs::Stage::kNotify, clock_.now_s(),
+                         id.value);
+      }
+      --budget;
+      if (config_.fault != nullptr &&
+          config_.fault->sample(fault::Site::kDispatcherNotify).action ==
+              fault::Action::kDrop) {
+        continue;
+      }
+      (void)notify_pool_.submit([sink, id] {
+        if (sink) sink->notify(id, id.value);
+      });
+    }
+    return;
+  }
+
   while (budget > 0) {
     TaskSpec head;
     {
@@ -709,8 +791,15 @@ std::vector<TaskSpec> Dispatcher::take_work_entry_locked(ExecutorEntry& entry,
                                                          bool adaptive) {
   std::uint32_t target;
   if (adaptive) {
-    // Size the bundle from queue pressure: an even share of the backlog,
-    // at least one task, capped so one executor is never handed the world.
+    // Size the bundle from queue pressure, but only split the backlog
+    // across as many executors as full bundles warrant. Dividing by the
+    // whole registered fleet shreds a shallow queue into slivers: 5,000
+    // queued tasks over 256 executors is a 19-task bundle, ~10× the RPC
+    // exchanges (and context switches) of the 16-executor run for the
+    // same workload. Engaging ceil(depth / cap) executors keeps bundles
+    // at the cap until the backlog genuinely spans the fleet, at which
+    // point this reduces to the even depth/registered share. Fairness
+    // for long tasks is still bounded by max_bundle_runtime_s below.
     const auto depth =
         static_cast<std::uint64_t>(queue_size_.load(std::memory_order_relaxed)) +
         entry.outbox.size();
@@ -718,8 +807,10 @@ std::vector<TaskSpec> Dispatcher::take_work_entry_locked(ExecutorEntry& entry,
         1, registered_.load(std::memory_order_relaxed));
     const std::uint64_t cap = std::max<std::uint32_t>(
         1, config_.max_adaptive_bundle);
+    const std::uint64_t engaged =
+        std::clamp<std::uint64_t>((depth + cap - 1) / cap, 1, executors);
     target = static_cast<std::uint32_t>(
-        std::clamp<std::uint64_t>(depth / executors, 1, cap));
+        std::clamp<std::uint64_t>(depth / engaged, 1, cap));
   } else {
     target = std::min(max_tasks, config_.max_tasks_per_dispatch);
     if (target == 0) target = 1;
@@ -831,14 +922,22 @@ void Dispatcher::route_result(InstanceId instance_id,
                               const std::shared_ptr<Instance>& instance,
                               TaskResult result) {
   std::size_t ready;
+  bool was_empty;
   {
     std::lock_guard ilock(instance->mu);
     if (!instance->open) return;
+    was_empty = instance->results.empty();
     instance->results.push_back(std::move(result));
     ready = instance->results.size();
   }
   instance->cv.notify_all();
-  // Client notification {8}, sent off the delivery path.
+  // Client notification {8}, sent off the delivery path. Edge-triggered:
+  // only the result that turned the mailbox non-empty notifies — a client
+  // woken by it drains everything that piled up since, and the check and
+  // the drain run under the same mailbox lock, so no wake-up is lost. At
+  // high completion rates this collapses one push frame per result into
+  // one per mailbox drain.
+  if (!was_empty) return;
   std::shared_ptr<ClientSink> sink;
   {
     std::lock_guard lock(listeners_mu_);
@@ -1143,6 +1242,7 @@ std::vector<ExecutorId> Dispatcher::request_release(int count) {
     if (!entry->removed && entry->state == ExecState::kIdle &&
         !entry->release_requested) {
       entry->release_requested = true;
+      idle_erase(entry->id.value);
       released.push_back(entry->id);
       to_notify.emplace_back(entry->sink, entry->id);
     }

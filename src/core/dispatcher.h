@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -241,6 +242,13 @@ class Dispatcher {
   // ---- provisioner operations ----
   [[nodiscard]] DispatcherStatus status() const;
 
+  /// Number of executor-registry shards (config.executor_shards clamped).
+  /// Transport layers align their event-loop partitioning with this so an
+  /// executor's notify/push stays within one shard end to end.
+  [[nodiscard]] std::size_t executor_shard_count() const {
+    return shard_count_;
+  }
+
   /// Replay policy enforcement: requeue dispatched tasks whose response
   /// timeout elapsed; tasks already out of retry budget are failed
   /// permanently so they cannot linger on a black-holed executor forever.
@@ -387,8 +395,17 @@ class Dispatcher {
   /// when the acquisition actually contended.
   std::unique_lock<std::mutex> lock_entry(ExecutorEntry& entry);
 
-  // Requires entry.mu held. State transition keeping busy_ incremental.
+  // Requires entry.mu held. State transition keeping busy_ incremental
+  // and, for first-idle policies, the ordered idle set in sync.
   void set_state_locked(ExecutorEntry& entry, ExecState next);
+
+  /// Drop an executor from the ordered idle set (removal, release request).
+  /// idle_mu_ is a leaf: taken under entry mutexes, never holds another.
+  void idle_erase(std::uint64_t executor_value);
+
+  /// Add an executor to the ordered idle set. Caller guarantees the entry
+  /// is idle, not removed and not release-requested.
+  void idle_insert(std::uint64_t executor_value);
 
   // Requires entry.mu held.
   void cache_insert_locked(ExecutorEntry& entry, const std::string& object);
@@ -446,6 +463,11 @@ class Dispatcher {
   /// Cached policy_->selects_queue_head(): skips the per-pop lookahead
   /// window for head-of-queue policies (the common case).
   bool policy_head_only_{false};
+  /// Cached policy_->selects_first_idle(): pump_notifications pops its
+  /// target from idle_set_ in O(log n) instead of snapshotting and sorting
+  /// the whole registry per notification (which is quadratic in fleet size
+  /// when draining a deep queue).
+  bool policy_first_idle_{false};
   ThreadPool notify_pool_;
 
   // Observability handles, resolved once at construction; all null when
@@ -472,6 +494,14 @@ class Dispatcher {
   // ---- sharded executor registry ----
   std::unique_ptr<Shard[]> shards_;
   std::size_t shard_count_{1};
+
+  /// Idle executors ordered newest-registration-first (descending id),
+  /// maintained on every state transition when policy_first_idle_. The
+  /// LIFO order keeps long-idle executors idle so the distributed release
+  /// policy can reclaim them — same observable order the full scan
+  /// produced. Guarded by idle_mu_, a leaf below the entry mutexes.
+  std::mutex idle_mu_;
+  std::set<std::uint64_t, std::greater<>> idle_set_;
 
   // ---- wait queue ----
   mutable std::mutex queue_mu_;

@@ -57,6 +57,15 @@ class DispatchPolicy {
   /// Conservative default: any policy that overrides select_task keeps the
   /// window unless it also opts in here.
   [[nodiscard]] virtual bool selects_queue_head() const { return false; }
+
+  /// True when select() always returns index 0, i.e. the policy takes the
+  /// first idle candidate it is offered and never inspects the task. The
+  /// dispatcher then skips building the candidate list entirely and pops
+  /// the notification target from an ordered idle set in O(log n) instead
+  /// of snapshotting and sorting the whole registry per notification.
+  /// Conservative default: any policy that inspects candidates must keep
+  /// the full scan.
+  [[nodiscard]] virtual bool selects_first_idle() const { return false; }
 };
 
 /// Paper's evaluated policy: "dispatches each task to the next available
@@ -69,6 +78,7 @@ class NextAvailablePolicy final : public DispatchPolicy {
     return 0;
   }
   [[nodiscard]] bool selects_queue_head() const override { return true; }
+  [[nodiscard]] bool selects_first_idle() const override { return true; }
 };
 
 /// Paper section 6 (future work, implemented here): prefer executors whose

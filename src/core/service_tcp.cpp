@@ -1,5 +1,8 @@
 #include "core/service_tcp.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace falkon::core {
@@ -17,12 +20,30 @@ Result<Expected> expect(Result<wire::Message> reply) {
   return std::move(*payload);
 }
 
+/// Resolve the reactor_loops knob against the dispatcher's shard count.
+/// Auto (0) spends one loop per hardware thread — extra loops on a smaller
+/// host are pure context-switch overhead — and never exceeds the shard
+/// count, so loop ownership stays a coarsening of registry ownership.
+int resolve_reactor_loops(int requested, std::size_t executor_shards) {
+  const int shards = std::max(1, static_cast<int>(executor_shards));
+  if (requested <= 0) {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    return std::min(hw, shards);
+  }
+  return std::min(requested, shards);
+}
+
 }  // namespace
 
-TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs)
+TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs,
+                                         int reactor_loops)
     : dispatcher_(dispatcher),
       obs_(obs),
-      reactor_(net::ReactorOptions{.obs = obs}) {
+      reactor_(net::ReactorOptions{
+          .n_loops = resolve_reactor_loops(reactor_loops,
+                                           dispatcher.executor_shard_count()),
+          .obs = obs}) {
   if (obs != nullptr) {
     obs::Registry& reg = obs->registry();
     m_requests_ = &reg.counter("falkon.net.rpc.requests");
@@ -56,6 +77,26 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
   options.handler_threads = 16;
   options.obs = obs_;
   options.reactor = &reactor_;
+  // Pin each executor's RPC connection to its shard's loop as soon as a
+  // request names the executor (register carries no id yet — the first
+  // get-work or result bundle settles it). With the push side pinned by
+  // subscription key, the whole exchange for one executor runs on one loop.
+  options.affinity_key = [](const wire::Message& m) -> std::uint64_t {
+    using namespace wire;
+    if (const auto* r = std::get_if<GetWorkRequest>(&m)) {
+      return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<ResultBundle>(&m)) {
+      return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<ResultRequest>(&m)) {
+      return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<HeartbeatRequest>(&m)) {
+      return r->executor_id.value;
+    }
+    return 0;
+  };
   if (auto status =
           rpc_.start([this](const wire::Message& m) { return handle(m); },
                      rpc_port, fault, options);

@@ -31,8 +31,16 @@ class TcpDispatcherServer {
  public:
   /// `obs` (optional) receives RPC/push counters: falkon.net.rpc.requests,
   /// falkon.net.rpc.errors, falkon.net.push.notifications.
+  ///
+  /// `reactor_loops` controls how many independent event loops serve the
+  /// two ports. 0 (the default) aligns with the dispatcher: one loop per
+  /// hardware thread, capped at the dispatcher's executor-shard count so
+  /// the loop partition (executor id % n_loops) nests inside the registry
+  /// partition (executor id % shards) and an executor's notify/push never
+  /// crosses shards. Explicit values are clamped to [1, executor shards].
   explicit TcpDispatcherServer(Dispatcher& dispatcher,
-                               obs::Obs* obs = nullptr);
+                               obs::Obs* obs = nullptr,
+                               int reactor_loops = 0);
   ~TcpDispatcherServer();
 
   TcpDispatcherServer(const TcpDispatcherServer&) = delete;
@@ -46,6 +54,9 @@ class TcpDispatcherServer {
 
   [[nodiscard]] std::uint16_t rpc_port() const { return rpc_.port(); }
   [[nodiscard]] std::uint16_t push_port() const { return push_.port(); }
+  /// The shared event-loop reactor (introspection: loop count, connection
+  /// distribution). Valid between construction and destruction.
+  [[nodiscard]] net::Reactor& reactor() { return reactor_; }
 
   /// Serve ReplFetch/ReplAck from this source (typically the dispatcher's
   /// ha::Journal), enabling a warm standby to tail the log over the RPC

@@ -30,6 +30,8 @@ constexpr std::size_t kReadBudget = 256 * 1024;
 constexpr int kIdleTimeoutMs = 100;
 constexpr double kAcceptBackoffMinS = 0.05;
 constexpr double kAcceptBackoffMaxS = 1.0;
+// Minimum spacing between shrink-on-idle pool trims per loop.
+constexpr double kPoolTrimIntervalS = 1.0;
 
 }  // namespace
 
@@ -39,6 +41,120 @@ struct Reactor::Timer {
   double period_s{0.0};  // > 0: periodic
   TimerFn fn;
 };
+
+/// Size-classed free lists of byte buffers, one pool per loop. The owning
+/// loop thread is the dominant caller (decode buffers, write completions,
+/// close-time recycle) but producers acquire send chunks and handlers may
+/// recycle decoded payloads from pool threads, so the pool keeps its own
+/// leaf mutex — never held while any other lock is taken.
+struct Reactor::BufferPool {
+  static constexpr std::size_t kNClasses = 7;
+  static constexpr std::size_t kClassBytes[kNClasses] = {
+      256, 1u << 10, 4u << 10, 16u << 10, 64u << 10, 256u << 10, 1u << 20};
+  /// Per-class retention cap: bounds worst-case pooled memory per loop at
+  /// sum(class_bytes) * kMaxPerClass (~43 MB) though trim-on-idle keeps the
+  /// steady state far below it.
+  static constexpr std::size_t kMaxPerClass = 64;
+
+  std::mutex mu;
+  std::array<std::vector<std::vector<std::uint8_t>>, kNClasses> free_lists;
+
+  /// Smallest class that fits `n` bytes, or -1 when larger than every class
+  /// (then the allocation is unpooled).
+  static int class_for_size(std::size_t n) {
+    for (std::size_t c = 0; c < kNClasses; ++c) {
+      if (n <= kClassBytes[c]) return static_cast<int>(c);
+    }
+    return -1;
+  }
+
+  /// Largest class whose buffers fit inside `capacity`, or -1 for tiny
+  /// one-off vectors not worth keeping.
+  static int class_for_capacity(std::size_t capacity) {
+    int best = -1;
+    for (std::size_t c = 0; c < kNClasses; ++c) {
+      if (kClassBytes[c] <= capacity) best = static_cast<int>(c);
+    }
+    return best;
+  }
+
+  std::vector<std::uint8_t> acquire(Reactor& reactor, std::size_t n) {
+    const int cls = class_for_size(n);
+    if (cls >= 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      auto& list = free_lists[static_cast<std::size_t>(cls)];
+      if (!list.empty()) {
+        std::vector<std::uint8_t> buf = std::move(list.back());
+        list.pop_back();
+        lock.unlock();
+        reactor.pool_bytes_.fetch_sub(
+            static_cast<std::int64_t>(buf.capacity()),
+            std::memory_order_relaxed);
+        if (reactor.m_pool_hits_ != nullptr) reactor.m_pool_hits_->inc();
+        if (reactor.m_pool_bytes_ != nullptr) {
+          reactor.m_pool_bytes_->set(static_cast<double>(
+              reactor.pool_bytes_.load(std::memory_order_relaxed)));
+        }
+        buf.resize(n);  // capacity >= class size >= n: no reallocation
+        return buf;
+      }
+    }
+    if (reactor.m_pool_misses_ != nullptr) reactor.m_pool_misses_->inc();
+    std::vector<std::uint8_t> buf;
+    if (cls >= 0) buf.reserve(kClassBytes[static_cast<std::size_t>(cls)]);
+    buf.resize(n);
+    return buf;
+  }
+
+  void release(Reactor& reactor, std::vector<std::uint8_t>&& buf) {
+    const std::size_t capacity = buf.capacity();
+    const int cls = class_for_capacity(capacity);
+    // Oversized one-offs (beyond 2x the largest class) are returned to the
+    // allocator rather than pinned in the pool forever.
+    if (cls < 0 || capacity > 2 * kClassBytes[kNClasses - 1]) return;
+    buf.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto& list = free_lists[static_cast<std::size_t>(cls)];
+      if (list.size() >= kMaxPerClass) return;
+      list.push_back(std::move(buf));
+    }
+    reactor.pool_bytes_.fetch_add(static_cast<std::int64_t>(capacity),
+                                  std::memory_order_relaxed);
+    if (reactor.m_pool_bytes_ != nullptr) {
+      reactor.m_pool_bytes_->set(static_cast<double>(
+          reactor.pool_bytes_.load(std::memory_order_relaxed)));
+    }
+  }
+
+  /// Shrink-on-idle: drop half of every free list (called from the owning
+  /// loop when epoll has been idle), so a burst's buffers drain back to the
+  /// allocator instead of sitting hot forever.
+  void trim(Reactor& reactor) {
+    std::int64_t freed = 0;
+    bool any = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& list : free_lists) {
+        const std::size_t keep = list.size() / 2;
+        while (list.size() > keep) {
+          freed += static_cast<std::int64_t>(list.back().capacity());
+          list.pop_back();
+          any = true;
+        }
+      }
+    }
+    if (!any) return;
+    reactor.pool_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    if (reactor.m_pool_trims_ != nullptr) reactor.m_pool_trims_->inc();
+    if (reactor.m_pool_bytes_ != nullptr) {
+      reactor.m_pool_bytes_->set(static_cast<double>(
+          reactor.pool_bytes_.load(std::memory_order_relaxed)));
+    }
+  }
+};
+
+constexpr std::size_t Reactor::BufferPool::kClassBytes[];
 
 struct Reactor::Loop {
   // Hashed timer wheel: 1 ms ticks over 512 slots; entries keep an absolute
@@ -55,6 +171,10 @@ struct Reactor::Loop {
 
   std::mutex ops_mu;
   std::vector<std::function<void()>> ops;
+  /// Flush requests: the allocation-free fast path for "this connection has
+  /// output queued" — a shared_ptr enqueue instead of a std::function per
+  /// send. Drained alongside ops, same eventfd wake.
+  std::vector<std::shared_ptr<Conn>> flush_q;
   bool wake_pending{false};
   bool stopped{false};
 
@@ -70,6 +190,8 @@ struct Reactor::Loop {
   std::size_t n_timers{0};
   std::uint64_t cursor_tick{0};
   std::chrono::steady_clock::time_point t0;
+  BufferPool pool;
+  double last_trim_s{0.0};
 
   [[nodiscard]] double now_s() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -157,6 +279,11 @@ Reactor::Reactor(ReactorOptions options) : options_(options) {
     m_accept_rejected_ = &reg.counter("falkon.net.accept_rejected");
     m_read_paused_ = &reg.counter("falkon.net.reactor.read_paused");
     m_coalesced_ = &reg.counter("falkon.net.frames_coalesced");
+    m_migrations_ = &reg.counter("falkon.net.reactor.migrations");
+    m_pool_hits_ = &reg.counter("falkon.net.pool.hits");
+    m_pool_misses_ = &reg.counter("falkon.net.pool.misses");
+    m_pool_trims_ = &reg.counter("falkon.net.pool.trims");
+    m_pool_bytes_ = &reg.gauge("falkon.net.pool.bytes");
     m_epoll_batch_ =
         &reg.histogram("falkon.net.reactor.epoll_batch", 1.0, 64.0);
     m_writable_stall_ =
@@ -210,6 +337,11 @@ void Reactor::stop() {
     ::close(loop->evfd);
   }
   loops_.clear();
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    timer_home_.clear();
+    listener_home_.clear();
+  }
   started_ = false;
   stopping_.store(false, std::memory_order_release);
 }
@@ -218,6 +350,10 @@ Reactor::Loop& Reactor::loop_for_new_conn() {
   const std::size_t i =
       next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
   return *loops_[i];
+}
+
+Reactor::Loop& Reactor::loop_for_key(std::uint64_t key) {
+  return *loops_[key % loops_.size()];
 }
 
 bool Reactor::post(Loop& loop, std::function<void()> op) {
@@ -238,6 +374,78 @@ bool Reactor::post(Loop& loop, std::function<void()> op) {
   return true;
 }
 
+void Reactor::request_flush(const std::shared_ptr<Conn>& conn) {
+  Loop* target = conn->loop_.load(std::memory_order_acquire);
+  if (target == nullptr) return;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(target->ops_mu);
+    // A stopped loop closes every connection on shutdown; nothing to flush.
+    if (target->stopped) return;
+    target->flush_q.push_back(conn);
+    if (!target->wake_pending) {
+      target->wake_pending = true;
+      wake = true;
+    }
+  }
+  if (wake) {
+    std::uint64_t one = 1;
+    [[maybe_unused]] auto n = ::write(target->evfd, &one, sizeof(one));
+  }
+}
+
+void Reactor::post_to_owner(
+    const std::shared_ptr<Conn>& conn,
+    std::function<void(Loop&, const std::shared_ptr<Conn>&)> op) {
+  Loop* target = conn->loop_.load(std::memory_order_acquire);
+  if (target == nullptr) return;
+  post(*target, [this, target, conn, op = std::move(op)]() mutable {
+    // A migration may have rebound the connection between enqueue and
+    // execution; chase it to the current owner so the op never touches a
+    // loop that no longer holds the fd.
+    if (conn->loop_.load(std::memory_order_acquire) != target) {
+      post_to_owner(conn, std::move(op));
+      return;
+    }
+    op(*target, conn);
+  });
+}
+
+void Reactor::migrate(Loop& from, const std::shared_ptr<Conn>& conn,
+                      Loop& target) {
+  if (&from == &target || conn->closed_) return;
+  if (!conn->registered_) {
+    // Adoption registration always lands before any migration op on the
+    // same queue; an unregistered conn here means registration failed —
+    // just retarget the pointer.
+    conn->loop_.store(&target, std::memory_order_release);
+    return;
+  }
+  ::epoll_ctl(from.epfd, EPOLL_CTL_DEL, conn->fd_, nullptr);
+  from.conns.erase(conn->fd_);
+  conn->loop_.store(&target, std::memory_order_release);
+  if (m_migrations_ != nullptr) m_migrations_->inc();
+  const bool posted = post(target, [this, &target, conn] {
+    if (conn->closed_) return;
+    epoll_event ev{};
+    ev.events = 0;
+    if (conn->read_on_ && !conn->read_paused_bp_) ev.events |= EPOLLIN;
+    if (conn->epollout_) ev.events |= EPOLLOUT;
+    ev.data.fd = conn->fd_;
+    if (::epoll_ctl(target.epfd, EPOLL_CTL_ADD, conn->fd_, &ev) != 0) {
+      do_close(target, conn);
+      return;
+    }
+    target.conns[conn->fd_] = conn;
+    loop_flush(target, conn);  // output may have queued mid-migration
+  });
+  if (!posted) {
+    // Target loop already shut down; sever here (do_close tolerates the fd
+    // being absent from this loop's registry).
+    do_close(from, conn);
+  }
+}
+
 std::shared_ptr<Reactor::Conn> Reactor::adopt(int fd, FrameHandler on_frame,
                                               CloseHandler on_close) {
   auto conn = std::make_shared<Conn>();
@@ -253,7 +461,7 @@ std::shared_ptr<Reactor::Conn> Reactor::adopt(int fd, FrameHandler on_frame,
     return conn;
   }
   Loop& loop = loop_for_new_conn();
-  conn->loop_ = &loop;
+  conn->loop_.store(&loop, std::memory_order_release);
   (void)set_nonblocking(fd);
   const bool posted = post(loop, [this, &loop, conn] {
     bool dead;
@@ -296,7 +504,14 @@ std::shared_ptr<Reactor::Conn> Reactor::adopt(int fd, FrameHandler on_frame,
 
 void Reactor::add_listener(int listen_fd, AcceptHandler on_accept) {
   if (loops_.empty()) return;
-  Loop& loop = *loops_[0];
+  const std::size_t index =
+      next_listener_loop_.fetch_add(1, std::memory_order_relaxed) %
+      loops_.size();
+  Loop& loop = *loops_[index];
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    listener_home_[listen_fd] = static_cast<int>(index);
+  }
   (void)set_nonblocking(listen_fd);
   post(loop, [this, &loop, listen_fd, handler = std::move(on_accept)]() mutable {
     epoll_event ev{};
@@ -311,7 +526,16 @@ void Reactor::add_listener(int listen_fd, AcceptHandler on_accept) {
 
 void Reactor::remove_listener(int listen_fd) {
   if (loops_.empty()) return;
-  Loop& loop = *loops_[0];
+  int index = 0;
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    auto it = listener_home_.find(listen_fd);
+    if (it != listener_home_.end()) {
+      index = it->second;
+      listener_home_.erase(it);
+    }
+  }
+  Loop& loop = *loops_[static_cast<std::size_t>(index)];
   post(loop, [&loop, listen_fd] {
     auto it = loop.listeners.find(listen_fd);
     if (it == loop.listeners.end()) return;
@@ -322,14 +546,31 @@ void Reactor::remove_listener(int listen_fd) {
   });
 }
 
+Reactor::Loop& Reactor::loop_for_timer(TimerId id) {
+  const std::size_t index =
+      next_timer_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    timer_home_[id] = static_cast<int>(index);
+  }
+  return *loops_[index];
+}
+
 TimerId Reactor::add_timer(double delay_s, TimerFn fn) {
   const TimerId id = next_timer_.fetch_add(1, std::memory_order_relaxed);
   if (loops_.empty()) return id;
-  Loop& loop = *loops_[0];
-  post(loop, [&loop, id, delay_s, fn = std::move(fn)]() mutable {
+  Loop& loop = loop_for_timer(id);
+  post(loop, [this, &loop, id, delay_s, fn = std::move(fn)]() mutable {
     Timer timer;
     timer.id = id;
-    timer.fn = std::move(fn);
+    // One-shot: retire the home entry when it fires so the map stays small.
+    timer.fn = [this, id, fn = std::move(fn)] {
+      {
+        std::lock_guard<std::mutex> lock(homes_mu_);
+        timer_home_.erase(id);
+      }
+      fn();
+    };
     auto ticks = static_cast<std::uint64_t>(delay_s / Loop::kTickS);
     timer.deadline_tick = loop.now_tick() + std::max<std::uint64_t>(1, ticks);
     loop.insert_timer(std::move(timer));
@@ -340,7 +581,7 @@ TimerId Reactor::add_timer(double delay_s, TimerFn fn) {
 TimerId Reactor::add_periodic(double interval_s, TimerFn fn) {
   const TimerId id = next_timer_.fetch_add(1, std::memory_order_relaxed);
   if (loops_.empty()) return id;
-  Loop& loop = *loops_[0];
+  Loop& loop = loop_for_timer(id);
   post(loop, [&loop, id, interval_s, fn = std::move(fn)]() mutable {
     Timer timer;
     timer.id = id;
@@ -355,7 +596,15 @@ TimerId Reactor::add_periodic(double interval_s, TimerFn fn) {
 
 void Reactor::cancel_timer(TimerId id) {
   if (loops_.empty()) return;
-  Loop& loop = *loops_[0];
+  int index = 0;
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    auto it = timer_home_.find(id);
+    if (it == timer_home_.end()) return;  // already fired (one-shot) or bogus
+    index = it->second;
+    timer_home_.erase(it);
+  }
+  Loop& loop = *loops_[static_cast<std::size_t>(index)];
   post(loop, [&loop, id] { loop.remove_timer(id); });
 }
 
@@ -375,6 +624,24 @@ std::size_t Reactor::open_connections() const {
   return open_conns_.load(std::memory_order_relaxed);
 }
 
+std::vector<std::size_t> Reactor::connections_per_loop() {
+  std::vector<std::size_t> out(loops_.size(), 0);
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    Loop* loop = loops_[i].get();
+    auto promise = std::make_shared<std::promise<void>>();
+    auto future = promise->get_future();
+    if (post(*loop, [&out, i, loop, promise] {
+          out[i] = loop->conns.size();
+          promise->set_value();
+        })) {
+      futures.push_back(std::move(future));
+    }
+  }
+  for (auto& future : futures) future.wait();
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Loop body
 // ---------------------------------------------------------------------------
@@ -382,14 +649,27 @@ std::size_t Reactor::open_connections() const {
 void Reactor::run_loop(Loop& loop) {
   epoll_event events[kMaxEvents];
   while (true) {
-    // Drain posted operations.
+    // Drain posted operations and flush requests.
     std::vector<std::function<void()>> batch;
+    std::vector<std::shared_ptr<Conn>> flushes;
     {
       std::lock_guard<std::mutex> lock(loop.ops_mu);
       std::swap(batch, loop.ops);
+      std::swap(flushes, loop.flush_q);
       loop.wake_pending = false;
     }
     for (auto& op : batch) op();
+    for (auto& conn : flushes) {
+      if (conn->loop_.load(std::memory_order_acquire) != &loop) {
+        request_flush(conn);  // migrated after the request: chase it
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu_);
+        conn->flush_requested_ = false;
+      }
+      loop_flush(loop, conn);
+    }
     if (stopping_.load(std::memory_order_acquire)) break;
 
     loop.advance_timers();
@@ -397,7 +677,9 @@ void Reactor::run_loop(Loop& loop) {
     int timeout = loop.next_timeout_ms();
     {
       std::lock_guard<std::mutex> lock(loop.ops_mu);
-      if (!loop.ops.empty()) timeout = 0;  // op posted from a timer/callback
+      if (!loop.ops.empty() || !loop.flush_q.empty()) {
+        timeout = 0;  // op posted from a timer/callback
+      }
     }
     const int n = ::epoll_wait(loop.epfd, events, kMaxEvents, timeout);
     if (m_wakeups_ != nullptr) m_wakeups_->inc();
@@ -407,6 +689,12 @@ void Reactor::run_loop(Loop& loop) {
     }
     if (n > 0 && m_epoll_batch_ != nullptr) {
       m_epoll_batch_->record(static_cast<double>(n));
+    }
+    if (n == 0 && timeout > 0 &&
+        loop.now_s() - loop.last_trim_s >= kPoolTrimIntervalS) {
+      // Idle wake-up with nothing to do: give pooled buffers back.
+      loop.last_trim_s = loop.now_s();
+      loop.pool.trim(*this);
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -433,7 +721,8 @@ void Reactor::run_loop(Loop& loop) {
   }
 
   // Shutdown: refuse further posts, run stragglers, close every connection
-  // (firing on_close on this thread, as documented).
+  // (firing on_close on this thread, as documented). Pending flush requests
+  // are dropped — the close below discards queued output anyway.
   {
     std::lock_guard<std::mutex> lock(loop.ops_mu);
     loop.stopped = true;
@@ -442,6 +731,7 @@ void Reactor::run_loop(Loop& loop) {
   {
     std::lock_guard<std::mutex> lock(loop.ops_mu);
     std::swap(rest, loop.ops);
+    loop.flush_q.clear();
   }
   for (auto& op : rest) op();
   std::vector<std::shared_ptr<Conn>> remaining;
@@ -570,7 +860,7 @@ void Reactor::handle_readable(Loop& loop, const std::shared_ptr<Conn>& conn) {
         deliver_frame(loop, conn, corr, {});
         continue;
       }
-      conn->payload_.resize(len);
+      conn->payload_ = loop.pool.acquire(*this, len);
       conn->reading_payload_ = true;
     } else {
       conn->payload_got_ += static_cast<std::size_t>(n);
@@ -632,7 +922,13 @@ void Reactor::arm_writable(Loop& loop, const std::shared_ptr<Conn>& conn) {
 
 void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
   if (conn->closed_ || !conn->registered_) return;
-  if (conn->output_paused_ || conn->epollout_) return;
+  if (conn->output_paused_.load(std::memory_order_acquire) || conn->epollout_) {
+    return;
+  }
+
+  // Fully-written buffers, recycled into this loop's pool once the
+  // connection mutex is back off (the pool mutex is a leaf).
+  std::vector<std::vector<std::uint8_t>> done_bufs;
 
   while (true) {
     iovec iov[kMaxIov];
@@ -662,18 +958,20 @@ void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
     }
     if (pause_s > 0.0) {
       // Fault-injected delay: park the outbox on the timer wheel instead of
-      // sleeping a thread. Bytes queued behind the marker wait it out.
-      conn->output_paused_ = true;
+      // sleeping a thread. Bytes queued behind the marker wait it out. The
+      // timer stays on this loop even if the connection migrates, so the
+      // resume goes through request_flush to reach the then-current owner.
+      conn->output_paused_.store(true, std::memory_order_release);
       Timer timer;
       timer.id = next_timer_.fetch_add(1, std::memory_order_relaxed);
       auto ticks = static_cast<std::uint64_t>(pause_s / Loop::kTickS);
       timer.deadline_tick = loop.now_tick() + std::max<std::uint64_t>(1, ticks);
-      timer.fn = [this, &loop, conn] {
-        conn->output_paused_ = false;
-        loop_flush(loop, conn);
+      timer.fn = [this, conn] {
+        conn->output_paused_.store(false, std::memory_order_release);
+        request_flush(conn);
       };
       loop.insert_timer(std::move(timer));
-      return;
+      break;
     }
     if (niov == 0) break;  // outbox drained
 
@@ -698,6 +996,7 @@ void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
         if (left >= remain) {
           left -= remain;
           conn->front_off_ = 0;
+          done_bufs.push_back(std::move(front.bytes));
           conn->outbox_.pop_front();
           ++frames_done;
         } else {
@@ -715,6 +1014,8 @@ void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
     }
   }
 
+  for (auto& buf : done_bufs) loop.pool.release(*this, std::move(buf));
+
   bool drained;
   bool close_after;
   {
@@ -722,7 +1023,9 @@ void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
     drained = conn->outbox_.empty();
     close_after = conn->close_after_flush_;
   }
-  if (drained && close_after && !conn->output_paused_ && !conn->epollout_) {
+  if (drained && close_after &&
+      !conn->output_paused_.load(std::memory_order_acquire) &&
+      !conn->epollout_) {
     do_close(loop, conn);
     return;
   }
@@ -732,11 +1035,23 @@ void Reactor::loop_flush(Loop& loop, const std::shared_ptr<Conn>& conn) {
 void Reactor::do_close(Loop& loop, const std::shared_ptr<Conn>& conn) {
   if (conn->closed_) return;
   conn->closed_ = true;
+  std::deque<Conn::OutChunk> discarded;
   {
     std::lock_guard<std::mutex> lock(conn->mu_);
     conn->dead_ = true;
-    conn->outbox_.clear();
+    discarded.swap(conn->outbox_);
     conn->queued_ = 0;
+  }
+  // Recycle whatever the connection was holding — unsent output and the
+  // in-progress decode buffer go back to the owning loop's pool.
+  for (auto& chunk : discarded) {
+    if (!chunk.bytes.empty() || chunk.bytes.capacity() > 0) {
+      loop.pool.release(*this, std::move(chunk.bytes));
+    }
+  }
+  if (conn->payload_.capacity() > 0) {
+    loop.pool.release(*this, std::move(conn->payload_));
+    conn->payload_ = {};
   }
   if (conn->registered_) {
     ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd_, nullptr);
@@ -760,15 +1075,21 @@ void Reactor::do_close(Loop& loop, const std::shared_ptr<Conn>& conn) {
 
 Status Reactor::Conn::send_frame(std::uint64_t corr,
                                  const std::vector<std::uint8_t>& payload) {
-  OutChunk chunk;
-  chunk.bytes.resize(wire::kFrameHeaderBytes + payload.size());
-  wire::put_frame_header(chunk.bytes.data(), corr,
+  const std::size_t total = wire::kFrameHeaderBytes + payload.size();
+  std::vector<std::uint8_t> bytes;
+  Loop* loop = loop_.load(std::memory_order_acquire);
+  if (loop != nullptr) {
+    bytes = loop->pool.acquire(*reactor_, total);
+  } else {
+    bytes.resize(total);
+  }
+  wire::put_frame_header(bytes.data(), corr,
                          static_cast<std::uint32_t>(payload.size()));
   if (!payload.empty()) {
-    std::memcpy(chunk.bytes.data() + wire::kFrameHeaderBytes, payload.data(),
+    std::memcpy(bytes.data() + wire::kFrameHeaderBytes, payload.data(),
                 payload.size());
   }
-  return send_raw(std::move(chunk.bytes));
+  return send_raw(std::move(bytes));
 }
 
 Status Reactor::Conn::send_raw(std::vector<std::uint8_t> bytes) {
@@ -785,17 +1106,32 @@ Status Reactor::Conn::send_raw(std::vector<std::uint8_t> bytes) {
       need_post = true;
     }
   }
-  if (need_post) {
-    auto self = shared_from_this();
-    reactor_->post(*loop_, [self] {
-      {
-        std::lock_guard<std::mutex> lock(self->mu_);
-        self->flush_requested_ = false;
-      }
-      self->reactor_->loop_flush(*self->loop_, self);
-    });
-  }
+  if (need_post) reactor_->request_flush(shared_from_this());
   return ok_status();
+}
+
+void Reactor::Conn::set_affinity(std::uint64_t key) {
+  Reactor* reactor = reactor_;
+  if (reactor == nullptr || reactor->loops_.size() <= 1) return;
+  Loop& target = reactor->loop_for_key(key);
+  if (loop_.load(std::memory_order_acquire) == &target) return;
+  reactor->post_to_owner(
+      shared_from_this(),
+      [reactor, &target](Loop& owner, const std::shared_ptr<Conn>& conn) {
+        reactor->migrate(owner, conn, target);
+      });
+}
+
+void Reactor::Conn::recycle(std::vector<std::uint8_t>&& buffer) {
+  Reactor* reactor = reactor_;
+  Loop* loop = loop_.load(std::memory_order_acquire);
+  if (reactor == nullptr || loop == nullptr) return;
+  loop->pool.release(*reactor, std::move(buffer));
+}
+
+int Reactor::Conn::owner_loop_index() const {
+  Loop* loop = loop_.load(std::memory_order_acquire);
+  return loop != nullptr ? loop->index : -1;
 }
 
 void Reactor::Conn::pause_output(double delay_s) {
@@ -811,16 +1147,7 @@ void Reactor::Conn::pause_output(double delay_s) {
       need_post = true;
     }
   }
-  if (need_post) {
-    auto self = shared_from_this();
-    reactor_->post(*loop_, [self] {
-      {
-        std::lock_guard<std::mutex> lock(self->mu_);
-        self->flush_requested_ = false;
-      }
-      self->reactor_->loop_flush(*self->loop_, self);
-    });
-  }
+  if (need_post) reactor_->request_flush(shared_from_this());
 }
 
 void Reactor::Conn::close_after_flush() {
@@ -830,13 +1157,14 @@ void Reactor::Conn::close_after_flush() {
     dead_ = true;
     close_after_flush_ = true;
   }
-  auto self = shared_from_this();
-  reactor_->post(*loop_, [self] {
-    if (self->closed_) return;
-    self->read_on_ = false;
-    self->reactor_->update_epoll(*self->loop_, self);
-    self->reactor_->loop_flush(*self->loop_, self);
-  });
+  reactor_->post_to_owner(
+      shared_from_this(),
+      [](Loop& owner, const std::shared_ptr<Conn>& conn) {
+        if (conn->closed_) return;
+        conn->read_on_ = false;
+        conn->reactor_->update_epoll(owner, conn);
+        conn->reactor_->loop_flush(owner, conn);
+      });
 }
 
 void Reactor::Conn::close() {
@@ -849,10 +1177,10 @@ void Reactor::Conn::close() {
     }
     dead_ = true;
   }
-  auto self = shared_from_this();
-  reactor_->post(*loop_, [self] {
-    self->reactor_->do_close(*self->loop_, self);
-  });
+  reactor_->post_to_owner(shared_from_this(),
+                          [](Loop& owner, const std::shared_ptr<Conn>& conn) {
+                            conn->reactor_->do_close(owner, conn);
+                          });
 }
 
 std::size_t Reactor::Conn::queued_bytes() const {

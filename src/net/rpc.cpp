@@ -96,6 +96,7 @@ Status RpcServer::start(RpcHandler handler, std::uint16_t port,
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   handler_ = std::move(handler);
+  affinity_key_ = std::move(options.affinity_key);
   fault_ = fault;
   sndbuf_bytes_ = options.sndbuf_bytes;
   // Handlers may block (wait_results); they always run off-loop, so even
@@ -183,13 +184,22 @@ void RpcServer::on_frame(const std::shared_ptr<Reactor::Conn>& conn,
   // Decode on the pool too: a large TaskBundle deserialisation would
   // otherwise stall every other connection on this loop.
   auto submitted =
-      pool_->submit([this, conn, corr, payload = std::move(payload)] {
+      pool_->submit([this, conn, corr, payload = std::move(payload)] mutable {
         auto request = wire::decode_message(payload);
+        // Decoding deep-copies; the raw buffer can go back to the pool now.
+        conn->recycle(std::move(payload));
         if (!request.ok()) {
           enqueue_reply(conn, corr,
                         wire::ErrorReply{ErrorCode::kProtocolError,
                                          request.error().message});
           return;
+        }
+        if (affinity_key_) {
+          // Pin the connection to the loop that owns this executor's shard.
+          // A no-op once the connection is already there, so calling per
+          // request costs one atomic load.
+          const std::uint64_t key = affinity_key_(request.value());
+          if (key != 0) conn->set_affinity(key);
         }
         enqueue_reply(conn, corr, handler_(request.value()));
       });
@@ -483,6 +493,7 @@ void PushServer::on_frame(const std::shared_ptr<Reactor::Conn>& conn,
   // threads). Anything else is a protocol violation and severs the
   // connection.
   auto message = wire::decode_message(payload);
+  conn->recycle(std::move(payload));
   if (!message.ok()) {
     conn->close();
     return;
@@ -503,6 +514,10 @@ void PushServer::on_frame(const std::shared_ptr<Reactor::Conn>& conn,
     if (slot != conn) displaced = std::move(slot);
     slot = conn;
   }
+  // The subscription key is the push key for the connection's lifetime;
+  // migrate it to the key's loop so pushes for this executor are enqueued
+  // and flushed on the same shard that owns its RPC connection.
+  conn->set_affinity(notify->executor_id.value);
   if (displaced) displaced->close();
 }
 

@@ -58,6 +58,12 @@ struct RpcServerOptions {
   /// Test-only: shrink SO_SNDBUF on accepted sockets to force the
   /// partial-write/EAGAIN paths.
   int sndbuf_bytes{0};
+  /// Optional connection-affinity extractor: given a decoded request,
+  /// return a nonzero shard key (typically the executor id it carries) and
+  /// the connection is pinned to reactor loop `key % n_loops` — the same
+  /// modulo partition the dispatcher registry uses, so one executor's whole
+  /// exchange stays on one loop. Return 0 for requests that carry no key.
+  std::function<std::uint64_t(const wire::Message&)> affinity_key;
 };
 
 /// Accepts connections on the reactor and serves framed request/response
@@ -95,6 +101,7 @@ class RpcServer {
 
   TcpListener listener_;
   RpcHandler handler_;
+  std::function<std::uint64_t(const wire::Message&)> affinity_key_;
   fault::FaultInjector* fault_{nullptr};
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Reactor> owned_reactor_;

@@ -65,4 +65,45 @@ std::vector<TaskHistory> group_by_task(const std::vector<SpanEvent>& events) {
   return histories;
 }
 
+StageBreakdown stage_breakdown(const std::vector<SpanEvent>& events) {
+  struct TaskAgg {
+    double begin{0.0};
+    double end{0.0};
+    std::array<double, kStageCount> stage_s{};
+    bool seen{false};
+  };
+  std::unordered_map<std::uint64_t, TaskAgg> tasks;
+  tasks.reserve(events.size() / kStageCount + 1);
+  for (const SpanEvent& event : events) {
+    if (event.task == 0) continue;
+    TaskAgg& agg = tasks[event.task];
+    if (!agg.seen) {
+      agg.begin = event.begin_s;
+      agg.end = event.end_s;
+      agg.seen = true;
+    } else {
+      agg.begin = std::min(agg.begin, event.begin_s);
+      agg.end = std::max(agg.end, event.end_s);
+    }
+    const double d = event.end_s - event.begin_s;
+    if (d > 0) agg.stage_s[static_cast<std::size_t>(event.stage)] += d;
+  }
+  StageBreakdown out;
+  for (const auto& [id, agg] : tasks) {
+    const double span = agg.end - agg.begin;
+    if (span < 0) continue;
+    double covered = 0.0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      out.stage_s[s] += agg.stage_s[s];
+      covered += agg.stage_s[s];
+    }
+    out.total_s += span;
+    // Stages can nest/overlap (deliver_result overlaps the tail of the
+    // span); never let the derived gap go negative.
+    out.gap_s += std::max(0.0, span - covered);
+    ++out.tasks;
+  }
+  return out;
+}
+
 }  // namespace falkon::obs

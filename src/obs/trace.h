@@ -132,4 +132,35 @@ struct TaskHistory {
 [[nodiscard]] std::vector<TaskHistory> group_by_task(
     const std::vector<SpanEvent>& events);
 
+/// Per-task overhead attribution of a traced run ("Runtime vs Scheduler:
+/// Analyzing Dask's Overheads" is the template): every task's events fold
+/// into per-stage busy time, and whatever part of its submit→ack span no
+/// stage accounts for — dispatch decision, frame transit, thread wake-ups
+/// — lands in `gap_s`. Instant events (notify, get_work, ack markers)
+/// contribute ordering but zero duration. Shares are fractions of the
+/// summed per-task spans, so they answer "where does a task's wall-clock
+/// life go" independent of fleet size.
+struct StageBreakdown {
+  std::array<double, kStageCount> stage_s{};
+  /// Span time covered by no stage (wire + scheduling + wake-up latency).
+  double gap_s{0.0};
+  /// Summed task spans (first begin -> last end per task).
+  double total_s{0.0};
+  std::uint64_t tasks{0};
+
+  [[nodiscard]] double share(Stage stage) const {
+    return total_s > 0
+               ? stage_s[static_cast<std::size_t>(stage)] / total_s
+               : 0.0;
+  }
+  [[nodiscard]] double gap_share() const {
+    return total_s > 0 ? gap_s / total_s : 0.0;
+  }
+};
+
+/// Fold a (quiesced) snapshot into the per-stage breakdown. Tasks with a
+/// wrapped/torn history simply contribute what survived.
+[[nodiscard]] StageBreakdown stage_breakdown(
+    const std::vector<SpanEvent>& events);
+
 }  // namespace falkon::obs
