@@ -26,8 +26,8 @@ TOL="${BENCH_TOLERANCE:-0.5}"
 # point), independent of how the absolute baseline numbers drift.
 MONO_TOL="${BENCH_MONO_TOLERANCE:-0.20}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-BENCHES="bench_fig3_throughput bench_fig5_bundling bench_ha bench_micro"
-SNAPSHOTS="BENCH_fig3_throughput.json BENCH_fig5_bundling.json BENCH_ha.json BENCH_micro.json"
+BENCHES="bench_fig3_throughput bench_fig4_data_throughput bench_fig5_bundling bench_ha bench_micro"
+SNAPSHOTS="BENCH_fig3_throughput.json BENCH_fig4.json BENCH_fig5_bundling.json BENCH_ha.json BENCH_micro.json"
 
 echo "== Release build (bench) =="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -158,6 +158,26 @@ if ! awk '
       }
       printf "ok   rss_per_conn_kb: %.1f at 256 conns vs %.1f at 16\n", r256, r16
     }' BENCH_micro.json; then
+  status=1
+fi
+
+# Data-diffusion locality gate (docs/DATA.md): with warm caches and
+# good-cache-compute routing the TCP fleet must sustain at least 3x the
+# all-miss shared-FS series — the ratio is host-independent (both series
+# run on the same machine in the same process), so it gates hard where the
+# absolute floors above stay loose.
+echo "== fig4 data-diffusion warm/miss ratio (>= 3x) =="
+if ! awk '
+    /"bench\.fig4\.tcp_tasks_per_s\{cache=miss,executors=8\}"/ { miss = $2 + 0 }
+    /"bench\.fig4\.tcp_tasks_per_s\{cache=warm,executors=8\}"/ { warm = $2 + 0 }
+    END {
+      if (miss <= 0 || warm <= 0) { print "FAIL: fig4 tcp gauges missing"; exit 1 }
+      if (warm < 3 * miss) {
+        printf "FAIL warm vs miss: %.0f tasks/s < 3x the all-miss %.0f\n", warm, miss
+        exit 1
+      }
+      printf "ok   warm vs miss: %.0f tasks/s vs %.0f (%.1fx)\n", warm, miss, warm / miss
+    }' BENCH_fig4.json; then
   status=1
 fi
 

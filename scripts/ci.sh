@@ -30,6 +30,12 @@
 # election exchange and the promotion handoff are exactly the cross-thread
 # sharing TSan is for).
 #
+# The data stage (ctest -L data, see docs/DATA.md) re-runs the
+# data-diffusion stack — wire fuzz for the digest/fetch/evict messages and
+# the end-to-end TCP locality/P2P-fetch suite — under ASan+UBSan, and the
+# TCP suite again under TSan in the opt-in pass (digest application races
+# the router's holder index; evictions race in-flight routing decisions).
+#
 # An optional coverage pass (`scripts/ci.sh coverage`) builds with gcov
 # instrumentation, runs the tier-1 + prop suites, and reports line/branch
 # coverage via gcovr when the tool is installed — informational only,
@@ -66,6 +72,12 @@ build-ci-asan/tests/test_chaos --gtest_filter='ChaosHa.*'
 echo "== HA durability/failover suite under ASan+UBSan =="
 ctest --test-dir build-ci-asan --output-on-failure -L ha
 
+echo "== Data-diffusion suite under ASan+UBSan =="
+# ctest -L data (see docs/DATA.md): digest advertising over heartbeats,
+# good-cache-compute routing, peer-to-peer fetch and the LRU evict path —
+# the suites to re-run by themselves when touching the data plane.
+ctest --test-dir build-ci-asan --output-on-failure -L data
+
 if [ "${1:-}" = "bench" ]; then
   echo "== Benchmark gate =="
   scripts/bench.sh
@@ -100,7 +112,7 @@ if [ "${1:-}" = "tsan" ]; then
   # 10k-connection test_net_soak out of the TSan pass: 20k fds at TSan
   # slowdown blows the time budget without adding new interleavings.)
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net$|test_tcp|test_wal|test_ha'
+        -R 'test_obs|test_dispatcher|test_executor|test_stress|test_net$|test_tcp|test_wal|test_ha|test_dataaware'
   echo "== Sharded-reactor suites under TSan =="
   # The multi-loop paths alone first, so a race report names the shard
   # machinery (accept handoff, set_affinity migration, cross-thread flush

@@ -51,6 +51,13 @@ struct TaskSpec {
 
   /// Whether the client wants STDOUT/STDERR contents returned.
   bool capture_output{true};
+
+  // Data-diffusion routing stamp (docs/DATA.md). Set by the dispatcher when
+  // the locality policy routed this task onto an executor it believes holds
+  // `data_object`; `data_source` names a "host:port" alternate holder the
+  // executor may fetch from peer-to-peer if its own cache misses.
+  bool expect_cached{false};
+  std::string data_source;
 };
 
 enum class TaskState : std::uint8_t {

@@ -58,6 +58,11 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
     m_overhead_ = &reg.histogram("falkon.task.overhead_s", 1e-6, 1e4);
     m_bundle_size_ = &reg.histogram("falkon.dispatcher.bundle_size", 1.0, 4096.0);
     m_lock_wait_ = &reg.histogram("falkon.dispatcher.lock_wait_s", 1e-9, 1.0);
+    m_data_stale_routes_ = &reg.counter("falkon.data.stale_routes");
+    m_data_overwait_ = &reg.counter("falkon.data.locality_overwait");
+    m_data_deferrals_ = &reg.counter("falkon.data.locality_deferrals");
+    m_data_digests_ = &reg.counter("falkon.data.digests_applied");
+    m_data_evictions_ = &reg.counter("falkon.data.evictions");
   }
   if (config_.sweep_interval_s > 0) {
     sweeper_ = std::thread([this] { sweeper_loop(); });
@@ -216,6 +221,50 @@ void Dispatcher::cache_insert_locked(ExecutorEntry& entry,
                   : std::make_shared<std::unordered_set<std::string>>();
   next->insert(object);
   entry.cached_objects = std::move(next);
+  holders_add(object, entry.id.value);
+}
+
+void Dispatcher::cache_erase_locked(ExecutorEntry& entry,
+                                    const std::string& object) {
+  if (entry.cached_objects == nullptr ||
+      entry.cached_objects->count(object) == 0) {
+    return;
+  }
+  auto next = std::make_shared<std::unordered_set<std::string>>(
+      *entry.cached_objects);
+  next->erase(object);
+  entry.cached_objects = std::move(next);
+  holders_remove(object, entry.id.value);
+}
+
+void Dispatcher::holders_add(const std::string& object,
+                             std::uint64_t executor_value) {
+  std::lock_guard lock(data_mu_);
+  holders_[object].insert(executor_value);
+}
+
+void Dispatcher::holders_remove(const std::string& object,
+                                std::uint64_t executor_value) {
+  std::lock_guard lock(data_mu_);
+  auto it = holders_.find(object);
+  if (it == holders_.end()) return;
+  it->second.erase(executor_value);
+  if (it->second.empty()) holders_.erase(it);
+}
+
+std::string Dispatcher::alternate_holder(const std::string& object,
+                                         std::uint64_t exclude) {
+  std::lock_guard lock(data_mu_);
+  auto it = holders_.find(object);
+  if (it == holders_.end()) return {};
+  for (const auto value : it->second) {
+    if (value == exclude) continue;
+    auto eit = data_endpoints_.find(value);
+    if (eit != data_endpoints_.end() && !eit->second.empty()) {
+      return eit->second;
+    }
+  }
+  return {};
 }
 
 ExecutorCandidate Dispatcher::candidate_of(const ExecutorEntry& entry) {
@@ -463,6 +512,11 @@ Result<ExecutorId> Dispatcher::register_executor(
     shard.entries.emplace(id.value, std::move(entry));
   }
   registered_.fetch_add(1, std::memory_order_relaxed);
+  // Registration-time cache digest (data diffusion): seed the mirror and
+  // P2P endpoint before the first notification can route on this executor.
+  if (request.data_port != 0 || !request.cached.empty()) {
+    apply_digest(id, /*generation=*/0, request.data_port, request.cached);
+  }
   idle_insert(id.value);  // fresh entries start idle
   pump_notifications();
   return id;
@@ -519,6 +573,20 @@ bool Dispatcher::remove_executor(std::uint64_t executor_value,
   {
     std::lock_guard elock(entry->mu);
     entry->removed = true;
+    // Purge the data-diffusion index: a dead executor must not be offered
+    // as a P2P source or a locality target (I11).
+    {
+      std::lock_guard dlock(data_mu_);
+      if (entry->cached_objects != nullptr) {
+        for (const auto& object : *entry->cached_objects) {
+          auto it = holders_.find(object);
+          if (it == holders_.end()) continue;
+          it->second.erase(executor_value);
+          if (it->second.empty()) holders_.erase(it);
+        }
+      }
+      data_endpoints_.erase(executor_value);
+    }
     // set_state_locked early-returns when the entry was already idle, so
     // drop it from the idle set explicitly — removed executors must never
     // be notification candidates.
@@ -600,9 +668,26 @@ Status Dispatcher::heartbeat(ExecutorId executor_id) {
   if (m_heartbeats_) m_heartbeats_->inc();
   auto entry = find_entry(executor_id.value);
   if (entry == nullptr) return unknown_executor(executor_id.value);
-  std::lock_guard elock(entry->mu);
-  if (entry->removed) return unknown_executor(executor_id.value);
-  entry->last_heartbeat_s = clock_.now_s();
+  {
+    std::lock_guard elock(entry->mu);
+    if (entry->removed) return unknown_executor(executor_id.value);
+    entry->last_heartbeat_s = clock_.now_s();
+  }
+  // Locality-withheld heads (data-aware policies only) wait for their
+  // advertised holder; once overdue, any executor may take them — but a
+  // deferred executor sits in its notification wait with nothing pending.
+  // Heartbeats are the fleet's periodic pulse, so use them to re-offer an
+  // overdue head instead of letting it ride until the next submit/delivery.
+  if (!policy_head_only_ && config_.max_locality_wait_s > 0) {
+    bool overdue = false;
+    {
+      std::lock_guard qlock(queue_mu_);
+      overdue = !queue_.empty() &&
+                clock_.now_s() - queue_.front().enqueue_s >
+                    config_.max_locality_wait_s;
+    }
+    if (overdue) pump_notifications();
+  }
   return ok_status();
 }
 
@@ -774,6 +859,16 @@ void Dispatcher::dispatch_one_locked(ExecutorEntry& entry, QueuedTask task,
   dispatched.dispatch_s = now;
   dispatched.attempts = task.attempts;
   dispatched.killers = std::move(task.killers);
+  // Data-diffusion routing stamp: tell the executor whether we routed it
+  // here because its digest advertises the input, and name an alternate
+  // holder it can fetch from peer-to-peer on a (stale-digest) miss.
+  if (!task.spec.data_object.empty()) {
+    task.spec.expect_cached =
+        entry.cached_objects != nullptr &&
+        entry.cached_objects->count(task.spec.data_object) > 0;
+    task.spec.data_source =
+        alternate_holder(task.spec.data_object, entry.id.value);
+  }
   dispatched.spec = task.spec;
   const std::uint64_t task_id = task.spec.id.value;
   if (tracer_) {
@@ -853,6 +948,60 @@ std::vector<TaskSpec> Dispatcher::take_work_entry_locked(ExecutorEntry& entry,
           window.push_back(&queue_[i].spec);
         }
         pick = std::min(policy_->select_task(self, window), window_size - 1);
+        const bool head_overdue =
+            config_.max_locality_wait_s > 0 &&
+            now - queue_.front().enqueue_s > config_.max_locality_wait_s;
+        if (pick == 0 && !head_overdue && config_.max_locality_wait_s > 0 &&
+            !queue_.front().spec.data_object.empty()) {
+          // Good-cache-compute withhold: the head is a young data task and
+          // this executor was picked only as a fallback. If another live
+          // executor currently advertises the object, leave the head for
+          // it and end this exchange — a racing double-notification (or an
+          // idle probe) must not bleed cached work onto a cold executor.
+          // I12 keeps this bounded: once the head is overdue, whoever asks
+          // gets it.
+          const std::string& object = queue_.front().spec.data_object;
+          const bool self_holds =
+              entry.cached_objects != nullptr &&
+              entry.cached_objects->count(object) > 0;
+          if (!self_holds &&
+              !alternate_holder(object, entry.id.value).empty()) {
+            n_data_deferrals_.fetch_add(1, std::memory_order_relaxed);
+            if (m_data_deferrals_) m_data_deferrals_->inc();
+            break;
+          }
+        }
+        if (pick != 0) {
+          // Locality deferral bound (I12): once the queue head has waited
+          // past max_locality_wait_s, it dispatches to whoever asks —
+          // cache affinity never starves a task.
+          if (config_.max_locality_wait_s > 0 &&
+              now - queue_.front().enqueue_s > config_.max_locality_wait_s) {
+            pick = 0;
+          } else {
+            n_data_deferrals_.fetch_add(1, std::memory_order_relaxed);
+            if (m_data_deferrals_) m_data_deferrals_->inc();
+          }
+        }
+        // Self-checks (docs/DATA.md): both counters must stay 0.
+        // I12: a non-head pick while the head is overdue would be a
+        // starvation window the bound failed to close.
+        if (pick != 0 && config_.max_locality_wait_s > 0 &&
+            now - queue_.front().enqueue_s > config_.max_locality_wait_s) {
+          n_data_overwait_.fetch_add(1, std::memory_order_relaxed);
+          if (m_data_overwait_) m_data_overwait_->inc();
+        }
+        // I11: a locality pick must be backed by a currently advertised
+        // (and not since evicted) digest entry for THIS executor.
+        if (pick != 0 && !queue_[pick].spec.data_object.empty()) {
+          const bool advertised =
+              entry.cached_objects != nullptr &&
+              entry.cached_objects->count(queue_[pick].spec.data_object) > 0;
+          if (!advertised) {
+            n_data_stale_routes_.fetch_add(1, std::memory_order_relaxed);
+            if (m_data_stale_routes_) m_data_stale_routes_->inc();
+          }
+        }
       }
       // Estimate-balanced bundling: never grow a non-empty bundle past the
       // runtime budget (section 3.4's runtime-estimate fix for imbalance).
@@ -1119,6 +1268,76 @@ void Dispatcher::note_cached_object(ExecutorId executor_id,
   if (entry == nullptr) return;
   std::lock_guard elock(entry->mu);
   if (!entry->removed) cache_insert_locked(*entry, object);
+}
+
+void Dispatcher::apply_digest(ExecutorId executor_id, std::uint64_t generation,
+                              std::uint32_t data_port,
+                              const std::vector<std::string>& objects) {
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) return;
+  std::lock_guard elock(entry->mu);
+  if (entry->removed) return;
+  // A generation at or below the last applied one is a reordered stale
+  // digest; routing on it would violate I11. Generation 0 (registration
+  // seed) always applies — the entry is fresh.
+  if (generation != 0 && generation <= entry->digest_generation) return;
+  entry->digest_generation = std::max(entry->digest_generation, generation);
+  auto next = std::make_shared<std::unordered_set<std::string>>(
+      objects.begin(), objects.end());
+  {
+    std::lock_guard dlock(data_mu_);
+    if (data_port != 0) {
+      entry->info.data_port = data_port;
+      data_endpoints_[executor_id.value] =
+          entry->info.host + ":" + std::to_string(data_port);
+    }
+    // Full replace: drop index entries no longer advertised, add new ones.
+    if (entry->cached_objects != nullptr) {
+      for (const auto& object : *entry->cached_objects) {
+        if (next->count(object) != 0) continue;
+        auto it = holders_.find(object);
+        if (it == holders_.end()) continue;
+        it->second.erase(executor_id.value);
+        if (it->second.empty()) holders_.erase(it);
+      }
+    }
+    for (const auto& object : *next) {
+      holders_[object].insert(executor_id.value);
+    }
+  }
+  entry->cached_objects = std::move(next);
+  n_data_digests_.fetch_add(1, std::memory_order_relaxed);
+  if (m_data_digests_) m_data_digests_->inc();
+}
+
+Status Dispatcher::evict_cached_object(ExecutorId executor_id,
+                                       const std::string& object) {
+  if (object.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty object in evict");
+  }
+  auto entry = find_entry(executor_id.value);
+  if (entry == nullptr) return unknown_executor(executor_id.value);
+  std::lock_guard elock(entry->mu);
+  if (entry->removed) return unknown_executor(executor_id.value);
+  if (entry->cached_objects == nullptr ||
+      entry->cached_objects->count(object) == 0) {
+    return make_error(ErrorCode::kNotFound,
+                      "object not advertised by executor: " + object);
+  }
+  cache_erase_locked(*entry, object);
+  n_data_evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (m_data_evictions_) m_data_evictions_->inc();
+  return ok_status();
+}
+
+Dispatcher::DataStats Dispatcher::data_stats() const {
+  DataStats stats;
+  stats.stale_routes = n_data_stale_routes_.load(std::memory_order_relaxed);
+  stats.locality_overwait = n_data_overwait_.load(std::memory_order_relaxed);
+  stats.locality_deferrals = n_data_deferrals_.load(std::memory_order_relaxed);
+  stats.digests_applied = n_data_digests_.load(std::memory_order_relaxed);
+  stats.evictions = n_data_evictions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 DispatcherStatus Dispatcher::status() const {

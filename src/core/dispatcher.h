@@ -90,6 +90,13 @@ struct DispatcherConfig {
   /// Values < 1 are treated as 1.
   int executor_shards{8};
 
+  /// Locality deferral bound (docs/DATA.md, invariant I12): when > 0 and
+  /// the task at the head of the wait queue has been runnable longer than
+  /// this, locality-seeking policies (good-cache-compute, data-aware) are
+  /// overridden and the head is dispatched to the next executor that asks,
+  /// so cache affinity can never starve a task. 0 disables the bound.
+  double max_locality_wait_s{0.0};
+
   /// Observability context (metrics + lifecycle tracing); nullptr disables
   /// all instrumentation at zero cost. See docs/OBSERVABILITY.md.
   obs::Obs* obs{nullptr};
@@ -239,6 +246,34 @@ class Dispatcher {
   /// consulted by the data-aware policy).
   void note_cached_object(ExecutorId executor, const std::string& object);
 
+  /// Replace the dispatcher's mirror of an executor's cache with an
+  /// advertised digest (registration piggyback, kHeartbeatRequest piggyback
+  /// or a standalone kCacheDigest). `generation` is the executor's digest
+  /// sequence number: a digest at or below the last applied generation is
+  /// stale (reordered on the wire) and ignored. `data_port` updates the
+  /// executor's P2P fetch endpoint (0 keeps the current one).
+  void apply_digest(ExecutorId executor, std::uint64_t generation,
+                    std::uint32_t data_port,
+                    const std::vector<std::string>& objects);
+
+  /// Remove one object from an executor's mirrored cache (kDataEvict
+  /// notice) so the locality router stops routing on it (invariant I11).
+  /// kNotFound when the executor is unknown or never advertised the object
+  /// (the transport answers with an ErrorReply; the connection survives).
+  Status evict_cached_object(ExecutorId executor, const std::string& object);
+
+  /// Data-diffusion self-check counters (docs/DATA.md). stale_routes and
+  /// locality_overwait are invariant violations (I11/I12) and must read 0;
+  /// locality_deferrals counts non-head locality picks (diagnostic).
+  struct DataStats {
+    std::uint64_t stale_routes{0};
+    std::uint64_t locality_overwait{0};
+    std::uint64_t locality_deferrals{0};
+    std::uint64_t digests_applied{0};
+    std::uint64_t evictions{0};
+  };
+  [[nodiscard]] DataStats data_stats() const;
+
   // ---- provisioner operations ----
   [[nodiscard]] DispatcherStatus status() const;
 
@@ -351,6 +386,9 @@ class Dispatcher {
     /// Copy-on-write: candidates snapshot the set, so the data-aware
     /// policy can probe it after the entry lock is released.
     std::shared_ptr<const std::unordered_set<std::string>> cached_objects;
+    /// Highest digest generation applied for this executor; stale digests
+    /// (wire reordering) are dropped.
+    std::uint64_t digest_generation{0};
     bool release_requested{false};
     /// This executor's in-flight tasks (by TaskId). Sharded counterpart of
     /// the old global dispatched map: a late duplicate from an executor
@@ -409,6 +447,20 @@ class Dispatcher {
 
   // Requires entry.mu held.
   void cache_insert_locked(ExecutorEntry& entry, const std::string& object);
+
+  // Requires entry.mu held. Removes one object from the COW cached set.
+  void cache_erase_locked(ExecutorEntry& entry, const std::string& object);
+
+  /// "host:port" of an executor other than `exclude` that holds `object`
+  /// per the holders index, or "" when none. Takes data_mu_ then a shard
+  /// mutex (both leaves; caller may hold an entry mutex, never another
+  /// entry's).
+  std::string alternate_holder(const std::string& object,
+                               std::uint64_t exclude);
+
+  // holders_ index maintenance; take data_mu_ internally (leaf).
+  void holders_add(const std::string& object, std::uint64_t executor_value);
+  void holders_remove(const std::string& object, std::uint64_t executor_value);
 
   ExecutorCandidate candidate_of(const ExecutorEntry& entry);
 
@@ -490,6 +542,11 @@ class Dispatcher {
   obs::Histogram* m_overhead_{nullptr};
   obs::Histogram* m_bundle_size_{nullptr};
   obs::Histogram* m_lock_wait_{nullptr};
+  obs::Counter* m_data_stale_routes_{nullptr};
+  obs::Counter* m_data_overwait_{nullptr};
+  obs::Counter* m_data_deferrals_{nullptr};
+  obs::Counter* m_data_digests_{nullptr};
+  obs::Counter* m_data_evictions_{nullptr};
 
   // ---- sharded executor registry ----
   std::unique_ptr<Shard[]> shards_;
@@ -530,6 +587,24 @@ class Dispatcher {
   /// Bounded by the number of detector verdicts in the process lifetime.
   std::mutex suspect_mu_;
   std::unordered_set<std::uint64_t> suspected_;
+
+  /// Reverse index of the per-entry cached_objects mirrors:
+  /// object -> executors advertising it. Consulted to stamp an alternate
+  /// P2P source onto dispatched tasks. Guarded by data_mu_, a leaf taken
+  /// under entry mutexes (never holds another lock).
+  mutable std::mutex data_mu_;
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>> holders_;
+  /// executor -> "host:port" P2P fetch endpoint (executors with a data
+  /// server only). Kept here rather than read from other entries so
+  /// alternate_holder never touches a second entry mutex.
+  std::unordered_map<std::uint64_t, std::string> data_endpoints_;
+
+  // Data-diffusion counters (see data_stats()).
+  std::atomic<std::uint64_t> n_data_stale_routes_{0};
+  std::atomic<std::uint64_t> n_data_overwait_{0};
+  std::atomic<std::uint64_t> n_data_deferrals_{0};
+  std::atomic<std::uint64_t> n_data_digests_{0};
+  std::atomic<std::uint64_t> n_data_evictions_{0};
 
   // ---- counters (lock-free snapshots for status()) ----
   std::atomic<std::uint64_t> n_submitted_{0};

@@ -29,6 +29,8 @@
 
 namespace falkon::core {
 
+class DataPlane;
+
 using wire::kReleaseResourceKey;
 
 /// Executor's view of the dispatcher.
@@ -91,6 +93,12 @@ struct ExecutorOptions {
 
   /// Observability context; nullptr disables instrumentation at zero cost.
   obs::Obs* obs{nullptr};
+
+  /// Data-diffusion plane (docs/DATA.md): when set, the TCP transport
+  /// piggybacks this plane's cache digest on registration and heartbeats
+  /// and drains its eviction notices. The runtime itself never touches it —
+  /// staging happens inside the task engine. Must outlive the executor.
+  DataPlane* data{nullptr};
 
   // ---- failure detection & recovery (docs/FAULTS.md) ----
 

@@ -34,6 +34,35 @@ std::size_t DataAwarePolicy::select_task(
   return 0;
 }
 
+std::size_t GoodCacheComputePolicy::select(
+    const TaskSpec& task, const std::vector<ExecutorCandidate>& idle) {
+  if (!task.data_object.empty()) {
+    const std::size_t limit = std::min(idle.size(), lookahead_);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (idle[i].has_cached && idle[i].has_cached(task.data_object)) return i;
+    }
+  }
+  return 0;
+}
+
+std::size_t GoodCacheComputePolicy::select_task(
+    const ExecutorCandidate& self, const std::vector<const TaskSpec*>& queue) {
+  const std::size_t limit = std::min(queue.size(), lookahead_);
+  std::size_t first_dataless = queue.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (queue[i]->data_object.empty()) {
+      if (first_dataless == queue.size()) first_dataless = i;
+      continue;
+    }
+    if (self.has_cached && self.has_cached(queue[i]->data_object)) return i;
+  }
+  // No self-cached data task in the window: take the first pure-compute task
+  // so data tasks keep waiting for their cache holders. Fall back to the
+  // head when the whole window is data-bound.
+  if (first_dataless < queue.size()) return first_dataless;
+  return 0;
+}
+
 int AcquisitionPolicy::deficit(const AcquisitionContext& ctx) {
   const int supply = ctx.busy_executors + ctx.idle_executors +
                      ctx.pending_executors;

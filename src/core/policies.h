@@ -98,6 +98,30 @@ class DataAwarePolicy final : public DispatchPolicy {
   std::size_t lookahead_;
 };
 
+/// Data-diffusion "good cache compute" policy (docs/DATA.md). Like
+/// DataAwarePolicy, but when an executor asks for work it additionally
+/// prefers tasks with no data dependency over tasks whose input is cached
+/// on some *other* executor — those stay queued for their cache holder to
+/// claim. The dispatcher bounds the resulting deferral with
+/// DispatcherConfig::max_locality_wait_s so locality never starves a task
+/// (invariant I12); the policy itself only expresses the preference.
+class GoodCacheComputePolicy final : public DispatchPolicy {
+ public:
+  explicit GoodCacheComputePolicy(std::size_t lookahead = 32)
+      : lookahead_(lookahead) {}
+  [[nodiscard]] const char* name() const override {
+    return "good-cache-compute";
+  }
+  [[nodiscard]] std::size_t select(
+      const TaskSpec& task, const std::vector<ExecutorCandidate>& idle) override;
+  [[nodiscard]] std::size_t select_task(
+      const ExecutorCandidate& self,
+      const std::vector<const TaskSpec*>& queue) override;
+
+ private:
+  std::size_t lookahead_;
+};
+
 // ------------------------------------------------------------------ replay
 
 struct ReplayPolicy {

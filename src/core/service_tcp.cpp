@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "core/data_plane.h"
 
 namespace falkon::core {
 namespace {
@@ -93,6 +94,12 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
       return r->executor_id.value;
     }
     if (const auto* r = std::get_if<HeartbeatRequest>(&m)) {
+      return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<CacheDigest>(&m)) {
+      return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<DataEvict>(&m)) {
       return r->executor_id.value;
     }
     return 0;
@@ -269,6 +276,30 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
   if (const auto* m = std::get_if<HeartbeatRequest>(&request)) {
     auto result = dispatcher_.heartbeat(m->executor_id);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    if (m->has_digest) {
+      // Piggybacked cache digest (docs/DATA.md): refresh the locality
+      // router's mirror in the same exchange that proves liveness.
+      dispatcher_.apply_digest(m->executor_id, m->digest_generation,
+                               m->data_port, m->cached);
+    }
+    return HeartbeatReply{};
+  }
+  if (const auto* m = std::get_if<CacheDigest>(&request)) {
+    // Standalone digest refresh (same payload the heartbeat piggybacks);
+    // unknown executors are a protocol error, not a transport teardown.
+    auto entry = dispatcher_.heartbeat(m->executor_id);
+    if (!entry.ok()) return ErrorReply{entry.error().code, entry.error().message};
+    dispatcher_.apply_digest(m->executor_id, m->generation, m->data_port,
+                             m->objects);
+    return HeartbeatReply{};
+  }
+  if (const auto* m = std::get_if<DataEvict>(&request)) {
+    // Incremental eviction notice: the object must stop attracting locality
+    // routes immediately (invariant I11). Unknown executor or an object the
+    // executor never advertised answers kNotFound — an ErrorReply, never a
+    // connection teardown.
+    auto result = dispatcher_.evict_cached_object(m->executor_id, m->object);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
     return HeartbeatReply{};
   }
   if (const auto* m = std::get_if<DeregisterRequest>(&request)) {
@@ -374,7 +405,16 @@ Result<wire::Message> TcpExecutorHarness::Link::roundtrip(
 
 Result<ExecutorId> TcpExecutorHarness::Link::register_executor(
     const wire::RegisterRequest& request) {
-  auto reply = expect<wire::RegisterReply>(roundtrip(request));
+  wire::RegisterRequest stamped = request;
+  if (data_ != nullptr) {
+    // Seed the dispatcher's cache mirror in the registration itself so a
+    // warm executor (or one re-registering on a promoted standby) attracts
+    // locality routes from its very first get-work.
+    stamped.data_port = data_->port();
+    stamped.cached = data_->digest().objects;
+    sent_digest_generation_.store(~0ull, std::memory_order_release);
+  }
+  auto reply = expect<wire::RegisterReply>(roundtrip(stamped));
   if (!reply.ok()) return reply.error();
   epoch_.store(reply.value().epoch, std::memory_order_release);
   return reply.value().executor_id;
@@ -423,8 +463,32 @@ Status TcpExecutorHarness::Link::deregister(ExecutorId executor,
 Status TcpExecutorHarness::Link::heartbeat(ExecutorId executor) {
   wire::HeartbeatRequest request;
   request.executor_id = executor;
+  std::uint64_t digest_generation = 0;
+  if (data_ != nullptr) {
+    // Incremental eviction notices first: a kDataEvict must land before the
+    // dispatcher's next routing decision even when the digest below is
+    // skipped as unchanged. kNotFound (already gone upstream) is fine.
+    for (auto& object : data_->take_evict_notices()) {
+      wire::DataEvict evict;
+      evict.executor_id = executor;
+      evict.object = std::move(object);
+      (void)roundtrip(evict);
+    }
+    auto digest = data_->digest();
+    digest_generation = digest.generation;
+    if (digest_generation !=
+        sent_digest_generation_.load(std::memory_order_acquire)) {
+      request.has_digest = true;
+      request.digest_generation = digest_generation;
+      request.data_port = data_->port();
+      request.cached = std::move(digest.objects);
+    }
+  }
   auto reply = expect<wire::HeartbeatReply>(roundtrip(request));
   if (!reply.ok()) return reply.error();
+  if (request.has_digest) {
+    sent_digest_generation_.store(digest_generation, std::memory_order_release);
+  }
   return ok_status();
 }
 
@@ -446,6 +510,12 @@ TcpExecutorHarness::TcpExecutorHarness(Clock& clock, std::string host,
 TcpExecutorHarness::~TcpExecutorHarness() { stop(); }
 
 Status TcpExecutorHarness::start() {
+  if (options_.data != nullptr) {
+    // Bring the peer-to-peer fetch server up before registering: the
+    // registration advertises its port, so it must already be listening.
+    if (auto status = options_.data->start(); !status.ok()) return status;
+    link_.set_data(options_.data);
+  }
   if (auto status = link_.connect(host_, rpc_port_, options_.fault,
                                   options_.obs);
       !status.ok()) {

@@ -217,6 +217,11 @@ class TcpExecutorHarness {
     Status deregister(ExecutorId executor, const std::string& reason) override;
     Status heartbeat(ExecutorId executor) override;
 
+    /// Attach the executor's data plane (docs/DATA.md): registration and
+    /// heartbeats piggyback its cache digest, and heartbeats drain its
+    /// eviction notices into kDataEvict frames. Call before connect().
+    void set_data(DataPlane* data) { data_ = data; }
+
     /// Dispatcher epoch from the last RegisterReply — bumps after the
     /// executor re-registers on a promoted standby (docs/HA.md).
     [[nodiscard]] std::uint64_t epoch() const {
@@ -240,6 +245,10 @@ class TcpExecutorHarness {
     /// in the next ResultBundle (guarded by mu_).
     std::uint64_t last_bundle_seq_{0};
     std::atomic<std::uint64_t> epoch_{0};
+    DataPlane* data_{nullptr};
+    /// Generation of the last digest the dispatcher acknowledged; ~0 forces
+    /// a full digest on the next heartbeat (fresh link or re-registration).
+    std::atomic<std::uint64_t> sent_digest_generation_{~0ull};
   };
 
   Clock& clock_;

@@ -48,11 +48,25 @@ void DataCache::clear() {
   used_ = 0;
 }
 
+std::vector<std::string> DataCache::objects() const {
+  std::vector<std::string> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.object);
+  return out;
+}
+
+std::vector<std::string> DataCache::take_evictions() {
+  std::vector<std::string> out;
+  out.swap(evicted_);
+  return out;
+}
+
 void DataCache::evict_to_fit(std::uint64_t incoming_bytes) {
   while (!lru_.empty() && used_ + incoming_bytes > capacity_) {
-    const Entry& victim = lru_.back();
+    Entry& victim = lru_.back();
     used_ -= victim.bytes;
     map_.erase(victim.object);
+    evicted_.push_back(std::move(victim.object));
     lru_.pop_back();
   }
 }

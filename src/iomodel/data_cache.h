@@ -12,6 +12,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace falkon::iomodel {
 
@@ -34,6 +35,15 @@ class DataCache {
 
   void erase(const std::string& object);
   void clear();
+
+  /// Snapshot of cached object names, most-recently-used first. Used to
+  /// build the cache digest advertised to the dispatcher.
+  [[nodiscard]] std::vector<std::string> objects() const;
+
+  /// Drain the names evicted by capacity pressure since the last call.
+  /// Explicit erase()/clear() are caller-initiated and are not recorded —
+  /// the caller already knows about those.
+  [[nodiscard]] std::vector<std::string> take_evictions();
 
   [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
   [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
@@ -59,6 +69,7 @@ class DataCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> map_;
   std::uint64_t hits_{0};
   std::uint64_t misses_{0};
+  std::vector<std::string> evicted_;  // capacity-pressure victims, undrained
 };
 
 }  // namespace falkon::iomodel

@@ -14,6 +14,7 @@ const char* stage_name(Stage stage) {
     case Stage::kExec: return "exec";
     case Stage::kDeliverResult: return "deliver_result";
     case Stage::kAck: return "ack";
+    case Stage::kDataFetch: return "data_fetch";
   }
   return "unknown";
 }

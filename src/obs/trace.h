@@ -33,9 +33,10 @@ enum class Stage : std::uint8_t {
   kExec,           // task running on the executor
   kDeliverResult,  // result travelling back / ingested {6}
   kAck,            // dispatcher acknowledgement (+ piggyback) {7}
+  kDataFetch,      // executor staging a missing object (P2P or shared FS)
 };
 
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 8;
 
 [[nodiscard]] const char* stage_name(Stage stage);
 

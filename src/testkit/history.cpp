@@ -144,6 +144,26 @@ std::vector<std::string> check_invariants(const RunHistory& history) {
             std::to_string(history.submitted) + " submitted tasks");
   }
 
+  // I11 route-on-advertised (data runs): the locality router must never
+  // have picked a task for an executor whose mirror did not advertise the
+  // task's object at pick time — routing on evicted or never-advertised
+  // entries is exactly the bug the digest generations exist to prevent.
+  if (history.data_run && history.stale_route_errors != 0) {
+    violate("I11 route-on-advertised: " +
+            std::to_string(history.stale_route_errors) +
+            " locality picks on unadvertised digest entries");
+  }
+
+  // I12 bounded deferral (data runs): with a configured wait bound, the
+  // queue head must never have been passed over once older than the bound.
+  if (history.data_run && history.max_locality_wait_s >= 0 &&
+      history.locality_overwait != 0) {
+    violate("I12 bounded deferral: " +
+            std::to_string(history.locality_overwait) +
+            " locality picks past max_locality_wait_s=" +
+            std::to_string(history.max_locality_wait_s));
+  }
+
   // Trace-replay invariants need the full history.
   if (!history.trace_complete) return violations;
   const std::vector<obs::TaskHistory> tasks =

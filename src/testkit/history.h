@@ -31,6 +31,15 @@
 //   I10 exactly-once-across-promotion (HA runs) despite takeovers the
 //                           client collected every submitted task exactly
 //                           once — dupes caught by I8, loss caught here
+//   I11 route-on-advertised (data runs) the dispatcher only made locality
+//                           picks on digest entries that were advertised
+//                           and not yet evicted (stale_route_errors == 0;
+//                           executor-side digest_stale misses are the
+//                           *legal* race and stay out of scope)
+//   I12 bounded deferral    (data runs) locality never starved the queue
+//                           head: every task dispatched within
+//                           max_locality_wait_s of becoming runnable
+//                           (locality_overwait == 0)
 //
 // check_conformance compares two histories of the *same* WorkloadSpec (DES
 // vs threaded stack): same task set, both quiescent, same per-task terminal
@@ -86,6 +95,24 @@ struct RunHistory {
   /// then each promoted standby. I9 demands strict increase.
   bool ha_run{false};
   std::vector<std::uint64_t> primary_epochs;
+
+  /// Data-diffusion runs only (data_run): locality-router self-checks and
+  /// executor cache-staleness accounting (docs/DATA.md).
+  bool data_run{false};
+  /// Locality wait bound the run was configured with; < 0 = none (I12
+  /// skipped).
+  double max_locality_wait_s{-1.0};
+  /// Dispatcher: non-head locality picks whose object was not advertised —
+  /// I11 demands 0.
+  std::uint64_t stale_route_errors{0};
+  /// Dispatcher: non-head picks made past the wait bound — I12 demands 0.
+  std::uint64_t locality_overwait{0};
+  /// Executor side: tasks routed as expect_cached whose object had been
+  /// evicted meanwhile. The legal heartbeat-staleness race; recorded so
+  /// suites can assert the fallback fired, never an invariant violation.
+  std::uint64_t digest_stale{0};
+  /// Dispatcher: kDataEvict notices applied to the cache mirror.
+  std::uint64_t data_evictions{0};
 
   /// Fault-injector decisions that fired during the run (0 for fault-free
   /// specs). Lets suites assert their fault-bearing cases actually bit.

@@ -12,6 +12,8 @@
 
 #include "common/clock.h"
 #include "core/client.h"
+#include "core/data_plane.h"
+#include "core/policies.h"
 #include "core/service.h"
 #include "core/service_tcp.h"
 #include "core/task_engine.h"
@@ -39,6 +41,10 @@ obs::ObsConfig trace_config() {
 void nap_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
+
+/// Locality wait bound for data-bearing specs — small enough that I12
+/// keeps the run moving, large enough that deferrals genuinely happen.
+constexpr double kLocalityWaitS = 0.25;
 
 core::DispatcherConfig dispatcher_config(const WorkloadSpec& spec,
                                          obs::Obs& obs,
@@ -69,6 +75,10 @@ core::ExecutorOptions executor_options(const WorkloadSpec& spec,
                                        fault::FaultInjector* injector) {
   core::ExecutorOptions options;
   options.node_id = NodeId{node};
+  // The registered host seeds peer data_source endpoints on data runs, and
+  // the socket layer speaks numeric IPv4 only — the "localhost" default
+  // would fail every loopback P2P fetch over to the shared FS.
+  options.host = "127.0.0.1";
   options.max_bundle = spec.executor_bundle;
   options.piggyback_tasks = spec.piggyback ? spec.executor_bundle : 0;
   options.adaptive_bundle = spec.adaptive_bundle;
@@ -88,7 +98,21 @@ std::vector<TaskSpec> make_tasks(const WorkloadSpec& spec) {
   std::vector<TaskSpec> tasks;
   tasks.reserve(static_cast<std::size_t>(spec.task_count));
   for (std::uint64_t i = 1; i <= spec.task_count; ++i) {
-    tasks.push_back(make_sleep_task(TaskId{i}, spec.task_length_s));
+    if (spec.data_objects > 0) {
+      // Data-bearing workload: every task reads one of `data_objects`
+      // shared-FS objects (round-robin), small enough that the modeled
+      // staging time keeps threaded runs fast.
+      TaskSpec task = make_data_task(
+          TaskId{i}, spec.task_length_s, DataLocation::kSharedFs,
+          IoMode::kRead, /*input_bytes=*/256ULL << 10, /*output_bytes=*/0);
+      task.data_object =
+          "obj-" + std::to_string(i % static_cast<std::uint64_t>(
+                                          spec.data_objects));
+      task.capture_output = false;
+      tasks.push_back(std::move(task));
+    } else {
+      tasks.push_back(make_sleep_task(TaskId{i}, spec.task_length_s));
+    }
   }
   return tasks;
 }
@@ -272,26 +296,60 @@ RunHistory run_tcp(const WorkloadSpec& spec, double deadline_s) {
   }
 
   RealClock clock;
-  core::Dispatcher dispatcher(clock,
-                              dispatcher_config(spec, obs, injector.get()));
+  const bool data_run = spec.data_objects > 0;
+  core::DispatcherConfig dconfig = dispatcher_config(spec, obs, injector.get());
+  std::unique_ptr<core::DispatchPolicy> policy;
+  if (data_run) {
+    // Data-bearing specs run the locality router end to end: the
+    // good-cache-compute policy plus the I12 wait bound.
+    dconfig.max_locality_wait_s = kLocalityWaitS;
+    policy = std::make_unique<core::GoodCacheComputePolicy>();
+  }
+  core::Dispatcher dispatcher(clock, dconfig, std::move(policy));
   core::TcpDispatcherServer server(dispatcher, &obs);
   if (auto status = server.start(0, 0, injector.get()); !status.ok()) {
     history.run_error = "server start: " + status.error().str();
     return history;
   }
 
+  const iomodel::IoModel io_model;
   std::uint64_t next_node = 1;
+  // Data runs: one cache plane per fleet slot, advertising over the real
+  // wire and serving peer fetches. Declared before the fleet so every
+  // plane outlives the harness (and engine) that references it.
+  std::vector<std::unique_ptr<core::DataPlane>> planes(
+      static_cast<std::size_t>(spec.executors));
   std::vector<std::unique_ptr<core::TcpExecutorHarness>> fleet(
       static_cast<std::size_t>(spec.executors));
   const auto respawn = [&](int slot) {
     auto& cell = fleet[static_cast<std::size_t>(slot)];
     if (cell && cell->runtime().running()) return;
     cell.reset();
+    core::ExecutorOptions eopts =
+        executor_options(spec, next_node++, obs, injector.get());
+    std::unique_ptr<core::TaskEngine> engine;
+    core::P2pDataEngine* data_engine = nullptr;
+    if (data_run) {
+      auto& plane = planes[static_cast<std::size_t>(slot)];
+      plane = std::make_unique<core::DataPlane>(
+          core::DataPlaneOptions{.obs = &obs});
+      auto owned = std::make_unique<core::P2pDataEngine>(
+          clock, io_model, spec.executors, *plane, &obs);
+      data_engine = owned.get();
+      engine = std::move(owned);
+      eopts.data = plane.get();
+    } else {
+      engine = std::make_unique<core::SleepEngine>(clock);
+    }
     auto harness = std::make_unique<core::TcpExecutorHarness>(
         clock, "127.0.0.1", server.rpc_port(), server.push_port(),
-        std::make_unique<core::SleepEngine>(clock),
-        executor_options(spec, next_node++, obs, injector.get()));
-    if (harness->start().ok()) cell = std::move(harness);
+        std::move(engine), eopts);
+    if (harness->start().ok()) {
+      if (data_engine != nullptr) {
+        data_engine->set_actor(harness->runtime().id().value);
+      }
+      cell = std::move(harness);
+    }
   };
   for (int slot = 0; slot < spec.executors; ++slot) respawn(slot);
 
@@ -383,6 +441,19 @@ RunHistory run_tcp(const WorkloadSpec& spec, double deadline_s) {
   // (or removal via the sink hook) must retire every outstanding
   // bundle_seq — exactly invariant I7.
   for (auto& harness : fleet) harness.reset();
+  // Crash-injected slots die without a deregister, so their unacked
+  // bundle_seqs retire only when the failure detector removes them
+  // (heartbeat timeout + sweep). Tasks can all finish before that — the
+  // replay timeout is allowed to be shorter than the heartbeat timeout —
+  // so wait for the executor table to settle before reading the ledger.
+  {
+    const auto settle_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (dispatcher.status().registered_executors != 0 &&
+           std::chrono::steady_clock::now() < settle_deadline) {
+      nap_ms(5);
+    }
+  }
 
   obs::Registry& reg = obs.registry();
   history.has_bundle_counters = true;
@@ -391,6 +462,16 @@ RunHistory run_tcp(const WorkloadSpec& spec, double deadline_s) {
   history.bundles_issued = reg.counter("falkon.net.rpc.bundles_issued").value();
   history.bundles_retired =
       reg.counter("falkon.net.rpc.bundles_retired").value();
+
+  if (data_run) {
+    const core::Dispatcher::DataStats data = dispatcher.data_stats();
+    history.data_run = true;
+    history.max_locality_wait_s = dconfig.max_locality_wait_s;
+    history.stale_route_errors = data.stale_routes;
+    history.locality_overwait = data.locality_overwait;
+    history.data_evictions = data.evictions;
+    history.digest_stale = reg.counter("falkon.data.digest_stale").value();
+  }
 
   dispatcher.shutdown();
   server.stop();

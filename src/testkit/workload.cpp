@@ -34,6 +34,10 @@ WorkloadSpec generate_workload(std::uint64_t seed) {
   spec.replay_timeout_s = rng.uniform(0.3, 1.0);
   spec.supervise = true;
 
+  // Roughly a quarter of all cases exercise data-aware routing.
+  spec.data_objects =
+      rng.bernoulli(0.25) ? static_cast<int>(rng.uniform_int(1, 12)) : 0;
+
   // Roughly a third of all cases carry faults.
   spec.fault_intensity = rng.bernoulli(0.35) ? rng.uniform(0.2, 1.0) : 0.0;
   return spec;
@@ -62,6 +66,7 @@ std::string describe(const WorkloadSpec& spec) {
   out += ", .max_retries=" + std::to_string(spec.max_retries);
   out += ", .replay_timeout_s=" + std::to_string(spec.replay_timeout_s);
   out += ", .supervise=" + std::string(spec.supervise ? "true" : "false");
+  out += ", .data_objects=" + std::to_string(spec.data_objects);
   out += ", .fault_intensity=" + std::to_string(spec.fault_intensity);
   out += ", .kill_primary_after=" + std::to_string(spec.kill_primary_after);
   return out + "}";
@@ -80,6 +85,7 @@ std::uint64_t spec_size(const WorkloadSpec& spec) {
   if (spec.max_bundle_runtime_s > 0) size += 1;
   if (spec.client_bundle > 1) size += 1;
   if (!spec.piggyback) size += 1;
+  if (spec.data_objects > 0) size += 2;  // data plane + locality routing
   if (spec.kill_primary_after > 0) size += 8;  // a takeover dominates knobs
   return size;
 }
@@ -103,6 +109,9 @@ std::vector<WorkloadSpec> shrink_candidates(const WorkloadSpec& spec) {
     push([](WorkloadSpec& s) { s.executors -= 1; });
   }
   if (spec.faulty()) push([](WorkloadSpec& s) { s.fault_intensity = 0.0; });
+  if (spec.data_objects > 0) {
+    push([](WorkloadSpec& s) { s.data_objects = 0; });
+  }
   if (spec.kill_primary_after > 0) {
     push([](WorkloadSpec& s) { s.kill_primary_after = 0.0; });
   }

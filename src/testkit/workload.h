@@ -54,6 +54,12 @@ struct WorkloadSpec {
   /// a provisioner holding the allocation at size.
   bool supervise{true};
 
+  // ---- data diffusion (docs/DATA.md) ----
+  /// Distinct data objects attached round-robin to tasks (0 = dataless
+  /// workload). Data-bearing runs use the good-cache-compute policy with a
+  /// bounded locality wait, so invariants I11/I12 get exercised.
+  int data_objects{0};
+
   // ---- fault model ----
   /// 0 = fault-free; otherwise expanded by fault_plan() below. Recoverable
   /// by construction (see fault::random_plan), so properties may demand

@@ -1,5 +1,6 @@
 #include "wire/message.h"
 
+#include <array>
 #include <type_traits>
 
 namespace falkon::wire {
@@ -74,8 +75,43 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kReplAckReply: return "ReplAckReply";
     case MsgType::kElectionPing: return "ElectionPing";
     case MsgType::kElectionAck: return "ElectionAck";
+    case MsgType::kCacheDigest: return "CacheDigest";
+    case MsgType::kDataFetch: return "DataFetch";
+    case MsgType::kDataFetchReply: return "DataFetchReply";
+    case MsgType::kDataEvict: return "DataEvict";
   }
   return "Unknown";
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+DataFetchReply make_data_fetch_reply(std::string object,
+                                     std::uint64_t object_bytes,
+                                     std::string payload) {
+  DataFetchReply reply;
+  reply.object = std::move(object);
+  reply.object_bytes = object_bytes;
+  reply.crc = crc32(payload.data(), payload.size());
+  reply.payload = std::move(payload);
+  return reply;
 }
 
 std::string debug_summary(const Message& message) {
@@ -172,6 +208,20 @@ std::string debug_summary(const Message& message) {
           out += "{epoch=" + num(m.epoch) + ", rank=" + num(m.rank) +
                  ", applied_lsn=" + num(m.applied_lsn) +
                  (m.promoted ? ", promoted" : "") + "}";
+        } else if constexpr (std::is_same_v<T, CacheDigest>) {
+          out += "{executor=" + num(m.executor_id.value) +
+                 ", generation=" + num(m.generation) +
+                 ", port=" + num(m.data_port) +
+                 ", objects=" + num(m.objects.size()) + "}";
+        } else if constexpr (std::is_same_v<T, DataFetch>) {
+          out += "{object=" + m.object + "}";
+        } else if constexpr (std::is_same_v<T, DataFetchReply>) {
+          out += "{object=" + m.object +
+                 ", object_bytes=" + num(m.object_bytes) +
+                 ", payload=" + num(m.payload.size()) + "}";
+        } else if constexpr (std::is_same_v<T, DataEvict>) {
+          out += "{executor=" + num(m.executor_id.value) + ", object=" +
+                 m.object + "}";
         }
       },
       message);
@@ -191,6 +241,8 @@ void encode_task_spec(Writer& w, const TaskSpec& spec) {
   w.put_u64(spec.output_bytes);
   w.put_string(spec.data_object);
   w.put_bool(spec.capture_output);
+  w.put_bool(spec.expect_cached);
+  w.put_string(spec.data_source);
 }
 
 TaskSpec decode_task_spec(Reader& r) {
@@ -207,6 +259,8 @@ TaskSpec decode_task_spec(Reader& r) {
   spec.output_bytes = r.get_u64();
   spec.data_object = r.get_string();
   spec.capture_output = r.get_bool();
+  spec.expect_cached = r.get_bool();
+  spec.data_source = r.get_string();
   return spec;
 }
 
@@ -298,6 +352,8 @@ struct EncodeVisitor {
     w.put_string(m.host);
     w.put_u32(m.slots);
     w.put_u64(m.allocation_id.value);
+    w.put_u32(m.data_port);
+    encode_string_vector(w, m.cached);
   }
   void operator()(const RegisterReply& m) const {
     w.put_u64(m.executor_id.value);
@@ -356,6 +412,10 @@ struct EncodeVisitor {
   }
   void operator()(const HeartbeatRequest& m) const {
     w.put_u64(m.executor_id.value);
+    w.put_u64(m.digest_generation);
+    w.put_u32(m.data_port);
+    w.put_bool(m.has_digest);
+    encode_string_vector(w, m.cached);
   }
   void operator()(const HeartbeatReply&) const {}
   void operator()(const TaskBundle& m) const {
@@ -402,6 +462,23 @@ struct EncodeVisitor {
     w.put_u64(m.applied_lsn);
     w.put_bool(m.promoted);
   }
+  void operator()(const CacheDigest& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_u64(m.generation);
+    w.put_u32(m.data_port);
+    encode_string_vector(w, m.objects);
+  }
+  void operator()(const DataFetch& m) const { w.put_string(m.object); }
+  void operator()(const DataFetchReply& m) const {
+    w.put_string(m.object);
+    w.put_u64(m.object_bytes);
+    w.put_string(m.payload);
+    w.put_u32(m.crc);
+  }
+  void operator()(const DataEvict& m) const {
+    w.put_u64(m.executor_id.value);
+    w.put_string(m.object);
+  }
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -440,6 +517,8 @@ Message decode_payload(MsgType type, Reader& r) {
       m.host = r.get_string();
       m.slots = r.get_u32();
       m.allocation_id = AllocationId{r.get_u64()};
+      m.data_port = r.get_u32();
+      m.cached = decode_string_vector(r);
       return m;
     }
     case MsgType::kRegisterReply: {
@@ -523,8 +602,15 @@ Message decode_payload(MsgType type, Reader& r) {
       m.completed = r.get_u64();
       return m;
     }
-    case MsgType::kHeartbeatRequest:
-      return HeartbeatRequest{ExecutorId{r.get_u64()}};
+    case MsgType::kHeartbeatRequest: {
+      HeartbeatRequest m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.digest_generation = r.get_u64();
+      m.data_port = r.get_u32();
+      m.has_digest = r.get_bool();
+      m.cached = decode_string_vector(r);
+      return m;
+    }
     case MsgType::kHeartbeatReply:
       return HeartbeatReply{};
     case MsgType::kTaskBundle: {
@@ -586,6 +672,36 @@ Message decode_payload(MsgType type, Reader& r) {
       m.rank = r.get_u32();
       m.applied_lsn = r.get_u64();
       m.promoted = r.get_bool();
+      return m;
+    }
+    case MsgType::kCacheDigest: {
+      CacheDigest m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.generation = r.get_u64();
+      m.data_port = r.get_u32();
+      m.objects = decode_string_vector(r);
+      return m;
+    }
+    case MsgType::kDataFetch: {
+      DataFetch m;
+      m.object = r.get_string();
+      return m;
+    }
+    case MsgType::kDataFetchReply: {
+      DataFetchReply m;
+      m.object = r.get_string();
+      m.object_bytes = r.get_u64();
+      m.payload = r.get_string();
+      m.crc = r.get_u32();
+      if (crc32(m.payload.data(), m.payload.size()) != m.crc) {
+        throw CodecError("data fetch payload crc mismatch");
+      }
+      return m;
+    }
+    case MsgType::kDataEvict: {
+      DataEvict m;
+      m.executor_id = ExecutorId{r.get_u64()};
+      m.object = r.get_string();
       return m;
     }
   }

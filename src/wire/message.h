@@ -57,6 +57,10 @@ enum class MsgType : std::uint8_t {
   kReplAckReply = 29,
   kElectionPing = 30,
   kElectionAck = 31,
+  kCacheDigest = 32,
+  kDataFetch = 33,
+  kDataFetchReply = 34,
+  kDataEvict = 35,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -106,6 +110,11 @@ struct RegisterRequest {
   std::string host;           // where the executor runs
   std::uint32_t slots{1};     // concurrent tasks the executor can run
   AllocationId allocation_id; // LRM allocation that created this executor
+  /// Data-plane piggyback (docs/DATA.md): port of the executor's peer
+  /// fetch server (0 = no data plane) and the initial cache digest —
+  /// usually empty, but a restarted executor re-advertises a warm cache.
+  std::uint32_t data_port{0};
+  std::vector<std::string> cached;
 };
 
 struct RegisterReply {
@@ -193,6 +202,14 @@ struct ClientNotify {
 /// failure detector deregisters executors whose beacons stop.
 struct HeartbeatRequest {
   ExecutorId executor_id;
+  /// Cache-digest piggyback (docs/DATA.md): when `has_digest` the beacon
+  /// re-advertises the executor's full cache contents under `generation`
+  /// (bumped on every insert/evict). The dispatcher replaces its mirror
+  /// wholesale; a heartbeat without a digest just proves liveness.
+  std::uint64_t digest_generation{0};
+  std::uint32_t data_port{0};
+  bool has_digest{false};
+  std::vector<std::string> cached;
 };
 
 struct HeartbeatReply {};
@@ -292,6 +309,57 @@ struct ElectionAck {
   bool promoted{false};
 };
 
+// ---- data diffusion (docs/DATA.md) -----------------------------------
+
+/// Executor -> dispatcher: standalone full cache-content advertisement.
+/// The common path piggybacks the digest on RegisterRequest/
+/// HeartbeatRequest; this message exists for out-of-band refreshes (e.g. a
+/// data plane that churned many objects between beacons). `generation`
+/// orders advertisements: the dispatcher drops digests older than the one
+/// it mirrors.
+struct CacheDigest {
+  ExecutorId executor_id;
+  std::uint64_t generation{0};
+  /// Peer fetch port of the executor's data server (0 = no data plane).
+  std::uint32_t data_port{0};
+  std::vector<std::string> objects;
+};
+
+/// Executor -> executor (peer data plane): send me this object.
+struct DataFetch {
+  std::string object;
+};
+
+/// Peer data plane reply: the object's payload. `object_bytes` is the
+/// modeled size for cache accounting (the wire payload is a bounded
+/// synthetic blob); `crc` is crc32(payload) and is verified at decode —
+/// a mismatch is a CodecError, surfaced as kProtocolError like any other
+/// malformed frame. Build replies with make_data_fetch_reply() so the
+/// stamp is always correct.
+struct DataFetchReply {
+  std::string object;
+  std::uint64_t object_bytes{0};
+  std::string payload;
+  std::uint32_t crc{0};
+};
+
+/// Executor -> dispatcher: incremental digest retraction — the LRU evicted
+/// `object`, stop routing tasks that need it here.
+struct DataEvict {
+  ExecutorId executor_id;
+  std::string object;
+};
+
+/// CRC-32 (IEEE, reflected) over a byte range; stamps DataFetchReply
+/// payloads. Local to the wire layer on purpose — ha's WAL checksum lives
+/// above wire in the layering and cannot be shared downward.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Build a DataFetchReply with a correct crc stamp.
+[[nodiscard]] DataFetchReply make_data_fetch_reply(std::string object,
+                                                   std::uint64_t object_bytes,
+                                                   std::string payload);
+
 // NOTE: MsgType values equal variant indices (message_type() casts the
 // index) — new messages must be appended at the end of BOTH lists.
 using Message =
@@ -303,7 +371,8 @@ using Message =
                  DeregisterReply, WaitResultsRequest, WaitResultsReply,
                  ClientNotify, HeartbeatRequest, HeartbeatReply, TaskBundle,
                  ResultBundle, ReplFetch, ReplAppend, ReplSnapshot, ReplAck,
-                 ReplAckReply, ElectionPing, ElectionAck>;
+                 ReplAckReply, ElectionPing, ElectionAck, CacheDigest,
+                 DataFetch, DataFetchReply, DataEvict>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 

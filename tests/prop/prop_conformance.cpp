@@ -80,5 +80,41 @@ TEST(PropConformance, SimAndTcpAgreeUnderForcedFaultPlans) {
       << "no fault ever fired across " << outcome.cases_run << " cases";
 }
 
+TEST(PropConformance, SimAndTcpAgreeOnDataAwareWorkloads) {
+  // The random scan leaves data-bearing specs to chance; force every case
+  // here so the locality router (good-cache-compute + bounded wait) and
+  // the digest/evict wire traffic are conformance-checked on each
+  // invocation — including invariants I11 (route-on-advertised) and I12
+  // (bounded deferral) via the tcp history's data counters.
+  PropertyOptions options;
+  options.base_seed = 9700;
+  options.cases = 6;
+  options.max_shrink_steps = 24;
+  std::uint64_t data_runs_checked = 0;
+  const PropertyOutcome outcome = check_property(
+      "sim-tcp-conformance-data", options, [&](const WorkloadSpec& raw) {
+        WorkloadSpec spec = raw;
+        if (spec.data_objects <= 0) {
+          spec.data_objects = 1 + static_cast<int>(spec.seed % 8);
+        }
+        spec.task_count = std::min<std::uint64_t>(spec.task_count, 96);
+        const RunHistory sim = run_sim(spec);
+        const RunHistory tcp = run_tcp(spec);
+        if (tcp.data_run) ++data_runs_checked;
+        std::vector<std::string> violations = check_invariants(sim);
+        for (auto& v : check_invariants(tcp)) violations.push_back(std::move(v));
+        for (auto& v :
+             check_conformance(sim, tcp, /*require_all_complete=*/true)) {
+          violations.push_back(std::move(v));
+        }
+        return violations;
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report("sim-tcp-conformance-data");
+  // Every pair must have run the tcp side as a data run, or I11/I12 were
+  // never actually evaluated and this suite is vacuous.
+  EXPECT_EQ(data_runs_checked, static_cast<std::uint64_t>(outcome.cases_run))
+      << "tcp histories missing data_run counters";
+}
+
 }  // namespace
 }  // namespace falkon::testkit

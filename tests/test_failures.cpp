@@ -10,7 +10,10 @@
 
 #include "common/clock.h"
 #include "core/client.h"
+#include "core/data_plane.h"
+#include "core/policies.h"
 #include "core/service.h"
+#include "iomodel/io_model.h"
 #include "obs/obs.h"
 
 namespace falkon::core {
@@ -462,6 +465,83 @@ TEST(Failures, SubmitAfterShutdownFailsCleanly) {
   auto submit = dispatcher.submit(instance.value(), sleep_tasks(1));
   ASSERT_FALSE(submit.ok());
   EXPECT_EQ(submit.error().code, ErrorCode::kClosed);
+}
+
+TEST(Failures, StaleDigestRouteFallsBackToPeerFetch) {
+  // Heartbeat-staleness race (docs/DATA.md): executor A advertises an
+  // object, evicts it before its next heartbeat, and the dispatcher —
+  // still routing on the old digest — sends A the task anyway. The
+  // misrouted task must fall back to a peer fetch (counted in
+  // falkon.data.digest_stale), never fail or hang.
+  RealClock clock;
+  obs::Obs obs{obs::ObsConfig{}};
+  DispatcherConfig config;
+  config.obs = &obs;
+  config.max_locality_wait_s = 0.5;
+  Dispatcher dispatcher(clock, config,
+                        std::make_unique<GoodCacheComputePolicy>());
+
+  struct NullSink final : ExecutorSink {
+    void notify(ExecutorId, std::uint64_t) override {}
+  };
+
+  // Two planes holding "hot"; only B's fetch server is live, so a fallback
+  // must go peer-to-peer to B.
+  DataPlane plane_a(DataPlaneOptions{.obs = &obs});
+  DataPlane plane_b(DataPlaneOptions{.obs = &obs});
+  plane_a.insert("hot", 64 << 10);
+  plane_b.insert("hot", 64 << 10);
+  ASSERT_TRUE(plane_b.start().ok());
+
+  wire::RegisterRequest reg_a;
+  reg_a.host = "127.0.0.1";
+  reg_a.data_port = 1;  // any nonzero port registers the digest
+  reg_a.cached = {"hot"};
+  auto id_a =
+      dispatcher.register_executor(reg_a, std::make_shared<NullSink>());
+  wire::RegisterRequest reg_b;
+  reg_b.host = "127.0.0.1";
+  reg_b.data_port = plane_b.port();
+  reg_b.cached = {"hot"};
+  auto id_b =
+      dispatcher.register_executor(reg_b, std::make_shared<NullSink>());
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
+
+  // The race: A's cache drops the object after the digest went out. No
+  // heartbeat carries the eviction before the next routing decision.
+  plane_a.erase("hot");
+
+  auto instance = dispatcher.create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  TaskSpec task =
+      make_data_task(TaskId{1}, 0.0, DataLocation::kSharedFs, IoMode::kRead,
+                     /*input_bytes=*/64 << 10, /*output_bytes=*/0);
+  task.data_object = "hot";
+  ASSERT_TRUE(dispatcher.submit(instance.value(), {task}).ok());
+
+  auto work = dispatcher.get_work(id_a.value(), 1);
+  ASSERT_TRUE(work.ok());
+  ASSERT_EQ(work.value().size(), 1u);
+  const TaskSpec& routed = work.value()[0];
+  EXPECT_TRUE(routed.expect_cached);  // dispatcher believed A still held it
+  EXPECT_EQ(routed.data_source,
+            "127.0.0.1:" + std::to_string(plane_b.port()));
+
+  iomodel::IoModel model;
+  P2pDataEngine engine(clock, model, /*concurrency=*/2, plane_a, &obs);
+  const TaskResult result = engine.run(routed);
+  EXPECT_EQ(result.state, TaskState::kCompleted);
+  EXPECT_EQ(engine.digest_stale(), 1u);
+  EXPECT_EQ(engine.p2p_fetches(), 1u);
+  EXPECT_EQ(obs.registry().counter("falkon.data.digest_stale").value(), 1u);
+  // The route was legal at pick time — A's mirror still advertised the
+  // object — so I11's stale-route self-check must NOT fire.
+  EXPECT_EQ(dispatcher.data_stats().stale_routes, 0u);
+
+  auto outcome =
+      dispatcher.deliver_results(id_a.value(), {result}, /*want_tasks=*/0);
+  EXPECT_TRUE(outcome.ok());
+  dispatcher.shutdown();
 }
 
 }  // namespace

@@ -355,7 +355,7 @@ TEST(ObsTrace, StageNamesCoverAllStages) {
       obs::stage_name(Stage::kSubmit),      obs::stage_name(Stage::kQueued),
       obs::stage_name(Stage::kNotify),      obs::stage_name(Stage::kGetWork),
       obs::stage_name(Stage::kExec),        obs::stage_name(Stage::kDeliverResult),
-      obs::stage_name(Stage::kAck)};
+      obs::stage_name(Stage::kAck),         obs::stage_name(Stage::kDataFetch)};
   EXPECT_EQ(names.size(), obs::kStageCount);
 }
 

@@ -2,6 +2,9 @@
 // over randomly generated protocol messages (TEST_P).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "common/rng.h"
 #include "wire/codec.h"
 #include "wire/framing.h"
@@ -67,6 +70,8 @@ TaskSpec sample_spec(std::uint64_t id) {
   spec.output_bytes = 512;
   spec.data_object = "m16-tile-042.fits";
   spec.capture_output = true;
+  spec.expect_cached = true;
+  spec.data_source = "10.9.8.7:9444";
   return spec;
 }
 
@@ -83,6 +88,8 @@ void expect_spec_eq(const TaskSpec& a, const TaskSpec& b) {
   EXPECT_EQ(a.output_bytes, b.output_bytes);
   EXPECT_EQ(a.data_object, b.data_object);
   EXPECT_EQ(a.capture_output, b.capture_output);
+  EXPECT_EQ(a.expect_cached, b.expect_cached);
+  EXPECT_EQ(a.data_source, b.data_source);
 }
 
 TEST(Message, TaskSpecRoundtrip) {
@@ -303,6 +310,30 @@ TEST_P(MessageRoundtrip, RandomizedMessagesSurviveEncodeDecode) {
       m.promoted = rng.bernoulli(0.5);
       messages.push_back(m);
     }
+    // Data-diffusion messages (docs/DATA.md).
+    {
+      CacheDigest m;
+      m.executor_id = ExecutorId{rng.next_u64()};
+      m.generation = rng.next_u64();
+      m.data_port = static_cast<std::uint32_t>(rng.uniform_int(0, 65535));
+      const auto n = rng.uniform_int(0, 40);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        m.objects.push_back("obj-" + std::to_string(rng.uniform_int(0, 999)));
+      }
+      messages.push_back(std::move(m));
+    }
+    messages.push_back(
+        DataFetch{"blob-" + std::to_string(rng.uniform_int(0, 999))});
+    {
+      std::string payload(rng.uniform_int(0, 512), '\0');
+      for (auto& c : payload) c = static_cast<char>(rng.next_u64());
+      messages.push_back(make_data_fetch_reply(
+          "blob-" + std::to_string(rng.uniform_int(0, 999)), rng.next_u64(),
+          std::move(payload)));
+    }
+    messages.push_back(DataEvict{
+        ExecutorId{rng.next_u64()},
+        "obj-" + std::to_string(rng.uniform_int(0, 999))});
 
     for (const auto& message : messages) {
       auto bytes = encode_message(message);
@@ -547,18 +578,197 @@ TEST(Framing, CleanEofAtFrameBoundaryIsNotProtocolError) {
 TEST(Message, HeartbeatRoundtrip) {
   HeartbeatRequest request;
   request.executor_id = ExecutorId{0xfeedULL};
+  request.has_digest = true;
+  request.digest_generation = 41;
+  request.data_port = 9444;
+  request.cached = {"obj-a", "obj-b"};
   auto bytes = encode_message(request);
   auto decoded = decode_message(bytes);
   ASSERT_TRUE(decoded.ok());
   const auto* reply = std::get_if<HeartbeatRequest>(&decoded.value());
   ASSERT_NE(reply, nullptr);
   EXPECT_EQ(reply->executor_id.value, 0xfeedULL);
+  EXPECT_TRUE(reply->has_digest);
+  EXPECT_EQ(reply->digest_generation, 41u);
+  EXPECT_EQ(reply->data_port, 9444u);
+  EXPECT_EQ(reply->cached, request.cached);
   EXPECT_EQ(message_type(decoded.value()), MsgType::kHeartbeatRequest);
 
   auto pong = decode_message(encode_message(HeartbeatReply{}));
   ASSERT_TRUE(pong.ok());
   EXPECT_EQ(message_type(pong.value()), MsgType::kHeartbeatReply);
 }
+
+TEST(Message, DataPlaneMessagesRoundtrip) {
+  CacheDigest digest;
+  digest.executor_id = ExecutorId{17};
+  digest.generation = 5;
+  digest.data_port = 40123;
+  digest.objects = {"obj-a", "obj-b", "obj-c"};
+  auto decoded = decode_message(encode_message(digest));
+  ASSERT_TRUE(decoded.ok());
+  const auto* d = std::get_if<CacheDigest>(&decoded.value());
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->executor_id.value, 17u);
+  EXPECT_EQ(d->generation, 5u);
+  EXPECT_EQ(d->data_port, 40123u);
+  EXPECT_EQ(d->objects, digest.objects);
+
+  auto fetch = decode_message(encode_message(DataFetch{"obj-b"}));
+  ASSERT_TRUE(fetch.ok());
+  ASSERT_NE(std::get_if<DataFetch>(&fetch.value()), nullptr);
+  EXPECT_EQ(std::get_if<DataFetch>(&fetch.value())->object, "obj-b");
+
+  const DataFetchReply reply =
+      make_data_fetch_reply("obj-b", 1 << 20, "payload-bytes");
+  EXPECT_EQ(reply.crc, crc32("payload-bytes", 13));
+  auto fetched = decode_message(encode_message(reply));
+  ASSERT_TRUE(fetched.ok());
+  const auto* fr = std::get_if<DataFetchReply>(&fetched.value());
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->object, "obj-b");
+  EXPECT_EQ(fr->object_bytes, 1u << 20);
+  EXPECT_EQ(fr->payload, "payload-bytes");
+  EXPECT_EQ(fr->crc, reply.crc);
+
+  auto evict = decode_message(encode_message(DataEvict{ExecutorId{17}, "obj-a"}));
+  ASSERT_TRUE(evict.ok());
+  const auto* ev = std::get_if<DataEvict>(&evict.value());
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->executor_id.value, 17u);
+  EXPECT_EQ(ev->object, "obj-a");
+}
+
+TEST(Message, DataFetchReplyCrcMismatchIsProtocolError) {
+  // A payload byte flip must fail the embedded CRC at decode, and a
+  // tampered CRC field must fail against the (intact) payload.
+  const std::string payload = "the-object-bytes";
+  const auto valid = encode_message(make_data_fetch_reply("obj-x", 4096, payload));
+  {
+    auto corrupted = valid;
+    // Locate the payload bytes in the frame and flip one of them.
+    const auto it = std::search(corrupted.begin(), corrupted.end(),
+                                payload.begin(), payload.end());
+    ASSERT_NE(it, corrupted.end());
+    *(it + 4) ^= 0x40;
+    auto decoded = decode_message(corrupted);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+  }
+  {
+    auto corrupted = valid;
+    corrupted.back() ^= 0x01;  // trailing u32 CRC
+    auto decoded = decode_message(corrupted);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+  }
+}
+
+TEST(Message, DataFetchReplyLengthMismatchFailsCleanly) {
+  // A length prefix promising more payload than the frame carries must be
+  // a clean protocol error (underrun), never an allocation or a crash.
+  DataFetchReply reply = make_data_fetch_reply("obj-x", 64, "0123456789");
+  auto bytes = encode_message(reply);
+  // Drop the trailing 8 bytes (payload tail + CRC): the payload string's
+  // length prefix now promises bytes past the end of the buffer.
+  bytes.resize(bytes.size() - 8);
+  auto decoded = decode_message(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+}
+
+TEST(Message, CacheDigestCountExceedingFrameIsProtocolError) {
+  // Hand-craft a digest whose object count (or entry length) claims far
+  // more than the buffer holds — the decoder must reject before
+  // allocating, not tear down with a bad_alloc or over-read.
+  const std::uint8_t tag = encode_message(CacheDigest{})[0];
+  {
+    Writer w;
+    w.put_u64(1);              // executor_id
+    w.put_u64(2);              // generation
+    w.put_u32(0);              // data_port
+    w.put_varint(1u << 30);    // a billion digest entries, zero bytes behind
+    std::vector<std::uint8_t> bytes{tag};
+    bytes.insert(bytes.end(), w.data().begin(), w.data().end());
+    auto decoded = decode_message(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+  }
+  {
+    Writer w;
+    w.put_u64(1);
+    w.put_u64(2);
+    w.put_u32(0);
+    w.put_varint(1);            // one entry...
+    w.put_varint(300'000'000);  // ...claiming to exceed the 256 MiB frame cap
+    std::vector<std::uint8_t> bytes{tag};
+    bytes.insert(bytes.end(), w.data().begin(), w.data().end());
+    auto decoded = decode_message(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+  }
+}
+
+/// Fuzz the four data-plane messages: truncation at every byte boundary
+/// and random corruption must yield a clean decode or kProtocolError —
+/// never a crash — mirroring EpochFieldFuzz for the data wire.
+class DataPlaneWireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DataPlaneWireFuzz, TruncatedOrCorruptDataFramesFailCleanly) {
+  falkon::Rng rng(GetParam());
+
+  std::vector<Message> messages;
+  {
+    CacheDigest m;
+    m.executor_id = ExecutorId{rng.next_u64()};
+    m.generation = rng.next_u64();
+    m.data_port = static_cast<std::uint32_t>(rng.uniform_int(1, 65535));
+    const auto n = rng.uniform_int(1, 24);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.objects.push_back("digest-obj-" + std::to_string(rng.next_u64()));
+    }
+    messages.push_back(std::move(m));
+  }
+  messages.push_back(DataFetch{"fetch-" + std::to_string(rng.next_u64())});
+  {
+    std::string payload(rng.uniform_int(1, 256), '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.next_u64());
+    messages.push_back(
+        make_data_fetch_reply("reply-" + std::to_string(rng.next_u64()),
+                              rng.next_u64(), std::move(payload)));
+  }
+  messages.push_back(DataEvict{ExecutorId{rng.next_u64()},
+                               "evict-" + std::to_string(rng.next_u64())});
+
+  for (const auto& message : messages) {
+    const auto valid = encode_message(message);
+
+    for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+      std::vector<std::uint8_t> truncated(
+          valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+      auto decoded = decode_message(truncated);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+      } else {
+        // A decodable prefix must not impersonate the full message.
+        EXPECT_NE(encode_message(decoded.value()), valid);
+      }
+    }
+
+    for (int i = 0; i < 200; ++i) {
+      auto corrupted = valid;
+      const auto at = rng.uniform_int(0, corrupted.size() - 1);
+      corrupted[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      auto decoded = decode_message(corrupted);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.error().code, ErrorCode::kProtocolError);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataPlaneWireFuzz,
+                         ::testing::Values(13, 37, 97));
 
 /// Fuzz property over the *framing* layer: byte streams assembled from
 /// valid frames and then mutated (bit flips, truncations, length tampering)
