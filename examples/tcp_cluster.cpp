@@ -44,7 +44,12 @@ int main(int argc, char** argv) {
   }
   std::printf("%d executors registered over TCP\n", executors);
 
-  auto client = core::TcpDispatcherClient::connect("127.0.0.1", server.rpc_port());
+  // Passing the push port opts the client into push-mode result streaming:
+  // drained mailbox batches arrive as pushed ResultStream frames instead of
+  // one WaitResults long-poll per batch (docs/PROTOCOL.md). Drop the third
+  // argument to fall back to pure polling (e.g. through a firewall).
+  auto client = core::TcpDispatcherClient::connect(
+      "127.0.0.1", server.rpc_port(), server.push_port());
   if (!client.ok()) return 1;
   auto session = core::FalkonSession::open(*client.value(), ClientId{1});
   if (!session.ok()) return 1;

@@ -161,6 +161,37 @@ if ! awk '
   status=1
 fi
 
+# deliver_result stage-share ceiling (docs/PERFORMANCE.md): batched result
+# routing + push-mode streaming attack the {8,9} leg, so the share of task
+# wall-clock spent between exec end and client route at the 256-executor
+# tail must not creep back up. Gated against the committed baseline share
+# with a relative allowance — shares are ratios of the same traced run, so
+# unlike absolute throughput they are host-insensitive.
+SHARE_TOL="${BENCH_SHARE_TOLERANCE:-0.25}"
+echo "== fig3 deliver_result stage-share ceiling at 256 executors (tolerance $SHARE_TOL) =="
+if ! base_share=$(sed -n 's/^ *"bench\.fig3\.stage_share{executors=256,stage=deliver_result}": \([-0-9.eE+]*\),\{0,1\}$/\1/p' \
+      bench/baselines/BENCH_fig3_throughput.json) || [ -z "$base_share" ]; then
+  echo "FAIL: deliver_result stage-share missing from baseline"
+  status=1
+else
+  cur_share=$(sed -n 's/^ *"bench\.fig3\.stage_share{executors=256,stage=deliver_result}": \([-0-9.eE+]*\),\{0,1\}$/\1/p' \
+      BENCH_fig3_throughput.json)
+  if [ -z "$cur_share" ]; then
+    echo "FAIL: deliver_result stage-share missing from run"
+    status=1
+  elif ! awk -v cur="$cur_share" -v base="$base_share" -v tol="$SHARE_TOL" '
+      BEGIN {
+        ceil = base * (1 + tol)
+        if (cur > ceil) {
+          printf "FAIL deliver_result share: %.3f > ceiling %.3f (baseline %.3f)\n", cur, ceil, base
+          exit 1
+        }
+        printf "ok   deliver_result share: %.3f (baseline %.3f, ceiling %.3f)\n", cur, base, ceil
+      }'; then
+    status=1
+  fi
+fi
+
 # Data-diffusion locality gate (docs/DATA.md): with warm caches and
 # good-cache-compute routing the TCP fleet must sustain at least 3x the
 # all-miss shared-FS series — the ratio is host-independent (both series

@@ -78,6 +78,14 @@ echo "== Data-diffusion suite under ASan+UBSan =="
 # the suites to re-run by themselves when touching the data plane.
 ctest --test-dir build-ci-asan --output-on-failure -L data
 
+echo "== Net + TCP suites with 2 reactor loops forced =="
+# FALKON_REACTOR_LOOPS=2 (see core/service_tcp.h) overrides the auto loop
+# count, so the multi-loop reactor paths — cross-loop accept handoff,
+# affinity migration, sibling listeners, push-stream drains racing loop
+# threads — run even on single-core CI hosts where auto resolves to 1.
+FALKON_REACTOR_LOOPS=2 \
+  ctest --test-dir build-ci-asan --output-on-failure -R 'test_net$|test_tcp'
+
 if [ "${1:-}" = "bench" ]; then
   echo "== Benchmark gate =="
   scripts/bench.sh
@@ -118,6 +126,12 @@ if [ "${1:-}" = "tsan" ]; then
   # machinery (accept handoff, set_affinity migration, cross-thread flush
   # routing, per-loop buffer pools) instead of being buried in the suite.
   build-ci-tsan/tests/test_net --gtest_filter='Reactor.*:Rpc.AffinityKeyPinsConnectionsToKeyedLoop:Rpc.WatermarkBackpressureIsolatedPerLoop:Rpc.AcceptBackoffRecoversWithShardedLoops:Push.NotifyFromForeignThreadLandsOnOwningLoop'
+  echo "== Net + TCP suites with 2 reactor loops forced under TSan =="
+  # Same forced multi-loop coverage as the ASan stage: the streaming
+  # client's receiver thread, the dispatcher's stream drain and two loop
+  # threads all touch the mailbox/cursor state this PR added.
+  FALKON_REACTOR_LOOPS=2 \
+    ctest --test-dir build-ci-tsan --output-on-failure -R 'test_net$|test_tcp'
   echo "== Election and split-brain regression under TSan =="
   # The election path is all cross-thread: tail threads answering
   # ElectionPing while the failover timer promotes, two standbys racing

@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <iterator>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace falkon::core {
+
+namespace {
+// Stream-drain frame sizing. The cap bounds the copy done under the
+// mailbox lock and the encoded frame; the minimum is the coalescing target
+// — a delivering thread streams inline once a full minimum frame is
+// queued, smaller tails flush via the notify pool.
+constexpr std::size_t kMaxStreamFrameResults = 4096;
+constexpr std::size_t kMinStreamFrameResults = 1024;
+}  // namespace
 
 wire::StatusReply DispatcherStatus::to_wire() const {
   wire::StatusReply reply;
@@ -58,6 +68,14 @@ Dispatcher::Dispatcher(Clock& clock, DispatcherConfig config,
     m_overhead_ = &reg.histogram("falkon.task.overhead_s", 1e-6, 1e4);
     m_bundle_size_ = &reg.histogram("falkon.dispatcher.bundle_size", 1.0, 4096.0);
     m_lock_wait_ = &reg.histogram("falkon.dispatcher.lock_wait_s", 1e-9, 1.0);
+    m_route_batches_ = &reg.counter("falkon.dispatcher.route_batches");
+    m_route_results_ = &reg.counter("falkon.dispatcher.route_results");
+    m_route_batch_size_ =
+        &reg.histogram("falkon.dispatcher.route_batch_size", 1.0, 4096.0);
+    m_stream_pushed_ = &reg.counter("falkon.dispatcher.stream.results_pushed");
+    m_stream_acked_ = &reg.counter("falkon.dispatcher.stream.results_acked");
+    m_stream_push_failures_ =
+        &reg.counter("falkon.dispatcher.stream.push_failures");
     m_data_stale_routes_ = &reg.counter("falkon.data.stale_routes");
     m_data_overwait_ = &reg.counter("falkon.data.locality_overwait");
     m_data_deferrals_ = &reg.counter("falkon.data.locality_deferrals");
@@ -436,11 +454,17 @@ Result<std::vector<TaskResult>> Dispatcher::wait_results(
   instance->cv.wait_for(
       ilock, std::chrono::duration<double>(real_timeout),
       [&] { return !instance->results.empty() || !instance->open; });
+  // Bulk-move the drained range out of the mailbox: one reserve + one
+  // range move + one erase instead of a push_back/pop_front pair per
+  // result under the mailbox lock.
+  const std::size_t take =
+      std::min<std::size_t>(instance->results.size(), max_results);
   std::vector<TaskResult> out;
-  while (!instance->results.empty() && out.size() < max_results) {
-    out.push_back(std::move(instance->results.front()));
-    instance->results.pop_front();
-  }
+  out.reserve(take);
+  const auto first = instance->results.begin();
+  const auto last = first + static_cast<std::ptrdiff_t>(take);
+  out.assign(std::make_move_iterator(first), std::make_move_iterator(last));
+  instance->results.erase(first, last);
   // Journal the pick-up while still holding the mailbox lock: after
   // recovery these results must not be re-delivered (docs/HA.md).
   if (config_.journal && !out.empty()) {
@@ -449,10 +473,87 @@ Result<std::vector<TaskResult>> Dispatcher::wait_results(
     for (const auto& result : out) ids.push_back(result.task_id);
     config_.journal->on_delivered(instance_id, ids);
   }
+  if (take > 0 && instance->streaming) {
+    // A poll raced the push stream: whatever the drain had pushed may just
+    // have been consumed here instead. Reset the regime — the surviving
+    // mailbox re-streams under fresh cursor positions and the client's
+    // task-id dedup absorbs any overlap. Loss is impossible either way:
+    // results only leave the mailbox here (journaled above) or on ack.
+    instance->streamed_prefix = 0;
+    instance->stream_acked = instance->stream_pushed;
+    ++instance->stream_epoch;
+    if (!instance->results.empty()) {
+      schedule_drain_locked(instance_id, instance);
+    }
+  }
   if (out.empty() && !instance->open) {
     return make_error(ErrorCode::kClosed, "instance destroyed");
   }
   return out;
+}
+
+Result<std::uint64_t> Dispatcher::subscribe_results(InstanceId instance_id,
+                                                    std::uint64_t ack_seq) {
+  std::shared_ptr<Instance> instance;
+  {
+    std::lock_guard lock(inst_mu_);
+    auto it = instances_.find(instance_id.value);
+    if (it == instances_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such instance");
+    }
+    instance = it->second;
+  }
+  std::uint64_t cursor = 0;
+  {
+    std::lock_guard ilock(instance->mu);
+    if (ack_seq == 0) {
+      // (Re)subscribe: start a fresh streaming regime. The whole backlog —
+      // including results pushed under the previous regime — re-streams
+      // from seq 1; the client resets its cursor on subscribe and dedups
+      // re-deliveries by task id.
+      instance->streaming = true;
+      instance->streamed_prefix = 0;
+      instance->stream_pushed = 0;
+      instance->stream_acked = 0;
+      ++instance->stream_epoch;
+    } else {
+      // Cumulative acknowledgement. Clamped to [acked, pushed] so a stale
+      // or duplicate ack can never pop more than was actually streamed in
+      // this regime. (Clients serialise SubscribeResults calls per
+      // instance, so an ack never overtakes the subscribe that reset the
+      // regime.)
+      const std::uint64_t acked =
+          std::min(std::max(ack_seq, instance->stream_acked),
+                   instance->stream_pushed);
+      const std::uint64_t delta = acked - instance->stream_acked;
+      const std::size_t pop = static_cast<std::size_t>(
+          std::min<std::uint64_t>(delta, instance->streamed_prefix));
+      if (pop > 0) {
+        // Journal while still holding the mailbox lock, exactly like
+        // wait_results: an acknowledged result must never be re-delivered
+        // after failover (docs/HA.md).
+        if (config_.journal) {
+          std::vector<TaskId> ids;
+          ids.reserve(pop);
+          for (std::size_t i = 0; i < pop; ++i) {
+            ids.push_back(instance->results[i].task_id);
+          }
+          config_.journal->on_delivered(instance_id, ids);
+        }
+        const auto first = instance->results.begin();
+        instance->results.erase(first, first + static_cast<std::ptrdiff_t>(pop));
+        instance->streamed_prefix -= pop;
+        if (m_stream_acked_) m_stream_acked_->inc(pop);
+      }
+      instance->stream_acked = acked;
+    }
+    cursor = instance->stream_pushed;
+    if (instance->streaming &&
+        instance->streamed_prefix < instance->results.size()) {
+      schedule_drain_locked(instance_id, instance);
+    }
+  }
+  return cursor;
 }
 
 void Dispatcher::restore(const DispatcherImage& image) {
@@ -1067,26 +1168,51 @@ Result<std::vector<TaskSpec>> Dispatcher::get_work(ExecutorId executor_id,
   return take_work_entry_locked(*entry, max_tasks, adaptive);
 }
 
-void Dispatcher::route_result(InstanceId instance_id,
-                              const std::shared_ptr<Instance>& instance,
-                              TaskResult result) {
-  std::size_t ready;
-  bool was_empty;
+void Dispatcher::deliver_batch(InstanceId instance_id,
+                               const std::shared_ptr<Instance>& instance,
+                               std::vector<TaskResult> results) {
+  if (results.empty()) return;
+  bool notify_client = false;
+  bool inline_drain = false;
+  std::size_t ready = 0;
   {
     std::lock_guard ilock(instance->mu);
     if (!instance->open) return;
-    was_empty = instance->results.empty();
-    instance->results.push_back(std::move(result));
+    const bool was_empty = instance->results.empty();
+    instance->results.insert(instance->results.end(),
+                             std::make_move_iterator(results.begin()),
+                             std::make_move_iterator(results.end()));
     ready = instance->results.size();
+    if (instance->streaming) {
+      if (!instance->drain_scheduled &&
+          instance->results.size() - instance->streamed_prefix >=
+              kMinStreamFrameResults) {
+        // A full frame is ready and no drain is pending: stream it inline
+        // on this (delivering) thread, exactly like the polling path
+        // encodes its reply on the handler thread. Hopping to the notify
+        // pool costs a scheduling round trip per frame, which on a busy
+        // host is most of the tail of the fig. 3 curve.
+        instance->drain_scheduled = true;
+        inline_drain = true;
+      } else {
+        schedule_drain_locked(instance_id, instance);
+      }
+    } else {
+      // Client notification {8}, sent off the delivery path.
+      // Edge-triggered: only the batch that turned the mailbox non-empty
+      // notifies — a client woken by it drains everything that piled up
+      // since, and the check and the drain run under the same mailbox
+      // lock, so no wake-up is lost. At high completion rates this
+      // collapses one push frame per delivery into one per mailbox drain.
+      notify_client = was_empty;
+    }
   }
   instance->cv.notify_all();
-  // Client notification {8}, sent off the delivery path. Edge-triggered:
-  // only the result that turned the mailbox non-empty notifies — a client
-  // woken by it drains everything that piled up since, and the check and
-  // the drain run under the same mailbox lock, so no wake-up is lost. At
-  // high completion rates this collapses one push frame per result into
-  // one per mailbox drain.
-  if (!was_empty) return;
+  if (inline_drain) {
+    stream_drain(instance_id, instance, /*flush=*/false);
+    return;
+  }
+  if (!notify_client) return;
   std::shared_ptr<ClientSink> sink;
   {
     std::lock_guard lock(listeners_mu_);
@@ -1099,17 +1225,146 @@ void Dispatcher::route_result(InstanceId instance_id,
   }
 }
 
+void Dispatcher::schedule_drain_locked(
+    InstanceId instance_id, const std::shared_ptr<Instance>& instance) {
+  if (instance->drain_scheduled || !instance->open) return;
+  instance->drain_scheduled = true;
+  (void)notify_pool_.submit([this, instance_id, instance] {
+    stream_drain(instance_id, instance, /*flush=*/true);
+  });
+}
+
+void Dispatcher::stream_drain(InstanceId instance_id,
+                              const std::shared_ptr<Instance>& instance,
+                              bool flush) {
+  std::shared_ptr<ClientSink> sink;
+  {
+    std::lock_guard lock(listeners_mu_);
+    sink = client_sink_;
+  }
+  std::unique_lock ilock(instance->mu);
+  // drain_scheduled stays TRUE for the whole drain: appends landing while a
+  // frame is in flight must not schedule a second, concurrent drain (two
+  // drains could enqueue frames out of order and force a client resync).
+  // This drain's own re-check picks them up instead; the flag drops back to
+  // false only on exit, under the lock, after the loop condition has gone
+  // false — so a result landing after that schedules afresh and no wake-up
+  // is lost.
+  while (instance->open && instance->streaming &&
+         instance->streamed_prefix < instance->results.size()) {
+    if (instance->results.size() - instance->streamed_prefix <
+        kMinStreamFrameResults) {
+      // Sub-frame backlog. The inline caller leaves it to a scheduled
+      // flush — its RPC reply must not wait on a coalescing window. The
+      // pool flush waits briefly: under fan-in a fuller frame is a few
+      // hundred microseconds away, and one frame of 1024 costs far less
+      // than eight frames of 128 (encode setup, outbox wake, client wake
+      // apiece). An idle producer lets the window lapse and the tail
+      // flushes.
+      if (!flush) break;
+      instance->cv.wait_for(
+          ilock, std::chrono::microseconds(200), [&] {
+            return !instance->open || !instance->streaming ||
+                   instance->results.size() - instance->streamed_prefix >=
+                       kMinStreamFrameResults;
+          });
+      if (!(instance->open && instance->streaming &&
+            instance->streamed_prefix < instance->results.size())) {
+        break;
+      }
+    }
+    const std::size_t from = instance->streamed_prefix;
+    const std::size_t to = std::min(instance->results.size(),
+                                    from + kMaxStreamFrameResults);
+    const std::vector<TaskResult> batch(
+        instance->results.begin() + static_cast<std::ptrdiff_t>(from),
+        instance->results.begin() + static_cast<std::ptrdiff_t>(to));
+    instance->streamed_prefix = to;
+    instance->stream_pushed += batch.size();
+    const std::uint64_t seq = instance->stream_pushed;
+    const std::uint64_t epoch = instance->stream_epoch;
+    // Encode + outbox enqueue run OFF the mailbox lock: with a whole fleet
+    // funnelling deliver_batch() appends into one instance, serialising the
+    // wire encode behind instance->mu costs the tail of the fig. 3 curve.
+    // Safe because results never leave the mailbox at push time — a poll or
+    // ack racing this window works off its own consistent cursor state, and
+    // a stale in-flight frame is absorbed by the client's task-id dedup.
+    ilock.unlock();
+    const bool delivered =
+        sink != nullptr && sink->deliver(instance_id, seq, batch);
+    ilock.lock();
+    if (!delivered) {
+      // No push transport for this instance (client gone, key never
+      // subscribed): roll the cursor advance back and leave streaming mode
+      // — the results stay in the mailbox and wait_results polling takes
+      // over until the client resubscribes. Skip the rollback if the
+      // regime changed while the frame was in flight: the reset already
+      // re-accounted for every mailbox result under fresh cursors.
+      if (instance->stream_epoch == epoch) {
+        instance->streamed_prefix -=
+            std::min<std::size_t>(batch.size(), instance->streamed_prefix);
+        instance->stream_pushed -=
+            std::min<std::uint64_t>(batch.size(), instance->stream_pushed);
+        instance->streaming = false;
+      }
+      if (m_stream_push_failures_) m_stream_push_failures_->inc();
+      instance->drain_scheduled = false;
+      return;
+    }
+    if (m_stream_pushed_) m_stream_pushed_->inc(batch.size());
+  }
+  instance->drain_scheduled = false;
+  if (!flush && instance->open && instance->streaming &&
+      instance->streamed_prefix < instance->results.size()) {
+    // Inline drain left a sub-frame tail behind: hand it to the pool so it
+    // still flushes promptly even if no further delivery ever lands.
+    schedule_drain_locked(instance_id, instance);
+  }
+}
+
 void Dispatcher::route_all(std::vector<PendingRoute>& to_route) {
-  for (auto& pending : to_route) {
+  if (to_route.empty()) return;
+  // Group by instance, preserving arrival order within each group. The
+  // common case is a whole ResultBundle for one instance, so a flat vector
+  // with linear probing beats a map.
+  struct Group {
+    InstanceId id;
     std::shared_ptr<Instance> instance;
-    {
-      std::lock_guard lock(inst_mu_);
-      auto it = instances_.find(pending.instance_id.value);
-      if (it != instances_.end()) instance = it->second;
+    std::vector<TaskResult> results;
+  };
+  std::vector<Group> groups;
+  for (auto& pending : to_route) {
+    Group* group = nullptr;
+    for (auto& g : groups) {
+      if (g.id == pending.instance_id) {
+        group = &g;
+        break;
+      }
     }
-    if (instance) {
-      route_result(pending.instance_id, instance, std::move(pending.result));
+    if (group == nullptr) {
+      groups.push_back(Group{pending.instance_id, nullptr, {}});
+      group = &groups.back();
     }
+    group->results.push_back(std::move(pending.result));
+  }
+  // One registry pass resolves every distinct instance; one mailbox lock,
+  // one bulk append and one wake-up per (instance, delivery) follow.
+  {
+    std::lock_guard lock(inst_mu_);
+    for (auto& g : groups) {
+      auto it = instances_.find(g.id.value);
+      if (it != instances_.end()) g.instance = it->second;
+    }
+  }
+  if (m_route_batches_) {
+    m_route_batches_->inc();
+    m_route_results_->inc(to_route.size());
+  }
+  for (auto& g : groups) {
+    if (m_route_batch_size_) {
+      m_route_batch_size_->record(static_cast<double>(g.results.size()));
+    }
+    if (g.instance) deliver_batch(g.id, g.instance, std::move(g.results));
   }
   to_route.clear();
 }

@@ -176,6 +176,22 @@ class ClientSink {
  public:
   virtual ~ClientSink() = default;
   virtual void notify(InstanceId instance, std::uint64_t results_ready) = 0;
+
+  /// Push a drained mailbox batch to a streaming subscriber (a ResultStream
+  /// frame on the push channel — docs/PROTOCOL.md). Returns false when the
+  /// batch could not be handed to the transport (no push channel, unknown
+  /// subscription key): the dispatcher rolls its streaming cursor back and
+  /// the results stay in the mailbox for wait_results polling. A transport
+  /// that accepted the frame but lost it downstream (backpressure shed,
+  /// severed connection) may still return true — loss is recovered by the
+  /// ack protocol, never by this return value.
+  virtual bool deliver(InstanceId instance, std::uint64_t seq,
+                       const std::vector<TaskResult>& results) {
+    (void)instance;
+    (void)seq;
+    (void)results;
+    return false;
+  }
 };
 
 class Dispatcher {
@@ -212,6 +228,18 @@ class Dispatcher {
   Result<std::vector<TaskResult>> wait_results(InstanceId instance,
                                                std::uint32_t max_results,
                                                double timeout_s);
+
+  /// Enter or acknowledge push-mode result streaming (SubscribeResults —
+  /// docs/PROTOCOL.md). `ack_seq == 0` (re)subscribes: the streaming
+  /// cursor resets and the whole mailbox backlog is re-pushed (the client
+  /// dedups by task id, so re-delivery is safe). `ack_seq > 0` cumulatively
+  /// acknowledges every streamed result with seq <= ack_seq; acknowledged
+  /// results leave the mailbox and are journaled as delivered at that
+  /// point — the HA `on_delivered` barrier moves from poll time to ack
+  /// time, never disappears. Returns the current push cursor (total
+  /// results streamed since the last subscribe).
+  Result<std::uint64_t> subscribe_results(InstanceId instance,
+                                          std::uint64_t ack_seq);
 
   // ---- executor operations ----
   Result<ExecutorId> register_executor(const wire::RegisterRequest& request,
@@ -416,6 +444,25 @@ class Dispatcher {
     std::condition_variable cv;
     std::deque<TaskResult> results;
     bool open{true};
+
+    // ---- push-mode streaming state (docs/PROTOCOL.md), guarded by mu ----
+    // Invariant: streamed-but-unacknowledged results form a contiguous
+    // FRONT prefix of `results` of length `streamed_prefix` — new results
+    // append at the back, the drain extends the prefix toward the back,
+    // and only acks/polls pop the front. Results therefore never leave the
+    // mailbox at push time; a lost ResultStream frame costs re-delivery
+    // (client-side task-id dedup), never loss.
+    bool streaming{false};
+    std::size_t streamed_prefix{0};
+    std::uint64_t stream_pushed{0};  // cumulative results pushed since subscribe
+    std::uint64_t stream_acked{0};   // cumulative results acknowledged
+    bool drain_scheduled{false};     // edge trigger for the pool drain task
+    /// Bumped whenever the cursors above are reset (resubscribe, poll on a
+    /// streaming instance). The drain releases `mu` while a frame is in
+    /// flight; on push failure it rolls its cursor advance back only if the
+    /// regime is still the one it advanced — a reset in between already
+    /// re-accounted for every mailbox result.
+    std::uint64_t stream_epoch{0};
   };
 
   /// A result ready to be routed to its instance mailbox once dispatcher
@@ -480,11 +527,32 @@ class Dispatcher {
   bool remove_executor(std::uint64_t executor_value, const std::string& reason,
                        bool blame, std::vector<PendingRoute>& to_route);
 
+  /// Route a delivery batch to its instance mailboxes: one inst_mu_
+  /// acquisition resolving every distinct instance, then per instance one
+  /// mailbox lock, one bulk append, and one wake-up (an edge-triggered
+  /// ClientNotify for polling instances, a scheduled stream drain for
+  /// streaming ones) — a 256-task ResultBundle costs 1 lock acquisition,
+  /// not 256.
   void route_all(std::vector<PendingRoute>& to_route);
 
-  void route_result(InstanceId instance_id,
-                    const std::shared_ptr<Instance>& instance,
-                    TaskResult result);
+  /// Append `results` to one instance's mailbox and wake its consumers.
+  void deliver_batch(InstanceId instance_id,
+                     const std::shared_ptr<Instance>& instance,
+                     std::vector<TaskResult> results);
+
+  /// Requires instance->mu held: schedule a stream drain on the notify
+  /// pool unless one is already pending (edge trigger).
+  void schedule_drain_locked(InstanceId instance_id,
+                             const std::shared_ptr<Instance>& instance);
+
+  /// Push the unstreamed mailbox suffix to the client sink as a chain of
+  /// capped ResultStream frames. With `flush` (the notify-pool path) it
+  /// coalesces briefly and drains everything including sub-frame tails;
+  /// without (called inline from the delivering thread) it streams only
+  /// full frames and hands any leftover to a scheduled flush, so the
+  /// caller's RPC reply is never held hostage to a coalescing wait.
+  void stream_drain(InstanceId instance_id,
+                    const std::shared_ptr<Instance>& instance, bool flush);
 
   void sweeper_loop();
 
@@ -542,6 +610,12 @@ class Dispatcher {
   obs::Histogram* m_overhead_{nullptr};
   obs::Histogram* m_bundle_size_{nullptr};
   obs::Histogram* m_lock_wait_{nullptr};
+  obs::Counter* m_route_batches_{nullptr};
+  obs::Counter* m_route_results_{nullptr};
+  obs::Histogram* m_route_batch_size_{nullptr};
+  obs::Counter* m_stream_pushed_{nullptr};
+  obs::Counter* m_stream_acked_{nullptr};
+  obs::Counter* m_stream_push_failures_{nullptr};
   obs::Counter* m_data_stale_routes_{nullptr};
   obs::Counter* m_data_overwait_{nullptr};
   obs::Counter* m_data_deferrals_{nullptr};

@@ -1,6 +1,9 @@
 #include "core/service_tcp.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iterator>
 #include <thread>
 
 #include "common/logging.h"
@@ -28,6 +31,13 @@ Result<Expected> expect(Result<wire::Message> reply) {
 int resolve_reactor_loops(int requested, std::size_t executor_shards) {
   const int shards = std::max(1, static_cast<int>(executor_shards));
   if (requested <= 0) {
+    // FALKON_REACTOR_LOOPS pins the auto default from the environment — CI
+    // forces >= 2 loops through it so multi-loop paths stay covered even on
+    // single-core runners. An explicit constructor value still wins.
+    if (const char* env = std::getenv("FALKON_REACTOR_LOOPS")) {
+      const int forced = std::atoi(env);
+      if (forced > 0) return std::min(forced, shards);
+    }
     const int hw =
         std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
     return std::min(hw, shards);
@@ -35,16 +45,26 @@ int resolve_reactor_loops(int requested, std::size_t executor_shards) {
   return std::min(requested, shards);
 }
 
+/// FALKON_REUSEPORT forces reuseport accept mode on (any value but "" or
+/// "0"); an explicit constructor `true` also wins. CI uses the variable to
+/// run the whole TCP suite through the SO_REUSEPORT accept path.
+bool resolve_reuseport(bool requested) {
+  if (requested) return true;
+  const char* env = std::getenv("FALKON_REUSEPORT");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
 }  // namespace
 
 TcpDispatcherServer::TcpDispatcherServer(Dispatcher& dispatcher, obs::Obs* obs,
-                                         int reactor_loops)
+                                         int reactor_loops, bool reuseport)
     : dispatcher_(dispatcher),
       obs_(obs),
       reactor_(net::ReactorOptions{
           .n_loops = resolve_reactor_loops(reactor_loops,
                                            dispatcher.executor_shard_count()),
-          .obs = obs}) {
+          .obs = obs,
+          .reuseport = resolve_reuseport(reuseport)}) {
   if (obs != nullptr) {
     obs::Registry& reg = obs->registry();
     m_requests_ = &reg.counter("falkon.net.rpc.requests");
@@ -101,6 +121,12 @@ Status TcpDispatcherServer::start(std::uint16_t rpc_port,
     }
     if (const auto* r = std::get_if<DataEvict>(&m)) {
       return r->executor_id.value;
+    }
+    if (const auto* r = std::get_if<SubscribeResults>(&m)) {
+      // Streaming clients pin their RPC connection to the loop that owns
+      // their push subscription: acks and the resulting drain pushes stay
+      // loop-local.
+      return kClientKeyBase + r->instance_id.value;
     }
     return 0;
   };
@@ -203,6 +229,17 @@ wire::Message TcpDispatcherServer::dispatch(const wire::Message& request) {
     auto result = dispatcher_.submit(m->instance_id, m->tasks, m->submit_seq);
     if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
     return SubmitReply{result.value(), epoch};
+  }
+  if (const auto* m = std::get_if<SubscribeResults>(&request)) {
+    // (Re)subscribe / cumulative ack for push-mode result streaming. The
+    // reply is a ResultStream carrying the dispatcher's current cursor and
+    // no results — actual batches arrive on the push channel.
+    auto result = dispatcher_.subscribe_results(m->instance_id, m->ack_seq);
+    if (!result.ok()) return ErrorReply{result.error().code, result.error().message};
+    ResultStream reply;
+    reply.instance_id = m->instance_id;
+    reply.seq = result.value();
+    return reply;
   }
   if (const auto* m = std::get_if<WaitResultsRequest>(&request)) {
     auto result =
@@ -558,11 +595,11 @@ void TcpExecutorHarness::stop() {
 }
 
 Result<std::unique_ptr<TcpDispatcherClient>> TcpDispatcherClient::connect(
-    const std::string& host, std::uint16_t rpc_port) {
+    const std::string& host, std::uint16_t rpc_port, std::uint16_t push_port) {
   auto rpc = net::RpcClient::connect(host, rpc_port);
   if (!rpc.ok()) return rpc.error();
   return std::unique_ptr<TcpDispatcherClient>(
-      new TcpDispatcherClient(rpc.take()));
+      new TcpDispatcherClient(rpc.take(), host, push_port));
 }
 
 Result<InstanceId> TcpDispatcherClient::create_instance(ClientId client) {
@@ -570,7 +607,144 @@ Result<InstanceId> TcpDispatcherClient::create_instance(ClientId client) {
   request.client_id = client;
   auto reply = expect<wire::CreateInstanceReply>(rpc_.call(request));
   if (!reply.ok()) return reply.error();
-  return reply.value().instance_id;
+  const InstanceId instance = reply.value().instance_id;
+  if (push_port_ == 0) return instance;
+  // Streaming regime: subscribe the instance on the push channel, then arm
+  // the dispatcher's drain with SubscribeResults{ack_seq=0}. Any failure
+  // here is absorbed — the instance simply stays in polling mode.
+  auto stream = std::make_shared<Stream>();
+  Status started = stream->receiver.start(
+      host_, push_port_, kClientKeyBase + instance.value,
+      [weak = std::weak_ptr<Stream>(stream)](const wire::Message& message) {
+        if (auto live = weak.lock()) on_stream_frame(live, message);
+      });
+  if (started.ok()) {
+    wire::SubscribeResults subscribe;
+    subscribe.instance_id = instance;
+    subscribe.ack_seq = 0;
+    auto armed = expect<wire::ResultStream>(rpc_.call(subscribe));
+    if (armed.ok()) {
+      std::lock_guard lock(streams_mu_);
+      streams_.emplace(instance.value, std::move(stream));
+    } else {
+      stream->receiver.stop();
+    }
+  }
+  return instance;
+}
+
+void TcpDispatcherClient::on_stream_frame(const std::shared_ptr<Stream>& stream,
+                                          const wire::Message& message) {
+  const auto* frame = std::get_if<wire::ResultStream>(&message);
+  if (frame == nullptr) return;  // e.g. a stray ClientNotify
+  std::lock_guard lock(stream->mu);
+  if (!stream->resync &&
+      frame->seq == stream->last_seq + frame->results.size()) {
+    stream->last_seq = frame->seq;
+  } else {
+    // Gap: a frame was lost in flight (or a stale pre-resubscribe frame
+    // landed late). Keep the results — the delivered filter protects the
+    // caller — but freeze the ack cursor: acknowledging past results we
+    // never received would let the dispatcher discard them. The next
+    // wait_results resubscribes from zero and the un-acked tail re-streams.
+    stream->resync = true;
+  }
+  for (const auto& result : frame->results) stream->buffer.push_back(result);
+  stream->cv.notify_all();
+}
+
+std::shared_ptr<TcpDispatcherClient::Stream> TcpDispatcherClient::find_stream(
+    InstanceId instance) const {
+  std::lock_guard lock(streams_mu_);
+  auto it = streams_.find(instance.value);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+bool TcpDispatcherClient::streaming(InstanceId instance) const {
+  return find_stream(instance) != nullptr;
+}
+
+// One cumulative-ack round trip per this many streamed results. The value
+// trades dispatcher mailbox residency (un-acked results stay buffered
+// server-side) against RPC rate on the client's hot receive loop.
+inline constexpr std::uint64_t kAckBatchResults = 8192;
+
+Result<std::vector<TaskResult>> TcpDispatcherClient::wait_streamed(
+    InstanceId instance, const std::shared_ptr<Stream>& stream,
+    std::uint32_t max_results, double timeout_s) {
+  std::vector<TaskResult> out;
+  std::uint64_t ack = 0;
+  bool resync = false;
+  {
+    std::unique_lock lock(stream->mu);
+    stream->cv.wait_for(
+        lock, std::chrono::duration<double>(std::max(0.0, timeout_s)),
+        [&] { return !stream->buffer.empty() || stream->resync; });
+    while (out.size() < max_results && !stream->buffer.empty()) {
+      TaskResult result = std::move(stream->buffer.front());
+      stream->buffer.pop_front();
+      // The exactly-once filter: pushed frames, resubscribe re-streams and
+      // poll fallbacks all funnel through `delivered`.
+      if (stream->delivered.insert(result.task_id.value).second) {
+        out.push_back(std::move(result));
+      }
+    }
+    // Batched cumulative acks: one SubscribeResults round trip per
+    // kAckBatchResults streamed results (or before a resync, to shrink
+    // the re-stream) instead of one per drain — the steady-state receive
+    // loop stays RPC-free, which is the point of push mode. Un-acked
+    // results just sit in the dispatcher mailbox a little longer; on any
+    // failure they re-deliver and the task-id filter absorbs them.
+    const std::uint64_t pending = stream->last_seq - stream->acked_seq;
+    if (pending > 0 && (pending >= kAckBatchResults || stream->resync)) {
+      ack = stream->last_seq;
+    }
+    resync = stream->resync;
+  }
+  std::lock_guard ack_lock(stream->ack_mu);
+  if (ack != 0) {
+    // Cumulative ack: the dispatcher journals delivery and drops the acked
+    // prefix from the mailbox. Failure is benign — un-acked results stay
+    // in the mailbox and re-stream or poll later.
+    wire::SubscribeResults request;
+    request.instance_id = instance;
+    request.ack_seq = ack;
+    if (expect<wire::ResultStream>(rpc_.call(request)).ok()) {
+      std::lock_guard lock(stream->mu);
+      stream->acked_seq = std::max(stream->acked_seq, ack);
+    }
+  }
+  if (resync) {
+    // Re-arm from zero: the dispatcher resets its cursors and re-streams
+    // everything still un-acked in the mailbox.
+    wire::SubscribeResults request;
+    request.instance_id = instance;
+    request.ack_seq = 0;
+    if (expect<wire::ResultStream>(rpc_.call(request)).ok()) {
+      std::lock_guard lock(stream->mu);
+      stream->resync = false;
+      stream->last_seq = 0;
+      stream->acked_seq = 0;
+    }
+  }
+  if (!out.empty()) return out;
+  // Nothing pushed within the timeout: one-shot poll. This is the lossy-
+  // channel fallback — the dispatcher hands back its streamed-but-unacked
+  // prefix (possibly duplicating buffered results; the filter absorbs it)
+  // and re-arms its drain for anything left.
+  wire::WaitResultsRequest request;
+  request.instance_id = instance;
+  request.max_results = max_results;
+  request.timeout_s = 0;
+  auto reply = expect<wire::WaitResultsReply>(rpc_.call(request));
+  if (!reply.ok()) return reply.error();
+  std::lock_guard lock(stream->mu);
+  for (auto& result : reply.value().results) {
+    if (stream->delivered.insert(result.task_id.value).second) {
+      out.push_back(std::move(result));
+    }
+  }
+  return out;
 }
 
 Result<std::uint64_t> TcpDispatcherClient::submit(InstanceId instance,
@@ -585,6 +759,9 @@ Result<std::uint64_t> TcpDispatcherClient::submit(InstanceId instance,
 
 Result<std::vector<TaskResult>> TcpDispatcherClient::wait_results(
     InstanceId instance, std::uint32_t max_results, double timeout_s) {
+  if (auto stream = find_stream(instance)) {
+    return wait_streamed(instance, stream, max_results, timeout_s);
+  }
   wire::WaitResultsRequest request;
   request.instance_id = instance;
   request.max_results = max_results;
@@ -595,6 +772,16 @@ Result<std::vector<TaskResult>> TcpDispatcherClient::wait_results(
 }
 
 Status TcpDispatcherClient::destroy_instance(InstanceId instance) {
+  std::shared_ptr<Stream> stream;
+  {
+    std::lock_guard lock(streams_mu_);
+    auto it = streams_.find(instance.value);
+    if (it != streams_.end()) {
+      stream = std::move(it->second);
+      streams_.erase(it);
+    }
+  }
+  if (stream != nullptr) stream->receiver.stop();
   wire::DestroyInstanceRequest request;
   request.instance_id = instance;
   auto reply = expect<wire::DestroyInstanceReply>(rpc_.call(request));

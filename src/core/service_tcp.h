@@ -9,10 +9,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/client.h"
 #include "core/dispatcher.h"
@@ -38,9 +41,17 @@ class TcpDispatcherServer {
   /// the loop partition (executor id % n_loops) nests inside the registry
   /// partition (executor id % shards) and an executor's notify/push never
   /// crosses shards. Explicit values are clamped to [1, executor shards].
+  ///
+  /// `reuseport` switches both ports to SO_REUSEPORT accept mode: one
+  /// sibling listener per reactor loop, kernel-balanced accepts, and each
+  /// accepted connection stays on the loop that accepted it (no cross-
+  /// thread handoff). The FALKON_REUSEPORT environment variable (any
+  /// non-empty value but "0") forces it on — CI uses this to run the whole
+  /// TCP suite in reuseport mode.
   explicit TcpDispatcherServer(Dispatcher& dispatcher,
                                obs::Obs* obs = nullptr,
-                               int reactor_loops = 0);
+                               int reactor_loops = 0,
+                               bool reuseport = false);
   ~TcpDispatcherServer();
 
   TcpDispatcherServer(const TcpDispatcherServer&) = delete;
@@ -104,6 +115,11 @@ class TcpDispatcherServer {
 
   /// ClientSink that writes ClientNotify frames {8} on the notification
   /// channel for subscribed clients (unsubscribed clients just poll).
+  /// deliver() is the push-mode result stream (docs/PROTOCOL.md): a drained
+  /// mailbox batch rides the same channel as a ResultStream frame, keyed by
+  /// the instance's subscription. false (no subscriber) drops the instance
+  /// back to notify+poll; a frame lost in flight after a true return is
+  /// recovered by the SubscribeResults ack protocol, never by the sink.
   struct ClientPushSink final : ClientSink {
     explicit ClientPushSink(net::PushServer& push) : push(push) {}
     void notify(InstanceId instance, std::uint64_t results_ready) override {
@@ -111,6 +127,14 @@ class TcpDispatcherServer {
       message.instance_id = instance;
       message.completed = results_ready;
       (void)push.push(kClientKeyBase + instance.value, message);
+    }
+    bool deliver(InstanceId instance, std::uint64_t seq,
+                 const std::vector<TaskResult>& results) override {
+      wire::ResultStream message;
+      message.instance_id = instance;
+      message.seq = seq;
+      message.results = results;
+      return push.push(kClientKeyBase + instance.value, message).ok();
     }
     net::PushServer& push;
   };
@@ -263,10 +287,24 @@ class TcpExecutorHarness {
 };
 
 /// Client-side dispatcher stub over TCP.
+///
+/// Two result-delivery regimes:
+///   * Polling (push_port == 0, the firewall-mode default): wait_results is
+///     a WaitResultsRequest RPC per batch — one roundtrip each.
+///   * Streaming (push_port != 0): create_instance subscribes the instance
+///     on the notification channel (SubscribeResults{ack_seq=0}) and the
+///     dispatcher pushes drained mailbox batches as ResultStream frames.
+///     wait_results drains a local buffer and acknowledges cumulatively —
+///     steady-state delivery costs zero request roundtrips. A severed or
+///     lossy push channel degrades to one-shot polls (the dispatcher keeps
+///     every un-acked result in the mailbox), and all three arrival paths
+///     (pushed, ack-replied, polled) funnel through a per-instance task-id
+///     filter, so the caller sees each result exactly once.
 class TcpDispatcherClient final : public DispatcherClient {
  public:
   static Result<std::unique_ptr<TcpDispatcherClient>> connect(
-      const std::string& host, std::uint16_t rpc_port);
+      const std::string& host, std::uint16_t rpc_port,
+      std::uint16_t push_port = 0);
 
   Result<InstanceId> create_instance(ClientId client) override;
   Result<std::uint64_t> submit(InstanceId instance,
@@ -277,9 +315,57 @@ class TcpDispatcherClient final : public DispatcherClient {
   Status destroy_instance(InstanceId instance) override;
   Result<DispatcherStatus> status() override;
 
+  /// True when the instance is subscribed on the push channel (streaming
+  /// regime); false in polling mode or after subscription failed.
+  [[nodiscard]] bool streaming(InstanceId instance) const;
+
  private:
-  explicit TcpDispatcherClient(net::RpcClient rpc) : rpc_(std::move(rpc)) {}
+  /// Per-instance streaming state. `mu` guards everything but `receiver`
+  /// (started once at subscription, stopped at destroy); `cv` wakes
+  /// wait_results when the read thread lands a frame.
+  struct Stream {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<TaskResult> buffer;
+    /// Task ids already handed to the caller — the exactly-once filter for
+    /// re-streams (resubscribe) and poll/push overlap.
+    std::unordered_set<std::uint64_t> delivered;
+    /// Highest contiguously-received ResultStream.seq; what we ack.
+    std::uint64_t last_seq{0};
+    /// Last seq acknowledged to the dispatcher via SubscribeResults.
+    std::uint64_t acked_seq{0};
+    /// A frame gap was observed (seq jumped past buffer+results): the next
+    /// wait_results resubscribes from zero so the dispatcher re-streams its
+    /// un-acked prefix. Acking across a gap would discard results the
+    /// client never saw, so last_seq freezes until the resubscribe.
+    bool resync{false};
+    /// Serialises SubscribeResults RPCs for this instance: the dispatcher's
+    /// cursor protocol assumes acks and resubscribes never interleave.
+    std::mutex ack_mu;
+    /// Declared last so its destructor joins the read thread before the
+    /// state above is torn down.
+    net::PushReceiver receiver;
+  };
+
+  TcpDispatcherClient(net::RpcClient rpc, std::string host,
+                      std::uint16_t push_port)
+      : rpc_(std::move(rpc)), host_(std::move(host)), push_port_(push_port) {}
+
+  /// Streaming-regime wait: drain the local buffer (cv-timed), acknowledge
+  /// cumulatively, fall back to a one-shot poll on timeout or resync.
+  Result<std::vector<TaskResult>> wait_streamed(InstanceId instance,
+                                                const std::shared_ptr<Stream>& stream,
+                                                std::uint32_t max_results,
+                                                double timeout_s);
+  static void on_stream_frame(const std::shared_ptr<Stream>& stream,
+                              const wire::Message& message);
+  [[nodiscard]] std::shared_ptr<Stream> find_stream(InstanceId instance) const;
+
   net::RpcClient rpc_;
+  std::string host_;
+  std::uint16_t push_port_{0};
+  mutable std::mutex streams_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Stream>> streams_;
 };
 
 }  // namespace falkon::core

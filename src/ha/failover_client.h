@@ -18,10 +18,13 @@
 // stamped by a newer regime.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/client.h"
@@ -34,6 +37,15 @@ namespace falkon::ha {
 struct FailoverClientOptions {
   std::string host{"127.0.0.1"};
   std::uint16_t rpc_port{0};
+  /// Non-zero opts into push-mode result streaming (docs/PROTOCOL.md):
+  /// create_instance subscribes on the notification port and wait_results
+  /// drains pushed ResultStream batches instead of polling. A takeover
+  /// kills the push connection; results keep flowing through the polling
+  /// fallback (dedup by task id preserves exactly-once) and the client
+  /// resubscribes against the promoted dispatcher, which streams with a
+  /// clean cursor after restore. The standby must re-bind the same
+  /// notification port, as it does the RPC port.
+  std::uint16_t push_port{0};
   /// Transport-level retries per call; with backoff below, the default
   /// rides out several seconds of takeover downtime.
   int max_attempts{200};
@@ -62,13 +74,45 @@ class FailoverClient final : public core::DispatcherClient {
   /// from an epoch-fenced server).
   [[nodiscard]] std::uint64_t epoch() const;
 
+  /// True when the instance currently streams results over the push
+  /// channel (always false unless options.push_port was set).
+  [[nodiscard]] bool streaming(InstanceId instance) const;
+
  private:
+  /// Per-instance push-stream state (see core::TcpDispatcherClient::Stream
+  /// — same protocol, with the dedup filter shared in seen_).
+  struct Stream {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<TaskResult> buffer;
+    std::uint64_t last_seq{0};
+    std::uint64_t acked_seq{0};
+    /// A seq gap was observed; freeze the ack cursor and resubscribe.
+    bool resync{false};
+    /// Serialises subscribe/ack RPCs and receiver restarts per instance.
+    std::mutex sub_mu;
+    /// Declared last: its destructor joins the read thread first.
+    net::PushReceiver receiver;
+  };
+
   /// One RPC with reconnect + backoff across transport failures.
   Result<wire::Message> call(const wire::Message& request);
   /// Fold a server-advertised epoch into epoch_ (monotone).
   void learn_epoch(std::uint64_t epoch);
+  /// (Re)connect the push receiver and re-arm the dispatcher's drain with
+  /// SubscribeResults{ack_seq=0}. Used at create_instance and whenever the
+  /// push channel goes quiet while the mailbox still has results (the
+  /// post-takeover signature: the promoted dispatcher restores instances
+  /// in polling mode until the client resubscribes).
+  void resubscribe(InstanceId instance, const std::shared_ptr<Stream>& stream);
+  [[nodiscard]] std::shared_ptr<Stream> find_stream(InstanceId instance) const;
+  Result<std::vector<TaskResult>> wait_streamed(
+      InstanceId instance, const std::shared_ptr<Stream>& stream,
+      std::uint32_t max_results, double timeout_s);
 
   FailoverClientOptions options_;
+  mutable std::mutex streams_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Stream>> streams_;
   mutable std::mutex mu_;
   std::unique_ptr<net::RpcClient> rpc_;
   std::uint64_t submit_seq_{0};

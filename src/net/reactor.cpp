@@ -33,6 +33,13 @@ constexpr double kAcceptBackoffMaxS = 1.0;
 // Minimum spacing between shrink-on-idle pool trims per loop.
 constexpr double kPoolTrimIntervalS = 1.0;
 
+// Which reactor loop the current thread is, if it is a loop thread at all.
+// Reuseport accept mode uses this to keep a kernel-balanced accepted
+// connection on the loop whose listener accepted it (void* because
+// Reactor::Loop is private at namespace scope).
+thread_local const void* tls_reactor = nullptr;
+thread_local void* tls_loop = nullptr;
+
 }  // namespace
 
 struct Reactor::Timer {
@@ -347,6 +354,12 @@ void Reactor::stop() {
 }
 
 Reactor::Loop& Reactor::loop_for_new_conn() {
+  if (options_.reuseport && tls_reactor == this && tls_loop != nullptr) {
+    // Reuseport accept mode: the kernel already load-balanced this
+    // connection onto the accepting loop's listener — adopting it right
+    // here skips the cross-thread handoff.
+    return *static_cast<Loop*>(tls_loop);
+  }
   const std::size_t i =
       next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
   return *loops_[i];
@@ -647,6 +660,8 @@ std::vector<std::size_t> Reactor::connections_per_loop() {
 // ---------------------------------------------------------------------------
 
 void Reactor::run_loop(Loop& loop) {
+  tls_reactor = this;
+  tls_loop = &loop;
   epoll_event events[kMaxEvents];
   while (true) {
     // Drain posted operations and flush requests.

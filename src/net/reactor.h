@@ -72,6 +72,14 @@ struct ReactorOptions {
   /// falkon.net.accept_rejected, falkon.net.frames_coalesced); nullptr
   /// disables at zero cost.
   obs::Obs* obs{nullptr};
+  /// Accept mode. false (default): one listener per server, accepted fds
+  /// handed off round-robin across loops. true: servers bind one
+  /// SO_REUSEPORT sibling listener per loop (add_listener pins successive
+  /// listeners to successive loops, so N consecutive registrations cover
+  /// all N loops) and adopt() keeps each accepted connection on the loop
+  /// that accepted it — the kernel's reuseport hash replaces the cross-
+  /// thread handoff entirely.
+  bool reuseport{false};
 };
 
 /// Readiness-driven event loops owning sockets, timers, and per-connection

@@ -92,7 +92,10 @@ RpcServer::~RpcServer() { stop(); }
 
 Status RpcServer::start(RpcHandler handler, std::uint16_t port,
                         fault::FaultInjector* fault, RpcServerOptions options) {
-  auto listener = TcpListener::bind(port);
+  const bool reuseport = options.reactor != nullptr
+                             ? options.reactor->options().reuseport
+                             : options.reuseport;
+  auto listener = TcpListener::bind(port, reuseport);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   handler_ = std::move(handler);
@@ -112,6 +115,7 @@ Status RpcServer::start(RpcHandler handler, std::uint16_t port,
     ropts.high_watermark_bytes = options.high_watermark_bytes;
     ropts.low_watermark_bytes = options.low_watermark_bytes;
     ropts.obs = options.obs;
+    ropts.reuseport = options.reuseport;
     owned_reactor_ = std::make_unique<Reactor>(ropts);
     if (auto status = owned_reactor_->start(); !status.ok()) {
       listener_.close();
@@ -120,6 +124,18 @@ Status RpcServer::start(RpcHandler handler, std::uint16_t port,
     reactor_ = owned_reactor_.get();
   }
   reactor_->add_listener(listener_.fd(), [this](int fd) { on_accept(fd); });
+  if (reuseport) {
+    // One sibling listener per remaining loop; consecutive add_listener
+    // calls land on consecutive loops, so the set covers every loop and
+    // the kernel's reuseport hash spreads accepts across them.
+    for (int i = 1; i < reactor_->n_loops(); ++i) {
+      auto sibling = TcpListener::bind(listener_.port(), true);
+      if (!sibling.ok()) break;  // degraded, never fatal: primary accepts
+      siblings_.push_back(sibling.take());
+      reactor_->add_listener(siblings_.back().fd(),
+                             [this](int fd) { on_accept(fd); });
+    }
+  }
   started_ = true;
   return ok_status();
 }
@@ -128,6 +144,7 @@ void RpcServer::stop() {
   if (!started_) return;
   stopping_.store(true);
   reactor_->remove_listener(listener_.fd());
+  for (auto& sibling : siblings_) reactor_->remove_listener(sibling.fd());
   {
     std::lock_guard lock(mu_);
     for (auto& weak : connections_) {
@@ -138,6 +155,8 @@ void RpcServer::stop() {
   // callback is still running on a loop thread.
   reactor_->barrier();
   listener_.close();
+  for (auto& sibling : siblings_) sibling.close();
+  siblings_.clear();
   // Handlers still in flight enqueue replies into severed connections and
   // fail harmlessly; shutdown() drains them before returning.
   if (pool_) pool_->shutdown();
@@ -418,7 +437,10 @@ PushServer::~PushServer() { stop(); }
 
 Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault,
                          obs::Obs* obs, PushServerOptions options) {
-  auto listener = TcpListener::bind(port);
+  const bool reuseport = options.reactor != nullptr
+                             ? options.reactor->options().reuseport
+                             : options.reuseport;
+  auto listener = TcpListener::bind(port, reuseport);
   if (!listener.ok()) return listener.error();
   listener_ = listener.take();
   fault_ = fault;
@@ -434,6 +456,7 @@ Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault,
     ropts.high_watermark_bytes = options.high_watermark_bytes;
     ropts.low_watermark_bytes = options.low_watermark_bytes;
     ropts.obs = obs;
+    ropts.reuseport = options.reuseport;
     owned_reactor_ = std::make_unique<Reactor>(ropts);
     if (auto status = owned_reactor_->start(); !status.ok()) {
       listener_.close();
@@ -442,6 +465,15 @@ Status PushServer::start(std::uint16_t port, fault::FaultInjector* fault,
     reactor_ = owned_reactor_.get();
   }
   reactor_->add_listener(listener_.fd(), [this](int fd) { on_accept(fd); });
+  if (reuseport) {
+    for (int i = 1; i < reactor_->n_loops(); ++i) {
+      auto sibling = TcpListener::bind(listener_.port(), true);
+      if (!sibling.ok()) break;  // degraded, never fatal: primary accepts
+      siblings_.push_back(sibling.take());
+      reactor_->add_listener(siblings_.back().fd(),
+                             [this](int fd) { on_accept(fd); });
+    }
+  }
   started_ = true;
   return ok_status();
 }
@@ -450,6 +482,7 @@ void PushServer::stop() {
   if (!started_) return;
   stopping_.store(true);
   reactor_->remove_listener(listener_.fd());
+  for (auto& sibling : siblings_) reactor_->remove_listener(sibling.fd());
   {
     std::lock_guard lock(mu_);
     subscribers_.clear();
@@ -459,6 +492,8 @@ void PushServer::stop() {
   }
   reactor_->barrier();
   listener_.close();
+  for (auto& sibling : siblings_) sibling.close();
+  siblings_.clear();
   if (owned_reactor_) owned_reactor_->stop();
   started_ = false;
 }

@@ -55,6 +55,12 @@ struct RpcServerOptions {
   int n_loops{1};
   std::size_t high_watermark_bytes{8u << 20};
   std::size_t low_watermark_bytes{1u << 20};
+  /// Owned-reactor mirror of ReactorOptions::reuseport. With a shared
+  /// reactor the flag is read from its options instead. When the effective
+  /// reactor runs reuseport accept mode and has more than one loop, the
+  /// server binds one SO_REUSEPORT sibling listener per loop and the
+  /// kernel balances accepts across them.
+  bool reuseport{false};
   /// Test-only: shrink SO_SNDBUF on accepted sockets to force the
   /// partial-write/EAGAIN paths.
   int sndbuf_bytes{0};
@@ -100,6 +106,9 @@ class RpcServer {
                      std::uint64_t corr, const wire::Message& reply);
 
   TcpListener listener_;
+  /// Reuseport accept mode: additional listeners sharing listener_'s port,
+  /// one per remaining reactor loop.
+  std::vector<TcpListener> siblings_;
   RpcHandler handler_;
   std::function<std::uint64_t(const wire::Message&)> affinity_key_;
   fault::FaultInjector* fault_{nullptr};
@@ -160,6 +169,9 @@ struct PushServerOptions {
   int n_loops{1};
   std::size_t high_watermark_bytes{8u << 20};
   std::size_t low_watermark_bytes{1u << 20};
+  /// Owned-reactor mirror of ReactorOptions::reuseport (see
+  /// RpcServerOptions::reuseport).
+  bool reuseport{false};
 };
 
 /// Dispatcher-side notification fan-out. Executors connect and send one
@@ -201,6 +213,9 @@ class PushServer {
   void on_close(const std::shared_ptr<Reactor::Conn>& conn);
 
   TcpListener listener_;
+  /// Reuseport accept mode: additional listeners sharing listener_'s port,
+  /// one per remaining reactor loop.
+  std::vector<TcpListener> siblings_;
   fault::FaultInjector* fault_{nullptr};
   obs::Counter* m_bp_drops_{nullptr};
   std::unique_ptr<Reactor> owned_reactor_;

@@ -68,7 +68,11 @@ class TcpStream final : public wire::ByteStream {
 /// Listening socket. Port 0 picks an ephemeral port, readable via port().
 class TcpListener {
  public:
-  static Result<TcpListener> bind(std::uint16_t port);
+  /// `reuseport` additionally sets SO_REUSEPORT before binding, letting
+  /// several sibling listeners share one port (the reactor's reuseport
+  /// accept mode: one listener per event loop, kernel-balanced). Strictly
+  /// opt-in — HA standby takeover relies on the default exclusive bind.
+  static Result<TcpListener> bind(std::uint16_t port, bool reuseport = false);
 
   Result<TcpStream> accept();
 

@@ -79,6 +79,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kDataFetch: return "DataFetch";
     case MsgType::kDataFetchReply: return "DataFetchReply";
     case MsgType::kDataEvict: return "DataEvict";
+    case MsgType::kSubscribeResults: return "SubscribeResults";
+    case MsgType::kResultStream: return "ResultStream";
   }
   return "Unknown";
 }
@@ -222,6 +224,13 @@ std::string debug_summary(const Message& message) {
         } else if constexpr (std::is_same_v<T, DataEvict>) {
           out += "{executor=" + num(m.executor_id.value) + ", object=" +
                  m.object + "}";
+        } else if constexpr (std::is_same_v<T, SubscribeResults>) {
+          out += "{instance=" + num(m.instance_id.value) +
+                 ", ack_seq=" + num(m.ack_seq) + "}";
+        } else if constexpr (std::is_same_v<T, ResultStream>) {
+          out += "{instance=" + num(m.instance_id.value) +
+                 ", seq=" + num(m.seq) +
+                 ", results=" + num(m.results.size()) + "}";
         }
       },
       message);
@@ -479,6 +488,15 @@ struct EncodeVisitor {
     w.put_u64(m.executor_id.value);
     w.put_string(m.object);
   }
+  void operator()(const SubscribeResults& m) const {
+    w.put_u64(m.instance_id.value);
+    w.put_u64(m.ack_seq);
+  }
+  void operator()(const ResultStream& m) const {
+    w.put_u64(m.instance_id.value);
+    w.put_u64(m.seq);
+    encode_task_results(w, m.results);
+  }
 };
 
 Message decode_payload(MsgType type, Reader& r) {
@@ -702,6 +720,19 @@ Message decode_payload(MsgType type, Reader& r) {
       DataEvict m;
       m.executor_id = ExecutorId{r.get_u64()};
       m.object = r.get_string();
+      return m;
+    }
+    case MsgType::kSubscribeResults: {
+      SubscribeResults m;
+      m.instance_id = InstanceId{r.get_u64()};
+      m.ack_seq = r.get_u64();
+      return m;
+    }
+    case MsgType::kResultStream: {
+      ResultStream m;
+      m.instance_id = InstanceId{r.get_u64()};
+      m.seq = r.get_u64();
+      m.results = decode_task_results(r);
       return m;
     }
   }

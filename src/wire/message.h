@@ -61,6 +61,8 @@ enum class MsgType : std::uint8_t {
   kDataFetch = 33,
   kDataFetchReply = 34,
   kDataEvict = 35,
+  kSubscribeResults = 36,
+  kResultStream = 37,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType type);
@@ -350,6 +352,34 @@ struct DataEvict {
   std::string object;
 };
 
+// ---- push-mode result streaming (docs/PROTOCOL.md) -------------------
+
+/// Client -> dispatcher (RPC): enter push-mode result streaming for an
+/// instance already subscribed on the notification channel, or acknowledge
+/// streamed results. `ack_seq = 0` (re)subscribes — the dispatcher resets
+/// its streaming cursor and re-pushes the whole mailbox backlog (the client
+/// dedups by task id, so re-delivery is safe). `ack_seq > 0` is a
+/// cumulative acknowledgement of every ResultStream frame with
+/// `seq <= ack_seq`; acknowledged results are removed from the mailbox and
+/// journaled as delivered (docs/HA.md). The reply is a ResultStream frame
+/// whose `seq` reports the dispatcher's current push cursor (empty result
+/// array — actual batches flow on the push channel).
+struct SubscribeResults {
+  InstanceId instance_id;
+  std::uint64_t ack_seq{0};
+};
+
+/// Dispatcher -> client (push channel): a drained mailbox batch. `seq` is
+/// the cumulative count of results streamed to this instance since the last
+/// subscribe — the client echoes the highest seen value back as
+/// `SubscribeResults.ack_seq`. Streamed results stay in the mailbox until
+/// acknowledged, so a dropped frame costs re-delivery, never loss.
+struct ResultStream {
+  InstanceId instance_id;
+  std::uint64_t seq{0};
+  std::vector<TaskResult> results;
+};
+
 /// CRC-32 (IEEE, reflected) over a byte range; stamps DataFetchReply
 /// payloads. Local to the wire layer on purpose — ha's WAL checksum lives
 /// above wire in the layering and cannot be shared downward.
@@ -372,7 +402,8 @@ using Message =
                  ClientNotify, HeartbeatRequest, HeartbeatReply, TaskBundle,
                  ResultBundle, ReplFetch, ReplAppend, ReplSnapshot, ReplAck,
                  ReplAckReply, ElectionPing, ElectionAck, CacheDigest,
-                 DataFetch, DataFetchReply, DataEvict>;
+                 DataFetch, DataFetchReply, DataEvict, SubscribeResults,
+                 ResultStream>;
 
 [[nodiscard]] MsgType message_type(const Message& message);
 

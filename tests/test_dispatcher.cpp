@@ -413,5 +413,188 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 16, 128, 1000),
                        ::testing::Values(1, 4, 32)));
 
+// ---- batched routing + push-mode result streaming ----
+
+/// ClientSink double recording edge-triggered notifies {8} and pushed
+/// ResultStream batches; `accept` false makes deliver() refuse the batch
+/// (no subscriber on the push channel), which must drop the instance back
+/// to polling.
+struct RecordingClientSink final : ClientSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  int notifies{0};
+  bool accept{true};
+  std::vector<std::pair<std::uint64_t, std::size_t>> batches;  // seq, count
+  std::size_t streamed{0};
+
+  void notify(InstanceId, std::uint64_t) override {
+    std::lock_guard lock(mu);
+    ++notifies;
+    cv.notify_all();
+  }
+  bool deliver(InstanceId, std::uint64_t seq,
+               const std::vector<TaskResult>& results) override {
+    std::lock_guard lock(mu);
+    if (!accept) return false;
+    batches.emplace_back(seq, results.size());
+    streamed += results.size();
+    cv.notify_all();
+    return true;
+  }
+  bool wait_notifies(int n, double timeout_s = 5.0) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                       [&] { return notifies >= n; });
+  }
+  bool wait_streamed(std::size_t n, double timeout_s = 5.0) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                       [&] { return streamed >= n; });
+  }
+};
+
+class DispatcherStreamingTest : public DispatcherTest {
+ protected:
+  DispatcherStreamingTest() : client_sink_(std::make_shared<RecordingClientSink>()) {
+    dispatcher_.set_client_sink(client_sink_);
+  }
+
+  /// Pull `count` tasks and deliver their results as one bundle — the
+  /// batched route_all path.
+  void complete_tasks(ExecutorId executor, int count) {
+    std::vector<TaskResult> results;
+    for (int i = 0; i < count; ++i) {
+      auto work = dispatcher_.get_work(executor, 1);
+      ASSERT_TRUE(work.ok());
+      ASSERT_EQ(work.value().size(), 1u);
+      results.push_back(success_for(work.value()[0]));
+    }
+    ASSERT_TRUE(dispatcher_.deliver_results(executor, results, 0).ok());
+  }
+
+  std::shared_ptr<RecordingClientSink> client_sink_;
+};
+
+TEST_F(DispatcherStreamingTest, BundleRoutesAsOneNotify) {
+  const InstanceId instance = make_instance();
+  const ExecutorId executor = add_executor();
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(1, 3)).ok());
+  // Three results in one ResultBundle: one mailbox append, one
+  // edge-triggered notify — not three.
+  complete_tasks(executor, 3);
+  ASSERT_TRUE(client_sink_->wait_notifies(1));
+  auto results = dispatcher_.wait_results(instance, 10, 0.0);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 3u);
+  {
+    std::lock_guard lock(client_sink_->mu);
+    EXPECT_EQ(client_sink_->notifies, 1);
+  }
+}
+
+TEST_F(DispatcherStreamingTest, EdgeTriggeredNotifyRearmsAfterDrain) {
+  const InstanceId instance = make_instance();
+  const ExecutorId executor = add_executor();
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(1, 3)).ok());
+
+  complete_tasks(executor, 1);
+  ASSERT_TRUE(client_sink_->wait_notifies(1));
+  // A second landing on a non-empty mailbox is edge-suppressed.
+  complete_tasks(executor, 1);
+  auto results = dispatcher_.wait_results(instance, 10, 1.0);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 2u);
+  {
+    std::lock_guard lock(client_sink_->mu);
+    EXPECT_EQ(client_sink_->notifies, 1);
+  }
+  // The lost-wakeup regression: a result landing right after the drain
+  // (mailbox just went empty) must re-fire the notify, or a remote client
+  // parks on its listener forever.
+  complete_tasks(executor, 1);
+  ASSERT_TRUE(client_sink_->wait_notifies(2));
+  results = dispatcher_.wait_results(instance, 10, 1.0);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 1u);
+}
+
+TEST_F(DispatcherStreamingTest, SubscribeStreamsAcksAndRearms) {
+  const InstanceId instance = make_instance();
+  const ExecutorId executor = add_executor();
+  auto cursor = dispatcher_.subscribe_results(instance, 0);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor.value(), 0u);
+
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(1, 3)).ok());
+  complete_tasks(executor, 3);
+  ASSERT_TRUE(client_sink_->wait_streamed(3));
+  {
+    std::lock_guard lock(client_sink_->mu);
+    // Cumulative seq: the last batch's seq equals the total streamed.
+    EXPECT_EQ(client_sink_->batches.back().first, client_sink_->streamed);
+    EXPECT_EQ(client_sink_->notifies, 0);  // streaming replaces notify
+  }
+
+  // Un-acked results stay in the mailbox; the cumulative ack drops them.
+  cursor = dispatcher_.subscribe_results(instance, 3);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor.value(), 3u);
+  auto polled = dispatcher_.wait_results(instance, 10, 0.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value().empty());
+
+  // The drain stays armed: the next completion streams without any new
+  // subscribe call.
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(10, 1)).ok());
+  complete_tasks(executor, 1);
+  ASSERT_TRUE(client_sink_->wait_streamed(4));
+}
+
+TEST_F(DispatcherStreamingTest, RejectedPushFallsBackToPolling) {
+  const InstanceId instance = make_instance();
+  const ExecutorId executor = add_executor();
+  {
+    std::lock_guard lock(client_sink_->mu);
+    client_sink_->accept = false;
+  }
+  ASSERT_TRUE(dispatcher_.subscribe_results(instance, 0).ok());
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(1, 2)).ok());
+  complete_tasks(executor, 2);
+  // deliver() refused the batch: the cursor rolled back and every result
+  // is still poll-able — nothing lost, nothing duplicated.
+  auto polled = dispatcher_.wait_results(instance, 10, 5.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value().size(), 2u);
+  polled = dispatcher_.wait_results(instance, 10, 0.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value().empty());
+}
+
+TEST_F(DispatcherStreamingTest, PollOnStreamingInstanceStaysExactlyOnce) {
+  const InstanceId instance = make_instance();
+  const ExecutorId executor = add_executor();
+  ASSERT_TRUE(dispatcher_.subscribe_results(instance, 0).ok());
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(1, 2)).ok());
+  complete_tasks(executor, 2);
+  ASSERT_TRUE(client_sink_->wait_streamed(2));
+
+  // Streamed but un-acked: the firewall-mode poll takes over and returns
+  // the same two results (the client's task-id filter absorbs the overlap).
+  auto polled = dispatcher_.wait_results(instance, 10, 0.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value().size(), 2u);
+  // A stale ack from before the poll must not discard anything.
+  auto cursor = dispatcher_.subscribe_results(instance, 2);
+  ASSERT_TRUE(cursor.ok());
+  polled = dispatcher_.wait_results(instance, 10, 0.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value().empty());
+
+  // Still streaming: the next completion is pushed again.
+  ASSERT_TRUE(dispatcher_.submit(instance, sleep_tasks(10, 1)).ok());
+  complete_tasks(executor, 1);
+  ASSERT_TRUE(client_sink_->wait_streamed(3));
+}
+
 }  // namespace
 }  // namespace falkon::core

@@ -245,7 +245,11 @@ TEST(HaClient, DuplicateSubmitSeqIsAcknowledgedNotReenqueued) {
 /// Run the takeover story end to end. `shared_log` selects how the standby
 /// recovers: from the primary's journal directory (authoritative) or from
 /// its warm in-memory image (bootstrap into its own directory).
-void run_failover_scenario(bool shared_log) {
+/// `streamed_client` runs the failover client in push-mode result
+/// streaming: the takeover severs the push connection, results keep
+/// flowing through the polling fallback, and the client resubscribes
+/// against the promoted dispatcher.
+void run_failover_scenario(bool shared_log, bool streamed_client = false) {
   constexpr std::uint64_t kTasks = 200;
   constexpr int kExecutors = 3;
 
@@ -291,6 +295,7 @@ void run_failover_scenario(bool shared_log) {
 
   FailoverClientOptions copts;
   copts.rpc_port = rpc_port;
+  if (streamed_client) copts.push_port = push_port;
   copts.max_attempts = 400;
   copts.backoff_initial_s = 0.01;
   copts.backoff_max_s = 0.2;
@@ -299,6 +304,7 @@ void run_failover_scenario(bool shared_log) {
 
   auto instance = client.create_instance(ClientId{1});
   ASSERT_TRUE(instance.ok()) << instance.error().str();
+  EXPECT_EQ(client.streaming(instance.value()), streamed_client);
   auto accepted = client.submit(instance.value(), sleep_tasks(kTasks, 0.005));
   ASSERT_TRUE(accepted.ok()) << accepted.error().str();
   ASSERT_EQ(accepted.value(), kTasks);
@@ -372,6 +378,10 @@ void run_failover_scenario(bool shared_log) {
     }
   }
   EXPECT_EQ(ids.size(), kTasks);
+  // A streamed client stays in streaming mode across the takeover (the
+  // fallback poll that found results re-armed the push subscription
+  // against the promoted dispatcher).
+  EXPECT_EQ(client.streaming(instance.value()), streamed_client);
 
   // The client observed the outage and reconnected through it.
   EXPECT_GT(client.reconnects(), 0u);
@@ -394,6 +404,10 @@ TEST(HaFailover, TakeoverFromSharedLogCompletesAllTasksExactlyOnce) {
 
 TEST(HaFailover, TakeoverFromWarmImageCompletesAllTasksExactlyOnce) {
   run_failover_scenario(/*shared_log=*/false);
+}
+
+TEST(HaFailover, StreamedClientSurvivesTakeoverExactlyOnce) {
+  run_failover_scenario(/*shared_log=*/true, /*streamed_client=*/true);
 }
 
 // ---- async group-commit journaling -----------------------------------------

@@ -594,6 +594,54 @@ TEST(Reactor, AcceptedConnectionsDistributeFairlyAcrossLoops) {
   reactor.stop();
 }
 
+TEST(Reactor, ReuseportSiblingListenersKeepConnectionsOnAcceptingLoop) {
+  // SO_REUSEPORT accept mode: one listener per loop on the same port, the
+  // kernel balances accepts across them, and each accepted connection is
+  // adopted on the loop that accepted it instead of being handed off
+  // round-robin to another loop's thread.
+  Reactor reactor(ReactorOptions{.n_loops = 2, .reuseport = true});
+  ASSERT_TRUE(reactor.start().ok());
+  auto primary = TcpListener::bind(0, /*reuseport=*/true);
+  ASSERT_TRUE(primary.ok());
+  auto sibling = TcpListener::bind(primary.value().port(), /*reuseport=*/true);
+  ASSERT_TRUE(sibling.ok()) << sibling.error().str();
+  auto on_accept = [&](int fd) {
+    reactor.adopt(
+        fd,
+        [](const std::shared_ptr<Reactor::Conn>& conn, std::uint64_t corr,
+           std::vector<std::uint8_t>&& payload) {
+          (void)conn->send_frame(corr, payload);
+          conn->recycle(std::move(payload));
+        },
+        [](const std::shared_ptr<Reactor::Conn>&) {});
+  };
+  reactor.add_listener(primary.value().fd(), on_accept);
+  reactor.add_listener(sibling.value().fd(), on_accept);
+
+  std::vector<TcpStream> clients;
+  for (int i = 0; i < 32; ++i) {
+    auto stream = TcpStream::connect("127.0.0.1", primary.value().port());
+    ASSERT_TRUE(stream.ok());
+    clients.push_back(stream.take());
+  }
+  for (int i = 0; i < 1000 && reactor.open_connections() < 32; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(reactor.open_connections(), 32u);
+  reactor.barrier();
+  const auto per_loop = reactor.connections_per_loop();
+  ASSERT_EQ(per_loop.size(), 2u);
+  EXPECT_EQ(per_loop[0] + per_loop[1], 32u);
+  // The kernel's 4-tuple hash spreads 32 distinct source ports over both
+  // listeners; all-on-one odds are ~2^-31, so both loops must own some.
+  EXPECT_GE(per_loop[0], 1u);
+  EXPECT_GE(per_loop[1], 1u);
+  clients.clear();
+  reactor.remove_listener(primary.value().fd());
+  reactor.remove_listener(sibling.value().fd());
+  reactor.stop();
+}
+
 TEST(Reactor, SetAffinityMigratesAndForeignThreadSendLandsOnOwner) {
   // Pinning a connection moves it to loops[key % n_loops]; a send_frame
   // issued from a thread that is not the owning loop (here: the test

@@ -3,6 +3,7 @@
 // bind port 0 (ephemeral), so the binary is safe under parallel ctest.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <set>
@@ -10,6 +11,7 @@
 #include "common/clock.h"
 #include "core/client.h"
 #include "core/service_tcp.h"
+#include "fault/fault.h"
 #include "net/rpc.h"
 #include "obs/obs.h"
 
@@ -366,6 +368,130 @@ TEST(TcpBundleRegression, AdaptiveSentinelsServeV0NonBundlingPeer) {
       call_expect<wire::WaitResultsReply>(raw.value(), wait);
   EXPECT_EQ(results.results.size(), static_cast<std::size_t>(kTasks));
 
+  server.stop();
+  dispatcher.shutdown();
+}
+
+// ---- push-mode result streaming ---------------------------------------
+
+TEST_F(TcpStackTest, StreamingClientReceivesResultsExactlyOnce) {
+  add_executor();
+  auto client = TcpDispatcherClient::connect("127.0.0.1", server_->rpc_port(),
+                                             server_->push_port());
+  ASSERT_TRUE(client.ok());
+  auto instance = client.value()->create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  // The third connect argument subscribed the instance on the push channel.
+  EXPECT_TRUE(client.value()->streaming(instance.value()));
+
+  ASSERT_TRUE(client.value()->submit(instance.value(), sleep_tasks(50)).ok());
+  std::set<std::uint64_t> ids;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ids.size() < 50 && std::chrono::steady_clock::now() < deadline) {
+    auto batch = client.value()->wait_results(instance.value(), 64, 0.5);
+    ASSERT_TRUE(batch.ok()) << batch.error().str();
+    for (const auto& result : batch.value()) {
+      EXPECT_TRUE(ids.insert(result.task_id.value).second)
+          << "duplicate task " << result.task_id.value;
+    }
+  }
+  EXPECT_EQ(ids.size(), 50u);
+  EXPECT_TRUE(client.value()->streaming(instance.value()));
+  EXPECT_TRUE(client.value()->destroy_instance(instance.value()).ok());
+}
+
+TEST_F(TcpStackTest, StreamingSessionRunCompletes) {
+  for (int i = 0; i < 2; ++i) add_executor();
+  auto client = TcpDispatcherClient::connect("127.0.0.1", server_->rpc_port(),
+                                             server_->push_port());
+  ASSERT_TRUE(client.ok());
+  auto session = FalkonSession::open(*client.value(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  auto results = session.value()->run(sleep_tasks(200), 30.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  std::set<std::uint64_t> ids;
+  for (const auto& result : results.value()) ids.insert(result.task_id.value);
+  EXPECT_EQ(ids.size(), 200u);
+}
+
+TEST(TcpStreamingFault, DroppedPushFramesFallBackToPolling) {
+  // Every frame leaving the push server silently vanishes (kDrop returns
+  // ok to the dispatcher, so its cursor advances as if streaming worked).
+  // Results must still arrive exactly once through the wait_results
+  // firewall fallback: un-acked results never leave the mailbox.
+  RealClock clock;
+  fault::FaultPlan plan;
+  plan.with(fault::Site::kPushFrame, fault::Action::kDrop, 1.0);
+  fault::FaultInjector fault(plan);
+  Dispatcher dispatcher(clock, DispatcherConfig{});
+  TcpDispatcherServer server(dispatcher);
+  ASSERT_TRUE(server.start(0, 0, &fault).ok());
+  // Polling-mode executor: the lossy push channel must only starve the
+  // client's stream, not the executor's work notifications.
+  ExecutorOptions options;
+  options.poll_interval_s = 0.01;
+  TcpExecutorHarness harness(clock, "127.0.0.1", server.rpc_port(),
+                             server.push_port(),
+                             std::make_unique<NoopEngine>(), options);
+  ASSERT_TRUE(harness.start().ok());
+
+  auto client = TcpDispatcherClient::connect("127.0.0.1", server.rpc_port(),
+                                             server.push_port());
+  ASSERT_TRUE(client.ok());
+  auto instance = client.value()->create_instance(ClientId{1});
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(client.value()->submit(instance.value(), sleep_tasks(20)).ok());
+
+  std::set<std::uint64_t> ids;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ids.size() < 20 && std::chrono::steady_clock::now() < deadline) {
+    auto batch = client.value()->wait_results(instance.value(), 64, 0.2);
+    ASSERT_TRUE(batch.ok()) << batch.error().str();
+    for (const auto& result : batch.value()) {
+      EXPECT_TRUE(ids.insert(result.task_id.value).second)
+          << "duplicate task " << result.task_id.value;
+    }
+  }
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_GT(fault.stats(fault::Site::kPushFrame).injected, 0u);
+
+  harness.stop();
+  server.stop();
+  dispatcher.shutdown();
+}
+
+// ---- SO_REUSEPORT accept mode -----------------------------------------
+
+TEST(TcpReuseport, FullStackServesFromKernelBalancedListeners) {
+  RealClock clock;
+  Dispatcher dispatcher(clock, DispatcherConfig{});
+  TcpDispatcherServer server(dispatcher, nullptr, /*reactor_loops=*/2,
+                             /*reuseport=*/true);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_GE(server.reactor().n_loops(), 2);
+
+  std::vector<std::unique_ptr<TcpExecutorHarness>> pool;
+  for (int e = 0; e < 4; ++e) {
+    auto harness = std::make_unique<TcpExecutorHarness>(
+        clock, "127.0.0.1", server.rpc_port(), server.push_port(),
+        std::make_unique<NoopEngine>(), ExecutorOptions{});
+    ASSERT_TRUE(harness->start().ok());
+    pool.push_back(std::move(harness));
+  }
+  auto client = TcpDispatcherClient::connect("127.0.0.1", server.rpc_port(),
+                                             server.push_port());
+  ASSERT_TRUE(client.ok());
+  auto session = FalkonSession::open(*client.value(), ClientId{1});
+  ASSERT_TRUE(session.ok());
+  auto results = session.value()->run(sleep_tasks(200), 30.0);
+  ASSERT_TRUE(results.ok()) << results.error().str();
+  std::set<std::uint64_t> ids;
+  for (const auto& result : results.value()) ids.insert(result.task_id.value);
+  EXPECT_EQ(ids.size(), 200u);
+
+  pool.clear();
   server.stop();
   dispatcher.shutdown();
 }

@@ -334,6 +334,23 @@ TEST_P(MessageRoundtrip, RandomizedMessagesSurviveEncodeDecode) {
     messages.push_back(DataEvict{
         ExecutorId{rng.next_u64()},
         "obj-" + std::to_string(rng.uniform_int(0, 999))});
+    // Push-mode result streaming (docs/PROTOCOL.md).
+    messages.push_back(
+        SubscribeResults{InstanceId{rng.next_u64()}, rng.next_u64()});
+    {
+      ResultStream m;
+      m.instance_id = InstanceId{rng.next_u64()};
+      m.seq = rng.next_u64();
+      const auto n = rng.uniform_int(0, 16);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TaskResult result;
+        result.task_id = TaskId{rng.next_u64()};
+        result.executor_id = ExecutorId{rng.next_u64()};
+        result.exit_code = static_cast<int>(rng.uniform_int(0, 2));
+        m.results.push_back(std::move(result));
+      }
+      messages.push_back(std::move(m));
+    }
 
     for (const auto& message : messages) {
       auto bytes = encode_message(message);
